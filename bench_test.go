@@ -1,0 +1,559 @@
+// Package bench is the benchmark harness of the reproduction: one
+// benchmark per table and figure of the paper (regenerating the artifact
+// per iteration, on shared expensive fixtures), plus the ablation
+// benchmarks DESIGN.md §5 calls out — keyword index vs linear scan,
+// compiled patterns vs regexp, indexed vs scanned element hiding,
+// instrumented vs fast matching, and snapshot diffing vs full reparse.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+package bench
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/histanalysis"
+	"acceptableads/internal/histgen"
+	"acceptableads/internal/htmldom"
+	"acceptableads/internal/mturk"
+	"acceptableads/internal/parked"
+	"acceptableads/internal/sitekey"
+	"acceptableads/internal/sitesurvey"
+	"acceptableads/internal/vcs"
+	"acceptableads/internal/webgen"
+	"acceptableads/internal/xrand"
+)
+
+// ---- shared fixtures -------------------------------------------------------
+
+var (
+	fixOnce sync.Once
+	fix     struct {
+		history *histgen.History
+		easy    *filter.List
+		wl      *filter.List
+		eng     *engine.Engine
+		survey  *sitesurvey.Survey
+		err     error
+	}
+)
+
+func fixtures(b *testing.B) *struct {
+	history *histgen.History
+	easy    *filter.List
+	wl      *filter.List
+	eng     *engine.Engine
+	survey  *sitesurvey.Survey
+	err     error
+} {
+	b.Helper()
+	fixOnce.Do(func() {
+		fix.history, fix.err = histgen.Generate(histgen.Config{Seed: 42})
+		if fix.err != nil {
+			return
+		}
+		fix.easy = easylist.Generate(42, easylist.DefaultSize)
+		fix.wl = fix.history.FinalList()
+		fix.eng, fix.err = engine.New(
+			engine.NamedList{Name: "easylist", List: fix.easy},
+			engine.NamedList{Name: "exceptionrules", List: fix.wl},
+		)
+		if fix.err != nil {
+			return
+		}
+		// A reduced survey keeps per-bench setup bounded; the full
+		// 5,000+3,000 crawl runs in the sitesurvey package tests.
+		fix.survey, fix.err = sitesurvey.Run(sitesurvey.Config{
+			Seed:        42,
+			Universe:    fix.history.Universe,
+			Whitelist:   fix.wl,
+			EasyList:    fix.easy,
+			TopN:        1000,
+			StratumSize: 200,
+		})
+	})
+	if fix.err != nil {
+		b.Fatal(fix.err)
+	}
+	return &fix
+}
+
+// ---- Tables ---------------------------------------------------------------
+
+// BenchmarkTable1YearlyActivity regenerates Table 1 from the 989-revision
+// repository.
+func BenchmarkTable1YearlyActivity(b *testing.B) {
+	f := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := histanalysis.YearlyActivity(f.history.Repo)
+		if len(rows) != 5 {
+			b.Fatal("bad table 1")
+		}
+	}
+}
+
+// BenchmarkTable2DomainPartitions regenerates Table 2 from the Rev-988
+// snapshot.
+func BenchmarkTable2DomainPartitions(b *testing.B) {
+	f := fixtures(b)
+	parts := []struct {
+		Name string
+		Max  int
+	}{{"All", 0}, {"Top 1,000,000", 1000000}, {"Top 5,000", 5000},
+		{"Top 1,000", 1000}, {"Top 500", 500}, {"Top 100", 100}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := histanalysis.DomainPartitions(f.wl, f.history, parts)
+		if rows[0].Domains != histgen.FinalESLDs {
+			b.Fatal("bad table 2")
+		}
+	}
+}
+
+// BenchmarkTable3ParkedScan runs the zone scan and live sitekey probes at
+// an aggressive scale (one domain per ~20,000 of the paper's).
+func BenchmarkTable3ParkedScan(b *testing.B) {
+	f := fixtures(b)
+	services := parked.ServicesFromHistory(f.history)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := parked.Scan(parked.ScanConfig{Seed: 42, Scale: 20000, Services: services})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			b.Fatal("bad table 3")
+		}
+	}
+}
+
+// BenchmarkTable4TopFilters regenerates the most-common-filters ranking
+// from the crawl results.
+func BenchmarkTable4TopFilters(b *testing.B) {
+	f := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top := f.survey.TopWhitelistFilters(20)
+		if len(top) == 0 {
+			b.Fatal("bad table 4")
+		}
+	}
+}
+
+// ---- Figures ---------------------------------------------------------------
+
+// BenchmarkFig3GrowthSeries regenerates the growth curve over all 989
+// revisions.
+func BenchmarkFig3GrowthSeries(b *testing.B) {
+	f := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := histanalysis.Growth(f.history.Repo)
+		if pts[len(pts)-1].Filters != histgen.FinalFilterCount {
+			b.Fatal("bad growth")
+		}
+	}
+}
+
+// BenchmarkFig5SitekeyExploit factors a demo-scale sitekey modulus and
+// rebuilds the private key per iteration.
+func BenchmarkFig5SitekeyExploit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		key, err := sitekey.GenerateKey(xrand.New(uint64(i)+1), 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sitekey.RecoverPrivateKey(&key.PublicKey, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6TopSites re-crawls the top sites with EasyList alone.
+func BenchmarkFig6TopSites(b *testing.B) {
+	f := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := f.survey.TopSites(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("bad fig 6")
+		}
+	}
+}
+
+// BenchmarkFig7ECDF regenerates the match-distribution ECDFs.
+func BenchmarkFig7ECDF(b *testing.B) {
+	f := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totalE, distinctE := f.survey.ECDFs()
+		if totalE.N() == 0 || distinctE.N() == 0 {
+			b.Fatal("bad fig 7")
+		}
+	}
+}
+
+// BenchmarkFig8StrataMatrix regenerates the per-stratum frequency matrix.
+func BenchmarkFig8StrataMatrix(b *testing.B) {
+	f := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := f.survey.StrataFrequencies(50)
+		if len(m.Filters) == 0 {
+			b.Fatal("bad fig 8")
+		}
+	}
+}
+
+// BenchmarkFig9Perception runs the full 305-respondent survey simulation.
+func BenchmarkFig9Perception(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := mturk.Run(uint64(i) + 1)
+		if len(r.Ads) != 15 {
+			b.Fatal("bad fig 9")
+		}
+	}
+}
+
+// BenchmarkFig11AFilterDetection detects the undocumented groups in the
+// final snapshot and scans the full history timeline.
+func BenchmarkFig11AFilterDetection(b *testing.B) {
+	f := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups := histanalysis.DetectAFilters(f.wl)
+		if len(groups) != histgen.AFilterGroups-histgen.AFilterRemoved {
+			b.Fatal("bad fig 11")
+		}
+	}
+}
+
+// BenchmarkHygieneLint runs the §8 audit.
+func BenchmarkHygieneLint(b *testing.B) {
+	f := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := histanalysis.Lint(f.wl)
+		if rep.DuplicateLines != histgen.DuplicateFilters {
+			b.Fatal("bad lint")
+		}
+	}
+}
+
+// ---- engine micro-benchmarks and ablations ---------------------------------
+
+// benchRequests is a mixed workload over the ~31k-filter engine.
+func benchRequests() []*engine.Request {
+	return []*engine.Request{
+		{URL: "http://stats.g.doubleclick.net/r/collect", Type: filter.TypeImage, DocumentHost: "toyota.com"},
+		{URL: "http://static.adzerk.net/reddit/ads.html", Type: filter.TypeSubdocument, DocumentHost: "reddit.com"},
+		{URL: "http://fonts.gstatic.com/s/font.woff", Type: filter.TypeOther, DocumentHost: "nytimes.com"},
+		{URL: "http://cdn.unrelated.example/app.js", Type: filter.TypeScript, DocumentHost: "example.com"},
+		{URL: "http://www.googleadservices.com/pagead/conversion.js", Type: filter.TypeScript, DocumentHost: "walmart.com"},
+		{URL: "http://images.example.org/photos/cat.jpg", Type: filter.TypeImage, DocumentHost: "example.org"},
+		{URL: "http://serve.popads.net/cpop.js", Type: filter.TypeScript, DocumentHost: "games77.com"},
+		{URL: "http://self.example.net/style.css", Type: filter.TypeStylesheet, DocumentHost: "self.example.net"},
+	}
+}
+
+// BenchmarkEngineMatchRequest is the hot path: one decision against the
+// full EasyList+whitelist rule set, keyword-indexed.
+func BenchmarkEngineMatchRequest(b *testing.B) {
+	f := fixtures(b)
+	reqs := benchRequests()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.eng.MatchRequest(reqs[i%len(reqs)])
+	}
+}
+
+// BenchmarkAblationKeywordIndexOn/Off quantify what the keyword index buys
+// over scanning all ~31k filters per request.
+func BenchmarkAblationKeywordIndexOn(b *testing.B) {
+	f := fixtures(b)
+	reqs := benchRequests()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.eng.MatchRequest(reqs[i%len(reqs)])
+	}
+}
+
+func BenchmarkAblationKeywordIndexOff(b *testing.B) {
+	f := fixtures(b)
+	reqs := benchRequests()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.eng.MatchRequestLinear(reqs[i%len(reqs)])
+	}
+}
+
+// BenchmarkAblationInstrumentationOn/Off compare the survey's
+// record-everything matching with the production short-circuit.
+func BenchmarkAblationInstrumentationOn(b *testing.B) {
+	BenchmarkAblationKeywordIndexOn(b)
+}
+
+func BenchmarkAblationInstrumentationOff(b *testing.B) {
+	f := fixtures(b)
+	reqs := benchRequests()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.eng.MatchRequestFast(reqs[i%len(reqs)])
+	}
+}
+
+// Pattern-vs-regexp ablation: the custom segment matcher against a
+// regexp-translated filter corpus.
+
+var patternCorpus = []string{
+	"||adzerk.net^$third-party",
+	"||stats.g.doubleclick.net^",
+	"||google.com/ads/search/module/ads/*/search.js",
+	"/ad-frame/",
+	"|http://exact.example/ad.jpg|",
+	"||example.com/ad.jpg|",
+}
+
+var patternURLs = []string{
+	"http://static.adzerk.net/reddit/ads.html",
+	"http://stats.g.doubleclick.net/r/collect",
+	"http://google.com/ads/search/module/ads/v3/search.js",
+	"http://x.example/a/ad-frame/1.gif",
+	"http://exact.example/ad.jpg",
+	"http://good.example.com/ad.jpg",
+	"http://nothing.example/index.html",
+}
+
+// regexpTranslate converts an Adblock pattern to the regexp Adblock Plus
+// itself would fall back to — the ablation baseline.
+func regexpTranslate(line string) *regexp.Regexp {
+	f := filter.Parse(line)
+	expr := regexp.QuoteMeta(f.Pattern)
+	expr = strings.ReplaceAll(expr, `\*`, ".*")
+	expr = strings.ReplaceAll(expr, `\^`, `(?:[^a-zA-Z0-9_\-.%]|$)`)
+	switch {
+	case f.AnchorDomain:
+		expr = `^[a-z-]+://([^/?#]*\.)?` + expr
+	case f.AnchorStart:
+		expr = "^" + expr
+	}
+	if f.AnchorEnd {
+		expr += "$"
+	}
+	return regexp.MustCompile("(?i)" + expr)
+}
+
+func BenchmarkAblationPatternCompiled(b *testing.B) {
+	eng, err := engine.New(engine.NamedList{Name: "l",
+		List: filter.ParseListString("l", strings.Join(patternCorpus, "\n"))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		url := patternURLs[i%len(patternURLs)]
+		eng.MatchRequestLinear(&engine.Request{URL: url, Type: filter.TypeImage, DocumentHost: "x.com"})
+	}
+}
+
+func BenchmarkAblationPatternRegexp(b *testing.B) {
+	res := make([]*regexp.Regexp, len(patternCorpus))
+	for i, line := range patternCorpus {
+		res[i] = regexpTranslate(line)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		url := patternURLs[i%len(patternURLs)]
+		for _, re := range res {
+			if re.MatchString(url) {
+				break
+			}
+		}
+	}
+}
+
+// Element-hiding ablation: id/class candidate index vs evaluating every
+// hiding selector against the document.
+func benchDoc(b *testing.B) *htmldom.Node {
+	b.Helper()
+	u := alexa.NewUniverse(42, 1000000)
+	c := webgen.New(42, u, nil)
+	return htmldom.Parse(c.Page("shop1234.com", webgen.PageOptions{}))
+}
+
+func BenchmarkAblationElemhideIndexOn(b *testing.B) {
+	f := fixtures(b)
+	doc := benchDoc(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.eng.HideElements(doc, "http://shop1234.com/", "shop1234.com")
+	}
+}
+
+func BenchmarkAblationElemhideIndexOff(b *testing.B) {
+	f := fixtures(b)
+	doc := benchDoc(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.eng.HideElementsLinear(doc, "http://shop1234.com/", "shop1234.com")
+	}
+}
+
+// History ablation: multiset snapshot diffing vs fully parsing both
+// snapshots to compare filter sets.
+func BenchmarkAblationHistoryDiff(b *testing.B) {
+	f := fixtures(b)
+	old := f.history.Repo.Rev(500).Content
+	new_ := f.history.Repo.Rev(501).Content
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vcs.DiffContents(old, new_)
+	}
+}
+
+func BenchmarkAblationHistoryReparse(b *testing.B) {
+	f := fixtures(b)
+	old := f.history.Repo.Rev(500).Content
+	new_ := f.history.Repo.Rev(501).Content
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := filter.ParseListString("a", old)
+		bb := filter.ParseListString("b", new_)
+		if len(a.Entries) == 0 || len(bb.Entries) == 0 {
+			b.Fatal("parse failed")
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ---------------------------------------------
+
+// BenchmarkFilterParse parses a representative whitelist line.
+func BenchmarkFilterParse(b *testing.B) {
+	const line = "@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com"
+	for i := 0; i < b.N; i++ {
+		if f := filter.Parse(line); f.Kind != filter.KindRequestException {
+			b.Fatal("bad parse")
+		}
+	}
+}
+
+// BenchmarkWhitelistParse parses the full Rev-988 snapshot.
+func BenchmarkWhitelistParse(b *testing.B) {
+	f := fixtures(b)
+	content := f.history.Repo.Tip().Content
+	b.SetBytes(int64(len(content)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := filter.ParseListString("wl", content)
+		if len(l.Active()) == 0 {
+			b.Fatal("bad list")
+		}
+	}
+}
+
+// BenchmarkHTMLParse parses a generated landing page.
+func BenchmarkHTMLParse(b *testing.B) {
+	u := alexa.NewUniverse(42, 1000000)
+	c := webgen.New(42, u, nil)
+	page := c.Page("news77.com", webgen.PageOptions{})
+	b.SetBytes(int64(len(page)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		htmldom.Parse(page)
+	}
+}
+
+// BenchmarkHistoryGenerate synthesizes the full 989-revision repository.
+func BenchmarkHistoryGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := histgen.Generate(histgen.Config{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSitekeySignVerify measures one sign+verify round with a 512-bit
+// key.
+func BenchmarkSitekeySignVerify(b *testing.B) {
+	key, err := sitekey.GenerateKey(xrand.New(9), 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig, err := key.Sign("/x", "a.com", "ua")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sitekey.Verify(&key.PublicKey, sig, "/x", "a.com", "ua"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSurveyVisit crawls one landing page end to end (HTTP fetch,
+// DOM parse, full engine evaluation).
+func BenchmarkSurveyVisit(b *testing.B) {
+	f := fixtures(b)
+	// Reuse the survey's infrastructure through a fresh small run per
+	// bench process; visiting through the public API means standing up a
+	// tiny survey.
+	s, err := sitesurvey.Run(sitesurvey.Config{
+		Seed: 43, Universe: f.history.Universe,
+		Whitelist: f.wl, EasyList: f.easy,
+		TopN: 1, StratumSize: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TopSites(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Literal-regex ablation: slash-delimited filters without metacharacters
+// compiled as substring patterns vs regexp machines.
+func BenchmarkAblationLiteralRegexOn(b *testing.B) {
+	eng, err := engine.New(engine.NamedList{Name: "l",
+		List: filter.ParseListString("l", "/ad-frame/\n/sponsor-box/\n/promo-unit/")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &engine.Request{URL: "http://x.example/content/article-17/page.html",
+		Type: filter.TypeImage, DocumentHost: "x.com"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.MatchRequestLinear(req)
+	}
+}
+
+func BenchmarkAblationLiteralRegexOff(b *testing.B) {
+	// Force the regexp path with one genuine metacharacter per filter.
+	eng, err := engine.New(engine.NamedList{Name: "l",
+		List: filter.ParseListString("l", "/ad-frame./\n/sponsor-box./\n/promo-unit./")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &engine.Request{URL: "http://x.example/content/article-17/page.html",
+		Type: filter.TypeImage, DocumentHost: "x.com"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.MatchRequestLinear(req)
+	}
+}

@@ -1,0 +1,100 @@
+// Command aa-export writes the study's synthesized datasets to disk in
+// their native formats, for use outside this repository: the Acceptable
+// Ads whitelist at any revision (Adblock Plus filter-list text with
+// subscription metadata), the EasyList-scale blocking list, and the .com
+// zone file of the parked-domain scan.
+//
+// Usage:
+//
+//	aa-export [-seed N] [-rev 988] [-scale 1000] -dir out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"acceptableads/internal/core"
+	"acceptableads/internal/dnszone"
+	"acceptableads/internal/histgen"
+	"acceptableads/internal/subscription"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aa-export: ")
+	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
+	rev := flag.Int("rev", histgen.TotalRevisions-1, "whitelist revision to export")
+	scale := flag.Int("scale", 1000, "zone scale divisor")
+	dir := flag.String("dir", "", "output directory (required)")
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("usage: aa-export -dir out/ [-seed N] [-rev 988] [-scale 1000]")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	study := core.NewStudy(*seed)
+	h, err := study.History()
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := h.Repo.Rev(*rev)
+	if r == nil {
+		log.Fatalf("revision %d out of range [0,%d]", *rev, h.Repo.Len()-1)
+	}
+
+	write := func(name, content string) {
+		path := filepath.Join(*dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+	}
+
+	write("exceptionrules.txt", subscription.WithMetadata(subscription.Metadata{
+		Title:    "Allow non-intrusive advertising (synthetic reproduction)",
+		Version:  r.Date.Format("200601021504"),
+		Expires:  24 * time.Hour,
+		Homepage: "https://easylist-downloads.adblockplus.org/",
+	}, r.Content))
+
+	write("easylist.txt", subscription.WithMetadata(subscription.Metadata{
+		Title:   "EasyList (synthetic reproduction)",
+		Expires: 4 * 24 * time.Hour,
+	}, study.EasyList().String()))
+
+	// The scaled .com zone with the parked domains of Table 3.
+	plan := make([]dnszone.ServiceDomains, 0, len(histgen.SitekeyServices))
+	for _, svc := range histgen.SitekeyServices {
+		plan = append(plan, dnszone.ServiceDomains{
+			Service:     svc.Name,
+			NameServers: svc.NameServers,
+			Count:       dnszone.ScaledCount(svc.ComDomains, *scale),
+			FullCount:   svc.ComDomains,
+		})
+	}
+	zone := dnszone.GenerateCom(*seed, plan)
+	zf, err := os.Create(filepath.Join(*dir, "com.zone"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := zone.Write(zf); err != nil {
+		log.Fatal(err)
+	}
+	if err := zf.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d records)\n", zf.Name(), len(zone.Records))
+
+	// Sitekeys: the public halves, as they appear in filters.
+	var keys string
+	for _, svc := range histgen.SitekeyServices {
+		keys += svc.Name + "\t" + h.ServiceKeyB64[svc.Name] + "\n"
+	}
+	write("sitekeys.tsv", keys)
+}

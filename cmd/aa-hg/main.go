@@ -1,0 +1,152 @@
+// Command aa-hg inspects the synthesized exceptionrules repository the way
+// the paper's authors worked with Eyeo's Mercurial repository: commit log,
+// snapshot checkout, revision diffs, and filter "annotate" (which revision
+// introduced each surviving filter, and under what commit message).
+//
+// Usage:
+//
+//	aa-hg [-seed N] log [-limit 20]
+//	aa-hg [-seed N] cat [-rev 988]
+//	aa-hg [-seed N] diff -rev N
+//	aa-hg [-seed N] annotate [-grep substring] [-limit 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"acceptableads/internal/core"
+	"acceptableads/internal/histanalysis"
+	"acceptableads/internal/report"
+	"acceptableads/internal/vcs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aa-hg: ")
+	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: aa-hg [-seed N] log|cat|diff|annotate [options]")
+	}
+	study := core.NewStudy(*seed)
+	h, err := study.History()
+	if err != nil {
+		log.Fatal(err)
+	}
+	repo := h.Repo
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	switch cmd {
+	case "log":
+		fs := flag.NewFlagSet("log", flag.ExitOnError)
+		limit := fs.Int("limit", 20, "revisions to show (from the tip)")
+		fs.Parse(args) //nolint:errcheck
+		cmdLog(repo, *limit)
+	case "cat":
+		fs := flag.NewFlagSet("cat", flag.ExitOnError)
+		rev := fs.Int("rev", repo.Len()-1, "revision to print")
+		fs.Parse(args) //nolint:errcheck
+		r := repo.Rev(*rev)
+		if r == nil {
+			log.Fatalf("revision %d out of range [0,%d]", *rev, repo.Len()-1)
+		}
+		fmt.Print(r.Content)
+	case "diff":
+		fs := flag.NewFlagSet("diff", flag.ExitOnError)
+		rev := fs.Int("rev", repo.Len()-1, "revision to diff against its parent")
+		fs.Parse(args) //nolint:errcheck
+		cmdDiff(repo, *rev)
+	case "annotate":
+		fs := flag.NewFlagSet("annotate", flag.ExitOnError)
+		grep := fs.String("grep", "", "only lines containing this substring")
+		limit := fs.Int("limit", 20, "entries to show (0 = all)")
+		fs.Parse(args) //nolint:errcheck
+		cmdAnnotate(repo, *grep, *limit)
+	default:
+		log.Fatalf("unknown subcommand %q", cmd)
+	}
+}
+
+func cmdLog(repo *vcs.Repo, limit int) {
+	start := repo.Len() - limit
+	if limit <= 0 || start < 0 {
+		start = 0
+	}
+	prev := ""
+	if start > 0 {
+		prev = repo.Rev(start - 1).Content
+	}
+	var rows [][]string
+	for i := start; i < repo.Len(); i++ {
+		r := repo.Rev(i)
+		d := vcs.DiffContents(prev, r.Content)
+		rows = append(rows, []string{
+			fmt.Sprint(r.ID), r.Date.Format("2006-01-02"),
+			fmt.Sprintf("+%d/-%d", len(d.Added), len(d.Removed)),
+			r.Message,
+		})
+		prev = r.Content
+	}
+	// Newest first, like hg log.
+	for i, j := 0, len(rows)-1; i < j; i, j = i+1, j-1 {
+		rows[i], rows[j] = rows[j], rows[i]
+	}
+	report.Table(os.Stdout, []string{"Rev", "Date", "Δ filters", "Message"}, rows)
+}
+
+func cmdDiff(repo *vcs.Repo, rev int) {
+	r := repo.Rev(rev)
+	if r == nil {
+		log.Fatalf("revision %d out of range [0,%d]", rev, repo.Len()-1)
+	}
+	prev := ""
+	if p := repo.Rev(rev - 1); p != nil {
+		prev = p.Content
+	}
+	d := vcs.DiffContents(prev, r.Content)
+	fmt.Printf("rev %d (%s): %s\n", r.ID, r.Date.Format("2006-01-02"), r.Message)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Added)
+	for _, line := range d.Removed {
+		fmt.Println("-" + line)
+	}
+	for _, line := range d.Added {
+		fmt.Println("+" + line)
+	}
+}
+
+func cmdAnnotate(repo *vcs.Repo, grep string, limit int) {
+	prov := histanalysis.FilterProvenance(repo)
+	entries := make([]histanalysis.Provenance, 0, len(prov))
+	for _, p := range prov {
+		if grep != "" && !strings.Contains(p.Line, grep) {
+			continue
+		}
+		entries = append(entries, p)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Since != entries[j].Since {
+			return entries[i].Since < entries[j].Since
+		}
+		return entries[i].Line < entries[j].Line
+	})
+	if limit > 0 && len(entries) > limit {
+		entries = entries[:limit]
+	}
+	var rows [][]string
+	for _, p := range entries {
+		line := p.Line
+		if len(line) > 60 {
+			line = line[:57] + "..."
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(p.Since), p.Date.Format("2006-01-02"), p.Message, line,
+		})
+	}
+	report.Table(os.Stdout, []string{"Since", "Date", "Commit", "Filter"}, rows)
+}

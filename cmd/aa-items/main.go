@@ -1,0 +1,105 @@
+// Command aa-items is the "Blockable Items" view §8 recommends every
+// Adblock Plus version should have: it loads a page of the synthetic web
+// through the instrumented browser and lists every page object with the
+// filter that decided its fate and the list the filter came from — so a
+// user can see not just what was blocked, but what the Acceptable Ads
+// whitelist allowed, and why.
+//
+// Usage:
+//
+//	aa-items [-seed N] domain [domain...]
+//	aa-items toyota.com reddit.com youtube.com
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"acceptableads/internal/browser"
+	"acceptableads/internal/core"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/report"
+	"acceptableads/internal/webgen"
+	"acceptableads/internal/webserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aa-items: ")
+	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
+	flag.Parse()
+	domains := flag.Args()
+	if len(domains) == 0 {
+		domains = []string{"toyota.com", "reddit.com", "youtube.com"}
+	}
+
+	study := core.NewStudy(*seed)
+	h, err := study.History()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := study.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := webserver.New(webgen.New(study.Seed, h.Universe, h.FinalList()))
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	b, err := browser.New(srv.Client(), eng, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.FetchResources = false
+
+	out := os.Stdout
+	for _, domain := range domains {
+		v, err := b.Visit("http://" + domain + "/")
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Section(out, "Blockable items on "+domain)
+		if v.Flags.DocumentAllowed {
+			fmt.Fprintf(out, "PAGE-LEVEL ALLOWANCE: %s [%s]\n",
+				v.Flags.DocumentBy.Filter.Raw, v.Flags.DocumentBy.List)
+		}
+		if v.Flags.ElemHideDisabled {
+			fmt.Fprintf(out, "ELEMENT HIDING DISABLED: %s [%s]\n",
+				v.Flags.ElemHideBy.Filter.Raw, v.Flags.ElemHideBy.List)
+		}
+		var rows [][]string
+		for _, a := range v.Activations {
+			kind := "request"
+			target := a.URL
+			switch a.Kind {
+			case engine.ActElement:
+				kind = "element"
+				target = "(page element)"
+			case engine.ActDocument:
+				kind = "document"
+			}
+			verdict := "allowed"
+			if !a.Filter.IsException() {
+				verdict = "blocked"
+			}
+			if len(target) > 54 {
+				target = target[:51] + "..."
+			}
+			flt := a.Filter.Raw
+			if len(flt) > 50 {
+				flt = flt[:47] + "..."
+			}
+			rows = append(rows, []string{kind, verdict, a.List, target, flt})
+		}
+		if len(rows) == 0 {
+			fmt.Fprintln(out, "(no filters activated — the paper's 'silent' population)")
+			continue
+		}
+		report.Table(out, []string{"Kind", "Verdict", "List", "Target", "Filter"}, rows)
+		fmt.Fprintf(out, "\n%d requests (%d blocked), %d element decisions\n",
+			v.Requests, v.BlockedRequests, len(v.Hidden))
+	}
+}

@@ -1,0 +1,130 @@
+// Command aa-lint audits the whitelist the way §7 and §8 do: it detects
+// the undocumented A-filter groups (Figure 11) across the full history and
+// reports the hygiene defects of the final snapshot (duplicate filters,
+// malformed truncated filters).
+//
+// Usage:
+//
+//	aa-lint [-seed N] [-afilters] [-hygiene]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"acceptableads/internal/core"
+	"acceptableads/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aa-lint: ")
+	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
+	afilters := flag.Bool("afilters", false, "print the A-filter report only")
+	hygiene := flag.Bool("hygiene", false, "print the hygiene report only")
+	transparencyFlag := flag.Bool("transparency", false, "print the §8 transparency scorecard only")
+	flag.Parse()
+	all := !*afilters && !*hygiene && !*transparencyFlag
+
+	study := core.NewStudy(*seed)
+	out := os.Stdout
+
+	if *afilters || all {
+		groups, hist, err := study.AFilters()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Section(out, "Figure 11 / §7: Undocumented A-filter groups")
+		fmt.Fprintf(out, "groups ever added:   %d (first: A1/A2 at Rev %d, last: A61 at Rev %d)\n",
+			len(hist.EverSeen), hist.EverSeen["A1"], hist.EverSeen["A61"])
+		removed := make([]string, 0, len(hist.Removed))
+		for m := range hist.Removed {
+			removed = append(removed, m)
+		}
+		sort.Strings(removed)
+		fmt.Fprintf(out, "groups removed:      %d (%s); A7 re-added as A28 at Rev %d\n",
+			len(hist.Removed), strings.Join(removed, ", "), hist.EverSeen["A28"])
+		fmt.Fprintf(out, "undisclosed commits: %d (\"Updated whitelists\" / \"Added new whitelists\")\n\n",
+			hist.UndisclosedCommits)
+
+		fmt.Fprintln(out, "Named groups from Figure 11:")
+		want := map[string]bool{"A6": true, "A29": true, "A46": true, "A50": true, "A59": true}
+		for _, g := range groups {
+			if !want[g.Marker] {
+				continue
+			}
+			fmt.Fprintf(out, "\n! %s\n", g.Marker)
+			for _, f := range g.Filters {
+				line := f
+				if len(line) > 78 {
+					line = line[:75] + "..."
+				}
+				fmt.Fprintf(out, "  %s\n", line)
+			}
+			if len(g.Domains) > 0 {
+				preview := g.Domains
+				if len(preview) > 4 {
+					preview = preview[:4]
+				}
+				fmt.Fprintf(out, "  → first-party domains (%d): %s\n",
+					len(g.Domains), strings.Join(preview, ", "))
+			} else {
+				fmt.Fprintln(out, "  → UNRESTRICTED: activates on nearly all domains")
+			}
+		}
+	}
+
+	if *hygiene || all {
+		rep, err := study.Hygiene()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Section(out, "§8: Whitelist hygiene")
+		fmt.Fprintf(out, "duplicate filter lines: %d surplus copies across %d texts (paper: 35)\n",
+			rep.DuplicateLines, len(rep.Duplicates))
+		fmt.Fprintf(out, "malformed filters:      %d (truncated at 4,095 chars in Rev 326; paper: 8)\n\n",
+			len(rep.Malformed))
+		for _, m := range rep.Malformed {
+			fmt.Fprintf(out, "  %s\n", m)
+		}
+	}
+
+	if *transparencyFlag || all {
+		general, shadowed, rep, err := study.Transparency()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Section(out, "§8: Transparency scorecard")
+		fmt.Fprintf(out, "documented filters:    %s (%s of the list has a forum link)\n",
+			report.Count(rep.DocumentedFilters), report.Pct(rep.DocumentedShare()))
+		fmt.Fprintf(out, "undocumented filters:  %s\n", report.Count(rep.UndocumentedFilters))
+		fmt.Fprintf(out, "boilerplate commits:   %d of %d (\"Updated whitelists\" etc.)\n",
+			rep.BoilerplateCommits, rep.TotalCommits)
+		fmt.Fprintf(out, "overly general:        %d filters whose scope users cannot determine\n",
+			len(general))
+		fmt.Fprintf(out, "redundant (shadowed):  %d filters covered by a broader exception\n\n",
+			len(shadowed))
+		shown := 0
+		for _, s := range shadowed {
+			if !strings.Contains(s.Narrow, "adsense") {
+				continue
+			}
+			kind := "partially"
+			if s.Full {
+				kind = "fully"
+			}
+			fmt.Fprintf(out, "  %s shadowed:\n    narrow: %s\n    broad:  %s\n",
+				kind, s.Narrow, s.Broad)
+			if shown++; shown == 4 {
+				break
+			}
+		}
+		if shown > 0 {
+			fmt.Fprintln(out, "\n(the paper's exact case: per-domain AdSense-for-search filters made obsolete by A59)")
+		}
+	}
+}

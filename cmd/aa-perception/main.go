@@ -1,0 +1,72 @@
+// Command aa-perception runs the §6 user-perception survey simulation and
+// prints Figure 9: per-ad Likert distributions for the three statements
+// and the category mean/variance table of Figure 9(d).
+//
+// Usage:
+//
+//	aa-perception [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"acceptableads/internal/core"
+	"acceptableads/internal/mturk"
+	"acceptableads/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aa-perception: ")
+	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
+	flag.Parse()
+	out := os.Stdout
+
+	res := core.NewStudy(*seed).Perception()
+
+	report.Section(out, "§6 respondent pool")
+	fmt.Fprintf(out, "qualified workers: %d (screened %d; ≥%d approved HITs, ≥%.0f%% approval)\n",
+		len(res.Workers), res.Screened, mturk.MinApprovedHITs, mturk.MinApprovalRate*100)
+	fmt.Fprintf(out, "used ad blocking before: %s\n", report.Pct(res.AdblockShare()))
+	shares := res.BrowserShares()
+	fmt.Fprintf(out, "browsers: Chrome %s, Firefox %s, Safari %s, Opera %s, IE %s\n",
+		report.Pct(shares[mturk.Chrome]), report.Pct(shares[mturk.Firefox]),
+		report.Pct(shares[mturk.Safari]), report.Pct(shares[mturk.Opera]),
+		report.Pct(shares[mturk.InternetExplorer]))
+
+	for s := mturk.Attention; s <= mturk.Obscuring; s++ {
+		report.Section(out, fmt.Sprintf("Figure 9(%c): S%d — %q",
+			'a'+rune(s), int(s)+1, s.Text()))
+		fmt.Fprintln(out, "▁ strongly disagree … █ strongly agree")
+		var cells [][]string
+		for _, ar := range res.Ads {
+			d := ar.Dist[int(s)]
+			cells = append(cells, []string{
+				ar.Ad.ID,
+				report.Likert(d.Shares(), 30),
+				fmt.Sprintf("%+.2f", d.Mean()),
+				report.Pct(d.FractionAgree()),
+			})
+		}
+		report.Table(out, []string{"Advertisement", "Distribution", "Mean", "Agree"}, cells)
+	}
+
+	report.Section(out, "Figure 9(d): Mean and variance of the survey responses")
+	var cells [][]string
+	for _, cs := range res.Fig9dSummary() {
+		paper := mturk.Fig9d[cs.Category]
+		cells = append(cells, []string{cs.Category.String(), "", "", ""})
+		for s := 0; s < 3; s++ {
+			cells = append(cells, []string{
+				fmt.Sprintf("  S%d µ / VAR(X)", s+1),
+				fmt.Sprintf("%+.3f / %.3f", cs.Mean[s], cs.Var[s]),
+				fmt.Sprintf("%+.3f / %.3f", paper.Mean[s], paper.Var[s]),
+				"",
+			})
+		}
+	}
+	report.Table(out, []string{"Category / statement", "Measured", "Paper", ""}, cells)
+}

@@ -1,0 +1,84 @@
+// Command aa-scope analyzes the Rev-988 whitelist's scope: the filter-type
+// hierarchy of Figure 4 and the explicitly listed domains per Alexa
+// partition of Table 2.
+//
+// Usage:
+//
+//	aa-scope [-seed N] [-table2] [-fig4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"acceptableads/internal/core"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aa-scope: ")
+	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
+	table2 := flag.Bool("table2", false, "print Table 2 only")
+	fig4 := flag.Bool("fig4", false, "print Figure 4 only")
+	flag.Parse()
+	all := !*table2 && !*fig4
+
+	study := core.NewStudy(*seed)
+	out := os.Stdout
+
+	if *fig4 || all {
+		scopes, err := study.Scopes()
+		if err != nil {
+			log.Fatal(err)
+		}
+		wl, err := study.Whitelist()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Section(out, "Figure 4: Hierarchy of filter types in the whitelist")
+		total := scopes.Total()
+		fmt.Fprintf(out, "Whitelist filters (Rev 988): %s active", report.Count(total))
+		fmt.Fprintf(out, " + %d malformed = %s lines\n\n",
+			len(wl.Invalid()), report.Count(total+len(wl.Invalid())))
+		rows := [][]string{
+			{"restricted", report.Count(scopes.Restricted),
+				report.Pct(float64(scopes.Restricted) / float64(total)),
+				"explicit first-party domain list"},
+			{"pattern-scoped", report.Count(scopes.PatternScoped),
+				report.Pct(float64(scopes.PatternScoped) / float64(total)),
+				"publisher section pinned in URL pattern"},
+			{"unrestricted", report.Count(scopes.Unrestricted),
+				report.Pct(float64(scopes.Unrestricted) / float64(total)),
+				"can activate on any first-party domain"},
+			{"sitekey", report.Count(scopes.Sitekey),
+				report.Pct(float64(scopes.Sitekey) / float64(total)),
+				"any domain presenting a valid RSA signature"},
+		}
+		report.Table(out, []string{"Scope", "Filters", "Share", "Activation condition"}, rows)
+
+		fqdns := filter.ExplicitDomains(wl)
+		fmt.Fprintf(out, "\nExplicitly listed hosts: %s FQDNs folding to %s registrable domains\n",
+			report.Count(len(fqdns)), report.Count(len(filter.RegistrableDomains(fqdns))))
+	}
+
+	if *table2 || all {
+		rows, err := study.Table2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Section(out, "Table 2: Domains explicitly included in the whitelist")
+		var cells [][]string
+		for _, r := range rows {
+			share := "—"
+			if r.Max > 0 {
+				share = report.Pct(r.Share)
+			}
+			cells = append(cells, []string{r.Name, report.Count(r.Domains), share})
+		}
+		report.Table(out, []string{"Alexa Partition", "Domains", "Share of partition"}, cells)
+	}
+}

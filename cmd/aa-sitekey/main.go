@@ -1,0 +1,80 @@
+// Command aa-sitekey demonstrates the sitekey mechanism and the Figure 5
+// exploit: generate a key, sign a request, verify it, then factor a
+// demo-scale modulus and show a hostile page bypassing all blocking.
+//
+// Usage:
+//
+//	aa-sitekey [-seed N] [-exploit] [-bits 64] [-demo]
+//
+// The paper factored deployed 512-bit keys with CADO-NFS in about a week
+// on an 8-machine cluster; -bits controls the demo modulus (64 runs in
+// milliseconds, 96 in seconds — the pipeline is identical).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"acceptableads/internal/core"
+	"acceptableads/internal/report"
+	"acceptableads/internal/sitekey"
+	"acceptableads/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aa-sitekey: ")
+	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
+	exploit := flag.Bool("exploit", false, "run the factoring exploit only")
+	demo := flag.Bool("demo", false, "run the sign/verify demo only")
+	bits := flag.Int("bits", 64, "exploit modulus size in bits")
+	flag.Parse()
+	all := !*exploit && !*demo
+	out := os.Stdout
+
+	if *demo || all {
+		report.Section(out, "Sitekey sign/verify (the §4.2.3 mechanism)")
+		key, err := sitekey.GenerateKey(xrand.New(*seed), 512)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub := key.PublicBase64()
+		fmt.Fprintf(out, "512-bit sitekey (as in every deployed filter):\n  $sitekey=%.28s...%s\n", pub, pub[len(pub)-8:])
+		uri, host, ua := "/landing?from=scan", "reddit.cm", "Mozilla/5.0 (X11; Linux x86_64)"
+		sig, err := key.Sign(uri, host, ua)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "signed URI\\0host\\0UA for %s → X-Adblock-key: %.24s...\n", host, sitekey.Header(pub, sig))
+		if _, err := sitekey.VerifyHeader(sitekey.Header(pub, sig), uri, host, ua); err != nil {
+			log.Fatalf("verification failed: %v", err)
+		}
+		fmt.Fprintln(out, "verification: OK")
+		if _, err := sitekey.VerifyHeader(sitekey.Header(pub, sig), uri, "evil.example", ua); err == nil {
+			log.Fatal("cross-host signature verified; should not happen")
+		}
+		fmt.Fprintln(out, "cross-host verification: rejected (signature binds the hostname)")
+	}
+
+	if *exploit || all {
+		report.Section(out, "Figure 5: Exploiting sitekeys")
+		study := core.NewStudy(*seed)
+		start := time.Now()
+		res, err := study.SitekeyExploit(*bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Fprintf(out, "factored a %d-bit sitekey modulus in %v\n", res.KeyBits, elapsed.Round(time.Millisecond))
+		fmt.Fprintf(out, "(the paper: 512-bit keys, ~1 week each on an 8-node CADO-NFS cluster)\n\n")
+		rows := [][]string{
+			{"without sitekey", fmt.Sprint(res.BlockedWithout), "intrusive ad blocked by EasyList"},
+			{"with forged sitekey", fmt.Sprint(res.BlockedWith), "whole page allowed; blocking bypassed"},
+		}
+		report.Table(out, []string{"Configuration", "Blocked requests", "Outcome"}, rows)
+		fmt.Fprintf(out, "\nforged domain %s now shows any advertising it likes under the Acceptable Ads program\n", res.ForgedDomain)
+	}
+}

@@ -1,0 +1,176 @@
+// Command aa-survey runs the §5 instrumented site survey over the live
+// synthetic web and regenerates its artifacts: the §5.1 summary, Table 4
+// (most common whitelist filters), Figure 6 (top sites with and without
+// the whitelist), Figure 7 (match ECDFs), and Figure 8 (per-stratum filter
+// frequencies).
+//
+// Usage:
+//
+//	aa-survey [-seed N] [-top 5000] [-stratum 1000] \
+//	          [-summary] [-table4] [-fig6] [-fig7] [-fig8]
+//
+// With no selection flags, everything prints. The full crawl visits 8,000
+// landing pages and takes under a minute.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"acceptableads/internal/core"
+	"acceptableads/internal/report"
+	"acceptableads/internal/sitesurvey"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aa-survey: ")
+	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
+	top := flag.Int("top", 5000, "head-group size")
+	stratum := flag.Int("stratum", 1000, "per-stratum sample size")
+	workers := flag.Int("workers", 0, "crawl parallelism (0 = 8)")
+	rev := flag.Int("rev", -1, "survey a historical whitelist revision against the 2015 web")
+	jsonOut := flag.String("json", "", "also write the per-site results as JSON to this file")
+	summary := flag.Bool("summary", false, "print the §5.1 summary only")
+	table4 := flag.Bool("table4", false, "print Table 4 only")
+	fig6 := flag.Bool("fig6", false, "print Figure 6 only")
+	fig7 := flag.Bool("fig7", false, "print Figure 7 only")
+	fig8 := flag.Bool("fig8", false, "print Figure 8 only")
+	flag.Parse()
+	all := !*summary && !*table4 && !*fig6 && !*fig7 && !*fig8
+
+	study := core.NewStudy(*seed)
+	out := os.Stdout
+
+	fmt.Fprintf(out, "crawling %d + 3×%d landing pages over live HTTP...\n", *top, *stratum)
+	var s *sitesurvey.Survey
+	var err error
+	if *rev >= 0 {
+		fmt.Fprintf(out, "engine whitelist pinned to historical Rev %d (web stays at Rev 988)\n", *rev)
+		s, err = study.RunSurveyAtRev(*rev, *top, *stratum)
+	} else {
+		s, err = study.RunSurveyWorkers(*top, *stratum, *workers)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(struct {
+			Summary sitesurvey.Summary
+			Top20   []sitesurvey.FilterCount
+			Results []sitesurvey.SiteResult
+		}{s.Summarize(), s.TopWhitelistFilters(20), s.Results}, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "wrote %s (%d bytes)\n", *jsonOut, len(data))
+	}
+
+	if *summary || all {
+		sum := s.Summarize()
+		report.Section(out, "§5.1 summary (top group)")
+		rows := [][]string{
+			{"Sites surveyed", report.Count(sum.Sites), ""},
+			{"Sites with ≥1 filter match", report.Count(sum.ActiveSites), "paper: 3,956"},
+			{"Sites with ≥1 whitelist match", report.Count(sum.WhitelistSites), "paper: 2,934"},
+			{"Whitelist trigger rate", report.Pct(sum.WhitelistRate), "paper: 59%"},
+			{"Mean distinct whitelist filters", fmt.Sprintf("%.1f", sum.MeanDistinctWL), "paper: 2.6"},
+			{"Share with ≥12 matches", report.Pct(sum.ShareAtLeast12WL), "paper: 5%"},
+			{"Busiest site", fmt.Sprintf("%s (%d/%d)", sum.MaxSite, sum.MaxTotal, sum.MaxDistinct),
+				"paper: toyota.com (83/8)"},
+		}
+		report.Table(out, []string{"Statistic", "Value", "Reference"}, rows)
+	}
+
+	if *table4 || all {
+		report.Section(out, "Table 4: Most common whitelist filters in the survey")
+		var cells [][]string
+		for i, row := range s.TopWhitelistFilters(20) {
+			cells = append(cells, []string{
+				fmt.Sprint(i + 1), report.Count(row.Domains), row.Filter,
+			})
+		}
+		report.Table(out, []string{"#", "Domains", "Filter"}, cells)
+	}
+
+	if *fig7 || all {
+		totalE, distinctE := s.ECDFs()
+		report.Section(out, "Figure 7: ECDF of whitelist matches per domain")
+		fmt.Fprintf(out, "Domains with ≥1 whitelist match: %s\n\n", report.Count(totalE.N()))
+		report.ECDFPlot(out, "Total matches per site:", totalE.Quantile)
+		fmt.Fprintln(out)
+		report.ECDFPlot(out, "Distinct matching filters per site:", distinctE.Quantile)
+	}
+
+	if *fig8 || all {
+		m := s.StrataFrequencies(20)
+		report.Section(out, "Figure 8: Filter matches per group ranking (top 20 filters)")
+		var cells [][]string
+		for i, f := range m.Filters {
+			src := "EasyList"
+			if m.Whitelist[i] {
+				src = "whitelist"
+			}
+			name := f
+			if len(name) > 48 {
+				name = name[:45] + "..."
+			}
+			cells = append(cells, []string{
+				name, src,
+				report.Pct(m.Freq[i][0]), report.Pct(m.Freq[i][1]),
+				report.Pct(m.Freq[i][2]), report.Pct(m.Freq[i][3]),
+			})
+		}
+		report.Table(out, []string{"Filter", "List",
+			sitesurvey.GroupNames[0], sitesurvey.GroupNames[1],
+			sitesurvey.GroupNames[2], sitesurvey.GroupNames[3]}, cells)
+
+		fmt.Fprintln(out, "\nWhitelist activity by site category (top group):")
+		var catCells [][]string
+		for _, cr := range s.CategorySkew() {
+			catCells = append(catCells, []string{
+				cr.Category.String(), report.Count(cr.Sites),
+				report.Pct(cr.WhitelistRate), fmt.Sprintf("%.1f", cr.MeanWLMatches),
+			})
+		}
+		report.Table(out, []string{"Category", "Sites", "WL trigger rate", "Mean WL matches"}, catCells)
+	}
+
+	if *fig6 || all {
+		rows, err := s.TopSites(50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Section(out, "Figure 6: Filter matches with and without the whitelist (top 50 sites)")
+		fmt.Fprintln(out, "█ whitelist matches  ░ EasyList matches; * marks explicitly whitelisted domains")
+		fmt.Fprintln(out)
+		maxTotal := 0.0
+		for _, r := range rows {
+			if t := float64(r.WLMatches + r.ELMatches); t > maxTotal {
+				maxTotal = t
+			}
+		}
+		var cells [][]string
+		for _, r := range rows {
+			name := r.Host
+			if r.Explicit {
+				name = "*" + name
+			}
+			cells = append(cells, []string{
+				name, fmt.Sprint(r.Rank),
+				fmt.Sprintf("%d+%d", r.WLMatches, r.ELMatches),
+				report.SplitBar(float64(r.WLMatches), float64(r.ELMatches), maxTotal, 30),
+				fmt.Sprint(r.ELOnlyMatches),
+			})
+		}
+		report.Table(out, []string{"Domain", "Rank", "WL+EL", "With whitelist", "EasyList only"}, cells)
+	}
+}

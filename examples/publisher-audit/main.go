@@ -1,0 +1,97 @@
+// publisher-audit shows how a publisher would use the library to audit
+// their own page: which ad resources and page elements survive an Adblock
+// Plus user running EasyList, and what changes once the publisher joins
+// the Acceptable Ads program — the decision the paper's §3.1 application
+// process is about.
+//
+//	go run ./examples/publisher-audit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/htmldom"
+)
+
+// publisherPage is the page under audit: a content site with a third-party
+// ad frame, a conversion pixel, and two first-party ad slots.
+const publisherPage = `<!DOCTYPE html>
+<html><head>
+  <title>cracked.com</title>
+  <script src="http://ad.doubleclick.net/gampad/ads.js"></script>
+  <script src="http://www.googleadservices.com/pagead/conversion.js"></script>
+</head><body>
+  <div id="content"><h1>Articles</h1></div>
+  <div class="topbar-ad">Top sponsor</div>
+  <div id="ad_main"><iframe src="http://static.adzerk.net/cracked/ads.html"></iframe></div>
+</body></html>`
+
+// acceptableAdsDeal is what Eyeo would add to the whitelist after the
+// §3.1 contact → application → agreement → inclusion process.
+const acceptableAdsDeal = `
+! https://adblockplus.org/forum/viewtopic.php?f=12&t=9001
+@@||googleadservices.com^$third-party,domain=cracked.com
+@@||adzerk.net/cracked/$subdocument,domain=cracked.com
+cracked.com#@##ad_main
+`
+
+func audit(eng *engine.Engine, label string) {
+	const host = "cracked.com"
+	doc := htmldom.Parse(publisherPage)
+
+	fmt.Printf("\n--- %s ---\n", label)
+	survived, blocked := 0, 0
+	for _, res := range htmldom.ExtractResources(doc, "http://"+host+"/") {
+		d := eng.MatchRequest(&engine.Request{
+			URL: res.URL, Type: res.Type, DocumentHost: host,
+		})
+		status := "loads"
+		if d.Verdict == engine.Blocked {
+			status = "BLOCKED"
+			blocked++
+		} else {
+			survived++
+		}
+		fmt.Printf("  %-7s %-60s\n", status, res.URL)
+	}
+	for _, m := range eng.HideElements(doc, "http://"+host+"/", host) {
+		status := "visible (exception)"
+		if m.Hidden() {
+			status = "HIDDEN"
+			blocked++
+		} else {
+			survived++
+		}
+		fmt.Printf("  %-7s element <%s id=%q class=%q> — %s\n",
+			"", m.Node.Tag, m.Node.ID(), m.Node.Classes(), status)
+	}
+	fmt.Printf("  => %d ad placements survive, %d lost\n", survived, blocked)
+}
+
+func main() {
+	log.SetFlags(0)
+	el := easylist.Generate(1, 5000)
+
+	before, err := engine.New(engine.NamedList{Name: "easylist", List: el})
+	if err != nil {
+		log.Fatal(err)
+	}
+	audit(before, "EasyList only (before joining Acceptable Ads)")
+
+	after, err := engine.New(
+		engine.NamedList{Name: "easylist", List: el},
+		engine.NamedList{Name: "exceptionrules",
+			List: filter.ParseListString("exceptionrules", acceptableAdsDeal)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	audit(after, "EasyList + Acceptable Ads whitelisting")
+
+	fmt.Println("\nNote: the doubleclick gampad call stays blocked — the deal only")
+	fmt.Println("covers the placements that meet the Acceptable Ads criteria.")
+}

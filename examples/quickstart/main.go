@@ -1,0 +1,63 @@
+// Quickstart: parse Adblock Plus filters, build an engine from EasyList
+// plus the Acceptable Ads whitelist, and watch the exception precedence
+// that the whole paper revolves around — the Reddit/Adzerk example of
+// Figures 1 and 2.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// EasyList blocks Adzerk everywhere; the Acceptable Ads whitelist
+	// excepts Reddit's placement (the exact filters from the paper).
+	easylist := filter.ParseListString("easylist", `
+||adzerk.net^$third-party
+###ad_main
+`)
+	whitelist := filter.ParseListString("exceptionrules", `
+! https://adblockplus.org/forum/viewtopic.php?f=12&t=7551
+@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com
+reddit.com#@##ad_main
+`)
+
+	// Inspect what we parsed.
+	for _, f := range whitelist.Active() {
+		fmt.Printf("parsed %-18s scope=%-12s %s\n",
+			f.Kind, filter.ClassifyScope(f), f.Raw)
+	}
+
+	eng, err := engine.New(
+		engine.NamedList{Name: "easylist", List: easylist},
+		engine.NamedList{Name: "exceptionrules", List: whitelist},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The ad frame request from Figure 1.
+	adURL := "http://static.adzerk.net/reddit/ads.html?sr=-reddit.com,loggedout"
+	for _, page := range []string{"www.reddit.com", "example.com"} {
+		d := eng.MatchRequest(&engine.Request{
+			URL:          adURL,
+			Type:         filter.TypeSubdocument,
+			DocumentHost: page,
+		})
+		fmt.Printf("\non %-16s the Adzerk frame is %s", page, d.Verdict)
+		if d.AllowedBy != nil {
+			fmt.Printf(" (exception from %s)", d.AllowedBy.List)
+		}
+		if d.Verdict == engine.Blocked && d.BlockedBy != nil {
+			fmt.Printf(" (blocked by %q)", d.BlockedBy.Filter.Raw)
+		}
+	}
+	fmt.Println()
+}

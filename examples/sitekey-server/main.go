@@ -1,0 +1,96 @@
+// sitekey-server demonstrates the sitekey protocol end to end over real
+// HTTP: a parking-style server signs every response with its RSA sitekey
+// (X-Adblock-key header and data-adblockkey attribute), and an Adblock
+// Plus client verifies the signature and grants the whole page a
+// $document allowance — the mechanism behind Table 3's 2.6 million parked
+// domains.
+//
+//	go run ./examples/sitekey-server
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+
+	"acceptableads/internal/browser"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/sitekey"
+	"acceptableads/internal/webserver"
+	"acceptableads/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The parking service's 512-bit key (every deployed sitekey was this
+	// size — see the Figure 5 exploit for why that matters).
+	key, err := sitekey.GenerateKey(xrand.New(2015), 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keyB64 := key.PublicBase64()
+	fmt.Printf("parking sitekey: %.32s...\n", keyB64)
+
+	// A server that signs URI\0host\0User-Agent per request.
+	srv := webserver.New(nil)
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	const domain = "reddit.cm" // the typo-squat from §4.2.3
+	srv.Handle(domain, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sig, err := key.Sign(r.URL.RequestURI(), domain, r.Header.Get("User-Agent"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		header := sitekey.Header(keyB64, sig)
+		w.Header().Set("X-Adblock-key", header)
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, `<html data-adblockkey=%q><body>
+<h1>%s</h1>
+<img src="http://ads.parking-network.example/banner.gif">
+<ul><li><a href="/c?kw=dating">Dating services</a></li></ul>
+</body></html>`, header, domain)
+	}))
+
+	// An Adblock Plus user whose whitelist carries the service's sitekey
+	// filter (verbatim Rev-988 syntax).
+	eng, err := engine.New(
+		engine.NamedList{Name: "easylist",
+			List: filter.ParseListString("easylist", "||parking-network.example^$third-party\n")},
+		engine.NamedList{Name: "exceptionrules",
+			List: filter.ParseListString("exceptionrules", "@@$sitekey="+keyB64+",document\n")},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := browser.New(srv.Client(), eng, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	v, err := b.Visit("http://" + domain + "/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvisited http://%s/ (status %d)\n", domain, v.Status)
+	fmt.Printf("sitekey verified:   %v\n", v.SitekeyB64 != "")
+	fmt.Printf("document allowance: %v (filter: %s)\n",
+		v.Flags.DocumentAllowed, v.Flags.DocumentBy.Filter.Raw[:40]+"...")
+	fmt.Printf("ad requests issued: %d, blocked: %d\n", v.Requests, v.BlockedRequests)
+
+	// The same page without a valid signature: the banner is blocked.
+	srv.Handle("unparked.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, `<html><body><img src="http://ads.parking-network.example/banner.gif"></body></html>`)
+	}))
+	v2, err := b.Visit("http://unparked.example/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontrol (no sitekey): blocked %d of %d ad requests\n",
+		v2.BlockedRequests, v2.Requests)
+}

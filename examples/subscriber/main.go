@@ -1,0 +1,100 @@
+// subscriber walks the full Adblock Plus client lifecycle over real HTTP:
+// a list server publishes EasyList and the Acceptable Ads whitelist (the
+// two default subscriptions of §2), a client downloads them, builds an
+// engine, browses; the whitelist is updated upstream and the client's
+// scheduled refresh picks up the change — conditional requests and Expires
+// metadata included.
+//
+//	go run ./examples/subscriber
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/subscription"
+	"acceptableads/internal/webserver"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The distribution server.
+	web := webserver.New(nil)
+	if err := web.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer web.Close()
+	lists := subscription.NewServer()
+	web.Handle("easylist-downloads.adblockplus.org", lists)
+
+	lists.Publish("/easylist.txt", subscription.WithMetadata(
+		subscription.Metadata{Title: "EasyList", Expires: 4 * 24 * time.Hour},
+		easylist.Generate(1, 8000).String()))
+	lists.Publish("/exceptionrules.txt", subscription.WithMetadata(
+		subscription.Metadata{Title: "Allow non-intrusive advertising", Expires: 24 * time.Hour},
+		"@@||stats.g.doubleclick.net^$script,image\n"))
+
+	// The Adblock Plus client with its two default subscriptions.
+	now := time.Date(2015, 4, 28, 8, 0, 0, 0, time.UTC)
+	sub := subscription.NewSubscriber(web.Client(),
+		subscription.Source{Name: "easylist", URL: "http://easylist-downloads.adblockplus.org/easylist.txt"},
+		subscription.Source{Name: "exceptionrules", URL: "http://easylist-downloads.adblockplus.org/exceptionrules.txt"},
+	)
+	sub.Now = func() time.Time { return now }
+
+	if err := sub.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	eng, err := sub.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subscribed: engine holds %d filters from %v\n", eng.NumFilters(), eng.Lists())
+
+	probe := func(eng *engine.Engine, url string) {
+		d := eng.MatchRequest(&engine.Request{
+			URL: url, Type: filter.TypeImage, DocumentHost: "toyota.com",
+		})
+		extra := ""
+		if d.AllowedBy != nil {
+			extra = " by " + d.AllowedBy.Filter.Raw
+		} else if d.BlockedBy != nil {
+			extra = " by " + d.BlockedBy.Filter.Raw
+		}
+		fmt.Printf("  %-55s %s%s\n", url, d.Verdict, extra)
+	}
+	fmt.Println("\nday 1:")
+	probe(eng, "http://stats.g.doubleclick.net/r/collect")
+	probe(eng, "http://fonts.gstatic.com/s/font.woff")
+
+	// Eyeo ships a whitelist update (the gstatic exception lands).
+	lists.Publish("/exceptionrules.txt", subscription.WithMetadata(
+		subscription.Metadata{Title: "Allow non-intrusive advertising", Expires: 24 * time.Hour},
+		"@@||stats.g.doubleclick.net^$script,image\n@@||gstatic.com^$third-party\n"))
+
+	// A day later the whitelist expired; EasyList (4-day Expires) did not.
+	now = now.Add(25 * time.Hour)
+	fmt.Printf("\nday 2: whitelist stale=%v, easylist stale=%v → refresh\n",
+		sub.NeedsUpdate("exceptionrules"), sub.NeedsUpdate("easylist"))
+	if err := sub.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	eng, err = sub.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe(eng, "http://fonts.gstatic.com/s/font.woff")
+
+	// Another day: nothing changed upstream — the refresh costs a 304.
+	now = now.Add(25 * time.Hour)
+	if err := sub.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nday 3: refresh revalidated (304s for exceptionrules: %d)\n",
+		sub.NotModifiedCount("exceptionrules"))
+}

@@ -1,0 +1,3 @@
+module acceptableads
+
+go 1.22

@@ -1,0 +1,317 @@
+// Package adnet is the single source of truth for the advertising
+// ecosystem of the synthetic Web: every third-party ad/tracking service,
+// the URL it serves, the EasyList filter that blocks it, the Acceptable
+// Ads whitelist filter (if any) that re-allows it, and its calibrated
+// prevalence across the Alexa strata.
+//
+// Keeping all three views in one table is what makes the reproduction
+// coherent: internal/webgen embeds these services into pages,
+// internal/histgen emits their whitelist filters into the synthesized
+// exceptionrules history, and internal/sitesurvey then re-measures the
+// prevalences through the full engine — Table 4's counts fall out of the
+// same numbers that went in, after passing through real filter matching.
+package adnet
+
+import "acceptableads/internal/filter"
+
+// Network is one third-party service a page may embed.
+type Network struct {
+	// Name is a short identifier.
+	Name string
+	// Host serves the resource.
+	Host string
+	// Path is the resource path requested from Host.
+	Path string
+	// Type is the content type of the request.
+	Type filter.ContentType
+	// WhitelistFilter is the Acceptable Ads exception covering the
+	// request, or "" for services only EasyList knows about.
+	WhitelistFilter string
+	// EasyListFilter is the blocking filter covering the request, or ""
+	// for services EasyList does not block (the paper highlights
+	// gstatic.com: whitelisted yet never blocked — a needless filter).
+	EasyListFilter string
+	// Top5kCount calibrates prevalence: the number of Alexa top-5,000
+	// sites whose landing page embeds the service. Entries drawn from
+	// Table 4 use the paper's published counts (1,559 for
+	// stats.g.doubleclick.net, ...); the rest interpolate the table's
+	// shape. Zero means the service only appears through special-cased
+	// sites.
+	Top5kCount int
+	// StrataMult scales inclusion probability for the survey's four
+	// sample groups: top-5k, 5K–50K, 50K–100K, 100K–1M. Figure 8 shows
+	// most whitelist filters skew toward the top 5k, except one
+	// conversion tracker most common in the deep tail.
+	StrataMult [4]float64
+	// ShoppingBoost multiplies inclusion probability on shopping sites
+	// (Figure 8's category skew).
+	ShoppingBoost float64
+	// Repeats is the maximum number of times a page requests the
+	// resource (Figure 7 separates total from distinct matches; e.g.
+	// toyota.com fired 83 total matches over 8 distinct filters).
+	Repeats int
+	// Conversion marks pure conversion-tracking services with no visual
+	// presence (§5: "many common exceptions are for conversion tracking
+	// and do not visually impact the website").
+	Conversion bool
+}
+
+// flat is shorthand for even strata coverage.
+var flat = [4]float64{1, 1, 1, 1}
+
+// topHeavy matches Figure 8's dominant pattern: strongest in the top 5k.
+var topHeavy = [4]float64{1, 0.55, 0.40, 0.25}
+
+// tailHeavy is the inverted pattern of Figure 8's long-tail conversion
+// tracker.
+var tailHeavy = [4]float64{1, 2.0, 2.7, 4.8}
+
+// networks lists the whitelisted services (Table 4's population) followed
+// by EasyList-only services. Counts #1–#3, #9 and #20 are the paper's
+// exact numbers; the intermediate ranks interpolate the published shape.
+var networks = []Network{
+	// --- Whitelisted (Acceptable Ads) services ---
+	{
+		Name: "doubleclick-stats", Host: "stats.g.doubleclick.net", Path: "/r/collect",
+		Type:            filter.TypeImage,
+		WhitelistFilter: "@@||stats.g.doubleclick.net^$script,image",
+		EasyListFilter:  "||stats.g.doubleclick.net^",
+		Top5kCount:      1559, StrataMult: topHeavy, ShoppingBoost: 1.5, Repeats: 6, Conversion: true,
+	},
+	{
+		Name: "adsense", Host: "www.googleadservices.com", Path: "/pagead/conversion.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||googleadservices.com^$third-party",
+		EasyListFilter:  "||googleadservices.com^$third-party",
+		Top5kCount:      1535, StrataMult: topHeavy, ShoppingBoost: 1.6, Repeats: 5,
+	},
+	{
+		Name: "gstatic", Host: "fonts.gstatic.com", Path: "/s/font.woff",
+		Type:            filter.TypeOther,
+		WhitelistFilter: "@@||gstatic.com^$third-party",
+		EasyListFilter:  "", // EasyList never blocked gstatic — the needless filter
+		Top5kCount:      1282, StrataMult: topHeavy, ShoppingBoost: 1.0, Repeats: 2,
+	},
+	{
+		Name: "googletagservices", Host: "www.googletagservices.com", Path: "/tag/js/gpt.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||googletagservices.com^$script",
+		EasyListFilter:  "||googletagservices.com^$script",
+		Top5kCount:      880, StrataMult: topHeavy, ShoppingBoost: 1.2, Repeats: 4,
+	},
+	{
+		Name: "googletagmanager", Host: "www.googletagmanager.com", Path: "/gtm.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||googletagmanager.com^$script",
+		EasyListFilter:  "||googletagmanager.com^$script",
+		Top5kCount:      760, StrataMult: topHeavy, ShoppingBoost: 1.1, Repeats: 2, Conversion: true,
+	},
+	{
+		Name: "bing-bat", Host: "bat.bing.com", Path: "/bat.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||bat.bing.com^$script,image",
+		EasyListFilter:  "||bat.bing.com^",
+		Top5kCount:      610, StrataMult: topHeavy, ShoppingBoost: 1.4, Repeats: 2, Conversion: true,
+	},
+	{
+		Name: "quantserve", Host: "pixel.quantserve.com", Path: "/pixel/p-123.gif",
+		Type:            filter.TypeImage,
+		WhitelistFilter: "@@||pixel.quantserve.com^$image",
+		EasyListFilter:  "||quantserve.com^$third-party",
+		Top5kCount:      480, StrataMult: flat, ShoppingBoost: 1.0, Repeats: 2, Conversion: true,
+	},
+	{
+		Name: "amazon-adsystem", Host: "aax.amazon-adsystem.com", Path: "/e/conversion/beacon.png",
+		Type:            filter.TypeImage,
+		WhitelistFilter: "@@||amazon-adsystem.com/e/conversion^$image",
+		EasyListFilter:  "||amazon-adsystem.com^$third-party",
+		Top5kCount:      320, StrataMult: topHeavy, ShoppingBoost: 2.2, Repeats: 3, Conversion: true,
+	},
+	{
+		// Table 4's #9: the undocumented A59 filter allowing Google's
+		// AdSense for search on nearly all domains (§7).
+		Name: "adsense-search", Host: "www.google.com", Path: "/adsense/search/ads.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||google.com/adsense/search/ads.js$script",
+		EasyListFilter:  "||google.com/adsense/search/ads.js$script",
+		Top5kCount:      78, StrataMult: topHeavy, ShoppingBoost: 0.8, Repeats: 1,
+	},
+	{
+		Name: "criteo", Host: "static.criteo.net", Path: "/js/ld/ld.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||static.criteo.net/js/ld^$script",
+		EasyListFilter:  "||criteo.net^$third-party",
+		Top5kCount:      74, StrataMult: topHeavy, ShoppingBoost: 2.0, Repeats: 2,
+	},
+	{
+		// PageFair: the ad network the paper singles out in §4.2.2.
+		Name: "pagefair", Host: "asset.pagefair.net", Path: "/measure.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||pagefair.net^$third-party",
+		EasyListFilter:  "||pagefair.net^$third-party",
+		Top5kCount:      70, StrataMult: flat, ShoppingBoost: 1.0, Repeats: 1,
+	},
+	{
+		Name: "admarketplace-tracking", Host: "tracking.admarketplace.net", Path: "/track",
+		Type:            filter.TypeImage,
+		WhitelistFilter: "@@||tracking.admarketplace.net^$third-party",
+		EasyListFilter:  "||admarketplace.net^$third-party",
+		Top5kCount:      66, StrataMult: flat, ShoppingBoost: 1.2, Repeats: 1, Conversion: true,
+	},
+	{
+		Name: "admarketplace-imp", Host: "imp.admarketplace.net", Path: "/imp",
+		Type:            filter.TypeImage,
+		WhitelistFilter: "@@||imp.admarketplace.net^$third-party",
+		EasyListFilter:  "||admarketplace.net^$third-party",
+		Top5kCount:      60, StrataMult: flat, ShoppingBoost: 1.2, Repeats: 1,
+	},
+	{
+		Name: "scorecard", Host: "sb.scorecardresearch.com", Path: "/beacon/b.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||sb.scorecardresearch.com/beacon^$script",
+		EasyListFilter:  "||scorecardresearch.com^$third-party",
+		Top5kCount:      55, StrataMult: topHeavy, ShoppingBoost: 1.0, Repeats: 2, Conversion: true,
+	},
+	{
+		Name: "chartbeat", Host: "static.chartbeat.com", Path: "/js/chartbeat.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||static.chartbeat.com^$script",
+		EasyListFilter:  "||chartbeat.com^$third-party",
+		Top5kCount:      50, StrataMult: topHeavy, ShoppingBoost: 0.9, Repeats: 1, Conversion: true,
+	},
+	{
+		Name: "taboola-convert", Host: "trc.taboola.com", Path: "/conversion/c.gif",
+		Type:            filter.TypeImage,
+		WhitelistFilter: "@@||trc.taboola.com/conversion^$image",
+		EasyListFilter:  "||taboola.com^$third-party",
+		Top5kCount:      46, StrataMult: flat, ShoppingBoost: 1.3, Repeats: 1, Conversion: true,
+	},
+	{
+		// Figure 8's odd one out: most common in the 100K–1M stratum.
+		Name: "affiliatetrack", Host: "cdn.affiliatetrack.net", Path: "/conv/pixel.gif",
+		Type:            filter.TypeImage,
+		WhitelistFilter: "@@||cdn.affiliatetrack.net/conv^$image",
+		EasyListFilter:  "||affiliatetrack.net^$third-party",
+		Top5kCount:      42, StrataMult: tailHeavy, ShoppingBoost: 1.8, Repeats: 1, Conversion: true,
+	},
+	{
+		Name: "influads", Host: "engine.influads.com", Path: "/show.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||influads.com^$script,image",
+		EasyListFilter:  "||influads.com^$third-party",
+		Top5kCount:      38, StrataMult: flat, ShoppingBoost: 0.8, Repeats: 1,
+	},
+	{
+		Name: "gemini-native", Host: "native.sharethrough.com", Path: "/placements/p.js",
+		Type:            filter.TypeScript,
+		WhitelistFilter: "@@||native.sharethrough.com/placements^$script",
+		EasyListFilter:  "||sharethrough.com^$third-party",
+		Top5kCount:      34, StrataMult: topHeavy, ShoppingBoost: 1.0, Repeats: 1,
+	},
+	// The 20th entry of Table 4 is the unrestricted ELEMENT exception
+	// "#@##influads_block" (30 domains); it is element-based, so it lives
+	// in InfluadsElementFilter below rather than in the request table.
+
+	// --- EasyList-only services (blocked, never whitelisted) ---
+	{
+		Name: "adzerk", Host: "static.adzerk.net", Path: "/ads.html",
+		Type:           filter.TypeSubdocument,
+		EasyListFilter: "||adzerk.net^$third-party",
+		Top5kCount:     520, StrataMult: topHeavy, ShoppingBoost: 0.8, Repeats: 2,
+	},
+	{
+		Name: "doubleclick-gampad", Host: "ad.doubleclick.net", Path: "/gampad/ads.js",
+		Type:           filter.TypeScript,
+		EasyListFilter: "||ad.doubleclick.net^",
+		Top5kCount:     700, StrataMult: topHeavy, ShoppingBoost: 1.1, Repeats: 4,
+	},
+	{
+		Name: "adnxs", Host: "ib.adnxs.com", Path: "/ttj.js",
+		Type:           filter.TypeScript,
+		EasyListFilter: "||adnxs.com^$third-party",
+		Top5kCount:     620, StrataMult: [4]float64{1, 0.8, 0.7, 0.6}, ShoppingBoost: 1.0, Repeats: 3,
+	},
+	{
+		Name: "rubicon", Host: "ads.rubiconproject.com", Path: "/header/ads.js",
+		Type:           filter.TypeScript,
+		EasyListFilter: "||rubiconproject.com^$third-party",
+		Top5kCount:     600, StrataMult: [4]float64{1, 0.8, 0.7, 0.6}, ShoppingBoost: 1.0, Repeats: 2,
+	},
+	{
+		Name: "openx", Host: "us-ads.openx.net", Path: "/w/1.0/jstag",
+		Type:           filter.TypeScript,
+		EasyListFilter: "||openx.net^$third-party",
+		Top5kCount:     560, StrataMult: [4]float64{1, 0.9, 0.8, 0.7}, ShoppingBoost: 1.0, Repeats: 2,
+	},
+	{
+		Name: "outbrain", Host: "widgets.outbrain.com", Path: "/outbrain.js",
+		Type:           filter.TypeScript,
+		EasyListFilter: "||outbrain.com^$third-party",
+		Top5kCount:     560, StrataMult: topHeavy, ShoppingBoost: 0.9, Repeats: 2,
+	},
+	{
+		Name: "popads", Host: "serve.popads.net", Path: "/cpop.js",
+		Type:           filter.TypeScript,
+		EasyListFilter: "||popads.net^$third-party",
+		Top5kCount:     260, StrataMult: tailHeavy, ShoppingBoost: 0.7, Repeats: 1,
+	},
+	{
+		Name: "zedo", Host: "d3.zedo.com", Path: "/jsc/d3/fo.js",
+		Type:           filter.TypeScript,
+		EasyListFilter: "||zedo.com^$third-party",
+		Top5kCount:     300, StrataMult: [4]float64{0.8, 1, 1, 0.9}, ShoppingBoost: 0.9, Repeats: 2,
+	},
+}
+
+// InfluadsElementFilter is the whitelist's single unrestricted element
+// exception (§4.2.2), activating on any element with id "influads_block" —
+// Table 4's entry #20 (observed on 30 domains).
+const InfluadsElementFilter = "#@##influads_block"
+
+// InfluadsElementCount is its calibrated top-5k prevalence.
+const InfluadsElementCount = 30
+
+// InfluadsBlockID is the element id the filter (and EasyList's generic
+// hiding rule) matches.
+const InfluadsBlockID = "influads_block"
+
+// Networks returns the full service table. The slice is shared; callers
+// must not modify it.
+func Networks() []Network { return networks }
+
+// Whitelisted returns the services carrying an Acceptable Ads exception,
+// in Table 4 order (descending top-5k count).
+func Whitelisted() []Network {
+	var out []Network
+	for _, n := range networks {
+		if n.WhitelistFilter != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// EasyListOnly returns the services blocked by EasyList with no whitelist
+// coverage.
+func EasyListOnly() []Network {
+	var out []Network
+	for _, n := range networks {
+		if n.WhitelistFilter == "" && n.EasyListFilter != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ByName finds a service.
+func ByName(name string) (Network, bool) {
+	for _, n := range networks {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Network{}, false
+}
+
+// URL returns the full request URL for the service.
+func (n Network) URL() string { return "http://" + n.Host + n.Path }

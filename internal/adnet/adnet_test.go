@@ -1,0 +1,118 @@
+package adnet
+
+import (
+	"strings"
+	"testing"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+)
+
+// The adnet table couples three views (page resources, EasyList, the
+// whitelist); these tests pin the self-consistency the whole calibration
+// rests on.
+
+func TestTableShape(t *testing.T) {
+	ns := Networks()
+	if len(ns) < 25 {
+		t.Fatalf("networks = %d", len(ns))
+	}
+	names := map[string]bool{}
+	for _, n := range ns {
+		if names[n.Name] {
+			t.Errorf("duplicate network name %q", n.Name)
+		}
+		names[n.Name] = true
+		if n.Host == "" || n.Path == "" || !strings.HasPrefix(n.Path, "/") {
+			t.Errorf("%s: bad host/path %q %q", n.Name, n.Host, n.Path)
+		}
+		if n.Repeats < 1 {
+			t.Errorf("%s: repeats = %d", n.Name, n.Repeats)
+		}
+		for g, m := range n.StrataMult {
+			if m <= 0 {
+				t.Errorf("%s: stratum %d multiplier = %v", n.Name, g, m)
+			}
+		}
+	}
+}
+
+func TestWhitelistedDescending(t *testing.T) {
+	wl := Whitelisted()
+	if len(wl) < 15 {
+		t.Fatalf("whitelisted = %d", len(wl))
+	}
+	for i := 1; i < len(wl); i++ {
+		if wl[i].Top5kCount > wl[i-1].Top5kCount {
+			t.Errorf("table 4 order broken at %s (%d > %d)",
+				wl[i].Name, wl[i].Top5kCount, wl[i-1].Top5kCount)
+		}
+	}
+	// The paper's exact calibration points.
+	if wl[0].Top5kCount != 1559 || wl[1].Top5kCount != 1535 || wl[2].Top5kCount != 1282 {
+		t.Errorf("top-3 counts = %d/%d/%d", wl[0].Top5kCount, wl[1].Top5kCount, wl[2].Top5kCount)
+	}
+}
+
+// TestFiltersParseAndCoverOwnURL: each service's whitelist filter (when
+// present) must parse as an exception and actually except the service's
+// own resource URL; each EasyList filter must block it. This is the
+// invariant that makes Table 4 fall out of the survey.
+func TestFiltersParseAndCoverOwnURL(t *testing.T) {
+	for _, n := range Networks() {
+		req := &engine.Request{URL: n.URL(), Type: n.Type, DocumentHost: "publisher.example"}
+		if n.EasyListFilter != "" {
+			f := filter.Parse(n.EasyListFilter)
+			if f.Kind != filter.KindRequestBlock {
+				t.Errorf("%s: easylist filter kind = %v", n.Name, f.Kind)
+				continue
+			}
+			e, err := engine.New(engine.NamedList{Name: "el",
+				List: filter.ParseListString("el", n.EasyListFilter)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := e.MatchRequest(req); d.Verdict != engine.Blocked {
+				t.Errorf("%s: easylist filter does not block own URL %s", n.Name, n.URL())
+			}
+		}
+		if n.WhitelistFilter != "" {
+			f := filter.Parse(n.WhitelistFilter)
+			if f.Kind != filter.KindRequestException {
+				t.Errorf("%s: whitelist filter kind = %v", n.Name, f.Kind)
+				continue
+			}
+			e, err := engine.New(engine.NamedList{Name: "wl",
+				List: filter.ParseListString("wl", n.WhitelistFilter)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := e.MatchRequest(req); d.Verdict != engine.Allowed {
+				t.Errorf("%s: whitelist filter does not except own URL %s", n.Name, n.URL())
+			}
+		}
+	}
+}
+
+func TestGstaticIsTheNeedlessOne(t *testing.T) {
+	g, ok := ByName("gstatic")
+	if !ok {
+		t.Fatal("gstatic missing")
+	}
+	if g.EasyListFilter != "" {
+		t.Error("gstatic must have no EasyList filter (the paper's needless-exception case)")
+	}
+	if g.WhitelistFilter == "" {
+		t.Error("gstatic must be whitelisted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("unknown name resolved")
+	}
+	n, ok := ByName("adsense-search")
+	if !ok || !strings.Contains(n.WhitelistFilter, "adsense/search/ads.js") {
+		t.Errorf("adsense-search = %+v, %v", n, ok)
+	}
+}

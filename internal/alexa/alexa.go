@@ -1,0 +1,295 @@
+// Package alexa models the Alexa top-sites ranking of April 2015 that the
+// paper samples from. The live ranking is long gone, so the package
+// synthesizes a deterministic universe: the paper's named domains sit at
+// plausible 2015 ranks, and every other rank gets a stable synthetic
+// domain whose category drives the ad-inventory generator (internal/webgen).
+//
+// The survey's four sample groups (§5) come from here: the top 5,000
+// domains plus 1,000-domain samples of the 5K–50K, 50K–100K and 100K–1M
+// strata.
+package alexa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"acceptableads/internal/xrand"
+)
+
+// Category captures the site type; internal/webgen keys its ad-network
+// inventory on it (Figure 8 shows whitelist activations skew toward
+// shopping sites).
+type Category uint8
+
+const (
+	Search Category = iota
+	Shopping
+	News
+	Social
+	Video
+	Games
+	Humor
+	Reference
+	Tech
+	Finance
+	// NonEnglish marks sites outside EasyList's purview; §5.1 attributes
+	// most of the 1,044 silent top-5k domains to them.
+	NonEnglish
+	numCategories
+)
+
+var categoryNames = [...]string{
+	"search", "shopping", "news", "social", "video", "games",
+	"humor", "reference", "tech", "finance", "non-english",
+}
+
+// String names the category.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return "unknown"
+}
+
+// Categories returns every category in declaration order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Domain is one ranked site.
+type Domain struct {
+	Name     string
+	Rank     int // 1-based Alexa rank
+	Category Category
+}
+
+// wellKnown pins the paper's named domains (and enough of the 2015 top-50
+// to make Figure 6's x-axis recognizable) at fixed ranks.
+var wellKnown = map[int]Domain{
+	1:     {"google.com", 1, Search},
+	2:     {"facebook.com", 2, Social},
+	3:     {"youtube.com", 3, Video},
+	4:     {"baidu.com", 4, NonEnglish},
+	5:     {"yahoo.com", 5, Search},
+	6:     {"amazon.com", 6, Shopping},
+	7:     {"wikipedia.org", 7, Reference},
+	8:     {"qq.com", 8, NonEnglish},
+	9:     {"twitter.com", 9, Social},
+	10:    {"taobao.com", 10, NonEnglish},
+	11:    {"live.com", 11, Search},
+	12:    {"sina.com.cn", 12, News},
+	13:    {"linkedin.com", 13, Social},
+	14:    {"yahoo.co.jp", 14, NonEnglish},
+	15:    {"weibo.com", 15, NonEnglish},
+	16:    {"ebay.com", 16, Shopping},
+	17:    {"google.co.in", 17, Search},
+	18:    {"bing.com", 18, Search},
+	19:    {"msn.com", 19, News},
+	20:    {"vk.com", 20, NonEnglish},
+	21:    {"instagram.com", 21, Social},
+	22:    {"google.de", 22, Search},
+	23:    {"aliexpress.com", 23, Shopping},
+	24:    {"uol.com.br", 24, NonEnglish},
+	25:    {"reddit.com", 25, Social},
+	26:    {"google.co.uk", 26, Search},
+	27:    {"hao123.com", 27, NonEnglish},
+	28:    {"pinterest.com", 28, Social},
+	29:    {"blogspot.com", 29, Reference},
+	30:    {"netflix.com", 30, Video},
+	31:    {"wordpress.com", 31, Reference},
+	32:    {"onclickads.net", 32, Tech},
+	33:    {"ask.com", 33, Search},
+	34:    {"google.fr", 34, Search},
+	35:    {"imdb.com", 35, Video},
+	36:    {"google.com.br", 36, Search},
+	37:    {"tumblr.com", 37, Social},
+	38:    {"apple.com", 38, Tech},
+	39:    {"google.ru", 39, Search},
+	40:    {"imgur.com", 40, Humor},
+	41:    {"paypal.com", 41, Finance},
+	42:    {"stackoverflow.com", 42, Tech},
+	43:    {"microsoft.com", 43, Tech},
+	44:    {"google.it", 44, Search},
+	45:    {"fc2.com", 45, NonEnglish},
+	46:    {"google.es", 46, Search},
+	47:    {"mail.ru", 47, NonEnglish},
+	48:    {"craigslist.org", 48, Shopping},
+	49:    {"amazon.co.jp", 49, NonEnglish},
+	50:    {"gmw.cn", 50, NonEnglish},
+	55:    {"about.com", 55, Reference},
+	60:    {"walmart.com", 60, Shopping},
+	65:    {"cnn.com", 65, News},
+	70:    {"comcast.net", 70, Tech},
+	75:    {"espn.com", 75, News},
+	80:    {"nytimes.com", 80, News},
+	90:    {"bbc.co.uk", 90, News},
+	100:   {"buzzfeed.com", 100, News},
+	520:   {"kayak.com", 520, Shopping},
+	680:   {"cracked.com", 680, Humor},
+	940:   {"viralnova.com", 940, News},
+	1120:  {"toyota.com", 1120, Shopping},
+	2240:  {"golem.de", 2240, Tech},
+	3100:  {"utopia-game.com", 3100, Games},
+	3500:  {"twcc.com", 3500, Reference},
+	4600:  {"isitup.org", 4600, Tech},
+	8200:  {"sedo.com", 8200, Tech},
+	61000: {"pagefair.com", 61000, Tech},
+}
+
+// categoryPrefix seeds synthetic domain names so they read naturally.
+var categoryPrefix = [...]string{
+	"find", "shop", "news", "friends", "clips", "play",
+	"laughs", "wiki", "dev", "money", "monde",
+}
+
+// categoryWeights drives synthetic category assignment. NonEnglish gets a
+// large share, matching §5.1's observation that most silent top-5k sites
+// are non-English.
+var categoryWeights = []float64{
+	6,  // search
+	14, // shopping
+	13, // news
+	8,  // social
+	7,  // video
+	6,  // games
+	4,  // humor
+	10, // reference
+	9,  // tech
+	5,  // finance
+	18, // non-english
+}
+
+// Universe is the ranked domain population.
+type Universe struct {
+	seed uint64
+	size int
+}
+
+// NewUniverse creates a universe of `size` ranked domains (the paper uses
+// 1,000,000) with deterministic contents derived from seed.
+func NewUniverse(seed uint64, size int) *Universe {
+	return &Universe{seed: seed, size: size}
+}
+
+// Size returns the number of ranked domains.
+func (u *Universe) Size() int { return u.size }
+
+// Domain returns the site at the given 1-based rank.
+func (u *Universe) Domain(rank int) Domain {
+	if rank < 1 || rank > u.size {
+		panic(fmt.Sprintf("alexa: rank %d out of universe [1,%d]", rank, u.size))
+	}
+	if d, ok := wellKnown[rank]; ok {
+		return d
+	}
+	cat := Category(xrand.PickWeighted(
+		xrand.Uniform(u.seed, "cat:"+strconv.Itoa(rank)), categoryWeights))
+	tld := ".com"
+	switch xrand.Hash64(u.seed, "tld:"+strconv.Itoa(rank)) % 10 {
+	case 0:
+		tld = ".net"
+	case 1:
+		tld = ".org"
+	}
+	name := fmt.Sprintf("%s%d%s", categoryPrefix[cat], rank, tld)
+	return Domain{Name: name, Rank: rank, Category: cat}
+}
+
+// Rank resolves a domain name back to its rank. Synthetic names carry
+// their rank; well-known names use the pin table. Unknown names return
+// (0, false) — the "unranked" publishers of the whitelist.
+func (u *Universe) Rank(name string) (int, bool) {
+	for r, d := range wellKnown {
+		if d.Name == name {
+			if r <= u.size {
+				return r, true
+			}
+			return 0, false
+		}
+	}
+	// Synthetic form: <prefix><rank>.<tld>
+	dot := strings.IndexByte(name, '.')
+	if dot < 0 {
+		return 0, false
+	}
+	stem := name[:dot]
+	i := len(stem)
+	for i > 0 && stem[i-1] >= '0' && stem[i-1] <= '9' {
+		i--
+	}
+	if i == len(stem) {
+		return 0, false
+	}
+	rank, err := strconv.Atoi(stem[i:])
+	if err != nil || rank < 1 || rank > u.size {
+		return 0, false
+	}
+	if u.Domain(rank).Name != name {
+		return 0, false
+	}
+	return rank, true
+}
+
+// TopN returns ranks 1..n.
+func (u *Universe) TopN(n int) []Domain {
+	if n > u.size {
+		n = u.size
+	}
+	out := make([]Domain, n)
+	for i := range out {
+		out[i] = u.Domain(i + 1)
+	}
+	return out
+}
+
+// SampleRange draws n distinct domains uniformly from ranks (lo, hi],
+// deterministically from the sample seed. It panics if the range cannot
+// supply n distinct ranks.
+func (u *Universe) SampleRange(lo, hi, n int, seed uint64) []Domain {
+	if hi > u.size {
+		hi = u.size
+	}
+	span := hi - lo
+	if span < n {
+		panic(fmt.Sprintf("alexa: range (%d,%d] cannot supply %d domains", lo, hi, n))
+	}
+	rng := xrand.New(seed)
+	picked := make(map[int]bool, n)
+	out := make([]Domain, 0, n)
+	for len(out) < n {
+		rank := lo + 1 + rng.Intn(span)
+		if picked[rank] {
+			continue
+		}
+		picked[rank] = true
+		out = append(out, u.Domain(rank))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// Partition is one row of Table 2.
+type Partition struct {
+	Name string
+	// Max is the largest rank included; 0 means "All" (every whitelisted
+	// domain, ranked or not).
+	Max int
+}
+
+// Partitions returns Table 2's Alexa partitions, largest first.
+func Partitions() []Partition {
+	return []Partition{
+		{"All", 0},
+		{"Top 1,000,000", 1000000},
+		{"Top 5,000", 5000},
+		{"Top 1,000", 1000},
+		{"Top 500", 500},
+		{"Top 100", 100},
+	}
+}

@@ -1,0 +1,161 @@
+package alexa
+
+import (
+	"testing"
+)
+
+func TestWellKnownPins(t *testing.T) {
+	u := NewUniverse(1, 1000000)
+	cases := []struct {
+		rank int
+		name string
+		cat  Category
+	}{
+		{1, "google.com", Search},
+		{25, "reddit.com", Social},
+		{33, "ask.com", Search},
+		{40, "imgur.com", Humor},
+		{55, "about.com", Reference},
+		{60, "walmart.com", Shopping},
+		{1120, "toyota.com", Shopping},
+		{12, "sina.com.cn", News},
+	}
+	for _, c := range cases {
+		d := u.Domain(c.rank)
+		if d.Name != c.name || d.Category != c.cat {
+			t.Errorf("rank %d = %+v, want %s/%v", c.rank, d, c.name, c.cat)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := NewUniverse(7, 1000000)
+	b := NewUniverse(7, 1000000)
+	for _, rank := range []int{51, 999, 4999, 77777, 999999} {
+		if a.Domain(rank) != b.Domain(rank) {
+			t.Errorf("rank %d not deterministic", rank)
+		}
+	}
+	c := NewUniverse(8, 1000000)
+	diff := 0
+	for rank := 101; rank < 200; rank++ {
+		if a.Domain(rank) != c.Domain(rank) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical universes")
+	}
+}
+
+func TestRankRoundTrip(t *testing.T) {
+	u := NewUniverse(3, 1000000)
+	for _, rank := range []int{1, 25, 52, 4321, 500000} {
+		d := u.Domain(rank)
+		got, ok := u.Rank(d.Name)
+		if !ok || got != rank {
+			t.Errorf("Rank(%q) = %d,%v want %d", d.Name, got, ok, rank)
+		}
+	}
+	if _, ok := u.Rank("unknown-publisher.example"); ok {
+		t.Error("unknown domain resolved to a rank")
+	}
+	if _, ok := u.Rank("nodigits.com"); ok {
+		t.Error("digit-less synthetic name resolved")
+	}
+}
+
+func TestDomainPanicsOutOfRange(t *testing.T) {
+	u := NewUniverse(1, 100)
+	defer func() {
+		if recover() == nil {
+			t.Error("rank 0 did not panic")
+		}
+	}()
+	u.Domain(0)
+}
+
+func TestTopN(t *testing.T) {
+	u := NewUniverse(1, 1000)
+	top := u.TopN(50)
+	if len(top) != 50 {
+		t.Fatalf("TopN = %d", len(top))
+	}
+	for i, d := range top {
+		if d.Rank != i+1 {
+			t.Fatalf("TopN order broken at %d", i)
+		}
+	}
+	if got := u.TopN(5000); len(got) != 1000 {
+		t.Errorf("TopN over size = %d, want clamp to 1000", len(got))
+	}
+}
+
+func TestSampleRange(t *testing.T) {
+	u := NewUniverse(1, 1000000)
+	s := u.SampleRange(5000, 50000, 1000, 42)
+	if len(s) != 1000 {
+		t.Fatalf("sample = %d", len(s))
+	}
+	seen := make(map[int]bool)
+	for _, d := range s {
+		if d.Rank <= 5000 || d.Rank > 50000 {
+			t.Fatalf("rank %d outside stratum", d.Rank)
+		}
+		if seen[d.Rank] {
+			t.Fatalf("duplicate rank %d", d.Rank)
+		}
+		seen[d.Rank] = true
+	}
+	// Deterministic for a fixed seed; different for another.
+	s2 := u.SampleRange(5000, 50000, 1000, 42)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("sample not deterministic")
+		}
+	}
+}
+
+func TestCategoryDistribution(t *testing.T) {
+	u := NewUniverse(1, 1000000)
+	counts := make(map[Category]int)
+	for rank := 101; rank <= 5000; rank++ {
+		counts[u.Domain(rank).Category]++
+	}
+	// Every category should be represented in the top 5k.
+	for _, c := range Categories() {
+		if counts[c] == 0 {
+			t.Errorf("category %v absent from top 5k", c)
+		}
+	}
+	// NonEnglish should be the biggest single bucket (it has the largest
+	// weight), supporting the §5.1 silent-site population.
+	for _, c := range Categories() {
+		if c != NonEnglish && counts[c] > counts[NonEnglish] {
+			t.Errorf("category %v (%d) outnumbers non-english (%d)",
+				c, counts[c], counts[NonEnglish])
+		}
+	}
+}
+
+func TestPartitions(t *testing.T) {
+	ps := Partitions()
+	if len(ps) != 6 {
+		t.Fatalf("partitions = %d", len(ps))
+	}
+	if ps[0].Name != "All" || ps[0].Max != 0 {
+		t.Errorf("first partition = %+v", ps[0])
+	}
+	if ps[5].Max != 100 {
+		t.Errorf("last partition = %+v", ps[5])
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Shopping.String() != "shopping" || NonEnglish.String() != "non-english" {
+		t.Error("category names wrong")
+	}
+	if Category(200).String() != "unknown" {
+		t.Error("unknown category name wrong")
+	}
+}

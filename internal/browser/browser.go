@@ -1,0 +1,210 @@
+// Package browser is the instrumented headless browser of §5: it loads a
+// page over HTTP (cookies, redirects, User-Agent all live), verifies any
+// sitekey the server presents, consults the Adblock Plus engine for the
+// page-level allowances, replays every sub-resource request and DOM
+// element through the engine, records all filter activations, and fetches
+// the resources the engine allows — the Selenium-plus-instrumented-ABP
+// setup of the paper, minus the real Firefox.
+package browser
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"strings"
+
+	"acceptableads/internal/domainutil"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/htmldom"
+	"acceptableads/internal/sitekey"
+)
+
+// DefaultUserAgent mimics a 2015 Firefox, the browser the paper drove.
+const DefaultUserAgent = "Mozilla/5.0 (X11; Linux x86_64; rv:37.0) Gecko/20100101 Firefox/37.0"
+
+// maxBody bounds how much of a response the browser reads.
+const maxBody = 4 << 20
+
+// Browser drives page loads through an engine. Each Visit records through
+// a private engine session, so multiple Browsers may share one engine and
+// a single Browser may run concurrent Visits (the cookie jar is
+// thread-safe); only the exported configuration fields must not be
+// mutated mid-crawl.
+type Browser struct {
+	client *http.Client
+	engine *engine.Engine
+	// UserAgent is sent on every request and bound into sitekey
+	// signatures.
+	UserAgent string
+	// FetchResources controls whether allowed sub-resources are actually
+	// downloaded (the survey counts matches either way; fetching
+	// exercises the full network path).
+	FetchResources bool
+	// AnnounceAdblock sends the X-Simulated-Adblock header, standing in
+	// for the script-based ad-block detection some sites (imgur) run.
+	AnnounceAdblock bool
+}
+
+// New wraps an HTTP client (typically webserver.Client) with a fresh
+// cookie jar and the filter engine. eng may be nil for a record-nothing
+// crawler (the parked-domain prober).
+func New(client *http.Client, eng *engine.Engine, userAgent string) (*Browser, error) {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return nil, fmt.Errorf("browser: cookie jar: %w", err)
+	}
+	c := *client
+	c.Jar = jar
+	if userAgent == "" {
+		userAgent = DefaultUserAgent
+	}
+	return &Browser{
+		client:          &c,
+		engine:          eng,
+		UserAgent:       userAgent,
+		FetchResources:  true,
+		AnnounceAdblock: true,
+	}, nil
+}
+
+// Visit is the result of one page load.
+type Visit struct {
+	// URL is the requested URL; FinalURL the one after redirects.
+	URL, FinalURL string
+	// Status is the final HTTP status code.
+	Status int
+	// SitekeyB64 is the verified base64 sitekey the server presented, "".
+	SitekeyB64 string
+	// Flags are the page-level allowances the engine granted.
+	Flags engine.PageFlags
+	// Activations are all recorded filter firings, in order.
+	Activations []engine.Activation
+	// Requests is the number of sub-resource requests the page issued.
+	Requests int
+	// BlockedRequests counts requests the engine cancelled.
+	BlockedRequests int
+	// FetchedRequests counts allowed requests actually downloaded.
+	FetchedRequests int
+	// DOM is the parsed landing page.
+	DOM *htmldom.Node
+	// Hidden lists element-hiding decisions.
+	Hidden []engine.ElementMatch
+}
+
+// Get performs a plain instrumented GET without filter evaluation,
+// returning the final response and body. The parked-domain prober uses it.
+func (b *Browser) Get(url string) (*http.Response, []byte, error) {
+	return b.get(url, false)
+}
+
+func (b *Browser) get(url string, dnt bool) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("browser: %w", err)
+	}
+	req.Header.Set("User-Agent", b.UserAgent)
+	if b.AnnounceAdblock {
+		req.Header.Set("X-Simulated-Adblock", "1")
+	}
+	if dnt {
+		req.Header.Set("DNT", "1")
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("browser: get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return nil, nil, fmt.Errorf("browser: read %s: %w", url, err)
+	}
+	return resp, body, nil
+}
+
+// Visit loads a page and runs the full instrumented pipeline.
+func (b *Browser) Visit(url string) (*Visit, error) {
+	resp, body, err := b.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	v := &Visit{
+		URL:      url,
+		FinalURL: resp.Request.URL.String(),
+		Status:   resp.StatusCode,
+	}
+	v.DOM = htmldom.Parse(string(body))
+	if b.engine == nil {
+		return v, nil
+	}
+
+	// Record every activation of this visit through a private session,
+	// so browsers sharing one engine can crawl concurrently.
+	sess := b.engine.NewSession(engine.RecorderFunc(func(a engine.Activation) {
+		v.Activations = append(v.Activations, a)
+	}))
+
+	// Sitekey verification: the X-Adblock-key header first, then the
+	// data-adblockkey attribute of the root element.
+	host := domainutil.HostOf(v.FinalURL)
+	uri := resp.Request.URL.RequestURI()
+	if header := resp.Header.Get("X-Adblock-key"); header != "" {
+		if key, err := sitekey.VerifyHeader(header, uri, host, b.UserAgent); err == nil {
+			v.SitekeyB64 = key
+		}
+	}
+	if v.SitekeyB64 == "" {
+		if attr := htmlAdblockKey(v.DOM); attr != "" {
+			if key, err := sitekey.VerifyHeader(attr, uri, host, b.UserAgent); err == nil {
+				v.SitekeyB64 = key
+			}
+		}
+	}
+
+	v.Flags = sess.PagePermissions(v.FinalURL, v.SitekeyB64)
+
+	// Sub-resource requests.
+	for _, res := range htmldom.ExtractResources(v.DOM, v.FinalURL) {
+		if strings.HasPrefix(res.URL, "data:") {
+			continue
+		}
+		v.Requests++
+		allowed, dnt := true, false
+		if !v.Flags.DocumentAllowed {
+			d := sess.MatchRequest(&engine.Request{
+				URL:          res.URL,
+				Type:         res.Type,
+				DocumentHost: host,
+			})
+			if d.Verdict == engine.Blocked {
+				allowed = false
+				v.BlockedRequests++
+			}
+			dnt = d.DoNotTrack
+		}
+		if allowed && b.FetchResources {
+			if _, _, err := b.get(res.URL, dnt); err == nil {
+				v.FetchedRequests++
+			}
+		}
+	}
+
+	// Element hiding, unless a page-level allowance disabled it.
+	if !v.Flags.DocumentAllowed && !v.Flags.ElemHideDisabled {
+		v.Hidden = sess.HideElements(v.DOM, v.FinalURL, host)
+	}
+	return v, nil
+}
+
+// htmlAdblockKey extracts the data-adblockkey attribute from the document's
+// root html element.
+func htmlAdblockKey(doc *htmldom.Node) string {
+	for _, n := range doc.Children {
+		if n.Tag == "html" {
+			if v, ok := n.Attr("data-adblockkey"); ok {
+				return v
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,342 @@
+package browser
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/sitekey"
+	"acceptableads/internal/webgen"
+	"acceptableads/internal/webserver"
+	"acceptableads/internal/xrand"
+)
+
+const testWhitelist = `[Adblock Plus 2.0]
+! reddit
+@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com
+reddit.com#@##ad_main
+! conversion tracking
+@@||stats.g.doubleclick.net^$script,image
+@@||gstatic.com^$third-party
+`
+
+const testEasylist = `[Adblock Plus 2.0]
+||adzerk.net^$third-party
+||stats.g.doubleclick.net^
+||ad.doubleclick.net^
+||adnxs.com^$third-party
+###ad_main
+###sidebar-ads
+##.ad-banner
+##.topbar-ad
+`
+
+func testSetup(t *testing.T) (*webserver.Server, *Browser) {
+	t.Helper()
+	u := alexa.NewUniverse(1, 1000000)
+	wl := filter.ParseListString("exceptionrules", testWhitelist)
+	corpus := webgen.New(1, u, wl)
+	srv := webserver.New(corpus)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	eng, err := engine.New(
+		engine.NamedList{Name: "easylist", List: filter.ParseListString("easylist", testEasylist)},
+		engine.NamedList{Name: "exceptionrules", List: wl},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(srv.Client(), eng, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, b
+}
+
+func TestVisitReddit(t *testing.T) {
+	_, b := testSetup(t)
+	v, err := b.Visit("http://reddit.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != http.StatusOK {
+		t.Fatalf("status = %d", v.Status)
+	}
+	// The reddit page embeds its adzerk frame (from the elemAllows
+	// derivation), which EasyList blocks and the whitelist re-allows:
+	// we must see activations from both lists.
+	lists := map[string]bool{}
+	for _, a := range v.Activations {
+		lists[a.List] = true
+	}
+	if !lists["exceptionrules"] {
+		t.Errorf("no whitelist activations; got %+v", v.Activations)
+	}
+	// The ad_main element exists, is hidden by EasyList, and un-hidden
+	// by the whitelist exception.
+	foundAllowed := false
+	for _, m := range v.Hidden {
+		if m.Node.ID() == "ad_main" && !m.Hidden() {
+			foundAllowed = true
+		}
+	}
+	if !foundAllowed {
+		t.Errorf("ad_main not un-hidden on reddit.com: %+v", v.Hidden)
+	}
+}
+
+func TestVisitBlocksWithoutException(t *testing.T) {
+	_, b := testSetup(t)
+	// sina.com.cn embeds heavy EasyList-only inventory; its requests to
+	// ad.doubleclick.net / adnxs must be blocked.
+	v, err := b.Visit("http://sina.com.cn/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.BlockedRequests == 0 {
+		t.Errorf("no blocked requests on sina.com.cn (requests=%d)", v.Requests)
+	}
+	if v.BlockedRequests+v.FetchedRequests > v.Requests {
+		t.Errorf("accounting broken: %d blocked + %d fetched > %d requests",
+			v.BlockedRequests, v.FetchedRequests, v.Requests)
+	}
+}
+
+func TestVisitCookiesChangeAskCom(t *testing.T) {
+	_, b := testSetup(t)
+	first, err := b.Visit("http://ask.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the browser an ask.com cookie by registering one through a
+	// Set-Cookie response: simplest is a second visit after priming the
+	// jar via a cookie-setting handler; webgen keys on "any cookies".
+	// The webserver never sets cookies for regular sites, so simulate a
+	// prior session by injecting a cookie into the jar.
+	reqURL := first.FinalURL
+	u := mustParse(t, reqURL)
+	b.client.Jar.SetCookies(u, []*http.Cookie{{Name: "session", Value: "1"}})
+	second, err := b.Visit("http://ask.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Requests >= first.Requests {
+		t.Errorf("ask.com requests: first=%d second=%d — want fewer with cookies",
+			first.Requests, second.Requests)
+	}
+}
+
+func TestVisitImgurDetection(t *testing.T) {
+	_, b := testSetup(t)
+	withDetection, err := b.Visit("http://imgur.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.AnnounceAdblock = false
+	without, err := b.Visit("http://imgur.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDetection.Requests == without.Requests &&
+		withDetection.BlockedRequests == without.BlockedRequests {
+		t.Error("imgur served identical pages with and without ad-block detection")
+	}
+}
+
+func TestVisitSitekeyParkedDomain(t *testing.T) {
+	srv, b := testSetup(t)
+	key, err := sitekey.GenerateKey(xrand.New(99), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB64 := key.PublicBase64()
+
+	// Rebuild the engine with a sitekey filter for this key.
+	eng, err := engine.New(
+		engine.NamedList{Name: "easylist", List: filter.ParseListString("easylist", testEasylist+"||parked-ads.example^\n")},
+		engine.NamedList{Name: "exceptionrules",
+			List: filter.ParseListString("exceptionrules", "@@$sitekey="+keyB64+",document\n")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.engine = eng
+
+	srv.Handle("reddit.cm", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sig, err := key.Sign(r.URL.RequestURI(), "reddit.cm", r.Header.Get("User-Agent"))
+		if err != nil {
+			http.Error(w, err.Error(), 500)
+			return
+		}
+		w.Header().Set("X-Adblock-key", sitekey.Header(keyB64, sig))
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, `<html data-adblockkey=%q><body><img src="http://parked-ads.example/banner.gif"></body></html>`,
+			sitekey.Header(keyB64, sig))
+	}))
+
+	v, err := b.Visit("http://reddit.cm/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SitekeyB64 != keyB64 {
+		t.Fatal("sitekey not verified")
+	}
+	if !v.Flags.DocumentAllowed {
+		t.Fatal("document allowance not granted")
+	}
+	if v.BlockedRequests != 0 {
+		t.Errorf("sitekey page still blocked %d requests", v.BlockedRequests)
+	}
+	// Without a signature the parked ads are blocked.
+	srv.Handle("parked2.cm", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, `<html><body><img src="http://parked-ads.example/banner.gif"></body></html>`)
+	}))
+	v2, err := b.Visit("http://parked2.cm/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Flags.DocumentAllowed {
+		t.Error("document allowed without sitekey")
+	}
+	if v2.BlockedRequests != 1 {
+		t.Errorf("unparked ads blocked = %d, want 1", v2.BlockedRequests)
+	}
+}
+
+func TestVisitWrongHostSignatureRejected(t *testing.T) {
+	srv, b := testSetup(t)
+	key, err := sitekey.GenerateKey(xrand.New(100), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB64 := key.PublicBase64()
+	eng, err := engine.New(engine.NamedList{Name: "exceptionrules",
+		List: filter.ParseListString("exceptionrules", "@@$sitekey="+keyB64+",document\n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.engine = eng
+	srv.Handle("victim.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Signature computed for a different host: must not verify.
+		sig, _ := key.Sign(r.URL.RequestURI(), "other.example", r.Header.Get("User-Agent"))
+		w.Header().Set("X-Adblock-key", sitekey.Header(keyB64, sig))
+		fmt.Fprint(w, "<html><body></body></html>")
+	}))
+	v, err := b.Visit("http://victim.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SitekeyB64 != "" || v.Flags.DocumentAllowed {
+		t.Error("cross-host signature accepted")
+	}
+}
+
+func TestGetFollowsRedirectsWithCookies(t *testing.T) {
+	srv, b := testSetup(t)
+	srv.Handle("uni.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Uniregistry-style behavior (§4.2.3): first hit sets a cookie
+		// and redirects; the landing page requires it.
+		if c, err := r.Cookie("uni"); err == nil && c.Value == "ok" {
+			fmt.Fprint(w, "<html><body>landing</body></html>")
+			return
+		}
+		if r.URL.Path == "/landing" {
+			http.Error(w, "no cookie", http.StatusForbidden)
+			return
+		}
+		http.SetCookie(w, &http.Cookie{Name: "uni", Value: "ok", Path: "/"})
+		http.Redirect(w, r, "/landing", http.StatusFound)
+	}))
+	resp, body, err := b.Get("http://uni.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || string(body) != "<html><body>landing</body></html>" {
+		t.Errorf("redirect+cookie flow failed: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestUserAgentCountermeasure(t *testing.T) {
+	srv, _ := testSetup(t)
+	srv.Handle("crew.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// ParkingCrew-style: 403 for curl-ish agents (§4.2.3).
+		if ua := r.Header.Get("User-Agent"); ua == "" || len(ua) < 20 {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		fmt.Fprint(w, "<html><body>parked</body></html>")
+	}))
+	curl, err := New(srv.Client(), nil, "curl/7.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := curl.Get("http://crew.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("curl UA got %d, want 403", resp.StatusCode)
+	}
+	real, err := New(srv.Client(), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err = real.Get("http://crew.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("browser UA got %d, want 200", resp.StatusCode)
+	}
+}
+
+func mustParse(t *testing.T, raw string) *url.URL {
+	t.Helper()
+	u, err := url.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestDNTHeaderSentOnSignalledRequests(t *testing.T) {
+	srv, _ := testSetup(t)
+	var gotDNT []string
+	srv.Handle("tracker.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotDNT = append(gotDNT, r.Header.Get("DNT"))
+		fmt.Fprint(w, "ok")
+	}))
+	srv.Handle("dnt-page.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, `<html><body><img src="http://tracker.example/pixel.gif"></body></html>`)
+	}))
+	eng, err := engine.New(
+		engine.NamedList{Name: "dntlist",
+			List: filter.ParseListString("dntlist", "||tracker.example^$donottrack\n")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(srv.Client(), eng, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Visit("http://dnt-page.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.BlockedRequests != 0 {
+		t.Fatalf("DNT filter blocked a request")
+	}
+	if len(gotDNT) != 1 || gotDNT[0] != "1" {
+		t.Errorf("tracker saw DNT headers %v, want [1]", gotDNT)
+	}
+}

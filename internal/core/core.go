@@ -1,0 +1,337 @@
+// Package core is the public façade of the reproduction: a Study wires
+// together the synthesized whitelist history, the EasyList-scale blocking
+// list, the Alexa universe, and lazily runs each of the paper's analyses —
+// history churn (Table 1, Figure 3), whitelist scope (Figure 4, Table 2),
+// the instrumented site survey (Table 4, Figures 6–8), the parked-domain
+// scan (Table 3), the sitekey exploit (Figure 5), the perception survey
+// (Figure 9), and the undocumented-filter and hygiene reports (§7, §8).
+//
+// All cmd/ binaries and examples build on this type; every result is
+// deterministic in the study seed.
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/histanalysis"
+	"acceptableads/internal/histgen"
+	"acceptableads/internal/mturk"
+	"acceptableads/internal/parked"
+	"acceptableads/internal/sitekey"
+	"acceptableads/internal/sitesurvey"
+	"acceptableads/internal/transparency"
+	"acceptableads/internal/xrand"
+)
+
+// DefaultSeed is the seed every table and figure in EXPERIMENTS.md was
+// produced with.
+const DefaultSeed = 42
+
+// Study is the top-level handle over the whole reproduction.
+type Study struct {
+	Seed uint64
+
+	mu       sync.Mutex
+	history  *histgen.History
+	easy     *filter.List
+	universe *alexa.Universe
+}
+
+// NewStudy creates a study for a seed (0 means DefaultSeed).
+func NewStudy(seed uint64) *Study {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	return &Study{Seed: seed}
+}
+
+// History synthesizes (once) the 989-revision whitelist history.
+func (s *Study) History() (*histgen.History, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.history == nil {
+		h, err := histgen.Generate(histgen.Config{Seed: s.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("core: history: %w", err)
+		}
+		s.history = h
+		s.universe = h.Universe
+	}
+	return s.history, nil
+}
+
+// Universe returns the Alexa ranking shared by all analyses.
+func (s *Study) Universe() (*alexa.Universe, error) {
+	if _, err := s.History(); err != nil {
+		return nil, err
+	}
+	return s.universe, nil
+}
+
+// Whitelist returns the Rev-988 Acceptable Ads list.
+func (s *Study) Whitelist() (*filter.List, error) {
+	h, err := s.History()
+	if err != nil {
+		return nil, err
+	}
+	return h.FinalList(), nil
+}
+
+// EasyList synthesizes (once) the blocking list.
+func (s *Study) EasyList() *filter.List {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.easy == nil {
+		s.easy = easylist.Generate(s.Seed, easylist.DefaultSize)
+	}
+	return s.easy
+}
+
+// Engine builds an instrumented engine over EasyList plus the whitelist.
+func (s *Study) Engine() (*engine.Engine, error) {
+	wl, err := s.Whitelist()
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(
+		engine.NamedList{Name: "easylist", List: s.EasyList()},
+		engine.NamedList{Name: "exceptionrules", List: wl},
+	)
+}
+
+// Table1 computes the yearly whitelist activity.
+func (s *Study) Table1() ([]histanalysis.YearActivity, error) {
+	h, err := s.History()
+	if err != nil {
+		return nil, err
+	}
+	return histanalysis.YearlyActivity(h.Repo), nil
+}
+
+// Growth computes Figure 3's per-revision series.
+func (s *Study) Growth() ([]histanalysis.GrowthPoint, error) {
+	h, err := s.History()
+	if err != nil {
+		return nil, err
+	}
+	return histanalysis.Growth(h.Repo), nil
+}
+
+// Table2 computes the whitelisted-domain counts per Alexa partition.
+func (s *Study) Table2() ([]histanalysis.PartitionCount, error) {
+	h, err := s.History()
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]struct {
+		Name string
+		Max  int
+	}, 0, 6)
+	for _, p := range alexa.Partitions() {
+		parts = append(parts, struct {
+			Name string
+			Max  int
+		}{p.Name, p.Max})
+	}
+	return histanalysis.DomainPartitions(h.FinalList(), h, parts), nil
+}
+
+// Scopes classifies the final whitelist (Figure 4).
+func (s *Study) Scopes() (filter.ScopeCount, error) {
+	wl, err := s.Whitelist()
+	if err != nil {
+		return filter.ScopeCount{}, err
+	}
+	return filter.CountScopes(wl), nil
+}
+
+// AFilters detects the undocumented groups in the final snapshot and scans
+// the history for their timeline (§7, Figure 11).
+func (s *Study) AFilters() ([]histanalysis.AFilterGroup, histanalysis.AFilterHistory, error) {
+	h, err := s.History()
+	if err != nil {
+		return nil, histanalysis.AFilterHistory{}, err
+	}
+	return histanalysis.DetectAFilters(h.FinalList()), histanalysis.ScanAFilters(h.Repo), nil
+}
+
+// Hygiene lints the final snapshot (§8).
+func (s *Study) Hygiene() (histanalysis.HygieneReport, error) {
+	wl, err := s.Whitelist()
+	if err != nil {
+		return histanalysis.HygieneReport{}, err
+	}
+	return histanalysis.Lint(wl), nil
+}
+
+// Transparency scores the whitelist against §8's recommendations:
+// overly-general filters, redundant (shadowed) filters, and the
+// group-disclosure report.
+func (s *Study) Transparency() ([]transparency.GeneralFilter, []transparency.Shadowing, transparency.Report, error) {
+	h, err := s.History()
+	if err != nil {
+		return nil, nil, transparency.Report{}, err
+	}
+	wl := h.FinalList()
+	return transparency.OverlyGeneral(wl), transparency.Redundant(wl),
+		transparency.BuildReport(wl, h.Repo), nil
+}
+
+// RunSurvey executes the §5 site survey. topN/stratum of 0 use the paper's
+// 5,000/1,000.
+func (s *Study) RunSurvey(topN, stratum int) (*sitesurvey.Survey, error) {
+	return s.RunSurveyWorkers(topN, stratum, 0)
+}
+
+// RunSurveyWorkers is RunSurvey with explicit crawl parallelism (0 = 8).
+func (s *Study) RunSurveyWorkers(topN, stratum, workers int) (*sitesurvey.Survey, error) {
+	h, err := s.History()
+	if err != nil {
+		return nil, err
+	}
+	return sitesurvey.Run(sitesurvey.Config{
+		Seed:        s.Seed,
+		Universe:    h.Universe,
+		Whitelist:   h.FinalList(),
+		EasyList:    s.EasyList(),
+		TopN:        topN,
+		StratumSize: stratum,
+		Workers:     workers,
+	})
+}
+
+// RunSurveyAtRev surveys a historical whitelist revision against the fixed
+// 2015 web (whose publisher pages reflect Rev 988): "how much did the
+// program's reach grow between revisions?" — the longitudinal view the
+// paper's Figure 3 implies but never crawls.
+func (s *Study) RunSurveyAtRev(rev, topN, stratum int) (*sitesurvey.Survey, error) {
+	h, err := s.History()
+	if err != nil {
+		return nil, err
+	}
+	r := h.Repo.Rev(rev)
+	if r == nil {
+		return nil, fmt.Errorf("core: revision %d out of range [0,%d]", rev, h.Repo.Len()-1)
+	}
+	return sitesurvey.Run(sitesurvey.Config{
+		Seed:            s.Seed,
+		Universe:        h.Universe,
+		Whitelist:       filter.ParseListString("exceptionrules", r.Content),
+		CorpusWhitelist: h.FinalList(),
+		EasyList:        s.EasyList(),
+		TopN:            topN,
+		StratumSize:     stratum,
+	})
+}
+
+// ParkedScan runs the Table 3 zone scan at the given scale divisor (0
+// means 1000).
+func (s *Study) ParkedScan(scale int) (*parked.ScanResult, error) {
+	h, err := s.History()
+	if err != nil {
+		return nil, err
+	}
+	return parked.Scan(parked.ScanConfig{
+		Seed:     s.Seed,
+		Scale:    scale,
+		Services: parked.ServicesFromHistory(h),
+	})
+}
+
+// Perception runs the §6 survey simulation.
+func (s *Study) Perception() *mturk.Result {
+	return mturk.Run(s.Seed)
+}
+
+// ExploitResult is the outcome of the Figure 5 sitekey attack.
+type ExploitResult struct {
+	// KeyBits is the factored modulus size.
+	KeyBits int
+	// VictimService is whose key was attacked.
+	VictimService string
+	// ForgedDomain is the site the attacker whitelisted.
+	ForgedDomain string
+	// BlockedWithout / BlockedWith count blocked requests on the forged
+	// site before and after presenting the forged signature.
+	BlockedWithout, BlockedWith int
+}
+
+// SitekeyExploit reproduces the §4.2.3 attack at demonstration scale: mint
+// a weak key, install it in a whitelist as a parking service would, factor
+// the public half, and show a hostile page bypassing all blocking. bits of
+// 0 uses a 64-bit modulus (milliseconds); the paper's 512-bit keys took a
+// week of cluster time with CADO-NFS.
+func (s *Study) SitekeyExploit(bits int) (*ExploitResult, error) {
+	if bits == 0 {
+		bits = 64
+	}
+	victim, err := sitekey.GenerateKey(xrand.New(s.Seed^0xFAC7), bits)
+	if err != nil {
+		return nil, err
+	}
+	// The attacker sees only the whitelist filter's public key.
+	pubB64 := victim.PublicBase64()
+	pub, err := sitekey.ParsePublicBase64(pubB64)
+	if err != nil {
+		return nil, err
+	}
+	forged, err := sitekey.RecoverPrivateKey(pub, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: factoring failed: %w", err)
+	}
+	// Prove the recovery is real: the reconstructed private exponent must
+	// invert the public operation. (Demo-scale moduli are too small for a
+	// full SHA-1 PKCS#1 signature, which needs ≥280 bits; the paper's
+	// 512-bit keys both factor — in a week on a cluster — and sign.)
+	if err := rawRSARoundTrip(forged); err != nil {
+		return nil, fmt.Errorf("core: recovered key unusable: %w", err)
+	}
+
+	eng, err := engine.New(
+		engine.NamedList{Name: "easylist",
+			List: filter.ParseListString("easylist", "||ads.evil-network.example^\n")},
+		engine.NamedList{Name: "exceptionrules",
+			List: filter.ParseListString("exceptionrules", "@@$sitekey="+pubB64+",document\n")},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ExploitResult{KeyBits: bits, VictimService: "Sedo (demo-scale key)",
+		ForgedDomain: "malicious-publisher.example"}
+	adReq := &engine.Request{
+		URL:          "http://ads.evil-network.example/intrusive.js",
+		Type:         filter.TypeScript,
+		DocumentHost: res.ForgedDomain,
+	}
+	// Without the sitekey: blocked.
+	if d := eng.MatchRequest(adReq); d.Verdict == engine.Blocked {
+		res.BlockedWithout = 1
+	}
+	// With the recovered key the attacker signs their own site into the
+	// program: the page gets a document-level allowance and nothing is
+	// blocked.
+	flags := eng.PagePermissions("http://"+res.ForgedDomain+"/", forged.PublicBase64())
+	if !flags.DocumentAllowed {
+		return nil, fmt.Errorf("core: forged key did not grant allowance")
+	}
+	res.BlockedWith = 0
+	return res, nil
+}
+
+// rawRSARoundTrip checks (m^d)^e ≡ m (mod n) for a fixed message.
+func rawRSARoundTrip(k *sitekey.PrivateKey) error {
+	m := big.NewInt(0x5eed_f00d)
+	sig := new(big.Int).Exp(m, k.D, k.N)
+	back := new(big.Int).Exp(sig, big.NewInt(int64(k.E)), k.N)
+	if back.Cmp(m) != 0 {
+		return fmt.Errorf("round trip failed")
+	}
+	return nil
+}

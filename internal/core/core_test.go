@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"acceptableads/internal/histgen"
+)
+
+var (
+	studyOnce sync.Once
+	study     *Study
+)
+
+func sharedStudy() *Study {
+	studyOnce.Do(func() { study = NewStudy(0) })
+	return study
+}
+
+func TestDefaultSeed(t *testing.T) {
+	if sharedStudy().Seed != DefaultSeed {
+		t.Errorf("seed = %d", sharedStudy().Seed)
+	}
+}
+
+func TestTable1Facade(t *testing.T) {
+	rows, err := sharedStudy().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].Year != 2011 || rows[4].FiltersAdded != 1227 {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestTable2Facade(t *testing.T) {
+	rows, err := sharedStudy().Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "All" || rows[0].Domains != histgen.FinalESLDs {
+		t.Errorf("All row = %+v", rows[0])
+	}
+}
+
+func TestGrowthFacade(t *testing.T) {
+	pts, err := sharedStudy().Growth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != histgen.TotalRevisions {
+		t.Errorf("points = %d", len(pts))
+	}
+}
+
+func TestScopesFacade(t *testing.T) {
+	sc, err := sharedStudy().Scopes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Unrestricted != 156 || sc.Sitekey != 25 {
+		t.Errorf("scopes = %+v", sc)
+	}
+}
+
+func TestAFiltersFacade(t *testing.T) {
+	groups, hist, err := sharedStudy().AFilters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 56 || len(hist.EverSeen) != 61 {
+		t.Errorf("groups = %d, ever = %d", len(groups), len(hist.EverSeen))
+	}
+}
+
+func TestHygieneFacade(t *testing.T) {
+	rep, err := sharedStudy().Hygiene()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DuplicateLines != 35 || len(rep.Malformed) != 8 {
+		t.Errorf("hygiene = %d dups, %d malformed", rep.DuplicateLines, len(rep.Malformed))
+	}
+}
+
+func TestEngineFacade(t *testing.T) {
+	eng, err := sharedStudy().Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumFilters() < 30000 {
+		t.Errorf("engine filters = %d", eng.NumFilters())
+	}
+}
+
+func TestSmallSurveyFacade(t *testing.T) {
+	// A reduced survey exercises the full pipeline quickly.
+	s, err := sharedStudy().RunSurvey(200, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(s.Results) != 200+3*50 {
+		t.Errorf("results = %d", len(s.Results))
+	}
+}
+
+func TestParkedScanFacade(t *testing.T) {
+	res, err := sharedStudy().ParkedScan(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestPerceptionFacade(t *testing.T) {
+	r := sharedStudy().Perception()
+	if len(r.Workers) != 305 || len(r.Ads) != 15 {
+		t.Errorf("perception = %d workers, %d ads", len(r.Workers), len(r.Ads))
+	}
+}
+
+func TestSitekeyExploit(t *testing.T) {
+	res, err := sharedStudy().SitekeyExploit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockedWithout != 1 || res.BlockedWith != 0 {
+		t.Errorf("exploit = %+v", res)
+	}
+	if res.KeyBits != 64 {
+		t.Errorf("key bits = %d", res.KeyBits)
+	}
+}
+
+// TestSurveyAtOldRevision: the 2013 whitelist (pre-Google, Rev 150)
+// triggers on far fewer of the same 2015 pages than Rev 988 does — the
+// longitudinal impact view.
+func TestSurveyAtOldRevision(t *testing.T) {
+	study := sharedStudy()
+	old, err := study.RunSurveyAtRev(150, 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	current, err := study.RunSurvey(400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer current.Close()
+
+	oldSum, curSum := old.Summarize(), current.Summarize()
+	if oldSum.WhitelistSites >= curSum.WhitelistSites {
+		t.Errorf("rev 150 whitelist sites %d >= rev 988's %d",
+			oldSum.WhitelistSites, curSum.WhitelistSites)
+	}
+	// The web itself is identical: EasyList-side activity matches.
+	if oldSum.Sites != curSum.Sites {
+		t.Errorf("site counts differ: %d vs %d", oldSum.Sites, curSum.Sites)
+	}
+}

@@ -1,0 +1,385 @@
+// Package css implements the CSS selector subset Adblock Plus element
+// hiding filters use: type, #id, .class and [attribute] simple selectors,
+// compound selectors, descendant and child combinators, and comma-separated
+// selector groups.
+//
+// Selectors compile once into a Selector value and then match
+// internal/htmldom nodes. The engine package builds an id/class index over
+// compiled selectors so whole-document hiding stays fast on EasyList-scale
+// rule sets.
+package css
+
+import (
+	"errors"
+	"strings"
+
+	"acceptableads/internal/htmldom"
+)
+
+// Selector is a compiled selector group ready for matching.
+type Selector struct {
+	raw    string
+	groups []complexSelector
+}
+
+// complexSelector is a chain of compound selectors joined by combinators,
+// stored right-to-left: seq[0] matches the subject element itself.
+type complexSelector struct {
+	seq []step
+}
+
+type step struct {
+	compound compound
+	// combinator relates this step to the previous (more specific) one:
+	// ' ' descendant, '>' child. Unused on seq[0].
+	combinator byte
+}
+
+// compound is an intersection of simple selectors.
+type compound struct {
+	tag     string // "" or "*" matches any element
+	id      string
+	classes []string
+	attrs   []attrTest
+}
+
+type attrTest struct {
+	name string
+	op   byte // 0 presence, '=' exact, '^' prefix, '*' substring, '$' suffix, '~' word
+	val  string
+}
+
+// Compile parses a selector group. It returns an error for constructs
+// outside the supported subset (pseudo-classes, sibling combinators).
+func Compile(s string) (*Selector, error) {
+	sel := &Selector{raw: s}
+	for _, part := range splitTopLevel(s, ',') {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, errors.New("css: empty selector in group")
+		}
+		cx, err := compileComplex(part)
+		if err != nil {
+			return nil, err
+		}
+		sel.groups = append(sel.groups, cx)
+	}
+	if len(sel.groups) == 0 {
+		return nil, errors.New("css: empty selector")
+	}
+	return sel, nil
+}
+
+// String returns the original selector text.
+func (s *Selector) String() string { return s.raw }
+
+// Key returns an index key for the selector if every match candidate must
+// carry a specific id or class: ("#id", true), (".class", true), or
+// ("", false) when the selector needs a full scan. Only the subject
+// compound (rightmost) is consulted.
+func (s *Selector) Key() (string, bool) {
+	if len(s.groups) != 1 {
+		return "", false
+	}
+	c := s.groups[0].seq[0].compound
+	if c.id != "" {
+		return "#" + c.id, true
+	}
+	if len(c.classes) > 0 {
+		return "." + c.classes[0], true
+	}
+	return "", false
+}
+
+// Match reports whether node matches the selector.
+func (s *Selector) Match(n *htmldom.Node) bool {
+	if !n.IsElement() {
+		return false
+	}
+	for _, g := range s.groups {
+		if g.match(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchAll returns every element under root (inclusive) matching the
+// selector, in document order.
+func (s *Selector) MatchAll(root *htmldom.Node) []*htmldom.Node {
+	var out []*htmldom.Node
+	root.Walk(func(n *htmldom.Node) bool {
+		if s.Match(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+func (cx complexSelector) match(n *htmldom.Node) bool {
+	if !cx.seq[0].compound.match(n) {
+		return false
+	}
+	node := n
+	for i := 1; i < len(cx.seq); i++ {
+		st := cx.seq[i]
+		switch cx.seq[i-1].combinator {
+		case '>':
+			node = node.Parent
+			if node == nil || !node.IsElement() || !st.compound.match(node) {
+				return false
+			}
+		default: // descendant
+			node = node.Parent
+			for node != nil {
+				if node.IsElement() && st.compound.match(node) {
+					break
+				}
+				node = node.Parent
+			}
+			if node == nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c compound) match(n *htmldom.Node) bool {
+	if c.tag != "" && c.tag != "*" && n.Tag != c.tag {
+		return false
+	}
+	if c.id != "" && n.ID() != c.id {
+		return false
+	}
+	for _, cl := range c.classes {
+		if !n.HasClass(cl) {
+			return false
+		}
+	}
+	for _, at := range c.attrs {
+		v, ok := n.Attr(at.name)
+		if !ok {
+			return false
+		}
+		switch at.op {
+		case 0:
+		case '=':
+			if v != at.val {
+				return false
+			}
+		case '^':
+			if !strings.HasPrefix(v, at.val) {
+				return false
+			}
+		case '$':
+			if !strings.HasSuffix(v, at.val) {
+				return false
+			}
+		case '*':
+			if !strings.Contains(v, at.val) {
+				return false
+			}
+		case '~':
+			found := false
+			for _, w := range strings.Fields(v) {
+				if w == at.val {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// splitTopLevel splits on sep outside of [] brackets.
+func splitTopLevel(s string, sep byte) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			if depth > 0 {
+				depth--
+			}
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func compileComplex(s string) (complexSelector, error) {
+	// Tokenize into compounds and combinators, left to right, then
+	// reverse so seq[0] is the subject.
+	type unit struct {
+		text string
+		comb byte // combinator that FOLLOWS this compound
+	}
+	var units []unit
+	i := 0
+	for i < len(s) {
+		// Skip whitespace; detect combinator.
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		comb := byte(' ')
+		if s[i] == '>' {
+			comb = '>'
+			i++
+			for i < len(s) && s[i] == ' ' {
+				i++
+			}
+		}
+		start := i
+		depth := 0
+		for i < len(s) {
+			if s[i] == '[' {
+				depth++
+			} else if s[i] == ']' {
+				depth--
+			} else if depth == 0 && (s[i] == ' ' || s[i] == '>') {
+				break
+			}
+			i++
+		}
+		text := s[start:i]
+		if text == "" {
+			return complexSelector{}, errors.New("css: dangling combinator in " + s)
+		}
+		if len(units) > 0 {
+			units[len(units)-1].comb = comb
+		} else if comb == '>' {
+			return complexSelector{}, errors.New("css: selector starts with combinator: " + s)
+		}
+		units = append(units, unit{text: text})
+	}
+	if len(units) == 0 {
+		return complexSelector{}, errors.New("css: empty selector")
+	}
+	// Build right-to-left: seq[0] is the subject compound. The combinator
+	// stored on seq[k] tells how seq[k+1] (an ancestor) relates to seq[k];
+	// in source order that is the combinator written before units[i],
+	// i.e. units[i-1].comb.
+	var cx complexSelector
+	for i := len(units) - 1; i >= 0; i-- {
+		c, err := compileCompound(units[i].text)
+		if err != nil {
+			return complexSelector{}, err
+		}
+		cx.seq = append(cx.seq, step{compound: c})
+	}
+	for k := 0; k < len(cx.seq)-1; k++ {
+		srcIdx := len(units) - 1 - k
+		cx.seq[k].combinator = units[srcIdx-1].comb
+	}
+	return cx, nil
+}
+
+func compileCompound(s string) (compound, error) {
+	var c compound
+	i := 0
+	// Leading type selector or universal.
+	start := i
+	for i < len(s) && isNameChar(s[i]) {
+		i++
+	}
+	if i > start {
+		c.tag = strings.ToLower(s[start:i])
+	} else if i < len(s) && s[i] == '*' {
+		c.tag = "*"
+		i++
+	}
+	for i < len(s) {
+		switch s[i] {
+		case '#':
+			i++
+			start = i
+			for i < len(s) && isNameChar(s[i]) {
+				i++
+			}
+			if i == start {
+				return c, errors.New("css: empty id selector in " + s)
+			}
+			c.id = s[start:i]
+		case '.':
+			i++
+			start = i
+			for i < len(s) && isNameChar(s[i]) {
+				i++
+			}
+			if i == start {
+				return c, errors.New("css: empty class selector in " + s)
+			}
+			c.classes = append(c.classes, s[start:i])
+		case '[':
+			end := strings.IndexByte(s[i:], ']')
+			if end < 0 {
+				return c, errors.New("css: unterminated attribute selector in " + s)
+			}
+			at, err := compileAttr(s[i+1 : i+end])
+			if err != nil {
+				return c, err
+			}
+			c.attrs = append(c.attrs, at)
+			i += end + 1
+		default:
+			return c, errors.New("css: unsupported selector syntax at " + s[i:])
+		}
+	}
+	return c, nil
+}
+
+func compileAttr(s string) (attrTest, error) {
+	s = strings.TrimSpace(s)
+	var at attrTest
+	i := 0
+	for i < len(s) && (isNameChar(s[i]) || s[i] == ':') {
+		i++
+	}
+	if i == 0 {
+		return at, errors.New("css: empty attribute name")
+	}
+	at.name = strings.ToLower(s[:i])
+	if i == len(s) {
+		return at, nil // presence test
+	}
+	switch s[i] {
+	case '=':
+		at.op = '='
+		i++
+	case '^', '$', '*', '~':
+		at.op = s[i]
+		if i+1 >= len(s) || s[i+1] != '=' {
+			return at, errors.New("css: malformed attribute operator in " + s)
+		}
+		i += 2
+	default:
+		return at, errors.New("css: malformed attribute selector " + s)
+	}
+	val := s[i:]
+	if len(val) >= 2 && (val[0] == '"' || val[0] == '\'') && val[len(val)-1] == val[0] {
+		val = val[1 : len(val)-1]
+	}
+	at.val = val
+	return at, nil
+}
+
+func isNameChar(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' ||
+		b >= '0' && b <= '9' || b == '-' || b == '_'
+}

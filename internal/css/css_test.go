@@ -1,0 +1,175 @@
+package css
+
+import (
+	"testing"
+
+	"acceptableads/internal/htmldom"
+)
+
+const page = `<html><body>
+	<div id="siteTable_organic" class="sponsored thing">sponsored link</div>
+	<div id="ad_main"><iframe src="x"></iframe></div>
+	<div class="ButtonAd big">btn</div>
+	<div id="sideads"><ul><li class="item">a</li><li class="item last">b</li></ul></div>
+	<span data-ad-slot="top" data-kind="banner">s</span>
+	<div id="influads_block"><img src="y"></div>
+	<section><div class="inner"><p class="deep">t</p></div></section>
+</body></html>`
+
+func doc(t *testing.T) *htmldom.Node {
+	t.Helper()
+	return htmldom.Parse(page)
+}
+
+func mustCompile(t *testing.T, s string) *Selector {
+	t.Helper()
+	sel, err := Compile(s)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", s, err)
+	}
+	return sel
+}
+
+func TestIDSelector(t *testing.T) {
+	// The paper's Reddit element filter selector.
+	sel := mustCompile(t, "#siteTable_organic")
+	got := sel.MatchAll(doc(t))
+	if len(got) != 1 || got[0].ID() != "siteTable_organic" {
+		t.Fatalf("matched %d nodes", len(got))
+	}
+}
+
+func TestClassSelector(t *testing.T) {
+	// Appendix A's ".ButtonAd" example.
+	sel := mustCompile(t, ".ButtonAd")
+	got := sel.MatchAll(doc(t))
+	if len(got) != 1 || !got[0].HasClass("big") {
+		t.Fatalf("matched %d nodes", len(got))
+	}
+}
+
+func TestTagSelector(t *testing.T) {
+	sel := mustCompile(t, "iframe")
+	if got := sel.MatchAll(doc(t)); len(got) != 1 {
+		t.Fatalf("matched %d iframes, want 1", len(got))
+	}
+}
+
+func TestCompoundSelector(t *testing.T) {
+	sel := mustCompile(t, "div.sponsored.thing")
+	got := sel.MatchAll(doc(t))
+	if len(got) != 1 || got[0].ID() != "siteTable_organic" {
+		t.Fatalf("compound matched %d", len(got))
+	}
+	none := mustCompile(t, "span.sponsored")
+	if got := none.MatchAll(doc(t)); len(got) != 0 {
+		t.Fatalf("span.sponsored matched %d, want 0", len(got))
+	}
+}
+
+func TestAttributeSelectors(t *testing.T) {
+	cases := []struct {
+		sel  string
+		want int
+	}{
+		{`[data-ad-slot]`, 1},
+		{`[data-ad-slot=top]`, 1},
+		{`[data-ad-slot="top"]`, 1},
+		{`[data-ad-slot=bottom]`, 0},
+		{`span[data-kind^=ban]`, 1},
+		{`span[data-kind$=ner]`, 1},
+		{`span[data-kind*=anne]`, 1},
+		{`[class~=last]`, 1},
+	}
+	d := doc(t)
+	for _, c := range cases {
+		sel := mustCompile(t, c.sel)
+		if got := sel.MatchAll(d); len(got) != c.want {
+			t.Errorf("%q matched %d, want %d", c.sel, len(got), c.want)
+		}
+	}
+}
+
+func TestDescendantCombinator(t *testing.T) {
+	sel := mustCompile(t, "#sideads .item")
+	if got := sel.MatchAll(doc(t)); len(got) != 2 {
+		t.Fatalf("descendant matched %d, want 2", len(got))
+	}
+	sel2 := mustCompile(t, "section p.deep")
+	if got := sel2.MatchAll(doc(t)); len(got) != 1 {
+		t.Fatalf("deep descendant matched %d, want 1", len(got))
+	}
+}
+
+func TestChildCombinator(t *testing.T) {
+	sel := mustCompile(t, "#sideads > ul > li")
+	if got := sel.MatchAll(doc(t)); len(got) != 2 {
+		t.Fatalf("child matched %d, want 2", len(got))
+	}
+	// li is not a direct child of #sideads.
+	sel2 := mustCompile(t, "#sideads > li")
+	if got := sel2.MatchAll(doc(t)); len(got) != 0 {
+		t.Fatalf("#sideads > li matched %d, want 0", len(got))
+	}
+	// Mixed: descendant then child.
+	sel3 := mustCompile(t, "section div > p")
+	if got := sel3.MatchAll(doc(t)); len(got) != 1 {
+		t.Fatalf("mixed combinators matched %d, want 1", len(got))
+	}
+}
+
+func TestSelectorGroups(t *testing.T) {
+	sel := mustCompile(t, "#ad_main, .ButtonAd, #influads_block")
+	if got := sel.MatchAll(doc(t)); len(got) != 3 {
+		t.Fatalf("group matched %d, want 3", len(got))
+	}
+}
+
+func TestUniversalSelector(t *testing.T) {
+	sel := mustCompile(t, "*[data-kind]")
+	if got := sel.MatchAll(doc(t)); len(got) != 1 {
+		t.Fatalf("universal matched %d, want 1", len(got))
+	}
+}
+
+func TestKey(t *testing.T) {
+	cases := []struct {
+		sel     string
+		key     string
+		indexed bool
+	}{
+		{"#ad_main", "#ad_main", true},
+		{".ButtonAd", ".ButtonAd", true},
+		{"div#ad_main", "#ad_main", true},
+		{"div", "", false},
+		{"[data-x]", "", false},
+		{"#a, #b", "", false},
+	}
+	for _, c := range cases {
+		sel := mustCompile(t, c.sel)
+		key, ok := sel.Key()
+		if key != c.key || ok != c.indexed {
+			t.Errorf("Key(%q) = %q,%v want %q,%v", c.sel, key, ok, c.key, c.indexed)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"", " , ", "div:hover", "#", ".", "[", "[=x]", "> div", "div >",
+		"a + b", "[attr!=x]",
+	}
+	for _, s := range bad {
+		if _, err := Compile(s); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMatchNonElement(t *testing.T) {
+	sel := mustCompile(t, "*")
+	text := &htmldom.Node{Tag: "#text", Text: "x"}
+	if sel.Match(text) {
+		t.Error("selector matched a text node")
+	}
+}

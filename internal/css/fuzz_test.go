@@ -1,0 +1,38 @@
+package css
+
+import (
+	"strings"
+	"testing"
+
+	"acceptableads/internal/htmldom"
+)
+
+// FuzzCompile: the selector compiler either rejects the input or produces
+// a selector that can match a document without panicking.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"#siteTable_organic", ".ButtonAd", "div.a.b", "#a > .b [x=y]",
+		"*[data-kind^=ban]", "#a, .b, c", "a b > c", "[class~=last]",
+		"div:hover", "[", "#", "..", "> x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	doc := htmldom.Parse(`<div id="a" class="b c" data-kind="banner"><p class="last">x</p></div>`)
+	f.Fuzz(func(t *testing.T, s string) {
+		if strings.ContainsAny(s, "\n\r") {
+			t.Skip()
+		}
+		sel, err := Compile(s)
+		if err != nil {
+			return
+		}
+		_ = sel.MatchAll(doc) // must not panic
+		if sel.String() != s {
+			t.Fatalf("String() = %q, want %q", sel.String(), s)
+		}
+		if key, ok := sel.Key(); ok && key == "" {
+			t.Fatal("indexed selector with empty key")
+		}
+	})
+}

@@ -1,0 +1,176 @@
+// Package dnszone models the .com TLD zone file the paper used to find
+// parked domains (§4.2.3): an RFC-1035-style master file of NS records, a
+// writer/parser pair, a deterministic synthesizer that plants parked
+// domains for each sitekey parking service at Table 3's proportions, and
+// the name-server attribution scan that produces the candidate lists.
+package dnszone
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"acceptableads/internal/xrand"
+)
+
+// Record is one zone entry (we only need NS records, but the parser keeps
+// whatever it reads).
+type Record struct {
+	// Name is the owner name relative to the origin (e.g. "example" in
+	// the com zone means example.com).
+	Name string
+	// Type is the RR type, e.g. "NS".
+	Type string
+	// Value is the RDATA, e.g. the name server host.
+	Value string
+}
+
+// Zone is a parsed or synthesized zone.
+type Zone struct {
+	// Origin is the zone apex, e.g. "com.".
+	Origin string
+	// Records lists entries in file order.
+	Records []Record
+}
+
+// Write emits the zone in master-file syntax.
+func (z *Zone) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "$ORIGIN %s\n$TTL 86400\n", z.Origin); err != nil {
+		return err
+	}
+	for _, r := range z.Records {
+		if _, err := fmt.Fprintf(bw, "%s\tIN\t%s\t%s\n", r.Name, r.Type, r.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a master file produced by Write (plus comments and blank
+// lines).
+func Parse(r io.Reader) (*Zone, error) {
+	z := &Zone{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "$ORIGIN") {
+			z.Origin = strings.TrimSpace(strings.TrimPrefix(line, "$ORIGIN"))
+			continue
+		}
+		if strings.HasPrefix(line, "$") {
+			continue // $TTL and friends
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[1] != "IN" {
+			return nil, fmt.Errorf("dnszone: line %d: malformed record %q", lineNo, line)
+		}
+		z.Records = append(z.Records, Record{Name: fields[0], Type: fields[2], Value: fields[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// FQDN resolves a record's owner name against the origin.
+func (z *Zone) FQDN(name string) string {
+	origin := strings.TrimSuffix(z.Origin, ".")
+	if strings.HasSuffix(name, ".") {
+		return strings.TrimSuffix(name, ".")
+	}
+	return name + "." + origin
+}
+
+// ServiceDomains is the Table 3 synthesis plan: domains per parking
+// service at a given scale divisor.
+type ServiceDomains struct {
+	Service     string
+	NameServers []string
+	// Count is the number of parked domains planted in the zone.
+	Count int
+	// FullCount is the paper's unscaled .com figure.
+	FullCount int
+}
+
+// ScaledCount divides the full figure by scale, keeping at least one
+// domain per service so even Digimedia's 25 survive aggressive scaling.
+func ScaledCount(full, scale int) int {
+	if scale <= 1 {
+		return full
+	}
+	n := (full + scale/2) / scale
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// GenerateCom synthesizes a .com zone containing parked domains for each
+// service (per plan) plus roughly the same volume of unrelated background
+// domains on generic name servers. Domain names are deterministic.
+func GenerateCom(seed uint64, plan []ServiceDomains) *Zone {
+	z := &Zone{Origin: "com."}
+	background := 0
+	for _, p := range plan {
+		for i := 0; i < p.Count; i++ {
+			name := parkedName(p.Service, i)
+			for _, ns := range p.NameServers {
+				z.Records = append(z.Records, Record{Name: name, Type: "NS", Value: ns + "."})
+			}
+		}
+		background += p.Count
+	}
+	rng := xrand.New(seed ^ 0x20e5)
+	genericNS := []string{"ns1.generichost.net.", "ns2.generichost.net.", "dns1.registrar-park.org."}
+	for i := 0; i < background; i++ {
+		name := fmt.Sprintf("site%d-%d", i, rng.Intn(100000))
+		z.Records = append(z.Records, Record{Name: name, Type: "NS", Value: genericNS[rng.Intn(len(genericNS))]})
+	}
+	return z
+}
+
+// parkedName builds the deterministic owner name of the i-th parked domain
+// of a service.
+func parkedName(service string, i int) string {
+	return fmt.Sprintf("parked%d-%s", i, strings.ToLower(service))
+}
+
+// CandidatesByNS groups the zone's domains by parking service via their
+// name servers — the attribution step of §4.2.3. nsToService maps a name
+// server host (without trailing dot) to its service name.
+func CandidatesByNS(z *Zone, nsToService map[string]string) map[string][]string {
+	seen := make(map[string]map[string]bool) // service → domain set
+	for _, r := range z.Records {
+		if r.Type != "NS" {
+			continue
+		}
+		ns := strings.TrimSuffix(strings.ToLower(r.Value), ".")
+		svc, ok := nsToService[ns]
+		if !ok {
+			continue
+		}
+		if seen[svc] == nil {
+			seen[svc] = make(map[string]bool)
+		}
+		seen[svc][z.FQDN(r.Name)] = true
+	}
+	out := make(map[string][]string, len(seen))
+	for svc, domains := range seen {
+		list := make([]string, 0, len(domains))
+		for d := range domains {
+			list = append(list, d)
+		}
+		sort.Strings(list)
+		out[svc] = list
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package dnszone
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func testPlan() []ServiceDomains {
+	return []ServiceDomains{
+		{Service: "Sedo", NameServers: []string{"ns1.sedoparking.com", "ns2.sedoparking.com"}, Count: 10, FullCount: 1060129},
+		{Service: "Digimedia", NameServers: []string{"ns1.digimedia.com"}, Count: 1, FullCount: 25},
+	}
+}
+
+func TestGenerateAndAttribute(t *testing.T) {
+	z := GenerateCom(1, testPlan())
+	nsMap := map[string]string{
+		"ns1.sedoparking.com": "Sedo", "ns2.sedoparking.com": "Sedo",
+		"ns1.digimedia.com": "Digimedia",
+	}
+	c := CandidatesByNS(z, nsMap)
+	if len(c["Sedo"]) != 10 {
+		t.Errorf("sedo candidates = %d, want 10", len(c["Sedo"]))
+	}
+	if len(c["Digimedia"]) != 1 {
+		t.Errorf("digimedia candidates = %d, want 1", len(c["Digimedia"]))
+	}
+	for _, d := range c["Sedo"] {
+		if !strings.HasSuffix(d, ".com") {
+			t.Errorf("candidate %q not under origin", d)
+		}
+	}
+	// Background domains must not be attributed.
+	total := 0
+	for _, r := range z.Records {
+		if r.Type == "NS" {
+			total++
+		}
+	}
+	attributed := len(c["Sedo"])*2 + len(c["Digimedia"])
+	if total <= attributed {
+		t.Error("no background records generated")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	z := GenerateCom(2, testPlan())
+	var buf bytes.Buffer
+	if err := z.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	z2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z2.Origin != "com." {
+		t.Errorf("origin = %q", z2.Origin)
+	}
+	if len(z2.Records) != len(z.Records) {
+		t.Fatalf("records = %d, want %d", len(z2.Records), len(z.Records))
+	}
+	for i := range z.Records {
+		if z.Records[i] != z2.Records[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, z.Records[i], z2.Records[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("$ORIGIN com.\nbroken line\n")); err == nil {
+		t.Error("malformed record accepted")
+	}
+	z, err := Parse(strings.NewReader("; comment only\n\n$TTL 3600\n"))
+	if err != nil || len(z.Records) != 0 {
+		t.Errorf("comment-only zone: %v, %d records", err, len(z.Records))
+	}
+}
+
+func TestScaledCount(t *testing.T) {
+	cases := []struct{ full, scale, want int }{
+		{1060129, 1000, 1060},
+		{368703, 1000, 369},
+		{949, 1000, 1},
+		{1246359, 1000, 1246},
+		{25, 1000, 1},
+		{25, 1, 25},
+		{0, 1000, 1}, // floor at one
+	}
+	for _, tt := range cases {
+		if got := ScaledCount(tt.full, tt.scale); got != tt.want {
+			t.Errorf("ScaledCount(%d, %d) = %d, want %d", tt.full, tt.scale, got, tt.want)
+		}
+	}
+}
+
+func TestFQDN(t *testing.T) {
+	z := &Zone{Origin: "com."}
+	if got := z.FQDN("parked0-sedo"); got != "parked0-sedo.com" {
+		t.Errorf("FQDN = %q", got)
+	}
+	if got := z.FQDN("absolute.example."); got != "absolute.example" {
+		t.Errorf("absolute FQDN = %q", got)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := GenerateCom(7, testPlan())
+	b := GenerateCom(7, testPlan())
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("same seed produced different zones")
+		}
+	}
+}

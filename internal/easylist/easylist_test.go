@@ -1,0 +1,77 @@
+package easylist
+
+import (
+	"testing"
+
+	"acceptableads/internal/adnet"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+)
+
+func TestGenerateSizeAndValidity(t *testing.T) {
+	l := Generate(1, DefaultSize)
+	if n := len(l.Active()); n < DefaultSize-10 || n > DefaultSize+10 {
+		t.Errorf("active filters = %d, want ~%d", n, DefaultSize)
+	}
+	if n := len(l.Invalid()); n != 0 {
+		t.Fatalf("%d invalid generated filters: %q", n, l.Invalid()[0].Raw)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(7, 2000)
+	b := Generate(7, 2000)
+	if a.String() != b.String() {
+		t.Error("same seed produced different lists")
+	}
+	c := Generate(8, 2000)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical lists")
+	}
+}
+
+func TestCompilesIntoEngine(t *testing.T) {
+	l := Generate(1, 5000)
+	e, err := engine.New(engine.NamedList{Name: "easylist", List: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumFilters() < 4990 {
+		t.Errorf("engine compiled %d filters", e.NumFilters())
+	}
+}
+
+// Every ad service with an EasyList filter must actually be blocked by the
+// generated list, and gstatic must not be (the paper's needless-filter
+// observation).
+func TestBlocksAdNetworks(t *testing.T) {
+	l := Generate(1, 5000)
+	e, err := engine.New(engine.NamedList{Name: "easylist", List: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range adnet.Networks() {
+		d := e.MatchRequest(&engine.Request{
+			URL: n.URL(), Type: n.Type, DocumentHost: "somesite.com",
+		})
+		if n.EasyListFilter != "" && d.Verdict != engine.Blocked {
+			t.Errorf("%s: %s not blocked (verdict %v)", n.Name, n.URL(), d.Verdict)
+		}
+		if n.EasyListFilter == "" && d.Verdict == engine.Blocked {
+			t.Errorf("%s: should not be blocked by EasyList", n.Name)
+		}
+	}
+}
+
+func TestElemHideCore(t *testing.T) {
+	l := Generate(1, 3000)
+	found := false
+	for _, f := range l.Active() {
+		if f.Kind == filter.KindElemHide && f.Selector == "#"+adnet.InfluadsBlockID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("influads_block hiding rule missing")
+	}
+}

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"acceptableads/internal/filter"
+	"acceptableads/internal/xrand"
+)
+
+// This file differentially tests the compiled segment matcher against an
+// independent oracle: the regexp translation Adblock Plus itself documents
+// (anchors, '^' separator class, '*' wildcard). Random filters drawn from
+// a grammar are matched against random URLs by both implementations; any
+// disagreement is a bug in one of them.
+
+// regexpOracle translates a parsed request filter to a regexp.
+func regexpOracle(f *filter.Filter) *regexp.Regexp {
+	expr := regexp.QuoteMeta(strings.ToLower(f.Pattern))
+	expr = strings.ReplaceAll(expr, `\*`, ".*")
+	expr = strings.ReplaceAll(expr, `\^`, `(?:[^a-z0-9_\-.%]|$)`)
+	switch {
+	case f.AnchorDomain:
+		// "||" matches right after the scheme or after a dot inside
+		// the hostname.
+		expr = `^[a-z][a-z0-9+.-]*://(?:[^/?#:]*\.)?` + expr
+	case f.AnchorStart:
+		expr = "^" + expr
+	}
+	if f.AnchorEnd {
+		expr += "$"
+	}
+	return regexp.MustCompile(expr)
+}
+
+// genPattern draws a random filter pattern from a grammar covering the
+// interesting structure: host-ish literals, separators, wildcards,
+// anchors.
+func genPattern(rng *xrand.RNG) string {
+	hosts := []string{"adzerk.net", "ads.example.com", "track.io", "a.b.c.d"}
+	paths := []string{"/ads/", "/r/collect", "/x", "/gampad/ads.js", "/p-q_r%7e"}
+	var b strings.Builder
+	anchor := rng.Intn(3)
+	switch anchor {
+	case 0:
+		b.WriteString("||")
+	case 1:
+		b.WriteString("|http://")
+	}
+	b.WriteString(hosts[rng.Intn(len(hosts))])
+	if rng.Intn(2) == 0 {
+		b.WriteString("^")
+	}
+	if rng.Intn(2) == 0 {
+		b.WriteString(paths[rng.Intn(len(paths))])
+	}
+	if rng.Intn(3) == 0 {
+		b.WriteString("*")
+		b.WriteString(paths[rng.Intn(len(paths))][1:])
+	}
+	if rng.Intn(4) == 0 {
+		b.WriteString("^")
+	}
+	if rng.Intn(5) == 0 {
+		b.WriteString("|")
+	}
+	return b.String()
+}
+
+// genURL draws a URL that has a fighting chance of matching.
+func genURL(rng *xrand.RNG) string {
+	schemes := []string{"http://", "https://"}
+	hosts := []string{
+		"adzerk.net", "static.adzerk.net", "ads.example.com",
+		"xads.example.com", "track.io", "nottrack.io", "a.b.c.d",
+		"evil.com",
+	}
+	paths := []string{
+		"", "/", "/ads/", "/ads/banner.gif", "/r/collect", "/x",
+		"/gampad/ads.js", "/gampad/ads.js?q=1", "/p-q_r%7e/x",
+		"/redir?to=http://adzerk.net/ads/",
+	}
+	return schemes[rng.Intn(2)] + hosts[rng.Intn(len(hosts))] + paths[rng.Intn(len(paths))]
+}
+
+func TestDifferentialPatternVsRegexp(t *testing.T) {
+	rng := xrand.New(20150428)
+	for i := 0; i < 5000; i++ {
+		line := genPattern(rng)
+		f := filter.Parse(line)
+		if !f.IsActive() || f.IsRegex {
+			continue
+		}
+		pat, err := compilePattern(f)
+		if err != nil {
+			t.Fatalf("compile %q: %v", line, err)
+		}
+		oracle := regexpOracle(f)
+		for j := 0; j < 20; j++ {
+			url := genURL(rng)
+			got := pat.match(url, strings.ToLower(url))
+			want := oracle.MatchString(strings.ToLower(url))
+			if got != want {
+				t.Fatalf("divergence: filter %q url %q: compiled=%v oracle=%v",
+					line, url, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialKeywordIndex: for the same random filters, an engine
+// built over them must agree with a direct per-filter scan — the keyword
+// bucketing must never lose a match.
+func TestDifferentialKeywordIndex(t *testing.T) {
+	rng := xrand.New(988)
+	var lines []string
+	for i := 0; i < 300; i++ {
+		lines = append(lines, genPattern(rng))
+	}
+	e, err := New(NamedList{Name: "l", List: filter.ParseListString("l", strings.Join(lines, "\n"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2000; j++ {
+		url := genURL(rng)
+		req := &Request{URL: url, Type: filter.TypeImage, DocumentHost: "first-party.example"}
+		indexed := e.MatchRequest(req).Verdict
+		linear := e.MatchRequestLinear(req).Verdict
+		if indexed != linear {
+			t.Fatalf("index divergence on %q: indexed=%v linear=%v", url, indexed, linear)
+		}
+	}
+}
+
+// Property: exception precedence. For any pattern, loading it as a block
+// filter plus the identical text as an exception must always yield Allowed
+// whenever the block alone yields Blocked.
+func TestQuickExceptionPrecedence(t *testing.T) {
+	rng := xrand.New(7551)
+	for i := 0; i < 300; i++ {
+		line := genPattern(rng)
+		f := filter.Parse(line)
+		if !f.IsActive() {
+			continue
+		}
+		blockOnly, err := New(NamedList{Name: "b", List: filter.ParseListString("b", line)})
+		if err != nil {
+			continue
+		}
+		both, err := New(
+			NamedList{Name: "b", List: filter.ParseListString("b", line)},
+			NamedList{Name: "x", List: filter.ParseListString("x", "@@"+line)},
+		)
+		if err != nil {
+			t.Fatalf("exception for %q failed to compile: %v", line, err)
+		}
+		for j := 0; j < 10; j++ {
+			req := &Request{URL: genURL(rng), Type: filter.TypeImage, DocumentHost: "fp.example"}
+			if blockOnly.MatchRequest(req).Verdict == Blocked {
+				if v := both.MatchRequest(req).Verdict; v != Allowed {
+					t.Fatalf("precedence violated for %q on %q: %v", line, req.URL, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"acceptableads/internal/css"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/htmldom"
+)
+
+// compiledElem is one element hiding filter (or exception) with its
+// compiled selector.
+type compiledElem struct {
+	f    *filter.Filter
+	list string
+	sel  *css.Selector
+}
+
+// elemHideIndex holds hiding filters indexed by the id/class their subject
+// compound requires, with a slow bucket for selectors needing a full scan,
+// plus hiding exceptions keyed by selector text (Adblock Plus cancels a
+// hiding rule when an exception with the identical selector applies on the
+// page's domain).
+type elemHideIndex struct {
+	byKey      map[string][]*compiledElem // "#id" or ".class" → filters
+	slow       []*compiledElem
+	all        []*compiledElem            // linear view for the ablation
+	exceptions map[string][]*compiledElem // selector text → exceptions
+}
+
+func newElemHideIndex() *elemHideIndex {
+	return &elemHideIndex{
+		byKey:      make(map[string][]*compiledElem),
+		exceptions: make(map[string][]*compiledElem),
+	}
+}
+
+func (idx *elemHideIndex) add(list string, f *filter.Filter) error {
+	sel, err := css.Compile(f.Selector)
+	if err != nil {
+		return err
+	}
+	c := &compiledElem{f: f, list: list, sel: sel}
+	if f.Kind == filter.KindElemHideException {
+		idx.exceptions[f.Selector] = append(idx.exceptions[f.Selector], c)
+		return nil
+	}
+	idx.all = append(idx.all, c)
+	if key, ok := sel.Key(); ok {
+		idx.byKey[key] = append(idx.byKey[key], c)
+	} else {
+		idx.slow = append(idx.slow, c)
+	}
+	return nil
+}
+
+// ElementMatch is one element hiding decision: a node a hiding filter
+// selected, and — when an exception cancelled the hide — the exception.
+type ElementMatch struct {
+	Node *htmldom.Node
+	// HiddenBy is the hiding filter whose selector matched.
+	HiddenBy Match
+	// AllowedBy is the cancelling exception, nil if the node stays
+	// hidden.
+	AllowedBy *Match
+}
+
+// Hidden reports whether the element ends up hidden.
+func (m *ElementMatch) Hidden() bool { return m.AllowedBy == nil }
+
+// HideElements applies element hiding to a parsed document served from
+// docHost. It returns every hiding decision in document order and records
+// activations: one ActElement per hidden node, and one per exception
+// cancellation (the whitelist activations the survey counts, such as
+// reddit.com#@##ad_main).
+//
+// Callers must consult PagePermissions first: when ElemHideDisabled or
+// DocumentAllowed is set, Adblock Plus skips element hiding entirely.
+func (e *Engine) HideElements(doc *htmldom.Node, pageURL, docHost string) []ElementMatch {
+	return (&Session{e: e, rec: e.recorder}).HideElements(doc, pageURL, docHost)
+}
+
+// HideElementsLinear is the ablation baseline: every hiding selector is
+// evaluated against the document, without the id/class candidate index.
+func (e *Engine) HideElementsLinear(doc *htmldom.Node, pageURL, docHost string) []ElementMatch {
+	s := &Session{e: e, rec: e.recorder}
+	return s.applyElemHide(e.elemHide.all, doc, pageURL, docHost)
+}
+
+// elemHideCandidates gathers the hiding filters whose indexed id/class is
+// present in the document, plus the slow bucket.
+func (e *Engine) elemHideCandidates(doc *htmldom.Node) []*compiledElem {
+	idx := e.elemHide
+	seen := make(map[*compiledElem]bool)
+	var out []*compiledElem
+	doc.Walk(func(n *htmldom.Node) bool {
+		if !n.IsElement() {
+			return true
+		}
+		if id := n.ID(); id != "" {
+			for _, c := range idx.byKey["#"+id] {
+				if !seen[c] {
+					seen[c] = true
+					out = append(out, c)
+				}
+			}
+		}
+		for _, cl := range n.Classes() {
+			for _, c := range idx.byKey["."+cl] {
+				if !seen[c] {
+					seen[c] = true
+					out = append(out, c)
+				}
+			}
+		}
+		return true
+	})
+	return append(out, idx.slow...)
+}
+
+func (e *Engine) findElemException(selector, docHost string) *compiledElem {
+	for _, x := range e.elemHide.exceptions[selector] {
+		if x.f.AppliesToDomain(docHost) {
+			return x
+		}
+	}
+	return nil
+}

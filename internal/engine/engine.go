@@ -1,0 +1,395 @@
+package engine
+
+import (
+	"fmt"
+
+	"acceptableads/internal/domainutil"
+	"acceptableads/internal/filter"
+)
+
+// Request carries everything Adblock Plus inspects when deciding the fate
+// of one web request.
+type Request struct {
+	// URL is the full request URL.
+	URL string
+	// Type is the content type of the request (script, image, ...).
+	Type filter.ContentType
+	// DocumentHost is the host of the page issuing the request; it
+	// drives $domain restrictions and the third-party test.
+	DocumentHost string
+	// Sitekey is the base64 public key whose signature the browser
+	// verified for the current page, or "". Sitekey-restricted filters
+	// only activate when this matches one of their keys.
+	Sitekey string
+}
+
+// Verdict is the outcome of matching one request.
+type Verdict uint8
+
+const (
+	// NoMatch means no filter applied; the request proceeds.
+	NoMatch Verdict = iota
+	// Blocked means a blocking filter matched with no overriding
+	// exception; the request is cancelled.
+	Blocked
+	// Allowed means an exception filter matched, overriding any
+	// blocking filters.
+	Allowed
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Blocked:
+		return "blocked"
+	case Allowed:
+		return "allowed"
+	default:
+		return "no-match"
+	}
+}
+
+// Decision reports the matching filters behind a verdict. In instrumented
+// mode both sides are populated when both matched — the paper's "needless"
+// whitelist activations are exceptions that fire with no blocking filter.
+type Decision struct {
+	Verdict   Verdict
+	BlockedBy *Match
+	AllowedBy *Match
+	// DoNotTrack asks the browser to send a DNT header on this request:
+	// a $donottrack filter matched and no $donottrack exception did
+	// (Appendix A.4). DNT filters never block; they only signal.
+	DoNotTrack bool
+}
+
+// Match pairs an activated filter with the list it came from.
+type Match struct {
+	Filter *filter.Filter
+	List   string
+}
+
+// ActivationKind distinguishes what triggered a filter activation.
+type ActivationKind uint8
+
+const (
+	// ActRequest is a request filter match.
+	ActRequest ActivationKind = iota
+	// ActElement is an element hiding (or hiding exception) match.
+	ActElement
+	// ActDocument is a whole-page $document/$elemhide/sitekey allowance.
+	ActDocument
+)
+
+// Activation is one recorded filter firing — the unit the paper's site
+// survey counts.
+type Activation struct {
+	Filter *filter.Filter
+	List   string
+	Kind   ActivationKind
+	// URL is the matched request URL (request activations) or the page
+	// URL (document activations); for element activations it is the
+	// page URL.
+	URL string
+	// PageHost is the first-party host of the page being loaded.
+	PageHost string
+}
+
+// Recorder receives every filter activation when instrumentation is on.
+type Recorder interface {
+	Record(Activation)
+}
+
+// RecorderFunc adapts a function to the Recorder interface.
+type RecorderFunc func(Activation)
+
+// Record implements Recorder.
+func (f RecorderFunc) Record(a Activation) { f(a) }
+
+// compiledRequest is one request filter ready for matching.
+type compiledRequest struct {
+	f    *filter.Filter
+	list string
+	pat  *pattern
+}
+
+// matches applies every per-filter gate: pattern, content type, party
+// relation, domain restriction, and sitekey restriction. third is the
+// request's party relation, computed once per request — it is identical
+// for every candidate filter, and the registrable-domain fold behind it is
+// the most expensive per-filter check otherwise.
+func (c *compiledRequest) matches(req *Request, lowerURL string, third bool) bool {
+	if c.f.TypeMask&req.Type == 0 {
+		return false
+	}
+	if c.f.ThirdParty != filter.Unset {
+		if c.f.ThirdParty == filter.Yes && !third {
+			return false
+		}
+		if c.f.ThirdParty == filter.No && third {
+			return false
+		}
+	}
+	if !c.f.AppliesToDomain(req.DocumentHost) {
+		return false
+	}
+	if len(c.f.Sitekeys) > 0 {
+		ok := false
+		for _, k := range c.f.Sitekeys {
+			if k == req.Sitekey {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return c.pat.match(req.URL, lowerURL)
+}
+
+// requestIndex buckets compiled request filters by keyword.
+type requestIndex struct {
+	byKeyword map[string][]*compiledRequest
+	slow      []*compiledRequest // no keyword: probed on every request
+	all       []*compiledRequest // linear-scan view for the ablation
+}
+
+func newRequestIndex() *requestIndex {
+	return &requestIndex{byKeyword: make(map[string][]*compiledRequest)}
+}
+
+func (idx *requestIndex) add(c *compiledRequest) {
+	idx.all = append(idx.all, c)
+	if c.pat.re != nil {
+		idx.slow = append(idx.slow, c)
+		return
+	}
+	kw := filterKeyword(anchoredText(c.pat, c.f.Pattern))
+	if kw == "" {
+		idx.slow = append(idx.slow, c)
+		return
+	}
+	idx.byKeyword[kw] = append(idx.byKeyword[kw], c)
+}
+
+// find returns the first filter matching the request, probing the keyword
+// buckets of the URL plus the slow bucket.
+func (idx *requestIndex) find(req *Request, lowerURL string, third bool, kws []string) *compiledRequest {
+	for _, kw := range kws {
+		for _, c := range idx.byKeyword[kw] {
+			if c.matches(req, lowerURL, third) {
+				return c
+			}
+		}
+	}
+	for _, c := range idx.slow {
+		if c.matches(req, lowerURL, third) {
+			return c
+		}
+	}
+	return nil
+}
+
+// findLinear scans every filter without the keyword index — the baseline
+// for BenchmarkAblationKeywordIndex.
+func (idx *requestIndex) findLinear(req *Request, lowerURL string, third bool) *compiledRequest {
+	for _, c := range idx.all {
+		if c.matches(req, lowerURL, third) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Engine is an instrumented Adblock Plus filter engine built from one or
+// more filter lists (typically EasyList plus the Acceptable Ads whitelist).
+// The zero value is unusable; construct with New.
+type Engine struct {
+	blocking   *requestIndex
+	exceptions *requestIndex
+	// dnt and dntExceptions hold $donottrack filters, which signal the
+	// Do-Not-Track header instead of blocking.
+	dnt           *requestIndex
+	dntExceptions *requestIndex
+	elemHide      *elemHideIndex
+	recorder      Recorder
+	numFilters    int
+	lists         []string
+}
+
+// New builds an engine over the given named lists. Invalid entries and
+// comments are skipped (the history analyzer, not the engine, accounts for
+// them). Filters whose regular expressions fail to compile are reported.
+func New(lists ...NamedList) (*Engine, error) {
+	e := &Engine{
+		blocking:      newRequestIndex(),
+		exceptions:    newRequestIndex(),
+		dnt:           newRequestIndex(),
+		dntExceptions: newRequestIndex(),
+		elemHide:      newElemHideIndex(),
+	}
+	for _, nl := range lists {
+		if err := e.AddList(nl.Name, nl.List); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// NamedList pairs a filter list with the subscription name the survey
+// reports activations under ("easylist", "exceptionrules", ...).
+type NamedList struct {
+	Name string
+	List *filter.List
+}
+
+// AddList compiles and indexes every active filter of l under the given
+// list name.
+func (e *Engine) AddList(name string, l *filter.List) error {
+	e.lists = append(e.lists, name)
+	for _, f := range l.Active() {
+		if err := e.addFilter(name, f); err != nil {
+			return fmt.Errorf("engine: list %s: filter %q: %w", name, f.Raw, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) addFilter(list string, f *filter.Filter) error {
+	switch f.Kind {
+	case filter.KindRequestBlock, filter.KindRequestException:
+		pat, err := compilePattern(f)
+		if err != nil {
+			return err
+		}
+		c := &compiledRequest{f: f, list: list, pat: pat}
+		switch {
+		case f.DoNotTrack && f.Kind == filter.KindRequestBlock:
+			e.dnt.add(c)
+		case f.DoNotTrack:
+			e.dntExceptions.add(c)
+		case f.Kind == filter.KindRequestBlock:
+			e.blocking.add(c)
+		default:
+			e.exceptions.add(c)
+		}
+	case filter.KindElemHide, filter.KindElemHideException:
+		if err := e.elemHide.add(list, f); err != nil {
+			return err
+		}
+	}
+	e.numFilters++
+	return nil
+}
+
+// NumFilters returns the number of compiled filters.
+func (e *Engine) NumFilters() int { return e.numFilters }
+
+// Lists returns the names of the loaded lists in load order.
+func (e *Engine) Lists() []string { return e.lists }
+
+// SetRecorder installs the activation hook; nil disables recording.
+func (e *Engine) SetRecorder(r Recorder) { e.recorder = r }
+
+// MatchRequest decides the fate of a request in instrumented mode: both
+// the blocking and the exception side are always evaluated so that
+// "needless" exception activations are observed, exactly as the paper's
+// modified Adblock Plus did. Only the *effective* filter is recorded as an
+// activation: an exception that fires records itself (whether or not a
+// blocking filter also matched), while a blocking filter records only when
+// it actually cancels the request — the counting behind Figures 6 and 8,
+// where the whitelist's conversion trackers outrank every EasyList filter
+// even though each allowed request also matched a blocker.
+func (e *Engine) MatchRequest(req *Request) Decision {
+	return (&Session{e: e, rec: e.recorder}).MatchRequest(req)
+}
+
+// MatchRequestFast is the production-style short-circuit: the exception
+// side is only consulted after a blocking filter matches. It records
+// nothing and exists as the baseline for the instrumentation-overhead
+// ablation.
+func (e *Engine) MatchRequestFast(req *Request) Decision {
+	lower := lowerASCII(req.URL)
+	third := domainutil.IsThirdParty(domainutil.HostOf(req.URL), req.DocumentHost)
+	kws := urlKeywords(make([]string, 0, 16), lower)
+
+	var d Decision
+	c := e.blocking.find(req, lower, third, kws)
+	if c == nil {
+		return d
+	}
+	d.BlockedBy = &Match{Filter: c.f, List: c.list}
+	if x := e.exceptions.find(req, lower, third, kws); x != nil {
+		d.AllowedBy = &Match{Filter: x.f, List: x.list}
+		d.Verdict = Allowed
+		return d
+	}
+	d.Verdict = Blocked
+	return d
+}
+
+// MatchRequestLinear matches without the keyword index — the ablation
+// baseline quantifying what the index buys.
+func (e *Engine) MatchRequestLinear(req *Request) Decision {
+	lower := lowerASCII(req.URL)
+	third := domainutil.IsThirdParty(domainutil.HostOf(req.URL), req.DocumentHost)
+
+	var d Decision
+	if c := e.blocking.findLinear(req, lower, third); c != nil {
+		d.BlockedBy = &Match{Filter: c.f, List: c.list}
+	}
+	if c := e.exceptions.findLinear(req, lower, third); c != nil {
+		d.AllowedBy = &Match{Filter: c.f, List: c.list}
+	}
+	switch {
+	case d.AllowedBy != nil:
+		d.Verdict = Allowed
+	case d.BlockedBy != nil:
+		d.Verdict = Blocked
+	}
+	return d
+}
+
+// PageFlags reports whole-page allowances granted by $document/$elemhide
+// exception filters (including sitekey filters) for a page load.
+type PageFlags struct {
+	// DocumentAllowed disables all blocking on the page: every request
+	// proceeds and nothing is hidden. Granted by $document exceptions,
+	// which is how sitekey filters whitelist entire parked domains.
+	DocumentAllowed bool
+	// ElemHideDisabled disables element hiding only (e.g. the paper's
+	// "@@||ask.com^$elemhide" A-filters).
+	ElemHideDisabled bool
+	// DocumentBy / ElemHideBy are the granting filters, when any.
+	DocumentBy *Match
+	ElemHideBy *Match
+}
+
+// PagePermissions evaluates page-level exceptions for a top-level document
+// load. sitekey is the verified base64 public key presented by the server,
+// or "".
+func (e *Engine) PagePermissions(pageURL, sitekey string) PageFlags {
+	return (&Session{e: e, rec: e.recorder}).PagePermissions(pageURL, sitekey)
+}
+
+// lowerASCII lowercases A-Z only, leaving the rest of the URL intact; it
+// avoids the Unicode tables of strings.ToLower on the hot path.
+func lowerASCII(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i := 0; i < len(b); i++ {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

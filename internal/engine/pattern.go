@@ -1,0 +1,277 @@
+// Package engine implements Adblock Plus's matching semantics over parsed
+// filters: request matching with keyword-indexed filter buckets, element
+// hiding with an id/class-indexed selector set, exception precedence,
+// whole-page $document/$elemhide allowances, and sitekey gating. It is the
+// "instrumented Adblock Plus" of the paper's §5 — every filter activation
+// can be recorded through a Recorder hook, including the "needless"
+// whitelist activations the paper highlights.
+package engine
+
+import (
+	"regexp"
+	"strings"
+
+	"acceptableads/internal/filter"
+)
+
+// pattern is a compiled request matching expression.
+//
+// Non-regex filters compile to segments: literal byte runs separated by '*'
+// wildcards. The '^' separator placeholder stays embedded in segments and is
+// interpreted during matching ("anything but a letter, a digit, or one of
+// _ - . %", or the end of the URL).
+type pattern struct {
+	segments     []string
+	anchorStart  bool
+	anchorEnd    bool
+	anchorDomain bool
+	matchCase    bool
+	re           *regexp.Regexp // non-nil for /.../ regex filters
+}
+
+// compilePattern builds a matcher for a request filter. Regex filters
+// compile through the regexp package; everything else uses the segment
+// matcher. An error is returned only for invalid regular expressions.
+func compilePattern(f *filter.Filter) (*pattern, error) {
+	p := &pattern{
+		anchorStart:  f.AnchorStart,
+		anchorEnd:    f.AnchorEnd,
+		anchorDomain: f.AnchorDomain,
+		matchCase:    f.MatchCase,
+	}
+	if f.IsRegex {
+		// Slash-delimited filters are regexes by syntax, but most (like
+		// EasyList's "/ad-frame/") contain no metacharacters at all; a
+		// plain substring match is equivalent and orders of magnitude
+		// cheaper. They still probe on every request (no keyword bucket:
+		// their edge runs lack boundary characters), so the win is all in
+		// the match itself. BenchmarkAblationLiteralRegex* measures it.
+		if isLiteralRegex(f.Pattern) {
+			text := f.Pattern
+			if !f.MatchCase {
+				text = strings.ToLower(text)
+			}
+			p.segments = []string{text}
+			return p, nil
+		}
+		expr := f.Pattern
+		if !f.MatchCase {
+			expr = "(?i)" + expr
+		}
+		re, err := regexp.Compile(expr)
+		if err != nil {
+			return nil, err
+		}
+		p.re = re
+		return p, nil
+	}
+	text := f.Pattern
+	if !f.MatchCase {
+		text = strings.ToLower(text)
+	}
+	for _, seg := range strings.Split(text, "*") {
+		if seg != "" {
+			p.segments = append(p.segments, seg)
+		}
+	}
+	// "*foo" and "foo*" lose their empty outer segments; explicit
+	// wildcards at the edges simply relax anchoring, which the segment
+	// matcher already provides. A pattern of only wildcards matches
+	// every URL.
+	return p, nil
+}
+
+// isLiteralRegex reports whether a regex body is a plain literal: no
+// metacharacters, so substring matching is equivalent. '^' is excluded —
+// inside a slash-delimited filter it is a real regex anchor, not the
+// Adblock separator class.
+func isLiteralRegex(expr string) bool {
+	for i := 0; i < len(expr); i++ {
+		c := expr[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-', c == '_', c == '/', c == '%', c == ',', c == '=', c == ':', c == ';', c == '!', c == ' ':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isSeparator implements the '^' placeholder character class.
+func isSeparator(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return false
+	case b == '_', b == '-', b == '.', b == '%':
+		return false
+	}
+	return true
+}
+
+// match reports whether the pattern matches url. lower is the pre-lowered
+// copy of url shared across all filters for one request.
+func (p *pattern) match(url, lower string) bool {
+	if p.re != nil {
+		return p.re.MatchString(url)
+	}
+	subject := lower
+	if p.matchCase {
+		subject = url
+	}
+	return matchSegments(subject, p.segments, p.anchorStart, p.anchorEnd, p.anchorDomain)
+}
+
+// matchSegAt attempts to match one segment at position pos, returning the
+// number of bytes consumed. A '^' consumes one separator byte, or zero
+// bytes at the end of the URL (every trailing '^' may match the end).
+func matchSegAt(url string, pos int, seg string) (int, bool) {
+	i := pos
+	for k := 0; k < len(seg); k++ {
+		c := seg[k]
+		if i >= len(url) {
+			// URL exhausted: the rest of the segment must be '^'s,
+			// each matching the end-of-address position.
+			for ; k < len(seg); k++ {
+				if seg[k] != '^' {
+					return 0, false
+				}
+			}
+			return i - pos, true
+		}
+		if c == '^' {
+			if !isSeparator(url[i]) {
+				return 0, false
+			}
+			i++
+			continue
+		}
+		if url[i] != c {
+			return 0, false
+		}
+		i++
+	}
+	return i - pos, true
+}
+
+// findSeg returns the first position >= from where seg matches, and the
+// bytes consumed there, or (-1, 0).
+func findSeg(url string, from int, seg string) (int, int) {
+	for pos := from; pos <= len(url); pos++ {
+		if n, ok := matchSegAt(url, pos, seg); ok {
+			return pos, n
+		}
+	}
+	return -1, 0
+}
+
+// domainBoundaries yields the candidate start positions for a '||'-anchored
+// match: right after the scheme, or after any dot inside the hostname.
+func domainBoundaries(url string) []int {
+	hostStart := 0
+	if i := strings.Index(url, "://"); i >= 0 {
+		hostStart = i + 3
+	} else if strings.HasPrefix(url, "//") {
+		hostStart = 2
+	}
+	hostEnd := len(url)
+	for i := hostStart; i < len(url); i++ {
+		switch url[i] {
+		case '/', '?', '#', ':':
+			hostEnd = i
+		}
+		if hostEnd != len(url) {
+			break
+		}
+	}
+	bounds := []int{hostStart}
+	for i := hostStart; i < hostEnd; i++ {
+		if url[i] == '.' {
+			bounds = append(bounds, i+1)
+		}
+	}
+	return bounds
+}
+
+func matchSegments(url string, segs []string, anchorStart, anchorEnd, anchorDomain bool) bool {
+	if len(segs) == 0 {
+		return true
+	}
+
+	matchRest := func(pos int, rest []string) bool {
+		for i, seg := range rest {
+			last := i == len(rest)-1
+			if last && anchorEnd {
+				// The final segment must end exactly at the end
+				// of the URL.
+				for p := pos; p <= len(url); p++ {
+					if n, ok := matchSegAt(url, p, seg); ok && p+n == len(url) {
+						return true
+					}
+				}
+				return false
+			}
+			p, n := findSeg(url, pos, seg)
+			if p < 0 {
+				return false
+			}
+			pos = p + n
+		}
+		return true
+	}
+
+	first := segs[0]
+	rest := segs[1:]
+	switch {
+	case anchorStart:
+		n, ok := matchSegAt(url, 0, first)
+		if !ok {
+			return false
+		}
+		if len(rest) == 0 {
+			if anchorEnd {
+				return n == len(url)
+			}
+			return true
+		}
+		return matchRest(n, rest)
+	case anchorDomain:
+		for _, b := range domainBoundaries(url) {
+			n, ok := matchSegAt(url, b, first)
+			if !ok {
+				continue
+			}
+			if len(rest) == 0 {
+				if anchorEnd {
+					if b+n == len(url) {
+						return true
+					}
+					continue
+				}
+				return true
+			}
+			if matchRest(b+n, rest) {
+				return true
+			}
+		}
+		return false
+	default:
+		if len(rest) == 0 && anchorEnd {
+			return matchRest(0, segs)
+		}
+		pos := 0
+		for {
+			p, n := findSeg(url, pos, first)
+			if p < 0 {
+				return false
+			}
+			if len(rest) == 0 {
+				return true
+			}
+			if matchRest(p+n, rest) {
+				return true
+			}
+			pos = p + 1
+		}
+	}
+}

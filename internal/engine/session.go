@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"acceptableads/internal/domainutil"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/htmldom"
+)
+
+// Session is a concurrency-safe view of an Engine: the engine's compiled
+// indexes are immutable after construction, so any number of sessions can
+// match in parallel, each recording activations to its own Recorder. The
+// site survey runs one session per crawl worker.
+//
+// Engine's own MatchRequest/HideElements/PagePermissions methods remain as
+// the single-threaded convenience API (they use the engine-level recorder
+// installed with SetRecorder).
+type Session struct {
+	e   *Engine
+	rec Recorder
+}
+
+// NewSession creates an independent matching session. rec may be nil for
+// an unrecorded session.
+func (e *Engine) NewSession(rec Recorder) *Session {
+	return &Session{e: e, rec: rec}
+}
+
+func (s *Session) record(a Activation) {
+	if s.rec != nil {
+		s.rec.Record(a)
+	}
+}
+
+// MatchRequest is the instrumented decision, recording the effective
+// filter to the session's recorder. See Engine.MatchRequest for the
+// semantics.
+func (s *Session) MatchRequest(req *Request) Decision {
+	lower := lowerASCII(req.URL)
+	third := domainutil.IsThirdParty(domainutil.HostOf(req.URL), req.DocumentHost)
+	kws := urlKeywords(make([]string, 0, 16), lower)
+
+	var d Decision
+	if c := s.e.blocking.find(req, lower, third, kws); c != nil {
+		d.BlockedBy = &Match{Filter: c.f, List: c.list}
+	}
+	if c := s.e.exceptions.find(req, lower, third, kws); c != nil {
+		d.AllowedBy = &Match{Filter: c.f, List: c.list}
+	}
+	switch {
+	case d.AllowedBy != nil:
+		d.Verdict = Allowed
+		s.record(Activation{Filter: d.AllowedBy.Filter, List: d.AllowedBy.List,
+			Kind: ActRequest, URL: req.URL, PageHost: req.DocumentHost})
+	case d.BlockedBy != nil:
+		d.Verdict = Blocked
+		s.record(Activation{Filter: d.BlockedBy.Filter, List: d.BlockedBy.List,
+			Kind: ActRequest, URL: req.URL, PageHost: req.DocumentHost})
+	}
+	// $donottrack signalling (Appendix A.4): a matching DNT filter with
+	// no matching DNT exception asks for the header; it never blocks.
+	if len(s.e.dnt.all) > 0 {
+		if s.e.dnt.find(req, lower, third, kws) != nil &&
+			s.e.dntExceptions.find(req, lower, third, kws) == nil {
+			d.DoNotTrack = true
+		}
+	}
+	return d
+}
+
+// PagePermissions evaluates page-level allowances, recording to the
+// session. See Engine.PagePermissions.
+func (s *Session) PagePermissions(pageURL, sitekeyB64 string) PageFlags {
+	host := domainutil.HostOf(pageURL)
+	lower := lowerASCII(pageURL)
+	kws := urlKeywords(make([]string, 0, 16), lower)
+
+	var flags PageFlags
+	probe := func(t filter.ContentType) *compiledRequest {
+		req := &Request{URL: pageURL, Type: t, DocumentHost: host, Sitekey: sitekeyB64}
+		// The page request is first-party to itself.
+		return s.e.exceptions.find(req, lower, false, kws)
+	}
+	if c := probe(filter.TypeDocument); c != nil {
+		flags.DocumentAllowed = true
+		flags.DocumentBy = &Match{Filter: c.f, List: c.list}
+		s.record(Activation{Filter: c.f, List: c.list, Kind: ActDocument,
+			URL: pageURL, PageHost: host})
+	}
+	if c := probe(filter.TypeElemHide); c != nil {
+		flags.ElemHideDisabled = true
+		flags.ElemHideBy = &Match{Filter: c.f, List: c.list}
+		s.record(Activation{Filter: c.f, List: c.list, Kind: ActDocument,
+			URL: pageURL, PageHost: host})
+	}
+	return flags
+}
+
+// HideElements applies element hiding, recording to the session. See
+// Engine.HideElements.
+func (s *Session) HideElements(doc *htmldom.Node, pageURL, docHost string) []ElementMatch {
+	candidates := s.e.elemHideCandidates(doc)
+	return s.applyElemHide(candidates, doc, pageURL, docHost)
+}
+
+func (s *Session) applyElemHide(candidates []*compiledElem, doc *htmldom.Node, pageURL, docHost string) []ElementMatch {
+	var out []ElementMatch
+	for _, c := range candidates {
+		if !c.f.AppliesToDomain(docHost) {
+			continue
+		}
+		nodes := c.sel.MatchAll(doc)
+		if len(nodes) == 0 {
+			continue
+		}
+		exc := s.e.findElemException(c.f.Selector, docHost)
+		for _, n := range nodes {
+			m := ElementMatch{Node: n, HiddenBy: Match{Filter: c.f, List: c.list}}
+			if exc != nil {
+				m.AllowedBy = &Match{Filter: exc.f, List: exc.list}
+			}
+			out = append(out, m)
+			s.record(Activation{Filter: c.f, List: c.list, Kind: ActElement,
+				URL: pageURL, PageHost: docHost})
+			if exc != nil {
+				s.record(Activation{Filter: exc.f, List: exc.list, Kind: ActElement,
+					URL: pageURL, PageHost: docHost})
+			}
+		}
+	}
+	return out
+}

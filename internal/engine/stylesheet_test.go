@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestElemHideCSSBasics(t *testing.T) {
+	e := mustEngine(t,
+		listOf("easylist", "###ad_main\n##.ad-banner\ncracked.com##.topbar-ad\n###ad_main"),
+		listOf("exceptionrules", "reddit.com#@##ad_main"),
+	)
+	// Generic site: all generic selectors, deduplicated.
+	css := e.ElemHideCSS("example.com")
+	if !strings.Contains(css, "#ad_main") || !strings.Contains(css, ".ad-banner") {
+		t.Errorf("css = %q", css)
+	}
+	if strings.Contains(css, ".topbar-ad") {
+		t.Error("domain-restricted selector leaked to example.com")
+	}
+	if strings.Count(css, "#ad_main") != 1 {
+		t.Errorf("duplicate selector not deduplicated: %q", css)
+	}
+	if !strings.Contains(css, "display: none !important") {
+		t.Errorf("css missing declaration: %q", css)
+	}
+
+	// cracked.com additionally gets its own rule.
+	if css := e.ElemHideCSS("cracked.com"); !strings.Contains(css, ".topbar-ad") {
+		t.Errorf("cracked css = %q", css)
+	}
+
+	// reddit.com's exception removes #ad_main from the stylesheet.
+	redditCSS := e.ElemHideCSS("reddit.com")
+	if strings.Contains(redditCSS, "#ad_main") {
+		t.Errorf("excepted selector still in reddit css: %q", redditCSS)
+	}
+	if !strings.Contains(redditCSS, ".ad-banner") {
+		t.Errorf("unrelated selector missing from reddit css: %q", redditCSS)
+	}
+}
+
+func TestElemHideCSSEmpty(t *testing.T) {
+	e := mustEngine(t, listOf("easylist", "||ads.example^"))
+	if css := e.ElemHideCSS("example.com"); css != "" {
+		t.Errorf("css = %q, want empty", css)
+	}
+}
+
+func TestElemHideCSSGrouping(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 250; i++ {
+		sb.WriteString("###gen_slot_")
+		sb.WriteString(strings.Repeat("x", i%3+1))
+		sb.WriteByte('a' + byte(i%26))
+		sb.WriteString("\n")
+	}
+	e := mustEngine(t, listOf("easylist", sb.String()))
+	css := e.ElemHideCSS("any.example")
+	rules := strings.Count(css, "{ display: none !important; }")
+	if rules < 1 {
+		t.Fatalf("no rules emitted")
+	}
+	// With 100 selectors per rule, distinct selectors (<=78 here after
+	// dedupe) fit in one rule; just confirm grouping emits full lines.
+	for _, line := range strings.Split(strings.TrimSpace(css), "\n") {
+		if !strings.HasSuffix(line, "{ display: none !important; }") {
+			t.Errorf("malformed rule line: %q", line)
+		}
+	}
+}
+
+// Consistency: a selector absent from the stylesheet must correspond to an
+// exception that HideElements also honors.
+func TestElemHideCSSMatchesHideElements(t *testing.T) {
+	e := mustEngine(t,
+		listOf("easylist", "###ad_main\n##.promo"),
+		listOf("exceptionrules", "shop.example#@##ad_main"),
+	)
+	doc := parseDoc(`<div id="ad_main"></div><div class="promo"></div>`)
+	css := e.ElemHideCSS("shop.example")
+	for _, m := range e.HideElements(doc, "http://shop.example/", "shop.example") {
+		sel := m.HiddenBy.Filter.Selector
+		inCSS := strings.Contains(css, sel)
+		if m.Hidden() != inCSS {
+			t.Errorf("selector %q: hidden=%v but in stylesheet=%v", sel, m.Hidden(), inCSS)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package extralists implements the additional filter subscriptions §2
+// mentions and defers to future work: a tracking-protection list
+// (EasyPrivacy-style), a social-button remover (Fanboy-style), and a
+// malicious-domain blocklist. Beyond generating the lists, the package
+// analyzes their interplay with the Acceptable Ads whitelist — the
+// paper's exception-beats-blocking semantics mean a whitelist entry
+// overrides *every* subscribed blocking list, so joining Acceptable Ads
+// also re-enables tracking that EasyPrivacy would have stopped. The
+// Override analysis quantifies that.
+package extralists
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acceptableads/internal/adnet"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/xrand"
+)
+
+// Kind names the three extra subscriptions.
+type Kind uint8
+
+const (
+	// Privacy blocks trackers (EasyPrivacy-style).
+	Privacy Kind = iota
+	// Social removes social-media buttons (Fanboy's Social-style).
+	Social
+	// Malware blocks known-malicious domains.
+	Malware
+)
+
+// String returns the subscription name used as the engine list label.
+func (k Kind) String() string {
+	switch k {
+	case Privacy:
+		return "easyprivacy"
+	case Social:
+		return "fanboy-social"
+	case Malware:
+		return "malwaredomains"
+	default:
+		return "unknown"
+	}
+}
+
+// Generate synthesizes one of the extra lists at roughly `size` filters.
+func Generate(kind Kind, seed uint64, size int) *filter.List {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[Adblock Plus 2.0]\n! %s (synthetic reproduction build)\n", kind)
+	count := 0
+	add := func(line string) {
+		b.WriteString(line)
+		b.WriteByte('\n')
+		count++
+	}
+	rng := xrand.New(seed ^ uint64(kind+1)*0x9e37)
+	switch kind {
+	case Privacy:
+		// Block every conversion-tracking service of the ad ecosystem —
+		// exactly the requests the Acceptable Ads whitelist excepts.
+		for _, n := range adnet.Networks() {
+			if n.Conversion {
+				add("||" + n.Host + "^$third-party")
+			}
+		}
+		add("||google-analytics.com^$third-party")
+		add("||pixel.facebook.com^$third-party")
+		for count < size {
+			add(fmt.Sprintf("||telemetry%d.metricshub.net^$third-party", count))
+		}
+	case Social:
+		add("##.fb-like")
+		add("##.twitter-share-button")
+		add("###social-bar")
+		add("||platform.twitter.com/widgets.js$third-party")
+		add("||connect.facebook.net/*/sdk.js$third-party")
+		for count < size {
+			if count%2 == 0 {
+				add(fmt.Sprintf("##.share-widget-%d", count))
+			} else {
+				add(fmt.Sprintf("||social-cdn%d.buttonfarm.net^$third-party", count))
+			}
+		}
+	case Malware:
+		for count < size {
+			add(fmt.Sprintf("||malsite%d-%d.biz^$document,subdocument", count, rng.Intn(1000)))
+		}
+	}
+	return filter.ParseListString(kind.String(), b.String())
+}
+
+// Override is one whitelist exception that also neutralizes a filter of an
+// extra subscription.
+type Override struct {
+	// Exception is the Acceptable Ads filter.
+	Exception string
+	// Overridden is the extra-list blocking filter it beats.
+	Overridden string
+	// List names the extra subscription.
+	List string
+	// URL is the witness request demonstrating the override.
+	URL string
+}
+
+// Overrides finds the whitelist exceptions that defeat an extra list: for
+// every blocked service of the extra list, a witness request is evaluated
+// against (extra list + whitelist); if the verdict flips to allowed, the
+// exception-beats-blocking semantics have propagated the Acceptable Ads
+// deal into the user's other subscriptions.
+func Overrides(whitelist, extra *filter.List) ([]Override, error) {
+	eng, err := engine.New(
+		engine.NamedList{Name: extra.Name, List: extra},
+		engine.NamedList{Name: "exceptionrules", List: whitelist},
+	)
+	if err != nil {
+		return nil, err
+	}
+	var out []Override
+	for _, n := range adnet.Networks() {
+		req := &engine.Request{
+			URL: n.URL(), Type: n.Type, DocumentHost: "somepublisher.example",
+		}
+		d := eng.MatchRequest(req)
+		if d.Verdict != engine.Allowed || d.BlockedBy == nil || d.BlockedBy.List != extra.Name {
+			continue
+		}
+		out = append(out, Override{
+			Exception:  d.AllowedBy.Filter.Raw,
+			Overridden: d.BlockedBy.Filter.Raw,
+			List:       extra.Name,
+			URL:        n.URL(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package extralists
+
+import (
+	"strings"
+	"testing"
+
+	"acceptableads/internal/adnet"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []Kind{Privacy, Social, Malware} {
+		l := Generate(kind, 1, 500)
+		if got := len(l.Active()); got < 495 || got > 520 {
+			t.Errorf("%v: active = %d, want ~500", kind, got)
+		}
+		if n := len(l.Invalid()); n != 0 {
+			t.Errorf("%v: %d invalid filters, first %q", kind, n, l.Invalid()[0].Raw)
+		}
+		if l.Name != kind.String() {
+			t.Errorf("%v: list name = %q", kind, l.Name)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(Privacy, 3, 200)
+	b := Generate(Privacy, 3, 200)
+	if a.String() != b.String() {
+		t.Error("same seed produced different lists")
+	}
+}
+
+func TestPrivacyBlocksConversionTrackers(t *testing.T) {
+	l := Generate(Privacy, 1, 300)
+	eng, err := engine.New(engine.NamedList{Name: l.Name, List: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range adnet.Networks() {
+		if !n.Conversion {
+			continue
+		}
+		d := eng.MatchRequest(&engine.Request{
+			URL: n.URL(), Type: n.Type, DocumentHost: "x.com",
+		})
+		if d.Verdict != engine.Blocked {
+			t.Errorf("%s: conversion tracker not blocked by privacy list", n.Name)
+		}
+	}
+}
+
+func TestOverridesWhitelistBeatsPrivacyList(t *testing.T) {
+	// The whitelist's conversion-tracking exceptions defeat the privacy
+	// list: an Acceptable Ads user who also subscribes to EasyPrivacy
+	// still loads the whitelisted trackers.
+	var wl strings.Builder
+	for _, n := range adnet.Whitelisted() {
+		wl.WriteString(n.WhitelistFilter)
+		wl.WriteByte('\n')
+	}
+	whitelist := filter.ParseListString("exceptionrules", wl.String())
+	privacy := Generate(Privacy, 1, 300)
+
+	ov, err := Overrides(whitelist, privacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ov) < 5 {
+		t.Fatalf("overrides = %d, want several (every whitelisted conversion tracker)", len(ov))
+	}
+	seen := map[string]bool{}
+	for _, o := range ov {
+		seen[o.URL] = true
+		if o.List != "easyprivacy" {
+			t.Errorf("override list = %q", o.List)
+		}
+	}
+	if !seen["http://stats.g.doubleclick.net/r/collect"] {
+		t.Error("doubleclick conversion tracking not among overrides")
+	}
+}
+
+func TestOverridesEmptyWithoutWhitelist(t *testing.T) {
+	empty := filter.ParseListString("exceptionrules", "")
+	privacy := Generate(Privacy, 1, 100)
+	ov, err := Overrides(empty, privacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ov) != 0 {
+		t.Errorf("overrides without whitelist = %d", len(ov))
+	}
+}
+
+func TestMalwareListBlocksDocuments(t *testing.T) {
+	l := Generate(Malware, 2, 50)
+	eng, err := engine.New(engine.NamedList{Name: l.Name, List: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find one generated malicious host and check a subdocument request
+	// to it is blocked.
+	var host string
+	for _, f := range l.Active() {
+		if h := f.PatternHost(); h != "" {
+			host = h
+			break
+		}
+	}
+	if host == "" {
+		t.Fatal("no host-anchored malware filter found")
+	}
+	d := eng.MatchRequest(&engine.Request{
+		URL: "http://" + host + "/exploit.html", Type: filter.TypeSubdocument,
+		DocumentHost: "victim.example",
+	})
+	if d.Verdict != engine.Blocked {
+		t.Errorf("malicious subdocument not blocked (host %s)", host)
+	}
+}
+
+func TestSocialListElementFilters(t *testing.T) {
+	l := Generate(Social, 2, 50)
+	elems := 0
+	for _, f := range l.Active() {
+		if f.Kind == filter.KindElemHide {
+			elems++
+		}
+	}
+	if elems == 0 {
+		t.Error("social list has no element hiding filters")
+	}
+}

@@ -1,0 +1,74 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the filter parser with arbitrary lines. Invariants:
+// never panic, Raw round-trips, active filters classify into exactly one
+// scope, and re-parsing the raw text is idempotent.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"||adzerk.net^$third-party",
+		"@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com",
+		"reddit.com#@##ad_main",
+		"#@##influads_block",
+		"@@$sitekey=MFwwDQYJK,document",
+		"! comment",
+		"[Adblock Plus 2.0]",
+		"/banner[0-9]+/",
+		"||example.com^$domain=a.com|~b.a.com,script,~image",
+		"mnn.com,streamtuner.me###adv",
+		"@@||google.com/ads/search/module/ads/*/search.js$domain=suche.golem.de|www.google.com",
+		"$$$###@@@|||^^^",
+		strings.Repeat("a", 5000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		if strings.ContainsAny(line, "\n\r") {
+			t.Skip()
+		}
+		flt := Parse(line)
+		if flt == nil {
+			t.Fatal("nil filter")
+		}
+		if flt.Raw != line {
+			t.Fatalf("Raw = %q, want %q", flt.Raw, line)
+		}
+		if flt.IsActive() {
+			s := ClassifyScope(flt)
+			if s != ScopeRestricted && s != ScopeUnrestricted &&
+				s != ScopeSitekey && s != ScopePatternScoped {
+				t.Fatalf("bad scope %v for %q", s, line)
+			}
+			// Idempotence: re-parsing yields the same structure.
+			again := Parse(line)
+			if again.Kind != flt.Kind || again.Pattern != flt.Pattern ||
+				again.Selector != flt.Selector || again.TypeMask != flt.TypeMask {
+				t.Fatalf("re-parse differs for %q", line)
+			}
+		}
+	})
+}
+
+// FuzzAppliesToDomain checks the domain-restriction logic never panics and
+// respects the basic subset property: a filter applying to a subdomain's
+// parent domain must also apply to the subdomain unless negated.
+func FuzzAppliesToDomain(f *testing.F) {
+	f.Add("||x.net^$domain=example.com|~sub.example.com", "a.example.com")
+	f.Add("example.com##.ad", "example.com")
+	f.Add("~example.com##.ad", "other.org")
+	f.Fuzz(func(t *testing.T, line, host string) {
+		if strings.ContainsAny(line+host, "\n\r") {
+			t.Skip()
+		}
+		flt := Parse(line)
+		if !flt.IsActive() {
+			t.Skip()
+		}
+		_ = flt.AppliesToDomain(host) // must not panic
+	})
+}

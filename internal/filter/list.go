@@ -1,0 +1,186 @@
+package filter
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// List is an ordered filter list: the unit Adblock Plus users subscribe to.
+// The order matters — comments carry group metadata (forum links, the
+// paper's "!A<n>" markers) for the filters that follow them.
+type List struct {
+	// Name identifies the list, e.g. "easylist" or "exceptionrules".
+	Name string
+	// Entries holds every line in order, including comments and invalid
+	// lines, so history and hygiene analyses can see everything.
+	Entries []*Filter
+}
+
+// ParseList reads filter list text line by line. It never fails on filter
+// content — bad lines become KindInvalid entries — and returns an error only
+// for I/O problems.
+func ParseList(name string, r io.Reader) (*List, error) {
+	l := &List{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		l.Entries = append(l.Entries, Parse(sc.Text()))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ParseListString is ParseList over an in-memory string.
+func ParseListString(name, text string) *List {
+	l, _ := ParseList(name, strings.NewReader(text)) // strings.Reader cannot fail
+	return l
+}
+
+// Active returns the filters that participate in matching, skipping
+// comments and invalid lines.
+func (l *List) Active() []*Filter {
+	var out []*Filter
+	for _, f := range l.Entries {
+		if f.IsActive() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Comments returns the comment entries in order.
+func (l *List) Comments() []*Filter {
+	var out []*Filter
+	for _, f := range l.Entries {
+		if f.Kind == KindComment {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Invalid returns the entries that failed to parse — the malformed filters
+// the paper's hygiene section (§8) reports.
+func (l *List) Invalid() []*Filter {
+	var out []*Filter
+	for _, f := range l.Entries {
+		if f.Kind == KindInvalid {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Duplicates returns, for each filter text appearing more than once among
+// active entries, one representative and the number of occurrences.
+func (l *List) Duplicates() map[string]int {
+	seen := make(map[string]int)
+	for _, f := range l.Entries {
+		if f.IsActive() {
+			seen[strings.TrimSpace(f.Raw)]++
+		}
+	}
+	dups := make(map[string]int)
+	for text, n := range seen {
+		if n > 1 {
+			dups[text] = n
+		}
+	}
+	return dups
+}
+
+// String reassembles the list text.
+func (l *List) String() string {
+	var b strings.Builder
+	for _, f := range l.Entries {
+		b.WriteString(f.Raw)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Group is a run of consecutive active filters preceded by comment lines;
+// the whitelist is organised in such groups, each normally introduced by a
+// comment containing a forum link ("! http://adblockplus.org/forum/...").
+// Undocumented additions instead carry opaque markers such as "! A6".
+type Group struct {
+	// Comments are the comment texts introducing the group.
+	Comments []string
+	// Filters are the group's active filters.
+	Filters []*Filter
+}
+
+// ForumLink returns the first adblockplus.org forum URL among the group's
+// comments, or "".
+func (g *Group) ForumLink() string {
+	for _, c := range g.Comments {
+		if i := strings.Index(c, "adblockplus.org/forum"); i >= 0 {
+			// Return the whole whitespace-delimited token containing it.
+			for _, tok := range strings.Fields(c) {
+				if strings.Contains(tok, "adblockplus.org/forum") {
+					return tok
+				}
+			}
+			return c
+		}
+	}
+	return ""
+}
+
+// AMarker returns the "A<n>" label if the group is introduced by one of the
+// paper's nondescript A-filter comments (e.g. "! A6"), or "".
+func (g *Group) AMarker() string {
+	for _, c := range g.Comments {
+		t := strings.TrimSpace(c)
+		if len(t) >= 2 && t[0] == 'A' && allDigits(t[1:]) {
+			return t
+		}
+	}
+	return ""
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Groups splits the list into comment-introduced groups. Filters appearing
+// before any comment form a group with no comments.
+func (l *List) Groups() []*Group {
+	var groups []*Group
+	cur := &Group{}
+	flush := func() {
+		if len(cur.Filters) > 0 || len(cur.Comments) > 0 {
+			groups = append(groups, cur)
+		}
+		cur = &Group{}
+	}
+	for _, f := range l.Entries {
+		switch f.Kind {
+		case KindComment:
+			if f.Text == "" && f.Raw == "" {
+				continue // blank separator line
+			}
+			if len(cur.Filters) > 0 {
+				flush()
+			}
+			cur.Comments = append(cur.Comments, f.Text)
+		case KindInvalid:
+			continue
+		default:
+			cur.Filters = append(cur.Filters, f)
+		}
+	}
+	flush()
+	return groups
+}

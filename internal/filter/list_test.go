@@ -1,0 +1,180 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleList = `[Adblock Plus 2.0]
+! Text ads on Sedo parking domains
+@@$sitekey=MFwwDQYJKwEAAQ,document
+! http://adblockplus.org/forum/viewtopic.php?f=12&t=1234
+@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com
+reddit.com#@##ad_main
+! A6
+@@||ask.com^$elemhide
+@@||us.ask.com^$elemhide
+@@||uk.ask.com^$elemhide
+@@||pagefair.net^$third-party
+@@||pagefair.net^$third-party
+||example.com^$bogus
+`
+
+func TestParseListCounts(t *testing.T) {
+	l := ParseListString("sample", sampleList)
+	if got := len(l.Active()); got != 8 {
+		t.Errorf("active = %d, want 8", got)
+	}
+	if got := len(l.Comments()); got != 4 {
+		t.Errorf("comments = %d, want 4", got)
+	}
+	if got := len(l.Invalid()); got != 1 {
+		t.Errorf("invalid = %d, want 1", got)
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	l := ParseListString("sample", sampleList)
+	d := l.Duplicates()
+	if len(d) != 1 {
+		t.Fatalf("duplicates = %v, want 1 entry", d)
+	}
+	if n := d["@@||pagefair.net^$third-party"]; n != 2 {
+		t.Errorf("pagefair dup count = %d, want 2", n)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	l := ParseListString("sample", sampleList)
+	groups := l.Groups()
+	// Header+sedo comments merge into one group (nothing separates them),
+	// then the forum-linked reddit group, then the A6 group (the pagefair
+	// filters merge into A6's run since no comment separates them).
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	var a6 *Group
+	for _, g := range groups {
+		if g.AMarker() == "A6" {
+			a6 = g
+		}
+	}
+	if a6 == nil {
+		t.Fatal("no A6 group found")
+	}
+	if a6.ForumLink() != "" {
+		t.Errorf("A6 group has forum link %q, want none", a6.ForumLink())
+	}
+	if len(a6.Filters) != 5 {
+		t.Errorf("A6 filters = %d, want 5", len(a6.Filters))
+	}
+
+	var reddit *Group
+	for _, g := range groups {
+		if strings.Contains(g.ForumLink(), "viewtopic") {
+			reddit = g
+		}
+	}
+	if reddit == nil {
+		t.Fatal("no forum-linked group found")
+	}
+	if len(reddit.Filters) != 2 {
+		t.Errorf("reddit group filters = %d, want 2", len(reddit.Filters))
+	}
+}
+
+func TestListStringRoundTrip(t *testing.T) {
+	l := ParseListString("sample", sampleList)
+	l2 := ParseListString("sample", l.String())
+	if len(l2.Entries) != len(l.Entries) {
+		t.Fatalf("round trip entries %d != %d", len(l2.Entries), len(l.Entries))
+	}
+	for i := range l.Entries {
+		if l.Entries[i].Kind != l2.Entries[i].Kind {
+			t.Errorf("entry %d kind %v != %v", i, l.Entries[i].Kind, l2.Entries[i].Kind)
+		}
+	}
+}
+
+func TestExplicitDomains(t *testing.T) {
+	l := ParseListString("sample", sampleList)
+	domains := ExplicitDomains(l)
+	// reddit.com from the $domain option, the three ask hosts from the
+	// document-level $elemhide filters' pattern hosts.
+	want := []string{"ask.com", "reddit.com", "uk.ask.com", "us.ask.com"}
+	if len(domains) != len(want) {
+		t.Fatalf("ExplicitDomains = %v, want %v", domains, want)
+	}
+	for i := range want {
+		if domains[i] != want[i] {
+			t.Fatalf("ExplicitDomains = %v, want %v", domains, want)
+		}
+	}
+}
+
+func TestRegistrableDomains(t *testing.T) {
+	fq := []string{"maps.google.com", "www.google.com", "google.com", "cars.about.com"}
+	got := RegistrableDomains(fq)
+	want := []string{"about.com", "google.com"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("RegistrableDomains = %v, want %v", got, want)
+	}
+}
+
+func TestCountScopes(t *testing.T) {
+	l := ParseListString("sample", sampleList)
+	c := CountScopes(l)
+	if c.Sitekey != 1 {
+		t.Errorf("sitekey = %d, want 1", c.Sitekey)
+	}
+	// adzerk/reddit + reddit elemhide exception + the 3 ask $elemhide
+	// filters (document-level, pattern-host-scoped).
+	if c.Restricted != 5 {
+		t.Errorf("restricted = %d, want 5", c.Restricted)
+	}
+	if c.Unrestricted != 2 { // pagefair ×2 (dup kept)
+		t.Errorf("unrestricted = %d, want 2", c.Unrestricted)
+	}
+	if c.Total() != len(l.Active()) {
+		t.Errorf("total = %d, want %d", c.Total(), len(l.Active()))
+	}
+}
+
+// Property: parsing any line never panics and always yields a non-nil
+// filter whose Raw round-trips.
+func TestQuickParseTotal(t *testing.T) {
+	alphabet := []rune("abc.|@#$^*~,=/!x ")
+	prop := func(seed []byte) bool {
+		var b strings.Builder
+		for _, s := range seed {
+			b.WriteRune(alphabet[int(s)%len(alphabet)])
+		}
+		line := b.String()
+		f := Parse(line)
+		return f != nil && f.Raw == line
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every active parsed filter belongs to exactly one scope class.
+func TestQuickScopeTotal(t *testing.T) {
+	lines := []string{
+		"||ads.example^", "@@||x.com^$domain=a.com", "@@$sitekey=K,document",
+		"a.com##.ad", "#@##influads_block", "@@||adzerk.net/reddit/",
+		"@@||pagefair.net^$third-party", "x.com,~y.x.com##div",
+	}
+	for _, line := range lines {
+		f := Parse(line)
+		if !f.IsActive() {
+			t.Errorf("%q inactive", line)
+			continue
+		}
+		s := ClassifyScope(f)
+		if s != ScopeRestricted && s != ScopeUnrestricted && s != ScopeSitekey && s != ScopePatternScoped {
+			t.Errorf("%q: unknown scope %v", line, s)
+		}
+	}
+}

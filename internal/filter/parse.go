@@ -1,0 +1,343 @@
+package filter
+
+import (
+	"strings"
+
+	"acceptableads/internal/domainutil"
+)
+
+// MaxLength is the length at which Eyeo's tooling erroneously truncated
+// filters in Rev. 326 (§8 of the paper). Lines longer than this are rejected
+// as invalid, mirroring the hygiene issue the paper reports.
+const MaxLength = 4095
+
+// Parse parses one filter list line. It never returns nil: unparseable
+// lines yield a *Filter with Kind == KindInvalid and Err set, because the
+// paper's hygiene analysis needs to see them.
+func Parse(line string) *Filter {
+	raw := line
+	line = strings.TrimSpace(line)
+	f := &Filter{Raw: raw}
+
+	switch {
+	case line == "":
+		f.Kind = KindComment
+		return f
+	case strings.HasPrefix(line, "!"):
+		f.Kind = KindComment
+		f.Text = strings.TrimSpace(line[1:])
+		return f
+	case strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]"):
+		// List header such as "[Adblock Plus 2.0]".
+		f.Kind = KindComment
+		f.Text = line
+		return f
+	}
+
+	if len(line) > MaxLength {
+		f.Kind = KindInvalid
+		f.Err = "filter exceeds maximum length"
+		return f
+	}
+
+	// Element hiding filters: <domains>#@#<selector> or <domains>##<selector>.
+	if sep, pos := findElemHideSeparator(line); pos >= 0 {
+		return parseElemHide(f, line, sep, pos)
+	}
+
+	return parseRequest(f, line)
+}
+
+// findElemHideSeparator locates "#@#" or "##" when the text before it is a
+// plausible domain list. It returns the separator and its index, or ("",-1).
+func findElemHideSeparator(line string) (string, int) {
+	for _, sep := range []string{"#@#", "##"} {
+		if i := strings.Index(line, sep); i >= 0 && validDomainPrefix(line[:i]) {
+			return sep, i
+		}
+	}
+	return "", -1
+}
+
+// validDomainPrefix reports whether s could be an element filter's domain
+// list: empty, or comma-separated (possibly "~"-negated) hostnames.
+func validDomainPrefix(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.', r == ',', r == '~', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseElemHide(f *Filter, line, sep string, pos int) *Filter {
+	if sep == "#@#" {
+		f.Kind = KindElemHideException
+	} else {
+		f.Kind = KindElemHide
+	}
+	f.Selector = line[pos+len(sep):]
+	if f.Selector == "" {
+		f.Kind = KindInvalid
+		f.Err = "element filter with empty selector"
+		return f
+	}
+	prefix := line[:pos]
+	if prefix != "" {
+		for _, d := range strings.Split(prefix, ",") {
+			d = strings.TrimSpace(d)
+			if d == "" {
+				continue
+			}
+			spec := DomainSpec{}
+			if strings.HasPrefix(d, "~") {
+				spec.Negated = true
+				d = d[1:]
+			}
+			spec.Domain = domainutil.Normalize(d)
+			if spec.Domain == "" {
+				f.Kind = KindInvalid
+				f.Err = "element filter with empty domain entry"
+				return f
+			}
+			f.Domains = append(f.Domains, spec)
+		}
+	}
+	return f
+}
+
+func parseRequest(f *Filter, line string) *Filter {
+	f.Kind = KindRequestBlock
+	if strings.HasPrefix(line, "@@") {
+		f.Kind = KindRequestException
+		line = line[2:]
+	}
+
+	// Split off the option list. Raw regular expression filters
+	// (/.../ with no $) take the whole text as pattern.
+	pattern := line
+	var options string
+	if i := findOptionsSeparator(line); i >= 0 {
+		pattern = line[:i]
+		options = line[i+1:]
+	}
+
+	if strings.HasPrefix(pattern, "/") && strings.HasSuffix(pattern, "/") && len(pattern) > 1 {
+		f.IsRegex = true
+		f.Pattern = pattern[1 : len(pattern)-1]
+	} else {
+		// Anchor modifiers.
+		if strings.HasPrefix(pattern, "||") {
+			f.AnchorDomain = true
+			pattern = pattern[2:]
+		} else if strings.HasPrefix(pattern, "|") {
+			f.AnchorStart = true
+			pattern = pattern[1:]
+		}
+		if strings.HasSuffix(pattern, "|") {
+			f.AnchorEnd = true
+			pattern = pattern[:len(pattern)-1]
+		}
+		f.Pattern = pattern
+	}
+
+	f.TypeMask = DefaultTypes
+	if options != "" {
+		if ok := applyOptions(f, options); !ok {
+			return f // applyOptions set KindInvalid.
+		}
+	}
+
+	// A request filter needs either a pattern or a restricting option;
+	// "@@$sitekey=...,document" is the sitekey form with empty pattern.
+	if f.Pattern == "" && !f.IsRegex && len(f.Sitekeys) == 0 && len(f.Domains) == 0 {
+		f.Kind = KindInvalid
+		f.Err = "empty filter"
+	}
+	return f
+}
+
+// findOptionsSeparator returns the index of the "$" introducing the option
+// list, or -1. Following Adblock Plus it looks for the last "$" whose
+// remainder parses as an option list, so "$" characters inside URL patterns
+// do not confuse it.
+func findOptionsSeparator(line string) int {
+	for i := len(line) - 1; i >= 0; i-- {
+		if line[i] != '$' {
+			continue
+		}
+		if looksLikeOptions(line[i+1:]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// looksLikeOptions reports whether s has the *shape* of an option list:
+// comma-separated, optionally "~"-negated words with optional "=value"
+// parts. Adblock Plus splits on shape and only afterwards rejects unknown
+// option names, which is how malformed options make a filter invalid rather
+// than silently becoming pattern text.
+func looksLikeOptions(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, opt := range strings.Split(s, ",") {
+		opt = strings.TrimSpace(opt)
+		opt = strings.TrimPrefix(opt, "~")
+		name := opt
+		if eq := strings.IndexByte(opt, '='); eq >= 0 {
+			name = opt[:eq]
+		}
+		if name == "" {
+			return false
+		}
+		for _, r := range name {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyOptions parses a comma-separated option list into f. It returns
+// false (with f marked invalid) for malformed constructs such as negated
+// non-negatable options.
+func applyOptions(f *Filter, options string) bool {
+	var include, exclude ContentType
+	for _, opt := range strings.Split(options, ",") {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			f.Kind = KindInvalid
+			f.Err = "empty option"
+			return false
+		}
+		negated := strings.HasPrefix(opt, "~")
+		if negated {
+			opt = opt[1:]
+		}
+		var value string
+		if eq := strings.IndexByte(opt, '='); eq >= 0 {
+			value = opt[eq+1:]
+			opt = opt[:eq]
+		}
+		opt = strings.ToLower(opt)
+
+		if t, ok := ParseContentType(opt); ok {
+			if negated {
+				exclude |= t
+			} else {
+				include |= t
+			}
+			continue
+		}
+		switch opt {
+		case "third-party":
+			if negated {
+				f.ThirdParty = No
+			} else {
+				f.ThirdParty = Yes
+			}
+		case "collapse":
+			if negated {
+				f.Collapse = No
+			} else {
+				f.Collapse = Yes
+			}
+		case "match-case":
+			if negated {
+				f.Kind = KindInvalid
+				f.Err = "match-case cannot be negated"
+				return false
+			}
+			f.MatchCase = true
+		case "donottrack":
+			if negated {
+				f.Kind = KindInvalid
+				f.Err = "donottrack cannot be negated"
+				return false
+			}
+			f.DoNotTrack = true
+		case "domain":
+			if value == "" {
+				f.Kind = KindInvalid
+				f.Err = "domain option without value"
+				return false
+			}
+			for _, d := range strings.Split(value, "|") {
+				d = strings.TrimSpace(d)
+				if d == "" {
+					continue
+				}
+				spec := DomainSpec{}
+				if strings.HasPrefix(d, "~") {
+					spec.Negated = true
+					d = d[1:]
+				}
+				spec.Domain = domainutil.Normalize(d)
+				f.Domains = append(f.Domains, spec)
+			}
+		case "sitekey":
+			if negated {
+				f.Kind = KindInvalid
+				f.Err = "sitekey cannot be negated"
+				return false
+			}
+			if value == "" {
+				f.Kind = KindInvalid
+				f.Err = "sitekey option without value"
+				return false
+			}
+			for _, k := range strings.Split(value, "|") {
+				if k = strings.TrimSpace(k); k != "" {
+					f.Sitekeys = append(f.Sitekeys, k)
+				}
+			}
+		default:
+			f.Kind = KindInvalid
+			f.Err = "unknown option: " + opt
+			return false
+		}
+	}
+
+	switch {
+	case include != 0:
+		f.TypeMask = include &^ exclude
+	case exclude != 0:
+		f.TypeMask = DefaultTypes &^ exclude
+	}
+	return true
+}
+
+// AppliesToDomain reports whether the filter's domain restrictions permit
+// activation on a page hosted at docHost. A filter with no positive domain
+// entries applies everywhere not explicitly negated; with positive entries
+// it applies only on those domains (and their subdomains), unless a more
+// specific negated entry overrides.
+func (f *Filter) AppliesToDomain(docHost string) bool {
+	if len(f.Domains) == 0 {
+		return true
+	}
+	docHost = domainutil.Normalize(docHost)
+	bestLen, bestNegated := -1, false
+	hasPositive := false
+	for _, d := range f.Domains {
+		if !d.Negated {
+			hasPositive = true
+		}
+		if domainutil.IsSubdomainOf(docHost, d.Domain) && len(d.Domain) > bestLen {
+			bestLen = len(d.Domain)
+			bestNegated = d.Negated
+		}
+	}
+	if bestLen >= 0 {
+		return !bestNegated
+	}
+	return !hasPositive
+}

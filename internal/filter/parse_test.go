@@ -1,0 +1,354 @@
+package filter
+
+import (
+	"strings"
+	"testing"
+)
+
+// The test vectors below are drawn directly from the paper's figures and
+// running text.
+
+func TestParseBlockingRequest(t *testing.T) {
+	f := Parse("||adzerk.net^$third-party")
+	if f.Kind != KindRequestBlock {
+		t.Fatalf("kind = %v, want block", f.Kind)
+	}
+	if !f.AnchorDomain {
+		t.Error("expected AnchorDomain")
+	}
+	if f.Pattern != "adzerk.net^" {
+		t.Errorf("pattern = %q", f.Pattern)
+	}
+	if f.ThirdParty != Yes {
+		t.Errorf("third-party = %v, want Yes", f.ThirdParty)
+	}
+	if f.TypeMask != DefaultTypes {
+		t.Errorf("type mask = %v, want defaults", f.TypeMask)
+	}
+}
+
+func TestParseRequestException(t *testing.T) {
+	f := Parse("@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com")
+	if f.Kind != KindRequestException {
+		t.Fatalf("kind = %v, want exception", f.Kind)
+	}
+	if f.TypeMask != TypeSubdocument|TypeDocument {
+		t.Errorf("type mask = %v", f.TypeMask)
+	}
+	if len(f.Domains) != 1 || f.Domains[0].Domain != "reddit.com" || f.Domains[0].Negated {
+		t.Errorf("domains = %+v", f.Domains)
+	}
+	if ClassifyScope(f) != ScopeRestricted {
+		t.Errorf("scope = %v, want restricted", ClassifyScope(f))
+	}
+}
+
+func TestParseElemHide(t *testing.T) {
+	f := Parse("reddit.com###siteTable_organic")
+	if f.Kind != KindElemHide {
+		t.Fatalf("kind = %v, want elemhide", f.Kind)
+	}
+	if f.Selector != "#siteTable_organic" {
+		t.Errorf("selector = %q", f.Selector)
+	}
+	if len(f.Domains) != 1 || f.Domains[0].Domain != "reddit.com" {
+		t.Errorf("domains = %+v", f.Domains)
+	}
+}
+
+func TestParseElemHideException(t *testing.T) {
+	f := Parse("reddit.com#@##ad_main")
+	if f.Kind != KindElemHideException {
+		t.Fatalf("kind = %v, want elemhide-exception", f.Kind)
+	}
+	if f.Selector != "#ad_main" {
+		t.Errorf("selector = %q", f.Selector)
+	}
+	if ClassifyScope(f) != ScopeRestricted {
+		t.Errorf("scope = %v, want restricted", ClassifyScope(f))
+	}
+}
+
+func TestParseUnrestrictedElemHide(t *testing.T) {
+	// The whitelist's single unrestricted element exception (§4.2.2).
+	f := Parse("#@##influads_block")
+	if f.Kind != KindElemHideException {
+		t.Fatalf("kind = %v, want elemhide-exception", f.Kind)
+	}
+	if f.Selector != "#influads_block" {
+		t.Errorf("selector = %q", f.Selector)
+	}
+	if len(f.Domains) != 0 {
+		t.Errorf("domains = %+v, want none", f.Domains)
+	}
+	if ClassifyScope(f) != ScopeUnrestricted {
+		t.Errorf("scope = %v, want unrestricted", ClassifyScope(f))
+	}
+}
+
+func TestParseSitekeyFilter(t *testing.T) {
+	f := Parse("@@$sitekey=MFwwDQYJKwEAAQ,document")
+	if f.Kind != KindRequestException {
+		t.Fatalf("kind = %v, want exception (err=%s)", f.Kind, f.Err)
+	}
+	if !f.IsSitekey() {
+		t.Fatal("expected sitekey filter")
+	}
+	if len(f.Sitekeys) != 1 || f.Sitekeys[0] != "MFwwDQYJKwEAAQ" {
+		t.Errorf("sitekeys = %v", f.Sitekeys)
+	}
+	if f.TypeMask != TypeDocument {
+		t.Errorf("type mask = %v, want document", f.TypeMask)
+	}
+	if ClassifyScope(f) != ScopeSitekey {
+		t.Errorf("scope = %v, want sitekey", ClassifyScope(f))
+	}
+}
+
+func TestParseMultipleSitekeys(t *testing.T) {
+	f := Parse("@@$sitekey=KEYA|KEYB,document")
+	if len(f.Sitekeys) != 2 {
+		t.Fatalf("sitekeys = %v", f.Sitekeys)
+	}
+}
+
+func TestParsePageFairFilters(t *testing.T) {
+	// §4.2.2's PageFair unrestricted exceptions.
+	for _, line := range []string{
+		"@@||pagefair.net^$third-party",
+		"@@||tracking.admarketplace.net^$third-party",
+		"@@||imp.admarketplace.net^$third-party",
+	} {
+		f := Parse(line)
+		if f.Kind != KindRequestException {
+			t.Errorf("%s: kind = %v", line, f.Kind)
+		}
+		if ClassifyScope(f) != ScopeUnrestricted {
+			t.Errorf("%s: scope = %v, want unrestricted", line, ClassifyScope(f))
+		}
+	}
+}
+
+func TestParseInfluadsFilters(t *testing.T) {
+	f := Parse("@@||influads.com^$script,image")
+	if f.TypeMask != TypeScript|TypeImage {
+		t.Errorf("type mask = %v", f.TypeMask)
+	}
+}
+
+func TestParseGolemFilters(t *testing.T) {
+	// §7's golem.de episode filters.
+	f := Parse("@@||google.com/ads/search/module/ads/*/search.js$domain=suche.golem.de|www.google.com")
+	if f.Kind != KindRequestException {
+		t.Fatalf("kind = %v (err=%s)", f.Kind, f.Err)
+	}
+	if len(f.Domains) != 2 {
+		t.Fatalf("domains = %+v", f.Domains)
+	}
+	if f.Domains[0].Domain != "suche.golem.de" || f.Domains[1].Domain != "www.google.com" {
+		t.Errorf("domains = %+v", f.Domains)
+	}
+	g := Parse("www.google.com#@##adBlock")
+	if g.Kind != KindElemHideException || g.Selector != "#adBlock" {
+		t.Errorf("golem element filter parsed as %v selector %q", g.Kind, g.Selector)
+	}
+}
+
+func TestParseComcastAFilters(t *testing.T) {
+	// Figure 11's A29 group.
+	for _, line := range []string{
+		"@@||google.com/adsense/search/ads.js$domain=search.comcast.net",
+		"@@||google.com/ads/search/module/ads/*/search.js$script,domain=search.comcast.net",
+		"@@||google.com/afs/$script,subdocument,document,domain=search.comcast.net",
+	} {
+		f := Parse(line)
+		if f.Kind != KindRequestException {
+			t.Errorf("%s: kind = %v err=%s", line, f.Kind, f.Err)
+		}
+		if ClassifyScope(f) != ScopeRestricted {
+			t.Errorf("%s: scope = %v", line, ClassifyScope(f))
+		}
+	}
+}
+
+func TestParseElemhideOptionFilter(t *testing.T) {
+	// Figure 11's A6 group: "@@||Ask.com^$elemhide".
+	f := Parse("@@||ask.com^$elemhide")
+	if f.Kind != KindRequestException {
+		t.Fatalf("kind = %v", f.Kind)
+	}
+	if f.TypeMask != TypeElemHide {
+		t.Errorf("type mask = %v, want elemhide", f.TypeMask)
+	}
+}
+
+func TestParseAnchors(t *testing.T) {
+	f := Parse("|http://example.com/ad.jpg|")
+	if !f.AnchorStart || !f.AnchorEnd || f.AnchorDomain {
+		t.Errorf("anchors = start=%v end=%v domain=%v", f.AnchorStart, f.AnchorEnd, f.AnchorDomain)
+	}
+	if f.Pattern != "http://example.com/ad.jpg" {
+		t.Errorf("pattern = %q", f.Pattern)
+	}
+}
+
+func TestParseRegexFilter(t *testing.T) {
+	f := Parse("/banner[0-9]+/")
+	if !f.IsRegex {
+		t.Fatal("expected regex filter")
+	}
+	if f.Pattern != "banner[0-9]+" {
+		t.Errorf("pattern = %q", f.Pattern)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	f := Parse("! A6")
+	if f.Kind != KindComment || f.Text != "A6" {
+		t.Errorf("comment parse: %v %q", f.Kind, f.Text)
+	}
+	h := Parse("[Adblock Plus 2.0]")
+	if h.Kind != KindComment {
+		t.Errorf("header parse: %v", h.Kind)
+	}
+	b := Parse("")
+	if b.Kind != KindComment {
+		t.Errorf("blank line parse: %v", b.Kind)
+	}
+}
+
+func TestParseNegatedOptions(t *testing.T) {
+	f := Parse("||example.com^$~script,~image")
+	want := DefaultTypes &^ (TypeScript | TypeImage)
+	if f.TypeMask != want {
+		t.Errorf("type mask = %v, want %v", f.TypeMask, want)
+	}
+	g := Parse("||example.com^$~third-party")
+	if g.ThirdParty != No {
+		t.Errorf("third-party = %v, want No", g.ThirdParty)
+	}
+}
+
+func TestParseNegatedDomains(t *testing.T) {
+	f := Parse("||example.com^$domain=good.com|~bad.good.com")
+	if !f.AppliesToDomain("good.com") {
+		t.Error("should apply to good.com")
+	}
+	if !f.AppliesToDomain("sub.good.com") {
+		t.Error("should apply to sub.good.com")
+	}
+	if f.AppliesToDomain("bad.good.com") {
+		t.Error("should not apply to bad.good.com")
+	}
+	if f.AppliesToDomain("x.bad.good.com") {
+		t.Error("should not apply to x.bad.good.com")
+	}
+	if f.AppliesToDomain("other.com") {
+		t.Error("should not apply to other.com")
+	}
+}
+
+func TestParseOnlyNegatedDomains(t *testing.T) {
+	f := Parse("||tracker.example^$domain=~excluded.com")
+	if !f.AppliesToDomain("anything.net") {
+		t.Error("negative-only domain list should apply elsewhere")
+	}
+	if f.AppliesToDomain("excluded.com") {
+		t.Error("should not apply to excluded domain")
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	cases := []string{
+		"||example.com^$bogus-option",
+		"##",
+		"@@$sitekey=",
+		"||example.com^$domain=",
+		"||example.com^$~match-case",
+	}
+	for _, line := range cases {
+		if f := Parse(line); f.Kind != KindInvalid {
+			t.Errorf("Parse(%q).Kind = %v, want invalid", line, f.Kind)
+		}
+	}
+}
+
+func TestParseTruncatedFilter(t *testing.T) {
+	// §8: filters truncated at 4095 characters are malformed.
+	long := "||example.com/" + strings.Repeat("a", MaxLength)
+	f := Parse(long)
+	if f.Kind != KindInvalid {
+		t.Errorf("overlong filter kind = %v, want invalid", f.Kind)
+	}
+}
+
+func TestDollarInsidePattern(t *testing.T) {
+	// A "$" whose remainder does not have option-list shape is pattern text.
+	f := Parse("||example.com/page$?x=1")
+	if f.Kind != KindRequestBlock {
+		t.Fatalf("kind = %v (err=%s)", f.Kind, f.Err)
+	}
+	if f.Pattern != "example.com/page$?x=1" {
+		t.Errorf("pattern = %q", f.Pattern)
+	}
+	// But option-shaped text with an unknown name makes the filter invalid,
+	// matching Adblock Plus's unknown-option error.
+	g := Parse("||example.com/page$ref=x")
+	if g.Kind != KindInvalid {
+		t.Errorf("unknown option kind = %v, want invalid", g.Kind)
+	}
+}
+
+func TestMultiDomainElemHide(t *testing.T) {
+	// Appendix A example: mnn.com,streamtuner.me###adv
+	f := Parse("mnn.com,streamtuner.me###adv")
+	if f.Kind != KindElemHide || len(f.Domains) != 2 {
+		t.Fatalf("kind=%v domains=%+v", f.Kind, f.Domains)
+	}
+	if !f.AppliesToDomain("mnn.com") || !f.AppliesToDomain("streamtuner.me") {
+		t.Error("should apply to both listed domains")
+	}
+	if f.AppliesToDomain("other.org") {
+		t.Error("should not apply elsewhere")
+	}
+}
+
+func TestNegatedElemHideDomain(t *testing.T) {
+	f := Parse("example.com,~sub.example.com##.ad")
+	if !f.AppliesToDomain("example.com") || f.AppliesToDomain("sub.example.com") {
+		t.Error("negated elemhide domain mis-handled")
+	}
+}
+
+func TestPositiveDomains(t *testing.T) {
+	f := Parse("@@||g.doubleclick.net/pagead/$subdocument,domain=references.net")
+	got := f.PositiveDomains()
+	if len(got) != 1 || got[0] != "references.net" {
+		t.Errorf("PositiveDomains = %v", got)
+	}
+}
+
+func TestScopePatternScoped(t *testing.T) {
+	f := Parse("@@||adzerk.net/reddit/")
+	if ClassifyScope(f) != ScopePatternScoped {
+		t.Errorf("scope = %v, want pattern-scoped", ClassifyScope(f))
+	}
+	g := Parse("@@||pagefair.net^$third-party")
+	if ClassifyScope(g) != ScopeUnrestricted {
+		t.Errorf("scope = %v, want unrestricted", ClassifyScope(g))
+	}
+}
+
+func TestRoundTripRaw(t *testing.T) {
+	lines := []string{
+		"||adzerk.net^$third-party",
+		"@@||pagefair.net^$third-party",
+		"reddit.com#@##ad_main",
+		"! comment",
+	}
+	for _, line := range lines {
+		if got := Parse(line).String(); got != line {
+			t.Errorf("String() = %q, want %q", got, line)
+		}
+	}
+}

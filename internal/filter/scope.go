@@ -1,0 +1,165 @@
+package filter
+
+import (
+	"sort"
+	"strings"
+
+	"acceptableads/internal/domainutil"
+)
+
+// Scope classifies a whitelist filter by the set of first-party domains
+// that can activate it — the hierarchy of Figure 4 in the paper.
+type Scope uint8
+
+const (
+	// ScopeRestricted filters explicitly enumerate the first-party
+	// domains they activate on, via $domain= or an element filter's
+	// domain prefix. 89% of the whitelist.
+	ScopeRestricted Scope = iota
+	// ScopeSitekey filters activate on any domain presenting a valid
+	// signature under one of the filter's RSA sitekeys.
+	ScopeSitekey
+	// ScopeUnrestricted filters can activate on any first-party domain.
+	ScopeUnrestricted
+	// ScopePatternScoped filters carry no domain restriction but their
+	// URL pattern names a concrete publisher path (e.g.
+	// "@@||adzerk.net/reddit/"), so their practical reach is narrower
+	// than a fully unrestricted filter even though, by definition, any
+	// first party could trigger them. The paper folds these into the
+	// restricted/unrestricted discussion; we keep them distinct so the
+	// Figure 4 hierarchy can show them.
+	ScopePatternScoped
+)
+
+// String names the scope class.
+func (s Scope) String() string {
+	switch s {
+	case ScopeRestricted:
+		return "restricted"
+	case ScopeSitekey:
+		return "sitekey"
+	case ScopeUnrestricted:
+		return "unrestricted"
+	case ScopePatternScoped:
+		return "pattern-scoped"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyScope determines the filter's scope class. Sitekey restriction
+// wins over domain restriction (sitekey filters delegate whitelisting to
+// whoever holds the key); a positive domain list makes a filter restricted;
+// otherwise the filter is unrestricted, or pattern-scoped when its pattern
+// pins a multi-segment URL path.
+func ClassifyScope(f *Filter) Scope {
+	if len(f.Sitekeys) > 0 {
+		return ScopeSitekey
+	}
+	if f.HasPositiveDomains() {
+		return ScopeRestricted
+	}
+	if f.Kind == KindRequestBlock || f.Kind == KindRequestException {
+		// A document-level filter ($document/$elemhide) whose pattern
+		// pins a hostname is restricted: "@@||ask.com^$elemhide" can
+		// only activate while browsing ask.com, so the paper counts
+		// ask.com as explicitly listed.
+		if f.IsDocumentLevel() && f.PatternHost() != "" {
+			return ScopeRestricted
+		}
+		if patternPinsPath(f) {
+			return ScopePatternScoped
+		}
+	}
+	return ScopeUnrestricted
+}
+
+// patternPinsPath reports whether a domain-anchored pattern pins a
+// publisher *section* of an ad server, e.g. "||adzerk.net/reddit/" — the
+// path continues past the hostname and ends in "/". Patterns that pin a
+// specific resource instead ("||google.com/adsense/search/ads.js") stay
+// unrestricted, matching the paper's treatment of the A59 filter as an
+// unrestricted exception.
+func patternPinsPath(f *Filter) bool {
+	if f.IsRegex || !f.AnchorDomain {
+		return false
+	}
+	slash := strings.IndexByte(f.Pattern, '/')
+	if slash < 0 || slash == len(f.Pattern)-1 {
+		return false
+	}
+	rest := f.Pattern[slash+1:]
+	return strings.HasSuffix(f.Pattern, "/") && strings.Trim(rest, "^*/") != ""
+}
+
+// ScopeCount tallies scope classes over a set of filters.
+type ScopeCount struct {
+	Restricted    int
+	Unrestricted  int
+	Sitekey       int
+	PatternScoped int
+}
+
+// Total returns the number of classified filters.
+func (c ScopeCount) Total() int {
+	return c.Restricted + c.Unrestricted + c.Sitekey + c.PatternScoped
+}
+
+// CountScopes classifies every active filter in the list.
+func CountScopes(l *List) ScopeCount {
+	var c ScopeCount
+	for _, f := range l.Active() {
+		switch ClassifyScope(f) {
+		case ScopeRestricted:
+			c.Restricted++
+		case ScopeUnrestricted:
+			c.Unrestricted++
+		case ScopeSitekey:
+			c.Sitekey++
+		case ScopePatternScoped:
+			c.PatternScoped++
+		}
+	}
+	return c
+}
+
+// ExplicitDomains returns the sorted set of fully qualified first-party
+// domains explicitly named by restricted filters in the list — the
+// "explicitly listed publisher domains" of Table 2. Domain options,
+// element filter prefixes, and the pattern hosts of document-level filters
+// all count.
+func ExplicitDomains(l *List) []string {
+	set := make(map[string]bool)
+	for _, f := range l.Active() {
+		for _, d := range f.PositiveDomains() {
+			set[d] = true
+		}
+		if f.IsDocumentLevel() && !f.IsSitekey() {
+			if h := f.PatternHost(); h != "" {
+				set[h] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegistrableDomains folds a set of fully qualified domains to their
+// registrable (effective second-level) domains, sorted and deduplicated —
+// e.g. google.com for maps.google.com.
+func RegistrableDomains(fqdns []string) []string {
+	set := make(map[string]bool)
+	for _, d := range fqdns {
+		set[domainutil.Registrable(d)] = true
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

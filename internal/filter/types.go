@@ -1,0 +1,290 @@
+// Package filter implements the Adblock Plus filter syntax described in
+// Appendix A of the paper: blocking and exception request filters, element
+// hiding and element hiding exception filters, sitekey filters, filter
+// options, and comment/metadata lines.
+//
+// The package is purely syntactic: it parses filter list text into a typed
+// representation and classifies filter scope. Matching semantics (deciding
+// whether a request or element activates a filter) live in internal/engine.
+package filter
+
+import "strings"
+
+// Kind identifies the grammatical class of a parsed line.
+type Kind uint8
+
+const (
+	// KindInvalid marks a line that failed to parse as any filter form.
+	// The paper's hygiene analysis (§8) counts such lines — e.g. the 8
+	// exception filters erroneously truncated at 4095 characters.
+	KindInvalid Kind = iota
+	// KindComment is a "!"-prefixed comment or a "[Adblock Plus x.y]"
+	// list header.
+	KindComment
+	// KindRequestBlock blocks matching web requests.
+	KindRequestBlock
+	// KindRequestException ("@@" prefix) overrides blocking filters to
+	// allow matching web requests. Sitekey filters are request exceptions
+	// whose option list carries one or more sitekeys.
+	KindRequestException
+	// KindElemHide ("##") hides page elements matching a CSS selector.
+	KindElemHide
+	// KindElemHideException ("#@#") cancels element hiding filters.
+	KindElemHideException
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindComment:
+		return "comment"
+	case KindRequestBlock:
+		return "block"
+	case KindRequestException:
+		return "exception"
+	case KindElemHide:
+		return "elemhide"
+	case KindElemHideException:
+		return "elemhide-exception"
+	default:
+		return "invalid"
+	}
+}
+
+// ContentType is a bit mask of the request content types a filter applies
+// to, set via filter options such as $script or $image.
+type ContentType uint32
+
+const (
+	TypeScript ContentType = 1 << iota
+	TypeImage
+	TypeStylesheet
+	TypeObject
+	TypeXMLHTTPRequest
+	TypeObjectSubrequest
+	TypeSubdocument
+	TypeDocument
+	TypeElemHide
+	TypeOther
+	// Deprecated options kept for backwards compatibility with old lists.
+	TypeBackground
+	TypeXBL
+	TypePing
+	TypeDTD
+)
+
+// DefaultTypes is the content-type mask applied when a filter names no type
+// options. Following Adblock Plus, $document and $elemhide never apply
+// implicitly: they must be requested explicitly and only have meaning on
+// exception filters.
+const DefaultTypes = TypeScript | TypeImage | TypeStylesheet | TypeObject |
+	TypeXMLHTTPRequest | TypeObjectSubrequest | TypeSubdocument | TypeOther |
+	TypeBackground | TypeXBL | TypePing | TypeDTD
+
+var typeNames = []struct {
+	t    ContentType
+	name string
+}{
+	{TypeScript, "script"},
+	{TypeImage, "image"},
+	{TypeStylesheet, "stylesheet"},
+	{TypeObject, "object"},
+	{TypeXMLHTTPRequest, "xmlhttprequest"},
+	{TypeObjectSubrequest, "object-subrequest"},
+	{TypeSubdocument, "subdocument"},
+	{TypeDocument, "document"},
+	{TypeElemHide, "elemhide"},
+	{TypeOther, "other"},
+	{TypeBackground, "background"},
+	{TypeXBL, "xbl"},
+	{TypePing, "ping"},
+	{TypeDTD, "dtd"},
+}
+
+// ParseContentType maps an option name like "script" to its ContentType
+// bit. The boolean result is false for unknown names.
+func ParseContentType(name string) (ContentType, bool) {
+	for _, tn := range typeNames {
+		if tn.name == name {
+			return tn.t, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the mask as a comma-separated list of option names.
+func (c ContentType) String() string {
+	if c == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, tn := range typeNames {
+		if c&tn.t != 0 {
+			parts = append(parts, tn.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// TriState represents a filter option that may be required, forbidden, or
+// unconstrained — e.g. $third-party vs $~third-party vs absent.
+type TriState int8
+
+const (
+	// Unset leaves the property unconstrained.
+	Unset TriState = iota
+	// Yes requires the property (e.g. $third-party).
+	Yes
+	// No forbids the property (e.g. $~third-party).
+	No
+)
+
+// DomainSpec is one entry of a $domain= option list or an element hiding
+// filter's domain prefix. Negated entries carry the "~" prefix.
+type DomainSpec struct {
+	Domain  string
+	Negated bool
+}
+
+// Filter is one parsed filter list line.
+//
+// For request filters, Pattern holds the matching expression with the
+// anchor modifiers already stripped into AnchorDomain/AnchorStart/AnchorEnd.
+// For element filters, Selector holds the CSS selector and Domains the
+// domain prefix. For comments, Text holds the comment body without the
+// leading "!".
+type Filter struct {
+	// Raw is the original line exactly as it appeared in the list.
+	Raw string
+	// Kind is the grammatical class.
+	Kind Kind
+
+	// Pattern is the request matching expression (modifiers stripped).
+	Pattern string
+	// IsRegex marks /.../-delimited raw regular expression patterns.
+	IsRegex bool
+	// AnchorDomain marks a "||" prefix: the pattern must match at the
+	// start of a hostname (or a dot boundary inside it).
+	AnchorDomain bool
+	// AnchorStart marks a leading "|": the pattern must match at the
+	// very start of the URL.
+	AnchorStart bool
+	// AnchorEnd marks a trailing "|": the pattern must match at the very
+	// end of the URL.
+	AnchorEnd bool
+
+	// TypeMask is the effective content-type mask after option defaults
+	// and negations are applied.
+	TypeMask ContentType
+	// ThirdParty constrains the request's party relation to the page.
+	ThirdParty TriState
+	// Collapse requests that blocked elements be collapsed; negatable.
+	Collapse TriState
+	// MatchCase makes pattern matching case-sensitive.
+	MatchCase bool
+	// DoNotTrack asks for a DNT header on matching requests.
+	DoNotTrack bool
+	// Domains lists $domain= entries (request filters) or the domain
+	// prefix (element filters).
+	Domains []DomainSpec
+	// Sitekeys lists $sitekey= public keys (base64 DER).
+	Sitekeys []string
+
+	// Selector is the element filter's CSS selector.
+	Selector string
+
+	// Text is the body of a comment line.
+	Text string
+	// Err describes why a line is KindInvalid.
+	Err string
+}
+
+// IsException reports whether the filter allows rather than blocks content.
+func (f *Filter) IsException() bool {
+	return f.Kind == KindRequestException || f.Kind == KindElemHideException
+}
+
+// IsActive reports whether the filter participates in matching (i.e. is not
+// a comment or an invalid line).
+func (f *Filter) IsActive() bool {
+	switch f.Kind {
+	case KindRequestBlock, KindRequestException, KindElemHide, KindElemHideException:
+		return true
+	}
+	return false
+}
+
+// IsSitekey reports whether the filter is a sitekey exception: a request
+// exception restricted by one or more $sitekey= public keys.
+func (f *Filter) IsSitekey() bool {
+	return f.Kind == KindRequestException && len(f.Sitekeys) > 0
+}
+
+// HasPositiveDomains reports whether the filter names at least one
+// non-negated domain, the criterion for the paper's "restricted" class.
+func (f *Filter) HasPositiveDomains() bool {
+	for _, d := range f.Domains {
+		if !d.Negated {
+			return true
+		}
+	}
+	return false
+}
+
+// PositiveDomains returns the non-negated domains the filter is explicitly
+// restricted to. These are the "explicitly listed publisher domains" the
+// paper extracts for Table 2.
+func (f *Filter) PositiveDomains() []string {
+	var out []string
+	for _, d := range f.Domains {
+		if !d.Negated {
+			out = append(out, d.Domain)
+		}
+	}
+	return out
+}
+
+// IsDocumentLevel reports whether the filter only grants page-level
+// allowances: its type mask is confined to $document and/or $elemhide.
+func (f *Filter) IsDocumentLevel() bool {
+	docTypes := TypeDocument | TypeElemHide
+	return f.TypeMask != 0 && f.TypeMask&^docTypes == 0
+}
+
+// PatternHost returns the hostname a domain-anchored ("||") pattern pins,
+// or "". The host is the pattern prefix up to the first '/', '^', '*' or
+// '|'; it must contain a dot and only hostname characters. For
+// "@@||us.ask.com^$elemhide" this is "us.ask.com".
+func (f *Filter) PatternHost() string {
+	if f.IsRegex || !f.AnchorDomain {
+		return ""
+	}
+	end := len(f.Pattern)
+	for i := 0; i < len(f.Pattern); i++ {
+		switch f.Pattern[i] {
+		case '/', '^', '*', '|', '?':
+			end = i
+		}
+		if end != len(f.Pattern) {
+			break
+		}
+	}
+	host := f.Pattern[:end]
+	if !strings.Contains(host, ".") {
+		return ""
+	}
+	for i := 0; i < len(host); i++ {
+		c := host[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.', c == '-':
+		default:
+			return ""
+		}
+	}
+	return strings.ToLower(host)
+}
+
+// String returns the canonical text form of the filter. For parsed lines
+// this is the original raw text.
+func (f *Filter) String() string { return f.Raw }

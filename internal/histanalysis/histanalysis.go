@@ -1,0 +1,368 @@
+// Package histanalysis implements the paper's whitelist history analysis
+// (§4): yearly churn (Table 1), the growth curve (Figure 3), scope
+// classification (Figure 4), explicitly listed domains per Alexa partition
+// (Table 2), undocumented A-filter detection (§7, Figure 11), and the
+// hygiene lint of §8.
+//
+// The analyzer operates on any vcs.Repo holding whitelist snapshots; it
+// has no knowledge of how the history was produced, which is what lets the
+// synthesized repository (internal/histgen) validate it end to end.
+package histanalysis
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"acceptableads/internal/filter"
+	"acceptableads/internal/vcs"
+)
+
+// RankResolver resolves a domain name to its Alexa rank; the second result
+// is false for unranked domains.
+type RankResolver interface {
+	RankOf(name string) (int, bool)
+}
+
+// YearActivity is one row of Table 1.
+type YearActivity struct {
+	Year           int
+	Revisions      int
+	FiltersAdded   int
+	FiltersRemoved int
+	DomainsAdded   int
+	DomainsRemoved int
+}
+
+// Totals sums a set of yearly rows into Table 1's Total row.
+func Totals(rows []YearActivity) YearActivity {
+	var t YearActivity
+	for _, r := range rows {
+		t.Revisions += r.Revisions
+		t.FiltersAdded += r.FiltersAdded
+		t.FiltersRemoved += r.FiltersRemoved
+		t.DomainsAdded += r.DomainsAdded
+		t.DomainsRemoved += r.DomainsRemoved
+	}
+	return t
+}
+
+// YearlyActivity diffs every consecutive revision pair and aggregates the
+// churn by commit year, reproducing Table 1. Filter modifications
+// naturally count as one removal plus one addition.
+func YearlyActivity(repo *vcs.Repo) []YearActivity {
+	byYear := make(map[int]*YearActivity)
+	prevContent := ""
+	prevDomains := make(map[string]bool)
+	for i := 0; i < repo.Len(); i++ {
+		rev := repo.Rev(i)
+		year := rev.Date.Year()
+		row := byYear[year]
+		if row == nil {
+			row = &YearActivity{Year: year}
+			byYear[year] = row
+		}
+		row.Revisions++
+
+		d := vcs.DiffContents(prevContent, rev.Content)
+		row.FiltersAdded += len(d.Added)
+		row.FiltersRemoved += len(d.Removed)
+
+		domains := domainSet(rev.Content)
+		for dom := range domains {
+			if !prevDomains[dom] {
+				row.DomainsAdded++
+			}
+		}
+		for dom := range prevDomains {
+			if !domains[dom] {
+				row.DomainsRemoved++
+			}
+		}
+		prevContent = rev.Content
+		prevDomains = domains
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	rows := make([]YearActivity, 0, len(years))
+	for _, y := range years {
+		rows = append(rows, *byYear[y])
+	}
+	return rows
+}
+
+func domainSet(content string) map[string]bool {
+	set := make(map[string]bool)
+	for _, d := range filter.ExplicitDomains(filter.ParseListString("wl", content)) {
+		set[d] = true
+	}
+	return set
+}
+
+// GrowthPoint is one sample of Figure 3's curve.
+type GrowthPoint struct {
+	Rev     int
+	Date    time.Time
+	Filters int
+	Domains int
+}
+
+// Growth computes the filter and domain count at every revision — the
+// series behind Figure 3.
+func Growth(repo *vcs.Repo) []GrowthPoint {
+	points := make([]GrowthPoint, 0, repo.Len())
+	for i := 0; i < repo.Len(); i++ {
+		rev := repo.Rev(i)
+		points = append(points, GrowthPoint{
+			Rev:     rev.ID,
+			Date:    rev.Date,
+			Filters: vcs.FilterLineCount(rev.Content),
+			Domains: len(domainSet(rev.Content)),
+		})
+	}
+	return points
+}
+
+// MeanUpdateIntervalDays returns the average days between revisions and
+// the mean filters touched per revision — the paper's "updated every 1.5
+// days, adding or modifying 11.4 filters".
+func MeanUpdateIntervalDays(repo *vcs.Repo) (days, filtersPerRev float64) {
+	if repo.Len() < 2 {
+		return 0, 0
+	}
+	span := repo.Tip().Date.Sub(repo.Rev(0).Date)
+	days = span.Hours() / 24 / float64(repo.Len()-1)
+
+	touched := 0
+	prev := ""
+	for i := 0; i < repo.Len(); i++ {
+		d := vcs.DiffContents(prev, repo.Rev(i).Content)
+		touched += len(d.Added)
+		prev = repo.Rev(i).Content
+	}
+	filtersPerRev = float64(touched) / float64(repo.Len())
+	return days, filtersPerRev
+}
+
+// PartitionCount is one row of Table 2.
+type PartitionCount struct {
+	Name string
+	// Max is the partition's rank bound; 0 for "All".
+	Max int
+	// Domains is the number of whitelisted registrable domains inside
+	// the partition.
+	Domains int
+	// Share is Domains divided by the partition size (the percentage
+	// column); 0 for "All".
+	Share float64
+}
+
+// DomainPartitions folds the explicitly listed FQDNs of a snapshot to
+// registrable domains and counts them per Alexa partition.
+func DomainPartitions(l *filter.List, ranks RankResolver, partitions []struct {
+	Name string
+	Max  int
+}) []PartitionCount {
+	eslds := filter.RegistrableDomains(filter.ExplicitDomains(l))
+	out := make([]PartitionCount, len(partitions))
+	for i, p := range partitions {
+		out[i] = PartitionCount{Name: p.Name, Max: p.Max}
+	}
+	for _, d := range eslds {
+		rank, ok := ranks.RankOf(d)
+		for i, p := range partitions {
+			if p.Max == 0 {
+				out[i].Domains++
+				continue
+			}
+			if ok && rank <= p.Max {
+				out[i].Domains++
+			}
+		}
+	}
+	for i := range out {
+		if out[i].Max > 0 {
+			out[i].Share = float64(out[i].Domains) / float64(out[i].Max)
+		}
+	}
+	return out
+}
+
+// AFilterGroup is one detected undocumented filter group (§7).
+type AFilterGroup struct {
+	// Marker is the nondescript label, e.g. "A6".
+	Marker string
+	// Filters are the group's filter texts.
+	Filters []string
+	// Domains are the first-party domains the group whitelists.
+	Domains []string
+}
+
+// DetectAFilters finds the undocumented groups in a snapshot: groups whose
+// introducing comment is a bare "A<n>" marker with no forum link.
+func DetectAFilters(l *filter.List) []AFilterGroup {
+	var out []AFilterGroup
+	for _, g := range l.Groups() {
+		marker := g.AMarker()
+		if marker == "" || g.ForumLink() != "" {
+			continue
+		}
+		ag := AFilterGroup{Marker: marker}
+		domSet := make(map[string]bool)
+		for _, f := range g.Filters {
+			ag.Filters = append(ag.Filters, f.Raw)
+			for _, d := range f.PositiveDomains() {
+				domSet[d] = true
+			}
+			if f.IsDocumentLevel() && !f.IsSitekey() {
+				if h := f.PatternHost(); h != "" {
+					domSet[h] = true
+				}
+			}
+		}
+		for d := range domSet {
+			ag.Domains = append(ag.Domains, d)
+		}
+		sort.Strings(ag.Domains)
+		out = append(out, ag)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return aMarkerNum(out[i].Marker) < aMarkerNum(out[j].Marker)
+	})
+	return out
+}
+
+func aMarkerNum(m string) int {
+	n := 0
+	for _, r := range m[1:] {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// AFilterHistory scans all revisions for A-group introductions and
+// removals, recovering §7's full timeline (61 groups ever, 5 removed, the
+// A7→A28 re-addition).
+type AFilterHistory struct {
+	// EverSeen maps marker → revision of first appearance.
+	EverSeen map[string]int
+	// Removed maps marker → revision where the group disappeared (and
+	// never returned under the same marker).
+	Removed map[string]int
+	// UndisclosedCommits counts commits whose message is one of the
+	// boilerplate A-filter messages.
+	UndisclosedCommits int
+}
+
+// ScanAFilters builds the A-group timeline.
+func ScanAFilters(repo *vcs.Repo) AFilterHistory {
+	h := AFilterHistory{EverSeen: map[string]int{}, Removed: map[string]int{}}
+	present := map[string]bool{}
+	for i := 0; i < repo.Len(); i++ {
+		rev := repo.Rev(i)
+		if msg := rev.Message; msg == "Updated whitelists" || msg == "Added new whitelists" {
+			h.UndisclosedCommits++
+		}
+		now := map[string]bool{}
+		for _, g := range filter.ParseListString("wl", rev.Content).Groups() {
+			if m := g.AMarker(); m != "" && g.ForumLink() == "" {
+				now[m] = true
+				if _, seen := h.EverSeen[m]; !seen {
+					h.EverSeen[m] = rev.ID
+				}
+				delete(h.Removed, m) // re-appeared
+			}
+		}
+		for m := range present {
+			if !now[m] {
+				h.Removed[m] = rev.ID
+			}
+		}
+		present = now
+	}
+	return h
+}
+
+// Provenance records when a surviving filter line last entered the list —
+// the "filter archaeology" behind the paper's §7 findings (which revision
+// introduced the golem.de filters, when each A-group landed).
+type Provenance struct {
+	// Line is the filter text as it appears at the tip.
+	Line string
+	// Since is the revision of the line's current run: it has been
+	// present in every revision from Since to the tip.
+	Since int
+	// Date and Message describe the introducing commit.
+	Date    time.Time
+	Message string
+}
+
+// FilterProvenance computes, for every filter line of the tip snapshot,
+// the revision that introduced its current run. For duplicated lines the
+// earliest surviving copy wins.
+func FilterProvenance(repo *vcs.Repo) map[string]Provenance {
+	type run struct{ count, start int }
+	runs := make(map[string]*run)
+	prev := ""
+	for i := 0; i < repo.Len(); i++ {
+		rev := repo.Rev(i)
+		d := vcs.DiffContents(prev, rev.Content)
+		for _, line := range d.Added {
+			r := runs[line]
+			if r == nil {
+				r = &run{}
+				runs[line] = r
+			}
+			if r.count == 0 {
+				r.start = rev.ID
+			}
+			r.count++
+		}
+		for _, line := range d.Removed {
+			if r := runs[line]; r != nil {
+				r.count--
+				if r.count <= 0 {
+					delete(runs, line)
+				}
+			}
+		}
+		prev = rev.Content
+	}
+	out := make(map[string]Provenance, len(runs))
+	for line, r := range runs {
+		rev := repo.Rev(r.start)
+		out[line] = Provenance{Line: line, Since: r.start, Date: rev.Date, Message: rev.Message}
+	}
+	return out
+}
+
+// HygieneReport covers §8's whitelist-hygiene findings.
+type HygieneReport struct {
+	// Duplicates maps filter text → occurrence count for texts appearing
+	// more than once.
+	Duplicates map[string]int
+	// DuplicateLines is the number of surplus copies.
+	DuplicateLines int
+	// Malformed lists unparseable filter lines (truncated if long).
+	Malformed []string
+}
+
+// Lint inspects a snapshot for duplicate and malformed filters.
+func Lint(l *filter.List) HygieneReport {
+	r := HygieneReport{Duplicates: l.Duplicates()}
+	for _, n := range r.Duplicates {
+		r.DuplicateLines += n - 1
+	}
+	for _, f := range l.Invalid() {
+		line := strings.TrimSpace(f.Raw)
+		if len(line) > 60 {
+			line = line[:57] + "..."
+		}
+		r.Malformed = append(r.Malformed, line)
+	}
+	sort.Strings(r.Malformed)
+	return r
+}

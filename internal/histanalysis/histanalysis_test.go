@@ -1,0 +1,342 @@
+package histanalysis
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"acceptableads/internal/filter"
+	"acceptableads/internal/histgen"
+	"acceptableads/internal/vcs"
+)
+
+var (
+	histOnce sync.Once
+	hist     *histgen.History
+	histErr  error
+)
+
+func sharedHistory(t *testing.T) *histgen.History {
+	t.Helper()
+	histOnce.Do(func() { hist, histErr = histgen.Generate(histgen.Config{Seed: 42}) })
+	if histErr != nil {
+		t.Fatal(histErr)
+	}
+	return hist
+}
+
+// TestTable1 is the reproduction check for Table 1: the analyzer's yearly
+// activity over the synthesized history must equal the paper's table.
+func TestTable1(t *testing.T) {
+	h := sharedHistory(t)
+	rows := YearlyActivity(h.Repo)
+	if len(rows) != len(histgen.Table1) {
+		t.Fatalf("years = %d, want %d", len(rows), len(histgen.Table1))
+	}
+	for i, want := range histgen.Table1 {
+		got := rows[i]
+		if got.Year != want.Year || got.Revisions != want.Revisions ||
+			got.FiltersAdded != want.FiltersAdded ||
+			got.FiltersRemoved != want.FiltersRemoved ||
+			got.DomainsAdded != want.DomainsAdded ||
+			got.DomainsRemoved != want.DomainsRemoved {
+			t.Errorf("row %d = %+v, want %+v", i, got, want)
+		}
+	}
+	tot := Totals(rows)
+	if tot.Revisions != 989 || tot.FiltersAdded != 8808 || tot.FiltersRemoved != 2872 ||
+		tot.DomainsAdded != 3542 || tot.DomainsRemoved != 410 {
+		t.Errorf("totals = %+v", tot)
+	}
+}
+
+// TestFig3Growth checks Figure 3's curve: start at 9 filters, the +1,262
+// Google jump at Rev 200, and 5,936 at Rev 988.
+func TestFig3Growth(t *testing.T) {
+	h := sharedHistory(t)
+	pts := Growth(h.Repo)
+	if pts[0].Filters != 9 {
+		t.Errorf("first point = %d filters, want 9", pts[0].Filters)
+	}
+	if jump := pts[histgen.RevGoogle].Filters - pts[histgen.RevGoogle-1].Filters; jump != histgen.GoogleFilters {
+		t.Errorf("Rev 200 jump = %d, want %d", jump, histgen.GoogleFilters)
+	}
+	if last := pts[len(pts)-1]; last.Filters != histgen.FinalFilterCount {
+		t.Errorf("final point = %d filters", last.Filters)
+	}
+	// Dates are monotone.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Date.Before(pts[i-1].Date) {
+			t.Fatalf("dates regress at rev %d", i)
+		}
+	}
+}
+
+func TestUpdateCadence(t *testing.T) {
+	h := sharedHistory(t)
+	days, perRev := MeanUpdateIntervalDays(h.Repo)
+	// Oct 2011 → Apr 2015 over 988 intervals ≈ 1.3 days; the paper
+	// rounds its cadence to "every 1.5 days". The filters-per-revision
+	// figure lands near the paper's 11.4 ((8,808+2,872)/989 ≈ 11.8).
+	if days < 1.0 || days > 1.6 {
+		t.Errorf("mean interval = %.2f days", days)
+	}
+	if perRev < 8 || perRev > 13 {
+		t.Errorf("filters per revision = %.1f", perRev)
+	}
+}
+
+// TestTable2 reproduces the Alexa-partition counts.
+func TestTable2(t *testing.T) {
+	h := sharedHistory(t)
+	parts := []struct {
+		Name string
+		Max  int
+	}{
+		{"All", 0}, {"Top 1,000,000", 1000000}, {"Top 5,000", 5000},
+		{"Top 1,000", 1000}, {"Top 500", 500}, {"Top 100", 100},
+	}
+	rows := DomainPartitions(h.FinalList(), h, parts)
+	for _, row := range rows {
+		want := histgen.Table2Quota[row.Name]
+		if row.Domains != want {
+			t.Errorf("%s = %d, want %d", row.Name, row.Domains, want)
+		}
+	}
+	// Spot-check the paper's percentages: Top 100 → 33%.
+	for _, row := range rows {
+		if row.Name == "Top 100" && (row.Share < 0.329 || row.Share > 0.331) {
+			t.Errorf("Top 100 share = %.4f, want 0.33", row.Share)
+		}
+	}
+}
+
+// TestFig11AFilters reproduces §7: 61 groups ever, 5 removed, A7 re-added
+// as A28, and the named Figure 11 groups with their domains.
+func TestFig11AFilters(t *testing.T) {
+	h := sharedHistory(t)
+	scan := ScanAFilters(h.Repo)
+	if len(scan.EverSeen) != histgen.AFilterGroups {
+		t.Errorf("groups ever = %d, want %d", len(scan.EverSeen), histgen.AFilterGroups)
+	}
+	if len(scan.Removed) != histgen.AFilterRemoved {
+		t.Errorf("groups removed = %d, want %d: %v", len(scan.Removed),
+			histgen.AFilterRemoved, scan.Removed)
+	}
+	if scan.EverSeen["A1"] != histgen.RevAFirst || scan.EverSeen["A2"] != histgen.RevAFirst {
+		t.Errorf("A1/A2 first seen at %d/%d, want %d",
+			scan.EverSeen["A1"], scan.EverSeen["A2"], histgen.RevAFirst)
+	}
+	if scan.EverSeen["A61"] != histgen.RevA61 {
+		t.Errorf("A61 first seen at %d, want %d", scan.EverSeen["A61"], histgen.RevA61)
+	}
+	if scan.EverSeen["A28"] != histgen.RevA28 {
+		t.Errorf("A28 first seen at %d, want %d", scan.EverSeen["A28"], histgen.RevA28)
+	}
+	if _, gone := scan.Removed["A7"]; !gone {
+		t.Error("A7 not detected as removed")
+	}
+
+	groups := DetectAFilters(h.FinalList())
+	if len(groups) != histgen.AFilterGroups-histgen.AFilterRemoved {
+		t.Fatalf("surviving groups = %d", len(groups))
+	}
+	byMarker := map[string]AFilterGroup{}
+	for _, g := range groups {
+		byMarker[g.Marker] = g
+	}
+	a6 := byMarker["A6"]
+	if len(a6.Domains) != histgen.AskFQDNs {
+		t.Errorf("A6 domains = %d, want %d", len(a6.Domains), histgen.AskFQDNs)
+	}
+	hasDomain := func(g AFilterGroup, d string) bool {
+		for _, have := range g.Domains {
+			if have == d {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasDomain(a6, "ask.com") || !hasDomain(a6, "us.ask.com") {
+		t.Errorf("A6 domains missing ask hosts: %v", a6.Domains[:3])
+	}
+	if a29 := byMarker["A29"]; !hasDomain(a29, "search.comcast.net") {
+		t.Errorf("A29 domains = %v", a29.Domains)
+	}
+	if a46 := byMarker["A46"]; !hasDomain(a46, "kayak.com.au") || !hasDomain(a46, "checkfelix.com") {
+		t.Errorf("A46 domains = %v", a46.Domains)
+	}
+	if a50 := byMarker["A50"]; !hasDomain(a50, "twcc.com") {
+		t.Errorf("A50 domains = %v", a50.Domains)
+	}
+	if a59 := byMarker["A59"]; len(a59.Domains) != 0 {
+		t.Errorf("A59 should be domainless (unrestricted), got %v", a59.Domains)
+	}
+}
+
+// TestHygiene reproduces §8: 35 duplicates, 8 malformed filters.
+func TestHygiene(t *testing.T) {
+	h := sharedHistory(t)
+	rep := Lint(h.FinalList())
+	if rep.DuplicateLines != histgen.DuplicateFilters {
+		t.Errorf("duplicate lines = %d, want %d", rep.DuplicateLines, histgen.DuplicateFilters)
+	}
+	if len(rep.Malformed) != histgen.MalformedFilters {
+		t.Errorf("malformed = %d, want %d", len(rep.Malformed), histgen.MalformedFilters)
+	}
+}
+
+// TestScopeShares reproduces Figure 4's hierarchy counts.
+func TestScopeShares(t *testing.T) {
+	h := sharedHistory(t)
+	scopes := filter.CountScopes(h.FinalList())
+	if scopes.Unrestricted != 156 {
+		t.Errorf("unrestricted = %d, want 156", scopes.Unrestricted)
+	}
+	if scopes.Sitekey != 25 {
+		t.Errorf("sitekey = %d, want 25", scopes.Sitekey)
+	}
+	share := float64(scopes.Restricted) / float64(scopes.Total())
+	if share < 0.87 || share > 0.91 {
+		t.Errorf("restricted share = %.3f, want ~0.89", share)
+	}
+}
+
+// Unit tests on small hand-built repositories.
+
+func smallRepo(t *testing.T) *vcs.Repo {
+	t.Helper()
+	var repo vcs.Repo
+	commit := func(y, m, d int, msg, content string) {
+		if _, err := repo.Commit(time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC), msg, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(2011, 10, 1, "init", "@@||a.net^$domain=one.com\n")
+	commit(2011, 11, 1, "add", "@@||a.net^$domain=one.com\n@@||b.net^$domain=two.com\n")
+	commit(2012, 2, 1, "mod", "@@||a.net/x^$domain=one.com\n@@||b.net^$domain=two.com\n")
+	commit(2012, 3, 1, "rm", "@@||a.net/x^$domain=one.com\n")
+	return &repo
+}
+
+func TestYearlyActivitySmall(t *testing.T) {
+	rows := YearlyActivity(smallRepo(t))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r2011, r2012 := rows[0], rows[1]
+	if r2011.FiltersAdded != 2 || r2011.FiltersRemoved != 0 ||
+		r2011.DomainsAdded != 2 || r2011.DomainsRemoved != 0 {
+		t.Errorf("2011 = %+v", r2011)
+	}
+	// 2012: one modification (+1/−1) and one removal (−1 filter, −1
+	// domain).
+	if r2012.FiltersAdded != 1 || r2012.FiltersRemoved != 2 ||
+		r2012.DomainsAdded != 0 || r2012.DomainsRemoved != 1 {
+		t.Errorf("2012 = %+v", r2012)
+	}
+}
+
+func TestGrowthSmall(t *testing.T) {
+	pts := Growth(smallRepo(t))
+	want := []int{1, 2, 2, 1}
+	for i, w := range want {
+		if pts[i].Filters != w {
+			t.Errorf("point %d = %d filters, want %d", i, pts[i].Filters, w)
+		}
+	}
+	if pts[1].Domains != 2 || pts[3].Domains != 1 {
+		t.Errorf("domain series wrong: %+v", pts)
+	}
+}
+
+func TestDetectAFiltersIgnoresForumLinked(t *testing.T) {
+	l := filter.ParseListString("wl",
+		"! A9\n@@||x.net^$domain=a.com\n"+
+			"! https://adblockplus.org/forum/viewtopic.php?t=1\n@@||y.net^$domain=b.com\n")
+	groups := DetectAFilters(l)
+	if len(groups) != 1 || groups[0].Marker != "A9" {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if len(groups[0].Domains) != 1 || groups[0].Domains[0] != "a.com" {
+		t.Errorf("A9 domains = %v", groups[0].Domains)
+	}
+}
+
+type staticRanks map[string]int
+
+func (s staticRanks) RankOf(name string) (int, bool) {
+	r, ok := s[name]
+	return r, ok
+}
+
+func TestDomainPartitionsSmall(t *testing.T) {
+	l := filter.ParseListString("wl",
+		"@@||x.net^$domain=top.com|mid.com|deep.com|unranked.org\n")
+	ranks := staticRanks{"top.com": 50, "mid.com": 800, "deep.com": 400000}
+	parts := []struct {
+		Name string
+		Max  int
+	}{{"All", 0}, {"Top 1,000,000", 1000000}, {"Top 1,000", 1000}, {"Top 100", 100}}
+	rows := DomainPartitions(l, ranks, parts)
+	wants := map[string]int{"All": 4, "Top 1,000,000": 3, "Top 1,000": 2, "Top 100": 1}
+	for _, row := range rows {
+		if row.Domains != wants[row.Name] {
+			t.Errorf("%s = %d, want %d", row.Name, row.Domains, wants[row.Name])
+		}
+	}
+}
+
+func TestFilterProvenanceSmall(t *testing.T) {
+	var repo vcs.Repo
+	commit := func(y, m, d int, msg, content string) {
+		if _, err := repo.Commit(time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC), msg, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commit(2011, 10, 1, "init", "@@||a.net^$domain=one.com\n")
+	commit(2012, 1, 1, "add b", "@@||a.net^$domain=one.com\n@@||b.net^$domain=two.com\n")
+	commit(2012, 6, 1, "drop+readd a", "@@||b.net^$domain=two.com\n")
+	commit(2013, 1, 1, "back", "@@||a.net^$domain=one.com\n@@||b.net^$domain=two.com\n")
+
+	prov := FilterProvenance(&repo)
+	if len(prov) != 2 {
+		t.Fatalf("provenance entries = %d", len(prov))
+	}
+	// a.net left and returned: its current run starts at rev 3.
+	if p := prov["@@||a.net^$domain=one.com"]; p.Since != 3 || p.Message != "back" {
+		t.Errorf("a.net provenance = %+v", p)
+	}
+	if p := prov["@@||b.net^$domain=two.com"]; p.Since != 1 {
+		t.Errorf("b.net provenance = %+v", p)
+	}
+}
+
+func TestFilterProvenanceFullHistory(t *testing.T) {
+	h := sharedHistory(t)
+	prov := FilterProvenance(h.Repo)
+	// Every active tip line has provenance.
+	tip := h.FinalList()
+	missing := 0
+	for _, f := range tip.Active() {
+		if _, ok := prov[f.Raw]; !ok {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Errorf("%d tip filters missing provenance", missing)
+	}
+	// The golem.de fix filter dates to Rev 74 (§7).
+	const golem = "@@||google.com/ads/search/module/ads/*/search.js$domain=suche.golem.de"
+	if p, ok := prov[golem]; !ok || p.Since != histgen.RevGolemFix {
+		t.Errorf("golem provenance = %+v", p)
+	}
+	// The A59 filter dates to Rev 789.
+	const a59 = "@@||google.com/adsense/search/ads.js$script"
+	if p, ok := prov[a59]; !ok || p.Since != histgen.RevA59 {
+		t.Errorf("A59 provenance = %+v (ok=%v)", p, ok)
+	}
+	if p := prov[a59]; p.Message != "Updated whitelists" {
+		t.Errorf("A59 commit message = %q", p.Message)
+	}
+}

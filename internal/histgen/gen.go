@@ -1,0 +1,474 @@
+package histgen
+
+import (
+	"fmt"
+	"strings"
+
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/domainutil"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/sitekey"
+	"acceptableads/internal/vcs"
+	"acceptableads/internal/xrand"
+)
+
+func registrable(host string) string { return domainutil.Registrable(host) }
+
+// Config parameterizes the history synthesis.
+type Config struct {
+	// Seed drives every random choice; equal seeds give byte-identical
+	// histories.
+	Seed uint64
+	// Universe supplies Alexa ranks; nil uses a fresh 1M-domain universe
+	// derived from Seed.
+	Universe *alexa.Universe
+}
+
+// History is the synthesized exceptionrules repository plus the key
+// material and rank overlay the rest of the pipeline needs.
+type History struct {
+	// Repo holds all 989 revisions.
+	Repo *vcs.Repo
+	// Keys maps parking service name to its RSA sitekey.
+	Keys map[string]*sitekey.PrivateKey
+	// ServiceKeyB64 maps service name to the base64 public key embedded
+	// in its filters.
+	ServiceKeyB64 map[string]string
+	// Ranks overlays Alexa ranks for whitelisted names the universe
+	// cannot resolve itself (google country domains, etc.).
+	Ranks map[string]int
+	// Universe is the rank source used during generation.
+	Universe *alexa.Universe
+}
+
+// FinalList parses the Rev-988 snapshot.
+func (h *History) FinalList() *filter.List {
+	return filter.ParseListString("exceptionrules", h.Repo.Tip().Content)
+}
+
+// RankOf resolves a domain's Alexa rank through the overlay then the
+// universe.
+func (h *History) RankOf(name string) (int, bool) {
+	if r, ok := h.Ranks[name]; ok {
+		return r, true
+	}
+	return h.Universe.Rank(name)
+}
+
+// ---- content state -----------------------------------------------------
+
+// group is a comment-introduced run of filter lines.
+type group struct {
+	comment string // without the "! " prefix; "" = no comment line
+	lines   []string
+}
+
+type state struct {
+	// metaComment is a bookkeeping comment line after the header,
+	// rewritten by padding commits that change no filters.
+	metaComment string
+	groups      []*group
+}
+
+func (s *state) addGroup(comment string, lines ...string) *group {
+	g := &group{comment: comment, lines: lines}
+	s.groups = append(s.groups, g)
+	return g
+}
+
+// removeLine deletes one occurrence of line. Groups are never pruned here,
+// even when emptied: a modification removes a publisher's line and then
+// re-appends the new version to the same group, so pruning would detach
+// the group mid-operation. Explicit group removal is removeGroup's job.
+func (s *state) removeLine(line string) bool {
+	for _, g := range s.groups {
+		for li, l := range g.lines {
+			if l == line {
+				g.lines = append(g.lines[:li], g.lines[li+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// removeGroup deletes a whole group (A-filter removals).
+func (s *state) removeGroup(g *group) {
+	for gi, have := range s.groups {
+		if have == g {
+			s.groups = append(s.groups[:gi], s.groups[gi+1:]...)
+			return
+		}
+	}
+}
+
+func (s *state) render() string {
+	var b strings.Builder
+	b.WriteString("[Adblock Plus 2.0]\n")
+	if s.metaComment != "" {
+		b.WriteString("! ")
+		b.WriteString(s.metaComment)
+		b.WriteByte('\n')
+	}
+	for _, g := range s.groups {
+		if g.comment != "" {
+			b.WriteString("! ")
+			b.WriteString(g.comment)
+			b.WriteByte('\n')
+		}
+		for _, l := range g.lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// ---- ops ----------------------------------------------------------------
+
+// op mutates the state at one revision. message overrides the default
+// commit message when non-empty. late ops sort to the end of their year's
+// queue — removals of publishers added in the same year must not precede
+// the addition.
+type op struct {
+	apply   func(*state)
+	message string
+	// late ops sort into the final ~30% of the year; early ops into the
+	// leading ~70%. A publisher added and removed in the same year gets
+	// an early add and a late removal, guaranteeing order.
+	late  bool
+	early bool
+}
+
+// pub is a tracked publisher: its current primary filter line and group.
+type pub struct {
+	fqdn    string
+	line    string
+	grp     *group
+	mutable bool
+	// doomed pubs are scheduled for removal; extras and duplicates must
+	// not attach to them, or their later removal would leave the domain
+	// referenced elsewhere and break the Table 1 domain ledger.
+	doomed bool
+	// epoch is the revision that last created or modified the pub. Two
+	// modifications of one pub inside the same commit would collapse in
+	// the revision diff and break Table 1's filter ledger, so
+	// modifications skip pubs touched in the current epoch.
+	epoch int
+}
+
+// ---- generator ----------------------------------------------------------
+
+type generator struct {
+	cfg     Config
+	rng     *xrand.RNG
+	rost    *roster
+	keys    map[string]*sitekey.PrivateKey
+	keyB64  map[string]string
+	st      state
+	pubs    []*pub
+	mutable []*pub // pubs eligible for modification ops
+	extras  []string
+	// survivorPool holds the FQDNs of regular publishers not yet
+	// scheduled; A-groups and the year queues consume it.
+	survivorPool  []string
+	sitekeyGroups map[string]*group
+	golemGroup    *group
+	epoch         int
+	modSeq        int
+	extraSeq      int
+	touchSeq      int
+	forumID       int
+	urSeq         int
+	psSeq         int
+	// queues holds per-year op lists (index matches Table1); pinned maps
+	// revision number to ops that must run exactly there.
+	queues [][]op
+	pinned map[int][]op
+}
+
+// Generate synthesizes the full history. It is deterministic in cfg.Seed.
+func Generate(cfg Config) (*History, error) {
+	g := &generator{
+		cfg:           cfg,
+		rng:           xrand.New(cfg.Seed),
+		keys:          make(map[string]*sitekey.PrivateKey),
+		keyB64:        make(map[string]string),
+		sitekeyGroups: make(map[string]*group),
+	}
+	u := cfg.Universe
+	if u == nil {
+		u = alexa.NewUniverse(cfg.Seed, 1000000)
+	}
+	rost, err := buildRoster(u, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g.rost = rost
+
+	for i, svc := range SitekeyServices {
+		key, err := sitekey.GenerateKey(xrand.New(cfg.Seed+uint64(i)*0x9e3779b9+0x5eed), 512)
+		if err != nil {
+			return nil, fmt.Errorf("histgen: sitekey for %s: %w", svc.Name, err)
+		}
+		g.keys[svc.Name] = key
+		g.keyB64[svc.Name] = key.PublicBase64()
+	}
+
+	g.initSurvivorPool()
+	if err := g.plan(); err != nil {
+		return nil, err
+	}
+	repo, err := g.emit()
+	if err != nil {
+		return nil, err
+	}
+	h := &History{
+		Repo:          repo,
+		Keys:          g.keys,
+		ServiceKeyB64: g.keyB64,
+		Ranks:         rost.Ranks,
+		Universe:      u,
+	}
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// validate cross-checks the emitted history against the headline targets;
+// a failure means the planner's arithmetic regressed.
+func (h *History) validate() error {
+	if n := h.Repo.Len(); n != TotalRevisions {
+		return fmt.Errorf("histgen: %d revisions, want %d", n, TotalRevisions)
+	}
+	tip := h.Repo.Tip()
+	if n := vcs.FilterLineCount(tip.Content); n != FinalFilterCount {
+		return fmt.Errorf("histgen: final filter count %d, want %d", n, FinalFilterCount)
+	}
+	final := h.FinalList()
+	if n := len(final.Invalid()); n != MalformedFilters {
+		return fmt.Errorf("histgen: %d malformed filters, want %d", n, MalformedFilters)
+	}
+	dups := 0
+	for _, n := range final.Duplicates() {
+		dups += n - 1
+	}
+	if dups != DuplicateFilters {
+		return fmt.Errorf("histgen: %d duplicate filters, want %d", dups, DuplicateFilters)
+	}
+	fqdns := filter.ExplicitDomains(final)
+	if len(fqdns) != FinalFQDNs {
+		return fmt.Errorf("histgen: %d explicit FQDNs, want %d", len(fqdns), FinalFQDNs)
+	}
+	if n := len(filter.RegistrableDomains(fqdns)); n != FinalESLDs {
+		return fmt.Errorf("histgen: %d eSLDs, want %d", n, FinalESLDs)
+	}
+	scopes := filter.CountScopes(final)
+	if scopes.Unrestricted != FinalUnrestricted {
+		return fmt.Errorf("histgen: %d unrestricted filters, want %d",
+			scopes.Unrestricted, FinalUnrestricted)
+	}
+	if scopes.Sitekey != FinalSitekeyFilters {
+		return fmt.Errorf("histgen: %d sitekey filters, want %d",
+			scopes.Sitekey, FinalSitekeyFilters)
+	}
+	return nil
+}
+
+// forumComment mints a fresh forum-link comment.
+func (g *generator) forumComment() string {
+	g.forumID++
+	return fmt.Sprintf("https://adblockplus.org/forum/viewtopic.php?f=12&t=%d", 7000+g.forumID)
+}
+
+// pubFilterLine builds the standard restricted exception for a publisher.
+// The ad host rotates deterministically per FQDN so the synthetic web can
+// re-derive which service each publisher embeds.
+var pubAdHosts = []struct{ host, path, opts string }{
+	{"ad.doubleclick.net", "/gampad/", "$script,domain="},
+	{"ib.adnxs.com", "/ttj", "$script,domain="},
+	{"ads.rubiconproject.com", "/header/", "$script,domain="},
+	{"us-ads.openx.net", "/w/", "$script,domain="},
+	{"widgets.outbrain.com", "/outbrain", "$script,domain="},
+	{"static.adzerk.net", "/ads", "$subdocument,domain="},
+}
+
+func pubFilterLine(fqdn string) string {
+	h := pubAdHosts[int(xrand.Hash64(0xAD, fqdn)%uint64(len(pubAdHosts)))]
+	return "@@||" + h.host + h.path + h.opts + fqdn
+}
+
+// addPubOp creates a publisher with its own comment group.
+func (g *generator) addPubOp(fqdn, line, comment string, mutable, doomed bool) op {
+	return op{
+		message: "Added exception rules for " + fqdn,
+		apply: func(s *state) {
+			grp := s.addGroup(comment, line)
+			p := &pub{fqdn: fqdn, line: line, grp: grp, mutable: mutable, doomed: doomed, epoch: g.epoch}
+			g.pubs = append(g.pubs, p)
+			if mutable {
+				g.mutable = append(g.mutable, p)
+			}
+		},
+	}
+}
+
+// pickPub draws a random eligible publisher; survivorsOnly excludes doomed
+// pubs.
+func (g *generator) pickPub(survivorsOnly bool) *pub {
+	if len(g.mutable) == 0 {
+		panic("histgen: no mutable pubs")
+	}
+	start := g.rng.Intn(len(g.mutable))
+	for i := 0; i < len(g.mutable); i++ {
+		p := g.mutable[(start+i)%len(g.mutable)]
+		if survivorsOnly && p.doomed {
+			continue
+		}
+		return p
+	}
+	panic("histgen: no surviving mutable pubs")
+}
+
+// removePubOp removes a publisher's filter and group.
+func (g *generator) removePubOp(fqdn string) op {
+	return op{
+		message: "Removed exception rules for " + fqdn,
+		apply: func(s *state) {
+			for i, p := range g.pubs {
+				if p.fqdn == fqdn {
+					s.removeLine(p.line)
+					if p.grp != nil && len(p.grp.lines) == 0 {
+						s.removeGroup(p.grp)
+					}
+					g.pubs = append(g.pubs[:i], g.pubs[i+1:]...)
+					g.dropMutable(p)
+					return
+				}
+			}
+			panic("histgen: removing unknown pub " + fqdn)
+		},
+	}
+}
+
+func (g *generator) dropMutable(p *pub) {
+	for i, m := range g.mutable {
+		if m == p {
+			g.mutable = append(g.mutable[:i], g.mutable[i+1:]...)
+			return
+		}
+	}
+}
+
+// modOp modifies a random mutable publisher's filter: one removal plus one
+// addition in the ledger, Table 1's "modifications are counted as new
+// filters".
+func (g *generator) modOp() op {
+	return op{
+		message: "Updated exception rules",
+		apply: func(s *state) {
+			p := g.pickModTarget()
+			g.modSeq++
+			nl := modifyLine(p.line, g.modSeq)
+			s.removeLine(p.line)
+			p.grp.lines = append(p.grp.lines, nl)
+			p.line = nl
+			p.epoch = g.epoch
+		},
+	}
+}
+
+// pickModTarget draws a pub not yet touched in the current revision.
+// Doomed pubs are excluded: a modification and the pub's removal falling
+// into the same commit would partially cancel in the revision diff.
+func (g *generator) pickModTarget() *pub {
+	if len(g.mutable) == 0 {
+		panic("histgen: no mutable pubs")
+	}
+	start := g.rng.Intn(len(g.mutable))
+	for i := 0; i < len(g.mutable); i++ {
+		p := g.mutable[(start+i)%len(g.mutable)]
+		if p.epoch != g.epoch && !p.doomed {
+			return p
+		}
+	}
+	panic("histgen: every mutable pub already modified this revision")
+}
+
+// modifyLine alters the URL path of a standard pub filter, keeping the
+// domain option intact.
+func modifyLine(line string, seq int) string {
+	i := strings.Index(line, "$")
+	if i < 0 {
+		return line + "$~third-party" // unreachable for standard recipes
+	}
+	return line[:i] + "v" + fmt.Sprint(seq) + "/" + line[i:]
+}
+
+// addExtraOp attaches an additional restricted filter to a surviving pub.
+func (g *generator) addExtraOp() op {
+	return op{
+		message: "Added additional exception rules",
+		apply: func(s *state) {
+			p := g.pickPub(true)
+			g.extraSeq++
+			line := fmt.Sprintf("@@||cdn.servedby.net/creative/x%d/$image,domain=%s",
+				g.extraSeq, p.fqdn)
+			p.grp.lines = append(p.grp.lines, line)
+			g.extras = append(g.extras, line)
+		},
+	}
+}
+
+// removeExtraOp removes the oldest surviving extra filter.
+func (g *generator) removeExtraOp() op {
+	return op{
+		message: "Removed obsolete exception rules",
+		apply: func(s *state) {
+			for i, line := range g.extras {
+				if s.removeLine(line) {
+					g.extras = append(g.extras[:i], g.extras[i+1:]...)
+					return
+				}
+			}
+			panic("histgen: no extras to remove")
+		},
+	}
+}
+
+// addLineOp adds a standalone filter line in its own group.
+func (g *generator) addLineOp(comment, line, message string) op {
+	return op{
+		message: message,
+		apply: func(s *state) {
+			s.addGroup(comment, line)
+		},
+	}
+}
+
+// touchOp rewrites the bookkeeping comment — a commit with no filter
+// churn, used to pad revision counts in quiet years.
+func (g *generator) touchOp() op {
+	return op{
+		message: "Updated list metadata",
+		apply: func(s *state) {
+			g.touchSeq++
+			s.metaComment = fmt.Sprintf("Exception rules, metadata update %d", g.touchSeq)
+		},
+	}
+}
+
+// dupOp appends an exact copy of a surviving publisher's filter — one of
+// §8's 35 duplicate filters — and freezes the publisher so later
+// modifications cannot desynchronize the copies.
+func (g *generator) dupOp() op {
+	return op{
+		message: "Added exception rules",
+		apply: func(s *state) {
+			p := g.pickPub(true)
+			p.grp.lines = append(p.grp.lines, p.line)
+			g.dropMutable(p) // freeze so the copies stay identical
+		},
+	}
+}

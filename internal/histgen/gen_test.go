@@ -1,0 +1,347 @@
+package histgen
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"acceptableads/internal/filter"
+	"acceptableads/internal/vcs"
+)
+
+// The full 989-revision history takes ~1s to synthesize; share one across
+// the package's tests.
+var (
+	histOnce sync.Once
+	hist     *History
+	histErr  error
+)
+
+func sharedHistory(t *testing.T) *History {
+	t.Helper()
+	histOnce.Do(func() {
+		hist, histErr = Generate(Config{Seed: 42})
+	})
+	if histErr != nil {
+		t.Fatal(histErr)
+	}
+	return hist
+}
+
+func TestGenerateHeadlineNumbers(t *testing.T) {
+	h := sharedHistory(t)
+	if h.Repo.Len() != TotalRevisions {
+		t.Errorf("revisions = %d, want %d", h.Repo.Len(), TotalRevisions)
+	}
+	if n := vcs.FilterLineCount(h.Repo.Tip().Content); n != FinalFilterCount {
+		t.Errorf("final filters = %d, want %d", n, FinalFilterCount)
+	}
+}
+
+func TestGenerateTable1Ledger(t *testing.T) {
+	h := sharedHistory(t)
+	type ledger struct{ revs, fAdd, fRem, dAdd, dRem int }
+	got := map[int]*ledger{}
+	prevContent := ""
+	prevDomains := map[string]bool{}
+	for i := 0; i < h.Repo.Len(); i++ {
+		rev := h.Repo.Rev(i)
+		y := rev.Date.Year()
+		l := got[y]
+		if l == nil {
+			l = &ledger{}
+			got[y] = l
+		}
+		l.revs++
+		d := vcs.DiffContents(prevContent, rev.Content)
+		l.fAdd += len(d.Added)
+		l.fRem += len(d.Removed)
+		domains := map[string]bool{}
+		for _, dom := range filter.ExplicitDomains(filter.ParseListString("wl", rev.Content)) {
+			domains[dom] = true
+		}
+		for dom := range domains {
+			if !prevDomains[dom] {
+				l.dAdd++
+			}
+		}
+		for dom := range prevDomains {
+			if !domains[dom] {
+				l.dRem++
+			}
+		}
+		prevContent = rev.Content
+		prevDomains = domains
+	}
+	for _, want := range Table1 {
+		l := got[want.Year]
+		if l == nil {
+			t.Fatalf("no revisions in %d", want.Year)
+		}
+		if l.revs != want.Revisions || l.fAdd != want.FiltersAdded ||
+			l.fRem != want.FiltersRemoved || l.dAdd != want.DomainsAdded ||
+			l.dRem != want.DomainsRemoved {
+			t.Errorf("%d: got {revs:%d fAdd:%d fRem:%d dAdd:%d dRem:%d}, want %+v",
+				want.Year, l.revs, l.fAdd, l.fRem, l.dAdd, l.dRem, want)
+		}
+	}
+}
+
+func TestGenerateScopeComposition(t *testing.T) {
+	h := sharedHistory(t)
+	final := h.FinalList()
+	scopes := filter.CountScopes(final)
+	if scopes.Unrestricted != FinalUnrestricted {
+		t.Errorf("unrestricted = %d, want %d", scopes.Unrestricted, FinalUnrestricted)
+	}
+	if scopes.Sitekey != FinalSitekeyFilters {
+		t.Errorf("sitekey = %d, want %d", scopes.Sitekey, FinalSitekeyFilters)
+	}
+	share := float64(scopes.Restricted) / float64(scopes.Total())
+	if share < 0.87 || share > 0.91 {
+		t.Errorf("restricted share = %.3f, want ~0.89", share)
+	}
+}
+
+func TestGenerateDomains(t *testing.T) {
+	h := sharedHistory(t)
+	fqdns := filter.ExplicitDomains(h.FinalList())
+	if len(fqdns) != FinalFQDNs {
+		t.Errorf("FQDNs = %d, want %d", len(fqdns), FinalFQDNs)
+	}
+	eslds := filter.RegistrableDomains(fqdns)
+	if len(eslds) != FinalESLDs {
+		t.Errorf("eSLDs = %d, want %d", len(eslds), FinalESLDs)
+	}
+	// Table 2 partitions (cumulative).
+	counts := map[string]int{}
+	for _, d := range eslds {
+		rank, ok := h.RankOf(d)
+		counts["All"]++
+		if !ok {
+			continue
+		}
+		if rank <= 1000000 {
+			counts["Top 1,000,000"]++
+		}
+		if rank <= 5000 {
+			counts["Top 5,000"]++
+		}
+		if rank <= 1000 {
+			counts["Top 1,000"]++
+		}
+		if rank <= 500 {
+			counts["Top 500"]++
+		}
+		if rank <= 100 {
+			counts["Top 100"]++
+		}
+	}
+	for name, want := range Table2Quota {
+		if counts[name] != want {
+			t.Errorf("partition %s = %d, want %d", name, counts[name], want)
+		}
+	}
+}
+
+func TestGenerateGoogleJump(t *testing.T) {
+	h := sharedHistory(t)
+	before := vcs.FilterLineCount(h.Repo.Rev(RevGoogle - 1).Content)
+	after := vcs.FilterLineCount(h.Repo.Rev(RevGoogle).Content)
+	if after-before != GoogleFilters {
+		t.Errorf("Rev 200 jump = %d filters, want %d", after-before, GoogleFilters)
+	}
+	if d := h.Repo.Rev(RevGoogle).Date; d.Year() != 2013 || d.Month() != 6 || d.Day() != 21 {
+		t.Errorf("Rev 200 date = %v, want 2013-06-21", d)
+	}
+}
+
+func TestGenerateAFilterAnchors(t *testing.T) {
+	h := sharedHistory(t)
+	// Rev 287 introduces A1 and A2.
+	diff := vcs.DiffContents(h.Repo.Rev(RevAFirst-1).Content, h.Repo.Rev(RevAFirst).Content)
+	if len(diff.Added) != 2 {
+		t.Errorf("Rev 287 added %d filters, want 2 (A1+A2)", len(diff.Added))
+	}
+	if msg := h.Repo.Rev(RevAFirst).Message; msg != "Updated whitelists" {
+		t.Errorf("Rev 287 message = %q", msg)
+	}
+	if msg := h.Repo.Rev(RevNewWording).Message; msg != "Added new whitelists" {
+		t.Errorf("Rev 304 message = %q", msg)
+	}
+	// The final list carries A-group comments but never a forum link for
+	// them.
+	final := h.FinalList()
+	markers := 0
+	for _, grp := range final.Groups() {
+		if grp.AMarker() != "" {
+			markers++
+			if grp.ForumLink() != "" {
+				t.Errorf("A-group %s has a forum link", grp.AMarker())
+			}
+		}
+	}
+	// 61 groups minus 5 removed (one of which returned as A28).
+	if markers != AFilterGroups-AFilterRemoved {
+		t.Errorf("surviving A-groups = %d, want %d", markers, AFilterGroups-AFilterRemoved)
+	}
+}
+
+func TestGenerateSitekeys(t *testing.T) {
+	h := sharedHistory(t)
+	final := h.FinalList()
+	keys := map[string]bool{}
+	for _, f := range final.Active() {
+		for _, k := range f.Sitekeys {
+			keys[k] = true
+		}
+	}
+	if len(keys) != FinalSitekeys {
+		t.Errorf("distinct sitekeys = %d, want %d", len(keys), FinalSitekeys)
+	}
+	// Rook Media's key must be gone...
+	if keys[h.ServiceKeyB64["RookMedia"]] {
+		t.Error("RookMedia key still present at Rev 988")
+	}
+	// ...but present just before Rev 656.
+	pre := filter.ParseListString("wl", h.Repo.Rev(RevRookRemoved-1).Content)
+	found := false
+	for _, f := range pre.Active() {
+		for _, k := range f.Sitekeys {
+			if k == h.ServiceKeyB64["RookMedia"] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("RookMedia key absent before its removal revision")
+	}
+	// All keys decode as 512-bit RSA.
+	for svc, k := range h.ServiceKeyB64 {
+		if !strings.HasPrefix(k, "MFwwDQYJK") {
+			t.Errorf("%s key is not a 512-bit SPKI: %.16s...", svc, k)
+		}
+	}
+}
+
+func TestGenerateGolemEpisode(t *testing.T) {
+	h := sharedHistory(t)
+	addDiff := vcs.DiffContents(h.Repo.Rev(RevGolemAdd-1).Content, h.Repo.Rev(RevGolemAdd).Content)
+	if len(addDiff.Added) != 2 {
+		t.Fatalf("golem add diff = %d filters", len(addDiff.Added))
+	}
+	fixDiff := vcs.DiffContents(h.Repo.Rev(RevGolemFix-1).Content, h.Repo.Rev(RevGolemFix).Content)
+	if len(fixDiff.Added) != 1 || len(fixDiff.Removed) != 2 {
+		t.Fatalf("golem fix diff = +%d/-%d, want +1/-2", len(fixDiff.Added), len(fixDiff.Removed))
+	}
+	// www.google.com is listed during the episode and gone afterwards.
+	during := filter.ExplicitDomains(filter.ParseListString("wl", h.Repo.Rev(RevGolemFix-1).Content))
+	hasWWW := func(ds []string) bool {
+		for _, d := range ds {
+			if d == "www.google.com" {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasWWW(during) {
+		t.Error("www.google.com not listed during the golem episode")
+	}
+	after := filter.ExplicitDomains(filter.ParseListString("wl", h.Repo.Rev(RevGolemFix).Content))
+	if hasWWW(after) {
+		t.Error("www.google.com still listed after the golem fix")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full generation is slow")
+	}
+	a := sharedHistory(t)
+	b, err := Generate(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Repo.Tip().Content != b.Repo.Tip().Content {
+		t.Error("same seed produced different final snapshots")
+	}
+	if a.Repo.Rev(500).Content != b.Repo.Rev(500).Content {
+		t.Error("same seed produced different mid-history snapshots")
+	}
+}
+
+func TestGenerateMonotoneGrowth(t *testing.T) {
+	h := sharedHistory(t)
+	// Figure 3: the list grows overall; spot-check the curve is rising
+	// across years and ends at 5,936.
+	counts := []int{}
+	for _, rev := range []int{0, 25, 72, 200, 383, 660, 769, 988} {
+		counts = append(counts, vcs.FilterLineCount(h.Repo.Rev(rev).Content))
+	}
+	if counts[0] != InitialFilterCount {
+		t.Errorf("Rev 0 filters = %d, want %d", counts[0], InitialFilterCount)
+	}
+	// Growth with minor dips: 2011 itself ends one filter below its
+	// launch count (25 added, 17 removed over the year), so only sizable
+	// regressions fail.
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1]-20 {
+			t.Errorf("growth curve dips at checkpoint %d: %v", i, counts)
+		}
+	}
+	if counts[len(counts)-1] != FinalFilterCount {
+		t.Errorf("final = %d", counts[len(counts)-1])
+	}
+}
+
+// TestBucketQuotaArithmetic pins the disjoint-bucket decomposition of
+// Table 2's cumulative counts used by the roster builder.
+func TestBucketQuotaArithmetic(t *testing.T) {
+	sum := 0
+	for _, b := range bucketQuota {
+		sum += b.count
+	}
+	if sum != FinalESLDs {
+		t.Errorf("bucket quotas sum to %d, want %d", sum, FinalESLDs)
+	}
+	cumTop5k := 0
+	for _, b := range bucketQuota {
+		if b.hi != 0 && b.hi <= 5000 {
+			cumTop5k += b.count
+		}
+	}
+	if cumTop5k != Table2Quota["Top 5,000"] {
+		t.Errorf("top-5k cumulative = %d, want %d", cumTop5k, Table2Quota["Top 5,000"])
+	}
+}
+
+// TestRosterMatchesBuckets verifies the built roster actually fills the
+// quotas the analyzer later measures.
+func TestRosterMatchesBuckets(t *testing.T) {
+	h := sharedHistory(t)
+	// Count eSLDs per bucket via the rank resolver.
+	counts := map[string]int{}
+	fqdns := filter.ExplicitDomains(h.FinalList())
+	for _, esld := range filter.RegistrableDomains(fqdns) {
+		rank, ok := h.RankOf(esld)
+		switch {
+		case !ok:
+			counts["unranked"]++
+		case rank <= 100:
+			counts["top100"]++
+		case rank <= 500:
+			counts["b500"]++
+		case rank <= 1000:
+			counts["b1000"]++
+		case rank <= 5000:
+			counts["b5000"]++
+		default:
+			counts["b1M"]++
+		}
+	}
+	for _, b := range bucketQuota {
+		if counts[b.name] != b.count {
+			t.Errorf("bucket %s = %d, want %d", b.name, counts[b.name], b.count)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package histgen
+
+import (
+	"fmt"
+	"time"
+
+	"acceptableads/internal/adnet"
+)
+
+// yearOfRev maps a revision number to its Table1 index via the cumulative
+// yearly revision counts.
+func yearIndexOfRev(rev int) int {
+	cum := 0
+	for i, t := range Table1 {
+		cum += t.Revisions
+		if rev < cum {
+			return i
+		}
+	}
+	return len(Table1) - 1
+}
+
+// yearStartRev returns the first revision of the year at Table1 index i.
+func yearStartRev(i int) int {
+	start := 0
+	for j := 0; j < i; j++ {
+		start += Table1[j].Revisions
+	}
+	return start
+}
+
+// dateAnchors pin (revision, date) points; revision dates interpolate
+// linearly between them. The anchors realize the paper's dated events:
+// Rev 200 on 2013-06-21, Rev 656 on 2014-09-16, and the year boundaries.
+var dateAnchors = []struct {
+	rev  int
+	date time.Time
+}{
+	{0, HistoryStart},
+	{25, time.Date(2011, 12, 30, 0, 0, 0, 0, time.UTC)},
+	{26, time.Date(2012, 1, 4, 0, 0, 0, 0, time.UTC)},
+	{RevGolemAdd, time.Date(2012, 12, 18, 0, 0, 0, 0, time.UTC)},
+	{72, time.Date(2012, 12, 30, 0, 0, 0, 0, time.UTC)},
+	{73, time.Date(2013, 1, 3, 0, 0, 0, 0, time.UTC)},
+	{RevGolemFix, time.Date(2013, 1, 5, 0, 0, 0, 0, time.UTC)},
+	{RevGoogle, time.Date(2013, 6, 21, 0, 0, 0, 0, time.UTC)},
+	{383, time.Date(2013, 12, 30, 0, 0, 0, 0, time.UTC)},
+	{384, time.Date(2014, 1, 3, 0, 0, 0, 0, time.UTC)},
+	{RevRookRemoved, time.Date(2014, 9, 16, 0, 0, 0, 0, time.UTC)},
+	{769, time.Date(2014, 12, 30, 0, 0, 0, 0, time.UTC)},
+	{770, time.Date(2015, 1, 2, 0, 0, 0, 0, time.UTC)},
+	{988, HistoryEnd},
+}
+
+// revisionDates computes the date of every revision.
+func revisionDates() []time.Time {
+	dates := make([]time.Time, TotalRevisions)
+	for a := 0; a < len(dateAnchors)-1; a++ {
+		lo, hi := dateAnchors[a], dateAnchors[a+1]
+		span := hi.date.Sub(lo.date)
+		steps := hi.rev - lo.rev
+		for r := lo.rev; r <= hi.rev; r++ {
+			frac := 0.0
+			if steps > 0 {
+				frac = float64(r-lo.rev) / float64(steps)
+			}
+			dates[r] = lo.date.Add(time.Duration(float64(span) * frac)).Truncate(time.Hour)
+		}
+	}
+	return dates
+}
+
+// revForDate finds the first revision dated on or after target.
+func revForDate(dates []time.Time, target time.Time) int {
+	for r, d := range dates {
+		if !d.Before(target) {
+			return r
+		}
+	}
+	return len(dates) - 1
+}
+
+// doomedSpec plans one publisher that is added and later removed.
+type doomedSpec struct {
+	addYear, removeYear int
+	aMarker             string // "A7" etc. for removed A-filter groups
+}
+
+// doomedPlan realizes Table 1's domain-removal ledger: 409 publisher
+// removals plus www.google.com's removal in the golem fix = 410. Five of
+// the removed publishers are A-filter groups (§7), one of which (A7) is
+// re-added as A28 at Rev 625.
+func doomedPlan() []doomedSpec {
+	var specs []doomedSpec
+	add := func(addYear, removeYear, n int) {
+		for i := 0; i < n; i++ {
+			specs = append(specs, doomedSpec{addYear, removeYear, ""})
+		}
+	}
+	add(2012, 2012, 5)
+	add(2012, 2013, 40)
+	add(2013, 2013, 32)
+	add(2013, 2014, 42) // + A7, A11, A13 below = 45
+	add(2014, 2014, 80)
+	add(2013, 2015, 35)
+	add(2014, 2015, 93) // + A33, A35 below = 95
+	add(2015, 2015, 77)
+	specs = append(specs,
+		doomedSpec{2013, 2014, "A7"},
+		doomedSpec{2013, 2014, "A11"},
+		doomedSpec{2013, 2014, "A13"},
+		doomedSpec{2014, 2015, "A33"},
+		doomedSpec{2014, 2015, "A35"},
+	)
+	return specs
+}
+
+// tally accumulates the planned filter/domain ledger per year so the
+// planner can compute the modification and filler budgets.
+type tally struct {
+	fAdd, fRem, dAdd, dRem int
+}
+
+// plan constructs the pinned ops and per-year queues.
+func (g *generator) plan() error {
+	g.pinned = make(map[int][]op)
+	g.queues = make([][]op, len(Table1))
+	tallies := make([]tally, len(Table1))
+	dates := revisionDates()
+
+	yearIdx := func(year int) int { return year - Table1[0].Year }
+	pin := func(rev int, o op, t tally) {
+		g.pinned[rev] = append(g.pinned[rev], o)
+		y := yearIndexOfRev(rev)
+		tallies[y].fAdd += t.fAdd
+		tallies[y].fRem += t.fRem
+		tallies[y].dAdd += t.dAdd
+		tallies[y].dRem += t.dRem
+	}
+	// pinFree finds the first unpinned revision at or after rev, staying
+	// inside the same year — used for date-derived pins that might land
+	// on an already-pinned revision.
+	pinFree := func(rev int, o op, t tally) {
+		for g.pinned[rev] != nil && yearIndexOfRev(rev) == yearIndexOfRev(rev+1) {
+			rev++
+		}
+		pin(rev, o, t)
+	}
+	queue := func(year int, o op, t tally) {
+		y := yearIdx(year)
+		g.queues[y] = append(g.queues[y], o)
+		tallies[y].fAdd += t.fAdd
+		tallies[y].fRem += t.fRem
+		tallies[y].dAdd += t.dAdd
+		tallies[y].dRem += t.dRem
+	}
+
+	named := adnet.Whitelisted() // 19 request exceptions; [8] is A59's
+
+	// ---- Rev 0: the initial 9 filters ("grew from 9 filters in 2011").
+	rev0Pubs := []struct{ fqdn, line string }{
+		{"reddit.com", "@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com"},
+		{"yahoo.com", pubFilterLine("yahoo.com")},
+		{"msn.com", pubFilterLine("msn.com")},
+		{"walmart.com", pubFilterLine("walmart.com")},
+		{"imdb.com", pubFilterLine("imdb.com")},
+	}
+	junkUR := []string{
+		"@@||promotrk.com^$third-party",
+		"@@||adlite.net^$third-party",
+	}
+	pin(0, op{
+		message: "Initial exception rules",
+		apply: func(s *state) {
+			s.metaComment = "Exception rules for Adblock Plus"
+			for _, rp := range rev0Pubs {
+				grp := s.addGroup(g.forumComment(), rp.line)
+				p := &pub{fqdn: rp.fqdn, line: rp.line, grp: grp, mutable: true}
+				g.pubs = append(g.pubs, p)
+				g.mutable = append(g.mutable, p)
+			}
+			s.addGroup("Conversion tracking exceptions",
+				named[0].WhitelistFilter, named[1].WhitelistFilter,
+				junkUR[0], junkUR[1])
+		},
+	}, tally{fAdd: 9, dAdd: 5})
+
+	// ---- golem.de episode (§7).
+	golemLine1 := "@@||google.com/ads/search/module/ads/*/search.js$domain=suche.golem.de|www.google.com"
+	golemLine2 := "www.google.com#@##adBlock"
+	golemFixed := "@@||google.com/ads/search/module/ads/*/search.js$domain=suche.golem.de"
+	pin(RevGolemAdd, op{
+		message: "Added exception rules for golem.de",
+		apply: func(s *state) {
+			g.golemGroup = s.addGroup(g.forumComment(), golemLine1, golemLine2)
+		},
+	}, tally{fAdd: 2, dAdd: 2})
+	pin(RevGolemFix, op{
+		message: "Updated exception rules for golem.de",
+		apply: func(s *state) {
+			s.removeLine(golemLine1)
+			s.removeLine(golemLine2)
+			g.golemGroup.lines = append(g.golemGroup.lines, golemFixed)
+		},
+	}, tally{fAdd: 1, fRem: 2, dRem: 1})
+
+	// ---- Google's official addition at Rev 200 (+1,262 filters).
+	googleLines := make([]string, 0, GoogleFilters)
+	for _, e := range g.rost.Google {
+		googleLines = append(googleLines, "@@||googleadservices.com^$third-party,domain="+e.FQDN)
+	}
+	for i := 0; len(googleLines) < GoogleFilters; i++ {
+		googleLines = append(googleLines,
+			"@@||gstatic.com/searchads/$script,domain="+g.rost.Google[i].FQDN)
+	}
+	pin(RevGoogle, op{
+		message: "Added exception rules for Google search ads",
+		apply: func(s *state) {
+			s.addGroup(g.forumComment(), googleLines...)
+		},
+	}, tally{fAdd: GoogleFilters, dAdd: GoogleDomains})
+
+	// ---- about.com rollout: 444 hosts in 2013, 600 in 2014 (Fig 3's
+	// second jump, together with ask.com).
+	about13 := g.rost.AboutFQDNs[:AboutFQDNs2013]
+	about14 := g.rost.AboutFQDNs[AboutFQDNs2013:]
+	queue(2013, g.aboutOp(about13), tally{fAdd: len(about13), dAdd: len(about13)})
+	pin(660, g.aboutOp(about14), tally{fAdd: len(about14), dAdd: len(about14)})
+
+	// ---- A-filter groups (§7). 61 groups, no forum links, commit
+	// message "Updated whitelists" (Rev 304's says "Added new
+	// whitelists").
+	doomed := doomedPlan()
+	aDoomed := make(map[string]doomedSpec)
+	for _, d := range doomed {
+		if d.aMarker != "" {
+			aDoomed[d.aMarker] = d
+		}
+	}
+	aRevs := aGroupRevisions()
+	// Iterate markers in numeric order: map iteration order would make
+	// survivor-pool consumption — and thus the whole history —
+	// nondeterministic.
+	for n := 1; n <= AFilterGroups; n++ {
+		marker := fmt.Sprintf("A%d", n)
+		rev := aRevs[marker]
+		switch marker {
+		case "A6": // ask.com (Fig 11): 31 $elemhide filters
+			lines := make([]string, len(g.rost.AskFQDNs))
+			for i, h := range g.rost.AskFQDNs {
+				lines[i] = "@@||" + h + "^$elemhide"
+			}
+			pin(rev, g.aGroupOp("A6", "", lines...),
+				tally{fAdd: len(lines), dAdd: len(lines)})
+		case "A29": // search.comcast.net (Fig 11): 3 filters, 1 domain
+			pin(rev, g.aGroupOp("A29", "search.comcast.net",
+				"@@||google.com/adsense/search/ads.js$domain=search.comcast.net",
+				"@@||google.com/ads/search/module/ads/*/search.js$script,domain=search.comcast.net",
+				"@@||google.com/afs/$script,subdocument,document,domain=search.comcast.net",
+			), tally{fAdd: 3, dAdd: 1})
+		case "A46": // kayak international (Fig 11): 3 elemhide filters
+			pin(rev, g.aGroupOp("A46", "",
+				"@@||kayak.com.au^$elemhide",
+				"@@||kayak.com.br^$elemhide",
+				"@@||checkfelix.com^$elemhide",
+			), tally{fAdd: 3, dAdd: 3})
+		case "A50": // twcc.com (Fig 11): 3 filters, 1 domain
+			pin(rev, g.aGroupOp("A50", "twcc.com",
+				"@@||twcc.com^$elemhide",
+				"@@||google.com/adsense/search/ads.js$domain=twcc.com",
+				"@@||google.com/ads/search/module/ads/*/search.js$script,domain=twcc.com",
+			), tally{fAdd: 3, dAdd: 1})
+		case "A59": // the unrestricted AdSense-for-search filter
+			pin(rev, g.aGroupOp("A59", "", named[8].WhitelistFilter),
+				tally{fAdd: 1})
+		case "A28": // A7 re-added
+			fqdn := g.rost.A7FQDN
+			pin(rev, op{
+				message: "Updated whitelists",
+				apply: func(s *state) {
+					line := pubFilterLine(fqdn)
+					grp := s.addGroup("A28", line)
+					p := &pub{fqdn: fqdn, line: line, grp: grp}
+					g.pubs = append(g.pubs, p)
+				},
+			}, tally{fAdd: 1, dAdd: 1})
+		default:
+			if _, isDoomed := aDoomed[marker]; isDoomed {
+				fqdn := g.doomedFQDN(marker)
+				pin(rev, g.aPubOp(marker, fqdn, true), tally{fAdd: 1, dAdd: 1})
+				continue
+			}
+			// Plain A-group: one survivor publisher, undocumented.
+			year := Table1[yearIndexOfRev(rev)].Year
+			fqdn := g.takeSurvivor(year)
+			pin(rev, g.aPubOp(marker, fqdn, false), tally{fAdd: 1, dAdd: 1})
+		}
+	}
+
+	// Removals of the five doomed A-groups.
+	aRemovalRevs := map[string]int{"A7": 500, "A11": 520, "A13": 540, "A33": 830, "A35": 850}
+	for marker, rev := range aRemovalRevs {
+		fqdn := g.doomedFQDN(marker)
+		pin(rev, g.removePubOp(fqdn), tally{fRem: 1, dRem: 1})
+	}
+
+	// ---- Truncation accident at Rev 326 (§8): 8 filters cut at 4,095
+	// characters, malformed ever since.
+	pin(RevTruncation, op{
+		message: "Migrated list tooling",
+		apply: func(s *state) {
+			grp := s.addGroup("Migrated filters")
+			for i := 0; i < MalformedFilters; i++ {
+				line := g.extras[0]
+				g.extras = g.extras[1:]
+				s.removeLine(line)
+				grp.lines = append(grp.lines, truncatedFilter(i))
+			}
+		},
+	}, tally{fAdd: MalformedFilters, fRem: MalformedFilters})
+
+	// Rook Media's key leaves at Rev 656 (pinned before the date-derived
+	// sitekey additions so those resolve around it; the group reference
+	// is looked up at apply time, long after its addition).
+	rook := SitekeyServices[2]
+	pin(RevRookRemoved, op{
+		message: "Removed RookMedia sitekey",
+		apply: func(s *state) {
+			if grp := g.sitekeyGroups[rook.Name]; grp != nil {
+				s.removeGroup(grp)
+			}
+		},
+	}, tally{fRem: rook.Filters})
+
+	// ---- Sitekey services (date-derived pins, placed after all
+	// constant-revision pins so collisions resolve forward).
+	for i, svc := range SitekeyServices {
+		svc := svc
+		key := g.keyB64[svc.Name]
+		lines := sitekeyLines(svc, key)
+		rev := revForDate(dates, svc.Whitelisted)
+		if i == 0 {
+			// Sedo: 1 filter at its 2011 whitelisting; the other 6
+			// arrive early 2013 (sitekey filters accumulated over
+			// the program's life).
+			pinFree(rev, g.addLineOp("Text ads on Sedo parking domains", lines[0],
+				"Added Sedo sitekey"), tally{fAdd: 1})
+			rest := append([]string(nil), lines[1:]...)
+			pinFree(100, op{
+				message: "Extended Sedo sitekey exceptions",
+				apply: func(s *state) {
+					s.addGroup("Additional Sedo parking exceptions", rest...)
+				},
+			}, tally{fAdd: len(rest)})
+			continue
+		}
+		lns := lines
+		name := svc.Name
+		pinFree(rev, op{
+			message: "Added " + name + " sitekey",
+			apply: func(s *state) {
+				g.sitekeyGroups[name] = s.addGroup("Text ads on "+name+" parking domains", lns...)
+			},
+		}, tally{fAdd: len(lns)})
+	}
+	// ---- Regular publisher adds: survivors and doomed.
+	if err := g.planRegular(doomed, queue); err != nil {
+		return err
+	}
+
+	// ---- Balance each year with modifications and fillers.
+	if err := g.planFillers(tallies, queue, named, junkUR); err != nil {
+		return err
+	}
+
+	// Shuffle each year's queue, keeping removals of same-year pubs at
+	// the end so they never precede their additions.
+	for y := range g.queues {
+		g.shuffleQueue(y)
+	}
+	return nil
+}
+
+// truncatedFilter builds one §8 malformed line: exactly 4,095 characters,
+// cut in the middle of its "domain" option so it no longer parses.
+func truncatedFilter(i int) string {
+	prefix := fmt.Sprintf("@@||promopartner%d.com/creative/", i)
+	const suffix = "$image,doma" // "doma": the truncated option name
+	pad := MaxFilterLine - len(prefix) - len(suffix)
+	b := make([]byte, 0, MaxFilterLine)
+	b = append(b, prefix...)
+	for j := 0; j < pad; j++ {
+		b = append(b, 'a')
+	}
+	b = append(b, suffix...)
+	return string(b)
+}
+
+// MaxFilterLine mirrors the 4,095-character truncation boundary.
+const MaxFilterLine = 4095

@@ -1,0 +1,310 @@
+package histgen
+
+import (
+	"fmt"
+	"sort"
+
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/xrand"
+)
+
+// rosterEntry is one surviving registrable domain of the Rev-988 whitelist
+// with its Alexa placement.
+type rosterEntry struct {
+	// ESLD is the registrable domain.
+	ESLD string
+	// FQDN is the fully qualified host the whitelist filter names; often
+	// the eSLD itself, sometimes a subdomain (search.comcast.net).
+	FQDN string
+	// Rank is the Alexa rank, 0 for unranked publishers.
+	Rank int
+}
+
+// roster is the planned final population of explicitly listed domains.
+type roster struct {
+	// Google is the 920-domain Google group (google.com + country
+	// domains), added at Rev 200.
+	Google []rosterEntry
+	// AboutFQDNs are about.com and its subdomains (1,044 hosts).
+	AboutFQDNs []string
+	// AskFQDNs are ask.com and its country hosts (31).
+	AskFQDNs []string
+	// Regular are the ordinary publishers (first FQDN per eSLD),
+	// excluding golem.de and the A7 publisher which are scheduled
+	// specially.
+	Regular []rosterEntry
+	// Extras are second FQDNs for 69 regular eSLDs.
+	Extras []string
+	// Ranks overlays rank assignments for names the alexa universe
+	// cannot resolve (google country domains, well-known realizations).
+	Ranks map[string]int
+	// A7FQDN is the publisher removed with A7 and re-added as A28.
+	A7FQDN string
+	// GolemFQDN is suche.golem.de.
+	GolemFQDN string
+}
+
+// top100Picks are the 22 well-known top-100 publishers joining google.com,
+// the 8 pinned country Googles, about.com and ask.com to fill Table 2's
+// 33-domain top-100 quota.
+var top100Picks = []struct {
+	name string
+	rank int
+}{
+	{"yahoo.com", 5}, {"amazon.com", 6}, {"twitter.com", 9},
+	{"ebay.com", 16}, {"bing.com", 18}, {"msn.com", 19},
+	{"aliexpress.com", 23}, {"reddit.com", 25}, {"pinterest.com", 28},
+	{"netflix.com", 30}, {"wordpress.com", 31}, {"imdb.com", 35},
+	{"tumblr.com", 37}, {"apple.com", 38}, {"imgur.com", 40},
+	{"paypal.com", 41}, {"microsoft.com", 43}, {"walmart.com", 60},
+	{"cnn.com", 65}, {"comcast.net", 70}, {"nytimes.com", 80},
+	{"buzzfeed.com", 100},
+}
+
+// pinnedCountryGoogles are the country domains the alexa universe already
+// ranks inside the top 100.
+var pinnedCountryGoogles = []struct {
+	name string
+	rank int
+}{
+	{"google.co.in", 17}, {"google.de", 22}, {"google.co.uk", 26},
+	{"google.fr", 34}, {"google.com.br", 36}, {"google.ru", 39},
+	{"google.it", 44}, {"google.es", 46},
+}
+
+// midRankPicks realize paper-named publishers in the deeper buckets.
+var midRankPicks = []struct {
+	name, fqdn string
+	rank       int
+}{
+	{"kayak.com", "kayak.com", 520},
+	{"cracked.com", "cracked.com", 680},
+	{"viralnova.com", "viralnova.com", 940},
+	{"toyota.com", "toyota.com", 1120},
+	{"utopia-game.com", "utopia-game.com", 3100},
+	{"twcc.com", "twcc.com", 3500},
+	{"isitup.org", "isitup.org", 4600},
+}
+
+// buildRoster constructs the Rev-988 domain population satisfying Table
+// 2's partition quotas exactly.
+func buildRoster(u *alexa.Universe, seed uint64) (*roster, error) {
+	r := &roster{Ranks: make(map[string]int)}
+	used := make(map[int]bool)     // ranks already consumed
+	taken := make(map[string]bool) // eSLDs already placed
+
+	place := func(name string, rank int) {
+		if rank > 0 {
+			used[rank] = true
+			r.Ranks[name] = rank
+		}
+		taken[name] = true
+	}
+
+	// --- Google group: 920 eSLDs. ---
+	place("google.com", 1)
+	r.Google = append(r.Google, rosterEntry{"google.com", "google.com", 1})
+	for _, g := range pinnedCountryGoogles {
+		place(g.name, g.rank)
+		r.Google = append(r.Google, rosterEntry{g.name, g.name, g.rank})
+	}
+	countryNames := googleCountryNames(GoogleDomains - 1 - len(pinnedCountryGoogles))
+	// Bucket plan for generated country domains: 40 in (100,500],
+	// 30 in (500,1000], 120 in (1000,5000], 600 in (5000,1M], 121 unranked.
+	plan := []struct {
+		lo, hi, n int
+	}{{100, 500, 40}, {500, 1000, 30}, {1000, 5000, 120}, {5000, 1000000, 600}, {0, 0, 121}}
+	rng := xrand.New(seed ^ 0x9009)
+	idx := 0
+	for _, p := range plan {
+		for i := 0; i < p.n; i++ {
+			name := countryNames[idx]
+			idx++
+			rank := 0
+			if p.hi > 0 {
+				rank = pickFreeRank(rng, p.lo, p.hi, used)
+			}
+			place(name, rank)
+			r.Google = append(r.Google, rosterEntry{name, name, rank})
+		}
+	}
+	if len(r.Google) != GoogleDomains {
+		return nil, fmt.Errorf("histgen: google group = %d, want %d", len(r.Google), GoogleDomains)
+	}
+
+	// --- about.com and ask.com groups. ---
+	place("about.com", 55)
+	r.AboutFQDNs = aboutFQDNs()
+	place("ask.com", 33)
+	r.AskFQDNs = askFQDNs()
+
+	// --- golem.de (realized as suche.golem.de) and the A7 publisher. ---
+	place("golem.de", 2240)
+	r.GolemFQDN = "suche.golem.de"
+	r.A7FQDN = "widgetdeals.info" // unranked; removed with A7, re-added as A28
+	taken["widgetdeals.info"] = true
+
+	// --- Regular publishers per bucket. ---
+	// Remaining quotas after the groups above (see targets.go):
+	//   top100: 22 well-known picks
+	//   (100,500]: 39 synthetic
+	//   (500,1000]: kayak/cracked/viralnova + 22 synthetic
+	//   (1000,5000]: toyota/utopia/twcc/isitup + golem(placed) + 24 synthetic
+	//   (5000,1M]: 370 synthetic
+	//   unranked: A7(placed) + 582 generated publishers
+	for _, p := range top100Picks {
+		fqdn := p.name
+		if p.name == "comcast.net" {
+			fqdn = "search.comcast.net" // the A29 group's host (Fig 11)
+		}
+		place(p.name, p.rank)
+		r.Regular = append(r.Regular, rosterEntry{p.name, fqdn, p.rank})
+	}
+	for _, p := range midRankPicks {
+		place(p.name, p.rank)
+		r.Regular = append(r.Regular, rosterEntry{p.name, p.fqdn, p.rank})
+	}
+	synthPlan := []struct {
+		lo, hi, n int
+	}{{100, 500, 39}, {500, 1000, 22}, {1000, 5000, 24}, {5000, 1000000, 370}}
+	for _, p := range synthPlan {
+		for i := 0; i < p.n; i++ {
+			rank := pickSyntheticRank(rng, u, p.lo, p.hi, used)
+			d := u.Domain(rank)
+			place(d.Name, rank)
+			r.Regular = append(r.Regular, rosterEntry{d.Name, d.Name, rank})
+		}
+	}
+	// Unranked publishers: kayak's international A46 trio first, then
+	// generated names.
+	for _, name := range []string{"kayak.com.au", "kayak.com.br", "checkfelix.com"} {
+		taken[name] = true
+		r.Regular = append(r.Regular, rosterEntry{name, name, 0})
+	}
+	for i := 0; len(r.Regular) < 22+len(midRankPicks)+39+22+24+370+3+579; i++ {
+		name := fmt.Sprintf("publisher%d.info", i)
+		if taken[name] {
+			continue
+		}
+		taken[name] = true
+		r.Regular = append(r.Regular, rosterEntry{name, name, 0})
+	}
+
+	// --- Subdomain extras: second FQDNs for 69 ranked regular eSLDs. ---
+	prefixes := []string{"search.", "m.", "shop.", "news."}
+	count := 0
+	for i := 0; i < len(r.Regular) && count < RegularSubdomains; i++ {
+		e := r.Regular[i]
+		if e.Rank == 0 || e.FQDN != e.ESLD {
+			continue
+		}
+		r.Extras = append(r.Extras, prefixes[count%len(prefixes)]+e.ESLD)
+		count++
+	}
+	if count != RegularSubdomains {
+		return nil, fmt.Errorf("histgen: only %d subdomain extras", count)
+	}
+	return r, nil
+}
+
+// googleCountryNames generates n synthetic google.<tld> names that fold to
+// distinct registrable domains, skipping the pinned real ones.
+func googleCountryNames(n int) []string {
+	pinned := map[string]bool{"de": true, "fr": true, "it": true, "es": true, "ru": true}
+	var out []string
+	for a := 'a'; a <= 'z' && len(out) < n; a++ {
+		for b := 'a'; b <= 'z' && len(out) < n; b++ {
+			cc := string(a) + string(b)
+			if pinned[cc] || cc == "cm" { // reddit.cm's TLD kept clear for the parked-domain demo
+				continue
+			}
+			out = append(out, "google."+cc)
+		}
+	}
+	for a := 'a'; a <= 'z' && len(out) < n; a++ {
+		for b := 'a'; b <= 'z' && len(out) < n; b++ {
+			out = append(out, "google."+string(a)+string(b)+"x")
+		}
+	}
+	return out
+}
+
+// aboutFQDNs returns about.com plus its 1,043 topic subdomains.
+func aboutFQDNs() []string {
+	topics := []string{
+		"cars", "food", "movies", "travel", "health", "money", "style",
+		"tech", "sports", "home", "garden", "pets", "music", "books",
+	}
+	out := []string{"about.com"}
+	for _, t := range topics {
+		out = append(out, t+".about.com")
+	}
+	for i := 0; len(out) < AboutSubdomains; i++ {
+		out = append(out, fmt.Sprintf("topic%d.about.com", i))
+	}
+	return out
+}
+
+// askFQDNs returns ask.com plus 30 country/sub hosts.
+func askFQDNs() []string {
+	subs := []string{
+		"us", "uk", "de", "fr", "es", "it", "nl", "se", "no", "dk",
+		"fi", "pl", "pt", "br", "mx", "ar", "jp", "kr", "in", "au",
+		"nz", "za", "ie", "at", "ch", "be", "ru", "tr", "gr", "cz",
+	}
+	out := []string{"ask.com"}
+	for _, s := range subs {
+		out = append(out, s+".ask.com")
+	}
+	return out
+}
+
+// pickFreeRank draws an unused rank in (lo, hi].
+func pickFreeRank(rng *xrand.RNG, lo, hi int, used map[int]bool) int {
+	for {
+		rank := lo + 1 + rng.Intn(hi-lo)
+		if !used[rank] {
+			used[rank] = true
+			return rank
+		}
+	}
+}
+
+// pickSyntheticRank draws an unused rank in (lo, hi] whose alexa domain is
+// synthetic (not a pinned well-known site) and not non-English.
+func pickSyntheticRank(rng *xrand.RNG, u *alexa.Universe, lo, hi int, used map[int]bool) int {
+	for {
+		rank := lo + 1 + rng.Intn(hi-lo)
+		if used[rank] {
+			continue
+		}
+		d := u.Domain(rank)
+		if d.Category == alexa.NonEnglish {
+			continue
+		}
+		if r, ok := u.Rank(d.Name); !ok || r != rank {
+			continue // a well-known pin; leave it alone
+		}
+		used[rank] = true
+		return rank
+	}
+}
+
+// allESLDs returns the final eSLD set of the roster, sorted — used by
+// tests to validate Table 2 quotas.
+func (r *roster) allESLDs() []string {
+	set := map[string]bool{"about.com": true, "ask.com": true, "golem.de": true}
+	set[registrable(r.A7FQDN)] = true
+	for _, g := range r.Google {
+		set[g.ESLD] = true
+	}
+	for _, e := range r.Regular {
+		set[e.ESLD] = true
+	}
+	out := make([]string, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

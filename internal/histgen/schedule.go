@@ -1,0 +1,463 @@
+package histgen
+
+import (
+	"fmt"
+	"strings"
+
+	"acceptableads/internal/adnet"
+	"acceptableads/internal/vcs"
+	"acceptableads/internal/xrand"
+)
+
+// initSurvivorPool builds the deterministic pool of regular publisher
+// FQDNs available to A-groups and the year queues: the roster's regular
+// realizations minus those pinned by name, plus the 69 subdomain extras.
+func (g *generator) initSurvivorPool() {
+	pinnedFQDNs := map[string]bool{
+		"reddit.com": true, "yahoo.com": true, "msn.com": true,
+		"walmart.com": true, "imdb.com": true,
+		"search.comcast.net": true, "twcc.com": true,
+		"kayak.com.au": true, "kayak.com.br": true, "checkfelix.com": true,
+	}
+	for _, e := range g.rost.Regular {
+		if !pinnedFQDNs[e.FQDN] {
+			g.survivorPool = append(g.survivorPool, e.FQDN)
+		}
+	}
+	g.survivorPool = append(g.survivorPool, g.rost.Extras...)
+	rng := xrand.New(g.cfg.Seed ^ 0x50271)
+	rng.Shuffle(len(g.survivorPool), func(i, j int) {
+		g.survivorPool[i], g.survivorPool[j] = g.survivorPool[j], g.survivorPool[i]
+	})
+}
+
+// takeSurvivor pops the next unscheduled publisher FQDN.
+func (g *generator) takeSurvivor(year int) string {
+	_ = year
+	if len(g.survivorPool) == 0 {
+		panic("histgen: survivor pool exhausted")
+	}
+	fqdn := g.survivorPool[0]
+	g.survivorPool = g.survivorPool[1:]
+	return fqdn
+}
+
+// doomedFQDN names the publisher behind a removed A-group; A7 reuses the
+// roster's re-added publisher.
+func (g *generator) doomedFQDN(marker string) string {
+	if marker == "A7" {
+		return g.rost.A7FQDN
+	}
+	return "agone-" + strings.ToLower(marker) + ".info"
+}
+
+// aPubOp adds one undocumented publisher group "! A<n>" with the A-filter
+// commit message the paper keys on.
+func (g *generator) aPubOp(marker, fqdn string, doomed bool) op {
+	msg := "Updated whitelists"
+	if marker == "A3" {
+		msg = "Added new whitelists" // Rev 304's wording (§7 footnote)
+	}
+	o := g.addPubOp(fqdn, pubFilterLine(fqdn), marker, true, doomed)
+	o.message = msg
+	return o
+}
+
+// aGroupOp adds a multi-line undocumented group.
+func (g *generator) aGroupOp(marker, trackedFQDN string, lines ...string) op {
+	msg := "Updated whitelists"
+	if marker == "A3" {
+		msg = "Added new whitelists"
+	}
+	return op{
+		message: msg,
+		apply: func(s *state) {
+			s.addGroup(marker, lines...)
+			_ = trackedFQDN
+		},
+	}
+}
+
+// aboutOp adds a batch of about.com host filters under one forum-linked
+// group.
+func (g *generator) aboutOp(fqdns []string) op {
+	comment := g.forumComment()
+	lines := make([]string, len(fqdns))
+	for i, h := range fqdns {
+		lines[i] = pubFilterLine(h)
+	}
+	return op{
+		message: "Added exception rules for about.com",
+		apply: func(s *state) {
+			s.addGroup(comment, lines...)
+		},
+	}
+}
+
+// aGroupRevisions pins every A-group to its revision, honoring the
+// paper's anchors: A1/A2 at Rev 287, A28 at 625, A59 at 789, A61 at 955.
+func aGroupRevisions() map[string]int {
+	revs := map[string]int{
+		"A1": RevAFirst, "A2": RevAFirst, "A3": RevNewWording,
+		"A28": RevA28, "A59": RevA59, "A61": RevA61,
+	}
+	for n := 4; n <= 20; n++ { // 2013
+		revs[fmt.Sprintf("A%d", n)] = 331 + 3*(n-4)
+	}
+	k := 0
+	for n := 21; n <= 45; n++ { // 2014
+		if n == 28 {
+			continue
+		}
+		revs[fmt.Sprintf("A%d", n)] = 390 + 13*k
+		k++
+	}
+	k = 0
+	for n := 46; n <= 60; n++ { // 2015
+		if n == 59 {
+			continue
+		}
+		revs[fmt.Sprintf("A%d", n)] = 775 + 11*k
+		k++
+	}
+	return revs
+}
+
+// sitekeyLines builds a parking service's filters: the document-level key
+// filter plus resource exceptions under the same key.
+func sitekeyLines(svc SitekeyService, keyB64 string) []string {
+	base := strings.TrimPrefix(svc.NameServers[0], "ns1.")
+	lines := []string{"@@$sitekey=" + keyB64 + ",document"}
+	hosts := []struct{ sub, opts string }{
+		{"img", "$image,sitekey="},
+		{"assets", "$script,sitekey="},
+		{"click", "$sitekey="},
+		{"track", "$image,sitekey="},
+		{"cdn", "$script,stylesheet,sitekey="},
+		{"pix", "$image,sitekey="},
+	}
+	for i := 0; len(lines) < svc.Filters; i++ {
+		h := hosts[i%len(hosts)]
+		lines = append(lines, "@@||"+h.sub+"."+base+"^"+h.opts+keyB64)
+	}
+	return lines
+}
+
+// planRegular queues the ordinary publisher additions (survivors and
+// doomed) and the doomed removals.
+func (g *generator) planRegular(doomed []doomedSpec,
+	queue func(year int, o op, t tally)) error {
+	// Doomed publishers: plain ones get generated names; A-marked ones
+	// were pinned by the caller.
+	plainSeq := 0
+	doomedAddsByYear := make(map[int]int)
+	for _, spec := range doomed {
+		if spec.aMarker != "" {
+			continue
+		}
+		plainSeq++
+		fqdn := fmt.Sprintf("gone%d.net", plainSeq)
+		addOp := g.addPubOp(fqdn, pubFilterLine(fqdn), g.forumComment(), true, true)
+		addOp.early = spec.addYear == spec.removeYear
+		queue(spec.addYear, addOp, tally{fAdd: 1, dAdd: 1})
+		rm := g.removePubOp(fqdn)
+		rm.late = spec.addYear == spec.removeYear
+		queue(spec.removeYear, rm, tally{fRem: 1, dRem: 1})
+		doomedAddsByYear[spec.addYear]++
+	}
+	// Survivors fill each year's remaining domain budget. The caller's
+	// running tallies are not visible here, so planFillers validates the
+	// final arithmetic; this function distributes what the constants
+	// prescribe (see plan()'s derivation in the package tests).
+	survivorBudget := map[int]int{}
+	for _, t := range Table1 {
+		survivorBudget[t.Year] = t.DomainsAdded
+	}
+	// Subtract every non-survivor contribution accounted elsewhere.
+	structural := map[int]int{
+		2011: 5,                                         // Rev 0
+		2012: 2,                                         // golem.de
+		2013: GoogleDomains + AboutFQDNs2013 + AskFQDNs, // Rev 200 + about + A6
+		2014: AboutFQDNs2014 + 1 + 1,                    // about + A28 re-add + A29 comcast
+		2015: 3 + 1,                                     // A46 kayak trio + A50 twcc
+	}
+	// Plain A-groups per year: 2013 holds A1–A20 minus A6 (ask) and the
+	// three doomed groups; 2014 holds A21–A45 minus A28/A29 and two
+	// doomed; 2015 holds A46–A61 minus A46/A50/A59.
+	aPlainByYear := map[int]int{2013: 16, 2014: 21, 2015: 13}
+	aDoomedByYear := map[int]int{2013: 3, 2014: 2}
+	for _, t := range Table1 {
+		y := t.Year
+		n := survivorBudget[y] - structural[y] - doomedAddsByYear[y] -
+			aPlainByYear[y] - aDoomedByYear[y]
+		if n < 0 {
+			return fmt.Errorf("histgen: year %d survivor budget %d < 0", y, n)
+		}
+		for i := 0; i < n; i++ {
+			fqdn := g.takeSurvivor(y)
+			queue(y, g.addPubOp(fqdn, pubFilterLine(fqdn), g.forumComment(), true, false),
+				tally{fAdd: 1, dAdd: 1})
+		}
+	}
+	if len(g.survivorPool) != 0 {
+		return fmt.Errorf("histgen: %d survivors left unscheduled", len(g.survivorPool))
+	}
+	return nil
+}
+
+// fillerPlan is the per-year arithmetic balancing Table 1's filter churn.
+type fillerPlan struct {
+	mods, extraAdds, extraRemovals int
+	namedUR                        []string
+	genUR, ps, dups                int
+}
+
+// planFillers tops up every year to its exact Table 1 filter counts with
+// modifications, unrestricted/pattern-scoped additions, duplicates and
+// extra-filter churn.
+func (g *generator) planFillers(tallies []tally,
+	queue func(year int, o op, t tally), named []adnet.Network, junkUR []string) error {
+	// Remove Rev 0's two junk unrestricted filters during 2011 so the
+	// final list holds exactly the planned 156 unrestricted entries.
+	for _, line := range junkUR {
+		line := line
+		queue(2011, op{
+			message: "Removed obsolete exception rules",
+			apply:   func(s *state) { s.removeLine(line) },
+			late:    true,
+		}, tally{fRem: 1})
+	}
+
+	// Named unrestricted filters arrive over 2012–2014; Rev 0 carried
+	// [0] and [1], Rev 789 carries [8] (A59).
+	namedByYear := map[int][]string{}
+	addNamed := func(year int, idx ...int) {
+		for _, i := range idx {
+			namedByYear[year] = append(namedByYear[year], named[i].WhitelistFilter)
+		}
+	}
+	addNamed(2012, 2, 3, 4)
+	// Reddit's element exception (§4.2.1's "reddit.com#@##ad_main") joins
+	// in 2012; it is restricted (domain prefix), so it rides the filler
+	// budget without touching the unrestricted quota.
+	namedByYear[2012] = append(namedByYear[2012], "reddit.com#@##ad_main")
+	addNamed(2013, 5, 6, 7, 9, 10, 11, 12)
+	namedByYear[2013] = append(namedByYear[2013], adnet.InfluadsElementFilter)
+	addNamed(2014, 13, 14, 15, 16, 17, 18)
+
+	dupsByYear := map[int]int{2014: 20, 2015: DuplicateFilters - 20}
+
+	// Phase 1: per-year budgets.
+	type budget struct{ m, xA, xR int }
+	budgets := make([]budget, len(Table1))
+	xAs := make([]int, len(Table1))
+	for i, t := range Table1 {
+		fixed := len(namedByYear[t.Year]) + dupsByYear[t.Year]
+		remA := t.FiltersAdded - tallies[i].fAdd - fixed
+		remR := t.FiltersRemoved - tallies[i].fRem
+		if remA < 0 || remR < 0 {
+			return fmt.Errorf("histgen: year %d over budget (remA=%d remR=%d)", t.Year, remA, remR)
+		}
+		m := remA
+		if remR < m {
+			m = remR
+		}
+		budgets[i] = budget{m: m, xA: remA - m, xR: remR - m}
+		xAs[i] = budgets[i].xA
+	}
+
+	// Phase 2: split each year's xA among generated unrestricted,
+	// pattern-scoped, and plain extra filters, hitting the global
+	// quotas exactly (largest-remainder apportionment).
+	// 156 final unrestricted = 2 (Rev 0 named) + 16 (named 2012–2014)
+	// + 1 (influads element) + 1 (A59) + the generated remainder.
+	genURQuota := FinalUnrestricted - 2 - 16 - 1 - 1
+	genURAlloc := apportion(genURQuota, xAs)
+	psAlloc := apportion(PatternScopedQuota, xAs)
+	for i := range budgets {
+		if genURAlloc[i]+psAlloc[i] > budgets[i].xA {
+			return fmt.Errorf("histgen: year %d filler overflow", Table1[i].Year)
+		}
+	}
+
+	// Phase 3: append the ops.
+	for i, t := range Table1 {
+		y := t.Year
+		for _, line := range namedByYear[y] {
+			queue(y, g.addLineOp("Conversion tracking exceptions", line,
+				"Added exception rules"), tally{fAdd: 1})
+		}
+		for j := 0; j < dupsByYear[y]; j++ {
+			queue(y, g.dupOp(), tally{fAdd: 1})
+		}
+		for j := 0; j < genURAlloc[i]; j++ {
+			g.urSeq++
+			line := fmt.Sprintf("@@||conv%d.trackpixel.net^$script,image", g.urSeq)
+			queue(y, g.addLineOp("Conversion tracking exceptions", line,
+				"Added exception rules"), tally{fAdd: 1})
+		}
+		for j := 0; j < psAlloc[i]; j++ {
+			g.psSeq++
+			line := fmt.Sprintf("@@||partnerads.net/c%d/", g.psSeq)
+			queue(y, g.addLineOp("Ad network exceptions", line,
+				"Added exception rules"), tally{fAdd: 1})
+		}
+		for j := 0; j < budgets[i].xA-genURAlloc[i]-psAlloc[i]; j++ {
+			queue(y, g.addExtraOp(), tally{fAdd: 1})
+		}
+		for j := 0; j < budgets[i].m; j++ {
+			queue(y, g.modOp(), tally{fAdd: 1, fRem: 1})
+		}
+		for j := 0; j < budgets[i].xR; j++ {
+			o := g.removeExtraOp()
+			o.late = true
+			queue(y, o, tally{fRem: 1})
+		}
+	}
+
+	// Final arithmetic check: every year must now hit Table 1 exactly.
+	for i, t := range Table1 {
+		if tallies[i].fAdd != t.FiltersAdded || tallies[i].fRem != t.FiltersRemoved ||
+			tallies[i].dAdd != t.DomainsAdded || tallies[i].dRem != t.DomainsRemoved {
+			return fmt.Errorf("histgen: year %d ledger %+v != target %+v", t.Year, tallies[i], t)
+		}
+	}
+	return nil
+}
+
+// apportion splits quota across years proportionally to the weights using
+// largest remainders.
+func apportion(quota int, weights []int) []int {
+	out := make([]int, len(weights))
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return out
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	var rems []rem
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(quota) * float64(w) / float64(total)
+		out[i] = int(exact)
+		assigned += out[i]
+		rems = append(rems, rem{i, exact - float64(out[i])})
+	}
+	for assigned < quota {
+		best := -1
+		for j, r := range rems {
+			if best < 0 || r.frac > rems[best].frac {
+				best = j
+			}
+		}
+		out[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return out
+}
+
+// shuffleQueue randomizes a year's op order. Late ops (removals of
+// publishers added the same year) are interleaved into the final ~30% of
+// the queue rather than appended as a block, so the Figure 3 curve keeps
+// rising through year ends while every removal still follows its
+// publisher's addition — the matching adds were shuffled uniformly over
+// the whole year, so with high probability they precede the last 30%; the
+// emit-time removeLine is a no-op guard against the rare stragglers that
+// planFillers' ledger check would catch.
+func (g *generator) shuffleQueue(y int) {
+	var early, normal, late []op
+	for _, o := range g.queues[y] {
+		switch {
+		case o.late:
+			late = append(late, o)
+		case o.early:
+			early = append(early, o)
+		default:
+			normal = append(normal, o)
+		}
+	}
+	g.rng.Shuffle(len(normal), func(i, j int) { normal[i], normal[j] = normal[j], normal[i] })
+	g.rng.Shuffle(len(late), func(i, j int) { late[i], late[j] = late[j], late[i] })
+	if len(late) == 0 && len(early) == 0 {
+		g.queues[y] = normal
+		return
+	}
+	cut := len(normal) * 7 / 10
+	head := append(append([]op(nil), early...), normal[:cut]...)
+	g.rng.Shuffle(len(head), func(i, j int) { head[i], head[j] = head[j], head[i] })
+	tail := append(append([]op(nil), normal[cut:]...), late...)
+	g.rng.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+	g.queues[y] = append(head, tail...)
+}
+
+// emit replays the plan revision by revision into a repository.
+func (g *generator) emit() (*vcs.Repo, error) {
+	dates := revisionDates()
+	repo := &vcs.Repo{}
+	queuePos := make([]int, len(Table1))
+
+	// Pre-compute how many non-pinned revisions each year has left so
+	// queue ops spread evenly.
+	nonPinned := make([]int, len(Table1))
+	for rev := 0; rev < TotalRevisions; rev++ {
+		if _, ok := g.pinned[rev]; !ok {
+			nonPinned[yearIndexOfRev(rev)]++
+		}
+	}
+
+	for rev := 0; rev < TotalRevisions; rev++ {
+		y := yearIndexOfRev(rev)
+		var ops []op
+		if pinnedOps, ok := g.pinned[rev]; ok {
+			ops = pinnedOps
+		} else {
+			remaining := len(g.queues[y]) - queuePos[y]
+			take := 0
+			if nonPinned[y] > 0 {
+				take = remaining / nonPinned[y]
+				if remaining%nonPinned[y] != 0 {
+					take++
+				}
+			}
+			if take > remaining {
+				take = remaining
+			}
+			ops = g.queues[y][queuePos[y] : queuePos[y]+take]
+			queuePos[y] += take
+			nonPinned[y]--
+			if len(ops) == 0 {
+				ops = []op{g.touchOp()}
+			}
+		}
+		msg := "Updated exception rules"
+		if len(ops) > 0 && ops[0].message != "" {
+			msg = ops[0].message
+			for _, o := range ops[1:] {
+				if o.message != msg {
+					msg = fmt.Sprintf("Updated exception rules (%d changes)", len(ops))
+					break
+				}
+			}
+		}
+		g.epoch = rev + 1 // pubs created/modified this commit are off-limits to further mods
+		for _, o := range ops {
+			o.apply(&g.st)
+		}
+		if _, err := repo.Commit(dates[rev], msg, g.st.render()); err != nil {
+			return nil, fmt.Errorf("histgen: rev %d: %w", rev, err)
+		}
+	}
+	for y := range g.queues {
+		if queuePos[y] != len(g.queues[y]) {
+			return nil, fmt.Errorf("histgen: year index %d left %d ops unscheduled",
+				y, len(g.queues[y])-queuePos[y])
+		}
+	}
+	return repo, nil
+}

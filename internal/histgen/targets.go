@@ -1,0 +1,154 @@
+// Package histgen deterministically synthesizes the full revision history
+// of the Acceptable Ads whitelist (Eyeo's "exceptionrules" Mercurial
+// repository), calibrated to every number the paper reports: Table 1's
+// yearly churn, Figure 3's growth curve with its two jumps, the Rev-200
+// Google addition, the A-filter groups of §7, the sitekey roster of Table
+// 3, and the hygiene defects of §8 (duplicates and truncated filters).
+//
+// The generated repository is the input to internal/histanalysis, whose
+// output the tests compare against the published tables — validating the
+// analyzer end-to-end on a history it cannot distinguish from a scraped
+// one (DESIGN.md §2 records the substitution).
+package histgen
+
+import "time"
+
+// YearTarget is one row of Table 1.
+type YearTarget struct {
+	Year           int
+	Revisions      int
+	FiltersAdded   int
+	FiltersRemoved int
+	DomainsAdded   int
+	DomainsRemoved int
+}
+
+// Table1 holds the paper's yearly activity targets. Cells the scan left
+// blank are reconstructed from the published totals (989 revisions, 8,808
+// filters added, 2,872 removed, 3,542 domains added, 410 removed): 2011's
+// filter removals must be 17 and its domain adds 5; domain removals before
+// 2013 total 5, assigned to 2012.
+var Table1 = []YearTarget{
+	{2011, 26, 25, 17, 5, 0},
+	{2012, 47, 225, 30, 59, 5},
+	{2013, 311, 5152, 1555, 2248, 73},
+	{2014, 386, 2179, 775, 859, 125},
+	{2015, 219, 1227, 495, 371, 207},
+}
+
+// Published whole-history totals.
+const (
+	TotalRevisions      = 989  // Rev 0 .. Rev 988
+	FinalFilterCount    = 5936 // filters in Rev 988
+	FinalUnrestricted   = 156  // §4.2.2
+	FinalSitekeyFilters = 25   // §4.2.3
+	FinalSitekeys       = 4    // active sitekeys at Rev 988
+	DuplicateFilters    = 35   // §8
+	MalformedFilters    = 8    // §8 — truncated in Rev 326
+	AFilterGroups       = 61   // §7 — A1..A61
+	AFilterRemoved      = 5    // §7 — groups later removed
+	PatternScopedQuota  = 472  // balances restricted share to ~89% (Fig 4)
+)
+
+// FinalFQDNs is the number of fully qualified domains explicitly listed at
+// Rev 988. The paper's §4.2.1 text says 3,545, but Table 1's own ledger
+// (3,542 added − 410 removed) fixes the count at 3,132; we follow the
+// ledger and record the paper-internal inconsistency in EXPERIMENTS.md.
+const FinalFQDNs = 3132
+
+// FinalESLDs is Table 2's "All" row: the registrable domains the FQDNs
+// fold to.
+const FinalESLDs = 1990
+
+// Table2Quota gives Table 2's cumulative effective-second-level-domain
+// counts per Alexa partition.
+var Table2Quota = map[string]int{
+	"All":           1990,
+	"Top 1,000,000": 1286,
+	"Top 5,000":     316,
+	"Top 1,000":     167,
+	"Top 500":       112,
+	"Top 100":       33,
+}
+
+// bucketQuota converts Table 2's cumulative counts into disjoint rank
+// buckets: [1,100], (100,500], (500,1000], (1000,5000], (5000,1M],
+// unranked.
+var bucketQuota = []struct {
+	name   string
+	lo, hi int // ranks (lo, hi]; hi == 0 means unranked
+	count  int
+}{
+	{"top100", 0, 100, 33},
+	{"b500", 100, 500, 79},      // 112 − 33
+	{"b1000", 500, 1000, 55},    // 167 − 112
+	{"b5000", 1000, 5000, 149},  // 316 − 167
+	{"b1M", 5000, 1000000, 970}, // 1286 − 316
+	{"unranked", 0, 0, 704},     // 1990 − 1286
+}
+
+// Publisher-group compositions from the running text.
+const (
+	GoogleDomains      = 920  // google.com + 919 country-based domains
+	GoogleFilters      = 1262 // added at Rev 200
+	AboutSubdomains    = 1044 // about.com + its subdomains (444 in 2013, 600 in 2014)
+	AboutFQDNs2013     = 444
+	AboutFQDNs2014     = 600
+	AskFQDNs           = 31 // ask.com + 30 country/sub hosts
+	RegularSubdomains  = 69 // second FQDNs for regular eSLDs (search., m., ...)
+	InitialFilterCount = 9  // "grew from 9 filters in 2011" — Rev 0
+)
+
+// Pinned revision numbers from the paper's footnotes.
+const (
+	RevGolemAdd    = 67  // golem.de filters added, Dec 2012 (§7)
+	RevGolemFix    = 74  // the two-weeks-later cleanup (§7)
+	RevGoogle      = 200 // official Google addition, 2013-06-21
+	RevAFirst      = 287 // first A-filters (A1, A2)
+	RevNewWording  = 304 // the one "Added new whitelists" commit
+	RevTruncation  = 326 // 8 filters truncated at 4,095 chars (§8)
+	RevA28         = 625 // A7 re-added as A28
+	RevRookRemoved = 656 // Rook Media sitekey removed, 2014-09-16
+	RevA59         = 789 // unrestricted AdSense-for-search filter (§7)
+	RevA61         = 955 // last A-group
+)
+
+// SitekeyService describes one parking service of Table 3.
+type SitekeyService struct {
+	Name string
+	// Whitelisted is the date the service's sitekey entered the list.
+	Whitelisted time.Time
+	// Filters is how many sitekey filters the service contributes.
+	Filters int
+	// Removed marks Rook Media, whose key left the list at Rev 656.
+	Removed bool
+	// ComDomains is Table 3's .com parked-domain count for the service.
+	ComDomains int
+	// NameServers are the service's parking name servers, the zone-scan
+	// attribution anchor of §4.2.3.
+	NameServers []string
+}
+
+// SitekeyServices lists Table 3's five parking services in whitelisting
+// order. Filter counts per service are chosen so active services total 25.
+var SitekeyServices = []SitekeyService{
+	{"Sedo", time.Date(2011, 11, 30, 0, 0, 0, 0, time.UTC), 7, false, 1060129,
+		[]string{"ns1.sedoparking.com", "ns2.sedoparking.com"}},
+	{"ParkingCrew", time.Date(2013, 5, 27, 0, 0, 0, 0, time.UTC), 6, false, 368703,
+		[]string{"ns1.parkingcrew.net", "ns2.parkingcrew.net"}},
+	{"RookMedia", time.Date(2013, 7, 31, 0, 0, 0, 0, time.UTC), 3, true, 949,
+		[]string{"ns1.rookdns.com", "ns2.rookdns.com"}},
+	{"Uniregistry", time.Date(2013, 9, 25, 0, 0, 0, 0, time.UTC), 7, false, 1246359,
+		[]string{"ns1.uniregistrymarket.link", "ns2.uniregistrymarket.link"}},
+	{"Digimedia", time.Date(2014, 7, 2, 0, 0, 0, 0, time.UTC), 5, false, 25,
+		[]string{"ns1.digimedia.com", "ns2.digimedia.com"}},
+}
+
+// TotalParkedDomains is Table 3's bottom line.
+const TotalParkedDomains = 2676165
+
+// History span.
+var (
+	HistoryStart = time.Date(2011, 10, 8, 0, 0, 0, 0, time.UTC)
+	HistoryEnd   = time.Date(2015, 4, 28, 0, 0, 0, 0, time.UTC)
+)

@@ -1,0 +1,64 @@
+package htmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzHTMLParse checks the tree builder on arbitrary markup: no panics,
+// intact parent pointers, and resource extraction total within bounds.
+func FuzzHTMLParse(f *testing.F) {
+	seeds := []string{
+		`<iframe id="ad_main" src="http://static.adzerk.net/reddit/ads.html"></iframe>`,
+		`<div><p>a<b>c`,
+		`<script>if(a<b){x("</div>")}</script><p>x</p>`,
+		`<!DOCTYPE html><!-- c --><img src=x>`,
+		`<<<>>><div id=></div>`,
+		strings.Repeat("<div>", 200),
+		`<a href="/x"><link rel=stylesheet href=y.css>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, html string) {
+		doc := Parse(html)
+		if doc == nil || doc.Tag != "#document" {
+			t.Fatal("bad root")
+		}
+		nodes := 0
+		doc.Walk(func(n *Node) bool {
+			nodes++
+			for _, c := range n.Children {
+				if c.Parent != n {
+					t.Fatal("broken parent pointer")
+				}
+			}
+			return true
+		})
+		res := ExtractResources(doc, "http://host.example/")
+		if len(res) > nodes {
+			t.Fatalf("%d resources from %d nodes", len(res), nodes)
+		}
+		for _, r := range res {
+			if r.URL == "" {
+				t.Fatal("empty resource URL")
+			}
+		}
+	})
+}
+
+// FuzzResolveURL: resolution must keep a scheme and never panic.
+func FuzzResolveURL(f *testing.F) {
+	f.Add("http://a.com/x/y.html", "z.js")
+	f.Add("https://a.com", "//b.com/z")
+	f.Add("http://a.com/", "/root")
+	f.Fuzz(func(t *testing.T, base, ref string) {
+		if !strings.Contains(base, "://") {
+			t.Skip()
+		}
+		got := ResolveURL(base, ref)
+		if !strings.Contains(got, ":") {
+			t.Fatalf("ResolveURL(%q, %q) = %q lost the scheme", base, ref, got)
+		}
+	})
+}

@@ -1,0 +1,338 @@
+// Package htmldom implements a small HTML parser producing a DOM tree
+// sufficient for the paper's measurement pipeline: element hiding filters
+// match nodes by tag, id, class and attributes, and the instrumented
+// browser extracts the sub-resource requests a real browser would issue
+// (scripts, images, frames, stylesheets, objects, XHRs).
+//
+// The parser is deliberately forgiving — real ad markup is messy — and
+// handles nesting, void elements, raw-text elements (script/style),
+// comments, doctypes, and attribute quoting styles. It does not implement
+// the full HTML5 tree-construction algorithm; the synthetic web corpus and
+// the paper's example snippets stay well within this subset.
+package htmldom
+
+import (
+	"strings"
+)
+
+// Node is a DOM node: an element, a text run, or the synthetic document
+// root (Tag == "#document").
+type Node struct {
+	// Tag is the lowercased element name, "#text" for text nodes, or
+	// "#document" for the root.
+	Tag string
+	// Attrs holds the element's attributes in source order.
+	Attrs []Attr
+	// Text is the content of "#text" nodes.
+	Text string
+	// Parent points up the tree; nil for the root.
+	Parent *Node
+	// Children holds child nodes in order.
+	Children []*Node
+}
+
+// Attr is one name="value" attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// ID returns the element's id attribute, or "".
+func (n *Node) ID() string {
+	v, _ := n.Attr("id")
+	return v
+}
+
+// Classes returns the element's class list.
+func (n *Node) Classes() []string {
+	v, ok := n.Attr("class")
+	if !ok {
+		return nil
+	}
+	return strings.Fields(v)
+}
+
+// HasClass reports whether the element carries the given class.
+func (n *Node) HasClass(c string) bool {
+	for _, have := range n.Classes() {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+// IsElement reports whether the node is a real element (not text or root).
+func (n *Node) IsElement() bool {
+	return n.Tag != "" && n.Tag[0] != '#'
+}
+
+// Walk visits n and every descendant in document order. Returning false
+// from the visitor stops the walk.
+func (n *Node) Walk(visit func(*Node) bool) bool {
+	if !visit(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Elements returns every element node in document order.
+func (n *Node) Elements() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m.IsElement() {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// InnerText concatenates all descendant text.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.Walk(func(m *Node) bool {
+		if m.Tag == "#text" {
+			b.WriteString(m.Text)
+		}
+		return true
+	})
+	return b.String()
+}
+
+// voidElements never have children and need no closing tag.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements swallow their content verbatim until the matching close
+// tag.
+var rawTextElements = map[string]bool{"script": true, "style": true, "textarea": true, "title": true}
+
+// Parse builds a DOM tree from HTML text. It always returns a document
+// root; malformed input produces a best-effort tree rather than an error.
+func Parse(html string) *Node {
+	root := &Node{Tag: "#document"}
+	p := &parser{src: html, cur: root}
+	p.run()
+	return root
+}
+
+type parser struct {
+	src string
+	pos int
+	cur *Node
+}
+
+func (p *parser) run() {
+	for p.pos < len(p.src) {
+		lt := strings.IndexByte(p.src[p.pos:], '<')
+		if lt < 0 {
+			p.addText(p.src[p.pos:])
+			return
+		}
+		if lt > 0 {
+			p.addText(p.src[p.pos : p.pos+lt])
+			p.pos += lt
+		}
+		p.parseTag()
+	}
+}
+
+func (p *parser) addText(s string) {
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	p.cur.Children = append(p.cur.Children, &Node{Tag: "#text", Text: s, Parent: p.cur})
+}
+
+// parseTag consumes one construct starting at '<'.
+func (p *parser) parseTag() {
+	s := p.src[p.pos:]
+	switch {
+	case strings.HasPrefix(s, "<!--"):
+		end := strings.Index(s, "-->")
+		if end < 0 {
+			p.pos = len(p.src)
+			return
+		}
+		p.pos += end + 3
+	case strings.HasPrefix(s, "<!"), strings.HasPrefix(s, "<?"):
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			p.pos = len(p.src)
+			return
+		}
+		p.pos += end + 1
+	case strings.HasPrefix(s, "</"):
+		end := strings.IndexByte(s, '>')
+		if end < 0 {
+			p.pos = len(p.src)
+			return
+		}
+		name := strings.ToLower(strings.TrimSpace(s[2:end]))
+		p.pos += end + 1
+		p.closeTo(name)
+	default:
+		p.parseOpenTag()
+	}
+}
+
+func (p *parser) closeTo(name string) {
+	// Walk up to the nearest open element with this tag; ignore strays.
+	for n := p.cur; n != nil && n.Tag != "#document"; n = n.Parent {
+		if n.Tag == name {
+			p.cur = n.Parent
+			return
+		}
+	}
+}
+
+func (p *parser) parseOpenTag() {
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		p.pos = len(p.src)
+		return
+	}
+	inner := p.src[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+
+	selfClose := strings.HasSuffix(inner, "/")
+	if selfClose {
+		inner = inner[:len(inner)-1]
+	}
+	name, attrs := parseTagInner(inner)
+	if name == "" {
+		return
+	}
+	node := &Node{Tag: name, Attrs: attrs, Parent: p.cur}
+	p.cur.Children = append(p.cur.Children, node)
+
+	if selfClose || voidElements[name] {
+		return
+	}
+	if rawTextElements[name] {
+		closeTag := "</" + name
+		rest := p.src[p.pos:]
+		// ASCII case folding must happen byte-wise: strings.ToLower can
+		// change byte offsets on non-ASCII input (e.g. U+0130), which
+		// would misalign the index into rest.
+		idx := indexASCIIFold(rest, closeTag)
+		if idx < 0 {
+			node.Children = append(node.Children, &Node{Tag: "#text", Text: rest, Parent: node})
+			p.pos = len(p.src)
+			return
+		}
+		if idx > 0 {
+			node.Children = append(node.Children, &Node{Tag: "#text", Text: rest[:idx], Parent: node})
+		}
+		gt := strings.IndexByte(rest[idx:], '>')
+		if gt < 0 {
+			p.pos = len(p.src)
+			return
+		}
+		p.pos += idx + gt + 1
+		return
+	}
+	p.cur = node
+}
+
+// parseTagInner splits "iframe id="x" src='y'" into the tag name and
+// attribute list.
+func parseTagInner(s string) (string, []Attr) {
+	s = strings.TrimSpace(s)
+	i := 0
+	for i < len(s) && !isSpace(s[i]) {
+		i++
+	}
+	name := strings.ToLower(s[:i])
+	var attrs []Attr
+	for i < len(s) {
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		start := i
+		for i < len(s) && s[i] != '=' && !isSpace(s[i]) {
+			i++
+		}
+		aname := strings.ToLower(s[start:i])
+		if aname == "" {
+			i++
+			continue
+		}
+		var aval string
+		if i < len(s) && s[i] == '=' {
+			i++
+			if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+				quote := s[i]
+				i++
+				vstart := i
+				for i < len(s) && s[i] != quote {
+					i++
+				}
+				aval = s[vstart:i]
+				if i < len(s) {
+					i++
+				}
+			} else {
+				vstart := i
+				for i < len(s) && !isSpace(s[i]) {
+					i++
+				}
+				aval = s[vstart:i]
+			}
+		}
+		attrs = append(attrs, Attr{Name: aname, Value: aval})
+	}
+	return name, attrs
+}
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r'
+}
+
+// indexASCIIFold finds the first occurrence of pat (which must be
+// lowercase ASCII) in s under ASCII case folding, returning a byte offset
+// valid in s.
+func indexASCIIFold(s, pat string) int {
+	if len(pat) == 0 {
+		return 0
+	}
+	for i := 0; i+len(pat) <= len(s); i++ {
+		match := true
+		for j := 0; j < len(pat); j++ {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != pat[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,250 @@
+package htmldom
+
+import (
+	"strings"
+	"testing"
+
+	"acceptableads/internal/filter"
+)
+
+// redditSnippet mirrors Figure 1 of the paper: the Adzerk iframe on Reddit.
+const redditSnippet = `<iframe id="ad_main" frameborder="0" scrolling="no" name="ad_main" src="http://static.adzerk.net/reddit/ads.html?sr=-reddit.com,loggedout&amp;bust2#http://www.reddit.com"></iframe>`
+
+func TestParseRedditIframe(t *testing.T) {
+	doc := Parse(redditSnippet)
+	els := doc.Elements()
+	if len(els) != 1 {
+		t.Fatalf("elements = %d, want 1", len(els))
+	}
+	n := els[0]
+	if n.Tag != "iframe" {
+		t.Errorf("tag = %q", n.Tag)
+	}
+	if n.ID() != "ad_main" {
+		t.Errorf("id = %q", n.ID())
+	}
+	src, ok := n.Attr("src")
+	if !ok || !strings.HasPrefix(src, "http://static.adzerk.net/reddit/ads.html") {
+		t.Errorf("src = %q", src)
+	}
+}
+
+func TestParseNesting(t *testing.T) {
+	doc := Parse(`<html><body><div id="a"><p class="x y">hi <b>bold</b></p></div><div id="b"></div></body></html>`)
+	var a, b, p *Node
+	doc.Walk(func(n *Node) bool {
+		switch n.ID() {
+		case "a":
+			a = n
+		case "b":
+			b = n
+		}
+		if n.Tag == "p" {
+			p = n
+		}
+		return true
+	})
+	if a == nil || b == nil || p == nil {
+		t.Fatal("missing nodes")
+	}
+	if p.Parent != a {
+		t.Error("p should be child of #a")
+	}
+	if !p.HasClass("x") || !p.HasClass("y") || p.HasClass("z") {
+		t.Errorf("classes = %v", p.Classes())
+	}
+	if got := p.InnerText(); got != "hi bold" {
+		t.Errorf("InnerText = %q", got)
+	}
+	if a.Parent == b || b.Parent != a.Parent {
+		t.Error("sibling structure broken")
+	}
+}
+
+func TestParseVoidAndSelfClosing(t *testing.T) {
+	doc := Parse(`<div><img src="/a.png"><br/><input type="text"><span>s</span></div>`)
+	div := doc.Children[0]
+	if len(div.Children) != 4 {
+		t.Fatalf("div children = %d, want 4", len(div.Children))
+	}
+	if div.Children[3].Tag != "span" {
+		t.Errorf("last child = %q", div.Children[3].Tag)
+	}
+}
+
+func TestParseRawText(t *testing.T) {
+	doc := Parse(`<script>if (a < b) { x("</div>"); }</script><div id="after"></div>`)
+	if len(doc.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(doc.Children))
+	}
+	script := doc.Children[0]
+	if script.Tag != "script" {
+		t.Fatalf("first = %q", script.Tag)
+	}
+	if !strings.Contains(script.InnerText(), "a < b") {
+		t.Errorf("script text = %q", script.InnerText())
+	}
+	if doc.Children[1].ID() != "after" {
+		t.Error("element after script lost")
+	}
+}
+
+func TestParseCommentsAndDoctype(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html><!-- hidden <div> --><p>text</p>`)
+	els := doc.Elements()
+	if len(els) != 1 || els[0].Tag != "p" {
+		t.Fatalf("elements = %v", els)
+	}
+}
+
+func TestParseUnquotedAttrs(t *testing.T) {
+	doc := Parse(`<div id=main class=big data-n=3></div>`)
+	n := doc.Elements()[0]
+	if n.ID() != "main" || !n.HasClass("big") {
+		t.Errorf("attrs = %v", n.Attrs)
+	}
+	if v, _ := n.Attr("data-n"); v != "3" {
+		t.Errorf("data-n = %q", v)
+	}
+}
+
+func TestParseStrayCloseTag(t *testing.T) {
+	doc := Parse(`</div><p>ok</p>`)
+	els := doc.Elements()
+	if len(els) != 1 || els[0].Tag != "p" {
+		t.Fatalf("stray close tag mishandled: %v", els)
+	}
+}
+
+func TestParseMisnestedClose(t *testing.T) {
+	doc := Parse(`<div><span>x</div><p>y</p>`)
+	// Closing </div> should pop past the unclosed span; p is a sibling
+	// of div, not a descendant.
+	var p *Node
+	doc.Walk(func(n *Node) bool {
+		if n.Tag == "p" {
+			p = n
+		}
+		return true
+	})
+	if p == nil || p.Parent.Tag != "#document" {
+		t.Fatalf("misnested close mishandled; p parent = %v", p.Parent)
+	}
+}
+
+func TestExtractResources(t *testing.T) {
+	page := `<html><head>
+		<link rel="stylesheet" href="/style.css">
+		<script src="//partner.googleadservices.com/gampad/google_service.js"></script>
+	</head><body>
+		<img src="http://static.adzerk.net/ads/banner.png">
+		<iframe src="ads/frame.html"></iframe>
+		<object data="http://flash.example/ad.swf"></object>
+		<div data-xhr="http://stats.g.doubleclick.net/r/collect"></div>
+	</body></html>`
+	res := ExtractResources(Parse(page), "http://www.reddit.com/r/all/index.html")
+	want := []struct {
+		url string
+		t   filter.ContentType
+	}{
+		{"http://www.reddit.com/style.css", filter.TypeStylesheet},
+		{"http://partner.googleadservices.com/gampad/google_service.js", filter.TypeScript},
+		{"http://static.adzerk.net/ads/banner.png", filter.TypeImage},
+		{"http://www.reddit.com/r/all/ads/frame.html", filter.TypeSubdocument},
+		{"http://flash.example/ad.swf", filter.TypeObject},
+		{"http://stats.g.doubleclick.net/r/collect", filter.TypeXMLHTTPRequest},
+	}
+	if len(res) != len(want) {
+		t.Fatalf("resources = %d, want %d: %+v", len(res), len(want), res)
+	}
+	for i, w := range want {
+		if res[i].URL != w.url || res[i].Type != w.t {
+			t.Errorf("resource %d = %q %v, want %q %v", i, res[i].URL, res[i].Type, w.url, w.t)
+		}
+	}
+}
+
+func TestResolveURL(t *testing.T) {
+	tests := []struct{ base, ref, want string }{
+		{"http://a.com/x/y.html", "http://b.com/z", "http://b.com/z"},
+		{"https://a.com/x/y.html", "//c.com/z", "https://c.com/z"},
+		{"http://a.com/x/y.html", "/root.js", "http://a.com/root.js"},
+		{"http://a.com/x/y.html", "rel.js", "http://a.com/x/rel.js"},
+		{"http://a.com", "rel.js", "http://a.com/rel.js"},
+		{"http://a.com/x/y.html", "", "http://a.com/x/y.html"},
+	}
+	for _, tt := range tests {
+		if got := ResolveURL(tt.base, tt.ref); got != tt.want {
+			t.Errorf("ResolveURL(%q, %q) = %q, want %q", tt.base, tt.ref, got, tt.want)
+		}
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	doc := Parse(`<div><p>a</p><p>b</p></div>`)
+	count := 0
+	doc.Walk(func(n *Node) bool {
+		if n.Tag == "p" {
+			count++
+			return false
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("walk visited %d p nodes after stop, want 1", count)
+	}
+}
+
+// Fuzz-ish property: Parse never panics and produces a tree where every
+// child's Parent pointer is correct.
+func TestParseParentPointers(t *testing.T) {
+	inputs := []string{
+		redditSnippet,
+		"<a><b><c></c></b></a>",
+		"<<>><div <<</div>",
+		"<p>unclosed",
+		strings.Repeat("<div>", 50) + "deep" + strings.Repeat("</div>", 50),
+		"<script>never closed",
+		`<div a="1" a="2">dup attr</div>`,
+	}
+	for _, in := range inputs {
+		doc := Parse(in)
+		doc.Walk(func(n *Node) bool {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					t.Errorf("input %q: broken parent pointer at %q", in, c.Tag)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestParseRawTextNonASCIICase(t *testing.T) {
+	// Regression (found by fuzzing): strings.ToLower shifts byte offsets
+	// for characters like U+0130, which misaligned the raw-text close-tag
+	// search and panicked the parser.
+	inputs := []string{
+		"<script>İİİİ</script><p>ok</p>",
+		"<SCRIPT>İ</SCRIPT>",
+		"<style>İ never closed",
+		"<title>İİ</TITLE><div id=\"after\"></div>",
+	}
+	for _, in := range inputs {
+		doc := Parse(in) // must not panic
+		if doc == nil {
+			t.Fatalf("nil doc for %q", in)
+		}
+	}
+	doc := Parse("<script>İ</script><p>ok</p>")
+	var p *Node
+	doc.Walk(func(n *Node) bool {
+		if n.Tag == "p" {
+			p = n
+		}
+		return true
+	})
+	if p == nil {
+		t.Fatal("element after non-ASCII raw text lost")
+	}
+}

@@ -1,0 +1,256 @@
+package mturk
+
+import (
+	"math"
+
+	"acceptableads/internal/stats"
+	"acceptableads/internal/xrand"
+)
+
+// Qualification thresholds from §6.
+const (
+	MinApprovedHITs = 5000
+	MinApprovalRate = 0.98
+	// Respondents is the paper's qualified-pool size.
+	Respondents = 305
+	// PaymentUSD is what each worker was paid.
+	PaymentUSD = 1.0
+	// Questions is the survey length (§6: "the 72 question survey").
+	Questions = 72
+)
+
+// Browser is the respondent's reported browser (§6 demographics).
+type Browser uint8
+
+const (
+	Chrome Browser = iota
+	Firefox
+	Safari
+	Opera
+	InternetExplorer
+	numBrowsers
+)
+
+// String names the browser.
+func (b Browser) String() string {
+	return [...]string{"Chrome", "Firefox", "Safari", "Opera", "Internet Explorer"}[b]
+}
+
+// browserShares are §6's reported usage: 61/28/9/1/1.
+var browserShares = []float64{61, 28, 9, 1, 1}
+
+// Worker is one Mechanical Turk account.
+type Worker struct {
+	ID           int
+	ApprovedHITs int
+	ApprovalRate float64
+	Browser      Browser
+	UsedAdblock  bool
+}
+
+// Qualified applies the §6 worker filter.
+func (w Worker) Qualified() bool {
+	return w.ApprovedHITs >= MinApprovedHITs && w.ApprovalRate >= MinApprovalRate
+}
+
+// RecruitPool generates MTurk workers until n qualify, returning exactly
+// the qualified n (the paper's 305) plus the number screened.
+func RecruitPool(seed uint64, n int) (qualified []Worker, screened int) {
+	rng := xrand.New(seed ^ 0x70b)
+	for len(qualified) < n {
+		screened++
+		w := Worker{
+			ID:           screened,
+			ApprovedHITs: int(rng.Uint64() % 20000),
+			ApprovalRate: 0.90 + rng.Float64()*0.10,
+			Browser:      Browser(xrand.PickWeighted(rng.Float64(), browserShares)),
+			UsedAdblock:  rng.Float64() < 0.50,
+		}
+		if w.Qualified() {
+			qualified = append(qualified, w)
+		}
+	}
+	return qualified, screened
+}
+
+// respond draws one Likert answer for (worker, ad, statement): a
+// discretized normal whose location is chosen so the *expected* response
+// equals the ad's calibrated target mean. The bounded five-point scale
+// shrinks raw means toward zero, so the location is the inverse image of
+// the target under the discretized-mean function.
+const sigma = 1.05
+
+// likertWeights builds the five-level distribution around location t.
+func likertWeights(t float64) (weights [5]float64, total float64) {
+	for l := -2; l <= 2; l++ {
+		d := float64(l) - t
+		weights[l+2] = math.Exp(-d * d / (2 * sigma * sigma))
+		total += weights[l+2]
+	}
+	return weights, total
+}
+
+// discretizedMean is the expected Likert value at location t.
+func discretizedMean(t float64) float64 {
+	w, total := likertWeights(t)
+	sum := 0.0
+	for l := 0; l < 5; l++ {
+		sum += float64(l-2) * w[l]
+	}
+	return sum / total
+}
+
+// invertMean finds the location whose discretized mean equals the desired
+// value (bisection; discretizedMean is strictly increasing).
+func invertMean(desired float64) float64 {
+	lo, hi := -6.0, 6.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if discretizedMean(mid) < desired {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func respond(seed uint64, w Worker, adID string, s Statement, target float64) stats.Likert {
+	key := "resp:" + adID + ":" + itoa(int(s)) + ":" + itoa(w.ID)
+	u := xrand.Uniform(seed, key)
+	weights, total := likertWeights(invertMean(target))
+	acc := 0.0
+	for l := 0; l < 5; l++ {
+		acc += weights[l] / total
+		if u < acc {
+			return stats.Likert(l - 2)
+		}
+	}
+	return stats.StronglyAgree
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// AdResult aggregates one ad's responses.
+type AdResult struct {
+	Ad Ad
+	// Dist holds the response distribution per statement.
+	Dist [3]stats.LikertDist
+}
+
+// Mean returns the ad's mean response for a statement.
+func (r *AdResult) Mean(s Statement) float64 { return r.Dist[int(s)].Mean() }
+
+// Result is the full survey outcome.
+type Result struct {
+	Workers  []Worker
+	Screened int
+	Ads      []AdResult
+}
+
+// Run executes the survey: every qualified worker rates every ad on every
+// statement. Deterministic in seed.
+func Run(seed uint64) *Result {
+	workers, screened := RecruitPool(seed, Respondents)
+	ads := Ads()
+	res := &Result{Workers: workers, Screened: screened}
+	for _, ad := range ads {
+		ar := AdResult{Ad: ad}
+		for s := Statement(0); s < numStatements; s++ {
+			for _, w := range workers {
+				ar.Dist[int(s)].Add(respond(seed, w, ad.ID, s, ad.Target(s)))
+			}
+		}
+		res.Ads = append(res.Ads, ar)
+	}
+	return res
+}
+
+// CategorySummary is one block of Figure 9(d): the mean of per-ad means
+// and the variance of those means, per statement.
+type CategorySummary struct {
+	Category Category
+	Mean     [3]float64
+	Var      [3]float64
+	NumAds   int
+}
+
+// Fig9dSummary computes the measured Figure 9(d) table.
+func (r *Result) Fig9dSummary() []CategorySummary {
+	var out []CategorySummary
+	for cat := Category(0); cat < numCategories; cat++ {
+		var perStmt [3][]float64
+		n := 0
+		for _, ar := range r.Ads {
+			if ar.Ad.Category != cat {
+				continue
+			}
+			n++
+			for s := 0; s < int(numStatements); s++ {
+				perStmt[s] = append(perStmt[s], ar.Dist[s].Mean())
+			}
+		}
+		cs := CategorySummary{Category: cat, NumAds: n}
+		for s := 0; s < int(numStatements); s++ {
+			cs.Mean[s] = stats.Mean(perStmt[s])
+			cs.Var[s] = stats.Variance(perStmt[s])
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// AdByID finds an ad's result.
+func (r *Result) AdByID(id string) *AdResult {
+	for i := range r.Ads {
+		if r.Ads[i].Ad.ID == id {
+			return &r.Ads[i]
+		}
+	}
+	return nil
+}
+
+// AdblockShare returns the fraction of respondents who had used ad
+// blocking software (§6: 50%).
+func (r *Result) AdblockShare() float64 {
+	n := 0
+	for _, w := range r.Workers {
+		if w.UsedAdblock {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Workers))
+}
+
+// BrowserShares returns the respondent browser mix.
+func (r *Result) BrowserShares() map[Browser]float64 {
+	counts := map[Browser]int{}
+	for _, w := range r.Workers {
+		counts[w.Browser]++
+	}
+	out := map[Browser]float64{}
+	for b, c := range counts {
+		out[b] = float64(c) / float64(len(r.Workers))
+	}
+	return out
+}

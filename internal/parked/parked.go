@@ -1,0 +1,236 @@
+// Package parked reproduces the parked-domain survey of §4.2.3 / Table 3:
+// it stands up every suspected parked domain on the in-process web server
+// with its parking service's real behaviors — Sedo-style plain sitekey
+// pages, ParkingCrew's 403-for-curl countermeasure, Uniregistry's
+// cookie-then-redirect flow — then probes each candidate with the
+// instrumented browser and counts the domains presenting a valid sitekey
+// signature.
+package parked
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"acceptableads/internal/browser"
+	"acceptableads/internal/dnszone"
+	"acceptableads/internal/histgen"
+	"acceptableads/internal/sitekey"
+	"acceptableads/internal/webserver"
+)
+
+// Service is one parking operator.
+type Service struct {
+	Name        string
+	Key         *sitekey.PrivateKey
+	NameServers []string
+	// UA403 rejects short/curl-ish user agents (ParkingCrew).
+	UA403 bool
+	// CookieRedirect serves a cookie-setting redirect before the ad page
+	// (Uniregistry).
+	CookieRedirect bool
+	// FullCount is the unscaled Table 3 figure.
+	FullCount int
+	// WhitelistedSince / Removed mirror Table 3's status columns.
+	WhitelistedSince string
+	Removed          bool
+}
+
+// ServicesFromHistory instantiates the five Table 3 operators with the
+// sitekeys the synthesized whitelist history minted.
+func ServicesFromHistory(h *histgen.History) []Service {
+	var out []Service
+	for _, svc := range histgen.SitekeyServices {
+		out = append(out, Service{
+			Name:             svc.Name,
+			Key:              h.Keys[svc.Name],
+			NameServers:      svc.NameServers,
+			UA403:            svc.Name == "ParkingCrew",
+			CookieRedirect:   svc.Name == "Uniregistry",
+			FullCount:        svc.ComDomains,
+			WhitelistedSince: svc.Whitelisted.Format("2006-01-02"),
+			Removed:          svc.Removed,
+		})
+	}
+	return out
+}
+
+// Handler serves one parked domain for a service.
+func Handler(svc Service, domain string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if svc.UA403 {
+			ua := r.Header.Get("User-Agent")
+			if ua == "" || len(ua) < 25 || strings.HasPrefix(ua, "curl/") || strings.HasPrefix(ua, "Wget") {
+				http.Error(w, "forbidden", http.StatusForbidden)
+				return
+			}
+		}
+		if svc.CookieRedirect {
+			if c, err := r.Cookie("park_session"); err != nil || c.Value == "" {
+				http.SetCookie(w, &http.Cookie{Name: "park_session", Value: "1", Path: "/"})
+				http.Redirect(w, r, "/lander", http.StatusFound)
+				return
+			}
+		}
+		sig, err := svc.Key.Sign(r.URL.RequestURI(), domain, r.Header.Get("User-Agent"))
+		if err != nil {
+			http.Error(w, "signing failure", http.StatusInternalServerError)
+			return
+		}
+		header := sitekey.Header(svc.Key.PublicBase64(), sig)
+		w.Header().Set("X-Adblock-key", header)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<html data-adblockkey=%q>
+<head><title>%s is for sale</title></head>
+<body>
+<h1>%s</h1>
+<ul class="related-links">
+<li><a href="/click?kw=dating">Dating services</a></li>
+<li><a href="/click?kw=celebrities">Photos of celebrities</a></li>
+<li><a href="/click?kw=insurance">Cheap insurance</a></li>
+</ul>
+<p><a href="/buy">Buy this domain</a> — parked by %s</p>
+</body></html>
+`, header, domain, domain, svc.Name)
+	})
+}
+
+// ScanConfig parameterizes the Table 3 reproduction.
+type ScanConfig struct {
+	Seed uint64
+	// Scale divides Table 3's counts (2,676,165 domains at scale 1);
+	// the default 1000 keeps the scan laptop-sized while preserving the
+	// ratios.
+	Scale    int
+	Services []Service
+}
+
+// ServiceCount is one Table 3 row.
+type ServiceCount struct {
+	Service          string
+	WhitelistedSince string
+	Removed          bool
+	// Verified is the number of candidates that presented a valid
+	// sitekey signature at the scan's scale.
+	Verified int
+	// Extrapolated is Verified×Scale, comparable to Table 3.
+	Extrapolated int
+	// FullCount is the paper's figure.
+	FullCount int
+}
+
+// ScanResult is the Table 3 reproduction.
+type ScanResult struct {
+	Scale    int
+	Rows     []ServiceCount
+	Total    int // verified at scale
+	FullSum  int // extrapolated total
+	PaperSum int // Table 3's 2,676,165
+}
+
+// Scan builds the scaled .com zone, stands the parked domains up on a live
+// server, attributes candidates by name server, probes each with the
+// browser, and tallies verified sitekey presenters per service.
+func Scan(cfg ScanConfig) (*ScanResult, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1000
+	}
+	plan := make([]dnszone.ServiceDomains, 0, len(cfg.Services))
+	nsToService := map[string]string{}
+	for _, svc := range cfg.Services {
+		plan = append(plan, dnszone.ServiceDomains{
+			Service:     svc.Name,
+			NameServers: svc.NameServers,
+			Count:       dnszone.ScaledCount(svc.FullCount, cfg.Scale),
+			FullCount:   svc.FullCount,
+		})
+		for _, ns := range svc.NameServers {
+			nsToService[ns] = svc.Name
+		}
+	}
+	zone := dnszone.GenerateCom(cfg.Seed, plan)
+
+	srv := webserver.New(nil)
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	byService := map[string]Service{}
+	for _, svc := range cfg.Services {
+		byService[svc.Name] = svc
+	}
+	candidates := dnszone.CandidatesByNS(zone, nsToService)
+	for svcName, domains := range candidates {
+		svc := byService[svcName]
+		for _, d := range domains {
+			srv.Handle(d, Handler(svc, d))
+		}
+	}
+
+	b, err := browser.New(srv.Client(), nil, "")
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ScanResult{Scale: cfg.Scale, PaperSum: histgen.TotalParkedDomains}
+	names := make([]string, 0, len(candidates))
+	for name := range candidates {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return byService[names[i]].WhitelistedSince < byService[names[j]].WhitelistedSince
+	})
+	for _, name := range names {
+		svc := byService[name]
+		row := ServiceCount{
+			Service:          name,
+			WhitelistedSince: svc.WhitelistedSince,
+			Removed:          svc.Removed,
+			FullCount:        svc.FullCount,
+		}
+		for _, domain := range candidates[name] {
+			ok, err := ProbeSitekey(b, domain)
+			if err != nil {
+				return nil, fmt.Errorf("parked: probing %s: %w", domain, err)
+			}
+			if ok {
+				row.Verified++
+			}
+		}
+		row.Extrapolated = row.Verified * cfg.Scale
+		res.Rows = append(res.Rows, row)
+		res.Total += row.Verified
+		res.FullSum += row.Extrapolated
+	}
+	return res, nil
+}
+
+// ProbeSitekey visits a domain and reports whether it presented a valid
+// sitekey signature (via header or the data-adblockkey attribute), the
+// §4.2.3 recording criterion.
+func ProbeSitekey(b *browser.Browser, domain string) (bool, error) {
+	resp, body, err := b.Get("http://" + domain + "/")
+	if err != nil {
+		return false, err
+	}
+	host := domain
+	uri := resp.Request.URL.RequestURI()
+	if header := resp.Header.Get("X-Adblock-key"); header != "" {
+		if _, err := sitekey.VerifyHeader(header, uri, host, b.UserAgent); err == nil {
+			return true, nil
+		}
+	}
+	// Fall back to the in-page attribute.
+	const marker = `data-adblockkey="`
+	if i := strings.Index(string(body), marker); i >= 0 {
+		rest := string(body)[i+len(marker):]
+		if j := strings.IndexByte(rest, '"'); j > 0 {
+			if _, err := sitekey.VerifyHeader(rest[:j], uri, host, b.UserAgent); err == nil {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

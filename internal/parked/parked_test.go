@@ -1,0 +1,149 @@
+package parked
+
+import (
+	"sync"
+	"testing"
+
+	"acceptableads/internal/browser"
+	"acceptableads/internal/histgen"
+	"acceptableads/internal/webserver"
+)
+
+var (
+	histOnce sync.Once
+	hist     *histgen.History
+	histErr  error
+)
+
+func sharedHistory(t *testing.T) *histgen.History {
+	t.Helper()
+	histOnce.Do(func() { hist, histErr = histgen.Generate(histgen.Config{Seed: 42}) })
+	if histErr != nil {
+		t.Fatal(histErr)
+	}
+	return hist
+}
+
+// TestTable3Scan reproduces Table 3 at scale 1000: per-service verified
+// counts whose extrapolation matches the paper's figures to rounding, and
+// the 2,676,165 total within scale error.
+func TestTable3Scan(t *testing.T) {
+	h := sharedHistory(t)
+	res, err := Scan(ScanConfig{Seed: 42, Scale: 1000, Services: ServicesFromHistory(h)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	wantOrder := []string{"Sedo", "ParkingCrew", "RookMedia", "Uniregistry", "Digimedia"}
+	for i, row := range res.Rows {
+		if row.Service != wantOrder[i] {
+			t.Errorf("row %d = %s, want %s (whitelisting order)", i, row.Service, wantOrder[i])
+		}
+		// Every candidate must verify — parked domains exist to show ads.
+		wantVerified := (row.FullCount + 500) / 1000
+		if wantVerified < 1 {
+			wantVerified = 1
+		}
+		if row.Verified != wantVerified {
+			t.Errorf("%s verified = %d, want %d", row.Service, row.Verified, wantVerified)
+		}
+	}
+	// Extrapolated total within 0.1% of the paper's (rounding aside).
+	lo := histgen.TotalParkedDomains * 999 / 1000
+	hi := histgen.TotalParkedDomains*1001/1000 + 2000 // the two min-1 services round up
+	if res.FullSum < lo || res.FullSum > hi {
+		t.Errorf("extrapolated total = %d, want ~%d", res.FullSum, histgen.TotalParkedDomains)
+	}
+	// RookMedia row is flagged removed.
+	for _, row := range res.Rows {
+		if row.Service == "RookMedia" && !row.Removed {
+			t.Error("RookMedia not flagged as removed")
+		}
+		if row.Service == "Sedo" && row.WhitelistedSince != "2011-11-30" {
+			t.Errorf("Sedo whitelisted = %s", row.WhitelistedSince)
+		}
+	}
+}
+
+// TestCountermeasures verifies the scraping countermeasures the paper had
+// to accommodate: ParkingCrew's UA 403 and Uniregistry's cookie redirect.
+func TestCountermeasures(t *testing.T) {
+	h := sharedHistory(t)
+	services := ServicesFromHistory(h)
+	srv := webserver.New(nil)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var crew, uni Service
+	for _, s := range services {
+		switch s.Name {
+		case "ParkingCrew":
+			crew = s
+		case "Uniregistry":
+			uni = s
+		}
+	}
+	srv.Handle("crew-parked.com", Handler(crew, "crew-parked.com"))
+	srv.Handle("uni-parked.com", Handler(uni, "uni-parked.com"))
+
+	// curl gets 403 from ParkingCrew...
+	curl, err := browser.New(srv.Client(), nil, "curl/7.38.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := ProbeSitekey(curl, "crew-parked.com"); err != nil || ok {
+		t.Errorf("curl probe = %v, %v — want no sitekey (403)", ok, err)
+	}
+	// ...while a browser UA verifies.
+	real, err := browser.New(srv.Client(), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := ProbeSitekey(real, "crew-parked.com"); err != nil || !ok {
+		t.Errorf("browser probe = %v, %v — want sitekey", ok, err)
+	}
+	// Uniregistry needs the cookie flow; the browser's jar handles it.
+	if ok, err := ProbeSitekey(real, "uni-parked.com"); err != nil || !ok {
+		t.Errorf("uniregistry probe = %v, %v — want sitekey after redirect", ok, err)
+	}
+}
+
+// TestSignatureBindsDomain checks a parked page's signature does not
+// verify for another host.
+func TestSignatureBindsDomain(t *testing.T) {
+	h := sharedHistory(t)
+	services := ServicesFromHistory(h)
+	srv := webserver.New(nil)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	sedo := services[0]
+	// Handler signs for the domain it was registered with; serving it
+	// under a different virtual host must fail verification.
+	srv.Handle("impostor.com", Handler(sedo, "legit.com"))
+	b, err := browser.New(srv.Client(), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := ProbeSitekey(b, "impostor.com"); err != nil || ok {
+		t.Errorf("cross-domain signature verified: %v, %v", ok, err)
+	}
+}
+
+// TestScanSmallScale runs a fast sanity scan at an aggressive scale.
+func TestScanSmallScale(t *testing.T) {
+	h := sharedHistory(t)
+	res, err := Scan(ScanConfig{Seed: 1, Scale: 100000, Services: ServicesFromHistory(h)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sedo 11, ParkingCrew 4, Rook 1, Uniregistry 12, Digimedia 1.
+	if res.Total != 29 {
+		t.Errorf("total verified = %d, want 29", res.Total)
+	}
+}

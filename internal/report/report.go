@@ -1,0 +1,160 @@
+// Package report renders the reproduction's tables and figures as text:
+// aligned tables for Tables 1–4, horizontal bars for Figures 6 and 8,
+// step-series plots for Figures 3 and 7, and Likert distribution bars for
+// Figure 9. Every cmd/ binary prints through this package so outputs stay
+// uniform.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table writes an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = displayWidth(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && displayWidth(cell) > widths[i] {
+				widths[i] = displayWidth(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = pad(cell, widths[i])
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+// displayWidth approximates terminal width by rune count.
+func displayWidth(s string) int { return len([]rune(s)) }
+
+func pad(s string, width int) string {
+	if d := width - displayWidth(s); d > 0 {
+		return s + strings.Repeat(" ", d)
+	}
+	return s
+}
+
+// Bar renders a proportional bar of at most width cells.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n == 0 && value > 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// SplitBar renders a two-segment bar (e.g. whitelist vs EasyList matches).
+func SplitBar(a, b, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	na := int(a / max * float64(width))
+	nb := int(b / max * float64(width))
+	if a > 0 && na == 0 {
+		na = 1
+	}
+	if b > 0 && nb == 0 {
+		nb = 1
+	}
+	return strings.Repeat("█", na) + strings.Repeat("░", nb)
+}
+
+// Series plots y values over x labels as one bar per row — the text form
+// of the Figure 3 growth curve.
+func Series(w io.Writer, title string, labels []string, values []float64, width int) {
+	fmt.Fprintln(w, title)
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if displayWidth(l) > labelWidth {
+			labelWidth = displayWidth(l)
+		}
+	}
+	for i, v := range values {
+		fmt.Fprintf(w, "%s  %8.0f %s\n", pad(labels[i], labelWidth), v, Bar(v, max, width))
+	}
+}
+
+// ECDFPlot renders quantile rows of an empirical CDF.
+func ECDFPlot(w io.Writer, title string, quantile func(float64) float64) {
+	fmt.Fprintln(w, title)
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00} {
+		fmt.Fprintf(w, "  p%02.0f  %6.1f\n", q*100, quantile(q))
+	}
+}
+
+// Likert renders a five-segment distribution bar: strongly disagree →
+// strongly agree.
+func Likert(shares [5]float64, width int) string {
+	glyphs := [5]string{"▁", "▃", "▅", "▇", "█"}
+	var b strings.Builder
+	for i, share := range shares {
+		n := int(share * float64(width))
+		if share > 0 && n == 0 {
+			n = 1
+		}
+		b.WriteString(strings.Repeat(glyphs[i], n))
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Count formats an integer with thousands separators, Table-1 style.
+func Count(n int) string {
+	s := fmt.Sprint(n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		return "-" + out
+	}
+	return out
+}
+
+// Section prints a titled separator.
+func Section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n\n", title)
+}

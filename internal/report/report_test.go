@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, []string{"Year", "Filters"}, [][]string{
+		{"2011", "25"},
+		{"2013", "5152"},
+	})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "Year") || !strings.Contains(lines[0], "Filters") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Columns align: "Filters" starts at the same offset everywhere.
+	idx := strings.Index(lines[0], "Filters")
+	if strings.Index(lines[3], "5152") != idx {
+		t.Errorf("column misaligned:\n%s", buf.String())
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(50, 100, 10); got != "█████" {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(1, 1000, 10); got != "█" {
+		t.Errorf("tiny value should render one cell, got %q", got)
+	}
+	if got := Bar(0, 100, 10); got != "" {
+		t.Errorf("zero value = %q", got)
+	}
+	if got := Bar(500, 100, 10); len([]rune(got)) != 10 {
+		t.Errorf("overflow not clamped: %q", got)
+	}
+	if Bar(5, 0, 10) != "" {
+		t.Error("zero max should render nothing")
+	}
+}
+
+func TestSplitBar(t *testing.T) {
+	got := SplitBar(30, 70, 100, 10)
+	if strings.Count(got, "█") != 3 || strings.Count(got, "░") != 7 {
+		t.Errorf("SplitBar = %q", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Series(&buf, "Growth", []string{"2011", "2015"}, []float64{9, 5936}, 20)
+	out := buf.String()
+	if !strings.Contains(out, "Growth") || !strings.Contains(out, "5936") {
+		t.Errorf("series output: %q", out)
+	}
+}
+
+func TestECDFPlot(t *testing.T) {
+	var buf bytes.Buffer
+	ECDFPlot(&buf, "matches", func(q float64) float64 { return q * 10 })
+	if !strings.Contains(buf.String(), "p50") {
+		t.Errorf("ecdf output: %q", buf.String())
+	}
+}
+
+func TestLikert(t *testing.T) {
+	got := Likert([5]float64{0.2, 0.2, 0.2, 0.2, 0.2}, 10)
+	if len([]rune(got)) != 10 {
+		t.Errorf("likert width = %d: %q", len([]rune(got)), got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		in   int
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {1000, "1,000"}, {2676165, "2,676,165"},
+		{-5936, "-5,936"},
+	}
+	for _, tt := range cases {
+		if got := Count(tt.in); got != tt.want {
+			t.Errorf("Count(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.587); got != "58.7%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestSection(t *testing.T) {
+	var buf bytes.Buffer
+	Section(&buf, "Table 1")
+	if !strings.Contains(buf.String(), "== Table 1 ==") {
+		t.Errorf("section = %q", buf.String())
+	}
+}

@@ -1,0 +1,100 @@
+package sitekey
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// This file implements the paper's §4.2.3 "Factoring Sitekeys" attack at
+// laptop scale. The authors factored deployed 512-bit sitekeys with
+// CADO-NFS on an 8-machine cluster in about a week per key; the pipeline
+// here is identical — factor the modulus, rebuild the private key, sign an
+// arbitrary site — but uses Pollard's rho, which handles the small
+// demonstration moduli our benchmarks use in milliseconds. DESIGN.md §2
+// records the substitution.
+
+var (
+	big1 = big.NewInt(1)
+	big2 = big.NewInt(2)
+)
+
+// Factor splits a composite n into two nontrivial factors using trial
+// division for small primes followed by Pollard's rho (Brent variant).
+// maxIterations bounds the rho walk; 0 means a generous default. An error
+// reports failure within the budget (or a prime/unit input).
+func Factor(n *big.Int, maxIterations int) (p, q *big.Int, err error) {
+	if n.Cmp(big.NewInt(4)) < 0 {
+		return nil, nil, errors.New("sitekey: nothing to factor")
+	}
+	if n.ProbablyPrime(32) {
+		return nil, nil, errors.New("sitekey: modulus is prime")
+	}
+	// Trial division catches tiny factors fast.
+	for _, sp := range []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		d := big.NewInt(sp)
+		if new(big.Int).Mod(n, d).Sign() == 0 {
+			return d, new(big.Int).Div(n, d), nil
+		}
+	}
+	if maxIterations <= 0 {
+		maxIterations = 1 << 26
+	}
+	// Pollard's rho with Brent's cycle detection; restart with a new
+	// polynomial constant on failure.
+	for c := int64(1); c < 32; c++ {
+		if d := pollardRho(n, c, maxIterations); d != nil {
+			return d, new(big.Int).Div(n, d), nil
+		}
+	}
+	return nil, nil, fmt.Errorf("sitekey: rho failed within %d iterations", maxIterations)
+}
+
+// pollardRho runs one rho walk x -> x^2 + c mod n, returning a nontrivial
+// factor or nil.
+func pollardRho(n *big.Int, c int64, maxIterations int) *big.Int {
+	cc := big.NewInt(c)
+	f := func(x *big.Int) *big.Int {
+		y := new(big.Int).Mul(x, x)
+		y.Add(y, cc)
+		return y.Mod(y, n)
+	}
+	x := big.NewInt(2)
+	y := big.NewInt(2)
+	d := new(big.Int)
+	diff := new(big.Int)
+	for i := 0; i < maxIterations; i++ {
+		x = f(x)
+		y = f(f(y))
+		diff.Sub(x, y)
+		diff.Abs(diff)
+		if diff.Sign() == 0 {
+			return nil // cycle without factor; caller retries with new c
+		}
+		d.GCD(nil, nil, diff, n)
+		if d.Cmp(big1) > 0 && d.Cmp(n) < 0 {
+			return new(big.Int).Set(d)
+		}
+	}
+	return nil
+}
+
+// RecoverPrivateKey rebuilds the full private key from a public key by
+// factoring its modulus — the heart of the exploit: anyone who factors a
+// whitelist sitekey can sign arbitrary domains into the Acceptable Ads
+// program.
+func RecoverPrivateKey(pub *PublicKey, maxIterations int) (*PrivateKey, error) {
+	p, q, err := Factor(pub.N, maxIterations)
+	if err != nil {
+		return nil, err
+	}
+	phi := new(big.Int).Mul(new(big.Int).Sub(p, big1), new(big.Int).Sub(q, big1))
+	d := new(big.Int).ModInverse(big.NewInt(int64(pub.E)), phi)
+	if d == nil {
+		return nil, errors.New("sitekey: e not invertible mod phi(n); not an RSA modulus?")
+	}
+	return &PrivateKey{
+		PublicKey: PublicKey{N: new(big.Int).Set(pub.N), E: pub.E},
+		D:         d, P: p, Q: q,
+	}, nil
+}

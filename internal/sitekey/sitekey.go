@@ -1,0 +1,296 @@
+// Package sitekey implements Adblock Plus's sitekey mechanism (§4.2.3 of
+// the paper): RSA public keys embedded in whitelist filters, DER-encoded
+// and base64-serialized; servers prove ownership by signing the string
+// "URI \x00 host \x00 User-Agent" and returning the signature in the
+// X-Adblock-key response header and the data-adblockkey attribute of the
+// page's root element.
+//
+// RSA is implemented directly over math/big rather than crypto/rsa because
+// the paper's keys are RSA-512 ("RSA-155") and the factoring exploit needs
+// even smaller demonstration keys — sizes modern crypto/rsa refuses on
+// purpose. Signing uses PKCS#1 v1.5 with SHA-1, matching the deployed
+// Adblock Plus implementation of 2015. None of this is, or pretends to be,
+// secure cryptography; reproducing the paper's point requires insecurity.
+package sitekey
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/asn1"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+)
+
+// PublicKey is an RSA public key.
+type PublicKey struct {
+	N *big.Int
+	E int
+}
+
+// PrivateKey is an RSA private key with its factorization, which the
+// exploit path reconstructs from a factored modulus.
+type PrivateKey struct {
+	PublicKey
+	D, P, Q *big.Int
+}
+
+// GenerateKey creates an RSA key with the given modulus size in bits,
+// drawing primes from rng (pass an xrand.RNG for reproducible keys, or
+// crypto/rand.Reader for throwaway ones). The paper's sitekeys are 512-bit;
+// the factoring demo uses 64-bit keys.
+func GenerateKey(rng io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 16 {
+		return nil, errors.New("sitekey: modulus too small to be a key at all")
+	}
+	e := big.NewInt(65537)
+	one := big.NewInt(1)
+	for attempt := 0; attempt < 1000; attempt++ {
+		p, err := genPrime(rng, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("sitekey: generating prime: %w", err)
+		}
+		q, err := genPrime(rng, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("sitekey: generating prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		phi := new(big.Int).Mul(new(big.Int).Sub(p, one), new(big.Int).Sub(q, one))
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			continue // e not invertible mod phi; repick primes
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, E: int(e.Int64())},
+			D:         d, P: p, Q: q,
+		}, nil
+	}
+	return nil, errors.New("sitekey: failed to generate key")
+}
+
+// genPrime draws random candidates of exactly the requested bit length from
+// rng until one passes Miller–Rabin. Unlike crypto/rand.Prime, it consumes
+// the reader deterministically, so a seeded xrand.RNG always yields the
+// same key — a reproducibility requirement for the synthetic datasets.
+func genPrime(rng io.Reader, bits int) (*big.Int, error) {
+	if bits < 8 {
+		return nil, errors.New("sitekey: prime size too small")
+	}
+	nBytes := (bits + 7) / 8
+	buf := make([]byte, nBytes)
+	for attempt := 0; attempt < 100000; attempt++ {
+		if _, err := io.ReadFull(rng, buf); err != nil {
+			return nil, err
+		}
+		p := new(big.Int).SetBytes(buf)
+		// Clamp to exactly `bits` bits with the top two bits set (so
+		// products of two primes reach the full modulus size) and make
+		// the candidate odd.
+		p.SetBit(p, bits-1, 1)
+		p.SetBit(p, bits-2, 1)
+		p.SetBit(p, 0, 1)
+		for i := p.BitLen() - 1; i >= bits; i-- {
+			p.SetBit(p, i, 0)
+		}
+		if p.ProbablyPrime(32) {
+			return p, nil
+		}
+	}
+	return nil, errors.New("sitekey: no prime found")
+}
+
+// ASN.1 structures for the SubjectPublicKeyInfo encoding Adblock Plus
+// filters embed ("MFwwDQYJK..." for 512-bit keys).
+var oidRSAEncryption = asn1.ObjectIdentifier{1, 2, 840, 113549, 1, 1, 1}
+
+type algorithmIdentifier struct {
+	Algorithm  asn1.ObjectIdentifier
+	Parameters asn1.RawValue
+}
+
+type subjectPublicKeyInfo struct {
+	Algorithm algorithmIdentifier
+	PublicKey asn1.BitString
+}
+
+type pkcs1PublicKey struct {
+	N *big.Int
+	E int
+}
+
+// MarshalPublicKey DER-encodes the key as a SubjectPublicKeyInfo.
+func MarshalPublicKey(pub *PublicKey) ([]byte, error) {
+	inner, err := asn1.Marshal(pkcs1PublicKey{N: pub.N, E: pub.E})
+	if err != nil {
+		return nil, fmt.Errorf("sitekey: marshal pkcs1: %w", err)
+	}
+	der, err := asn1.Marshal(subjectPublicKeyInfo{
+		Algorithm: algorithmIdentifier{Algorithm: oidRSAEncryption, Parameters: asn1.NullRawValue},
+		PublicKey: asn1.BitString{Bytes: inner, BitLength: len(inner) * 8},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sitekey: marshal spki: %w", err)
+	}
+	return der, nil
+}
+
+// ParsePublicKey decodes a DER SubjectPublicKeyInfo.
+func ParsePublicKey(der []byte) (*PublicKey, error) {
+	var spki subjectPublicKeyInfo
+	if rest, err := asn1.Unmarshal(der, &spki); err != nil {
+		return nil, fmt.Errorf("sitekey: parse spki: %w", err)
+	} else if len(rest) != 0 {
+		return nil, errors.New("sitekey: trailing data after spki")
+	}
+	if !spki.Algorithm.Algorithm.Equal(oidRSAEncryption) {
+		return nil, errors.New("sitekey: not an RSA key")
+	}
+	var pk pkcs1PublicKey
+	if rest, err := asn1.Unmarshal(spki.PublicKey.Bytes, &pk); err != nil {
+		return nil, fmt.Errorf("sitekey: parse pkcs1: %w", err)
+	} else if len(rest) != 0 {
+		return nil, errors.New("sitekey: trailing data after pkcs1")
+	}
+	if pk.N.Sign() <= 0 || pk.E <= 1 {
+		return nil, errors.New("sitekey: nonsensical key parameters")
+	}
+	return &PublicKey{N: pk.N, E: pk.E}, nil
+}
+
+// PublicBase64 returns the base64 DER form of the public key — the exact
+// string that appears after $sitekey= in whitelist filters.
+func (k *PrivateKey) PublicBase64() string {
+	der, err := MarshalPublicKey(&k.PublicKey)
+	if err != nil {
+		// Marshalling a well-formed key cannot fail; a panic here means
+		// the key was constructed by hand with nil fields.
+		panic(err)
+	}
+	return base64.StdEncoding.EncodeToString(der)
+}
+
+// ParsePublicBase64 decodes the $sitekey= form.
+func ParsePublicBase64(s string) (*PublicKey, error) {
+	der, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("sitekey: base64: %w", err)
+	}
+	return ParsePublicKey(der)
+}
+
+// sha1DigestInfo is the DER prefix of an SHA-1 DigestInfo structure, per
+// PKCS#1 v1.5 (RFC 8017 §9.2 notes).
+var sha1DigestInfo = []byte{
+	0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e,
+	0x03, 0x02, 0x1a, 0x05, 0x00, 0x04, 0x14,
+}
+
+// signData builds the byte string Adblock Plus signs: URI, host and
+// User-Agent joined by NUL bytes.
+func signData(uri, host, userAgent string) []byte {
+	return []byte(uri + "\x00" + host + "\x00" + userAgent)
+}
+
+// emsaPKCS1v15 produces the padded message representative for the modulus
+// size k (in bytes).
+func emsaPKCS1v15(data []byte, k int) ([]byte, error) {
+	h := sha1.Sum(data)
+	tLen := len(sha1DigestInfo) + len(h)
+	if k < tLen+11 {
+		return nil, errors.New("sitekey: modulus too small for SHA-1 signature")
+	}
+	em := make([]byte, k)
+	em[0] = 0x00
+	em[1] = 0x01
+	for i := 2; i < k-tLen-1; i++ {
+		em[i] = 0xff
+	}
+	em[k-tLen-1] = 0x00
+	copy(em[k-tLen:], sha1DigestInfo)
+	copy(em[k-len(h):], h[:])
+	return em, nil
+}
+
+// Sign produces the base64 signature over (uri, host, userAgent) that a
+// participating server returns in X-Adblock-key.
+func (k *PrivateKey) Sign(uri, host, userAgent string) (string, error) {
+	kBytes := (k.N.BitLen() + 7) / 8
+	em, err := emsaPKCS1v15(signData(uri, host, userAgent), kBytes)
+	if err != nil {
+		return "", err
+	}
+	m := new(big.Int).SetBytes(em)
+	if m.Cmp(k.N) >= 0 {
+		return "", errors.New("sitekey: message representative out of range")
+	}
+	s := new(big.Int).Exp(m, k.D, k.N)
+	sig := s.FillBytes(make([]byte, kBytes))
+	return base64.StdEncoding.EncodeToString(sig), nil
+}
+
+// Verify checks a base64 signature against the public key and request
+// parameters, mirroring what Adblock Plus does with the X-Adblock-key
+// header before letting a sitekey filter activate.
+func Verify(pub *PublicKey, sigB64, uri, host, userAgent string) error {
+	sig, err := base64.StdEncoding.DecodeString(sigB64)
+	if err != nil {
+		return fmt.Errorf("sitekey: signature base64: %w", err)
+	}
+	kBytes := (pub.N.BitLen() + 7) / 8
+	if len(sig) != kBytes {
+		return errors.New("sitekey: signature length mismatch")
+	}
+	s := new(big.Int).SetBytes(sig)
+	if s.Cmp(pub.N) >= 0 {
+		return errors.New("sitekey: signature out of range")
+	}
+	m := new(big.Int).Exp(s, big.NewInt(int64(pub.E)), pub.N)
+	em := m.FillBytes(make([]byte, kBytes))
+	want, err := emsaPKCS1v15(signData(uri, host, userAgent), kBytes)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(em, want) {
+		return errors.New("sitekey: signature verification failed")
+	}
+	return nil
+}
+
+// Header composes the X-Adblock-key header value: "<pubkey>_<signature>",
+// both base64.
+func Header(pubB64, sigB64 string) string {
+	return pubB64 + "_" + sigB64
+}
+
+// SplitHeader splits an X-Adblock-key value into public key and signature.
+func SplitHeader(header string) (pubB64, sigB64 string, err error) {
+	i := strings.LastIndexByte(header, '_')
+	if i <= 0 || i == len(header)-1 {
+		return "", "", errors.New("sitekey: malformed X-Adblock-key header")
+	}
+	return header[:i], header[i+1:], nil
+}
+
+// VerifyHeader parses an X-Adblock-key header and verifies its signature,
+// returning the base64 public key on success — the value the engine
+// compares against $sitekey= filter options.
+func VerifyHeader(header, uri, host, userAgent string) (string, error) {
+	pubB64, sigB64, err := SplitHeader(header)
+	if err != nil {
+		return "", err
+	}
+	pub, err := ParsePublicBase64(pubB64)
+	if err != nil {
+		return "", err
+	}
+	if err := Verify(pub, sigB64, uri, host, userAgent); err != nil {
+		return "", err
+	}
+	return pubB64, nil
+}

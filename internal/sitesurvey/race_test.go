@@ -1,0 +1,51 @@
+package sitesurvey
+
+import (
+	"testing"
+
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/filter"
+)
+
+// TestParallelMatchesSerial verifies worker count does not change results:
+// the shared engine is immutable during the crawl and results land by
+// index. Run with -race to exercise the concurrency claims.
+func TestParallelMatchesSerial(t *testing.T) {
+	wl := filter.ParseListString("exceptionrules", `
+@@||stats.g.doubleclick.net^$script,image
+@@||gstatic.com^$third-party
+@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com
+`)
+	el := easylist.Generate(7, 3000)
+	base := Config{Seed: 7, Whitelist: wl, EasyList: el, TopN: 120, StratumSize: 20}
+
+	serialCfg := base
+	serialCfg.Workers = 1
+	serial, err := Run(serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+
+	parallelCfg := base
+	parallelCfg.Workers = 8
+	parallel, err := Run(parallelCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parallel.Close()
+
+	if len(serial.Results) != len(parallel.Results) {
+		t.Fatalf("result sizes differ: %d vs %d", len(serial.Results), len(parallel.Results))
+	}
+	for i := range serial.Results {
+		a, b := serial.Results[i], parallel.Results[i]
+		if a.Host != b.Host || a.WLTotal() != b.WLTotal() || a.ELTotal() != b.ELTotal() {
+			t.Fatalf("site %d differs: %s %d/%d vs %s %d/%d",
+				i, a.Host, a.WLTotal(), a.ELTotal(), b.Host, b.WLTotal(), b.ELTotal())
+		}
+	}
+	if s := serial.Summarize(); s != parallel.Summarize() {
+		t.Errorf("summaries differ: %+v vs %+v", s, parallel.Summarize())
+	}
+}

@@ -1,0 +1,556 @@
+// Package sitesurvey runs the paper's §5 measurement: an instrumented
+// crawl of the Alexa top 5,000 plus 1,000-domain samples of the 5K–50K,
+// 50K–100K and 100K–1M strata, recording every EasyList and Acceptable Ads
+// whitelist filter activation per landing page. Its aggregations feed
+// Figure 6 (per-site matches with and without the whitelist), Figure 7
+// (ECDFs of total and distinct matches), Figure 8 (per-stratum filter
+// frequencies), Table 4 (most common whitelist filters) and the §5.1
+// headline statistics.
+package sitesurvey
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/browser"
+	"acceptableads/internal/domainutil"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/stats"
+	"acceptableads/internal/webgen"
+	"acceptableads/internal/webserver"
+)
+
+// GroupNames label the four sample groups.
+var GroupNames = [4]string{"Top 5K", "5K–50K", "50K–100K", "100K–1M"}
+
+// Config parameterizes a survey run.
+type Config struct {
+	// Seed drives corpus generation and stratum sampling.
+	Seed uint64
+	// Universe is the Alexa ranking; nil builds one from Seed.
+	Universe *alexa.Universe
+	// Whitelist is the Acceptable Ads list the engine enforces
+	// (typically histgen's Rev 988).
+	Whitelist *filter.List
+	// CorpusWhitelist, when non-nil, drives the synthetic web's publisher
+	// pages instead of Whitelist. Surveying an *old* whitelist revision
+	// against the fixed 2015 web sets CorpusWhitelist to Rev 988 and
+	// Whitelist to the historical revision.
+	CorpusWhitelist *filter.List
+	// EasyList is the blocking list.
+	EasyList *filter.List
+	// TopN is the size of the head group (paper: 5,000).
+	TopN int
+	// StratumSize is the sample size per deep stratum (paper: 1,000).
+	StratumSize int
+	// FetchResources makes the browser download allowed resources; off
+	// by default for speed (matching only needs the request URL).
+	FetchResources bool
+	// Workers sets the crawl parallelism; 0 means 8. Results are
+	// identical regardless of worker count — every site is measured
+	// independently and stored by position.
+	Workers int
+}
+
+// SiteResult is the instrumented outcome of one landing-page visit.
+type SiteResult struct {
+	Host     string
+	Rank     int
+	Group    int
+	Category alexa.Category
+	// Explicit marks domains appearing in a whitelist filter definition
+	// (Figure 6's bold labels).
+	Explicit bool
+	// WL counts whitelist filter activations by filter text; EL the
+	// EasyList ones.
+	WL map[string]int
+	EL map[string]int
+}
+
+// WLTotal returns total whitelist matches.
+func (r *SiteResult) WLTotal() int { return total(r.WL) }
+
+// WLDistinct returns the number of distinct whitelist filters matched.
+func (r *SiteResult) WLDistinct() int { return len(r.WL) }
+
+// ELTotal returns total EasyList matches.
+func (r *SiteResult) ELTotal() int { return total(r.EL) }
+
+// AllTotal returns matches from either list.
+func (r *SiteResult) AllTotal() int { return r.WLTotal() + r.ELTotal() }
+
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Survey holds all per-site results plus the infrastructure to re-crawl
+// (Figure 6's EasyList-only pass).
+type Survey struct {
+	Config  Config
+	Results []SiteResult
+
+	corpus *webgen.Corpus
+	srv    *webserver.Server
+}
+
+// Close shuts the survey's web server down.
+func (s *Survey) Close() {
+	if s.srv != nil {
+		s.srv.Close()
+	}
+}
+
+// Run executes the crawl over all four sample groups.
+func Run(cfg Config) (*Survey, error) {
+	if cfg.TopN == 0 {
+		cfg.TopN = 5000
+	}
+	if cfg.StratumSize == 0 {
+		cfg.StratumSize = 1000
+	}
+	u := cfg.Universe
+	if u == nil {
+		u = alexa.NewUniverse(cfg.Seed, 1000000)
+	}
+	cfg.Universe = u
+
+	corpusWL := cfg.CorpusWhitelist
+	if corpusWL == nil {
+		corpusWL = cfg.Whitelist
+	}
+	corpus := webgen.New(cfg.Seed, u, corpusWL)
+	srv := webserver.New(corpus)
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	s := &Survey{Config: cfg, corpus: corpus, srv: srv}
+
+	eng, err := engine.New(
+		engine.NamedList{Name: "easylist", List: cfg.EasyList},
+		engine.NamedList{Name: "exceptionrules", List: cfg.Whitelist},
+	)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	explicit := explicitSet(cfg.Whitelist)
+
+	// Build the work list: head group then the three strata.
+	type job struct {
+		idx   int
+		d     alexa.Domain
+		group int
+	}
+	var jobs []job
+	for _, d := range u.TopN(cfg.TopN) {
+		jobs = append(jobs, job{idx: len(jobs), d: d, group: 0})
+	}
+	strata := []struct{ lo, hi int }{{5000, 50000}, {50000, 100000}, {100000, 1000000}}
+	for gi, st := range strata {
+		for _, d := range u.SampleRange(st.lo, st.hi, cfg.StratumSize, cfg.Seed+uint64(gi)+1) {
+			jobs = append(jobs, job{idx: len(jobs), d: d, group: gi + 1})
+		}
+	}
+
+	// Crawl in parallel: one browser (own cookie jar) per worker over the
+	// shared engine; results land by index, so the outcome is independent
+	// of scheduling.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	s.Results = make([]SiteResult, len(jobs))
+	jobCh := make(chan job)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := browser.New(srv.Client(), eng, "")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			b.FetchResources = cfg.FetchResources
+			for j := range jobCh {
+				v, err := b.Visit("http://" + j.d.Name + "/")
+				if err != nil {
+					errCh <- fmt.Errorf("sitesurvey: %s: %w", j.d.Name, err)
+					return
+				}
+				r := SiteResult{
+					Host: j.d.Name, Rank: j.d.Rank, Group: j.group,
+					Category: j.d.Category, Explicit: explicit[j.d.Name],
+					WL: map[string]int{}, EL: map[string]int{},
+				}
+				for _, a := range v.Activations {
+					switch a.List {
+					case "exceptionrules":
+						r.WL[a.Filter.Raw]++
+					case "easylist":
+						r.EL[a.Filter.Raw]++
+					}
+				}
+				s.Results[j.idx] = r
+			}
+		}()
+	}
+	for _, j := range jobs {
+		select {
+		case err := <-errCh:
+			close(jobCh)
+			wg.Wait()
+			srv.Close()
+			return nil, err
+		case jobCh <- j:
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return nil, err
+	default:
+	}
+	return s, nil
+}
+
+// explicitSet collects the whitelist's explicitly listed FQDNs.
+func explicitSet(wl *filter.List) map[string]bool {
+	set := make(map[string]bool)
+	if wl == nil {
+		return set
+	}
+	for _, d := range filter.ExplicitDomains(wl) {
+		set[d] = true
+		// A site counts as explicit when any of its hosts is listed
+		// (search.comcast.net bolds comcast.net's row).
+		set[domainutil.Registrable(d)] = true
+	}
+	return set
+}
+
+// Group returns the results of one sample group.
+func (s *Survey) Group(i int) []SiteResult {
+	var out []SiteResult
+	for _, r := range s.Results {
+		if r.Group == i {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---- §5.1 headline statistics -------------------------------------------
+
+// Summary reproduces §5.1's aggregate numbers for the top-5K group.
+type Summary struct {
+	Sites          int
+	ActiveSites    int     // ≥1 match from either list (paper: 3,956)
+	WhitelistSites int     // ≥1 whitelist match (paper: 2,934)
+	WhitelistRate  float64 // WhitelistSites / Sites (paper: 59%)
+	MeanDistinctWL float64 // among whitelist sites (paper: 2.6)
+	// ShareAtLeast12WL is the share of whitelist-activating sites with at
+	// least 12 (non-distinct) exception matches (paper: 5%).
+	ShareAtLeast12WL float64
+	MaxSite          string // the toyota.com of the run
+	MaxTotal         int    // 83
+	MaxDistinct      int    // 8
+}
+
+// Summarize computes the §5.1 numbers over the head group.
+func (s *Survey) Summarize() Summary {
+	sum := Summary{}
+	hist := stats.NewIntHistogram()
+	var distinctSum int
+	for _, r := range s.Group(0) {
+		sum.Sites++
+		if r.AllTotal() > 0 {
+			sum.ActiveSites++
+		}
+		if r.WLTotal() > 0 {
+			sum.WhitelistSites++
+			distinctSum += r.WLDistinct()
+			hist.Add(r.WLTotal())
+			if r.WLTotal() > sum.MaxTotal {
+				sum.MaxTotal = r.WLTotal()
+				sum.MaxDistinct = r.WLDistinct()
+				sum.MaxSite = r.Host
+			}
+		}
+	}
+	if sum.Sites > 0 {
+		sum.WhitelistRate = float64(sum.WhitelistSites) / float64(sum.Sites)
+	}
+	if sum.WhitelistSites > 0 {
+		sum.MeanDistinctWL = float64(distinctSum) / float64(sum.WhitelistSites)
+	}
+	sum.ShareAtLeast12WL = hist.FractionAtLeast(12)
+	return sum
+}
+
+// ---- Table 4 --------------------------------------------------------------
+
+// FilterCount is one row of Table 4: a whitelist filter and the number of
+// distinct surveyed domains that activated it.
+type FilterCount struct {
+	Filter  string
+	Domains int
+}
+
+// TopWhitelistFilters returns the n most common whitelist filters in the
+// head group, by distinct activating domains.
+func (s *Survey) TopWhitelistFilters(n int) []FilterCount {
+	counts := map[string]int{}
+	for _, r := range s.Group(0) {
+		for f := range r.WL {
+			counts[f]++
+		}
+	}
+	out := make([]FilterCount, 0, len(counts))
+	for f, c := range counts {
+		out = append(out, FilterCount{Filter: f, Domains: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Domains != out[j].Domains {
+			return out[i].Domains > out[j].Domains
+		}
+		return out[i].Filter < out[j].Filter
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ---- Figure 7 --------------------------------------------------------------
+
+// ECDFs returns the total and distinct whitelist-match distributions over
+// whitelist-activating head-group sites.
+func (s *Survey) ECDFs() (totalECDF, distinctECDF *stats.ECDF) {
+	var totals, distincts []float64
+	for _, r := range s.Group(0) {
+		if r.WLTotal() == 0 {
+			continue
+		}
+		totals = append(totals, float64(r.WLTotal()))
+		distincts = append(distincts, float64(r.WLDistinct()))
+	}
+	return stats.NewECDF(totals), stats.NewECDF(distincts)
+}
+
+// ---- Figure 8 --------------------------------------------------------------
+
+// StrataMatrix gives, for each of the top filters (by overall activation
+// frequency), the fraction of each group's domains that activated it.
+type StrataMatrix struct {
+	Filters []string
+	// Freq[f][g] is the share of group g's sites activating Filters[f].
+	Freq [][4]float64
+	// Whitelist marks which rows are whitelist (vs EasyList) filters.
+	Whitelist []bool
+}
+
+// StrataFrequencies computes Figure 8's matrix over the top n filters.
+func (s *Survey) StrataFrequencies(n int) StrataMatrix {
+	// Rank filters by total activating sites across all groups.
+	siteCounts := map[string]int{}
+	isWL := map[string]bool{}
+	for _, r := range s.Results {
+		for f := range r.WL {
+			siteCounts[f]++
+			isWL[f] = true
+		}
+		for f := range r.EL {
+			siteCounts[f]++
+		}
+	}
+	type fc struct {
+		f string
+		c int
+	}
+	ranked := make([]fc, 0, len(siteCounts))
+	for f, c := range siteCounts {
+		ranked = append(ranked, fc{f, c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].c != ranked[j].c {
+			return ranked[i].c > ranked[j].c
+		}
+		return ranked[i].f < ranked[j].f
+	})
+	if len(ranked) > n {
+		ranked = ranked[:n]
+	}
+
+	groupSizes := [4]int{}
+	for _, r := range s.Results {
+		groupSizes[r.Group]++
+	}
+	m := StrataMatrix{}
+	for _, rf := range ranked {
+		var freq [4]float64
+		var counts [4]int
+		for _, r := range s.Results {
+			if _, ok := r.WL[rf.f]; ok {
+				counts[r.Group]++
+			} else if _, ok := r.EL[rf.f]; ok {
+				counts[r.Group]++
+			}
+		}
+		for g := 0; g < 4; g++ {
+			if groupSizes[g] > 0 {
+				freq[g] = float64(counts[g]) / float64(groupSizes[g])
+			}
+		}
+		m.Filters = append(m.Filters, rf.f)
+		m.Freq = append(m.Freq, freq)
+		m.Whitelist = append(m.Whitelist, isWL[rf.f])
+	}
+	return m
+}
+
+// ---- Figure 8's category skew ----------------------------------------------
+
+// CategoryRate pairs a site category with its whitelist-trigger rate.
+type CategoryRate struct {
+	Category alexa.Category
+	Sites    int
+	// WhitelistRate is the share of the category's head-group sites with
+	// at least one whitelist activation.
+	WhitelistRate float64
+	// MeanWLMatches is the mean total whitelist matches per site.
+	MeanWLMatches float64
+}
+
+// CategorySkew computes per-category whitelist activity over the head
+// group — the paper's "whitelist filters are skewed more towards shopping
+// websites".
+func (s *Survey) CategorySkew() []CategoryRate {
+	type agg struct {
+		sites, withWL, matches int
+	}
+	byCat := map[alexa.Category]*agg{}
+	for _, r := range s.Group(0) {
+		a := byCat[r.Category]
+		if a == nil {
+			a = &agg{}
+			byCat[r.Category] = a
+		}
+		a.sites++
+		if r.WLTotal() > 0 {
+			a.withWL++
+		}
+		a.matches += r.WLTotal()
+	}
+	var out []CategoryRate
+	for _, cat := range alexa.Categories() {
+		a := byCat[cat]
+		if a == nil || a.sites == 0 {
+			continue
+		}
+		out = append(out, CategoryRate{
+			Category:      cat,
+			Sites:         a.sites,
+			WhitelistRate: float64(a.withWL) / float64(a.sites),
+			MeanWLMatches: float64(a.matches) / float64(a.sites),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WhitelistRate > out[j].WhitelistRate })
+	return out
+}
+
+// ---- Figure 6 --------------------------------------------------------------
+
+// Fig6Row is one bar pair of Figure 6: a top site's matches with the
+// whitelist enabled (split by source list) and with EasyList alone.
+type Fig6Row struct {
+	Host     string
+	Rank     int
+	Explicit bool
+	// With whitelist enabled:
+	WLMatches int
+	ELMatches int
+	// EasyList-only configuration:
+	ELOnlyMatches int
+	// BothMatches counts matches from filters firing in BOTH
+	// configurations — Figure 6's black segments.
+	BothMatches int
+}
+
+// TopSites recomputes the paper's Figure 6: the n head-group sites with
+// the most matches (whitelist enabled), re-crawled with EasyList alone.
+// sina.com.cn is elided, as in the paper. The re-crawl builds a second
+// engine without the whitelist.
+func (s *Survey) TopSites(n int) ([]Fig6Row, error) {
+	head := s.Group(0)
+	sort.Slice(head, func(i, j int) bool {
+		if head[i].AllTotal() != head[j].AllTotal() {
+			return head[i].AllTotal() > head[j].AllTotal()
+		}
+		return head[i].Rank < head[j].Rank
+	})
+
+	elOnly, err := engine.New(engine.NamedList{Name: "easylist", List: s.Config.EasyList})
+	if err != nil {
+		return nil, err
+	}
+	b, err := browser.New(s.srv.Client(), elOnly, "")
+	if err != nil {
+		return nil, err
+	}
+	b.FetchResources = false
+
+	var rows []Fig6Row
+	for _, r := range head {
+		if len(rows) == n {
+			break
+		}
+		if r.AllTotal() == 0 {
+			break
+		}
+		if r.Host == "sina.com.cn" {
+			continue // elided for ease of presentation, as in the paper
+		}
+		row := Fig6Row{
+			Host: r.Host, Rank: r.Rank, Explicit: r.Explicit,
+			WLMatches: r.WLTotal(), ELMatches: r.ELTotal(),
+		}
+		v, err := b.Visit("http://" + r.Host + "/")
+		if err != nil {
+			return nil, err
+		}
+		elOnly := map[string]int{}
+		for _, a := range v.Activations {
+			if a.List == "easylist" {
+				row.ELOnlyMatches++
+				elOnly[a.Filter.Raw]++
+			}
+		}
+		// Figure 6's black segments: matches from filters firing in both
+		// configurations.
+		for f, n := range r.EL {
+			if m, ok := elOnly[f]; ok {
+				if m < n {
+					row.BothMatches += m
+				} else {
+					row.BothMatches += n
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

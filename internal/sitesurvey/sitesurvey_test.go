@@ -1,0 +1,297 @@
+package sitesurvey
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"acceptableads/internal/adnet"
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/histgen"
+)
+
+// The full 8,000-site crawl takes a few seconds; share one run.
+var (
+	once    sync.Once
+	survey  *Survey
+	runErr  error
+	history *histgen.History
+)
+
+func sharedSurvey(t *testing.T) *Survey {
+	t.Helper()
+	once.Do(func() {
+		history, runErr = histgen.Generate(histgen.Config{Seed: 42})
+		if runErr != nil {
+			return
+		}
+		survey, runErr = Run(Config{
+			Seed:      42,
+			Universe:  history.Universe,
+			Whitelist: history.FinalList(),
+			EasyList:  easylist.Generate(42, easylist.DefaultSize),
+		})
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return survey
+}
+
+func TestSurveySizes(t *testing.T) {
+	s := sharedSurvey(t)
+	if got := len(s.Group(0)); got != 5000 {
+		t.Errorf("head group = %d, want 5000", got)
+	}
+	for g := 1; g <= 3; g++ {
+		if got := len(s.Group(g)); got != 1000 {
+			t.Errorf("group %d = %d, want 1000", g, got)
+		}
+	}
+}
+
+// TestSummary51 reproduces §5.1's headline numbers within calibration
+// tolerance: 3,956/5,000 active, 2,934 (59%) whitelist-triggering, 2.6
+// mean distinct filters, 5% with ≥12 matches, toyota.com peaking at 83
+// total over 8 distinct.
+func TestSummary51(t *testing.T) {
+	s := sharedSurvey(t)
+	sum := s.Summarize()
+	t.Logf("summary: %+v", sum)
+	if sum.ActiveSites < 3700 || sum.ActiveSites > 4200 {
+		t.Errorf("active sites = %d, want ~3956", sum.ActiveSites)
+	}
+	if sum.WhitelistRate < 0.54 || sum.WhitelistRate > 0.64 {
+		t.Errorf("whitelist rate = %.3f, want ~0.59", sum.WhitelistRate)
+	}
+	if sum.MeanDistinctWL < 2.2 || sum.MeanDistinctWL > 3.0 {
+		t.Errorf("mean distinct = %.2f, want ~2.6", sum.MeanDistinctWL)
+	}
+	if sum.ShareAtLeast12WL < 0.02 || sum.ShareAtLeast12WL > 0.10 {
+		t.Errorf("share >=12 = %.3f, want ~0.05", sum.ShareAtLeast12WL)
+	}
+	if sum.MaxSite != "toyota.com" || sum.MaxTotal != 83 || sum.MaxDistinct != 8 {
+		t.Errorf("max site = %s %d/%d, want toyota.com 83/8",
+			sum.MaxSite, sum.MaxTotal, sum.MaxDistinct)
+	}
+}
+
+// TestTable4 checks the most-common-filter ranking: the paper's top three
+// (stats.g.doubleclick.net 1,559; googleadservices 1,535; gstatic 1,282)
+// in order and within tolerance, the influads element exception near 30
+// domains, and all top-20 filters being unrestricted.
+func TestTable4(t *testing.T) {
+	s := sharedSurvey(t)
+	top := s.TopWhitelistFilters(20)
+	if len(top) != 20 {
+		t.Fatalf("top filters = %d", len(top))
+	}
+	for i, row := range top {
+		t.Logf("#%2d %4d  %s", i+1, row.Domains, row.Filter)
+	}
+	wantTop3 := []struct {
+		substr string
+		count  int
+	}{
+		{"stats.g.doubleclick.net", 1559},
+		{"googleadservices.com", 1535},
+		{"gstatic.com^", 1282},
+	}
+	for i, want := range wantTop3 {
+		row := top[i]
+		if !strings.Contains(row.Filter, want.substr) {
+			t.Errorf("#%d = %q, want host %s", i+1, row.Filter, want.substr)
+		}
+		lo := want.count * 85 / 100
+		hi := want.count * 115 / 100
+		if row.Domains < lo || row.Domains > hi {
+			t.Errorf("#%d domains = %d, want ~%d", i+1, row.Domains, want.count)
+		}
+	}
+	// The influads element exception appears with roughly 30 domains.
+	found := false
+	for _, row := range top {
+		if row.Filter == adnet.InfluadsElementFilter {
+			found = true
+			if row.Domains < 15 || row.Domains > 50 {
+				t.Errorf("influads element domains = %d, want ~30", row.Domains)
+			}
+		}
+	}
+	if !found {
+		t.Error("influads element exception missing from top 20")
+	}
+}
+
+// TestFig7 validates the ECDF shapes: max 83 total, mean distinct ~2.6.
+func TestFig7(t *testing.T) {
+	s := sharedSurvey(t)
+	totalE, distinctE := s.ECDFs()
+	if totalE.N() != distinctE.N() {
+		t.Fatal("ECDF sample sizes differ")
+	}
+	if got := totalE.Quantile(1); got != 83 {
+		t.Errorf("max total = %v, want 83", got)
+	}
+	// Distinct is never above total.
+	if distinctE.Quantile(1) > totalE.Quantile(1) {
+		t.Error("distinct max exceeds total max")
+	}
+	if q := totalE.Quantile(0.5); q < 1 || q > 6 {
+		t.Errorf("median total = %v", q)
+	}
+}
+
+// TestFig8 validates the strata skew: the top whitelist filters are most
+// frequent in the top-5K group, except the long-tail conversion tracker
+// which peaks in the 100K–1M stratum.
+func TestFig8(t *testing.T) {
+	s := sharedSurvey(t)
+	m := s.StrataFrequencies(50)
+	if len(m.Filters) != 50 {
+		t.Fatalf("matrix rows = %d", len(m.Filters))
+	}
+	tail, ok := adnet.ByName("affiliatetrack")
+	if !ok {
+		t.Fatal("affiliatetrack service missing")
+	}
+	foundTail := false
+	for i, f := range m.Filters {
+		freq := m.Freq[i]
+		if f == tail.WhitelistFilter {
+			foundTail = true
+			if freq[3] <= freq[0] {
+				t.Errorf("tail tracker: group3 %.4f <= group0 %.4f", freq[3], freq[0])
+			}
+			continue
+		}
+		if strings.Contains(f, "stats.g.doubleclick.net") && m.Whitelist[i] {
+			if freq[0] <= freq[3] {
+				t.Errorf("top tracker: group0 %.4f <= group3 %.4f", freq[0], freq[3])
+			}
+		}
+	}
+	if !foundTail {
+		t.Log("tail tracker not in top 50; checking directly")
+		// Compute directly: it must still skew to the tail.
+		var counts [4]int
+		var sizes [4]int
+		for _, r := range s.Results {
+			sizes[r.Group]++
+			if _, ok := r.WL[tail.WhitelistFilter]; ok {
+				counts[r.Group]++
+			}
+		}
+		f0 := float64(counts[0]) / float64(sizes[0])
+		f3 := float64(counts[3]) / float64(sizes[3])
+		if f3 <= f0 {
+			t.Errorf("tail tracker direct: group3 %.4f <= group0 %.4f", f3, f0)
+		}
+	}
+	// The five most frequent filters overall should be whitelist filters
+	// (the paper: "the 5 most activated filters ... were all filters
+	// from the whitelist").
+	wlTop := 0
+	for i := 0; i < 5; i++ {
+		if m.Whitelist[i] {
+			wlTop++
+		}
+	}
+	if wlTop < 4 {
+		t.Errorf("only %d of the top 5 filters are whitelist filters", wlTop)
+	}
+}
+
+// TestFig6 validates the top-sites view: ~50 rows, sina elided, explicit
+// sites present, some non-explicit sites with whitelist matches, and the
+// EasyList-only crawl shows blocking where the whitelist had allowed.
+func TestFig6(t *testing.T) {
+	s := sharedSurvey(t)
+	rows, err := s.TopSites(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	explicitWithWL, nonExplicitWithWL := 0, 0
+	for _, r := range rows {
+		if r.Host == "sina.com.cn" {
+			t.Error("sina.com.cn not elided")
+		}
+		if r.WLMatches > 0 {
+			if r.Explicit {
+				explicitWithWL++
+			} else {
+				nonExplicitWithWL++
+			}
+		}
+	}
+	if explicitWithWL == 0 {
+		t.Error("no explicitly whitelisted sites among the top 50")
+	}
+	if nonExplicitWithWL < 5 {
+		t.Errorf("only %d non-explicit sites activate whitelist filters (paper: 12)", nonExplicitWithWL)
+	}
+	// toyota.com must appear near the top.
+	foundToyota := false
+	for _, r := range rows[:10] {
+		if r.Host == "toyota.com" {
+			foundToyota = true
+			if !r.Explicit {
+				t.Error("toyota.com not marked explicit")
+			}
+		}
+	}
+	if !foundToyota {
+		t.Error("toyota.com missing from the top 10")
+	}
+}
+
+// TestDeterminism: identical config, identical aggregate.
+func TestSurveyDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second crawl is slow")
+	}
+	s := sharedSurvey(t)
+	s2, err := Run(s.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	a, b := s.Summarize(), s2.Summarize()
+	if a != b {
+		t.Errorf("summaries differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestCategorySkew reproduces the paper's observation that whitelist
+// filters skew toward shopping sites.
+func TestCategorySkew(t *testing.T) {
+	s := sharedSurvey(t)
+	rates := s.CategorySkew()
+	if len(rates) < 5 {
+		t.Fatalf("categories = %d", len(rates))
+	}
+	var shopping, nonEnglish, meanOthers float64
+	others := 0
+	for _, cr := range rates {
+		switch cr.Category {
+		case alexa.Shopping:
+			shopping = cr.WhitelistRate
+		case alexa.NonEnglish:
+			nonEnglish = cr.WhitelistRate
+		default:
+			meanOthers += cr.WhitelistRate
+			others++
+		}
+	}
+	meanOthers /= float64(others)
+	if shopping <= meanOthers {
+		t.Errorf("shopping rate %.3f not above other categories' mean %.3f", shopping, meanOthers)
+	}
+	if nonEnglish > 0.05 {
+		t.Errorf("non-English rate %.3f should be near zero", nonEnglish)
+	}
+}

@@ -1,0 +1,259 @@
+// Package stats holds the small statistical toolkit the measurement
+// pipeline shares: means and variances for the perception survey's Figure
+// 9(d), empirical CDFs for Figure 7, and percentile/histogram helpers for
+// the §5.1 headline numbers.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (the paper's VAR(X) rows
+// divide by N, not N-1), or 0 for fewer than one element.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// ECDF is an empirical cumulative distribution over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts the sample.
+func NewECDF(xs []float64) *ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the smallest sample value v with P(X <= v) >= q, for q
+// in (0, 1]. Quantile(0) returns the minimum.
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i]
+}
+
+// Points returns the step-function support: the distinct sample values and
+// the cumulative probability at each, ready for plotting Figure 7.
+func (e *ECDF) Points() (xs, ps []float64) {
+	n := len(e.sorted)
+	for i := 0; i < n; {
+		j := i
+		for j < n && e.sorted[j] == e.sorted[i] {
+			j++
+		}
+		xs = append(xs, e.sorted[i])
+		ps = append(ps, float64(j)/float64(n))
+		i = j
+	}
+	return xs, ps
+}
+
+// Likert is the 5-point agreement scale of the perception survey, coded
+// -2 (strongly disagree) .. +2 (strongly agree) as in Figure 9(d).
+type Likert int8
+
+const (
+	StronglyDisagree Likert = -2
+	Disagree         Likert = -1
+	Neutral          Likert = 0
+	Agree            Likert = 1
+	StronglyAgree    Likert = 2
+)
+
+// String names the scale point.
+func (l Likert) String() string {
+	switch l {
+	case StronglyDisagree:
+		return "strongly disagree"
+	case Disagree:
+		return "disagree"
+	case Neutral:
+		return "neutral"
+	case Agree:
+		return "agree"
+	case StronglyAgree:
+		return "strongly agree"
+	default:
+		return "invalid"
+	}
+}
+
+// LikertDist is a response distribution over the five scale points.
+type LikertDist struct {
+	// Counts indexes by Likert+2: [SD, D, N, A, SA].
+	Counts [5]int
+}
+
+// Add records one response. Out-of-range values are clamped.
+func (d *LikertDist) Add(l Likert) {
+	if l < StronglyDisagree {
+		l = StronglyDisagree
+	}
+	if l > StronglyAgree {
+		l = StronglyAgree
+	}
+	d.Counts[int(l)+2]++
+}
+
+// N returns the number of responses.
+func (d *LikertDist) N() int {
+	n := 0
+	for _, c := range d.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the mean coded value.
+func (d *LikertDist) Mean() float64 {
+	n := d.N()
+	if n == 0 {
+		return 0
+	}
+	sum := 0
+	for i, c := range d.Counts {
+		sum += (i - 2) * c
+	}
+	return float64(sum) / float64(n)
+}
+
+// FractionAgree returns the share of responses at Agree or StronglyAgree —
+// the "73% agreeing or strongly agreeing" style numbers of §6.
+func (d *LikertDist) FractionAgree() float64 {
+	n := d.N()
+	if n == 0 {
+		return 0
+	}
+	return float64(d.Counts[3]+d.Counts[4]) / float64(n)
+}
+
+// FractionDisagree returns the share at Disagree or StronglyDisagree.
+func (d *LikertDist) FractionDisagree() float64 {
+	n := d.N()
+	if n == 0 {
+		return 0
+	}
+	return float64(d.Counts[0]+d.Counts[1]) / float64(n)
+}
+
+// Shares returns the five response fractions in scale order.
+func (d *LikertDist) Shares() [5]float64 {
+	var out [5]float64
+	n := d.N()
+	if n == 0 {
+		return out
+	}
+	for i, c := range d.Counts {
+		out[i] = float64(c) / float64(n)
+	}
+	return out
+}
+
+// IntHistogram counts occurrences of small non-negative integers, used for
+// matches-per-site distributions.
+type IntHistogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewIntHistogram returns an empty histogram.
+func NewIntHistogram() *IntHistogram {
+	return &IntHistogram{counts: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *IntHistogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// N returns the observation count.
+func (h *IntHistogram) N() int { return h.total }
+
+// FractionAtLeast returns P(X >= v) — e.g. the paper's "5% of the surveyed
+// sites activated at least 12 exception filters".
+func (h *IntHistogram) FractionAtLeast(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := 0
+	for k, c := range h.counts {
+		if k >= v {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Mean returns the mean observation.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0
+	for k, c := range h.counts {
+		sum += k * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Max returns the largest observed value, or 0 when empty.
+func (h *IntHistogram) Max() int {
+	max := 0
+	for k := range h.counts {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); !approx(m, 2.5, 1e-12) {
+		t.Errorf("mean = %v", m)
+	}
+	if v := Variance(xs); !approx(v, 1.25, 1e-12) {
+		t.Errorf("variance = %v", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty slices should yield 0")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 1, 2, 3, 5, 8})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 2.0 / 6}, {2, 3.0 / 6}, {4, 4.0 / 6}, {8, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !approx(got, c.want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 6 {
+		t.Errorf("N = %d", e.N())
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40, 50})
+	if q := e.Quantile(0.5); q != 30 {
+		t.Errorf("median = %v", q)
+	}
+	if q := e.Quantile(0); q != 10 {
+		t.Errorf("min = %v", q)
+	}
+	if q := e.Quantile(1); q != 50 {
+		t.Errorf("max = %v", q)
+	}
+	if q := e.Quantile(0.95); q != 50 {
+		t.Errorf("p95 = %v", q)
+	}
+	if !math.IsNaN(NewECDF(nil).Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{2, 1, 2, 3})
+	xs, ps := e.Points()
+	wantX := []float64{1, 2, 3}
+	wantP := []float64{0.25, 0.75, 1}
+	if len(xs) != 3 {
+		t.Fatalf("points = %v %v", xs, ps)
+	}
+	for i := range wantX {
+		if xs[i] != wantX[i] || !approx(ps[i], wantP[i], 1e-12) {
+			t.Fatalf("points = %v %v", xs, ps)
+		}
+	}
+}
+
+// Property: ECDF is monotone and bounded in [0,1].
+func TestQuickECDFMonotone(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var xs []float64
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) {
+				xs = append(xs, r)
+			}
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for _, x := range []float64{-1e9, -1, 0, 1, 1e9} {
+			p := e.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLikertDist(t *testing.T) {
+	var d LikertDist
+	for _, l := range []Likert{StronglyAgree, Agree, Agree, Neutral, Disagree} {
+		d.Add(l)
+	}
+	if d.N() != 5 {
+		t.Errorf("N = %d", d.N())
+	}
+	if m := d.Mean(); !approx(m, (2+1+1+0-1)/5.0, 1e-12) {
+		t.Errorf("mean = %v", m)
+	}
+	if f := d.FractionAgree(); !approx(f, 0.6, 1e-12) {
+		t.Errorf("agree = %v", f)
+	}
+	if f := d.FractionDisagree(); !approx(f, 0.2, 1e-12) {
+		t.Errorf("disagree = %v", f)
+	}
+	sh := d.Shares()
+	var sum float64
+	for _, s := range sh {
+		sum += s
+	}
+	if !approx(sum, 1, 1e-12) {
+		t.Errorf("shares sum = %v", sum)
+	}
+}
+
+func TestLikertClamp(t *testing.T) {
+	var d LikertDist
+	d.Add(Likert(5))
+	d.Add(Likert(-5))
+	if d.Counts[4] != 1 || d.Counts[0] != 1 {
+		t.Errorf("clamp failed: %v", d.Counts)
+	}
+}
+
+func TestLikertStrings(t *testing.T) {
+	if StronglyAgree.String() != "strongly agree" || Neutral.String() != "neutral" {
+		t.Error("string names wrong")
+	}
+	if Likert(9).String() != "invalid" {
+		t.Error("invalid name wrong")
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	h := NewIntHistogram()
+	for _, v := range []int{1, 1, 2, 12, 15, 3} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Errorf("N = %d", h.N())
+	}
+	if f := h.FractionAtLeast(12); !approx(f, 2.0/6, 1e-12) {
+		t.Errorf("FractionAtLeast(12) = %v", f)
+	}
+	if m := h.Mean(); !approx(m, 34.0/6, 1e-12) {
+		t.Errorf("mean = %v", m)
+	}
+	if h.Max() != 15 {
+		t.Errorf("max = %d", h.Max())
+	}
+}

@@ -1,0 +1,326 @@
+// Package subscription implements the filter-list distribution mechanism
+// Adblock Plus runs on (§2): users subscribe to list URLs; the extension
+// re-downloads each list when its "! Expires:" metadata says so, using
+// conditional requests so unchanged lists cost a 304. The paper's study
+// object — the Acceptable Ads whitelist — reaches users exactly this way,
+// as the second default subscription next to EasyList.
+package subscription
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+)
+
+// Metadata carries the special header comments of a filter list.
+type Metadata struct {
+	Title    string
+	Homepage string
+	Version  string
+	// Expires is the refresh interval; zero means the DefaultExpiry.
+	Expires time.Duration
+}
+
+// DefaultExpiry matches Adblock Plus's default of refreshing lists every
+// five days when no Expires header is present.
+const DefaultExpiry = 5 * 24 * time.Hour
+
+// ParseMetadata reads the "! Key: value" comments from the top of a list.
+func ParseMetadata(l *filter.List) Metadata {
+	var m Metadata
+	for _, f := range l.Entries {
+		if f.Kind != filter.KindComment {
+			break // metadata comments lead the list
+		}
+		key, value, ok := strings.Cut(f.Text, ":")
+		if !ok {
+			continue
+		}
+		value = strings.TrimSpace(value)
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "title":
+			m.Title = value
+		case "homepage":
+			m.Homepage = value
+		case "version":
+			m.Version = value
+		case "expires":
+			if d, err := ParseExpires(value); err == nil {
+				m.Expires = d
+			}
+		}
+	}
+	return m
+}
+
+// ParseExpires parses the "4 days" / "12 hours" syntax.
+func ParseExpires(s string) (time.Duration, error) {
+	fields := strings.Fields(strings.ToLower(s))
+	if len(fields) < 2 {
+		return 0, fmt.Errorf("subscription: malformed expires %q", s)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("subscription: malformed expires %q", s)
+	}
+	switch strings.TrimSuffix(fields[1], "s") {
+	case "day":
+		return time.Duration(n) * 24 * time.Hour, nil
+	case "hour":
+		return time.Duration(n) * time.Hour, nil
+	default:
+		return 0, fmt.Errorf("subscription: unknown expires unit in %q", s)
+	}
+}
+
+// WithMetadata prepends metadata comments to list text.
+func WithMetadata(m Metadata, body string) string {
+	var b strings.Builder
+	b.WriteString("[Adblock Plus 2.0]\n")
+	if m.Title != "" {
+		fmt.Fprintf(&b, "! Title: %s\n", m.Title)
+	}
+	if m.Version != "" {
+		fmt.Fprintf(&b, "! Version: %s\n", m.Version)
+	}
+	if m.Expires > 0 {
+		if m.Expires%(24*time.Hour) == 0 {
+			fmt.Fprintf(&b, "! Expires: %d days\n", m.Expires/(24*time.Hour))
+		} else {
+			fmt.Fprintf(&b, "! Expires: %d hours\n", m.Expires/time.Hour)
+		}
+	}
+	if m.Homepage != "" {
+		fmt.Fprintf(&b, "! Homepage: %s\n", m.Homepage)
+	}
+	// Strip a leading header from the body to avoid duplicating it.
+	body = strings.TrimPrefix(body, "[Adblock Plus 2.0]\n")
+	b.WriteString(body)
+	return b.String()
+}
+
+// ---- server side -----------------------------------------------------------
+
+// Server distributes filter lists by path with strong ETags and 304
+// handling, like easylist-downloads.adblockplus.org.
+type Server struct {
+	mu    sync.RWMutex
+	lists map[string]servedList // path → content
+}
+
+type servedList struct {
+	content string
+	etag    string
+}
+
+// NewServer creates an empty list server.
+func NewServer() *Server {
+	return &Server{lists: make(map[string]servedList)}
+}
+
+// Publish makes content available at path (e.g. "/exceptionrules.txt"),
+// replacing any previous version. The ETag derives from the content.
+func (s *Server) Publish(path, content string) {
+	sum := sha256.Sum256([]byte(content))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lists[path] = servedList{content: content, etag: `"` + hex.EncodeToString(sum[:8]) + `"`}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	l, ok := s.lists[r.URL.Path]
+	s.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("ETag", l.etag)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if match := r.Header.Get("If-None-Match"); match != "" && match == l.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	io.WriteString(w, l.content) //nolint:errcheck
+}
+
+// ---- client side -----------------------------------------------------------
+
+// Source is one subscribed list.
+type Source struct {
+	// Name labels activations in the engine ("easylist",
+	// "exceptionrules").
+	Name string
+	// URL is the download location.
+	URL string
+}
+
+// Subscriber maintains local copies of subscribed lists, refreshing them
+// per their Expires metadata with conditional requests.
+type Subscriber struct {
+	client  *http.Client
+	sources []Source
+	// Now is the clock, injectable for tests.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	list    *filter.List
+	meta    Metadata
+	etag    string
+	fetched time.Time
+	// NotModified counts refreshes answered with 304.
+	notModified int
+}
+
+// NewSubscriber creates a subscriber over the given HTTP client.
+func NewSubscriber(client *http.Client, sources ...Source) *Subscriber {
+	return &Subscriber{
+		client:  client,
+		sources: sources,
+		Now:     time.Now,
+		cache:   make(map[string]*cacheEntry),
+	}
+}
+
+// Fetch downloads (or revalidates) one source by name.
+func (s *Subscriber) Fetch(name string) (*filter.List, error) {
+	var src *Source
+	for i := range s.sources {
+		if s.sources[i].Name == name {
+			src = &s.sources[i]
+		}
+	}
+	if src == nil {
+		return nil, fmt.Errorf("subscription: unknown source %q", name)
+	}
+
+	s.mu.Lock()
+	entry := s.cache[name]
+	s.mu.Unlock()
+
+	req, err := http.NewRequest(http.MethodGet, src.URL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("subscription: %w", err)
+	}
+	if entry != nil && entry.etag != "" {
+		req.Header.Set("If-None-Match", entry.etag)
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("subscription: fetching %s: %w", src.URL, err)
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		if entry == nil {
+			return nil, fmt.Errorf("subscription: 304 without a cached copy of %s", name)
+		}
+		s.mu.Lock()
+		entry.fetched = s.Now()
+		entry.notModified++
+		s.mu.Unlock()
+		return entry.list, nil
+	case http.StatusOK:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		if err != nil {
+			return nil, fmt.Errorf("subscription: reading %s: %w", src.URL, err)
+		}
+		l := filter.ParseListString(name, string(body))
+		e := &cacheEntry{
+			list:    l,
+			meta:    ParseMetadata(l),
+			etag:    resp.Header.Get("ETag"),
+			fetched: s.Now(),
+		}
+		s.mu.Lock()
+		if old := s.cache[name]; old != nil {
+			e.notModified = old.notModified
+		}
+		s.cache[name] = e
+		s.mu.Unlock()
+		return l, nil
+	default:
+		return nil, fmt.Errorf("subscription: %s returned %d", src.URL, resp.StatusCode)
+	}
+}
+
+// NeedsUpdate reports whether the named list is missing or past its
+// Expires interval.
+func (s *Subscriber) NeedsUpdate(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entry := s.cache[name]
+	if entry == nil {
+		return true
+	}
+	expiry := entry.meta.Expires
+	if expiry == 0 {
+		expiry = DefaultExpiry
+	}
+	return s.Now().Sub(entry.fetched) >= expiry
+}
+
+// Refresh fetches every source that NeedsUpdate.
+func (s *Subscriber) Refresh() error {
+	for _, src := range s.sources {
+		if !s.NeedsUpdate(src.Name) {
+			continue
+		}
+		if _, err := s.Fetch(src.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NotModifiedCount returns how many refreshes of name were answered 304.
+func (s *Subscriber) NotModifiedCount(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.cache[name]; e != nil {
+		return e.notModified
+	}
+	return 0
+}
+
+// Metadata returns the cached list's parsed header, if fetched.
+func (s *Subscriber) Metadata(name string) (Metadata, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.cache[name]; e != nil {
+		return e.meta, true
+	}
+	return Metadata{}, false
+}
+
+// Engine builds a fresh engine from every cached list, in subscription
+// order — what Adblock Plus does after each list update.
+func (s *Subscriber) Engine() (*engine.Engine, error) {
+	var lists []engine.NamedList
+	s.mu.Lock()
+	for _, src := range s.sources {
+		if e := s.cache[src.Name]; e != nil {
+			lists = append(lists, engine.NamedList{Name: src.Name, List: e.list})
+		}
+	}
+	s.mu.Unlock()
+	if len(lists) == 0 {
+		return nil, fmt.Errorf("subscription: no lists fetched yet")
+	}
+	return engine.New(lists...)
+}

@@ -1,0 +1,186 @@
+package subscription
+
+import (
+	"testing"
+	"time"
+
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/webserver"
+)
+
+func TestParseExpires(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"4 days", 96 * time.Hour, true},
+		{"1 day", 24 * time.Hour, true},
+		{"12 hours", 12 * time.Hour, true},
+		{"1 hour", time.Hour, true},
+		{"soon", 0, false},
+		{"0 days", 0, false},
+		{"-1 days", 0, false},
+	}
+	for _, tt := range cases {
+		got, err := ParseExpires(tt.in)
+		if (err == nil) != tt.ok || got != tt.want {
+			t.Errorf("ParseExpires(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	m := Metadata{
+		Title:    "Allow non-intrusive advertising",
+		Homepage: "https://easylist-downloads.adblockplus.org/",
+		Version:  "201504280830",
+		Expires:  4 * 24 * time.Hour,
+	}
+	text := WithMetadata(m, "@@||example.com^$domain=a.com\n")
+	l := filter.ParseListString("exceptionrules", text)
+	got := ParseMetadata(l)
+	if got != m {
+		t.Errorf("round trip = %+v, want %+v", got, m)
+	}
+	if len(l.Active()) != 1 {
+		t.Errorf("active filters = %d", len(l.Active()))
+	}
+}
+
+func TestMetadataStopsAtFirstFilter(t *testing.T) {
+	l := filter.ParseListString("x",
+		"! Title: A\n@@||a.com^\n! Expires: 2 days\n")
+	m := ParseMetadata(l)
+	if m.Title != "A" || m.Expires != 0 {
+		t.Errorf("metadata = %+v (comments after filters must not count)", m)
+	}
+}
+
+// fullStack wires a list server behind the virtual-host web server and a
+// subscriber over its client — list distribution over real HTTP.
+func fullStack(t *testing.T) (*Server, *Subscriber, func(time.Time)) {
+	t.Helper()
+	web := webserver.New(nil)
+	if err := web.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { web.Close() })
+
+	srv := NewServer()
+	web.Handle("easylist-downloads.adblockplus.org", srv)
+
+	sub := NewSubscriber(web.Client(),
+		Source{Name: "easylist", URL: "http://easylist-downloads.adblockplus.org/easylist.txt"},
+		Source{Name: "exceptionrules", URL: "http://easylist-downloads.adblockplus.org/exceptionrules.txt"},
+	)
+	now := time.Date(2015, 4, 28, 0, 0, 0, 0, time.UTC)
+	sub.Now = func() time.Time { return now }
+	setNow := func(tm time.Time) { now = tm }
+	return srv, sub, setNow
+}
+
+const wlBody = "@@||stats.g.doubleclick.net^$script,image\n"
+
+func TestSubscribeFetchAndEngine(t *testing.T) {
+	srv, sub, _ := fullStack(t)
+	srv.Publish("/easylist.txt", WithMetadata(Metadata{Title: "EasyList", Expires: 4 * 24 * time.Hour},
+		easylist.Generate(1, 2000).String()))
+	srv.Publish("/exceptionrules.txt", WithMetadata(Metadata{Title: "Allow non-intrusive advertising", Expires: 24 * time.Hour},
+		wlBody))
+
+	if !sub.NeedsUpdate("easylist") || !sub.NeedsUpdate("exceptionrules") {
+		t.Fatal("fresh subscriber should need updates")
+	}
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.NeedsUpdate("easylist") {
+		t.Error("just-fetched list should not need an update")
+	}
+	m, ok := sub.Metadata("exceptionrules")
+	if !ok || m.Expires != 24*time.Hour {
+		t.Errorf("metadata = %+v, %v", m, ok)
+	}
+
+	eng, err := sub.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := eng.MatchRequest(&engine.Request{
+		URL: "http://stats.g.doubleclick.net/r/collect", Type: filter.TypeImage,
+		DocumentHost: "toyota.com",
+	})
+	if d.Verdict != engine.Allowed || d.AllowedBy.List != "exceptionrules" {
+		t.Errorf("decision = %+v", d)
+	}
+}
+
+func TestConditionalRefresh(t *testing.T) {
+	srv, sub, setNow := fullStack(t)
+	srv.Publish("/easylist.txt", "||ads.example^\n")
+	srv.Publish("/exceptionrules.txt", WithMetadata(Metadata{Expires: 24 * time.Hour}, wlBody))
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A day later both lists expired; unchanged content revalidates 304.
+	setNow(time.Date(2015, 4, 29, 0, 0, 1, 0, time.UTC).Add(5 * 24 * time.Hour))
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.NotModifiedCount("exceptionrules"); got != 1 {
+		t.Errorf("not-modified count = %d, want 1", got)
+	}
+
+	// Publisher updates the whitelist: next refresh re-downloads.
+	srv.Publish("/exceptionrules.txt", WithMetadata(Metadata{Expires: 24 * time.Hour},
+		wlBody+"@@||gstatic.com^$third-party\n"))
+	setNow(time.Date(2015, 5, 15, 0, 0, 0, 0, time.UTC))
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.NotModifiedCount("exceptionrules"); got != 1 {
+		t.Errorf("changed list must not revalidate; 304 count = %d", got)
+	}
+	l, err := sub.Fetch("exceptionrules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Active()) != 2 {
+		t.Errorf("updated list filters = %d, want 2", len(l.Active()))
+	}
+}
+
+func TestDefaultExpiry(t *testing.T) {
+	srv, sub, setNow := fullStack(t)
+	srv.Publish("/easylist.txt", "||ads.example^\n") // no Expires header
+	srv.Publish("/exceptionrules.txt", wlBody)
+	if err := sub.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	setNow(time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC)) // 3 days later
+	if sub.NeedsUpdate("easylist") {
+		t.Error("list should still be fresh under the 5-day default")
+	}
+	setNow(time.Date(2015, 5, 4, 0, 0, 0, 0, time.UTC)) // 6 days later
+	if !sub.NeedsUpdate("easylist") {
+		t.Error("list should be stale past the 5-day default")
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	_, sub, _ := fullStack(t)
+	if _, err := sub.Fetch("unknown"); err == nil {
+		t.Error("unknown source fetched")
+	}
+	// Nothing published: 404.
+	if _, err := sub.Fetch("easylist"); err == nil {
+		t.Error("404 did not error")
+	}
+	if _, err := sub.Engine(); err == nil {
+		t.Error("engine built with no lists")
+	}
+}

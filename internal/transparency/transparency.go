@@ -1,0 +1,273 @@
+// Package transparency operationalizes §8's recommendations as analyses a
+// whitelist maintainer (or auditor) can run: flagging overly general
+// filters whose scope users cannot determine, detecting filters made
+// redundant by broader ones (the paper's "AdSense for search exceptions
+// are no longer required for individual domains"), and producing the
+// disclosure report — which filter groups are publicly documented, which
+// arrived through undisclosed commits.
+package transparency
+
+import (
+	"sort"
+	"strings"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/vcs"
+)
+
+// GeneralFilter is one filter whose activation scope cannot be enumerated
+// from the list alone (§8 "Avoid overly general filters").
+type GeneralFilter struct {
+	Filter string
+	Scope  filter.Scope
+	// Reason explains why the scope is unknowable.
+	Reason string
+}
+
+// OverlyGeneral returns the whitelist's unenumerable filters: every
+// unrestricted exception and every sitekey filter.
+func OverlyGeneral(l *filter.List) []GeneralFilter {
+	var out []GeneralFilter
+	for _, f := range l.Active() {
+		if !f.IsException() {
+			continue
+		}
+		switch filter.ClassifyScope(f) {
+		case filter.ScopeUnrestricted:
+			out = append(out, GeneralFilter{
+				Filter: f.Raw, Scope: filter.ScopeUnrestricted,
+				Reason: "activates on any first-party domain",
+			})
+		case filter.ScopeSitekey:
+			out = append(out, GeneralFilter{
+				Filter: f.Raw, Scope: filter.ScopeSitekey,
+				Reason: "activates on any domain holding the key; whitelisting is delegated to the key owner",
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Filter < out[j].Filter })
+	return out
+}
+
+// Shadowing reports one filter made (fully or partially) redundant by a
+// broader one.
+type Shadowing struct {
+	// Narrow is the restricted filter; Broad the unrestricted filter
+	// covering it.
+	Narrow, Broad string
+	// Full is true when the broad filter covers every content type the
+	// narrow one names; false means only the overlapping types are
+	// redundant.
+	Full bool
+}
+
+// Redundant finds restricted request exceptions whose pattern is covered
+// by an unrestricted request exception — after the unrestricted A59
+// AdSense filter landed, each per-domain AdSense exception became
+// unnecessary (§8 "Practice good whitelist hygiene").
+func Redundant(l *filter.List) []Shadowing {
+	type broad struct {
+		f   *filter.Filter
+		key string // host + normalized pattern
+	}
+	var broads []broad
+	for _, f := range l.Active() {
+		if f.Kind != filter.KindRequestException || f.IsSitekey() {
+			continue
+		}
+		if filter.ClassifyScope(f) != filter.ScopeUnrestricted {
+			continue
+		}
+		if f.IsRegex || !f.AnchorDomain || f.ThirdParty == filter.Yes {
+			// Third-party-restricted broads do not cover first-party
+			// uses; skip for a conservative report.
+			continue
+		}
+		broads = append(broads, broad{f: f, key: normalizePattern(f.Pattern)})
+	}
+	var out []Shadowing
+	for _, f := range l.Active() {
+		if f.Kind != filter.KindRequestException || !f.HasPositiveDomains() || f.IsRegex || !f.AnchorDomain {
+			continue
+		}
+		key := normalizePattern(f.Pattern)
+		for _, b := range broads {
+			if !strings.HasPrefix(key, b.key) {
+				continue
+			}
+			overlap := f.TypeMask & b.f.TypeMask
+			if overlap == 0 {
+				continue
+			}
+			out = append(out, Shadowing{
+				Narrow: f.Raw,
+				Broad:  b.f.Raw,
+				Full:   f.TypeMask&^b.f.TypeMask == 0,
+			})
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Narrow < out[j].Narrow })
+	return out
+}
+
+// normalizePattern lowercases and strips trailing separators/wildcards so
+// prefix containment approximates URL-set containment.
+func normalizePattern(p string) string {
+	return strings.TrimRight(strings.ToLower(p), "^*")
+}
+
+// NeedlessFilter is a whitelist exception that overrides nothing: its
+// witness request is not blocked by the blocking list, so the exception
+// "activates needlessly" — the paper's observation about the gstatic.com
+// filter, which EasyList never blocked.
+type NeedlessFilter struct {
+	Filter string
+	// Witness is the request URL used to probe the blocking list.
+	Witness string
+}
+
+// Needless probes every unrestricted request exception of the whitelist
+// against an engine built from the blocking list alone: exceptions whose
+// canonical witness request would not have been blocked anyway are
+// reported. Restricted filters are skipped — their witnesses depend on the
+// publisher's actual pages, which the site survey covers empirically.
+func Needless(whitelist, blocking *filter.List) ([]NeedlessFilter, error) {
+	eng, err := engine.New(engine.NamedList{Name: blocking.Name, List: blocking})
+	if err != nil {
+		return nil, err
+	}
+	var out []NeedlessFilter
+	for _, f := range whitelist.Active() {
+		if f.Kind != filter.KindRequestException || f.IsSitekey() {
+			continue
+		}
+		if filter.ClassifyScope(f) != filter.ScopeUnrestricted {
+			continue
+		}
+		witness, typ, ok := witnessFor(f)
+		if !ok {
+			continue
+		}
+		d := eng.MatchRequest(&engine.Request{
+			URL: witness, Type: typ, DocumentHost: "somepublisher.example",
+		})
+		if d.Verdict != engine.Blocked {
+			out = append(out, NeedlessFilter{Filter: f.Raw, Witness: witness})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Filter < out[j].Filter })
+	return out, nil
+}
+
+// witnessFor builds the canonical request a filter's pattern matches.
+func witnessFor(f *filter.Filter) (url string, typ filter.ContentType, ok bool) {
+	if f.IsRegex || !f.AnchorDomain || f.PatternHost() == "" {
+		return "", 0, false
+	}
+	s := strings.ReplaceAll(f.Pattern, "^", "/")
+	s = strings.ReplaceAll(s, "*", "x")
+	typ = primaryType(f.TypeMask)
+	if strings.HasSuffix(s, "/") {
+		s += fileFor(typ)
+	} else if last := s[strings.LastIndexByte(s, '/')+1:]; !strings.Contains(last, ".") {
+		s += "/" + fileFor(typ)
+	}
+	return "http://" + s, typ, true
+}
+
+func primaryType(mask filter.ContentType) filter.ContentType {
+	for _, t := range []filter.ContentType{
+		filter.TypeScript, filter.TypeImage, filter.TypeSubdocument,
+		filter.TypeStylesheet, filter.TypeObject, filter.TypeXMLHTTPRequest,
+		filter.TypeOther,
+	} {
+		if mask&t != 0 {
+			return t
+		}
+	}
+	return filter.TypeOther
+}
+
+func fileFor(t filter.ContentType) string {
+	switch t {
+	case filter.TypeScript:
+		return "w.js"
+	case filter.TypeImage:
+		return "w.gif"
+	case filter.TypeSubdocument:
+		return "w.html"
+	case filter.TypeStylesheet:
+		return "w.css"
+	default:
+		return "w"
+	}
+}
+
+// GroupDisclosure classifies one whitelist group's documentation state.
+type GroupDisclosure struct {
+	// Label is the forum link, the A-marker, or the first comment line.
+	Label string
+	// Filters counts the group's active filters.
+	Filters int
+	// Documented is true when the group carries a forum link.
+	Documented bool
+}
+
+// Report is §8's transparency scorecard.
+type Report struct {
+	Groups []GroupDisclosure
+	// DocumentedFilters / UndocumentedFilters split the active filters.
+	DocumentedFilters, UndocumentedFilters int
+	// BoilerplateCommits counts history commits with the nondescript
+	// A-filter messages; TotalCommits sizes the denominator.
+	BoilerplateCommits, TotalCommits int
+}
+
+// DocumentedShare is the fraction of filters with public provenance.
+func (r *Report) DocumentedShare() float64 {
+	total := r.DocumentedFilters + r.UndocumentedFilters
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DocumentedFilters) / float64(total)
+}
+
+// BuildReport scores the final snapshot's groups and the history's commit
+// messages. repo may be nil to skip the commit analysis.
+func BuildReport(l *filter.List, repo *vcs.Repo) Report {
+	var r Report
+	for _, g := range l.Groups() {
+		n := len(g.Filters)
+		if n == 0 {
+			continue
+		}
+		gd := GroupDisclosure{Filters: n}
+		if link := g.ForumLink(); link != "" {
+			gd.Label = link
+			gd.Documented = true
+			r.DocumentedFilters += n
+		} else {
+			if m := g.AMarker(); m != "" {
+				gd.Label = m
+			} else if len(g.Comments) > 0 {
+				gd.Label = g.Comments[0]
+			} else {
+				gd.Label = "(no comment)"
+			}
+			r.UndocumentedFilters += n
+		}
+		r.Groups = append(r.Groups, gd)
+	}
+	if repo != nil {
+		r.TotalCommits = repo.Len()
+		for i := 0; i < repo.Len(); i++ {
+			switch repo.Rev(i).Message {
+			case "Updated whitelists", "Added new whitelists":
+				r.BoilerplateCommits++
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,219 @@
+package transparency
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/histgen"
+)
+
+var (
+	histOnce sync.Once
+	hist     *histgen.History
+	histErr  error
+)
+
+func sharedHistory(t *testing.T) *histgen.History {
+	t.Helper()
+	histOnce.Do(func() { hist, histErr = histgen.Generate(histgen.Config{Seed: 42}) })
+	if histErr != nil {
+		t.Fatal(histErr)
+	}
+	return hist
+}
+
+func TestOverlyGeneralSmall(t *testing.T) {
+	l := filter.ParseListString("wl", `
+@@||pagefair.net^$third-party
+@@$sitekey=KEY,document
+@@||adzerk.net/reddit/$subdocument,domain=reddit.com
+reddit.com#@##ad_main
+`)
+	gs := OverlyGeneral(l)
+	if len(gs) != 2 {
+		t.Fatalf("general = %d: %+v", len(gs), gs)
+	}
+	scopes := map[filter.Scope]bool{}
+	for _, g := range gs {
+		scopes[g.Scope] = true
+	}
+	if !scopes[filter.ScopeUnrestricted] || !scopes[filter.ScopeSitekey] {
+		t.Errorf("scopes = %v", scopes)
+	}
+}
+
+func TestOverlyGeneralFull(t *testing.T) {
+	h := sharedHistory(t)
+	gs := OverlyGeneral(h.FinalList())
+	// 156 unrestricted + 25 sitekey filters.
+	if len(gs) != 156+25 {
+		t.Errorf("general = %d, want 181", len(gs))
+	}
+}
+
+func TestRedundantAdSenseCase(t *testing.T) {
+	// The paper's exact scenario: A59's unrestricted AdSense filter
+	// shadows the per-domain variants.
+	l := filter.ParseListString("wl", `
+@@||google.com/adsense/search/ads.js$script
+@@||google.com/adsense/search/ads.js$domain=search.comcast.net
+@@||google.com/adsense/search/ads.js$domain=twcc.com
+@@||other.net/x$domain=a.com
+`)
+	sh := Redundant(l)
+	if len(sh) != 2 {
+		t.Fatalf("shadowings = %d: %+v", len(sh), sh)
+	}
+	for _, s := range sh {
+		if !strings.Contains(s.Broad, "adsense") {
+			t.Errorf("broad = %q", s.Broad)
+		}
+		// The narrow filters carry the default mask (superset of
+		// $script), so the shadowing is partial.
+		if s.Full {
+			t.Errorf("shadowing of %q should be partial", s.Narrow)
+		}
+	}
+}
+
+func TestRedundantFullShadow(t *testing.T) {
+	l := filter.ParseListString("wl", `
+@@||tracker.example^
+@@||tracker.example/pixel$image,domain=shop.com
+`)
+	sh := Redundant(l)
+	if len(sh) != 1 || !sh[0].Full {
+		t.Fatalf("shadowings = %+v", sh)
+	}
+}
+
+func TestRedundantThirdPartyBroadSkipped(t *testing.T) {
+	// A $third-party broad filter does not cover first-party requests,
+	// so no shadowing is reported.
+	l := filter.ParseListString("wl", `
+@@||cdn.example^$third-party
+@@||cdn.example/a$domain=a.com
+`)
+	if sh := Redundant(l); len(sh) != 0 {
+		t.Fatalf("shadowings = %+v", sh)
+	}
+}
+
+func TestRedundantOnRealWhitelist(t *testing.T) {
+	h := sharedHistory(t)
+	sh := Redundant(h.FinalList())
+	// The synthesized list contains the A29/A50 AdSense-for-search
+	// per-domain filters shadowed by A59.
+	found := 0
+	for _, s := range sh {
+		if strings.Contains(s.Narrow, "adsense/search/ads.js$domain=") {
+			found++
+		}
+	}
+	if found < 2 {
+		t.Errorf("AdSense shadowings = %d, want >= 2 (comcast, twcc)", found)
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	h := sharedHistory(t)
+	r := BuildReport(h.FinalList(), h.Repo)
+	if r.TotalCommits != histgen.TotalRevisions {
+		t.Errorf("commits = %d", r.TotalCommits)
+	}
+	// 61 A-group additions (two share Rev 287) plus the A28 re-add
+	// commit and removals also carry boilerplate; at minimum the 60
+	// distinct A-addition commits must be flagged.
+	if r.BoilerplateCommits < 55 {
+		t.Errorf("boilerplate commits = %d", r.BoilerplateCommits)
+	}
+	if r.DocumentedShare() < 0.5 || r.DocumentedShare() > 0.999 {
+		t.Errorf("documented share = %.3f", r.DocumentedShare())
+	}
+	// Undocumented filters include the surviving A-groups' filters.
+	if r.UndocumentedFilters < 56 {
+		t.Errorf("undocumented filters = %d", r.UndocumentedFilters)
+	}
+	// Every A-marker group must be present and undocumented.
+	aGroups := 0
+	for _, g := range r.Groups {
+		if strings.HasPrefix(g.Label, "A") && len(g.Label) <= 3 {
+			aGroups++
+			if g.Documented {
+				t.Errorf("A-group %s marked documented", g.Label)
+			}
+		}
+	}
+	if aGroups != histgen.AFilterGroups-histgen.AFilterRemoved {
+		t.Errorf("A-groups in report = %d", aGroups)
+	}
+}
+
+func TestBuildReportNilRepo(t *testing.T) {
+	l := filter.ParseListString("wl", "! https://adblockplus.org/forum/viewtopic.php?t=1\n@@||x.net^$domain=a.com\n")
+	r := BuildReport(l, nil)
+	if r.TotalCommits != 0 || r.DocumentedFilters != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.DocumentedShare() != 1 {
+		t.Errorf("share = %v", r.DocumentedShare())
+	}
+}
+
+func TestNormalizePattern(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Google.com/Ads/^", "google.com/ads/"},
+		{"x.com^*", "x.com"},
+		{"plain", "plain"},
+	}
+	for _, tt := range cases {
+		if got := normalizePattern(tt.in); got != tt.want {
+			t.Errorf("normalizePattern(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNeedlessGstaticCase(t *testing.T) {
+	// The paper: the gstatic.com exception overrides nothing — EasyList
+	// never blocked gstatic requests.
+	wl := filter.ParseListString("exceptionrules", `
+@@||gstatic.com^$third-party
+@@||stats.g.doubleclick.net^$script,image
+`)
+	el := filter.ParseListString("easylist", "||stats.g.doubleclick.net^\n")
+	needless, err := Needless(wl, el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(needless) != 1 {
+		t.Fatalf("needless = %+v", needless)
+	}
+	if !strings.Contains(needless[0].Filter, "gstatic") {
+		t.Errorf("needless filter = %q", needless[0].Filter)
+	}
+}
+
+func TestNeedlessOnFullStudy(t *testing.T) {
+	h := sharedHistory(t)
+	el := easylist.Generate(42, easylist.DefaultSize)
+	needless, err := Needless(h.FinalList(), el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gstatic must be among them; the calibrated ad networks must not.
+	foundGstatic := false
+	for _, n := range needless {
+		if strings.Contains(n.Filter, "gstatic.com^") {
+			foundGstatic = true
+		}
+		if strings.Contains(n.Filter, "stats.g.doubleclick") {
+			t.Errorf("doubleclick flagged needless: %+v", n)
+		}
+	}
+	if !foundGstatic {
+		t.Error("gstatic exception not flagged needless")
+	}
+}

@@ -1,0 +1,117 @@
+// Package vcs is a minimal append-only revision store standing in for the
+// public Mercurial repository Eyeo uses for the Acceptable Ads whitelist
+// (https://hg.adblockplus.org/exceptionrules — unavailable offline; see
+// DESIGN.md §2). Each revision stores the full whitelist snapshot plus the
+// commit date and message; the history analyzer diffs consecutive
+// snapshots, exactly as the paper's tooling diffed hg revisions.
+package vcs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Revision is one committed version of the tracked file.
+type Revision struct {
+	// ID is the sequential revision number, starting at 0 — the paper
+	// refers to these directly ("Rev. 988").
+	ID int
+	// Date is the commit timestamp.
+	Date time.Time
+	// Message is the commit message. Eyeo's A-filter commits all read
+	// "Updated whitelists" (§7), which the analyzer keys on.
+	Message string
+	// Content is the full file snapshot at this revision.
+	Content string
+}
+
+// Repo is an append-only sequence of revisions of a single file.
+type Repo struct {
+	revs []Revision
+}
+
+// Commit appends a snapshot and returns its revision ID. Commits must be
+// dated monotonically; out-of-order dates are an error because the yearly
+// churn analysis groups revisions by date.
+func (r *Repo) Commit(date time.Time, message, content string) (int, error) {
+	if n := len(r.revs); n > 0 && date.Before(r.revs[n-1].Date) {
+		return 0, fmt.Errorf("vcs: commit dated %s before tip %s",
+			date.Format("2006-01-02"), r.revs[n-1].Date.Format("2006-01-02"))
+	}
+	id := len(r.revs)
+	r.revs = append(r.revs, Revision{ID: id, Date: date, Message: message, Content: content})
+	return id, nil
+}
+
+// Len returns the number of revisions.
+func (r *Repo) Len() int { return len(r.revs) }
+
+// Rev returns revision id, or nil when out of range.
+func (r *Repo) Rev(id int) *Revision {
+	if id < 0 || id >= len(r.revs) {
+		return nil
+	}
+	return &r.revs[id]
+}
+
+// Tip returns the latest revision, or nil for an empty repo.
+func (r *Repo) Tip() *Revision {
+	if len(r.revs) == 0 {
+		return nil
+	}
+	return &r.revs[len(r.revs)-1]
+}
+
+// Diff is a multiset line diff between two snapshots: Added lines occur
+// more often in the new content, Removed more often in the old. Comments
+// and blank lines are ignored — the analyzer counts filters, and a
+// modified filter naturally shows up as one removal plus one addition,
+// matching Table 1's "modifications are counted as new filters".
+type Diff struct {
+	Added   []string
+	Removed []string
+}
+
+// DiffContents computes the multiset filter-line diff from old to new.
+func DiffContents(old, new string) Diff {
+	oldCounts := lineCounts(old)
+	newCounts := lineCounts(new)
+	var d Diff
+	for line, n := range newCounts {
+		for i := oldCounts[line]; i < n; i++ {
+			d.Added = append(d.Added, line)
+		}
+	}
+	for line, n := range oldCounts {
+		for i := newCounts[line]; i < n; i++ {
+			d.Removed = append(d.Removed, line)
+		}
+	}
+	return d
+}
+
+// lineCounts tallies filter lines (non-blank, non-comment, non-header).
+func lineCounts(content string) map[string]int {
+	counts := make(map[string]int)
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "!") ||
+			(strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]")) {
+			continue
+		}
+		counts[line]++
+	}
+	return counts
+}
+
+// FilterLineCount returns the number of filter lines in a snapshot (the
+// quantity Figure 3 plots per revision). Malformed filters count — they
+// are lines in the list — while comments do not.
+func FilterLineCount(content string) int {
+	n := 0
+	for _, c := range lineCounts(content) {
+		n += c
+	}
+	return n
+}

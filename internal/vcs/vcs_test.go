@@ -1,0 +1,99 @@
+package vcs
+
+import (
+	"testing"
+	"time"
+)
+
+func date(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 12, 0, 0, 0, time.UTC)
+}
+
+func TestCommitAndAccess(t *testing.T) {
+	var r Repo
+	id0, err := r.Commit(date(2011, 10, 1), "initial", "@@||a.com^\n")
+	if err != nil || id0 != 0 {
+		t.Fatalf("first commit: %d, %v", id0, err)
+	}
+	id1, err := r.Commit(date(2011, 10, 3), "second", "@@||a.com^\n@@||b.com^\n")
+	if err != nil || id1 != 1 {
+		t.Fatalf("second commit: %d, %v", id1, err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if r.Rev(0).Message != "initial" || r.Tip().ID != 1 {
+		t.Error("revision access broken")
+	}
+	if r.Rev(5) != nil || r.Rev(-1) != nil {
+		t.Error("out-of-range access should be nil")
+	}
+}
+
+func TestCommitRejectsBackdating(t *testing.T) {
+	var r Repo
+	if _, err := r.Commit(date(2012, 1, 1), "a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Commit(date(2011, 1, 1), "b", ""); err == nil {
+		t.Fatal("backdated commit accepted")
+	}
+	// Same-date commits are fine (Eyeo often committed multiple times a
+	// day).
+	if _, err := r.Commit(date(2012, 1, 1), "c", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffContents(t *testing.T) {
+	old := "! comment\n@@||a.com^\n@@||b.com^$domain=x.com\n"
+	new := "! new comment\n@@||a.com^\n@@||b.com^$domain=x.com|y.com\n@@||c.com^\n"
+	d := DiffContents(old, new)
+	if len(d.Added) != 2 {
+		t.Errorf("added = %v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "@@||b.com^$domain=x.com" {
+		t.Errorf("removed = %v", d.Removed)
+	}
+}
+
+func TestDiffDuplicates(t *testing.T) {
+	// Multiset semantics: going from one copy to two copies of the same
+	// filter is one addition (the hygiene section's duplicate filters).
+	d := DiffContents("@@||a.com^\n", "@@||a.com^\n@@||a.com^\n")
+	if len(d.Added) != 1 || len(d.Removed) != 0 {
+		t.Errorf("dup diff = %+v", d)
+	}
+	d = DiffContents("@@||a.com^\n@@||a.com^\n", "@@||a.com^\n")
+	if len(d.Added) != 0 || len(d.Removed) != 1 {
+		t.Errorf("dedup diff = %+v", d)
+	}
+}
+
+func TestDiffIgnoresComments(t *testing.T) {
+	d := DiffContents("! a\n", "! b\n[Adblock Plus 2.0]\n")
+	if len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Errorf("comment diff = %+v", d)
+	}
+}
+
+func TestFilterLineCount(t *testing.T) {
+	content := "[Adblock Plus 2.0]\n! c\n@@||a.com^\n@@||a.com^\n\n@@||b.com^\n"
+	if n := FilterLineCount(content); n != 3 {
+		t.Errorf("count = %d, want 3", n)
+	}
+	if n := FilterLineCount(""); n != 0 {
+		t.Errorf("empty count = %d", n)
+	}
+}
+
+func TestDiffRoundTripProperty(t *testing.T) {
+	// Applying a diff's counts reconciles the two snapshots:
+	// old + added - removed == new (by filter-line count).
+	old := "@@||a.com^\n@@||b.com^\n@@||b.com^\n"
+	new := "@@||b.com^\n@@||c.com^\n@@||d.com^\n"
+	d := DiffContents(old, new)
+	if FilterLineCount(old)+len(d.Added)-len(d.Removed) != FilterLineCount(new) {
+		t.Error("diff does not reconcile counts")
+	}
+}

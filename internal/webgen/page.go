@@ -1,0 +1,151 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+
+	"acceptableads/internal/adnet"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/xrand"
+)
+
+// Page renders host's landing page HTML.
+func (c *Corpus) Page(host string, opts PageOptions) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html>\n<head>\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", host)
+	b.WriteString(`<link rel="stylesheet" href="/style.css">` + "\n")
+	b.WriteString("</head>\n<body>\n")
+	fmt.Fprintf(&b, "<div id=\"content\"><h1>%s</h1><p>Welcome to %s.</p></div>\n", host, host)
+
+	for _, e := range c.Embeds(host, opts) {
+		for i := 0; i < e.Repeats; i++ {
+			b.WriteString(markupFor(e))
+			b.WriteByte('\n')
+		}
+	}
+
+	// First-party ad elements subject to element hiding.
+	c.writeElements(&b, host)
+
+	b.WriteString("</body>\n</html>\n")
+	return b.String()
+}
+
+// markupFor renders the tag that makes a browser request the resource with
+// the right Adblock Plus content type.
+func markupFor(e Embed) string {
+	switch e.Type {
+	case filter.TypeScript:
+		return fmt.Sprintf(`<script src=%q></script>`, e.URL)
+	case filter.TypeImage:
+		return fmt.Sprintf(`<img src=%q>`, e.URL)
+	case filter.TypeSubdocument:
+		return fmt.Sprintf(`<iframe src=%q></iframe>`, e.URL)
+	case filter.TypeStylesheet:
+		return fmt.Sprintf(`<link rel="stylesheet" href=%q>`, e.URL)
+	case filter.TypeObject:
+		return fmt.Sprintf(`<object data=%q></object>`, e.URL)
+	case filter.TypeXMLHTTPRequest:
+		return fmt.Sprintf(`<span data-xhr=%q></span>`, e.URL)
+	default:
+		return fmt.Sprintf(`<span data-prefetch=%q></span>`, e.URL)
+	}
+}
+
+// writeElements emits first-party ad markup: generic slots EasyList hides,
+// the influads element where present, and elements un-hidden by the
+// publisher's element exceptions (Reddit's #ad_main).
+func (c *Corpus) writeElements(b *strings.Builder, host string) {
+	if c.Activity(host) == Silent {
+		return
+	}
+	u := xrand.Hash64(c.seed, "elems:"+host)
+	if u%100 < 12 {
+		b.WriteString("<div id=\"sidebar-ads\"><a href=\"/offer\">Great deals</a></div>\n")
+	}
+	if u%100 >= 90 {
+		b.WriteString("<div class=\"topbar-ad\">Top sponsor</div>\n")
+	}
+	// Site-specific slots: each id/class matches a *different* generated
+	// EasyList hiding rule, adding §5.1 activity without inflating any
+	// single filter's Figure 8 frequency.
+	if u%3 == 0 {
+		fmt.Fprintf(b, "<div id=\"ad_slot_%d\">slot</div>\n", (u/3)%2500*2)
+	}
+	if u%4 == 1 {
+		fmt.Fprintf(b, "<div class=\"adclass-%d\">unit</div>\n", (u/4)%2500*2+1)
+	}
+	if c.InfluadsElement(host) {
+		fmt.Fprintf(b, "<div id=%q>Influads placement</div>\n", adnet.InfluadsBlockID)
+	}
+	for _, id := range c.elemAllows[host] {
+		fmt.Fprintf(b, "<div id=%q><iframe src=\"http://static.adzerk.net/%s/ads.html\"></iframe></div>\n",
+			id, strings.SplitN(host, ".", 2)[0])
+	}
+}
+
+// specialEmbeds pins the paper's named Figure 6 / §5 cases.
+func (c *Corpus) specialEmbeds(host string, opts PageOptions) []Embed {
+	net := func(name string, rep int) Embed {
+		n, ok := adnet.ByName(name)
+		if !ok {
+			panic("webgen: unknown network " + name)
+		}
+		return Embed{URL: n.URL(), Type: n.Type, Repeats: rep}
+	}
+	switch host {
+	case "toyota.com":
+		// Figure 7's maximum: 83 total whitelist matches over 8
+		// distinct filters (12+16+14+12+10+8+6+5 = 83). The first is
+		// toyota's own restricted exception, derived from the actual
+		// whitelist so the resource matches whatever pattern the
+		// filter carries.
+		var own []Embed
+		for _, e := range c.pubEmbeds[host] {
+			e.Repeats = 12
+			own = append(own, e)
+			break
+		}
+		if len(own) == 0 {
+			own = []Embed{{URL: "http://ad.doubleclick.net/gampad/ad.js",
+				Type: filter.TypeScript, Repeats: 12}}
+		}
+		return append(own,
+			net("doubleclick-stats", 16),
+			net("adsense", 14),
+			net("gstatic", 12),
+			net("googletagservices", 10),
+			net("googletagmanager", 8),
+			net("bing-bat", 6),
+			net("quantserve", 5),
+		)
+	case "ask.com":
+		// More filters activate without cookies (§5).
+		base := []Embed{net("adsense-search", 1), net("gstatic", 2)}
+		if !opts.HasCookies {
+			base = append(base, net("doubleclick-stats", 2), net("googletagservices", 1))
+		}
+		return base
+	case "imgur.com":
+		// imgur swaps inventory when it detects Adblock Plus (§5).
+		if opts.AdblockDetected {
+			return []Embed{net("gstatic", 1), net("quantserve", 1), net("pagefair", 1)}
+		}
+		return []Embed{net("doubleclick-gampad", 3), net("adnxs", 2)}
+	case "sina.com.cn":
+		// Elided from Figure 6 "for ease of presentation": a huge
+		// EasyList-only footprint.
+		return []Embed{
+			net("doubleclick-gampad", 4), net("adnxs", 3), net("rubicon", 3),
+			net("openx", 3), net("outbrain", 2), net("zedo", 2), net("popads", 1),
+			{URL: "http://bannerfarm.cn/x.gif", Type: filter.TypeImage, Repeats: 8},
+			{URL: "http://trackserve.cn/t.js", Type: filter.TypeScript, Repeats: 6},
+		}
+	case "youtube.com":
+		// Not explicitly whitelisted, yet activates whitelist filters —
+		// one of Figure 6's twelve such domains.
+		return []Embed{net("doubleclick-stats", 3), net("gstatic", 2), net("doubleclick-gampad", 2)}
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+// Package webgen synthesizes the Web the §5 site survey crawls: for every
+// Alexa-ranked domain it renders a deterministic landing page whose ad
+// inventory is calibrated to the paper's measurements — Table 4's
+// per-filter prevalence on the top 5,000, Figure 8's strata and category
+// skew, §5.1's activity rates, and Figure 6's special cases (toyota.com's
+// 83 matches, ask.com's cookie sensitivity, imgur.com's ad-block
+// detection, sina.com.cn's enormous EasyList footprint).
+//
+// Two inputs couple the corpus to the rest of the pipeline: the adnet
+// service table (third-party inventory with calibrated prevalence) and the
+// Acceptable Ads whitelist itself — pages of explicitly whitelisted
+// publishers embed exactly the resources their restricted filters except,
+// derived from the filter patterns, so the survey measures what the
+// whitelist permits rather than what a separate generator guessed.
+package webgen
+
+import (
+	"strings"
+
+	"acceptableads/internal/adnet"
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/domainutil"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/xrand"
+)
+
+// PageOptions carries browser state that changes what some sites serve.
+type PageOptions struct {
+	// HasCookies marks a revisit; ask.com serves fewer ad resources to
+	// cookie-bearing browsers (§5).
+	HasCookies bool
+	// AdblockDetected makes imgur.com swap its ad inventory (§5).
+	AdblockDetected bool
+}
+
+// Embed is one ad resource a page pulls in.
+type Embed struct {
+	URL  string
+	Type filter.ContentType
+	// Repeats is how many times the page requests the resource.
+	Repeats int
+}
+
+// Corpus renders the synthetic Web.
+type Corpus struct {
+	seed     uint64
+	universe *alexa.Universe
+	// pubEmbeds maps explicitly whitelisted FQDNs to the embeds derived
+	// from their restricted filters.
+	pubEmbeds map[string][]Embed
+	// elemAllows maps FQDNs to element ids their element-hide exceptions
+	// un-hide.
+	elemAllows map[string][]string
+	// englishShare is the fraction of sites EasyList can cover, used to
+	// convert Table 4's unconditional counts into conditional inclusion
+	// probabilities.
+	englishShare float64
+}
+
+// New builds a corpus. whitelist may be nil for an ad-network-only web.
+func New(seed uint64, universe *alexa.Universe, whitelist *filter.List) *Corpus {
+	c := &Corpus{
+		seed:         seed,
+		universe:     universe,
+		pubEmbeds:    make(map[string][]Embed),
+		elemAllows:   make(map[string][]string),
+		englishShare: 0.79,
+	}
+	if whitelist != nil {
+		c.deriveEmbeds(whitelist)
+	}
+	return c
+}
+
+// deriveEmbeds walks the whitelist's restricted filters and computes, for
+// each explicitly listed publisher, the ad resources that activate them.
+func (c *Corpus) deriveEmbeds(l *filter.List) {
+	for _, f := range l.Active() {
+		switch f.Kind {
+		case filter.KindRequestException:
+			domains := f.PositiveDomains()
+			if len(domains) == 0 {
+				continue
+			}
+			host := f.PatternHost()
+			if host == "" {
+				continue
+			}
+			url, ok := urlFromPattern(f)
+			if !ok {
+				continue
+			}
+			emb := Embed{URL: url, Type: primaryType(f.TypeMask), Repeats: 1}
+			for _, d := range domains {
+				// Google search-ad exceptions only fire after a
+				// search (§5's lower-bound caveat); landing pages
+				// of google.* domains stay quiet.
+				if strings.HasPrefix(d, "google.") || strings.HasPrefix(d, "www.google.") {
+					continue
+				}
+				c.pubEmbeds[d] = append(c.pubEmbeds[d], emb)
+			}
+		case filter.KindElemHideException:
+			sel := f.Selector
+			if !strings.HasPrefix(sel, "#") || strings.ContainsAny(sel[1:], " .#[>") {
+				continue
+			}
+			for _, d := range f.PositiveDomains() {
+				c.elemAllows[d] = append(c.elemAllows[d], sel[1:])
+			}
+		}
+	}
+}
+
+// urlFromPattern turns a restricted filter's matching expression into a
+// concrete resource URL that the pattern matches: separators become
+// slashes, wildcards become a path segment, and directory-style patterns
+// gain a file name fitting the content type.
+func urlFromPattern(f *filter.Filter) (string, bool) {
+	if f.IsRegex || !f.AnchorDomain {
+		return "", false
+	}
+	s := strings.ReplaceAll(f.Pattern, "^", "/")
+	s = strings.ReplaceAll(s, "*", "seg")
+	if s == "" {
+		return "", false
+	}
+	if strings.HasSuffix(s, "/") {
+		s += fileFor(primaryType(f.TypeMask))
+	} else if last := s[strings.LastIndexByte(s, '/')+1:]; !strings.Contains(last, ".") {
+		s += "/" + fileFor(primaryType(f.TypeMask))
+	}
+	return "http://" + s, true
+}
+
+// primaryType picks the concrete content type a page should use to
+// exercise a filter's mask.
+func primaryType(mask filter.ContentType) filter.ContentType {
+	for _, t := range []filter.ContentType{
+		filter.TypeScript, filter.TypeImage, filter.TypeSubdocument,
+		filter.TypeStylesheet, filter.TypeObject, filter.TypeXMLHTTPRequest,
+		filter.TypeOther,
+	} {
+		if mask&t != 0 {
+			return t
+		}
+	}
+	return filter.TypeOther
+}
+
+func fileFor(t filter.ContentType) string {
+	switch t {
+	case filter.TypeScript:
+		return "ad.js"
+	case filter.TypeImage:
+		return "ad.gif"
+	case filter.TypeSubdocument:
+		return "frame.html"
+	case filter.TypeStylesheet:
+		return "ad.css"
+	default:
+		return "resource"
+	}
+}
+
+// Activity classifies what a landing page serves.
+type Activity uint8
+
+const (
+	// Silent pages carry no ad inventory at all — the §5.1 population of
+	// non-English sites and sites needing interaction (1,044 of the top
+	// 5,000).
+	Silent Activity = iota
+	// AdSupported pages embed third-party inventory.
+	AdSupported
+)
+
+// Activity reports whether host's landing page carries ads.
+func (c *Corpus) Activity(host string) Activity {
+	if host == "sina.com.cn" {
+		return AdSupported // special case: huge EasyList footprint
+	}
+	d, ranked := c.domainOf(host)
+	if ranked && d.Category == alexa.NonEnglish {
+		return Silent
+	}
+	// Search-gated google properties (their ads need a query).
+	if reg := domainutil.Registrable(host); strings.HasPrefix(reg, "google.") {
+		return Silent
+	}
+	// A slice of English sites needs interaction before showing ads.
+	if xrand.Uniform(c.seed, "gated:"+host) < 0.008 {
+		return Silent
+	}
+	return AdSupported
+}
+
+func (c *Corpus) domainOf(host string) (alexa.Domain, bool) {
+	if rank, ok := c.universe.Rank(host); ok {
+		return c.universe.Domain(rank), true
+	}
+	return alexa.Domain{Name: host}, false
+}
+
+// intensity is the per-site ad-load multiplier giving the inclusion
+// correlation that calibrates §5.1's 59% whitelist-trigger rate together
+// with the 2.6 mean distinct filters.
+func (c *Corpus) intensity(host string) float64 {
+	v := xrand.Uniform(c.seed, "intensity:"+host)
+	return 0.26 + 1.8*v*v
+}
+
+// strataIndex maps an Alexa rank to the survey's four sample groups;
+// unranked hosts (rank 0) behave like the deep tail.
+func strataIndex(rank int) int {
+	switch {
+	case rank <= 0:
+		return 3
+	case rank <= 5000:
+		return 0
+	case rank <= 50000:
+		return 1
+	case rank <= 100000:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Embeds computes the third-party resources host's landing page requests.
+func (c *Corpus) Embeds(host string, opts PageOptions) []Embed {
+	if special := c.specialEmbeds(host, opts); special != nil {
+		return special
+	}
+	if c.Activity(host) == Silent {
+		return nil
+	}
+	d, ranked := c.domainOf(host)
+	rank := 0
+	if ranked {
+		rank = d.Rank
+	}
+	stratum := strataIndex(rank)
+	intensity := c.intensity(host)
+
+	var out []Embed
+	for _, n := range adnet.Networks() {
+		p := float64(n.Top5kCount) / 5000 / c.englishShare
+		p *= n.StrataMult[stratum]
+		if d.Category == alexa.Shopping {
+			p *= n.ShoppingBoost
+		}
+		p *= intensity
+		if xrand.Uniform(c.seed, "net:"+n.Name+":"+host) >= p {
+			continue
+		}
+		rep := 1
+		if n.Repeats > 1 {
+			rep = 1 + int(xrand.Hash64(c.seed, "rep:"+n.Name+":"+host)%uint64(n.Repeats))
+		}
+		out = append(out, Embed{URL: n.URL(), Type: n.Type, Repeats: rep})
+	}
+	// Explicitly whitelisted publishers embed what their filters except.
+	out = append(out, c.pubEmbeds[host]...)
+	return out
+}
+
+// InfluadsElement reports whether the page carries the influads_block
+// element (Table 4's #20, observed on 30 of the top 5,000).
+func (c *Corpus) InfluadsElement(host string) bool {
+	if c.Activity(host) == Silent {
+		return false
+	}
+	p := float64(adnet.InfluadsElementCount) / 5000 / c.englishShare
+	return xrand.Uniform(c.seed, "influads-el:"+host) < p
+}

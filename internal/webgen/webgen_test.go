@@ -1,0 +1,191 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/htmldom"
+)
+
+func testCorpus(t *testing.T, whitelist string) *Corpus {
+	t.Helper()
+	u := alexa.NewUniverse(1, 1000000)
+	var l *filter.List
+	if whitelist != "" {
+		l = filter.ParseListString("exceptionrules", whitelist)
+	}
+	return New(1, u, l)
+}
+
+func TestPageDeterminism(t *testing.T) {
+	c := testCorpus(t, "")
+	a := c.Page("shop1234.com", PageOptions{})
+	b := c.Page("shop1234.com", PageOptions{})
+	if a != b {
+		t.Error("page render not deterministic")
+	}
+	other := c.Page("news77.com", PageOptions{})
+	if a == other {
+		t.Error("different hosts produced identical pages")
+	}
+}
+
+func TestSilentSites(t *testing.T) {
+	c := testCorpus(t, "")
+	u := alexa.NewUniverse(1, 1000000)
+	// Find a non-English top-5k site; it must embed nothing.
+	for rank := 1; rank <= 5000; rank++ {
+		d := u.Domain(rank)
+		if d.Category == alexa.NonEnglish && d.Name != "sina.com.cn" {
+			if got := c.Embeds(d.Name, PageOptions{}); len(got) != 0 {
+				t.Fatalf("non-English %s embeds %d resources", d.Name, len(got))
+			}
+			return
+		}
+	}
+	t.Fatal("no non-English site found in top 5k")
+}
+
+func TestGoogleSearchGated(t *testing.T) {
+	c := testCorpus(t, "@@||googleadservices.com^$third-party,domain=google.de\n")
+	if got := c.Embeds("google.de", PageOptions{}); len(got) != 0 {
+		t.Errorf("google.de landing page embeds %d resources, want 0 (search-gated)", len(got))
+	}
+}
+
+func TestDerivedPublisherEmbeds(t *testing.T) {
+	c := testCorpus(t,
+		"@@||ad.doubleclick.net/gampad/$script,domain=toyota.com\n"+
+			"@@||static.adzerk.net/ads$subdocument,domain=cracked.com\n")
+	emb := c.pubEmbeds["toyota.com"]
+	if len(emb) != 1 {
+		t.Fatalf("toyota embeds = %+v", emb)
+	}
+	if !strings.HasPrefix(emb[0].URL, "http://ad.doubleclick.net/gampad/") {
+		t.Errorf("derived URL = %q", emb[0].URL)
+	}
+	if emb[0].Type != filter.TypeScript {
+		t.Errorf("derived type = %v", emb[0].Type)
+	}
+	// The derived URL must activate the filter it came from.
+	f := filter.Parse("@@||ad.doubleclick.net/gampad/$script,domain=toyota.com")
+	if f.Kind != filter.KindRequestException {
+		t.Fatal("test filter did not parse")
+	}
+}
+
+func TestURLFromPattern(t *testing.T) {
+	cases := []struct {
+		line string
+		want string
+	}{
+		{"@@||ad.doubleclick.net/gampad/$script,domain=x.com", "http://ad.doubleclick.net/gampad/ad.js"},
+		{"@@||googleadservices.com^$third-party,domain=x.com", "http://googleadservices.com/ad.js"},
+		{"@@||google.com/ads/search/module/ads/*/search.js$script,domain=x.com", "http://google.com/ads/search/module/ads/seg/search.js"},
+		{"@@||static.adzerk.net/ads$subdocument,domain=x.com", "http://static.adzerk.net/ads/frame.html"},
+	}
+	for _, tt := range cases {
+		f := filter.Parse(tt.line)
+		got, ok := urlFromPattern(f)
+		if !ok || got != tt.want {
+			t.Errorf("urlFromPattern(%q) = %q,%v want %q", tt.line, got, ok, tt.want)
+		}
+	}
+}
+
+func TestToyotaCalibration(t *testing.T) {
+	c := testCorpus(t, "@@||ad.doubleclick.net/gampad/$script,domain=toyota.com\n")
+	embeds := c.Embeds("toyota.com", PageOptions{})
+	if len(embeds) != 8 {
+		t.Fatalf("toyota distinct embeds = %d, want 8", len(embeds))
+	}
+	total := 0
+	for _, e := range embeds {
+		total += e.Repeats
+	}
+	if total != 83 {
+		t.Errorf("toyota total requests = %d, want 83", total)
+	}
+}
+
+func TestAskCookieSensitivity(t *testing.T) {
+	c := testCorpus(t, "")
+	without := c.Embeds("ask.com", PageOptions{HasCookies: false})
+	with := c.Embeds("ask.com", PageOptions{HasCookies: true})
+	if len(without) <= len(with) {
+		t.Errorf("ask.com: %d embeds without cookies, %d with — want more without",
+			len(without), len(with))
+	}
+}
+
+func TestImgurAdblockDetection(t *testing.T) {
+	c := testCorpus(t, "")
+	normal := c.Embeds("imgur.com", PageOptions{})
+	detected := c.Embeds("imgur.com", PageOptions{AdblockDetected: true})
+	same := len(normal) == len(detected)
+	if same {
+		for i := range normal {
+			if normal[i].URL != detected[i].URL {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("imgur serves identical inventory regardless of ad-block detection")
+	}
+}
+
+func TestPageParsesAndYieldsResources(t *testing.T) {
+	c := testCorpus(t, "@@||ad.doubleclick.net/gampad/$script,domain=toyota.com\n")
+	html := c.Page("toyota.com", PageOptions{})
+	doc := htmldom.Parse(html)
+	res := htmldom.ExtractResources(doc, "http://toyota.com/")
+	// 83 ad requests plus the first-party stylesheet.
+	ads := 0
+	for _, r := range res {
+		if !strings.Contains(r.URL, "toyota.com") {
+			ads++
+		}
+	}
+	if ads != 83 {
+		t.Errorf("extracted %d third-party resources, want 83", ads)
+	}
+}
+
+func TestElementExceptionsRendered(t *testing.T) {
+	c := testCorpus(t, "reddit.com#@##ad_main\n")
+	html := c.Page("reddit.com", PageOptions{})
+	if !strings.Contains(html, `id="ad_main"`) {
+		t.Error("reddit page missing the ad_main element its exception un-hides")
+	}
+}
+
+func TestInfluadsPrevalence(t *testing.T) {
+	c := testCorpus(t, "")
+	u := alexa.NewUniverse(1, 1000000)
+	count := 0
+	for rank := 1; rank <= 5000; rank++ {
+		if c.InfluadsElement(u.Domain(rank).Name) {
+			count++
+		}
+	}
+	// Calibrated to ~30 of the top 5,000 (Table 4 #20).
+	if count < 15 || count > 50 {
+		t.Errorf("influads elements on %d sites, want ~30", count)
+	}
+}
+
+func TestStrataIndex(t *testing.T) {
+	cases := []struct{ rank, want int }{
+		{1, 0}, {5000, 0}, {5001, 1}, {50000, 1}, {50001, 2},
+		{100000, 2}, {100001, 3}, {999999, 3}, {0, 3},
+	}
+	for _, tt := range cases {
+		if got := strataIndex(tt.rank); got != tt.want {
+			t.Errorf("strataIndex(%d) = %d, want %d", tt.rank, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package webserver serves the synthetic Web over real HTTP: one
+// loopback listener virtual-hosts every domain of the corpus, every ad
+// network, and any specially registered hosts (the parking services). A
+// companion http.Client dials the listener regardless of the requested
+// hostname, so the instrumented browser crawls "the Internet" through the
+// standard net/http stack — headers, cookies, status codes and redirects
+// all behave as they would against real sites.
+package webserver
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"acceptableads/internal/webgen"
+)
+
+// Server is the virtual-host HTTP server.
+type Server struct {
+	corpus *webgen.Corpus
+
+	mu       sync.RWMutex
+	handlers map[string]http.Handler
+
+	ln   net.Listener
+	srv  *http.Server
+	addr string
+}
+
+// New creates an unstarted server over the corpus. corpus may be nil when
+// only registered handlers matter (the parked-domain scans).
+func New(corpus *webgen.Corpus) *Server {
+	return &Server{
+		corpus:   corpus,
+		handlers: make(map[string]http.Handler),
+	}
+}
+
+// Handle registers an exact-host handler (e.g. a parked domain). It may be
+// called while the server runs.
+func (s *Server) Handle(host string, h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[strings.ToLower(host)] = h
+}
+
+// Start binds a loopback listener and serves until Close.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("webserver: listen: %w", err)
+	}
+	s.ln = ln
+	s.addr = ln.Addr().String()
+	s.srv = &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return nil
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// Addr returns the listener address (host:port), valid after Start.
+func (s *Server) Addr() string { return s.addr }
+
+// ServeHTTP routes by the Host header: registered handlers first, then ad
+// resource hosts, then corpus landing pages.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	host := strings.ToLower(r.Host)
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+
+	s.mu.RLock()
+	h, ok := s.handlers[host]
+	s.mu.RUnlock()
+	if ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+
+	if isResourcePath(r.URL.Path) {
+		serveResource(w, r)
+		return
+	}
+
+	if s.corpus == nil {
+		http.NotFound(w, r)
+		return
+	}
+	opts := webgen.PageOptions{
+		HasCookies:      len(r.Cookies()) > 0,
+		AdblockDetected: r.Header.Get("X-Simulated-Adblock") != "",
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, s.corpus.Page(host, opts))
+}
+
+// isResourcePath distinguishes sub-resource fetches from landing pages.
+func isResourcePath(path string) bool {
+	if path == "/" || path == "" {
+		return false
+	}
+	for _, suffix := range []string{
+		".js", ".gif", ".png", ".css", ".html", ".woff", ".swf",
+		"/collect", "/track", "/imp", "/beacon", "/resource",
+	} {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return strings.Count(path, "/") > 1
+}
+
+// serveResource answers ad-network fetches with minimal typed bodies.
+func serveResource(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasSuffix(r.URL.Path, ".js"):
+		w.Header().Set("Content-Type", "application/javascript")
+		fmt.Fprint(w, "/* ad payload */")
+	case strings.HasSuffix(r.URL.Path, ".css"):
+		w.Header().Set("Content-Type", "text/css")
+		fmt.Fprint(w, ".ad{display:block}")
+	case strings.HasSuffix(r.URL.Path, ".gif"), strings.HasSuffix(r.URL.Path, ".png"):
+		w.Header().Set("Content-Type", "image/gif")
+		fmt.Fprint(w, "GIF89a")
+	case strings.HasSuffix(r.URL.Path, ".html"):
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, "<html><body>ad frame</body></html>")
+	default:
+		w.Header().Set("Content-Type", "application/octet-stream")
+		fmt.Fprint(w, "ok")
+	}
+}
+
+// Client returns an http.Client whose transport resolves every hostname to
+// this server, making the loopback listener "the Internet".
+func (s *Server) Client() *http.Client {
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			return dialer.DialContext(ctx, "tcp", s.addr)
+		},
+		// The transport pools idle connections per *hostname*, and a
+		// crawl touches thousands of virtual hosts that all resolve to
+		// one listener — without a tight total cap the idle pool would
+		// exhaust file descriptors.
+		MaxIdleConns:        32,
+		MaxIdleConnsPerHost: 2,
+		IdleConnTimeout:     2 * time.Second,
+	}
+	return &http.Client{Transport: transport, Timeout: 10 * time.Second}
+}

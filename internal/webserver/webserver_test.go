@@ -1,0 +1,100 @@
+package webserver
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/webgen"
+)
+
+func startServer(t *testing.T) (*Server, *http.Client) {
+	t.Helper()
+	corpus := webgen.New(1, alexa.NewUniverse(1, 1000000), nil)
+	s := New(corpus)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, s.Client()
+}
+
+func get(t *testing.T, c *http.Client, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestVirtualHosting(t *testing.T) {
+	_, c := startServer(t)
+	_, bodyA := get(t, c, "http://shop1234.com/")
+	_, bodyB := get(t, c, "http://news5678.com/")
+	if !strings.Contains(bodyA, "shop1234.com") {
+		t.Error("page body missing its own host")
+	}
+	if bodyA == bodyB {
+		t.Error("different hosts served identical pages")
+	}
+}
+
+func TestAdResourceServing(t *testing.T) {
+	_, c := startServer(t)
+	resp, body := get(t, c, "http://stats.g.doubleclick.net/r/collect")
+	if resp.StatusCode != 200 || body == "" {
+		t.Errorf("ad resource: %d %q", resp.StatusCode, body)
+	}
+	resp, _ = get(t, c, "http://www.googleadservices.com/pagead/conversion.js")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/javascript" {
+		t.Errorf("js content type = %q", ct)
+	}
+}
+
+func TestRegisteredHandlerWins(t *testing.T) {
+	s, c := startServer(t)
+	s.Handle("special.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "custom")
+	}))
+	_, body := get(t, c, "http://special.example/")
+	if body != "custom" {
+		t.Errorf("handler not routed: %q", body)
+	}
+}
+
+func TestNilCorpus404(t *testing.T) {
+	s := New(nil)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, _ := get(t, s.Client(), "http://nowhere.example/")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestIsResourcePath(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/", false}, {"", false}, {"/x.js", true}, {"/a/b.gif", true},
+		{"/r/collect", true}, {"/gampad/ads.js", true}, {"/deep/path/x", true},
+		{"/landing", false},
+	}
+	for _, tt := range cases {
+		if got := isResourcePath(tt.path); got != tt.want {
+			t.Errorf("isResourcePath(%q) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package xrand supplies the deterministic randomness all synthetic-data
+// generators share. Every table and figure of the reproduction must be
+// bit-reproducible from a seed (DESIGN.md §6), so generators never touch
+// global math/rand state or the crypto/rand pool; they derive everything
+// from explicit seeds through this package.
+//
+// Two styles are provided: a sequential generator (RNG) for ordered
+// synthesis such as the whitelist history, and stateless hashing (Hash64,
+// Uniform) for per-entity draws such as "does domain X embed ad network Y",
+// which must not depend on enumeration order.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitmix64 is the mixing function underlying both the RNG stream and the
+// stateless hashes. It passes BigCrush as a 64-bit mixer and is trivially
+// portable — results are identical on every platform.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a small deterministic random number generator (xoshiro-style
+// state update seeded via splitmix64). The zero value is NOT usable;
+// construct with New.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// New returns a generator seeded deterministically from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.s0 = splitmix64(seed)
+	r.s1 = splitmix64(r.s0)
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s1 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 random bits (xoroshiro128+ update).
+func (r *RNG) Uint64() uint64 {
+	s0, s1 := r.s0, r.s1
+	result := s0 + s1
+	s1 ^= s0
+	r.s0 = bits.RotateLeft64(s0, 55) ^ s1 ^ (s1 << 14)
+	r.s1 = bits.RotateLeft64(s1, 36)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; one value per
+// call, the pair's second half discarded for simplicity).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements via the swap callback.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Read fills p with deterministic bytes, satisfying io.Reader so the RNG
+// can drive prime generation for reproducible sitekeys. It never fails.
+func (r *RNG) Read(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return len(p), nil
+}
+
+// Hash64 hashes a seed and a string to a stable 64-bit value. It is the
+// basis of order-independent per-entity draws.
+func Hash64(seed uint64, s string) uint64 {
+	h := splitmix64(seed ^ 0x51_7c_c1_b7_27_22_0a_95)
+	for i := 0; i < len(s); i++ {
+		h = splitmix64(h ^ uint64(s[i]))
+	}
+	return h
+}
+
+// Uniform maps (seed, key) to a uniform float in [0, 1), deterministically
+// and independent of call order.
+func Uniform(seed uint64, key string) float64 {
+	return float64(Hash64(seed, key)>>11) / (1 << 53)
+}
+
+// PickWeighted returns the index of the weight bucket that u (a uniform
+// [0,1) draw) falls into; weights need not sum to 1 — they are normalized.
+// An empty or all-zero weight slice yields 0.
+func PickWeighted(u float64, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	target := u * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
