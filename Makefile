@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: checks every bench still runs, not perf.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# The pre-merge gate: static checks, a clean build, the full suite under
+# the race detector, and a smoke pass over every benchmark.
+ci: vet build race bench

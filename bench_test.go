@@ -182,6 +182,7 @@ func BenchmarkFig5SitekeyExploit(b *testing.B) {
 func BenchmarkFig6TopSites(b *testing.B) {
 	f := fixtures(b)
 	b.ResetTimer()
+	matches := 0
 	for i := 0; i < b.N; i++ {
 		rows, err := f.survey.TopSites(20)
 		if err != nil {
@@ -190,12 +191,22 @@ func BenchmarkFig6TopSites(b *testing.B) {
 		if len(rows) == 0 {
 			b.Fatal("bad fig 6")
 		}
+		for _, r := range rows {
+			matches += r.WLMatches + r.ELMatches + r.ELOnlyMatches
+		}
 	}
+	b.ReportMetric(float64(matches)/b.Elapsed().Seconds(), "matches/sec")
 }
 
 // BenchmarkFig7ECDF regenerates the match-distribution ECDFs.
 func BenchmarkFig7ECDF(b *testing.B) {
 	f := fixtures(b)
+	// The ECDFs aggregate every whitelist match the crawl recorded; the
+	// per-iteration match volume is that fixed total.
+	perIter := 0
+	for i := range f.survey.Results {
+		perIter += f.survey.Results[i].WLTotal()
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		totalE, distinctE := f.survey.ECDFs()
@@ -203,11 +214,16 @@ func BenchmarkFig7ECDF(b *testing.B) {
 			b.Fatal("bad fig 7")
 		}
 	}
+	b.ReportMetric(float64(perIter*b.N)/b.Elapsed().Seconds(), "matches/sec")
 }
 
 // BenchmarkFig8StrataMatrix regenerates the per-stratum frequency matrix.
 func BenchmarkFig8StrataMatrix(b *testing.B) {
 	f := fixtures(b)
+	perIter := 0
+	for i := range f.survey.Results {
+		perIter += f.survey.Results[i].AllTotal()
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := f.survey.StrataFrequencies(50)
@@ -215,6 +231,7 @@ func BenchmarkFig8StrataMatrix(b *testing.B) {
 			b.Fatal("bad fig 8")
 		}
 	}
+	b.ReportMetric(float64(perIter*b.N)/b.Elapsed().Seconds(), "matches/sec")
 }
 
 // BenchmarkFig9Perception runs the full 305-respondent survey simulation.
@@ -277,6 +294,7 @@ func BenchmarkEngineMatchRequest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f.eng.MatchRequest(reqs[i%len(reqs)])
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
 }
 
 // BenchmarkAblationKeywordIndexOn/Off quantify what the keyword index buys

@@ -4,9 +4,13 @@
 //
 // Usage:
 //
-//	aa-history [-seed N] [-table1] [-fig3] [-cadence]
+//	aa-history [-seed N] [-metrics-addr :8080] [-log-level info] [-trace] \
+//	           [-table1] [-fig3] [-cadence]
 //
-// With no selection flags, everything prints.
+// With no selection flags, everything prints. -metrics-addr serves the
+// revision-diff counters and latency histogram live at /debug/vars (with
+// /debug/pprof/ alongside); -trace additionally appends the telemetry
+// snapshot to the report.
 package main
 
 import (
@@ -17,18 +21,44 @@ import (
 
 	"acceptableads/internal/core"
 	"acceptableads/internal/histanalysis"
+	"acceptableads/internal/obs"
 	"acceptableads/internal/report"
+	"acceptableads/internal/vcs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aa-history: ")
 	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars, /debug/progress and /debug/pprof/ on this address (empty = off)")
+	logLevel := flag.String("log-level", "info", "log spec: LEVEL or component=LEVEL,... (debug, info, warn, error)")
+	trace := flag.Bool("trace", false, "enable span tracing and append the telemetry snapshot")
 	table1 := flag.Bool("table1", false, "print Table 1 only")
 	fig3 := flag.Bool("fig3", false, "print Figure 3 only")
 	cadence := flag.Bool("cadence", false, "print update cadence only")
 	flag.Parse()
 	all := !*table1 && !*fig3 && !*cadence
+
+	if *trace {
+		obs.SetTracing(true)
+		if *logLevel == "info" {
+			*logLevel = "debug"
+		}
+	}
+	if err := obs.SetLogSpec(*logLevel); err != nil {
+		log.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	vcs.SetMetrics(reg)
+	histanalysis.SetMetrics(reg)
+	if *metricsAddr != "" {
+		addr, stop, err := obs.ServeDebug(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "aa-history: telemetry at http://%s/debug/vars\n", addr)
+	}
 
 	study := core.NewStudy(*seed)
 	out := os.Stdout
@@ -93,5 +123,10 @@ func main() {
 		fmt.Fprintf(out, "Revisions:                 %d (Rev 0 .. Rev %d)\n", h.Repo.Len(), h.Repo.Len()-1)
 		fmt.Fprintf(out, "Mean days between updates: %.2f (paper reports ~1.5)\n", days)
 		fmt.Fprintf(out, "Filters touched/revision:  %.1f (paper reports 11.4)\n", perRev)
+	}
+
+	if *trace {
+		report.Section(out, "Telemetry snapshot")
+		obs.WriteText(out, reg.Snapshot())
 	}
 }

@@ -7,10 +7,13 @@
 //
 // Usage:
 //
-//	aa-parked [-seed N] [-scale 1000]
+//	aa-parked [-seed N] [-scale 1000] [-metrics-addr :8080] [-log-level info] [-trace]
 //
 // Scale divides the paper's 2,676,165 domains; -scale 1 reproduces the
-// full population (several million live probes).
+// full population (several million live probes). -metrics-addr serves the
+// probe counters and per-service progress live at /debug/vars and
+// /debug/progress while the scan runs; -trace additionally appends the
+// telemetry snapshot to the report.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"os"
 
 	"acceptableads/internal/core"
+	"acceptableads/internal/obs"
 	"acceptableads/internal/report"
 )
 
@@ -28,13 +32,36 @@ func main() {
 	log.SetPrefix("aa-parked: ")
 	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
 	scale := flag.Int("scale", 1000, "zone scale divisor (1 = full 2.6M domains)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars, /debug/progress and /debug/pprof/ on this address (empty = off)")
+	logLevel := flag.String("log-level", "info", "log spec: LEVEL or component=LEVEL,... (debug, info, warn, error)")
+	trace := flag.Bool("trace", false, "emit per-probe span logs and append the telemetry snapshot")
 	flag.Parse()
+
+	if *trace {
+		obs.SetTracing(true)
+		if *logLevel == "info" {
+			*logLevel = "debug"
+		}
+	}
+	if err := obs.SetLogSpec(*logLevel); err != nil {
+		log.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	prog := obs.NewProgress()
+	if *metricsAddr != "" {
+		addr, stop, err := obs.ServeDebug(*metricsAddr, reg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "aa-parked: telemetry at http://%s/debug/vars\n", addr)
+	}
 
 	study := core.NewStudy(*seed)
 	out := os.Stdout
 
 	fmt.Fprintf(out, "scanning the synthesized .com zone at scale 1/%d...\n", *scale)
-	res, err := study.ParkedScan(*scale)
+	res, err := study.ParkedScanOpts(*scale, reg, prog, obs.Logger("parked"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,4 +84,9 @@ func main() {
 	fmt.Fprintf(out, "\nTotal verified: %s at scale 1/%d → %s extrapolated (paper: %s)\n",
 		report.Count(res.Total), res.Scale,
 		report.Count(res.FullSum), report.Count(res.PaperSum))
+
+	if *trace {
+		report.Section(out, "Telemetry snapshot")
+		obs.WriteText(out, reg.Snapshot())
+	}
 }

@@ -7,10 +7,13 @@
 // Usage:
 //
 //	aa-survey [-seed N] [-top 5000] [-stratum 1000] \
+//	          [-metrics-addr :8080] [-log-level info] [-trace] \
 //	          [-summary] [-table4] [-fig6] [-fig7] [-fig8]
 //
 // With no selection flags, everything prints. The full crawl visits 8,000
-// landing pages and takes under a minute.
+// landing pages and takes under a minute. While the crawl runs,
+// -metrics-addr serves live counters at /debug/vars, per-stratum progress
+// and ETA at /debug/progress, and profiling at /debug/pprof/.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"os"
 
 	"acceptableads/internal/core"
+	"acceptableads/internal/obs"
 	"acceptableads/internal/report"
 	"acceptableads/internal/sitesurvey"
 )
@@ -31,9 +35,12 @@ func main() {
 	seed := flag.Uint64("seed", core.DefaultSeed, "study seed")
 	top := flag.Int("top", 5000, "head-group size")
 	stratum := flag.Int("stratum", 1000, "per-stratum sample size")
-	workers := flag.Int("workers", 0, "crawl parallelism (0 = 8)")
+	workers := flag.Int("workers", 0, "crawl parallelism (0 = runtime.NumCPU(), capped at 8)")
 	rev := flag.Int("rev", -1, "survey a historical whitelist revision against the 2015 web")
 	jsonOut := flag.String("json", "", "also write the per-site results as JSON to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars, /debug/progress and /debug/pprof/ on this address (empty = off)")
+	logLevel := flag.String("log-level", "info", "log spec: LEVEL or component=LEVEL,... (debug, info, warn, error)")
+	trace := flag.Bool("trace", false, "emit per-visit span logs (implies -log-level debug)")
 	summary := flag.Bool("summary", false, "print the §5.1 summary only")
 	table4 := flag.Bool("table4", false, "print Table 4 only")
 	fig6 := flag.Bool("fig6", false, "print Figure 6 only")
@@ -42,18 +49,41 @@ func main() {
 	flag.Parse()
 	all := !*summary && !*table4 && !*fig6 && !*fig7 && !*fig8
 
+	if *trace {
+		obs.SetTracing(true)
+		if *logLevel == "info" {
+			*logLevel = "debug"
+		}
+	}
+	if err := obs.SetLogSpec(*logLevel); err != nil {
+		log.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	prog := obs.NewProgress()
+	if *metricsAddr != "" {
+		addr, stop, err := obs.ServeDebug(*metricsAddr, reg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "aa-survey: telemetry at http://%s/debug/vars (progress, pprof alongside)\n", addr)
+	}
+
 	study := core.NewStudy(*seed)
 	out := os.Stdout
 
 	fmt.Fprintf(out, "crawling %d + 3×%d landing pages over live HTTP...\n", *top, *stratum)
-	var s *sitesurvey.Survey
-	var err error
+	opts := core.SurveyOptions{
+		TopN: *top, Stratum: *stratum, Workers: *workers, Rev: -1,
+		Obs: reg, Progress: prog, Logger: obs.Logger("sitesurvey"),
+	}
 	if *rev >= 0 {
 		fmt.Fprintf(out, "engine whitelist pinned to historical Rev %d (web stays at Rev 988)\n", *rev)
-		s, err = study.RunSurveyAtRev(*rev, *top, *stratum)
-	} else {
-		s, err = study.RunSurveyWorkers(*top, *stratum, *workers)
+		opts.Rev = *rev
 	}
+	var s *sitesurvey.Survey
+	var err error
+	s, err = study.RunSurveyOpts(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,6 +118,9 @@ func main() {
 				"paper: toyota.com (83/8)"},
 		}
 		report.Table(out, []string{"Statistic", "Value", "Reference"}, rows)
+
+		report.Section(out, "Telemetry snapshot")
+		obs.WriteText(out, reg.Snapshot())
 	}
 
 	if *table4 || all {

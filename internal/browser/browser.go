@@ -13,10 +13,12 @@ import (
 	"net/http"
 	"net/http/cookiejar"
 	"strings"
+	"time"
 
 	"acceptableads/internal/domainutil"
 	"acceptableads/internal/engine"
 	"acceptableads/internal/htmldom"
+	"acceptableads/internal/obs"
 	"acceptableads/internal/sitekey"
 )
 
@@ -44,6 +46,37 @@ type Browser struct {
 	// AnnounceAdblock sends the X-Simulated-Adblock header, standing in
 	// for the script-based ad-block detection some sites (imgur) run.
 	AnnounceAdblock bool
+
+	// metrics is the optional telemetry hook; nil (the default) records
+	// nothing. See SetObs.
+	metrics *browserMetrics
+}
+
+// browserMetrics pre-resolves the browser's instruments.
+type browserMetrics struct {
+	pages    *obs.Counter
+	pageLat  *obs.Histogram
+	requests *obs.Counter
+	blocked  *obs.Counter
+	fetched  *obs.Counter
+	bytes    *obs.Counter
+}
+
+// SetObs wires page-load telemetry into reg; nil disables it. Like the
+// other configuration fields, set it before the crawl starts.
+func (b *Browser) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		b.metrics = nil
+		return
+	}
+	b.metrics = &browserMetrics{
+		pages:    reg.Counter("browser.pages"),
+		pageLat:  reg.Histogram("browser.page.latency"),
+		requests: reg.Counter("browser.requests"),
+		blocked:  reg.Counter("browser.blocked"),
+		fetched:  reg.Counter("browser.fetched"),
+		bytes:    reg.Counter("browser.bytes"),
+	}
 }
 
 // New wraps an HTTP client (typically webserver.Client) with a fresh
@@ -119,11 +152,18 @@ func (b *Browser) get(url string, dnt bool) (*http.Response, []byte, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("browser: read %s: %w", url, err)
 	}
+	if m := b.metrics; m != nil {
+		m.bytes.Add(int64(len(body)))
+	}
 	return resp, body, nil
 }
 
 // Visit loads a page and runs the full instrumented pipeline.
 func (b *Browser) Visit(url string) (*Visit, error) {
+	var start time.Time
+	if b.metrics != nil {
+		start = time.Now()
+	}
 	resp, body, err := b.Get(url)
 	if err != nil {
 		return nil, err
@@ -135,6 +175,10 @@ func (b *Browser) Visit(url string) (*Visit, error) {
 	}
 	v.DOM = htmldom.Parse(string(body))
 	if b.engine == nil {
+		if m := b.metrics; m != nil {
+			m.pages.Inc()
+			m.pageLat.Observe(time.Since(start))
+		}
 		return v, nil
 	}
 
@@ -192,6 +236,13 @@ func (b *Browser) Visit(url string) (*Visit, error) {
 	// Element hiding, unless a page-level allowance disabled it.
 	if !v.Flags.DocumentAllowed && !v.Flags.ElemHideDisabled {
 		v.Hidden = sess.HideElements(v.DOM, v.FinalURL, host)
+	}
+	if m := b.metrics; m != nil {
+		m.pages.Inc()
+		m.pageLat.Observe(time.Since(start))
+		m.requests.Add(int64(v.Requests))
+		m.blocked.Add(int64(v.BlockedRequests))
+		m.fetched.Add(int64(v.FetchedRequests))
 	}
 	return v, nil
 }

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math/big"
 	"sync"
 
@@ -22,6 +23,7 @@ import (
 	"acceptableads/internal/histanalysis"
 	"acceptableads/internal/histgen"
 	"acceptableads/internal/mturk"
+	"acceptableads/internal/obs"
 	"acceptableads/internal/parked"
 	"acceptableads/internal/sitekey"
 	"acceptableads/internal/sitesurvey"
@@ -183,27 +185,35 @@ func (s *Study) Transparency() ([]transparency.GeneralFilter, []transparency.Sha
 		transparency.BuildReport(wl, h.Repo), nil
 }
 
+// SurveyOptions parameterizes RunSurveyOpts. The zero value runs the
+// paper's survey at full scale with telemetry off.
+type SurveyOptions struct {
+	// TopN / Stratum of 0 use the paper's 5,000 / 1,000.
+	TopN, Stratum int
+	// Workers is the crawl parallelism; 0 means
+	// sitesurvey.DefaultWorkers().
+	Workers int
+	// Rev, when non-negative, pins the engine whitelist to a historical
+	// revision while the web stays at Rev 988 (the longitudinal view);
+	// negative surveys the final revision.
+	Rev int
+	// Obs / Progress / Logger are the telemetry hooks threaded through
+	// the crawl; each may be nil.
+	Obs      *obs.Registry
+	Progress *obs.Progress
+	Logger   *slog.Logger
+}
+
 // RunSurvey executes the §5 site survey. topN/stratum of 0 use the paper's
 // 5,000/1,000.
 func (s *Study) RunSurvey(topN, stratum int) (*sitesurvey.Survey, error) {
 	return s.RunSurveyWorkers(topN, stratum, 0)
 }
 
-// RunSurveyWorkers is RunSurvey with explicit crawl parallelism (0 = 8).
+// RunSurveyWorkers is RunSurvey with explicit crawl parallelism (0 =
+// sitesurvey.DefaultWorkers()).
 func (s *Study) RunSurveyWorkers(topN, stratum, workers int) (*sitesurvey.Survey, error) {
-	h, err := s.History()
-	if err != nil {
-		return nil, err
-	}
-	return sitesurvey.Run(sitesurvey.Config{
-		Seed:        s.Seed,
-		Universe:    h.Universe,
-		Whitelist:   h.FinalList(),
-		EasyList:    s.EasyList(),
-		TopN:        topN,
-		StratumSize: stratum,
-		Workers:     workers,
-	})
+	return s.RunSurveyOpts(SurveyOptions{TopN: topN, Stratum: stratum, Workers: workers, Rev: -1})
 }
 
 // RunSurveyAtRev surveys a historical whitelist revision against the fixed
@@ -211,28 +221,51 @@ func (s *Study) RunSurveyWorkers(topN, stratum, workers int) (*sitesurvey.Survey
 // program's reach grow between revisions?" — the longitudinal view the
 // paper's Figure 3 implies but never crawls.
 func (s *Study) RunSurveyAtRev(rev, topN, stratum int) (*sitesurvey.Survey, error) {
+	if rev < 0 {
+		return nil, fmt.Errorf("core: negative revision %d", rev)
+	}
+	return s.RunSurveyOpts(SurveyOptions{TopN: topN, Stratum: stratum, Rev: rev})
+}
+
+// RunSurveyOpts executes the §5 site survey with full control over scale,
+// revision pinning, and telemetry.
+func (s *Study) RunSurveyOpts(o SurveyOptions) (*sitesurvey.Survey, error) {
 	h, err := s.History()
 	if err != nil {
 		return nil, err
 	}
-	r := h.Repo.Rev(rev)
-	if r == nil {
-		return nil, fmt.Errorf("core: revision %d out of range [0,%d]", rev, h.Repo.Len()-1)
+	cfg := sitesurvey.Config{
+		Seed:        s.Seed,
+		Universe:    h.Universe,
+		Whitelist:   h.FinalList(),
+		EasyList:    s.EasyList(),
+		TopN:        o.TopN,
+		StratumSize: o.Stratum,
+		Workers:     o.Workers,
+		Obs:         o.Obs,
+		Progress:    o.Progress,
+		Logger:      o.Logger,
 	}
-	return sitesurvey.Run(sitesurvey.Config{
-		Seed:            s.Seed,
-		Universe:        h.Universe,
-		Whitelist:       filter.ParseListString("exceptionrules", r.Content),
-		CorpusWhitelist: h.FinalList(),
-		EasyList:        s.EasyList(),
-		TopN:            topN,
-		StratumSize:     stratum,
-	})
+	if o.Rev >= 0 {
+		r := h.Repo.Rev(o.Rev)
+		if r == nil {
+			return nil, fmt.Errorf("core: revision %d out of range [0,%d]", o.Rev, h.Repo.Len()-1)
+		}
+		cfg.Whitelist = filter.ParseListString("exceptionrules", r.Content)
+		cfg.CorpusWhitelist = h.FinalList()
+	}
+	return sitesurvey.Run(cfg)
 }
 
 // ParkedScan runs the Table 3 zone scan at the given scale divisor (0
 // means 1000).
 func (s *Study) ParkedScan(scale int) (*parked.ScanResult, error) {
+	return s.ParkedScanOpts(scale, nil, nil, nil)
+}
+
+// ParkedScanOpts is ParkedScan with telemetry hooks threaded through the
+// probe loop; each hook may be nil.
+func (s *Study) ParkedScanOpts(scale int, reg *obs.Registry, prog *obs.Progress, logger *slog.Logger) (*parked.ScanResult, error) {
 	h, err := s.History()
 	if err != nil {
 		return nil, err
@@ -241,6 +274,9 @@ func (s *Study) ParkedScan(scale int) (*parked.ScanResult, error) {
 		Seed:     s.Seed,
 		Scale:    scale,
 		Services: parked.ServicesFromHistory(h),
+		Obs:      reg,
+		Progress: prog,
+		Logger:   logger,
 	})
 }
 

@@ -215,6 +215,9 @@ type Engine struct {
 	recorder      Recorder
 	numFilters    int
 	lists         []string
+	// metrics is the optional telemetry hook; nil (the default) keeps the
+	// match path free of instrumentation. See SetMetrics.
+	metrics *engineMetrics
 }
 
 // New builds an engine over the given named lists. Invalid entries and

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"acceptableads/internal/domainutil"
 	"acceptableads/internal/filter"
 	"acceptableads/internal/htmldom"
@@ -26,6 +28,11 @@ func (e *Engine) NewSession(rec Recorder) *Session {
 }
 
 func (s *Session) record(a Activation) {
+	if m := s.e.metrics; m != nil {
+		if c := m.activations[a.List]; c != nil {
+			c.Inc()
+		}
+	}
 	if s.rec != nil {
 		s.rec.Record(a)
 	}
@@ -35,6 +42,11 @@ func (s *Session) record(a Activation) {
 // filter to the session's recorder. See Engine.MatchRequest for the
 // semantics.
 func (s *Session) MatchRequest(req *Request) Decision {
+	m := s.e.metrics
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	lower := lowerASCII(req.URL)
 	third := domainutil.IsThirdParty(domainutil.HostOf(req.URL), req.DocumentHost)
 	kws := urlKeywords(make([]string, 0, 16), lower)
@@ -63,6 +75,11 @@ func (s *Session) MatchRequest(req *Request) Decision {
 			s.e.dntExceptions.find(req, lower, third, kws) == nil {
 			d.DoNotTrack = true
 		}
+	}
+	if m != nil {
+		m.attempts.Inc()
+		m.verdict(d.Verdict)
+		m.latency.Observe(time.Since(start))
 	}
 	return d
 }

@@ -12,11 +12,25 @@ package histanalysis
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"acceptableads/internal/filter"
+	"acceptableads/internal/obs"
 	"acceptableads/internal/vcs"
 )
+
+// registry is the optional telemetry hook: the whole-analysis span timers
+// ("histanalysis.<analysis>.duration") land here, complementing vcs's
+// per-diff latency histogram. Nil (the default) disables them.
+var registry atomic.Pointer[obs.Registry]
+
+// SetMetrics wires analysis-stage telemetry into reg; nil disables it.
+func SetMetrics(reg *obs.Registry) { registry.Store(reg) }
+
+// span opens a stage timer against the installed registry (no-op when
+// telemetry is off).
+func span(name string) obs.Span { return obs.StartSpan(registry.Load(), nil, name) }
 
 // RankResolver resolves a domain name to its Alexa rank; the second result
 // is false for unranked domains.
@@ -51,6 +65,7 @@ func Totals(rows []YearActivity) YearActivity {
 // churn by commit year, reproducing Table 1. Filter modifications
 // naturally count as one removal plus one addition.
 func YearlyActivity(repo *vcs.Repo) []YearActivity {
+	defer span("histanalysis.yearly").End()
 	byYear := make(map[int]*YearActivity)
 	prevContent := ""
 	prevDomains := make(map[string]bool)
@@ -113,6 +128,7 @@ type GrowthPoint struct {
 // Growth computes the filter and domain count at every revision — the
 // series behind Figure 3.
 func Growth(repo *vcs.Repo) []GrowthPoint {
+	defer span("histanalysis.growth").End()
 	points := make([]GrowthPoint, 0, repo.Len())
 	for i := 0; i < repo.Len(); i++ {
 		rev := repo.Rev(i)
@@ -259,6 +275,7 @@ type AFilterHistory struct {
 
 // ScanAFilters builds the A-group timeline.
 func ScanAFilters(repo *vcs.Repo) AFilterHistory {
+	defer span("histanalysis.afilters").End()
 	h := AFilterHistory{EverSeen: map[string]int{}, Removed: map[string]int{}}
 	present := map[string]bool{}
 	for i := 0; i < repo.Len(); i++ {

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugHandler serves the live telemetry endpoints:
+//
+//	/debug/vars     — expvar-style JSON snapshot of the registry
+//	/debug/progress — per-stage completion, rate and ETA
+//	/debug/pprof/*  — the standard Go profiler endpoints
+//
+// reg and prog may each be nil; their endpoints then serve empty objects.
+func DebugHandler(reg *Registry, prog *Progress) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><body><h1>debug</h1><ul>
+<li><a href="/debug/vars">/debug/vars</a></li>
+<li><a href="/debug/progress">/debug/progress</a></li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>`)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		var s Snapshot
+		if reg != nil {
+			s = reg.Snapshot()
+		}
+		writeJSON(w, s)
+	})
+	mux.HandleFunc("/debug/progress", func(w http.ResponseWriter, r *http.Request) {
+		var s ProgressSnapshot
+		if prog != nil {
+			s = prog.Snapshot()
+		}
+		writeJSON(w, s)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(data) //nolint:errcheck // best-effort debug output
+}
+
+// ServeDebug binds addr (e.g. "127.0.0.1:6060") and serves DebugHandler on
+// it in the background. It returns the bound address (useful with a ":0"
+// port) and a closer.
+func ServeDebug(addr string, reg *Registry, prog *Progress) (boundAddr string, closeFn func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           DebugHandler(reg, prog),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values are log-bucketed with histSub linear
+// sub-buckets per power of two, an HDR-histogram-style scheme giving a
+// bounded relative error of 1/histSub (12.5%) at any magnitude. Values in
+// [0, histSub) land in exact single-value buckets.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits // sub-buckets per power of two
+	// histBuckets covers the full non-negative int64 range: the top
+	// bucket index is (62-histSubBits+1)*histSub + histSub-1.
+	histBuckets = (62 - histSubBits + 2) * histSub
+
+	// histStripes spreads concurrent writers across independent copies of
+	// the bucket array; a reader merges them. Writers pick a stripe by
+	// hashing the observed value, so no cross-writer state is shared.
+	histStripes = 8
+)
+
+// histStripe is one independently updated copy of the histogram state.
+// All fields are atomics, so Observe never takes a lock.
+type histStripe struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// Histogram is a concurrency-safe latency histogram: writers update one of
+// histStripes striped bucket arrays with plain atomic adds, readers merge
+// the stripes. Observations are int64s, by convention nanoseconds.
+type Histogram struct {
+	stripes [histStripes]histStripe
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	for i := range h.stripes {
+		h.stripes[i].min.Store(math.MaxInt64)
+	}
+	return h
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	sub := int(v>>(uint(exp)-histSubBits)) & (histSub - 1)
+	return (exp-histSubBits+1)*histSub + sub
+}
+
+// bucketHigh returns the largest value mapping to bucket idx — the
+// conservative (upper-bound) representative quantiles report.
+func bucketHigh(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	exp := idx/histSub - 1 + histSubBits
+	sub := idx % histSub
+	width := int64(1) << (uint(exp) - histSubBits)
+	low := (int64(histSub) + int64(sub)) * width
+	return low + width - 1
+}
+
+// stripeFor picks a stripe by hashing the value — deterministic, shares no
+// state between writers, and spreads clustered latencies by their low bits.
+func (h *Histogram) stripeFor(v int64) *histStripe {
+	x := uint64(v) * 0x9E3779B97F4A7C15
+	return &h.stripes[(x>>59)&(histStripes-1)]
+}
+
+// Observe records a duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records a raw int64 observation (negative values clamp to 0).
+func (h *Histogram) ObserveNs(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	s := h.stripeFor(v)
+	s.counts[bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+	atomicMin(&s.min, v)
+	atomicMax(&s.max, v)
+}
+
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v >= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.stripes {
+		n += h.stripes[i].count.Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	var n int64
+	for i := range h.stripes {
+		n += h.stripes[i].sum.Load()
+	}
+	return n
+}
+
+// Min returns the smallest observation, 0 when empty.
+func (h *Histogram) Min() int64 {
+	m := int64(math.MaxInt64)
+	for i := range h.stripes {
+		if v := h.stripes[i].min.Load(); v < m {
+			m = v
+		}
+	}
+	if m == math.MaxInt64 {
+		return 0
+	}
+	return m
+}
+
+// Max returns the largest observation, 0 when empty.
+func (h *Histogram) Max() int64 {
+	var m int64
+	for i := range h.stripes {
+		if v := h.stripes[i].max.Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the mean observation, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) with a
+// relative error bounded by the sub-bucket resolution (12.5%). Returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	max := h.Max()
+	var cum int64
+	for idx := 0; idx < histBuckets; idx++ {
+		var n int64
+		for s := range h.stripes {
+			n += h.stripes[s].counts[idx].Load()
+		}
+		cum += n
+		if cum >= target {
+			hi := bucketHigh(idx)
+			if hi > max {
+				hi = max // never report past the true maximum
+			}
+			return hi
+		}
+	}
+	return max
+}
+
+// HistSnapshot is a point-in-time summary of a histogram. Values are in
+// the histogram's native unit (nanoseconds for latency histograms).
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

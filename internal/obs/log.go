@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Logging: one *slog.Logger per component, all writing to a shared
+// destination (stderr by default), each filtered by a per-component level
+// that falls back to the process-wide default. Levels are dynamic — a
+// SetLogSpec call mid-run retunes every already-created logger.
+
+var (
+	logMu      sync.Mutex
+	logOut     io.Writer = os.Stderr
+	logDefault           = func() *slog.LevelVar {
+		v := new(slog.LevelVar)
+		v.Set(slog.LevelInfo)
+		return v
+	}()
+	logLevels = map[string]*slog.LevelVar{}
+	logCache  = map[string]*slog.Logger{}
+	tracing   atomic.Bool
+)
+
+// compLeveler resolves a component's effective level dynamically: the
+// explicit per-component override when one exists, the default otherwise.
+type compLeveler struct{ component string }
+
+func (c compLeveler) Level() slog.Level {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if v, ok := logLevels[c.component]; ok {
+		return v.Level()
+	}
+	return logDefault.Level()
+}
+
+// Logger returns the structured logger for a component ("engine",
+// "sitesurvey", "aa-survey", ...). Loggers are cached; the same component
+// always gets the same instance.
+func Logger(component string) *slog.Logger {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if l, ok := logCache[component]; ok {
+		return l
+	}
+	h := slog.NewTextHandler(logOut, &slog.HandlerOptions{Level: compLeveler{component}})
+	l := slog.New(h).With("component", component)
+	logCache[component] = l
+	return l
+}
+
+// SetLogOutput redirects all subsequently created loggers to w (tests).
+// The logger cache is reset so Logger calls pick the new destination up.
+func SetLogOutput(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	logOut = w
+	logCache = map[string]*slog.Logger{}
+}
+
+// SetLogSpec parses a -log-level style spec and applies it. The spec is a
+// comma-separated list of "level" (sets the default) and "component=level"
+// (sets one component) tokens, e.g. "warn,engine=debug". Levels are debug,
+// info, warn, error. An empty spec is a no-op.
+func SetLogSpec(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if comp, lvl, ok := strings.Cut(tok, "="); ok {
+			l, err := parseLevel(lvl)
+			if err != nil {
+				return err
+			}
+			logMu.Lock()
+			v := logLevels[comp]
+			if v == nil {
+				v = new(slog.LevelVar)
+				logLevels[comp] = v
+			}
+			v.Set(l)
+			logMu.Unlock()
+			continue
+		}
+		l, err := parseLevel(tok)
+		if err != nil {
+			return err
+		}
+		logDefault.Set(l)
+	}
+	return nil
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// SetTracing toggles span tracing: when on, every Span.End with a logger
+// emits a debug line. The cmd/ binaries wire this to -trace.
+func SetTracing(on bool) { tracing.Store(on) }
+
+// TracingEnabled reports whether span tracing is on.
+func TracingEnabled() bool { return tracing.Load() }
+
+// discardHandler drops everything (slog.DiscardHandler needs Go 1.24).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// NopLogger returns a logger that discards everything — the default for
+// library code given no logger.
+func NopLogger() *slog.Logger { return slog.New(discardHandler{}) }

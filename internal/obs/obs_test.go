@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"acceptableads/internal/xrand"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, perG = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("c")
+			ga := reg.Gauge("g")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				ga.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Gauge("g").Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+}
+
+func TestHistogramConcurrentHammer(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, perG = 16, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := xrand.New(uint64(g) + 1)
+			for i := 0; i < perG; i++ {
+				h.ObserveNs(int64(r.Intn(1_000_000)) + 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("count = %d, want %d", got, goroutines*perG)
+	}
+	if h.Min() < 1 || h.Max() >= 1_000_001 {
+		t.Errorf("min/max out of range: %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m <= 0 || m >= 1_000_001 {
+		t.Errorf("mean out of range: %f", m)
+	}
+}
+
+// TestHistogramQuantileAgainstReference checks the bucketed quantiles
+// against an exactly sorted reference within the documented 12.5% relative
+// error (plus slack for the discrete reference rank).
+func TestHistogramQuantileAgainstReference(t *testing.T) {
+	h := NewHistogram()
+	r := xrand.New(7)
+	vals := make([]int64, 20000)
+	for i := range vals {
+		// Log-uniform-ish spread over 1ns..100ms.
+		vals[i] = int64(1 + r.Intn(1<<(10+r.Intn(17))))
+		h.ObserveNs(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		rank := int(math.Ceil(q*float64(len(vals)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		want := float64(vals[rank])
+		got := float64(h.Quantile(q))
+		if got < want*0.999 || got > want*1.13+1 {
+			t.Errorf("Quantile(%.2f) = %.0f, reference %.0f (outside [ref, ref*1.13])", q, got, want)
+		}
+	}
+	if h.Quantile(1.0) != vals[len(vals)-1] {
+		t.Errorf("Quantile(1) = %d, want exact max %d", h.Quantile(1.0), vals[len(vals)-1])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 7, 8, 15, 16, 17, 100, 1000, 1 << 20, 1 << 40, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		if idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if hi := bucketHigh(idx); hi < v {
+			t.Fatalf("bucketHigh(%d) = %d < value %d", idx, hi, v)
+		}
+		prev = idx
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine.match.attempts").Add(12345)
+	reg.Gauge("webserver.inflight").Set(7)
+	h := reg.Histogram("engine.match.latency")
+	for i := 1; i <= 1000; i++ {
+		h.ObserveNs(int64(i) * 100)
+	}
+	snap := reg.Snapshot()
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("snapshot did not round-trip:\n got %+v\nwant %+v", back, snap)
+	}
+	if back.Counters["engine.match.attempts"] != 12345 {
+		t.Error("counter lost in round trip")
+	}
+	if back.Histograms["engine.match.latency"].Count != 1000 {
+		t.Error("histogram count lost in round trip")
+	}
+}
+
+func TestProgressSnapshot(t *testing.T) {
+	p := NewProgress()
+	st := p.Stage("Top 5K", 100)
+	p.Stage("5K–50K", 50)
+	st.Add(25)
+	time.Sleep(5 * time.Millisecond)
+	st.Add(25)
+
+	s := p.Snapshot()
+	if len(s.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(s.Stages))
+	}
+	if s.Stages[0].Name != "Top 5K" || s.Stages[0].Done != 50 || s.Stages[0].Total != 100 {
+		t.Errorf("stage 0 = %+v", s.Stages[0])
+	}
+	if s.Stages[0].Rate <= 0 || s.Stages[0].ETA <= 0 {
+		t.Errorf("started stage should have rate and ETA: %+v", s.Stages[0])
+	}
+	if s.Stages[1].Rate != 0 || s.Stages[1].ETA != 0 {
+		t.Errorf("unstarted stage should have zero rate/ETA: %+v", s.Stages[1])
+	}
+	if s.Done != 50 || s.Total != 150 || s.Rate <= 0 || s.ETA <= 0 {
+		t.Errorf("overall = %+v", s)
+	}
+}
+
+func TestSpanRecordsHistogram(t *testing.T) {
+	reg := NewRegistry()
+	sp := StartSpan(reg, nil, "crawl.visit")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Errorf("span duration %v too short", d)
+	}
+	h := reg.Histogram("crawl.visit.duration")
+	if h.Count() != 1 || h.Max() < int64(time.Millisecond) {
+		t.Errorf("span did not record: count=%d max=%d", h.Count(), h.Max())
+	}
+	// A span with no registry and no logger is a safe no-op.
+	StartSpan(nil, nil, "noop").End()
+}
+
+func TestLogSpecLevels(t *testing.T) {
+	SetLogOutput(io.Discard)
+	defer func() {
+		SetLogOutput(io.Discard)
+		SetLogSpec("info") //nolint:errcheck
+	}()
+	if err := SetLogSpec("warn,engine=debug"); err != nil {
+		t.Fatal(err)
+	}
+	if !Logger("engine").Enabled(nil, slog.LevelDebug) {
+		t.Error("engine should be enabled at debug")
+	}
+	if Logger("sitesurvey").Enabled(nil, slog.LevelInfo) {
+		t.Error("sitesurvey should be filtered at info (default warn)")
+	}
+	if !Logger("sitesurvey").Enabled(nil, slog.LevelWarn) {
+		t.Error("sitesurvey should be enabled at warn")
+	}
+	if err := SetLogSpec("nope"); err == nil {
+		t.Error("bad level should error")
+	}
+	if err := SetLogSpec(""); err != nil {
+		t.Error("empty spec should be a no-op")
+	}
+	NopLogger().Info("dropped")
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("survey.pages").Add(42)
+	prog := NewProgress()
+	prog.Stage("Top 5K", 10).Add(4)
+
+	ts := httptest.NewServer(DebugHandler(reg, prog))
+	defer ts.Close()
+
+	var snap Snapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/vars", &snap)
+	if snap.Counters["survey.pages"] != 42 {
+		t.Errorf("/debug/vars counters = %+v", snap.Counters)
+	}
+
+	var ps ProgressSnapshot
+	getJSON(t, ts.Client(), ts.URL+"/debug/progress", &ps)
+	if len(ps.Stages) != 1 || ps.Stages[0].Done != 4 {
+		t.Errorf("/debug/progress = %+v", ps)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	addr, closeFn, err := ServeDebug("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn() //nolint:errcheck
+	var snap Snapshot
+	getJSON(t, http.DefaultClient, "http://"+addr+"/debug/vars", &snap)
+}
+
+func getJSON(t *testing.T, c *http.Client, url string, v any) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("%s: decode: %v", url, err)
+	}
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks completion of a set of named stages (the survey's four
+// sample strata, the parked scan's five services, ...). Stages are cheap
+// to update from many workers; Snapshot derives rates and ETAs. Served
+// live by /debug/progress.
+type Progress struct {
+	mu     sync.Mutex
+	order  []string
+	stages map[string]*Stage
+}
+
+// NewProgress creates an empty tracker.
+func NewProgress() *Progress {
+	return &Progress{stages: make(map[string]*Stage)}
+}
+
+// Stage returns the named stage, creating it on first use and (re)setting
+// its total.
+func (p *Progress) Stage(name string, total int) *Stage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stages[name]
+	if st == nil {
+		st = &Stage{name: name}
+		p.stages[name] = st
+		p.order = append(p.order, name)
+	}
+	st.total.Store(int64(total))
+	return st
+}
+
+// Stage is one unit of tracked work.
+type Stage struct {
+	name    string
+	total   atomic.Int64
+	done    atomic.Int64
+	startNs atomic.Int64 // wall clock of the first Add; 0 = not started
+}
+
+// Add records n completed items. The first Add stamps the stage's start
+// time, from which rate and ETA derive.
+func (st *Stage) Add(n int) {
+	st.startNs.CompareAndSwap(0, time.Now().UnixNano())
+	st.done.Add(int64(n))
+}
+
+// Done returns the completed-item count.
+func (st *Stage) Done() int64 { return st.done.Load() }
+
+// StageSnapshot is the live state of one stage.
+type StageSnapshot struct {
+	Name    string  `json:"name"`
+	Total   int64   `json:"total"`
+	Done    int64   `json:"done"`
+	Rate    float64 `json:"rate_per_sec"`
+	Elapsed float64 `json:"elapsed_seconds"`
+	ETA     float64 `json:"eta_seconds"`
+}
+
+func (st *Stage) snapshot(now time.Time) StageSnapshot {
+	s := StageSnapshot{Name: st.name, Total: st.total.Load(), Done: st.done.Load()}
+	start := st.startNs.Load()
+	if start == 0 || s.Done == 0 {
+		return s
+	}
+	s.Elapsed = now.Sub(time.Unix(0, start)).Seconds()
+	if s.Elapsed > 0 {
+		s.Rate = float64(s.Done) / s.Elapsed
+	}
+	if remaining := s.Total - s.Done; remaining > 0 && s.Rate > 0 {
+		s.ETA = float64(remaining) / s.Rate
+	}
+	return s
+}
+
+// ProgressSnapshot is the live state of every stage plus overall totals.
+type ProgressSnapshot struct {
+	Stages []StageSnapshot `json:"stages"`
+	Done   int64           `json:"done"`
+	Total  int64           `json:"total"`
+	Rate   float64         `json:"rate_per_sec"`
+	ETA    float64         `json:"eta_seconds"`
+}
+
+// Snapshot derives per-stage and overall completion, rate, and ETA.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := ProgressSnapshot{}
+	var earliest int64
+	for _, name := range p.order {
+		ss := p.stages[name].snapshot(now)
+		out.Stages = append(out.Stages, ss)
+		out.Done += ss.Done
+		out.Total += ss.Total
+		if start := p.stages[name].startNs.Load(); start != 0 && (earliest == 0 || start < earliest) {
+			earliest = start
+		}
+	}
+	if earliest != 0 && out.Done > 0 {
+		elapsed := now.Sub(time.Unix(0, earliest)).Seconds()
+		if elapsed > 0 {
+			out.Rate = float64(out.Done) / elapsed
+		}
+		if remaining := out.Total - out.Done; remaining > 0 && out.Rate > 0 {
+			out.ETA = float64(remaining) / out.Rate
+		}
+	}
+	return out
+}

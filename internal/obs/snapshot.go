@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry. It
+// round-trips through JSON, which is what /debug/vars serves.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteText renders a snapshot as an aligned terminal report. Histogram
+// values are rendered as durations (the package-wide convention).
+func WriteText(w io.Writer, s Snapshot) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(tw, "counter\tvalue")
+		for _, name := range names(s.Counters) {
+			fmt.Fprintf(tw, "%s\t%d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "gauge\tvalue")
+		for _, name := range names(s.Gauges) {
+			fmt.Fprintf(tw, "%s\t%d\n", name, s.Gauges[name])
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintln(tw, "histogram\tcount\tmean\tp50\tp90\tp99\tmax")
+		for _, name := range names(s.Histograms) {
+			h := s.Histograms[name]
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n", name, h.Count,
+				round(time.Duration(h.Mean)), round(time.Duration(h.P50)),
+				round(time.Duration(h.P90)), round(time.Duration(h.P99)),
+				round(time.Duration(h.Max)))
+		}
+	}
+	tw.Flush()
+}
+
+// round trims a duration to three significant-ish digits for display.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond)
+	default:
+		return d
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Span is a stage timer: StartSpan stamps the clock, End records the
+// elapsed time into the registry's "<name>.duration" histogram and — when
+// tracing is enabled — emits a debug log line. Span is a value type so a
+// span on the hot path costs no allocation.
+type Span struct {
+	name  string
+	start time.Time
+	hist  *Histogram
+	log   *slog.Logger
+}
+
+// StartSpan opens a span. reg and log may each be nil, disabling the
+// corresponding output.
+func StartSpan(reg *Registry, log *slog.Logger, name string) Span {
+	sp := Span{name: name, start: time.Now(), log: log}
+	if reg != nil {
+		sp.hist = reg.Histogram(name + ".duration")
+	}
+	return sp
+}
+
+// End closes the span, recording its duration. attrs are extra slog
+// key/value pairs attached to the trace line.
+func (s Span) End(attrs ...any) time.Duration {
+	d := time.Since(s.start)
+	if s.hist != nil {
+		s.hist.Observe(d)
+	}
+	if s.log != nil && TracingEnabled() {
+		s.log.Debug("span", append([]any{"span", s.name, "dur", d}, attrs...)...)
+	}
+	return d
+}

@@ -9,6 +9,7 @@ package parked
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"acceptableads/internal/browser"
 	"acceptableads/internal/dnszone"
 	"acceptableads/internal/histgen"
+	"acceptableads/internal/obs"
 	"acceptableads/internal/sitekey"
 	"acceptableads/internal/webserver"
 )
@@ -104,6 +106,14 @@ type ScanConfig struct {
 	// ratios.
 	Scale    int
 	Services []Service
+	// Obs is the telemetry registry the scan records into (probe counts,
+	// browser and web server metrics); nil disables instrumentation.
+	Obs *obs.Registry
+	// Progress, when non-nil, gets one stage per parking service for
+	// /debug/progress.
+	Progress *obs.Progress
+	// Logger receives structured scan logs; nil means silent.
+	Logger *slog.Logger
 }
 
 // ServiceCount is one Table 3 row.
@@ -151,7 +161,12 @@ func Scan(cfg ScanConfig) (*ScanResult, error) {
 	}
 	zone := dnszone.GenerateCom(cfg.Seed, plan)
 
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	srv := webserver.New(nil)
+	srv.SetObs(cfg.Obs)
 	if err := srv.Start(); err != nil {
 		return nil, err
 	}
@@ -173,15 +188,25 @@ func Scan(cfg ScanConfig) (*ScanResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	b.SetObs(cfg.Obs)
+
+	var probes, verified *obs.Counter
+	if cfg.Obs != nil {
+		probes = cfg.Obs.Counter("parked.probes")
+		verified = cfg.Obs.Counter("parked.verified")
+	}
 
 	res := &ScanResult{Scale: cfg.Scale, PaperSum: histgen.TotalParkedDomains}
 	names := make([]string, 0, len(candidates))
+	total := 0
 	for name := range candidates {
 		names = append(names, name)
+		total += len(candidates[name])
 	}
 	sort.Slice(names, func(i, j int) bool {
 		return byService[names[i]].WhitelistedSince < byService[names[j]].WhitelistedSince
 	})
+	logger.Info("parked scan starting", "services", len(names), "candidates", total, "scale", cfg.Scale)
 	for _, name := range names {
 		svc := byService[name]
 		row := ServiceCount{
@@ -190,13 +215,28 @@ func Scan(cfg ScanConfig) (*ScanResult, error) {
 			Removed:          svc.Removed,
 			FullCount:        svc.FullCount,
 		}
+		var stage *obs.Stage
+		if cfg.Progress != nil {
+			stage = cfg.Progress.Stage(name, len(candidates[name]))
+		}
 		for _, domain := range candidates[name] {
+			sp := obs.StartSpan(cfg.Obs, logger, "parked.probe")
 			ok, err := ProbeSitekey(b, domain)
 			if err != nil {
 				return nil, fmt.Errorf("parked: probing %s: %w", domain, err)
 			}
+			sp.End("service", name, "domain", domain, "verified", ok)
+			if probes != nil {
+				probes.Inc()
+			}
+			if stage != nil {
+				stage.Add(1)
+			}
 			if ok {
 				row.Verified++
+				if verified != nil {
+					verified.Inc()
+				}
 			}
 		}
 		row.Extrapolated = row.Verified * cfg.Scale

@@ -1,0 +1,89 @@
+package sitesurvey
+
+import (
+	"bytes"
+	"log/slog"
+	"runtime"
+	"testing"
+
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/obs"
+)
+
+func TestDefaultWorkers(t *testing.T) {
+	want := runtime.NumCPU()
+	if want > 8 {
+		want = 8
+	}
+	if want < 1 {
+		want = 1
+	}
+	if got := DefaultWorkers(); got != want {
+		t.Errorf("DefaultWorkers() = %d, want %d (NumCPU=%d)", got, want, runtime.NumCPU())
+	}
+}
+
+// TestObsWiring runs a small crawl with full telemetry and checks that the
+// counters, spans, progress stages and structured logs all fire.
+func TestObsWiring(t *testing.T) {
+	sharedSurvey(t) // generate the shared history once
+
+	reg := obs.NewRegistry()
+	prog := obs.NewProgress()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	const topN, stratum = 60, 20
+	s, err := Run(Config{
+		Seed:        42,
+		Universe:    history.Universe,
+		Whitelist:   history.FinalList(),
+		EasyList:    easylist.Generate(42, easylist.DefaultSize),
+		TopN:        topN,
+		StratumSize: stratum,
+		Obs:         reg,
+		Progress:    prog,
+		Logger:      logger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const pages = topN + 3*stratum
+	if got := reg.Counter("survey.pages").Value(); got != pages {
+		t.Errorf("survey.pages = %d, want %d", got, pages)
+	}
+	if got := reg.Counter("engine.match.attempts").Value(); got <= 0 {
+		t.Errorf("engine.match.attempts = %d, want > 0", got)
+	}
+	if got := reg.Counter("webserver.requests").Value(); got <= 0 {
+		t.Errorf("webserver.requests = %d, want > 0", got)
+	}
+	if got := reg.Histogram("survey.visit.duration").Count(); got != pages {
+		t.Errorf("survey.visit.duration count = %d, want %d", got, pages)
+	}
+	if got := reg.Histogram("survey.crawl.duration").Count(); got != 1 {
+		t.Errorf("survey.crawl.duration count = %d, want 1", got)
+	}
+
+	ps := prog.Snapshot()
+	if len(ps.Stages) != len(GroupNames) {
+		t.Fatalf("progress stages = %d, want %d", len(ps.Stages), len(GroupNames))
+	}
+	if ps.Done != pages || ps.Total != pages {
+		t.Errorf("progress done/total = %d/%d, want %d/%d", ps.Done, ps.Total, pages, pages)
+	}
+	for _, st := range ps.Stages {
+		if st.Done != st.Total {
+			t.Errorf("stage %s done = %d, want total %d", st.Name, st.Done, st.Total)
+		}
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{"survey crawl starting", "survey crawl finished", "workers="} {
+		if !bytes.Contains([]byte(logs), []byte(want)) {
+			t.Errorf("log output missing %q", want)
+		}
+	}
+}

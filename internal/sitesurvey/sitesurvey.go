@@ -10,6 +10,8 @@ package sitesurvey
 
 import (
 	"fmt"
+	"log/slog"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -18,6 +20,7 @@ import (
 	"acceptableads/internal/domainutil"
 	"acceptableads/internal/engine"
 	"acceptableads/internal/filter"
+	"acceptableads/internal/obs"
 	"acceptableads/internal/stats"
 	"acceptableads/internal/webgen"
 	"acceptableads/internal/webserver"
@@ -49,10 +52,34 @@ type Config struct {
 	// FetchResources makes the browser download allowed resources; off
 	// by default for speed (matching only needs the request URL).
 	FetchResources bool
-	// Workers sets the crawl parallelism; 0 means 8. Results are
-	// identical regardless of worker count — every site is measured
-	// independently and stored by position.
+	// Workers sets the crawl parallelism; 0 means DefaultWorkers()
+	// (runtime.NumCPU() capped at 8). Results are identical regardless of
+	// worker count — every site is measured independently and stored by
+	// position.
 	Workers int
+	// Obs is the telemetry registry the crawl records into (engine match
+	// counters, browser page latencies, web server request classes, and
+	// per-visit crawl spans); nil disables instrumentation.
+	Obs *obs.Registry
+	// Progress, when non-nil, receives live per-stratum completion — one
+	// stage per sample group, totals set by Run — for /debug/progress.
+	Progress *obs.Progress
+	// Logger receives structured crawl logs; nil means silent.
+	Logger *slog.Logger
+}
+
+// DefaultWorkers is the crawl parallelism used when Config.Workers is 0:
+// one worker per CPU, capped at 8 — beyond that the loopback server, not
+// the workers, is the bottleneck.
+func DefaultWorkers() int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // SiteResult is the instrumented outcome of one landing-page visit.
@@ -125,8 +152,14 @@ func Run(cfg Config) (*Survey, error) {
 	if corpusWL == nil {
 		corpusWL = cfg.Whitelist
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+
 	corpus := webgen.New(cfg.Seed, u, corpusWL)
 	srv := webserver.New(corpus)
+	srv.SetObs(cfg.Obs)
 	if err := srv.Start(); err != nil {
 		return nil, err
 	}
@@ -140,6 +173,7 @@ func Run(cfg Config) (*Survey, error) {
 		srv.Close()
 		return nil, err
 	}
+	eng.SetMetrics(cfg.Obs)
 	explicit := explicitSet(cfg.Whitelist)
 
 	// Build the work list: head group then the three strata.
@@ -159,21 +193,43 @@ func Run(cfg Config) (*Survey, error) {
 		}
 	}
 
+	// One progress stage per sample group; /debug/progress reads these
+	// live while the crawl runs.
+	var stages [4]*obs.Stage
+	if cfg.Progress != nil {
+		var counts [4]int
+		for _, j := range jobs {
+			counts[j.group]++
+		}
+		for g := range stages {
+			stages[g] = cfg.Progress.Stage(GroupNames[g], counts[g])
+		}
+	}
+	var pagesDone, errsSeen *obs.Counter
+	if cfg.Obs != nil {
+		pagesDone = cfg.Obs.Counter("survey.pages")
+		errsSeen = cfg.Obs.Counter("survey.errors")
+	}
+
 	// Crawl in parallel: one browser (own cookie jar) per worker over the
 	// shared engine; results land by index, so the outcome is independent
 	// of scheduling.
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = 8
+		workers = DefaultWorkers()
 	}
 	if workers > len(jobs) && len(jobs) > 0 {
 		workers = len(jobs)
 	}
+	logger.Info("survey crawl starting",
+		"sites", len(jobs), "workers", workers,
+		"topN", cfg.TopN, "stratumSize", cfg.StratumSize)
 	s.Results = make([]SiteResult, len(jobs))
 	jobCh := make(chan job)
 	errCh := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -183,11 +239,26 @@ func Run(cfg Config) (*Survey, error) {
 				return
 			}
 			b.FetchResources = cfg.FetchResources
+			b.SetObs(cfg.Obs)
+			logger.Debug("worker started", "worker", w)
 			for j := range jobCh {
+				sp := obs.StartSpan(cfg.Obs, logger, "survey.visit")
 				v, err := b.Visit("http://" + j.d.Name + "/")
 				if err != nil {
+					if errsSeen != nil {
+						errsSeen.Inc()
+					}
+					logger.Error("visit failed", "worker", w, "host", j.d.Name, "err", err)
 					errCh <- fmt.Errorf("sitesurvey: %s: %w", j.d.Name, err)
 					return
+				}
+				sp.End("worker", w, "host", j.d.Name,
+					"group", GroupNames[j.group], "activations", len(v.Activations))
+				if pagesDone != nil {
+					pagesDone.Inc()
+				}
+				if st := stages[j.group]; st != nil {
+					st.Add(1)
 				}
 				r := SiteResult{
 					Host: j.d.Name, Rank: j.d.Rank, Group: j.group,
@@ -206,6 +277,7 @@ func Run(cfg Config) (*Survey, error) {
 			}
 		}()
 	}
+	crawlSp := obs.StartSpan(cfg.Obs, nil, "survey.crawl")
 	for _, j := range jobs {
 		select {
 		case err := <-errCh:
@@ -223,6 +295,11 @@ func Run(cfg Config) (*Survey, error) {
 		srv.Close()
 		return nil, err
 	default:
+	}
+	d := crawlSp.End()
+	if secs := d.Seconds(); secs > 0 {
+		logger.Info("survey crawl finished", "pages", len(jobs), "dur", d,
+			"pages_per_sec", fmt.Sprintf("%.1f", float64(len(jobs))/secs))
 	}
 	return s, nil
 }
@@ -507,11 +584,13 @@ func (s *Survey) TopSites(n int) ([]Fig6Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	elOnly.SetMetrics(s.Config.Obs)
 	b, err := browser.New(s.srv.Client(), elOnly, "")
 	if err != nil {
 		return nil, err
 	}
 	b.FetchResources = false
+	b.SetObs(s.Config.Obs)
 
 	var rows []Fig6Row
 	for _, r := range head {

@@ -9,8 +9,34 @@ package vcs
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"acceptableads/internal/obs"
 )
+
+// vcsMetrics times the revision-diff hot path of the history analyses.
+type vcsMetrics struct {
+	diffs   *obs.Counter
+	latency *obs.Histogram
+}
+
+// metrics is package-level because DiffContents is a free function; a nil
+// pointer (the default) keeps diffing uninstrumented.
+var metrics atomic.Pointer[vcsMetrics]
+
+// SetMetrics wires revision-diff telemetry ("vcs.diffs",
+// "vcs.diff.latency") into reg; nil disables it.
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&vcsMetrics{
+		diffs:   reg.Counter("vcs.diffs"),
+		latency: reg.Histogram("vcs.diff.latency"),
+	})
+}
 
 // Revision is one committed version of the tracked file.
 type Revision struct {
@@ -75,6 +101,13 @@ type Diff struct {
 
 // DiffContents computes the multiset filter-line diff from old to new.
 func DiffContents(old, new string) Diff {
+	if m := metrics.Load(); m != nil {
+		start := time.Now()
+		defer func() {
+			m.diffs.Inc()
+			m.latency.Observe(time.Since(start))
+		}()
+	}
 	oldCounts := lineCounts(old)
 	newCounts := lineCounts(new)
 	var d Diff

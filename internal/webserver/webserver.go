@@ -14,10 +14,15 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"acceptableads/internal/obs"
 	"acceptableads/internal/webgen"
 )
+
+// DefaultDrainTimeout bounds how long Close waits for in-flight handlers.
+const DefaultDrainTimeout = 5 * time.Second
 
 // Server is the virtual-host HTTP server.
 type Server struct {
@@ -29,6 +34,45 @@ type Server struct {
 	ln   net.Listener
 	srv  *http.Server
 	addr string
+
+	// DrainTimeout is how long Close waits for in-flight handlers to
+	// finish before forcibly closing their connections; 0 means
+	// DefaultDrainTimeout. Set before Start.
+	DrainTimeout time.Duration
+
+	inflight atomic.Int64
+	dropped  atomic.Int64
+	metrics  *serverMetrics
+}
+
+// serverMetrics pre-resolves the middleware's instruments.
+type serverMetrics struct {
+	requests *obs.Counter
+	status   [6]*obs.Counter // indexed by status/100; 2 → "2xx"
+	bytes    *obs.Counter
+	inflight *obs.Gauge
+	latency  *obs.Histogram
+	dropped  *obs.Counter
+}
+
+// SetObs wires request telemetry into reg; nil disables it. Set it before
+// Start (it is not synchronized against in-flight requests).
+func (s *Server) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		s.metrics = nil
+		return
+	}
+	m := &serverMetrics{
+		requests: reg.Counter("webserver.requests"),
+		bytes:    reg.Counter("webserver.bytes"),
+		inflight: reg.Gauge("webserver.inflight"),
+		latency:  reg.Histogram("webserver.latency"),
+		dropped:  reg.Counter("webserver.dropped"),
+	}
+	for class := 1; class <= 5; class++ {
+		m.status[class] = reg.Counter(fmt.Sprintf("webserver.status.%dxx", class))
+	}
+	s.metrics = m
 }
 
 // New creates an unstarted server over the corpus. corpus may be nil when
@@ -64,20 +108,89 @@ func (s *Server) Start() error {
 	return nil
 }
 
-// Close shuts the listener down.
+// Close stops accepting connections and drains in-flight handlers: it
+// waits up to DrainTimeout for them to finish, then forcibly closes the
+// stragglers' connections, recording them as dropped (Dropped and the
+// webserver.dropped counter).
 func (s *Server) Close() error {
 	if s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	d := s.DrainTimeout
+	if d <= 0 {
+		d = DefaultDrainTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err == nil {
+		return nil
+	}
+	// The deadline expired with handlers still running: count them as
+	// dropped and tear their connections down.
+	n := s.inflight.Load()
+	s.dropped.Add(n)
+	if m := s.metrics; m != nil {
+		m.dropped.Add(n)
+	}
+	if err := s.srv.Close(); err != nil {
+		return fmt.Errorf("webserver: drain timeout after %s (%d in flight): %w", d, n, err)
+	}
+	return fmt.Errorf("webserver: drain timeout after %s: dropped %d in-flight connection(s)", d, n)
 }
 
 // Addr returns the listener address (host:port), valid after Start.
 func (s *Server) Addr() string { return s.addr }
 
-// ServeHTTP routes by the Host header: registered handlers first, then ad
-// resource hosts, then corpus landing pages.
+// InFlight returns the number of requests currently being handled.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Dropped returns the number of in-flight connections Close abandoned.
+func (s *Server) Dropped() int64 { return s.dropped.Load() }
+
+// statusWriter captures the status code and body size for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// ServeHTTP tracks the request in flight, applies the telemetry middleware
+// when SetObs enabled it, and routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	m := s.metrics
+	if m == nil {
+		s.route(w, r)
+		return
+	}
+	m.inflight.Add(1)
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.route(sw, r)
+	m.requests.Inc()
+	if class := sw.status / 100; class >= 1 && class <= 5 {
+		m.status[class].Inc()
+	}
+	m.bytes.Add(sw.bytes)
+	m.latency.Observe(time.Since(start))
+	m.inflight.Add(-1)
+}
+
+// route dispatches by the Host header: registered handlers first, then ad
+// resource hosts, then corpus landing pages.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	host := strings.ToLower(r.Host)
 	if i := strings.IndexByte(host, ':'); i >= 0 {
 		host = host[:i]

@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"acceptableads/internal/alexa"
+	"acceptableads/internal/obs"
 	"acceptableads/internal/webgen"
 )
 
@@ -80,6 +82,116 @@ func TestNilCorpus404(t *testing.T) {
 	resp, _ := get(t, s.Client(), "http://nowhere.example/")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCloseDrainsInflight(t *testing.T) {
+	s := New(nil)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.Handle("slow.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "done")
+	}))
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Client()
+	type result struct {
+		body string
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := c.Get("http://slow.example/")
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		resCh <- result{body: string(b), err: err}
+	}()
+	<-entered
+	if n := s.InFlight(); n != 1 {
+		t.Fatalf("InFlight = %d, want 1", n)
+	}
+	// Let the handler finish shortly after Close starts draining.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close during completable request: %v", err)
+	}
+	r := <-resCh
+	if r.err != nil || r.body != "done" {
+		t.Fatalf("drained request: body=%q err=%v", r.body, r.err)
+	}
+	if n := s.Dropped(); n != 0 {
+		t.Errorf("Dropped = %d, want 0", n)
+	}
+}
+
+func TestCloseDropsStragglers(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(nil)
+	s.SetObs(reg)
+	s.DrainTimeout = 50 * time.Millisecond
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	defer close(block)
+	s.Handle("stuck.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-block
+	}))
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go s.Client().Get("http://stuck.example/") //nolint:errcheck // aborted by Close
+	<-entered
+	err := s.Close()
+	if err == nil {
+		t.Fatal("Close with a stuck handler should report dropped connections")
+	}
+	if !strings.Contains(err.Error(), "dropped 1") {
+		t.Errorf("Close error = %v, want mention of 1 dropped connection", err)
+	}
+	if n := s.Dropped(); n != 1 {
+		t.Errorf("Dropped = %d, want 1", n)
+	}
+	if got := reg.Counter("webserver.dropped").Value(); got != 1 {
+		t.Errorf("webserver.dropped counter = %d, want 1", got)
+	}
+}
+
+func TestObsMiddleware(t *testing.T) {
+	reg := obs.NewRegistry()
+	corpus := webgen.New(1, alexa.NewUniverse(1, 1000000), nil)
+	s := New(corpus)
+	s.SetObs(reg)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := s.Client()
+	get(t, c, "http://shop1234.com/")
+	get(t, c, "http://news5678.com/")
+	if got := reg.Counter("webserver.requests").Value(); got != 2 {
+		t.Errorf("webserver.requests = %d, want 2", got)
+	}
+	if got := reg.Counter("webserver.status.2xx").Value(); got != 2 {
+		t.Errorf("webserver.status.2xx = %d, want 2", got)
+	}
+	if got := reg.Counter("webserver.bytes").Value(); got <= 0 {
+		t.Errorf("webserver.bytes = %d, want > 0", got)
+	}
+	if got := reg.Histogram("webserver.latency").Count(); got != 2 {
+		t.Errorf("webserver.latency count = %d, want 2", got)
+	}
+	if got := reg.Gauge("webserver.inflight").Value(); got != 0 {
+		t.Errorf("webserver.inflight = %d, want 0 at rest", got)
 	}
 }
 
