@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench chaos ci
 
 all: build
 
@@ -20,6 +20,15 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
+# A small survey under the race detector with 20% fault injection: the
+# crawl must complete with partial results and report per-class fault,
+# retry and breaker telemetry instead of aborting.
+chaos:
+	$(GO) run -race ./cmd/aa-survey -top 50 -stratum 20 \
+		-fault-rate 0.2 -fault-seed 7 -page-timeout 2s \
+		-max-retries 3 -error-budget 0.5 -summary
+
 # The pre-merge gate: static checks, a clean build, the full suite under
-# the race detector, and a smoke pass over every benchmark.
-ci: vet build race bench
+# the race detector, a smoke pass over every benchmark, and the chaos
+# smoke run.
+ci: vet build race bench chaos

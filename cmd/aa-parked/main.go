@@ -17,14 +17,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"acceptableads/internal/core"
+	"acceptableads/internal/faults"
 	"acceptableads/internal/obs"
 	"acceptableads/internal/report"
+	"acceptableads/internal/retry"
 )
 
 func main() {
@@ -35,6 +39,11 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars, /debug/progress and /debug/pprof/ on this address (empty = off)")
 	logLevel := flag.String("log-level", "info", "log spec: LEVEL or component=LEVEL,... (debug, info, warn, error)")
 	trace := flag.Bool("trace", false, "emit per-probe span logs and append the telemetry snapshot")
+	faultRate := flag.Float64("fault-rate", 0, "inject faults into this fraction of requests (0 = off), split across all fault classes")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for fault injection decisions (0 = study seed)")
+	pageTimeout := flag.Duration("page-timeout", 10*time.Second, "per-probe deadline")
+	maxRetries := flag.Int("max-retries", 2, "probe retries after the first attempt")
+	errorBudget := flag.Float64("error-budget", 0.05, "tolerated post-retry probe failure rate (negative = unlimited)")
 	flag.Parse()
 
 	if *trace {
@@ -61,9 +70,31 @@ func main() {
 	out := os.Stdout
 
 	fmt.Fprintf(out, "scanning the synthesized .com zone at scale 1/%d...\n", *scale)
-	res, err := study.ParkedScanOpts(*scale, reg, prog, obs.Logger("parked"))
+	opts := core.ParkedOptions{
+		Scale: *scale, Obs: reg, Progress: prog, Logger: obs.Logger("parked"),
+		PageTimeout: *pageTimeout, MaxAttempts: *maxRetries + 1,
+		ErrorBudget: *errorBudget,
+	}
+	var inj *faults.Injector
+	if *faultRate > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		inj = faults.New(faults.Uniform(fseed, *faultRate))
+		inj.SetObs(reg)
+		opts.Faults = inj
+		fmt.Fprintf(out, "chaos mode: injecting faults into %.0f%% of requests (seed %d)\n",
+			*faultRate*100, fseed)
+	}
+	res, err := study.RunParkedScan(opts)
 	if err != nil {
-		log.Fatal(err)
+		var be *retry.BudgetError
+		if res != nil && errors.As(err, &be) {
+			fmt.Fprintf(os.Stderr, "aa-parked: warning: %v\n", be)
+		} else {
+			log.Fatal(err)
+		}
 	}
 
 	report.Section(out, "Table 3: Parked domains per whitelisted sitekey service")
@@ -84,6 +115,14 @@ func main() {
 	fmt.Fprintf(out, "\nTotal verified: %s at scale 1/%d → %s extrapolated (paper: %s)\n",
 		report.Count(res.Total), res.Scale,
 		report.Count(res.FullSum), report.Count(res.PaperSum))
+	if res.Failed > 0 || res.Retries > 0 {
+		fmt.Fprintf(out, "Probe health: %s probed, %s failed after retries, %s retries",
+			report.Count(res.Probed), report.Count(res.Failed), report.Count(res.Retries))
+		if inj != nil {
+			fmt.Fprintf(out, ", %s faults injected", report.Count(int(inj.Total())))
+		}
+		fmt.Fprintln(out)
+	}
 
 	if *trace {
 		report.Section(out, "Telemetry snapshot")

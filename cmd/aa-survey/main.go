@@ -18,14 +18,19 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"time"
 
 	"acceptableads/internal/core"
+	"acceptableads/internal/faults"
 	"acceptableads/internal/obs"
 	"acceptableads/internal/report"
+	"acceptableads/internal/retry"
 	"acceptableads/internal/sitesurvey"
 )
 
@@ -39,6 +44,11 @@ func main() {
 	rev := flag.Int("rev", -1, "survey a historical whitelist revision against the 2015 web")
 	jsonOut := flag.String("json", "", "also write the per-site results as JSON to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars, /debug/progress and /debug/pprof/ on this address (empty = off)")
+	faultRate := flag.Float64("fault-rate", 0, "inject faults into this fraction of requests (0 = off), split across all fault classes")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for fault injection decisions (0 = study seed)")
+	pageTimeout := flag.Duration("page-timeout", 10*time.Second, "per-page crawl deadline")
+	maxRetries := flag.Int("max-retries", 2, "visit retries after the first attempt")
+	errorBudget := flag.Float64("error-budget", 0.05, "tolerated post-retry failure rate (negative = unlimited)")
 	logLevel := flag.String("log-level", "info", "log spec: LEVEL or component=LEVEL,... (debug, info, warn, error)")
 	trace := flag.Bool("trace", false, "emit per-visit span logs (implies -log-level debug)")
 	summary := flag.Bool("summary", false, "print the §5.1 summary only")
@@ -76,6 +86,20 @@ func main() {
 	opts := core.SurveyOptions{
 		TopN: *top, Stratum: *stratum, Workers: *workers, Rev: -1,
 		Obs: reg, Progress: prog, Logger: obs.Logger("sitesurvey"),
+		PageTimeout: *pageTimeout, MaxAttempts: *maxRetries + 1,
+		ErrorBudget: *errorBudget,
+	}
+	var inj *faults.Injector
+	if *faultRate > 0 {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		inj = faults.New(faults.Uniform(fseed, *faultRate))
+		inj.SetObs(reg)
+		opts.Faults = inj
+		fmt.Fprintf(out, "chaos mode: injecting faults into %.0f%% of requests (seed %d)\n",
+			*faultRate*100, fseed)
 	}
 	if *rev >= 0 {
 		fmt.Fprintf(out, "engine whitelist pinned to historical Rev %d (web stays at Rev 988)\n", *rev)
@@ -85,7 +109,14 @@ func main() {
 	var err error
 	s, err = study.RunSurveyOpts(opts)
 	if err != nil {
-		log.Fatal(err)
+		var be *retry.BudgetError
+		if s != nil && errors.As(err, &be) {
+			// The crawl completed with partial results; report the
+			// violation but keep going.
+			fmt.Fprintf(os.Stderr, "aa-survey: warning: %v\n", be)
+		} else {
+			log.Fatal(err)
+		}
 	}
 	defer s.Close()
 
@@ -118,6 +149,45 @@ func main() {
 				"paper: toyota.com (83/8)"},
 		}
 		report.Table(out, []string{"Statistic", "Value", "Reference"}, rows)
+
+		st := s.Stats
+		report.Section(out, "Crawl health")
+		health := [][]string{
+			{"Sites attempted", report.Count(st.Attempted)},
+			{"Succeeded", report.Count(st.Succeeded)},
+			{"Failed after retries", report.Count(st.Failed)},
+			{"Skipped (cancelled)", report.Count(st.Skipped)},
+			{"Failure rate", report.Pct(st.FailureRate)},
+			{"Retries", report.Count(st.Retries)},
+			{"Circuit-breaker trips", report.Count(st.BreakerTrips)},
+		}
+		if inj != nil {
+			health = append(health, []string{"Faults injected", report.Count(int(inj.Total()))})
+		}
+		report.Table(out, []string{"Statistic", "Value"}, health)
+		if len(st.ByClass) > 0 {
+			classes := make([]string, 0, len(st.ByClass))
+			for c := range st.ByClass {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			var fcells [][]string
+			for _, c := range classes {
+				fcells = append(fcells, []string{c, report.Count(st.ByClass[c])})
+			}
+			fmt.Fprintln(out, "\nFailures by class:")
+			report.Table(out, []string{"Class", "Sites"}, fcells)
+		}
+		if inj != nil && len(inj.Counts()) > 0 {
+			var icells [][]string
+			for _, c := range faults.Classes() {
+				if n := inj.Counts()[c]; n > 0 {
+					icells = append(icells, []string{c.String(), report.Count(int(n))})
+				}
+			}
+			fmt.Fprintln(out, "\nInjected faults by class:")
+			report.Table(out, []string{"Class", "Requests"}, icells)
+		}
 
 		report.Section(out, "Telemetry snapshot")
 		obs.WriteText(out, reg.Snapshot())

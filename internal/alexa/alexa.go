@@ -180,13 +180,26 @@ func NewUniverse(seed uint64, size int) *Universe {
 // Size returns the number of ranked domains.
 func (u *Universe) Size() int { return u.size }
 
-// Domain returns the site at the given 1-based rank.
+// Domain returns the site at the given 1-based rank. The rank must be
+// within [1, Size]; callers holding unvalidated input should use
+// DomainAt instead.
 func (u *Universe) Domain(rank int) Domain {
+	d, err := u.DomainAt(rank)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// DomainAt is Domain with the bounds check surfaced as an error instead
+// of a panic — the form user-supplied ranks (flags, HTTP parameters)
+// must go through.
+func (u *Universe) DomainAt(rank int) (Domain, error) {
 	if rank < 1 || rank > u.size {
-		panic(fmt.Sprintf("alexa: rank %d out of universe [1,%d]", rank, u.size))
+		return Domain{}, fmt.Errorf("alexa: rank %d out of universe [1,%d]", rank, u.size)
 	}
 	if d, ok := wellKnown[rank]; ok {
-		return d
+		return d, nil
 	}
 	cat := Category(xrand.PickWeighted(
 		xrand.Uniform(u.seed, "cat:"+strconv.Itoa(rank)), categoryWeights))
@@ -198,7 +211,7 @@ func (u *Universe) Domain(rank int) Domain {
 		tld = ".org"
 	}
 	name := fmt.Sprintf("%s%d%s", categoryPrefix[cat], rank, tld)
-	return Domain{Name: name, Rank: rank, Category: cat}
+	return Domain{Name: name, Rank: rank, Category: cat}, nil
 }
 
 // Rank resolves a domain name back to its rank. Synthetic names carry
@@ -236,10 +249,14 @@ func (u *Universe) Rank(name string) (int, bool) {
 	return rank, true
 }
 
-// TopN returns ranks 1..n.
+// TopN returns ranks 1..n, clamped to the universe (negative n yields
+// an empty slice).
 func (u *Universe) TopN(n int) []Domain {
 	if n > u.size {
 		n = u.size
+	}
+	if n < 0 {
+		n = 0
 	}
 	out := make([]Domain, n)
 	for i := range out {
@@ -249,15 +266,19 @@ func (u *Universe) TopN(n int) []Domain {
 }
 
 // SampleRange draws n distinct domains uniformly from ranks (lo, hi],
-// deterministically from the sample seed. It panics if the range cannot
-// supply n distinct ranks.
-func (u *Universe) SampleRange(lo, hi, n int, seed uint64) []Domain {
+// deterministically from the sample seed. It errors when the bounds are
+// malformed or the range cannot supply n distinct ranks — both reachable
+// from user flags, so no panic.
+func (u *Universe) SampleRange(lo, hi, n int, seed uint64) ([]Domain, error) {
 	if hi > u.size {
 		hi = u.size
 	}
+	if lo < 0 || n < 0 || hi < lo {
+		return nil, fmt.Errorf("alexa: malformed sample range (%d,%d] n=%d", lo, hi, n)
+	}
 	span := hi - lo
 	if span < n {
-		panic(fmt.Sprintf("alexa: range (%d,%d] cannot supply %d domains", lo, hi, n))
+		return nil, fmt.Errorf("alexa: range (%d,%d] cannot supply %d domains", lo, hi, n)
 	}
 	rng := xrand.New(seed)
 	picked := make(map[int]bool, n)
@@ -271,7 +292,7 @@ func (u *Universe) SampleRange(lo, hi, n int, seed uint64) []Domain {
 		out = append(out, u.Domain(rank))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
-	return out
+	return out, nil
 }
 
 // Partition is one row of Table 2.

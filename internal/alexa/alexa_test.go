@@ -75,6 +75,19 @@ func TestDomainPanicsOutOfRange(t *testing.T) {
 	u.Domain(0)
 }
 
+func TestDomainAtReturnsError(t *testing.T) {
+	u := NewUniverse(1, 100)
+	for _, rank := range []int{0, -3, 101} {
+		if _, err := u.DomainAt(rank); err == nil {
+			t.Errorf("DomainAt(%d) = nil error", rank)
+		}
+	}
+	d, err := u.DomainAt(1)
+	if err != nil || d.Name != "google.com" {
+		t.Errorf("DomainAt(1) = %v, %v", d, err)
+	}
+}
+
 func TestTopN(t *testing.T) {
 	u := NewUniverse(1, 1000)
 	top := u.TopN(50)
@@ -93,7 +106,10 @@ func TestTopN(t *testing.T) {
 
 func TestSampleRange(t *testing.T) {
 	u := NewUniverse(1, 1000000)
-	s := u.SampleRange(5000, 50000, 1000, 42)
+	s, err := u.SampleRange(5000, 50000, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(s) != 1000 {
 		t.Fatalf("sample = %d", len(s))
 	}
@@ -108,11 +124,24 @@ func TestSampleRange(t *testing.T) {
 		seen[d.Rank] = true
 	}
 	// Deterministic for a fixed seed; different for another.
-	s2 := u.SampleRange(5000, 50000, 1000, 42)
+	s2, err := u.SampleRange(5000, 50000, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range s {
 		if s[i] != s2[i] {
 			t.Fatal("sample not deterministic")
 		}
+	}
+	// Unsatisfiable or malformed requests error instead of panicking.
+	if _, err := u.SampleRange(10, 20, 1000, 1); err == nil {
+		t.Error("oversized sample did not error")
+	}
+	if _, err := u.SampleRange(-1, 20, 5, 1); err == nil {
+		t.Error("negative lo did not error")
+	}
+	if _, err := u.SampleRange(50, 20, 5, 1); err == nil {
+		t.Error("inverted range did not error")
 	}
 }
 

@@ -5,9 +5,17 @@
 // element through the engine, records all filter activations, and fetches
 // the resources the engine allows — the Selenium-plus-instrumented-ABP
 // setup of the paper, minus the real Firefox.
+//
+// Visits are deadline- and budget-bounded: PageTimeout caps one page load
+// end to end, MaxRedirects bounds every redirect chain hop-by-hop (each
+// hop's body capped at maxBody — a hostile chain cannot stream unbounded
+// bytes through intermediate responses), and MaxTotalBytes is a per-visit
+// download budget across the landing page and all fetched sub-resources.
 package browser
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,14 +27,28 @@ import (
 	"acceptableads/internal/engine"
 	"acceptableads/internal/htmldom"
 	"acceptableads/internal/obs"
+	"acceptableads/internal/retry"
 	"acceptableads/internal/sitekey"
 )
 
 // DefaultUserAgent mimics a 2015 Firefox, the browser the paper drove.
 const DefaultUserAgent = "Mozilla/5.0 (X11; Linux x86_64; rv:37.0) Gecko/20100101 Firefox/37.0"
 
-// maxBody bounds how much of a response the browser reads.
+// maxBody bounds how much of any single response — final or intermediate
+// redirect hop — the browser reads.
 const maxBody = 4 << 20
+
+// DefaultMaxRedirects bounds a request's redirect chain when
+// Browser.MaxRedirects is 0 (net/http's historical default).
+const DefaultMaxRedirects = 10
+
+// DefaultMaxTotalBytes is the per-visit download budget when
+// Browser.MaxTotalBytes is 0.
+const DefaultMaxTotalBytes = 16 << 20
+
+// ErrBodyBudget reports that a visit's total-bytes budget is exhausted;
+// remaining sub-resource fetches are skipped, not failed.
+var ErrBodyBudget = errors.New("browser: page byte budget exhausted")
 
 // Browser drives page loads through an engine. Each Visit records through
 // a private engine session, so multiple Browsers may share one engine and
@@ -46,6 +68,19 @@ type Browser struct {
 	// AnnounceAdblock sends the X-Simulated-Adblock header, standing in
 	// for the script-based ad-block detection some sites (imgur) run.
 	AnnounceAdblock bool
+	// PageTimeout bounds one Visit/Get end to end (landing page,
+	// redirects and sub-resource fetches); 0 leaves only the client's
+	// own timeout.
+	PageTimeout time.Duration
+	// MaxRedirects bounds each request's redirect chain; 0 means
+	// DefaultMaxRedirects.
+	MaxRedirects int
+	// MaxTotalBytes is the per-visit download budget across all hops and
+	// sub-resources; 0 means DefaultMaxTotalBytes.
+	MaxTotalBytes int64
+	// Breaker, when non-nil, gates sub-resource fetches per host:
+	// repeatedly failing resource hosts are skipped, not hammered.
+	Breaker *retry.Breaker
 
 	// metrics is the optional telemetry hook; nil (the default) records
 	// nothing. See SetObs.
@@ -54,12 +89,13 @@ type Browser struct {
 
 // browserMetrics pre-resolves the browser's instruments.
 type browserMetrics struct {
-	pages    *obs.Counter
-	pageLat  *obs.Histogram
-	requests *obs.Counter
-	blocked  *obs.Counter
-	fetched  *obs.Counter
-	bytes    *obs.Counter
+	pages     *obs.Counter
+	pageLat   *obs.Histogram
+	requests  *obs.Counter
+	blocked   *obs.Counter
+	fetched   *obs.Counter
+	bytes     *obs.Counter
+	redirects *obs.Counter
 }
 
 // SetObs wires page-load telemetry into reg; nil disables it. Like the
@@ -70,18 +106,21 @@ func (b *Browser) SetObs(reg *obs.Registry) {
 		return
 	}
 	b.metrics = &browserMetrics{
-		pages:    reg.Counter("browser.pages"),
-		pageLat:  reg.Histogram("browser.page.latency"),
-		requests: reg.Counter("browser.requests"),
-		blocked:  reg.Counter("browser.blocked"),
-		fetched:  reg.Counter("browser.fetched"),
-		bytes:    reg.Counter("browser.bytes"),
+		pages:     reg.Counter("browser.pages"),
+		pageLat:   reg.Histogram("browser.page.latency"),
+		requests:  reg.Counter("browser.requests"),
+		blocked:   reg.Counter("browser.blocked"),
+		fetched:   reg.Counter("browser.fetched"),
+		bytes:     reg.Counter("browser.bytes"),
+		redirects: reg.Counter("browser.redirects"),
 	}
 }
 
 // New wraps an HTTP client (typically webserver.Client) with a fresh
 // cookie jar and the filter engine. eng may be nil for a record-nothing
-// crawler (the parked-domain prober).
+// crawler (the parked-domain prober). The browser follows redirects
+// itself — hop by hop, each hop's body capped — so the client's own
+// redirect policy is overridden.
 func New(client *http.Client, eng *engine.Engine, userAgent string) (*Browser, error) {
 	jar, err := cookiejar.New(nil)
 	if err != nil {
@@ -89,6 +128,9 @@ func New(client *http.Client, eng *engine.Engine, userAgent string) (*Browser, e
 	}
 	c := *client
 	c.Jar = jar
+	c.CheckRedirect = func(req *http.Request, via []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
 	if userAgent == "" {
 		userAgent = DefaultUserAgent
 	}
@@ -107,6 +149,8 @@ type Visit struct {
 	URL, FinalURL string
 	// Status is the final HTTP status code.
 	Status int
+	// Redirects is the length of the landing page's redirect chain.
+	Redirects int
 	// SitekeyB64 is the verified base64 sitekey the server presented, "".
 	SitekeyB64 string
 	// Flags are the page-level allowances the engine granted.
@@ -125,53 +169,158 @@ type Visit struct {
 	Hidden []engine.ElementMatch
 }
 
+// pageCtx applies the per-page deadline, if any.
+func (b *Browser) pageCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if b.PageTimeout > 0 {
+		return context.WithTimeout(ctx, b.PageTimeout)
+	}
+	return ctx, func() {}
+}
+
+// budget returns the visit's fresh byte budget.
+func (b *Browser) budget() int64 {
+	if b.MaxTotalBytes > 0 {
+		return b.MaxTotalBytes
+	}
+	return DefaultMaxTotalBytes
+}
+
 // Get performs a plain instrumented GET without filter evaluation,
 // returning the final response and body. The parked-domain prober uses it.
 func (b *Browser) Get(url string) (*http.Response, []byte, error) {
-	return b.get(url, false)
+	return b.GetContext(context.Background(), url)
 }
 
-func (b *Browser) get(url string, dnt bool) (*http.Response, []byte, error) {
-	req, err := http.NewRequest(http.MethodGet, url, nil)
-	if err != nil {
-		return nil, nil, fmt.Errorf("browser: %w", err)
+// GetContext is Get under a caller context (plus the browser's
+// PageTimeout, when set).
+func (b *Browser) GetContext(ctx context.Context, url string) (*http.Response, []byte, error) {
+	ctx, cancel := b.pageCtx(ctx)
+	defer cancel()
+	budget := b.budget()
+	resp, body, _, err := b.get(ctx, url, false, &budget)
+	return resp, body, err
+}
+
+// get performs one instrumented GET, following redirects hop by hop: each
+// hop's body is drained under the maxBody cap and charged to the visit
+// budget, and the chain is bounded by MaxRedirects. It returns the final
+// response, its body, and the chain length.
+func (b *Browser) get(ctx context.Context, rawURL string, dnt bool, budget *int64) (*http.Response, []byte, int, error) {
+	maxRed := b.MaxRedirects
+	if maxRed <= 0 {
+		maxRed = DefaultMaxRedirects
 	}
-	req.Header.Set("User-Agent", b.UserAgent)
-	if b.AnnounceAdblock {
-		req.Header.Set("X-Simulated-Adblock", "1")
+	urlStr := rawURL
+	for hop := 0; ; hop++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, urlStr, nil)
+		if err != nil {
+			return nil, nil, hop, fmt.Errorf("browser: %w", err)
+		}
+		req.Header.Set("User-Agent", b.UserAgent)
+		if b.AnnounceAdblock {
+			req.Header.Set("X-Simulated-Adblock", "1")
+		}
+		if dnt {
+			req.Header.Set("DNT", "1")
+		}
+		resp, err := b.client.Do(req)
+		if err != nil {
+			return nil, nil, hop, fmt.Errorf("browser: get %s: %w", urlStr, err)
+		}
+		if loc := redirectTarget(resp); loc != "" {
+			b.drain(resp, budget)
+			if m := b.metrics; m != nil {
+				m.redirects.Inc()
+			}
+			if hop+1 > maxRed {
+				return nil, nil, hop + 1, fmt.Errorf("browser: get %s: %d redirects: %w",
+					rawURL, hop+1, retry.ErrTooManyRedirects)
+			}
+			urlStr = loc
+			continue
+		}
+		body, err := b.readBody(resp, budget)
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, hop, fmt.Errorf("browser: read %s: %w", urlStr, err)
+		}
+		return resp, body, hop, nil
 	}
-	if dnt {
-		req.Header.Set("DNT", "1")
+}
+
+// redirectTarget returns the resolved Location of a redirect response,
+// or "" when the response is final.
+func redirectTarget(resp *http.Response) string {
+	switch resp.StatusCode {
+	case http.StatusMovedPermanently, http.StatusFound, http.StatusSeeOther,
+		http.StatusTemporaryRedirect, http.StatusPermanentRedirect:
+		if u, err := resp.Location(); err == nil {
+			return u.String()
+		}
 	}
-	resp, err := b.client.Do(req)
-	if err != nil {
-		return nil, nil, fmt.Errorf("browser: get %s: %w", url, err)
+	return ""
+}
+
+// readBody reads a response body under the per-response cap and the
+// visit budget, charging what it read.
+func (b *Browser) readBody(resp *http.Response, budget *int64) ([]byte, error) {
+	limit := int64(maxBody)
+	if budget != nil {
+		if *budget <= 0 {
+			return nil, ErrBodyBudget
+		}
+		if *budget < limit {
+			limit = *budget
+		}
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
-	if err != nil {
-		return nil, nil, fmt.Errorf("browser: read %s: %w", url, err)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if budget != nil {
+		*budget -= int64(len(body))
 	}
 	if m := b.metrics; m != nil {
 		m.bytes.Add(int64(len(body)))
 	}
-	return resp, body, nil
+	return body, err
+}
+
+// drain discards an intermediate hop's body under the same caps as
+// readBody, so redirect chains cannot smuggle unbounded bytes.
+func (b *Browser) drain(resp *http.Response, budget *int64) {
+	n, _ := io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
+	resp.Body.Close()
+	if budget != nil {
+		*budget -= n
+	}
+	if m := b.metrics; m != nil {
+		m.bytes.Add(n)
+	}
 }
 
 // Visit loads a page and runs the full instrumented pipeline.
 func (b *Browser) Visit(url string) (*Visit, error) {
+	return b.VisitContext(context.Background(), url)
+}
+
+// VisitContext is Visit under a caller context: the page load, its
+// redirects and every sub-resource fetch observe ctx plus the browser's
+// PageTimeout, and share one MaxTotalBytes download budget.
+func (b *Browser) VisitContext(ctx context.Context, url string) (*Visit, error) {
 	var start time.Time
 	if b.metrics != nil {
 		start = time.Now()
 	}
-	resp, body, err := b.Get(url)
+	ctx, cancel := b.pageCtx(ctx)
+	defer cancel()
+	budget := b.budget()
+	resp, body, hops, err := b.get(ctx, url, false, &budget)
 	if err != nil {
 		return nil, err
 	}
 	v := &Visit{
-		URL:      url,
-		FinalURL: resp.Request.URL.String(),
-		Status:   resp.StatusCode,
+		URL:       url,
+		FinalURL:  resp.Request.URL.String(),
+		Status:    resp.StatusCode,
+		Redirects: hops,
 	}
 	v.DOM = htmldom.Parse(string(body))
 	if b.engine == nil {
@@ -226,8 +375,8 @@ func (b *Browser) Visit(url string) (*Visit, error) {
 			}
 			dnt = d.DoNotTrack
 		}
-		if allowed && b.FetchResources {
-			if _, _, err := b.get(res.URL, dnt); err == nil {
+		if allowed && b.FetchResources && budget > 0 && ctx.Err() == nil {
+			if b.fetchResource(ctx, res.URL, dnt, &budget) {
 				v.FetchedRequests++
 			}
 		}
@@ -245,6 +394,20 @@ func (b *Browser) Visit(url string) (*Visit, error) {
 		m.fetched.Add(int64(v.FetchedRequests))
 	}
 	return v, nil
+}
+
+// fetchResource downloads one allowed sub-resource, gated by the
+// per-host circuit breaker when one is configured.
+func (b *Browser) fetchResource(ctx context.Context, url string, dnt bool, budget *int64) bool {
+	host := domainutil.HostOf(url)
+	if b.Breaker != nil && !b.Breaker.Allow(host) {
+		return false
+	}
+	_, _, _, err := b.get(ctx, url, dnt, budget)
+	if b.Breaker != nil {
+		b.Breaker.Record(host, err)
+	}
+	return err == nil
 }
 
 // htmlAdblockKey extracts the data-adblockkey attribute from the document's

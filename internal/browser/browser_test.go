@@ -1,10 +1,13 @@
 package browser
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
+	"strings"
 	"testing"
+	"time"
 
 	"acceptableads/internal/alexa"
 	"acceptableads/internal/engine"
@@ -12,6 +15,7 @@ import (
 	"acceptableads/internal/sitekey"
 	"acceptableads/internal/webgen"
 	"acceptableads/internal/webserver"
+	"acceptableads/internal/retry"
 	"acceptableads/internal/xrand"
 )
 
@@ -338,5 +342,80 @@ func TestDNTHeaderSentOnSignalledRequests(t *testing.T) {
 	}
 	if len(gotDNT) != 1 || gotDNT[0] != "1" {
 		t.Errorf("tracker saw DNT headers %v, want [1]", gotDNT)
+	}
+}
+
+func TestRedirectChainBounded(t *testing.T) {
+	srv, b := testSetup(t)
+	srv.Handle("loop.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, r.URL.Path+"x", http.StatusFound)
+	}))
+	b.MaxRedirects = 4
+	_, _, err := b.Get("http://loop.example/")
+	if !errors.Is(err, retry.ErrTooManyRedirects) {
+		t.Fatalf("err = %v, want ErrTooManyRedirects", err)
+	}
+	if retry.ClassOf(err) != "redirect_loop" {
+		t.Errorf("ClassOf = %q", retry.ClassOf(err))
+	}
+}
+
+func TestRedirectChainRecorded(t *testing.T) {
+	srv, b := testSetup(t)
+	srv.Handle("hop.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/":
+			http.Redirect(w, r, "/a", http.StatusMovedPermanently)
+		case "/a":
+			http.Redirect(w, r, "/b", http.StatusFound)
+		default:
+			fmt.Fprint(w, "<html><body>done</body></html>")
+		}
+	}))
+	v, err := b.Visit("http://hop.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Redirects != 2 {
+		t.Errorf("Redirects = %d, want 2", v.Redirects)
+	}
+	if v.FinalURL != "http://hop.example/b" {
+		t.Errorf("FinalURL = %q", v.FinalURL)
+	}
+}
+
+func TestByteBudgetCapsVisit(t *testing.T) {
+	srv, b := testSetup(t)
+	big := strings.Repeat("x", 64<<10)
+	srv.Handle("big.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "<html><body>%s</body></html>", big)
+	}))
+	b.MaxTotalBytes = 1 << 10
+	_, body, err := b.Get("http://big.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) > 1<<10 {
+		t.Errorf("read %d bytes past a 1KiB budget", len(body))
+	}
+	// A second request in the same visit budget would be refused.
+}
+
+func TestPageTimeoutClassifiesAsTimeout(t *testing.T) {
+	srv, b := testSetup(t)
+	srv.Handle("stall.example", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	b.PageTimeout = 200 * time.Millisecond
+	start := time.Now()
+	_, err := b.Visit("http://stall.example/")
+	if err == nil {
+		t.Fatal("stalled page did not error")
+	}
+	if retry.ClassOf(err) != "timeout" || !retry.Retryable(err) {
+		t.Errorf("class = %q retryable = %v (%v)", retry.ClassOf(err), retry.Retryable(err), err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("deadline did not bound the visit")
 	}
 }

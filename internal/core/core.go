@@ -15,10 +15,12 @@ import (
 	"log/slog"
 	"math/big"
 	"sync"
+	"time"
 
 	"acceptableads/internal/alexa"
 	"acceptableads/internal/easylist"
 	"acceptableads/internal/engine"
+	"acceptableads/internal/faults"
 	"acceptableads/internal/filter"
 	"acceptableads/internal/histanalysis"
 	"acceptableads/internal/histgen"
@@ -202,6 +204,14 @@ type SurveyOptions struct {
 	Obs      *obs.Registry
 	Progress *obs.Progress
 	Logger   *slog.Logger
+	// PageTimeout / MaxAttempts / ErrorBudget tune the crawl's
+	// resilience; zero values use sitesurvey's defaults (strict error
+	// budget). Faults, when non-nil, injects failures into the synthetic
+	// web — the chaos-testing path.
+	PageTimeout time.Duration
+	MaxAttempts int
+	ErrorBudget float64
+	Faults      *faults.Injector
 }
 
 // RunSurvey executes the §5 site survey. topN/stratum of 0 use the paper's
@@ -245,6 +255,10 @@ func (s *Study) RunSurveyOpts(o SurveyOptions) (*sitesurvey.Survey, error) {
 		Obs:         o.Obs,
 		Progress:    o.Progress,
 		Logger:      o.Logger,
+		PageTimeout: o.PageTimeout,
+		MaxAttempts: o.MaxAttempts,
+		ErrorBudget: o.ErrorBudget,
+		Faults:      o.Faults,
 	}
 	if o.Rev >= 0 {
 		r := h.Repo.Rev(o.Rev)
@@ -257,26 +271,53 @@ func (s *Study) RunSurveyOpts(o SurveyOptions) (*sitesurvey.Survey, error) {
 	return sitesurvey.Run(cfg)
 }
 
+// ParkedOptions parameterizes RunParkedScan. The zero value scans at the
+// default scale with telemetry off and a strict error budget.
+type ParkedOptions struct {
+	// Scale divides Table 3's counts; 0 means 1000.
+	Scale int
+	// Obs / Progress / Logger are the telemetry hooks; each may be nil.
+	Obs      *obs.Registry
+	Progress *obs.Progress
+	Logger   *slog.Logger
+	// PageTimeout / MaxAttempts / ErrorBudget tune the probe loop's
+	// resilience; Faults injects failures into the scan's web server.
+	PageTimeout time.Duration
+	MaxAttempts int
+	ErrorBudget float64
+	Faults      *faults.Injector
+}
+
 // ParkedScan runs the Table 3 zone scan at the given scale divisor (0
 // means 1000).
 func (s *Study) ParkedScan(scale int) (*parked.ScanResult, error) {
-	return s.ParkedScanOpts(scale, nil, nil, nil)
+	return s.RunParkedScan(ParkedOptions{Scale: scale})
 }
 
 // ParkedScanOpts is ParkedScan with telemetry hooks threaded through the
 // probe loop; each hook may be nil.
 func (s *Study) ParkedScanOpts(scale int, reg *obs.Registry, prog *obs.Progress, logger *slog.Logger) (*parked.ScanResult, error) {
+	return s.RunParkedScan(ParkedOptions{Scale: scale, Obs: reg, Progress: prog, Logger: logger})
+}
+
+// RunParkedScan executes the Table 3 scan with full control over scale,
+// telemetry and resilience.
+func (s *Study) RunParkedScan(o ParkedOptions) (*parked.ScanResult, error) {
 	h, err := s.History()
 	if err != nil {
 		return nil, err
 	}
 	return parked.Scan(parked.ScanConfig{
-		Seed:     s.Seed,
-		Scale:    scale,
-		Services: parked.ServicesFromHistory(h),
-		Obs:      reg,
-		Progress: prog,
-		Logger:   logger,
+		Seed:        s.Seed,
+		Scale:       o.Scale,
+		Services:    parked.ServicesFromHistory(h),
+		Obs:         o.Obs,
+		Progress:    o.Progress,
+		Logger:      o.Logger,
+		PageTimeout: o.PageTimeout,
+		MaxAttempts: o.MaxAttempts,
+		ErrorBudget: o.ErrorBudget,
+		Faults:      o.Faults,
 	})
 }
 

@@ -1,0 +1,297 @@
+// Package faults is a deterministic, seed-driven fault injector for the
+// synthetic web: it wraps internal/webserver's request path and injects
+// the real web's failure modes — 5xx responses, connection resets, slow
+// and stalled bodies, truncated transfers, redirect loops and malformed
+// HTML — at configurable per-class rates. The §5 crawl drove ~8,000 real
+// landing pages where all of these are routine; the injector lets the
+// reproduction replay them reproducibly: the decision for every request
+// derives from the seed, the request's host+path, and how many times that
+// URL has been requested, so an identical fault seed reproduces the
+// identical set of injected faults (and, downstream, identical crawl
+// aggregates) regardless of worker scheduling.
+//
+// The per-URL attempt counter is what makes retries meaningful: a URL
+// whose first request drew a fault draws independently on its second,
+// so the retry/backoff path actually recovers instead of hitting a
+// frozen decision forever.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"acceptableads/internal/obs"
+	"acceptableads/internal/xrand"
+)
+
+// Class is one injectable failure mode.
+type Class uint8
+
+const (
+	// None means the request is served normally.
+	None Class = iota
+	// ServerError answers with a 500/502/503.
+	ServerError
+	// Reset tears the TCP connection down mid-request (RST).
+	Reset
+	// Slow writes a partial body, stalls for Config.SlowDelay, then
+	// finishes — tripping client deadlines when the stall outlasts them.
+	Slow
+	// Truncate advertises a Content-Length it never delivers, producing
+	// an unexpected-EOF on the client.
+	Truncate
+	// RedirectLoop 302s into an endless redirect chain, exhausting the
+	// client's redirect budget.
+	RedirectLoop
+	// Malformed serves byte garbage as 200 text/html — the parser and
+	// matcher must survive it.
+	Malformed
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"none", "http_5xx", "reset", "slow", "truncated", "redirect_loop", "malformed",
+}
+
+// String names the class (matching retry.ClassOf's vocabulary where the
+// fault surfaces as a client-side error).
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// Classes lists every injectable class in decision order.
+func Classes() []Class {
+	return []Class{ServerError, Reset, Slow, Truncate, RedirectLoop, Malformed}
+}
+
+// DefaultSlowDelay stalls longer than every default client deadline in
+// the repo (webserver.Client's 10s), so an un-tuned Slow fault reliably
+// times the page out.
+const DefaultSlowDelay = 15 * time.Second
+
+// Config parameterizes an Injector.
+type Config struct {
+	// Seed drives every injection decision.
+	Seed uint64
+	// Rates maps class → per-request injection probability. Classes
+	// absent from the map never fire. The sum should stay ≤ 1.
+	Rates map[Class]float64
+	// SlowDelay is how long Slow stalls mid-body; 0 means
+	// DefaultSlowDelay.
+	SlowDelay time.Duration
+}
+
+// Uniform is the one-knob config the -fault-rate flag uses: rate is the
+// total injection probability, split evenly across all fault classes.
+func Uniform(seed uint64, rate float64) Config {
+	cs := Classes()
+	rates := make(map[Class]float64, len(cs))
+	for _, c := range cs {
+		rates[c] = rate / float64(len(cs))
+	}
+	return Config{Seed: seed, Rates: rates}
+}
+
+// loopPrefix is the path namespace RedirectLoop bounces through; the
+// injector owns it entirely.
+const loopPrefix = "/__fault/loop/"
+
+// Injector decides and performs fault injection. Wire it into a server
+// with webserver.Server.SetFaults; it is safe for concurrent use.
+type Injector struct {
+	cfg     Config
+	order   []Class
+	mu      sync.Mutex
+	seen    map[string]int
+	counts  [numClasses]atomic.Int64
+	metrics *injectorMetrics
+}
+
+type injectorMetrics struct {
+	total    *obs.Counter
+	perClass [numClasses]*obs.Counter
+}
+
+// New creates an injector for the config.
+func New(cfg Config) *Injector {
+	if cfg.SlowDelay <= 0 {
+		cfg.SlowDelay = DefaultSlowDelay
+	}
+	return &Injector{cfg: cfg, order: Classes(), seen: make(map[string]int)}
+}
+
+// SetObs wires per-class injection counters into reg; nil disables them.
+// Set it before the server starts.
+func (i *Injector) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		i.metrics = nil
+		return
+	}
+	m := &injectorMetrics{total: reg.Counter("faults.injected")}
+	for _, c := range i.order {
+		m.perClass[c] = reg.Counter("faults.injected." + c.String())
+	}
+	i.metrics = m
+}
+
+// Counts returns how many faults of each class have been injected.
+func (i *Injector) Counts() map[Class]int64 {
+	out := make(map[Class]int64, len(i.order))
+	for _, c := range i.order {
+		if n := i.counts[c].Load(); n > 0 {
+			out[c] = n
+		}
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (i *Injector) Total() int64 {
+	var n int64
+	for _, c := range i.order {
+		n += i.counts[c].Load()
+	}
+	return n
+}
+
+// Intercept inspects one request and either injects a fault (returning
+// true — the request is fully handled) or declines (returning false —
+// the caller serves it normally).
+func (i *Injector) Intercept(w http.ResponseWriter, r *http.Request) bool {
+	if strings.HasPrefix(r.URL.Path, loopPrefix) {
+		i.loopHop(w, r)
+		return true
+	}
+	key := hostOf(r) + r.URL.Path
+	i.mu.Lock()
+	n := i.seen[key]
+	i.seen[key] = n + 1
+	i.mu.Unlock()
+	c := i.pick(key, n)
+	if c == None {
+		return false
+	}
+	i.counts[c].Add(1)
+	if m := i.metrics; m != nil {
+		m.total.Inc()
+		m.perClass[c].Inc()
+	}
+	switch c {
+	case ServerError:
+		i.serverError(w, key, n)
+	case Reset:
+		reset(w)
+	case Slow:
+		i.slow(w, r)
+	case Truncate:
+		truncate(w)
+	case RedirectLoop:
+		http.Redirect(w, r, loopPrefix+"1", http.StatusFound)
+	case Malformed:
+		malformed(w)
+	}
+	return true
+}
+
+// pick draws the class for the n-th request of key.
+func (i *Injector) pick(key string, n int) Class {
+	u := xrand.Uniform(i.cfg.Seed, key+"|"+strconv.Itoa(n))
+	acc := 0.0
+	for _, c := range i.order {
+		acc += i.cfg.Rates[c]
+		if u < acc {
+			return c
+		}
+	}
+	return None
+}
+
+func hostOf(r *http.Request) string {
+	host := strings.ToLower(r.Host)
+	if idx := strings.IndexByte(host, ':'); idx >= 0 {
+		host = host[:idx]
+	}
+	return host
+}
+
+// loopHop continues an injected redirect loop forever; the client's
+// redirect budget is what terminates it.
+func (i *Injector) loopHop(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(strings.TrimPrefix(r.URL.Path, loopPrefix))
+	http.Redirect(w, r, loopPrefix+strconv.Itoa(n+1), http.StatusFound)
+}
+
+func (i *Injector) serverError(w http.ResponseWriter, key string, n int) {
+	codes := [3]int{http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable}
+	code := codes[xrand.Hash64(i.cfg.Seed, "code|"+key+"|"+strconv.Itoa(n))%3]
+	http.Error(w, "injected fault: server error", code)
+}
+
+// reset hijacks the connection and closes it with linger 0, so the
+// client observes an RST (or at best an abrupt EOF) instead of a
+// response.
+func reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// No hijack support (e.g. HTTP/2): degrade to an empty 500.
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+func (i *Injector) slow(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "<html><body>")
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	select {
+	case <-r.Context().Done():
+		return
+	case <-time.After(i.cfg.SlowDelay):
+	}
+	io.WriteString(w, "slow page</body></html>")
+}
+
+// truncate writes a raw response whose Content-Length promises twice the
+// body it delivers, then closes — the client reads an unexpected EOF.
+func truncate(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	conn, bufw, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	body := "<html><body>truncated"
+	fmt.Fprintf(bufw, "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		2*len(body), body)
+	bufw.Flush()
+}
+
+func malformed(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, "<html><<bo<dy class=\x00\xfe\xff><di v><p>malformed &#;&nbsp <img src='unterminated>><script<\x01")
+}

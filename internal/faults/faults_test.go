@@ -1,0 +1,202 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"acceptableads/internal/alexa"
+	"acceptableads/internal/browser"
+	"acceptableads/internal/faults"
+	"acceptableads/internal/retry"
+	"acceptableads/internal/webgen"
+	"acceptableads/internal/webserver"
+)
+
+// setup starts a corpus server with the given injector and returns an
+// engine-less browser with a short page deadline, so slow faults time
+// out within test budgets.
+func setup(t *testing.T, inj *faults.Injector) *browser.Browser {
+	t.Helper()
+	u := alexa.NewUniverse(1, 1000000)
+	srv := webserver.New(webgen.New(1, u, nil))
+	srv.SetFaults(inj)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	b, err := browser.New(srv.Client(), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.PageTimeout = 2 * time.Second
+	return b
+}
+
+// only builds a config injecting exactly one class on every request.
+func only(c faults.Class) faults.Config {
+	return faults.Config{
+		Seed:      42,
+		Rates:     map[faults.Class]float64{c: 1.0},
+		SlowDelay: 5 * time.Second, // > PageTimeout, < test budget
+	}
+}
+
+// TestInjectionEndToEnd drives each fault class at rate 1.0 through the
+// real webserver and browser, asserting the failure surfaces to the
+// client the way the crawl will see it.
+func TestInjectionEndToEnd(t *testing.T) {
+	cases := []struct {
+		class faults.Class
+		check func(t *testing.T, v *browser.Visit, err error)
+	}{
+		{faults.ServerError, func(t *testing.T, v *browser.Visit, err error) {
+			// The browser keeps standard HTTP semantics: a 5xx is a
+			// completed visit; callers classify via the status.
+			if err != nil {
+				t.Fatalf("visit: %v", err)
+			}
+			if v.Status < 500 {
+				t.Fatalf("status = %d, want 5xx", v.Status)
+			}
+			se := &retry.StatusError{Code: v.Status}
+			if !retry.Retryable(se) || retry.ClassOf(se) != "http_5xx" {
+				t.Errorf("5xx not classified retryable/http_5xx")
+			}
+		}},
+		{faults.Reset, func(t *testing.T, v *browser.Visit, err error) {
+			if err == nil {
+				t.Fatal("reset fault produced no error")
+			}
+			if !retry.Retryable(err) {
+				t.Errorf("reset error %v not retryable", err)
+			}
+			if c := retry.ClassOf(err); c != "reset" && c != "truncated" && c != "other" {
+				t.Errorf("ClassOf(reset) = %q", c)
+			}
+		}},
+		{faults.Slow, func(t *testing.T, v *browser.Visit, err error) {
+			if err == nil {
+				t.Fatal("slow fault beat the page deadline")
+			}
+			if !retry.Retryable(err) || retry.ClassOf(err) != "timeout" {
+				t.Errorf("slow fault: Retryable=%v class=%q err=%v",
+					retry.Retryable(err), retry.ClassOf(err), err)
+			}
+		}},
+		{faults.Truncate, func(t *testing.T, v *browser.Visit, err error) {
+			if err == nil {
+				t.Fatal("truncated body produced no error")
+			}
+			if !retry.Retryable(err) || retry.ClassOf(err) != "truncated" {
+				t.Errorf("truncate fault: Retryable=%v class=%q err=%v",
+					retry.Retryable(err), retry.ClassOf(err), err)
+			}
+		}},
+		{faults.RedirectLoop, func(t *testing.T, v *browser.Visit, err error) {
+			if !errors.Is(err, retry.ErrTooManyRedirects) {
+				t.Fatalf("err = %v, want ErrTooManyRedirects", err)
+			}
+			if retry.ClassOf(err) != "redirect_loop" {
+				t.Errorf("ClassOf = %q", retry.ClassOf(err))
+			}
+		}},
+		{faults.Malformed, func(t *testing.T, v *browser.Visit, err error) {
+			// Garbage HTML must not crash the pipeline: the visit
+			// completes and the parser returns something.
+			if err != nil {
+				t.Fatalf("visit: %v", err)
+			}
+			if v.Status != 200 || v.DOM == nil {
+				t.Errorf("status = %d, DOM nil = %v", v.Status, v.DOM == nil)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.class.String(), func(t *testing.T) {
+			inj := faults.New(only(c.class))
+			b := setup(t, inj)
+			v, err := b.Visit("http://toyota.com/")
+			c.check(t, v, err)
+			if inj.Total() == 0 {
+				t.Error("injector recorded no injections")
+			}
+			if inj.Counts()[c.class] == 0 {
+				t.Errorf("no %s injections recorded: %v", c.class, inj.Counts())
+			}
+		})
+	}
+}
+
+// TestRetryRecoversFromTransientFault shows the per-URL attempt counter
+// working end to end: at rate 0.5 a faulted URL draws independently on
+// each attempt, so a retry loop around the visit eventually recovers.
+func TestRetryRecoversFromTransientFault(t *testing.T) {
+	inj := faults.New(faults.Config{
+		Seed:  3,
+		Rates: map[faults.Class]float64{faults.Reset: 0.5},
+	})
+	b := setup(t, inj)
+	p := retry.Policy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	hosts := []string{"toyota.com", "weather.com", "imgur.com", "reddit.com", "example55.com"}
+	retried, recovered := false, 0
+	for _, h := range hosts {
+		h := h
+		attempts, err := p.Do(context.Background(), h, func(context.Context) error {
+			_, visitErr := b.Visit("http://" + h + "/")
+			return visitErr
+		})
+		if err == nil {
+			recovered++
+			if attempts > 1 {
+				retried = true
+			}
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no host recovered through retries at rate 0.5")
+	}
+	if !retried && inj.Total() == 0 {
+		t.Error("injector never fired — test exercised nothing")
+	}
+}
+
+// TestDeterminism replays the same request sequence against two
+// injectors with the same seed and a third with a different seed.
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) map[faults.Class]int64 {
+		inj := faults.New(faults.Config{Seed: seed, Rates: map[faults.Class]float64{
+			faults.ServerError: 0.2,
+			faults.Malformed:   0.2,
+		}})
+		b := setup(t, inj)
+		for _, h := range []string{"toyota.com", "weather.com", "imgur.com", "reddit.com"} {
+			for i := 0; i < 4; i++ {
+				b.Visit("http://" + h + "/") //nolint:errcheck // faults expected
+			}
+		}
+		return inj.Counts()
+	}
+	a, b := run(11), run(11)
+	if len(a) == 0 {
+		t.Fatal("seed 11 injected nothing at 40% total rate")
+	}
+	for c, n := range a {
+		if b[c] != n {
+			t.Errorf("same seed diverged: %s = %d vs %d", c, n, b[c])
+		}
+	}
+	c := run(12)
+	same := len(a) == len(c)
+	if same {
+		for cl, n := range a {
+			if c[cl] != n {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical injection counts")
+	}
+}

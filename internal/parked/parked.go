@@ -8,16 +8,20 @@
 package parked
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"acceptableads/internal/browser"
 	"acceptableads/internal/dnszone"
+	"acceptableads/internal/faults"
 	"acceptableads/internal/histgen"
 	"acceptableads/internal/obs"
+	"acceptableads/internal/retry"
 	"acceptableads/internal/sitekey"
 	"acceptableads/internal/webserver"
 )
@@ -114,6 +118,19 @@ type ScanConfig struct {
 	Progress *obs.Progress
 	// Logger receives structured scan logs; nil means silent.
 	Logger *slog.Logger
+
+	// PageTimeout bounds each probe end to end; 0 means the survey's
+	// default page deadline.
+	PageTimeout time.Duration
+	// MaxAttempts is the per-domain probe budget including the first
+	// try; 0 means retry.DefaultMaxAttempts.
+	MaxAttempts int
+	// ErrorBudget is the tolerated post-retry probe failure rate; 0 is
+	// strict, negative disables the check. Exceeding it returns partial
+	// results alongside a *retry.BudgetError.
+	ErrorBudget float64
+	// Faults, when non-nil, is wired into the scan's web server.
+	Faults *faults.Injector
 }
 
 // ServiceCount is one Table 3 row.
@@ -124,6 +141,9 @@ type ServiceCount struct {
 	// Verified is the number of candidates that presented a valid
 	// sitekey signature at the scan's scale.
 	Verified int
+	// Failed counts candidates whose probe kept failing after retries;
+	// they are recorded, not fatal.
+	Failed int
 	// Extrapolated is Verified×Scale, comparable to Table 3.
 	Extrapolated int
 	// FullCount is the paper's figure.
@@ -135,6 +155,9 @@ type ScanResult struct {
 	Scale    int
 	Rows     []ServiceCount
 	Total    int // verified at scale
+	Failed   int // probes that kept failing after retries
+	Probed   int // candidates probed to a decision
+	Retries  int // probe attempts beyond each domain's first
 	FullSum  int // extrapolated total
 	PaperSum int // Table 3's 2,676,165
 }
@@ -167,6 +190,7 @@ func Scan(cfg ScanConfig) (*ScanResult, error) {
 	}
 	srv := webserver.New(nil)
 	srv.SetObs(cfg.Obs)
+	srv.SetFaults(cfg.Faults)
 	if err := srv.Start(); err != nil {
 		return nil, err
 	}
@@ -188,12 +212,28 @@ func Scan(cfg ScanConfig) (*ScanResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	b.PageTimeout = cfg.PageTimeout
 	b.SetObs(cfg.Obs)
 
-	var probes, verified *obs.Counter
+	var probes, verified, failures, retriesSeen *obs.Counter
 	if cfg.Obs != nil {
 		probes = cfg.Obs.Counter("parked.probes")
 		verified = cfg.Obs.Counter("parked.verified")
+		failures = cfg.Obs.Counter("parked.failures")
+		retriesSeen = cfg.Obs.Counter("parked.retries")
+	}
+	retryCount := 0
+	policy := retry.Policy{
+		MaxAttempts: cfg.MaxAttempts,
+		Seed:        cfg.Seed,
+		Breaker:     retry.NewBreaker(retry.BreakerConfig{}),
+		OnRetry: func(key string, attempt int, delay time.Duration, err error) {
+			retryCount++
+			if retriesSeen != nil {
+				retriesSeen.Inc()
+			}
+			logger.Debug("retrying probe", "domain", key, "attempt", attempt, "err", err)
+		},
 	}
 
 	res := &ScanResult{Scale: cfg.Scale, PaperSum: histgen.TotalParkedDomains}
@@ -221,17 +261,32 @@ func Scan(cfg ScanConfig) (*ScanResult, error) {
 		}
 		for _, domain := range candidates[name] {
 			sp := obs.StartSpan(cfg.Obs, logger, "parked.probe")
-			ok, err := ProbeSitekey(b, domain)
-			if err != nil {
-				return nil, fmt.Errorf("parked: probing %s: %w", domain, err)
-			}
-			sp.End("service", name, "domain", domain, "verified", ok)
+			var ok bool
+			_, err := policy.Do(context.Background(), domain, func(ctx context.Context) error {
+				var perr error
+				ok, perr = ProbeSitekeyContext(ctx, b, domain)
+				return perr
+			})
+			res.Probed++
 			if probes != nil {
 				probes.Inc()
 			}
 			if stage != nil {
 				stage.Add(1)
 			}
+			if err != nil {
+				// A domain that keeps failing is recorded, not fatal —
+				// the scan's counts stay a lower bound, like the paper's.
+				row.Failed++
+				res.Failed++
+				if failures != nil {
+					failures.Inc()
+				}
+				logger.Warn("probe failed after retries", "service", name,
+					"domain", domain, "class", retry.ClassOf(err), "err", err)
+				continue
+			}
+			sp.End("service", name, "domain", domain, "verified", ok)
 			if ok {
 				row.Verified++
 				if verified != nil {
@@ -244,6 +299,16 @@ func Scan(cfg ScanConfig) (*ScanResult, error) {
 		res.Total += row.Verified
 		res.FullSum += row.Extrapolated
 	}
+	res.Retries = retryCount
+	if cfg.ErrorBudget >= 0 && res.Probed > 0 {
+		if rate := float64(res.Failed) / float64(res.Probed); rate > cfg.ErrorBudget {
+			return res, &retry.BudgetError{
+				Failed:    res.Failed,
+				Attempted: res.Probed,
+				Budget:    cfg.ErrorBudget,
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -251,9 +316,19 @@ func Scan(cfg ScanConfig) (*ScanResult, error) {
 // sitekey signature (via header or the data-adblockkey attribute), the
 // §4.2.3 recording criterion.
 func ProbeSitekey(b *browser.Browser, domain string) (bool, error) {
-	resp, body, err := b.Get("http://" + domain + "/")
+	return ProbeSitekeyContext(context.Background(), b, domain)
+}
+
+// ProbeSitekeyContext is ProbeSitekey under a caller context. A 5xx
+// answer surfaces as a *retry.StatusError so retry loops classify it;
+// other non-200 statuses (ParkingCrew's 403) stay non-verifying visits.
+func ProbeSitekeyContext(ctx context.Context, b *browser.Browser, domain string) (bool, error) {
+	resp, body, err := b.GetContext(ctx, "http://"+domain+"/")
 	if err != nil {
 		return false, err
+	}
+	if resp.StatusCode >= 500 {
+		return false, &retry.StatusError{Code: resp.StatusCode}
 	}
 	host := domain
 	uri := resp.Request.URL.RequestURI()

@@ -1,0 +1,148 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Breaker defaults used when the corresponding BreakerConfig field is
+// zero.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 30 * time.Second
+)
+
+// BreakerConfig parameterizes a Breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens a
+	// host's circuit; 0 means DefaultBreakerThreshold.
+	Threshold int
+	// Cooldown is how long an open circuit rejects traffic before
+	// letting one half-open probe through; 0 means
+	// DefaultBreakerCooldown.
+	Cooldown time.Duration
+	// Now is the clock; nil means time.Now. Tests fake it.
+	Now func() time.Time
+	// OnStateChange, when non-nil, observes every open/close transition
+	// (telemetry hook).
+	OnStateChange func(host string, open bool)
+}
+
+// Breaker is a per-host circuit breaker: hosts that fail Threshold times
+// in a row are skipped — not hammered — until a cooldown elapses, after
+// which a single half-open probe decides whether the circuit closes.
+// All methods are safe for concurrent use.
+type Breaker struct {
+	cfg   BreakerConfig
+	mu    sync.Mutex
+	hosts map[string]*breakerHost
+	open  int
+	trips int64
+}
+
+type breakerHost struct {
+	fails    int
+	open     bool
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker creates a breaker; zero-value config fields use the
+// defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = DefaultBreakerThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultBreakerCooldown
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg, hosts: make(map[string]*breakerHost)}
+}
+
+// Allow reports whether a request to host may proceed. On an open circuit
+// whose cooldown has elapsed it admits exactly one probe (half-open);
+// further calls reject until that probe's outcome is recorded.
+func (b *Breaker) Allow(host string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.hosts[host]
+	if h == nil || !h.open {
+		return true
+	}
+	if !h.probing && b.cfg.Now().Sub(h.openedAt) >= b.cfg.Cooldown {
+		h.probing = true
+		return true
+	}
+	return false
+}
+
+// Record feeds an attempt's outcome into the circuit. A success closes
+// it; a failure counts toward the threshold (or re-arms an open
+// circuit's cooldown). Context cancellation is neither: it says nothing
+// about the host.
+func (b *Breaker) Record(host string, err error) {
+	if err != nil && errors.Is(err, context.Canceled) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.hosts[host]
+	if h == nil {
+		h = &breakerHost{}
+		b.hosts[host] = h
+	}
+	if err == nil {
+		if h.open {
+			h.open = false
+			b.open--
+			if f := b.cfg.OnStateChange; f != nil {
+				f(host, false)
+			}
+		}
+		h.fails = 0
+		h.probing = false
+		return
+	}
+	h.fails++
+	h.probing = false
+	if h.open {
+		h.openedAt = b.cfg.Now() // failed probe re-arms the cooldown
+		return
+	}
+	if h.fails >= b.cfg.Threshold {
+		h.open = true
+		h.openedAt = b.cfg.Now()
+		b.open++
+		b.trips++
+		if f := b.cfg.OnStateChange; f != nil {
+			f(host, true)
+		}
+	}
+}
+
+// OpenCount returns the number of currently open circuits.
+func (b *Breaker) OpenCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// Trips returns the total number of open transitions ever made.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// HostOpen reports whether host's circuit is currently open.
+func (b *Breaker) HostOpen(host string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.hosts[host]
+	return h != nil && h.open
+}

@@ -1,0 +1,297 @@
+// Package retry supplies the crawl's resilience primitives: capped
+// exponential backoff with deterministic jitter, retryable-error
+// classification, and a per-host circuit breaker. The paper's §5 crawl
+// drove ~8,000 real-web landing pages where timeouts, connection resets
+// and 5xx responses are routine; this package lets the reproduction
+// survive the same conditions — replayed deterministically by
+// internal/faults — without aborting a run.
+//
+// Reproducibility rule: jitter never touches global randomness. Every
+// delay derives from an explicit seed plus the attempt key (typically the
+// host being retried), so two runs with the same seed back off
+// identically.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"acceptableads/internal/xrand"
+)
+
+// Defaults used when the corresponding Policy field is zero.
+const (
+	DefaultMaxAttempts = 3
+	DefaultBaseDelay   = 50 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+	DefaultMultiplier  = 2.0
+	DefaultJitter      = 0.5
+)
+
+// ErrTooManyRedirects marks a redirect chain that exceeded its budget.
+// It lives here (not in the browser) so ClassOf and Retryable can see it
+// without an import cycle.
+var ErrTooManyRedirects = errors.New("too many redirects")
+
+// ErrBreakerOpen is returned by Policy.Do when the circuit breaker for
+// the attempt key is open and no attempt was made.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+// Policy describes a retry loop. The zero value retries up to
+// DefaultMaxAttempts with the default backoff schedule and the Retryable
+// classifier.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// 0 means DefaultMaxAttempts.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; 0 means
+	// DefaultBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff; 0 means DefaultMaxDelay.
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt; values < 1 (including 0)
+	// mean DefaultMultiplier.
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized: a delay d
+	// becomes d·(1 − Jitter/2 + Jitter·u) for a deterministic uniform u.
+	// 0 means DefaultJitter; negative disables jitter entirely.
+	Jitter float64
+	// Seed drives the deterministic jitter (combined with the attempt
+	// key, so distinct hosts desynchronize without losing replayability).
+	Seed uint64
+	// Classify decides whether an error is worth retrying; nil means
+	// Retryable.
+	Classify func(error) bool
+	// Sleep waits between attempts; nil means a context-aware timer
+	// sleep. Tests inject fakes to run the schedule on a fake clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Breaker, when non-nil, is consulted before every attempt and
+	// records every outcome under the attempt key. An open breaker stops
+	// the loop early.
+	Breaker *Breaker
+	// OnRetry, when non-nil, observes every backoff (telemetry hook).
+	OnRetry func(key string, attempt int, delay time.Duration, err error)
+}
+
+// Do runs fn until it succeeds, the error classifies as permanent, the
+// attempt budget is spent, the breaker opens, or ctx is done. It returns
+// the number of attempts actually made and the final error. key names the
+// retried operation (typically the target host) for jitter derivation and
+// breaker accounting.
+func (p Policy) Do(ctx context.Context, key string, fn func(context.Context) error) (attempts int, err error) {
+	max := p.MaxAttempts
+	if max <= 0 {
+		max = DefaultMaxAttempts
+	}
+	classify := p.Classify
+	if classify == nil {
+		classify = Retryable
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	for attempt := 1; ; attempt++ {
+		if p.Breaker != nil && !p.Breaker.Allow(key) {
+			if err == nil {
+				return attempts, fmt.Errorf("retry: %s: %w", key, ErrBreakerOpen)
+			}
+			return attempts, fmt.Errorf("%w (then %s: %w)", err, key, ErrBreakerOpen)
+		}
+		err = fn(ctx)
+		attempts = attempt
+		if p.Breaker != nil {
+			p.Breaker.Record(key, err)
+		}
+		if err == nil {
+			return attempts, nil
+		}
+		if ctx.Err() != nil || attempt >= max || !classify(err) {
+			return attempts, err
+		}
+		d := p.backoff(attempt, key)
+		if p.OnRetry != nil {
+			p.OnRetry(key, attempt, d, err)
+		}
+		if serr := sleep(ctx, d); serr != nil {
+			return attempts, err
+		}
+	}
+}
+
+// backoff computes the delay after the given (1-based) failed attempt.
+func (p Policy) backoff(attempt int, key string) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = DefaultBaseDelay
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = DefaultMaxDelay
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = DefaultMultiplier
+	}
+	d := float64(base)
+	for i := 1; i < attempt && d < float64(maxd); i++ {
+		d *= mult
+	}
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	j := p.Jitter
+	if j == 0 {
+		j = DefaultJitter
+	}
+	if j < 0 {
+		return time.Duration(d)
+	}
+	if j > 1 {
+		j = 1
+	}
+	u := xrand.Uniform(p.Seed, key+"#"+strconv.Itoa(attempt))
+	return time.Duration(d * (1 - j/2 + j*u))
+}
+
+// sleepCtx is the default Sleep: a timer that aborts when ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// ---- error classification --------------------------------------------------
+
+// permanentError marks an error as not worth retrying.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retryable reports false for it regardless of its
+// underlying type. Permanent(nil) is nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// StatusError records an HTTP response that completed with a failing
+// status. 5xx (and 429) classify as retryable: the §5 crawl treats them as
+// transient origin trouble.
+type StatusError struct{ Code int }
+
+func (e *StatusError) Error() string { return "http status " + strconv.Itoa(e.Code) }
+
+// Retryable reports whether the status is worth retrying.
+func (e *StatusError) Retryable() bool { return e.Code >= 500 || e.Code == 429 }
+
+// Retryable is the default transient-error classifier: timeouts, resets,
+// truncated bodies, retryable statuses and bounded redirect loops retry;
+// context cancellation, Permanent-wrapped errors and everything
+// unrecognized do not.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var perm *permanentError
+	if errors.As(err, &perm) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var r interface{ Retryable() bool }
+	if errors.As(err, &r) {
+		return r.Retryable()
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	switch {
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.EOF),
+		errors.Is(err, syscall.ECONNRESET), errors.Is(err, syscall.EPIPE),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, ErrTooManyRedirects):
+		return true
+	}
+	// net/http sometimes surfaces a reset as opaque text only.
+	return strings.Contains(err.Error(), "connection reset")
+}
+
+// ClassOf buckets an error into a small stable vocabulary used by
+// SiteResult.ErrClass and the per-class telemetry counters: "ok",
+// "timeout", "reset", "truncated", "redirect_loop", "http_5xx",
+// "http_<code>", "breaker_open", "canceled", "budget" or "other".
+func ClassOf(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	if errors.Is(err, ErrBreakerOpen) {
+		return "breaker_open"
+	}
+	if errors.Is(err, context.Canceled) {
+		return "canceled"
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		if se.Code >= 500 {
+			return "http_5xx"
+		}
+		return "http_" + strconv.Itoa(se.Code)
+	}
+	if errors.Is(err, ErrTooManyRedirects) {
+		return "redirect_loop"
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "timeout"
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return "timeout"
+	}
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		strings.Contains(err.Error(), "connection reset") {
+		return "reset"
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return "truncated"
+	}
+	return "other"
+}
+
+// BudgetError reports a crawl whose post-retry failure rate exceeded the
+// configured error budget. Callers receiving one still get the partial
+// results alongside it.
+type BudgetError struct {
+	Failed    int
+	Attempted int
+	Budget    float64
+}
+
+func (e *BudgetError) Error() string {
+	rate := 0.0
+	if e.Attempted > 0 {
+		rate = float64(e.Failed) / float64(e.Attempted)
+	}
+	return fmt.Sprintf("failure rate %.1f%% (%d/%d) exceeds error budget %.1f%%",
+		rate*100, e.Failed, e.Attempted, e.Budget*100)
+}

@@ -1,0 +1,276 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeSleeper records requested delays without waiting.
+type fakeSleeper struct {
+	delays []time.Duration
+}
+
+func (f *fakeSleeper) sleep(ctx context.Context, d time.Duration) error {
+	f.delays = append(f.delays, d)
+	return ctx.Err()
+}
+
+var errTransient = &StatusError{Code: 503}
+
+func TestBackoffSchedule(t *testing.T) {
+	fs := &fakeSleeper{}
+	p := Policy{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      -1, // disabled: exact schedule
+		Sleep:       fs.sleep,
+	}
+	calls := 0
+	attempts, err := p.Do(context.Background(), "host.example", func(context.Context) error {
+		calls++
+		if calls < 5 {
+			return errTransient
+		}
+		return nil
+	})
+	if err != nil || attempts != 5 {
+		t.Fatalf("Do = %d attempts, %v", attempts, err)
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 500 * time.Millisecond, // capped
+	}
+	if len(fs.delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", fs.delays, want)
+	}
+	for i := range want {
+		if fs.delays[i] != want[i] {
+			t.Errorf("delay[%d] = %v, want %v", i, fs.delays[i], want[i])
+		}
+	}
+}
+
+func TestJitterDeterminism(t *testing.T) {
+	run := func(seed uint64, key string) []time.Duration {
+		fs := &fakeSleeper{}
+		p := Policy{MaxAttempts: 4, Seed: seed, Sleep: fs.sleep}
+		p.Do(context.Background(), key, func(context.Context) error { return errTransient })
+		return fs.delays
+	}
+	a, b := run(7, "host.example"), run(7, "host.example")
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("delays = %v / %v, want 3 each", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8, "host.example")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+	d := run(7, "other.example")
+	same = true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different keys produced identical jitter")
+	}
+	// Jittered delays stay within [d·(1−j/2), d·(1+j/2)] of the 50ms base.
+	lo, hi := 37500*time.Microsecond, 62500*time.Microsecond
+	if a[0] < lo || a[0] > hi {
+		t.Errorf("first delay %v outside [%v,%v]", a[0], lo, hi)
+	}
+}
+
+func TestDoStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{MaxAttempts: 10, Sleep: sleepCtx, BaseDelay: time.Hour}
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	attempts, err := p.Do(ctx, "k", func(context.Context) error {
+		calls++
+		return errTransient
+	})
+	if attempts != 1 || calls != 1 {
+		t.Errorf("attempts = %d, calls = %d, want 1", attempts, calls)
+	}
+	if !errors.Is(err, errTransient) && err != errTransient {
+		t.Errorf("err = %v, want the fn error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation did not interrupt the backoff (%v)", elapsed)
+	}
+}
+
+func TestDoDoesNotRetryPermanent(t *testing.T) {
+	fs := &fakeSleeper{}
+	p := Policy{MaxAttempts: 5, Sleep: fs.sleep}
+	attempts, err := p.Do(context.Background(), "k", func(context.Context) error {
+		return Permanent(errors.New("bad input"))
+	})
+	if attempts != 1 || err == nil || len(fs.delays) != 0 {
+		t.Errorf("permanent error retried: attempts=%d delays=%v err=%v", attempts, fs.delays, err)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"plain", errors.New("boom"), false},
+		{"permanent-wrapped-reset", Permanent(syscall.ECONNRESET), false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, true},
+		{"status-500", &StatusError{Code: 500}, true},
+		{"status-503-wrapped", fmt.Errorf("visit: %w", &StatusError{Code: 503}), true},
+		{"status-404", &StatusError{Code: 404}, false},
+		{"status-429", &StatusError{Code: 429}, true},
+		{"reset", fmt.Errorf("get: %w", syscall.ECONNRESET), true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"eof", io.EOF, true},
+		{"net-timeout", &net.DNSError{IsTimeout: true}, true},
+		{"redirect-loop", fmt.Errorf("get: %w", ErrTooManyRedirects), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{context.DeadlineExceeded, "timeout"},
+		{fmt.Errorf("x: %w", syscall.ECONNRESET), "reset"},
+		{io.ErrUnexpectedEOF, "truncated"},
+		{fmt.Errorf("x: %w", ErrTooManyRedirects), "redirect_loop"},
+		{&StatusError{Code: 502}, "http_5xx"},
+		{&StatusError{Code: 403}, "http_403"},
+		{fmt.Errorf("x: %w", ErrBreakerOpen), "breaker_open"},
+		{context.Canceled, "canceled"},
+		{errors.New("weird"), "other"},
+	}
+	for _, c := range cases {
+		if got := ClassOf(c.err); got != c.want {
+			t.Errorf("ClassOf(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(BreakerConfig{
+		Threshold: 2,
+		Cooldown:  10 * time.Second,
+		Now:       func() time.Time { return now },
+	})
+	if !b.Allow("h") {
+		t.Fatal("fresh host not allowed")
+	}
+	b.Record("h", errTransient)
+	if !b.Allow("h") || b.HostOpen("h") {
+		t.Fatal("opened before threshold")
+	}
+	b.Record("h", errTransient)
+	if b.Allow("h") || !b.HostOpen("h") || b.OpenCount() != 1 || b.Trips() != 1 {
+		t.Fatalf("did not open: open=%v count=%d trips=%d", b.HostOpen("h"), b.OpenCount(), b.Trips())
+	}
+	// Before the cooldown: rejected. After: exactly one half-open probe.
+	now = now.Add(5 * time.Second)
+	if b.Allow("h") {
+		t.Error("allowed during cooldown")
+	}
+	now = now.Add(6 * time.Second)
+	if !b.Allow("h") {
+		t.Error("half-open probe rejected")
+	}
+	if b.Allow("h") {
+		t.Error("second concurrent probe allowed")
+	}
+	// A failed probe re-arms; a successful one closes.
+	b.Record("h", errTransient)
+	if b.Allow("h") {
+		t.Error("allowed right after failed probe")
+	}
+	now = now.Add(11 * time.Second)
+	if !b.Allow("h") {
+		t.Error("probe after re-armed cooldown rejected")
+	}
+	b.Record("h", nil)
+	if !b.Allow("h") || b.HostOpen("h") || b.OpenCount() != 0 {
+		t.Error("success did not close the circuit")
+	}
+	// Cancellation is not a failure signal.
+	b.Record("x", context.Canceled)
+	b.Record("x", context.Canceled)
+	b.Record("x", context.Canceled)
+	if b.HostOpen("x") {
+		t.Error("context cancellation tripped the breaker")
+	}
+}
+
+func TestPolicyWithBreakerStopsEarly(t *testing.T) {
+	fs := &fakeSleeper{}
+	br := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Hour})
+	p := Policy{MaxAttempts: 10, Sleep: fs.sleep, Breaker: br}
+	calls := 0
+	attempts, err := p.Do(context.Background(), "h", func(context.Context) error {
+		calls++
+		return errTransient
+	})
+	if calls != 2 || attempts != 2 {
+		t.Errorf("calls = %d, attempts = %d, want 2 (breaker opens mid-loop)", calls, attempts)
+	}
+	if err == nil || !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("err = %v, want breaker-open wrap", err)
+	}
+	// A subsequent Do against the open circuit makes no attempt at all.
+	attempts, err = p.Do(context.Background(), "h", func(context.Context) error {
+		t.Error("fn called through an open breaker")
+		return nil
+	})
+	if attempts != 0 || !errors.Is(err, ErrBreakerOpen) {
+		t.Errorf("open-circuit Do = %d attempts, %v", attempts, err)
+	}
+}
+
+func TestBudgetError(t *testing.T) {
+	e := &BudgetError{Failed: 3, Attempted: 10, Budget: 0.1}
+	if e.Error() == "" {
+		t.Fatal("empty message")
+	}
+	var be *BudgetError
+	if !errors.As(fmt.Errorf("run: %w", e), &be) || be.Failed != 3 {
+		t.Error("BudgetError does not unwrap")
+	}
+}

@@ -1,0 +1,189 @@
+package sitesurvey
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"acceptableads/internal/easylist"
+	"acceptableads/internal/faults"
+	"acceptableads/internal/obs"
+	"acceptableads/internal/retry"
+)
+
+// chaosConfig is a small survey with a fault injector in front of it.
+func chaosConfig(t *testing.T, inj *faults.Injector) Config {
+	t.Helper()
+	h := sharedHistory(t)
+	return Config{
+		Seed:        42,
+		Universe:    h.Universe,
+		Whitelist:   h.FinalList(),
+		EasyList:    easylist.Generate(42, easylist.DefaultSize),
+		TopN:        60,
+		StratumSize: 15,
+		Workers:     4,
+		PageTimeout: 2 * time.Second,
+		MaxAttempts: 3,
+		ErrorBudget: 0.5,
+		Faults:      inj,
+	}
+}
+
+// chaosInjector injects 20% total faults with a stall short enough for
+// test budgets but long enough to trip the 2s page deadline.
+func chaosInjector(seed uint64) *faults.Injector {
+	cfg := faults.Uniform(seed, 0.2)
+	cfg.SlowDelay = 5 * time.Second
+	return faults.New(cfg)
+}
+
+// TestChaosSurveyPartialResults is the acceptance scenario: a survey at
+// 20% fault rate completes with partial results instead of aborting,
+// reports per-class outcomes, and reproduces identically from the same
+// fault seed.
+func TestChaosSurveyPartialResults(t *testing.T) {
+	run := func() (*Survey, *obs.Registry) {
+		reg := obs.NewRegistry()
+		inj := chaosInjector(7)
+		inj.SetObs(reg)
+		cfg := chaosConfig(t, inj)
+		cfg.Obs = reg
+		s, err := Run(cfg)
+		if s == nil {
+			t.Fatalf("Run returned no survey (err=%v)", err)
+		}
+		t.Cleanup(s.Close)
+		if err != nil {
+			t.Fatalf("chaos run exceeded its 50%% error budget: %v", err)
+		}
+		if inj.Total() == 0 {
+			t.Fatal("injector never fired at 20% rate")
+		}
+		return s, reg
+	}
+	s, reg := run()
+
+	const sites = 60 + 3*15
+	if len(s.Results) != sites {
+		t.Fatalf("results = %d, want %d", len(s.Results), sites)
+	}
+	st := s.Stats
+	if st.Skipped != 0 || st.Attempted != sites {
+		t.Errorf("attempted/skipped = %d/%d, want %d/0", st.Attempted, st.Skipped, sites)
+	}
+	if st.Failed == 0 {
+		t.Error("no failures recorded at 20% fault rate — chaos exercised nothing")
+	}
+	if st.Succeeded == 0 {
+		t.Error("nothing succeeded — degradation is not graceful")
+	}
+	if st.Retries == 0 {
+		t.Error("no retries recorded")
+	}
+	if len(st.ByClass) == 0 {
+		t.Error("no per-class failure breakdown")
+	}
+	for _, r := range s.Results {
+		if r.Failed && r.ErrClass == "" {
+			t.Errorf("%s failed with empty ErrClass", r.Host)
+		}
+		if !r.Failed && !r.Skipped && r.ErrClass != "ok" {
+			t.Errorf("%s succeeded with ErrClass %q", r.Host, r.ErrClass)
+		}
+	}
+	if got := reg.Counter("survey.retries").Value(); int(got) != st.Retries {
+		t.Errorf("survey.retries counter = %d, Stats.Retries = %d", got, st.Retries)
+	}
+	if reg.Counter("faults.injected").Value() == 0 {
+		t.Error("faults.injected counter silent")
+	}
+
+	// Identical fault seed → identical outcome set and aggregates.
+	s2, _ := run()
+	if s2.Stats.Failed != st.Failed || s2.Stats.Succeeded != st.Succeeded {
+		t.Fatalf("same fault seed diverged: %+v vs %+v", s2.Stats, st)
+	}
+	for i := range s.Results {
+		a, b := &s.Results[i], &s2.Results[i]
+		if a.Host != b.Host || a.Failed != b.Failed || a.ErrClass != b.ErrClass {
+			t.Fatalf("site %d diverged: %s/%v/%s vs %s/%v/%s",
+				i, a.Host, a.Failed, a.ErrClass, b.Host, b.Failed, b.ErrClass)
+		}
+		if fmt.Sprint(a.WL) != fmt.Sprint(b.WL) {
+			t.Fatalf("site %s whitelist matches diverged", a.Host)
+		}
+	}
+}
+
+// TestChaosErrorBudgetExceeded drives every request into a 5xx and
+// checks the crawl still completes, returns its partial results, and
+// reports the budget violation.
+func TestChaosErrorBudgetExceeded(t *testing.T) {
+	inj := faults.New(faults.Config{
+		Seed:  1,
+		Rates: map[faults.Class]float64{faults.ServerError: 1.0},
+	})
+	cfg := chaosConfig(t, inj)
+	cfg.TopN = 5
+	cfg.StratumSize = 1
+	cfg.MaxAttempts = 2
+	cfg.ErrorBudget = 0 // strict
+	s, err := Run(cfg)
+	if s == nil {
+		t.Fatalf("no partial survey returned (err=%v)", err)
+	}
+	defer s.Close()
+	var be *retry.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *retry.BudgetError", err)
+	}
+	const sites = 5 + 3*1
+	if be.Failed != sites || be.Attempted != sites {
+		t.Errorf("budget error = %d/%d, want %d/%d", be.Failed, be.Attempted, sites, sites)
+	}
+	for _, r := range s.Results {
+		if !r.Failed || r.ErrClass != "http_5xx" {
+			t.Errorf("%s: Failed=%v ErrClass=%q, want failed http_5xx", r.Host, r.Failed, r.ErrClass)
+		}
+		if r.Attempts != 2 {
+			t.Errorf("%s: attempts = %d, want 2", r.Host, r.Attempts)
+		}
+	}
+}
+
+// TestRunContextCancelNoLeak verifies the worker pool shuts down without
+// leaking goroutines when the run is cancelled before it starts.
+func TestRunContextCancelNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := chaosConfig(t, nil)
+	s, err := RunContext(ctx, cfg)
+	if s == nil {
+		t.Fatalf("cancelled run returned no survey (err=%v)", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Stats.Skipped != len(s.Results) || len(s.Results) == 0 {
+		t.Errorf("skipped = %d of %d results", s.Stats.Skipped, len(s.Results))
+	}
+	s.Close()
+	// Idle HTTP connections and server goroutines take a moment to wind
+	// down; poll instead of asserting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 || time.Now().After(deadline) {
+			if n > before+2 {
+				t.Errorf("goroutines: %d before, %d after cancelled run", before, n)
+			}
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

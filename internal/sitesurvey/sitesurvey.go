@@ -9,18 +9,24 @@
 package sitesurvey
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"acceptableads/internal/alexa"
 	"acceptableads/internal/browser"
 	"acceptableads/internal/domainutil"
 	"acceptableads/internal/engine"
+	"acceptableads/internal/faults"
 	"acceptableads/internal/filter"
 	"acceptableads/internal/obs"
+	"acceptableads/internal/retry"
 	"acceptableads/internal/stats"
 	"acceptableads/internal/webgen"
 	"acceptableads/internal/webserver"
@@ -66,7 +72,26 @@ type Config struct {
 	Progress *obs.Progress
 	// Logger receives structured crawl logs; nil means silent.
 	Logger *slog.Logger
+
+	// PageTimeout bounds each landing-page visit end to end; 0 means
+	// DefaultPageTimeout.
+	PageTimeout time.Duration
+	// MaxAttempts is the per-site visit budget including the first try;
+	// 0 means retry.DefaultMaxAttempts.
+	MaxAttempts int
+	// ErrorBudget is the tolerated post-retry failure rate: the crawl
+	// always completes and records partial results, but Run additionally
+	// returns a *retry.BudgetError when failures/attempted exceeds it.
+	// 0 is strict (any failure reports); negative disables the check.
+	ErrorBudget float64
+	// Faults, when non-nil, is wired into the survey's web server —
+	// the chaos-testing path.
+	Faults *faults.Injector
 }
+
+// DefaultPageTimeout bounds one landing-page visit when
+// Config.PageTimeout is 0.
+const DefaultPageTimeout = 10 * time.Second
 
 // DefaultWorkers is the crawl parallelism used when Config.Workers is 0:
 // one worker per CPU, capped at 8 — beyond that the loopback server, not
@@ -95,6 +120,18 @@ type SiteResult struct {
 	// EasyList ones.
 	WL map[string]int
 	EL map[string]int
+
+	// Failed marks a visit that kept failing after every retry; its
+	// match maps are empty, not missing.
+	Failed bool
+	// Skipped marks a site the crawl never finished attempting (the run
+	// was cancelled first).
+	Skipped bool
+	// ErrClass is retry.ClassOf's bucket for the final error ("ok" when
+	// the visit succeeded, "not_attempted" when Skipped).
+	ErrClass string
+	// Attempts is how many visit attempts the site consumed.
+	Attempts int
 }
 
 // WLTotal returns total whitelist matches.
@@ -117,11 +154,31 @@ func total(m map[string]int) int {
 	return n
 }
 
+// CrawlStats aggregates the crawl's resilience outcomes — the numbers
+// behind "the run survived": how much was attempted, what failed and
+// why, how hard the retry layer worked.
+type CrawlStats struct {
+	Attempted int // sites the crawl finished deciding (success or failure)
+	Succeeded int
+	Failed    int
+	Skipped   int // never attempted (run cancelled)
+	Retries   int // visit attempts beyond each site's first
+	// ByClass counts failed sites by retry.ClassOf bucket.
+	ByClass map[string]int
+	// BreakerTrips counts closed→open transitions of the per-host
+	// circuit breaker.
+	BreakerTrips int
+	// FailureRate is Failed/Attempted (0 when nothing was attempted).
+	FailureRate float64
+}
+
 // Survey holds all per-site results plus the infrastructure to re-crawl
 // (Figure 6's EasyList-only pass).
 type Survey struct {
 	Config  Config
 	Results []SiteResult
+	// Stats summarizes the crawl's resilience outcomes.
+	Stats CrawlStats
 
 	corpus *webgen.Corpus
 	srv    *webserver.Server
@@ -136,11 +193,24 @@ func (s *Survey) Close() {
 
 // Run executes the crawl over all four sample groups.
 func Run(cfg Config) (*Survey, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a caller context. Failed visits degrade to
+// recorded per-site outcomes instead of aborting the crawl: the returned
+// Survey always carries every result the run reached, alongside a
+// *retry.BudgetError when the failure rate exceeded cfg.ErrorBudget or
+// ctx.Err() when the run was cancelled. Callers own Close in every
+// non-nil-Survey return.
+func RunContext(ctx context.Context, cfg Config) (*Survey, error) {
 	if cfg.TopN == 0 {
 		cfg.TopN = 5000
 	}
 	if cfg.StratumSize == 0 {
 		cfg.StratumSize = 1000
+	}
+	if cfg.PageTimeout == 0 {
+		cfg.PageTimeout = DefaultPageTimeout
 	}
 	u := cfg.Universe
 	if u == nil {
@@ -157,9 +227,32 @@ func Run(cfg Config) (*Survey, error) {
 		logger = obs.NopLogger()
 	}
 
+	// Build the work list (head group then the three strata) before any
+	// resource is acquired, so a malformed sampling config leaks nothing.
+	type job struct {
+		idx   int
+		d     alexa.Domain
+		group int
+	}
+	var jobs []job
+	for _, d := range u.TopN(cfg.TopN) {
+		jobs = append(jobs, job{idx: len(jobs), d: d, group: 0})
+	}
+	strata := []struct{ lo, hi int }{{5000, 50000}, {50000, 100000}, {100000, 1000000}}
+	for gi, st := range strata {
+		sample, err := u.SampleRange(st.lo, st.hi, cfg.StratumSize, cfg.Seed+uint64(gi)+1)
+		if err != nil {
+			return nil, fmt.Errorf("sitesurvey: %s: %w", GroupNames[gi+1], err)
+		}
+		for _, d := range sample {
+			jobs = append(jobs, job{idx: len(jobs), d: d, group: gi + 1})
+		}
+	}
+
 	corpus := webgen.New(cfg.Seed, u, corpusWL)
 	srv := webserver.New(corpus)
 	srv.SetObs(cfg.Obs)
+	srv.SetFaults(cfg.Faults)
 	if err := srv.Start(); err != nil {
 		return nil, err
 	}
@@ -176,23 +269,6 @@ func Run(cfg Config) (*Survey, error) {
 	eng.SetMetrics(cfg.Obs)
 	explicit := explicitSet(cfg.Whitelist)
 
-	// Build the work list: head group then the three strata.
-	type job struct {
-		idx   int
-		d     alexa.Domain
-		group int
-	}
-	var jobs []job
-	for _, d := range u.TopN(cfg.TopN) {
-		jobs = append(jobs, job{idx: len(jobs), d: d, group: 0})
-	}
-	strata := []struct{ lo, hi int }{{5000, 50000}, {50000, 100000}, {100000, 1000000}}
-	for gi, st := range strata {
-		for _, d := range u.SampleRange(st.lo, st.hi, cfg.StratumSize, cfg.Seed+uint64(gi)+1) {
-			jobs = append(jobs, job{idx: len(jobs), d: d, group: gi + 1})
-		}
-	}
-
 	// One progress stage per sample group; /debug/progress reads these
 	// live while the crawl runs.
 	var stages [4]*obs.Stage
@@ -205,15 +281,50 @@ func Run(cfg Config) (*Survey, error) {
 			stages[g] = cfg.Progress.Stage(GroupNames[g], counts[g])
 		}
 	}
-	var pagesDone, errsSeen *obs.Counter
+	var pagesDone, errsSeen, retriesSeen *obs.Counter
+	var breakerOpen *obs.Gauge
+	var failLat *obs.Histogram
 	if cfg.Obs != nil {
 		pagesDone = cfg.Obs.Counter("survey.pages")
-		errsSeen = cfg.Obs.Counter("survey.errors")
+		errsSeen = cfg.Obs.Counter("survey.failures")
+		retriesSeen = cfg.Obs.Counter("survey.retries")
+		breakerOpen = cfg.Obs.Gauge("survey.breaker.open")
+		failLat = cfg.Obs.Histogram("survey.visit.fail.duration")
+	}
+
+	// The per-host circuit breaker is shared across workers: a host that
+	// keeps failing stops consuming attempts everywhere at once.
+	breaker := retry.NewBreaker(retry.BreakerConfig{
+		OnStateChange: func(host string, open bool) {
+			if open {
+				logger.Warn("circuit opened", "host", host)
+				if breakerOpen != nil {
+					breakerOpen.Add(1)
+				}
+			} else if breakerOpen != nil {
+				breakerOpen.Add(-1)
+			}
+		},
+	})
+	var retries atomic.Int64
+	policy := retry.Policy{
+		MaxAttempts: cfg.MaxAttempts,
+		Seed:        cfg.Seed,
+		Breaker:     breaker,
+		OnRetry: func(key string, attempt int, delay time.Duration, err error) {
+			retries.Add(1)
+			if retriesSeen != nil {
+				retriesSeen.Inc()
+			}
+			logger.Debug("retrying visit", "host", key, "attempt", attempt,
+				"delay", delay, "err", err)
+		},
 	}
 
 	// Crawl in parallel: one browser (own cookie jar) per worker over the
 	// shared engine; results land by index, so the outcome is independent
-	// of scheduling.
+	// of scheduling. Every slot is pre-filled as not-attempted, so a
+	// cancelled run still returns a structurally complete result set.
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -225,8 +336,15 @@ func Run(cfg Config) (*Survey, error) {
 		"sites", len(jobs), "workers", workers,
 		"topN", cfg.TopN, "stratumSize", cfg.StratumSize)
 	s.Results = make([]SiteResult, len(jobs))
+	for _, j := range jobs {
+		s.Results[j.idx] = SiteResult{
+			Host: j.d.Name, Rank: j.d.Rank, Group: j.group,
+			Category: j.d.Category, Explicit: explicit[j.d.Name],
+			WL: map[string]int{}, EL: map[string]int{},
+			Skipped: true, ErrClass: "not_attempted",
+		}
+	}
 	jobCh := make(chan job)
-	errCh := make(chan error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
@@ -235,35 +353,64 @@ func Run(cfg Config) (*Survey, error) {
 			defer wg.Done()
 			b, err := browser.New(srv.Client(), eng, "")
 			if err != nil {
-				errCh <- err
+				logger.Error("worker browser init failed", "worker", w, "err", err)
 				return
 			}
 			b.FetchResources = cfg.FetchResources
+			b.PageTimeout = cfg.PageTimeout
+			b.Breaker = breaker
 			b.SetObs(cfg.Obs)
 			logger.Debug("worker started", "worker", w)
 			for j := range jobCh {
+				r := &s.Results[j.idx]
+				start := time.Now()
 				sp := obs.StartSpan(cfg.Obs, logger, "survey.visit")
-				v, err := b.Visit("http://" + j.d.Name + "/")
+				var v *browser.Visit
+				attempts, err := policy.Do(ctx, j.d.Name, func(ctx context.Context) error {
+					visit, verr := b.VisitContext(ctx, "http://"+j.d.Name+"/")
+					if verr != nil {
+						return verr
+					}
+					if visit.Status >= 500 {
+						return &retry.StatusError{Code: visit.Status}
+					}
+					v = visit
+					return nil
+				})
+				r.Attempts = attempts
 				if err != nil {
+					if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+						// The run is shutting down; this site was never
+						// decided. Leave it marked not-attempted.
+						continue
+					}
+					r.Skipped = false
+					r.Failed = true
+					r.ErrClass = retry.ClassOf(err)
 					if errsSeen != nil {
 						errsSeen.Inc()
 					}
-					logger.Error("visit failed", "worker", w, "host", j.d.Name, "err", err)
-					errCh <- fmt.Errorf("sitesurvey: %s: %w", j.d.Name, err)
-					return
+					if failLat != nil {
+						failLat.Observe(time.Since(start))
+					}
+					if st := stages[j.group]; st != nil {
+						st.Add(1)
+					}
+					logger.Warn("visit failed after retries", "worker", w,
+						"host", j.d.Name, "attempts", attempts,
+						"class", r.ErrClass, "err", err)
+					continue
 				}
+				r.Skipped = false
+				r.ErrClass = "ok"
 				sp.End("worker", w, "host", j.d.Name,
-					"group", GroupNames[j.group], "activations", len(v.Activations))
+					"group", GroupNames[j.group], "attempts", attempts,
+					"activations", len(v.Activations))
 				if pagesDone != nil {
 					pagesDone.Inc()
 				}
 				if st := stages[j.group]; st != nil {
 					st.Add(1)
-				}
-				r := SiteResult{
-					Host: j.d.Name, Rank: j.d.Rank, Group: j.group,
-					Category: j.d.Category, Explicit: explicit[j.d.Name],
-					WL: map[string]int{}, EL: map[string]int{},
 				}
 				for _, a := range v.Activations {
 					switch a.List {
@@ -273,35 +420,73 @@ func Run(cfg Config) (*Survey, error) {
 						r.EL[a.Filter.Raw]++
 					}
 				}
-				s.Results[j.idx] = r
 			}
 		}()
 	}
 	crawlSp := obs.StartSpan(cfg.Obs, nil, "survey.crawl")
+	// The producer watches ctx so cancellation stops feeding workers;
+	// jobCh always closes, so workers always drain and exit — no leak.
+feed:
 	for _, j := range jobs {
 		select {
-		case err := <-errCh:
-			close(jobCh)
-			wg.Wait()
-			srv.Close()
-			return nil, err
+		case <-ctx.Done():
+			break feed
 		case jobCh <- j:
 		}
 	}
 	close(jobCh)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		srv.Close()
-		return nil, err
-	default:
+
+	s.Stats = s.computeStats(int(retries.Load()), int(breaker.Trips()))
+	if cfg.Obs != nil {
+		for class, n := range s.Stats.ByClass {
+			cfg.Obs.Counter("survey.outcome." + class).Add(int64(n))
+		}
+		cfg.Obs.Counter("survey.outcome.ok").Add(int64(s.Stats.Succeeded))
 	}
 	d := crawlSp.End()
 	if secs := d.Seconds(); secs > 0 {
-		logger.Info("survey crawl finished", "pages", len(jobs), "dur", d,
-			"pages_per_sec", fmt.Sprintf("%.1f", float64(len(jobs))/secs))
+		logger.Info("survey crawl finished",
+			"pages", s.Stats.Succeeded, "failed", s.Stats.Failed,
+			"skipped", s.Stats.Skipped, "retries", s.Stats.Retries,
+			"breaker_trips", s.Stats.BreakerTrips, "dur", d,
+			"pages_per_sec", fmt.Sprintf("%.1f", float64(s.Stats.Succeeded)/secs))
+	}
+	if err := ctx.Err(); err != nil {
+		return s, err
+	}
+	if cfg.ErrorBudget >= 0 && s.Stats.Attempted > 0 &&
+		s.Stats.FailureRate > cfg.ErrorBudget {
+		return s, &retry.BudgetError{
+			Failed:    s.Stats.Failed,
+			Attempted: s.Stats.Attempted,
+			Budget:    cfg.ErrorBudget,
+		}
 	}
 	return s, nil
+}
+
+// computeStats scans the recorded results into a CrawlStats.
+func (s *Survey) computeStats(retries, trips int) CrawlStats {
+	st := CrawlStats{Retries: retries, BreakerTrips: trips, ByClass: map[string]int{}}
+	for i := range s.Results {
+		r := &s.Results[i]
+		switch {
+		case r.Skipped:
+			st.Skipped++
+		case r.Failed:
+			st.Attempted++
+			st.Failed++
+			st.ByClass[r.ErrClass]++
+		default:
+			st.Attempted++
+			st.Succeeded++
+		}
+	}
+	if st.Attempted > 0 {
+		st.FailureRate = float64(st.Failed) / float64(st.Attempted)
+	}
+	return st
 }
 
 // explicitSet collects the whitelist's explicitly listed FQDNs.
@@ -590,7 +775,9 @@ func (s *Survey) TopSites(n int) ([]Fig6Row, error) {
 		return nil, err
 	}
 	b.FetchResources = false
+	b.PageTimeout = s.Config.PageTimeout
 	b.SetObs(s.Config.Obs)
+	policy := retry.Policy{MaxAttempts: s.Config.MaxAttempts, Seed: s.Config.Seed}
 
 	var rows []Fig6Row
 	for _, r := range head {
@@ -607,9 +794,22 @@ func (s *Survey) TopSites(n int) ([]Fig6Row, error) {
 			Host: r.Host, Rank: r.Rank, Explicit: r.Explicit,
 			WLMatches: r.WLTotal(), ELMatches: r.ELTotal(),
 		}
-		v, err := b.Visit("http://" + r.Host + "/")
+		var v *browser.Visit
+		_, err := policy.Do(context.Background(), r.Host, func(ctx context.Context) error {
+			visit, verr := b.VisitContext(ctx, "http://"+r.Host+"/")
+			if verr != nil {
+				return verr
+			}
+			if visit.Status >= 500 {
+				return &retry.StatusError{Code: visit.Status}
+			}
+			v = visit
+			return nil
+		})
 		if err != nil {
-			return nil, err
+			// A row that keeps failing degrades to omission, like the
+			// paper's elided rows — the figure survives a flaky site.
+			continue
 		}
 		elOnly := map[string]int{}
 		for _, a := range v.Activations {

@@ -11,25 +11,38 @@ import (
 	"acceptableads/internal/histgen"
 )
 
-// The full 8,000-site crawl takes a few seconds; share one run.
+// The full 8,000-site crawl takes a few seconds; share one run. The
+// whitelist history is shared separately so the small chaos crawls don't
+// have to pay for the full survey.
 var (
-	once    sync.Once
-	survey  *Survey
-	runErr  error
-	history *histgen.History
+	histOnce sync.Once
+	history  *histgen.History
+	histErr  error
+
+	once   sync.Once
+	survey *Survey
+	runErr error
 )
+
+func sharedHistory(t *testing.T) *histgen.History {
+	t.Helper()
+	histOnce.Do(func() {
+		history, histErr = histgen.Generate(histgen.Config{Seed: 42})
+	})
+	if histErr != nil {
+		t.Fatal(histErr)
+	}
+	return history
+}
 
 func sharedSurvey(t *testing.T) *Survey {
 	t.Helper()
+	h := sharedHistory(t)
 	once.Do(func() {
-		history, runErr = histgen.Generate(histgen.Config{Seed: 42})
-		if runErr != nil {
-			return
-		}
 		survey, runErr = Run(Config{
 			Seed:      42,
-			Universe:  history.Universe,
-			Whitelist: history.FinalList(),
+			Universe:  h.Universe,
+			Whitelist: h.FinalList(),
 			EasyList:  easylist.Generate(42, easylist.DefaultSize),
 		})
 	})

@@ -8,6 +8,7 @@
 package webserver
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"net"
@@ -17,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"acceptableads/internal/faults"
 	"acceptableads/internal/obs"
 	"acceptableads/internal/webgen"
 )
@@ -43,6 +45,7 @@ type Server struct {
 	inflight atomic.Int64
 	dropped  atomic.Int64
 	metrics  *serverMetrics
+	faults   *faults.Injector
 }
 
 // serverMetrics pre-resolves the middleware's instruments.
@@ -73,6 +76,14 @@ func (s *Server) SetObs(reg *obs.Registry) {
 		m.status[class] = reg.Counter(fmt.Sprintf("webserver.status.%dxx", class))
 	}
 	s.metrics = m
+}
+
+// SetFaults wires a fault injector in front of every route (registered
+// handlers, ad resources and corpus pages alike); nil disables
+// injection. Set it before Start — like SetObs it is not synchronized
+// against in-flight requests.
+func (s *Server) SetFaults(inj *faults.Injector) {
+	s.faults = inj
 }
 
 // New creates an unstarted server over the corpus. corpus may be nil when
@@ -165,6 +176,23 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Hijack lets the fault injector tear connections down through the
+// telemetry middleware.
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := w.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("webserver: underlying writer cannot hijack")
+	}
+	return hj.Hijack()
+}
+
+// Flush forwards streaming writes (the injector's stalled responses).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // ServeHTTP tracks the request in flight, applies the telemetry middleware
 // when SetObs enabled it, and routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -188,9 +216,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	m.inflight.Add(-1)
 }
 
-// route dispatches by the Host header: registered handlers first, then ad
+// route dispatches by the Host header: the fault injector first (it may
+// consume the request entirely), then registered handlers, then ad
 // resource hosts, then corpus landing pages.
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	if inj := s.faults; inj != nil && inj.Intercept(w, r) {
+		return
+	}
 	host := strings.ToLower(r.Host)
 	if i := strings.IndexByte(host, ':'); i >= 0 {
 		host = host[:i]
