@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos ci
+.PHONY: all build vet test race bench chaos serve-smoke ci
 
 all: build
 
@@ -28,7 +28,15 @@ chaos:
 		-fault-rate 0.2 -fault-seed 7 -page-timeout 2s \
 		-max-retries 3 -error-budget 0.5 -summary
 
+# End-to-end check of the decision service: aa-serve starts against the
+# testdata lists, exercises match/batch/elemhide/lists/reload against
+# itself, then SIGTERMs itself and must drain cleanly.
+serve-smoke:
+	$(GO) run -race ./cmd/aa-serve -smoke -listen 127.0.0.1:0 \
+		-easylist cmd/aa-serve/testdata/easylist.txt \
+		-whitelist cmd/aa-serve/testdata/exceptionrules.txt
+
 # The pre-merge gate: static checks, a clean build, the full suite under
-# the race detector, a smoke pass over every benchmark, and the chaos
-# smoke run.
-ci: vet build race bench chaos
+# the race detector, a smoke pass over every benchmark, and the chaos and
+# decision-service smoke runs.
+ci: vet build race bench chaos serve-smoke

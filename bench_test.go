@@ -11,12 +11,14 @@
 package bench
 
 import (
+	"context"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 
 	"acceptableads/internal/alexa"
+	"acceptableads/internal/decision"
 	"acceptableads/internal/easylist"
 	"acceptableads/internal/engine"
 	"acceptableads/internal/filter"
@@ -313,7 +315,7 @@ func BenchmarkAblationKeywordIndexOff(b *testing.B) {
 	reqs := benchRequests()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f.eng.MatchRequestLinear(reqs[i%len(reqs)])
+		f.eng.MatchRequest(reqs[i%len(reqs)], engine.WithLinearScan())
 	}
 }
 
@@ -328,7 +330,7 @@ func BenchmarkAblationInstrumentationOff(b *testing.B) {
 	reqs := benchRequests()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f.eng.MatchRequestFast(reqs[i%len(reqs)])
+		f.eng.MatchRequest(reqs[i%len(reqs)], engine.WithShortCircuit())
 	}
 }
 
@@ -382,7 +384,7 @@ func BenchmarkAblationPatternCompiled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		url := patternURLs[i%len(patternURLs)]
-		eng.MatchRequestLinear(&engine.Request{URL: url, Type: filter.TypeImage, DocumentHost: "x.com"})
+		eng.MatchRequest(&engine.Request{URL: url, Type: filter.TypeImage, DocumentHost: "x.com"}, engine.WithLinearScan())
 	}
 }
 
@@ -425,7 +427,7 @@ func BenchmarkAblationElemhideIndexOff(b *testing.B) {
 	doc := benchDoc(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f.eng.HideElementsLinear(doc, "http://shop1234.com/", "shop1234.com")
+		f.eng.HideElements(doc, "http://shop1234.com/", "shop1234.com", engine.WithLinearScan())
 	}
 }
 
@@ -557,7 +559,7 @@ func BenchmarkAblationLiteralRegexOn(b *testing.B) {
 		Type: filter.TypeImage, DocumentHost: "x.com"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.MatchRequestLinear(req)
+		eng.MatchRequest(req, engine.WithLinearScan())
 	}
 }
 
@@ -572,6 +574,96 @@ func BenchmarkAblationLiteralRegexOff(b *testing.B) {
 		Type: filter.TypeImage, DocumentHost: "x.com"}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.MatchRequestLinear(req)
+		eng.MatchRequest(req, engine.WithLinearScan())
 	}
+}
+
+// ---- decision service: cached vs uncached, 1 vs NumCPU goroutines ----------
+
+// benchDecisionService stands up a decision service over the shared
+// EasyList+whitelist fixtures, with or without the sharded decision cache.
+func benchDecisionService(b *testing.B, cacheSize int) *decision.Service {
+	b.Helper()
+	f := fixtures(b)
+	svc, err := decision.New(context.Background(), decision.Config{
+		Source: decision.Lists(
+			engine.NamedList{Name: "easylist", List: f.easy},
+			engine.NamedList{Name: "exceptionrules", List: f.wl},
+		),
+		CacheSize: cacheSize,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// benchPreparedRequests is benchRequests run through the validating
+// constructor, as the serving layer receives them.
+func benchPreparedRequests(b *testing.B) []*engine.Request {
+	b.Helper()
+	raw := benchRequests()
+	out := make([]*engine.Request, len(raw))
+	for i, r := range raw {
+		req, err := engine.NewRequest(r.URL, r.DocumentHost, r.Type)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = req
+	}
+	return out
+}
+
+// BenchmarkDecisionCacheOff/On measure the decision cache on a skewed
+// workload (eight hot requests, as a page re-requests the same assets):
+// every hit skips the keyword-index walk entirely.
+func BenchmarkDecisionCacheOff(b *testing.B) {
+	svc := benchDecisionService(b, 0)
+	reqs := benchPreparedRequests(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.Match(reqs[i%len(reqs)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
+}
+
+func BenchmarkDecisionCacheOn(b *testing.B) {
+	svc := benchDecisionService(b, 1<<16)
+	reqs := benchPreparedRequests(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.Match(reqs[i%len(reqs)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
+}
+
+// The parallel variants run GOMAXPROCS (NumCPU) matcher goroutines: the
+// immutable snapshot needs no reader locks and the sharded cache keeps
+// contention off a single mutex, so throughput should scale.
+func BenchmarkDecisionCacheOffParallel(b *testing.B) {
+	svc := benchDecisionService(b, 0)
+	reqs := benchPreparedRequests(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			svc.Match(reqs[i%len(reqs)])
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
+}
+
+func BenchmarkDecisionCacheOnParallel(b *testing.B) {
+	svc := benchDecisionService(b, 1<<16)
+	reqs := benchPreparedRequests(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			svc.Match(reqs[i%len(reqs)])
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
 }

@@ -1,0 +1,335 @@
+// Command aa-serve is a long-running filter-decision service: it loads
+// EasyList and the acceptable-ads whitelist into an immutable engine
+// snapshot and answers match queries over HTTP.
+//
+//	POST /v1/match        — one request in, one decision out
+//	POST /v1/match-batch  — up to 4096 requests against one snapshot
+//	POST /v1/elemhide     — element-hiding stylesheet for a document
+//	GET  /v1/lists        — snapshot and cache introspection
+//	POST /v1/reload       — rebuild the snapshot from the list source
+//
+// Lists come from files (-easylist, -whitelist; re-read on reload), from
+// subscription URLs (-easylist-url, -whitelist-url; conditional requests
+// with ETag/304), or — with no list flags at all — from the synthetic
+// study corpus (-seed). SIGHUP or POST /v1/reload swaps in a freshly
+// built snapshot without ever blocking readers; SIGTERM/SIGINT drain
+// in-flight requests before exiting.
+//
+// Usage:
+//
+//	aa-serve [-listen 127.0.0.1:8765] [-cache 65536] \
+//	         [-easylist FILE -whitelist FILE | -easylist-url URL -whitelist-url URL] \
+//	         [-metrics-addr :8080] [-log-level info] \
+//	         [-request-timeout 5s] [-drain-timeout 10s] [-max-retries 2]
+//
+// With -smoke the server starts, exercises every endpoint against
+// itself, delivers itself a real SIGTERM and asserts a clean drain —
+// the CI end-to-end check behind `make serve-smoke`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"acceptableads/internal/core"
+	"acceptableads/internal/decision"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/obs"
+	"acceptableads/internal/subscription"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aa-serve: ")
+	listen := flag.String("listen", "127.0.0.1:8765", "serve the decision API on this address")
+	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars and /debug/pprof/ on this address (empty = off)")
+	logLevel := flag.String("log-level", "info", "log spec: LEVEL or component=LEVEL,... (debug, info, warn, error)")
+	easylist := flag.String("easylist", "", "EasyList file, re-read on every reload")
+	whitelist := flag.String("whitelist", "", "exceptionrules file, re-read on every reload")
+	easylistURL := flag.String("easylist-url", "", "EasyList subscription URL (conditional fetches)")
+	whitelistURL := flag.String("whitelist-url", "", "exceptionrules subscription URL (conditional fetches)")
+	seed := flag.Uint64("seed", core.DefaultSeed, "study seed for the synthetic lists used when no list flags are given")
+	cacheSize := flag.Int("cache", 1<<16, "decision cache capacity in entries (0 = off)")
+	requestTimeout := flag.Duration("request-timeout", decision.DefaultRequestTimeout, "per-request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	maxRetries := flag.Int("max-retries", 2, "reload fetch retries after the first attempt")
+	smoke := flag.Bool("smoke", false, "start, exercise every endpoint, SIGTERM self, assert clean drain")
+	flag.Parse()
+
+	if err := obs.SetLogSpec(*logLevel); err != nil {
+		log.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		addr, stop, err := obs.ServeDebug(*metricsAddr, reg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "aa-serve: telemetry at http://%s/debug/vars\n", addr)
+	}
+
+	src, desc := pickSource(*easylist, *whitelist, *easylistURL, *whitelistURL, *seed)
+	log.Printf("list source: %s", desc)
+
+	svc, err := decision.New(context.Background(), decision.Config{
+		Source:      src,
+		CacheSize:   *cacheSize,
+		MaxAttempts: *maxRetries + 1,
+		Seed:        *seed,
+		Obs:         reg,
+		Logger:      obs.Logger("decision"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := svc.Snapshot()
+	log.Printf("snapshot v%d ready: %d filters from %d lists",
+		snap.Version, snap.Engine.NumFilters(), len(snap.Lists))
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           decision.Handler(svc, decision.HandlerConfig{RequestTimeout: *requestTimeout, Obs: reg}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("decision API at http://%s/v1/match", ln.Addr())
+
+	smokeErr := make(chan error, 1)
+	if *smoke {
+		go func() { smokeErr <- runSmoke("http://" + ln.Addr().String()) }()
+	}
+
+	// Signal loop: SIGHUP reloads without blocking readers; SIGTERM and
+	// SIGINT drain in-flight requests, then exit.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	for sig := range sigs {
+		if sig == syscall.SIGHUP {
+			ctx, cancel := context.WithTimeout(context.Background(), *requestTimeout)
+			next, err := svc.Reload(ctx)
+			cancel()
+			if err != nil {
+				log.Printf("SIGHUP reload failed; keeping current snapshot: %v", err)
+				continue
+			}
+			log.Printf("SIGHUP reload: snapshot v%d, %d filters", next.Version, next.Engine.NumFilters())
+			continue
+		}
+		log.Printf("%s: draining (up to %s)...", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Fatalf("drain incomplete: %v", err)
+		}
+		log.Printf("drained cleanly")
+		break
+	}
+
+	if *smoke {
+		if err := <-smokeErr; err != nil {
+			log.Fatalf("smoke: %v", err)
+		}
+		st := svc.Stats()
+		var hits int64
+		if st.Cache != nil {
+			hits = st.Cache.Hits
+		}
+		log.Printf("smoke: all checks passed (matches=%d, cache hits=%d)", st.Matches, hits)
+	}
+}
+
+// pickSource chooses the list source: subscription URLs win, then files,
+// then the synthetic study corpus.
+func pickSource(easyFile, wlFile, easyURL, wlURL string, seed uint64) (decision.Source, string) {
+	if easyURL != "" || wlURL != "" {
+		var srcs []subscription.Source
+		var names []string
+		if easyURL != "" {
+			srcs = append(srcs, subscription.Source{Name: "easylist", URL: easyURL})
+			names = append(names, "easylist")
+		}
+		if wlURL != "" {
+			srcs = append(srcs, subscription.Source{Name: "exceptionrules", URL: wlURL})
+			names = append(names, "exceptionrules")
+		}
+		sub := subscription.NewSubscriber(http.DefaultClient, srcs...)
+		return decision.Subscriptions(sub, names...), fmt.Sprintf("subscriptions %v", names)
+	}
+	if easyFile != "" || wlFile != "" {
+		files := map[string]string{}
+		if easyFile != "" {
+			files["easylist"] = easyFile
+		}
+		if wlFile != "" {
+			files["exceptionrules"] = wlFile
+		}
+		return decision.Files(files), fmt.Sprintf("files %v", files)
+	}
+	return studySource(seed), fmt.Sprintf("synthetic study lists (seed %d)", seed)
+}
+
+// studySource serves the synthetic study corpus — the default when no
+// list flags are given, so the server always has something to serve.
+func studySource(seed uint64) decision.Source {
+	return sourceFunc(func(context.Context) ([]engine.NamedList, error) {
+		study := core.NewStudy(seed)
+		wl, err := study.Whitelist()
+		if err != nil {
+			return nil, err
+		}
+		return []engine.NamedList{
+			{Name: "easylist", List: study.EasyList()},
+			{Name: "exceptionrules", List: wl},
+		}, nil
+	})
+}
+
+type sourceFunc func(ctx context.Context) ([]engine.NamedList, error)
+
+func (f sourceFunc) Load(ctx context.Context) ([]engine.NamedList, error) { return f(ctx) }
+
+// ---- smoke test -------------------------------------------------------------
+
+// runSmoke exercises every endpoint against the live server, then
+// delivers a real SIGTERM to this process so the signal loop's drain path
+// runs end to end. main asserts the drain and reports the outcome.
+func runSmoke(base string) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// The snapshot should be serving and non-empty.
+	var lists decision.ListsResult
+	if err := call(client, http.MethodGet, base+"/v1/lists", nil, &lists); err != nil {
+		return err
+	}
+	if lists.Snapshot < 1 || lists.Filters == 0 {
+		return fmt.Errorf("/v1/lists: empty snapshot: %+v", lists)
+	}
+
+	// A blocked URL decides "blocked"; the repeat is a cache hit.
+	blocked := decision.MatchQuery{
+		URL: "http://ads.example.com/banner.js", Document: "http://news.example.com/", Type: "script",
+	}
+	var m decision.MatchResult
+	if err := call(client, http.MethodPost, base+"/v1/match", blocked, &m); err != nil {
+		return err
+	}
+	if m.Verdict != "blocked" || m.BlockedBy == nil {
+		return fmt.Errorf("/v1/match: want blocked, got %+v", m)
+	}
+	if err := call(client, http.MethodPost, base+"/v1/match", blocked, &m); err != nil {
+		return err
+	}
+	if !m.Cached {
+		return fmt.Errorf("/v1/match: repeat not served from cache: %+v", m)
+	}
+
+	// A batch pins one snapshot; a malformed entry fails alone.
+	batch := decision.BatchQuery{Requests: []decision.MatchQuery{
+		blocked,
+		{URL: "http://cdn.example.com/app.js", Document: "http://news.example.com/", Type: "script"},
+		{URL: "", Document: "http://news.example.com/"},
+	}}
+	var b decision.BatchResult
+	if err := call(client, http.MethodPost, base+"/v1/match-batch", batch, &b); err != nil {
+		return err
+	}
+	if len(b.Results) != 3 {
+		return fmt.Errorf("/v1/match-batch: want 3 results, got %d", len(b.Results))
+	}
+	if b.Results[0].Verdict != "blocked" || !b.Results[0].Cached {
+		return fmt.Errorf("/v1/match-batch: first entry not a cached block: %+v", b.Results[0])
+	}
+	if b.Results[2].Error == "" {
+		return fmt.Errorf("/v1/match-batch: malformed entry did not error: %+v", b.Results[2])
+	}
+
+	// The element-hiding stylesheet includes the smoke list's selector.
+	var eh decision.ElemHideResult
+	q := decision.ElemHideQuery{Document: "http://blog.example.com/"}
+	if err := call(client, http.MethodPost, base+"/v1/elemhide", q, &eh); err != nil {
+		return err
+	}
+	if eh.CSS == "" {
+		return fmt.Errorf("/v1/elemhide: empty stylesheet")
+	}
+
+	// Reload bumps the snapshot version and purges the cache.
+	var rl decision.ReloadResult
+	if err := call(client, http.MethodPost, base+"/v1/reload", nil, &rl); err != nil {
+		return err
+	}
+	if rl.Snapshot != lists.Snapshot+1 {
+		return fmt.Errorf("/v1/reload: want snapshot v%d, got v%d", lists.Snapshot+1, rl.Snapshot)
+	}
+	if err := call(client, http.MethodPost, base+"/v1/match", blocked, &m); err != nil {
+		return err
+	}
+	if m.Cached {
+		return fmt.Errorf("/v1/match: cache survived the reload: %+v", m)
+	}
+
+	// Method gating.
+	resp, err := client.Get(base + "/v1/match")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		return fmt.Errorf("GET /v1/match: want 405, got %d", resp.StatusCode)
+	}
+
+	// Exercise the real signal path: SIGTERM ourselves; main drains.
+	return syscall.Kill(os.Getpid(), syscall.SIGTERM)
+}
+
+// call POSTs (or GETs) JSON and decodes the response, failing on any
+// non-2xx status.
+func call(client *http.Client, method, url string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		return fmt.Errorf("%s %s: %d %s", method, url, resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

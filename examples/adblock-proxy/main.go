@@ -40,11 +40,12 @@ func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// A forward proxy receives absolute-form URLs; the Referer carries
 	// the first-party page (how a browser extension would know it).
 	docHost := r.Header.Get("X-Document-Host")
-	d := p.engine.MatchRequest(&engine.Request{
-		URL:          r.URL.String(),
-		Type:         contentTypeOf(r.URL.Path),
-		DocumentHost: docHost,
-	})
+	req, err := engine.NewRequest(r.URL.String(), docHost, contentTypeOf(r.URL.Path))
+	if err != nil {
+		http.Error(w, "unmatchable URL: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	d := p.engine.MatchRequest(req)
 	if d.Verdict == engine.Blocked {
 		http.Error(w, "blocked by "+d.BlockedBy.Filter.Raw, http.StatusForbidden)
 		return

@@ -35,22 +35,26 @@ reddit.com#@##ad_main
 			f.Kind, filter.ClassifyScope(f), f.Raw)
 	}
 
-	eng, err := engine.New(
-		engine.NamedList{Name: "easylist", List: easylist},
-		engine.NamedList{Name: "exceptionrules", List: whitelist},
-	)
-	if err != nil {
+	// Build-then-freeze: accumulate lists in a Builder, publish the
+	// frozen engine. (engine.New is the one-call shorthand for this.)
+	b := engine.NewBuilder()
+	if err := b.Add("easylist", easylist); err != nil {
 		log.Fatal(err)
 	}
+	if err := b.Add("exceptionrules", whitelist); err != nil {
+		log.Fatal(err)
+	}
+	eng := b.Build()
 
-	// The ad frame request from Figure 1.
+	// The ad frame request from Figure 1. NewRequest validates the URL
+	// and precomputes the match inputs once.
 	adURL := "http://static.adzerk.net/reddit/ads.html?sr=-reddit.com,loggedout"
 	for _, page := range []string{"www.reddit.com", "example.com"} {
-		d := eng.MatchRequest(&engine.Request{
-			URL:          adURL,
-			Type:         filter.TypeSubdocument,
-			DocumentHost: page,
-		})
+		req, err := engine.NewRequest(adURL, "http://"+page+"/", filter.TypeSubdocument)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := eng.MatchRequest(req)
 		fmt.Printf("\non %-16s the Adzerk frame is %s", page, d.Verdict)
 		if d.AllowedBy != nil {
 			fmt.Printf(" (exception from %s)", d.AllowedBy.List)

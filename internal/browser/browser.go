@@ -364,11 +364,13 @@ func (b *Browser) VisitContext(ctx context.Context, url string) (*Visit, error) 
 		v.Requests++
 		allowed, dnt := true, false
 		if !v.Flags.DocumentAllowed {
-			d := sess.MatchRequest(&engine.Request{
-				URL:          res.URL,
-				Type:         res.Type,
-				DocumentHost: host,
-			})
+			req, rerr := engine.NewRequest(res.URL, v.FinalURL, res.Type)
+			if rerr != nil {
+				// Unparseable resource URL: match it as-is, like a real
+				// blocker matching whatever the page emitted.
+				req = &engine.Request{URL: res.URL, Type: res.Type, DocumentHost: host}
+			}
+			d := sess.MatchRequest(req)
 			if d.Verdict == engine.Blocked {
 				allowed = false
 				v.BlockedRequests++

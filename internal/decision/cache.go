@@ -1,0 +1,236 @@
+package decision
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/obs"
+)
+
+// shardCount is the number of cache shards. It is a power of two so the
+// shard of a key is a single AND off its hash; 16 shards keep lock
+// contention negligible up to well past NumCPU matcher goroutines.
+const shardCount = 16
+
+// Cache is a sharded LRU over match decisions. Keys canonicalize one
+// request as (lowered URL, content type, lowered document host,
+// third-party bit) — exactly the inputs request matching depends on, so
+// two requests with equal keys always produce identical decisions against
+// the same snapshot. Sitekey-restricted requests are never cached (the
+// sitekey is deliberately not part of the key).
+//
+// The total capacity is rounded up to a power of two and split evenly
+// across the shards; each shard runs an independent LRU under its own
+// mutex.
+type Cache struct {
+	shards   [shardCount]cacheShard
+	perShard int
+
+	hits, misses, evictions *obs.Counter
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	// Intrusive LRU list: front is most recently used.
+	front, back *cacheEntry
+}
+
+type cacheEntry struct {
+	key        string
+	d          engine.Decision
+	prev, next *cacheEntry
+}
+
+// NewCache creates a cache holding about capacity decisions (rounded up
+// to the next power of two, minimum one entry per shard).
+func NewCache(capacity int) *Cache {
+	capacity = nextPow2(capacity)
+	c := &Cache{
+		perShard:  capacity / shardCount,
+		hits:      &obs.Counter{},
+		misses:    &obs.Counter{},
+		evictions: &obs.Counter{},
+	}
+	if c.perShard < 1 {
+		c.perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*cacheEntry)
+	}
+	return c
+}
+
+// nextPow2 rounds n up to the next power of two (minimum shardCount).
+func nextPow2(n int) int {
+	p := shardCount
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SetObs redirects the hit/miss/eviction counters into reg
+// ("decision.cache.hits", ".misses", ".evictions"); nil keeps the
+// private counters.
+func (c *Cache) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.hits = reg.Counter("decision.cache.hits")
+	c.misses = reg.Counter("decision.cache.misses")
+	c.evictions = reg.Counter("decision.cache.evictions")
+}
+
+// fnv1a hashes the key for shard selection.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Get returns the cached decision for key, marking it most recently used.
+func (c *Cache) Get(key string) (engine.Decision, bool) {
+	sh := &c.shards[fnv1a(key)&(shardCount-1)]
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Inc()
+		return engine.Decision{}, false
+	}
+	sh.moveFront(e)
+	d := e.d
+	sh.mu.Unlock()
+	c.hits.Inc()
+	return d, true
+}
+
+// Put stores a decision, evicting the shard's least recently used entry
+// when the shard is full.
+func (c *Cache) Put(key string, d engine.Decision) {
+	sh := &c.shards[fnv1a(key)&(shardCount-1)]
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		e.d = d
+		sh.moveFront(e)
+		sh.mu.Unlock()
+		return
+	}
+	if len(sh.entries) >= c.perShard {
+		lru := sh.back
+		sh.unlink(lru)
+		delete(sh.entries, lru.key)
+		c.evictions.Inc()
+	}
+	e := &cacheEntry{key: key, d: d}
+	sh.entries[key] = e
+	sh.pushFront(e)
+	sh.mu.Unlock()
+}
+
+// Purge drops every entry — the full invalidation run on snapshot swap.
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[string]*cacheEntry)
+		sh.front, sh.back = nil, nil
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the current number of cached decisions.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports the cache's lifetime counters and current size.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+		Size:      c.Len(),
+	}
+}
+
+// CacheStats is a point-in-time view of the decision cache.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+}
+
+// ---- intrusive LRU list ----------------------------------------------------
+
+func (sh *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = sh.front
+	if sh.front != nil {
+		sh.front.prev = e
+	}
+	sh.front = e
+	if sh.back == nil {
+		sh.back = e
+	}
+}
+
+func (sh *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *cacheShard) moveFront(e *cacheEntry) {
+	if sh.front == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}
+
+// cacheKey canonicalizes a prepared request into its cache key:
+// snapshot version, lowered URL, content type, lowered document host and
+// third-party bit, NUL-separated. Keying on the snapshot version makes
+// entries from an older snapshot unreachable the instant a new one is
+// published, even if a racing matcher inserts one after the swap's purge.
+func cacheKey(version uint64, req *engine.Request) string {
+	var b strings.Builder
+	b.Grow(len(req.URL) + len(req.DocumentHost) + 32)
+	b.Write(strconv.AppendUint(nil, version, 10))
+	b.WriteByte(0)
+	b.WriteString(req.LowerURL())
+	b.WriteByte(0)
+	b.Write(strconv.AppendUint(nil, uint64(req.Type), 10))
+	b.WriteByte(0)
+	b.WriteString(strings.ToLower(req.DocumentHost))
+	b.WriteByte(0)
+	if req.ThirdParty() {
+		b.WriteByte('3')
+	} else {
+		b.WriteByte('1')
+	}
+	return b.String()
+}

@@ -1,0 +1,127 @@
+package decision
+
+import (
+	"fmt"
+	"testing"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+)
+
+func mustRequest(t testing.TB, url, doc string) *engine.Request {
+	t.Helper()
+	req, err := engine.NewRequest(url, doc, filter.TypeScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache(shardCount) // one entry per shard
+	d := engine.Decision{Verdict: engine.Blocked}
+
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	c.Put("k1", d)
+	got, ok := c.Get("k1")
+	if !ok || got.Verdict != engine.Blocked {
+		t.Fatalf("Get(k1) = %+v, %v", got, ok)
+	}
+
+	// Fill one shard past capacity: its LRU entry must go.
+	var keys []string
+	shard := fnv1a("k1") & (shardCount - 1)
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("x%d", i)
+		if fnv1a(k)&(shardCount-1) == shard {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], d) // evicts k1 (shard capacity 1)
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 survived an over-capacity Put in its shard")
+	}
+
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("evictions = 0 after overflow; stats %+v", st)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("counters not moving: %+v", st)
+	}
+
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after Purge", c.Len())
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(shardCount * 2) // two entries per shard
+	d := engine.Decision{}
+
+	// Three keys landing in one two-entry shard: after touching the
+	// oldest, the middle one must be the eviction victim.
+	shard := fnv1a("lru0") & (shardCount - 1)
+	same := []string{"lru0"}
+	for i := 1; len(same) < 3; i++ {
+		k := fmt.Sprintf("lru%d", i)
+		if fnv1a(k)&(shardCount-1) == shard {
+			same = append(same, k)
+		}
+	}
+	c.Put(same[0], d)
+	c.Put(same[1], d)
+	if _, ok := c.Get(same[0]); !ok { // touch: same[0] becomes MRU
+		t.Fatal("same[0] should be resident")
+	}
+	c.Put(same[2], d) // shard full: evicts LRU = same[1]
+	if _, ok := c.Get(same[1]); ok {
+		t.Error("same[1] should have been evicted as LRU")
+	}
+	for _, k := range []string{same[0], same[2]} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be resident", k)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 16, 1: 16, 16: 16, 17: 32, 1000: 1024, 65536: 65536}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := mustRequest(t, "http://ads.example.com/a.js", "http://news.example.com/")
+	variants := []*engine.Request{
+		mustRequest(t, "http://ads.example.com/b.js", "http://news.example.com/"),
+		mustRequest(t, "http://ads.example.com/a.js", "http://ads.example.com/"), // first-party now
+	}
+	otherType, err := engine.NewRequest("http://ads.example.com/a.js", "http://news.example.com/", filter.TypeImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants = append(variants, otherType)
+
+	k := cacheKey(1, base)
+	if k == cacheKey(2, base) {
+		t.Error("snapshot version not part of the key")
+	}
+	for i, v := range variants {
+		if cacheKey(1, v) == k {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+	// Case-insensitivity: the key canonicalizes to lowercase.
+	upper := mustRequest(t, "http://ADS.example.com/A.JS", "http://NEWS.example.com/")
+	lower := mustRequest(t, "http://ads.example.com/a.js", "http://news.example.com/")
+	if cacheKey(1, upper) != cacheKey(1, lower) {
+		t.Error("case variants should share a key")
+	}
+}

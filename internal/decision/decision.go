@@ -1,0 +1,327 @@
+// Package decision is the serving layer over the filter engine: a
+// long-lived Service answers single and batched match queries against an
+// immutable engine *snapshot*, published via an atomic pointer so that
+// list reloads never block readers — in-flight queries finish on the old
+// snapshot while new ones see the new engine, the lifecycle real
+// deployments need when filter lists update daily under millions of live
+// match queries.
+//
+// In front of the snapshot sits a sharded LRU decision cache (see Cache)
+// that is fully invalidated on every swap. Reloads re-fetch lists from
+// the Service's Source (typically internal/subscription) with retries and
+// keep serving the old snapshot when a reload fails — graceful
+// degradation, never an empty engine.
+package decision
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/obs"
+	"acceptableads/internal/retry"
+	"acceptableads/internal/subscription"
+)
+
+// ListInfo describes one list of a snapshot.
+type ListInfo struct {
+	Name    string `json:"name"`
+	Filters int    `json:"filters"`
+}
+
+// Snapshot is one immutable engine generation. Everything reachable from
+// it is read-only after publication; matching against it from any number
+// of goroutines is safe.
+type Snapshot struct {
+	Engine  *engine.Engine
+	Version uint64
+	Lists   []ListInfo
+	BuiltAt time.Time
+}
+
+// Source produces the named filter lists a snapshot is built from. Load
+// is called once at startup and again on every reload; it must honor ctx.
+type Source interface {
+	Load(ctx context.Context) ([]engine.NamedList, error)
+}
+
+// Lists is a fixed in-memory Source — tests and single-shot tools.
+func Lists(lists ...engine.NamedList) Source { return listsSource(lists) }
+
+type listsSource []engine.NamedList
+
+func (s listsSource) Load(context.Context) ([]engine.NamedList, error) {
+	return []engine.NamedList(s), nil
+}
+
+// Files is a Source reading filter list text from named files on every
+// Load, so a reload picks up edited lists.
+func Files(named map[string]string) Source { return filesSource(named) }
+
+type filesSource map[string]string
+
+func (s filesSource) Load(context.Context) ([]engine.NamedList, error) {
+	var out []engine.NamedList
+	for _, name := range sortedKeys(s) {
+		body, err := os.ReadFile(s[name])
+		if err != nil {
+			return nil, fmt.Errorf("decision: list %s: %w", name, err)
+		}
+		out = append(out, engine.NamedList{
+			Name: name, List: filter.ParseListString(name, string(body)),
+		})
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Subscriptions is a Source fetching every list of sub (conditional
+// requests, ETag/304) on each Load — how the whitelist actually reaches
+// users, now feeding the serving snapshot.
+func Subscriptions(sub *subscription.Subscriber, names ...string) Source {
+	return &subSource{sub: sub, names: names}
+}
+
+type subSource struct {
+	sub   *subscription.Subscriber
+	names []string
+}
+
+func (s *subSource) Load(ctx context.Context) ([]engine.NamedList, error) {
+	var out []engine.NamedList
+	for _, name := range s.names {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		l, err := s.sub.Fetch(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, engine.NamedList{Name: name, List: l})
+	}
+	return out, nil
+}
+
+// Config parameterizes a Service.
+type Config struct {
+	// Source provides the filter lists; required.
+	Source Source
+	// CacheSize is the decision cache capacity in entries (rounded up to
+	// a power of two); 0 disables caching.
+	CacheSize int
+	// MaxAttempts bounds each reload's Source.Load attempts including the
+	// first; 0 means retry.DefaultMaxAttempts.
+	MaxAttempts int
+	// Seed drives the retry backoff jitter.
+	Seed uint64
+	// Obs receives service telemetry (cache counters, snapshot version,
+	// reload outcomes, match counters); nil disables it.
+	Obs *obs.Registry
+	// Logger receives structured reload/serve logs; nil means silent.
+	Logger *slog.Logger
+}
+
+// Service answers match queries against the current snapshot.
+type Service struct {
+	cfg   Config
+	cur   atomic.Pointer[Snapshot]
+	cache *Cache
+
+	reloadMu sync.Mutex // single-flight: one rebuild at a time
+
+	matches    *obs.Counter
+	reloads    *obs.Counter
+	reloadErrs *obs.Counter
+	version    *obs.Gauge
+	logger     *slog.Logger
+}
+
+// New builds the first snapshot from cfg.Source and returns a serving
+// Service.
+func New(ctx context.Context, cfg Config) (*Service, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("decision: Config.Source is required")
+	}
+	s := &Service{cfg: cfg, logger: cfg.Logger}
+	if s.logger == nil {
+		s.logger = obs.NopLogger()
+	}
+	s.matches = &obs.Counter{}
+	s.reloads = &obs.Counter{}
+	s.reloadErrs = &obs.Counter{}
+	s.version = &obs.Gauge{}
+	if cfg.Obs != nil {
+		s.matches = cfg.Obs.Counter("decision.matches")
+		s.reloads = cfg.Obs.Counter("decision.reloads")
+		s.reloadErrs = cfg.Obs.Counter("decision.reload.failures")
+		s.version = cfg.Obs.Gauge("decision.snapshot.version")
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = NewCache(cfg.CacheSize)
+		s.cache.SetObs(cfg.Obs)
+	}
+	if _, err := s.Reload(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Snapshot returns the current engine snapshot. The result is immutable;
+// callers may match against it for as long as they like, even across
+// concurrent reloads.
+func (s *Service) Snapshot() *Snapshot { return s.cur.Load() }
+
+// Cache returns the decision cache, nil when caching is disabled.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Match decides one request against the current snapshot, consulting the
+// decision cache first. The boolean reports whether the decision was
+// served from cache. Sitekey-carrying requests bypass the cache (the
+// sitekey is not part of the cache key).
+func (s *Service) Match(req *engine.Request) (engine.Decision, bool) {
+	snap := s.cur.Load()
+	s.matches.Inc()
+	if s.cache == nil || req.Sitekey != "" {
+		return snap.Engine.MatchRequest(req), false
+	}
+	key := cacheKey(snap.Version, req)
+	if d, ok := s.cache.Get(key); ok {
+		return d, true
+	}
+	d := snap.Engine.MatchRequest(req)
+	s.cache.Put(key, d)
+	return d, false
+}
+
+// MatchBatch decides a batch of requests against one consistent snapshot.
+// The boolean slice marks which decisions were served from cache. All
+// decisions of one batch come from the same engine generation even if a
+// reload lands mid-batch.
+func (s *Service) MatchBatch(reqs []*engine.Request) ([]engine.Decision, []bool) {
+	snap := s.cur.Load()
+	out := make([]engine.Decision, len(reqs))
+	cached := make([]bool, len(reqs))
+	for i, req := range reqs {
+		s.matches.Inc()
+		if s.cache == nil || req.Sitekey != "" {
+			out[i] = snap.Engine.MatchRequest(req)
+			continue
+		}
+		key := cacheKey(snap.Version, req)
+		if d, ok := s.cache.Get(key); ok {
+			out[i], cached[i] = d, true
+			continue
+		}
+		out[i] = snap.Engine.MatchRequest(req)
+		s.cache.Put(key, out[i])
+	}
+	return out, cached
+}
+
+// ElemHideCSS returns the element-hiding stylesheet the current snapshot
+// injects for a page on docHost.
+func (s *Service) ElemHideCSS(docHost string) string {
+	return s.cur.Load().Engine.ElemHideCSS(docHost)
+}
+
+// Reload fetches the lists from the Source (with retries), builds a fresh
+// engine, publishes it as the next snapshot and invalidates the decision
+// cache. Readers are never blocked: queries in flight keep matching on
+// the old snapshot. On failure the old snapshot stays published and the
+// error is returned — serving degrades to stale lists, never to none.
+func (s *Service) Reload(ctx context.Context) (*Snapshot, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	var lists []engine.NamedList
+	policy := retry.Policy{MaxAttempts: s.cfg.MaxAttempts, Seed: s.cfg.Seed}
+	attempts, err := policy.Do(ctx, "decision.reload", func(ctx context.Context) error {
+		var lerr error
+		lists, lerr = s.cfg.Source.Load(ctx)
+		return lerr
+	})
+	if err != nil {
+		s.reloadErrs.Inc()
+		s.logger.Warn("list reload failed; keeping current snapshot",
+			"attempts", attempts, "err", err)
+		return nil, fmt.Errorf("decision: reload: %w", err)
+	}
+	if len(lists) == 0 {
+		s.reloadErrs.Inc()
+		return nil, fmt.Errorf("decision: reload: source returned no lists")
+	}
+
+	b := engine.NewBuilder()
+	infos := make([]ListInfo, 0, len(lists))
+	for _, nl := range lists {
+		if err := b.Add(nl.Name, nl.List); err != nil {
+			s.reloadErrs.Inc()
+			return nil, fmt.Errorf("decision: reload: %w", err)
+		}
+	}
+	eng := b.Build()
+	for _, nl := range lists {
+		infos = append(infos, ListInfo{Name: nl.Name, Filters: eng.ListFilters(nl.Name)})
+	}
+
+	old := s.cur.Load()
+	next := &Snapshot{Engine: eng, Lists: infos, BuiltAt: time.Now()}
+	if old != nil {
+		next.Version = old.Version + 1
+	} else {
+		next.Version = 1
+	}
+	s.cur.Store(next)
+	if s.cache != nil {
+		s.cache.Purge()
+	}
+	s.reloads.Inc()
+	s.version.Set(int64(next.Version))
+	s.logger.Info("snapshot published",
+		"version", next.Version, "filters", eng.NumFilters(), "lists", len(infos))
+	return next, nil
+}
+
+// Stats reports the service's lifetime counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Matches:        s.matches.Value(),
+		Reloads:        s.reloads.Value(),
+		ReloadFailures: s.reloadErrs.Value(),
+	}
+	if snap := s.cur.Load(); snap != nil {
+		st.SnapshotVersion = snap.Version
+	}
+	if s.cache != nil {
+		c := s.cache.Stats()
+		st.Cache = &c
+	}
+	return st
+}
+
+// Stats is a point-in-time view of the service.
+type Stats struct {
+	Matches         int64       `json:"matches"`
+	Reloads         int64       `json:"reloads"`
+	ReloadFailures  int64       `json:"reloadFailures"`
+	SnapshotVersion uint64      `json:"snapshotVersion"`
+	Cache           *CacheStats `json:"cache,omitempty"`
+}

@@ -1,0 +1,314 @@
+package decision
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"acceptableads/internal/domainutil"
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+	"acceptableads/internal/obs"
+)
+
+// DefaultRequestTimeout bounds one API request end to end when
+// HandlerConfig.RequestTimeout is 0.
+const DefaultRequestTimeout = 5 * time.Second
+
+// maxBatch bounds one /v1/match-batch request; larger batches are a
+// client error, not a server stall.
+const maxBatch = 4096
+
+// HandlerConfig parameterizes the HTTP surface.
+type HandlerConfig struct {
+	// RequestTimeout is the per-request deadline applied to every
+	// endpoint (reloads included); 0 means DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// Obs receives per-endpoint request counters and latency histograms
+	// ("decision.http.match.latency", ...); nil disables them.
+	Obs *obs.Registry
+}
+
+// Handler serves the decision API over svc:
+//
+//	POST /v1/match        — one request in, one decision out
+//	POST /v1/match-batch  — up to 4096 requests against one snapshot
+//	POST /v1/elemhide     — element-hiding stylesheet for a document host
+//	GET  /v1/lists        — snapshot introspection (lists, version, cache)
+//	POST /v1/reload       — rebuild the snapshot from the list source
+func Handler(svc *Service, cfg HandlerConfig) http.Handler {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/match", endpoint(cfg, "match", http.MethodPost, svc.handleMatch))
+	mux.Handle("/v1/match-batch", endpoint(cfg, "batch", http.MethodPost, svc.handleMatchBatch))
+	mux.Handle("/v1/elemhide", endpoint(cfg, "elemhide", http.MethodPost, svc.handleElemHide))
+	mux.Handle("/v1/lists", endpoint(cfg, "lists", http.MethodGet, svc.handleLists))
+	mux.Handle("/v1/reload", endpoint(cfg, "reload", http.MethodPost, svc.handleReload))
+	return mux
+}
+
+// endpoint wraps one handler with method gating, the per-request
+// deadline, and per-endpoint telemetry.
+func endpoint(cfg HandlerConfig, name, method string,
+	h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.Handler {
+	var requests *obs.Counter
+	var errors *obs.Counter
+	var latency *obs.Histogram
+	if cfg.Obs != nil {
+		requests = cfg.Obs.Counter("decision.http." + name + ".requests")
+		errors = cfg.Obs.Counter("decision.http." + name + ".errors")
+		latency = cfg.Obs.Histogram("decision.http." + name + ".latency")
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			httpError(w, http.StatusMethodNotAllowed, "use "+method)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.RequestTimeout)
+		defer cancel()
+		start := time.Now()
+		sw := &statusCatcher{ResponseWriter: w, status: http.StatusOK}
+		h(ctx, sw, r.WithContext(ctx))
+		if requests != nil {
+			requests.Inc()
+			if sw.status >= 400 {
+				errors.Inc()
+			}
+			latency.Observe(time.Since(start))
+		}
+	})
+}
+
+type statusCatcher struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusCatcher) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ---- wire types ------------------------------------------------------------
+
+// MatchQuery is one request of the match API.
+type MatchQuery struct {
+	// URL is the request URL; required.
+	URL string `json:"url"`
+	// Document is the URL (or bare host) of the page issuing the
+	// request; it drives $domain restrictions and the third-party test.
+	Document string `json:"document"`
+	// Type is the content type as a filter option name ("script",
+	// "image", ...); empty means "other".
+	Type string `json:"type,omitempty"`
+	// Sitekey is the verified base64 sitekey of the page, if any.
+	// Sitekey queries bypass the decision cache.
+	Sitekey string `json:"sitekey,omitempty"`
+}
+
+// MatchResult is one decision of the match API.
+type MatchResult struct {
+	Verdict    string     `json:"verdict"`
+	BlockedBy  *MatchedBy `json:"blockedBy,omitempty"`
+	AllowedBy  *MatchedBy `json:"allowedBy,omitempty"`
+	DoNotTrack bool       `json:"doNotTrack,omitempty"`
+	Cached     bool       `json:"cached"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// MatchedBy names the filter behind one side of a decision.
+type MatchedBy struct {
+	Filter string `json:"filter"`
+	List   string `json:"list"`
+}
+
+// toRequest validates and converts one query; malformed input fails here,
+// at the edge, instead of deep inside matching.
+func (q *MatchQuery) toRequest() (*engine.Request, error) {
+	typ := filter.TypeOther
+	if q.Type != "" {
+		t, ok := filter.ParseContentType(q.Type)
+		if !ok {
+			return nil, fmt.Errorf("unknown content type %q", q.Type)
+		}
+		typ = t
+	}
+	req, err := engine.NewRequest(q.URL, q.Document, typ)
+	if err != nil {
+		return nil, err
+	}
+	req.Sitekey = q.Sitekey
+	return req, nil
+}
+
+func toResult(d engine.Decision, cached bool) MatchResult {
+	res := MatchResult{
+		Verdict:    d.Verdict.String(),
+		DoNotTrack: d.DoNotTrack,
+		Cached:     cached,
+	}
+	if d.BlockedBy != nil {
+		res.BlockedBy = &MatchedBy{Filter: d.BlockedBy.Filter.Raw, List: d.BlockedBy.List}
+	}
+	if d.AllowedBy != nil {
+		res.AllowedBy = &MatchedBy{Filter: d.AllowedBy.Filter.Raw, List: d.AllowedBy.List}
+	}
+	return res
+}
+
+// ---- endpoints -------------------------------------------------------------
+
+func (s *Service) handleMatch(_ context.Context, w http.ResponseWriter, r *http.Request) {
+	var q MatchQuery
+	if !decodeJSON(w, r, &q) {
+		return
+	}
+	req, err := q.toRequest()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	d, cached := s.Match(req)
+	writeJSON(w, toResult(d, cached))
+}
+
+// BatchQuery is the /v1/match-batch request body.
+type BatchQuery struct {
+	Requests []MatchQuery `json:"requests"`
+}
+
+// BatchResult is the /v1/match-batch response: one result per request, in
+// order, all decided against the same snapshot. A malformed entry yields
+// a per-entry error without failing the batch.
+type BatchResult struct {
+	Results  []MatchResult `json:"results"`
+	Snapshot uint64        `json:"snapshot"`
+	Cached   int           `json:"cached"`
+}
+
+func (s *Service) handleMatchBatch(_ context.Context, w http.ResponseWriter, r *http.Request) {
+	var q BatchQuery
+	if !decodeJSON(w, r, &q) {
+		return
+	}
+	if len(q.Requests) > maxBatch {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-request limit", len(q.Requests), maxBatch))
+		return
+	}
+	out := BatchResult{Results: make([]MatchResult, len(q.Requests))}
+	reqs := make([]*engine.Request, 0, len(q.Requests))
+	idx := make([]int, 0, len(q.Requests))
+	for i := range q.Requests {
+		req, err := q.Requests[i].toRequest()
+		if err != nil {
+			out.Results[i] = MatchResult{Error: err.Error()}
+			continue
+		}
+		reqs = append(reqs, req)
+		idx = append(idx, i)
+	}
+	out.Snapshot = s.Snapshot().Version
+	decisions, cached := s.MatchBatch(reqs)
+	for j, d := range decisions {
+		out.Results[idx[j]] = toResult(d, cached[j])
+		if cached[j] {
+			out.Cached++
+		}
+	}
+	writeJSON(w, out)
+}
+
+// ElemHideQuery is the /v1/elemhide request body.
+type ElemHideQuery struct {
+	// Document is the page URL or bare host the stylesheet is for.
+	Document string `json:"document"`
+}
+
+// ElemHideResult carries the injectable stylesheet for the document.
+type ElemHideResult struct {
+	CSS string `json:"css"`
+}
+
+func (s *Service) handleElemHide(_ context.Context, w http.ResponseWriter, r *http.Request) {
+	var q ElemHideQuery
+	if !decodeJSON(w, r, &q) {
+		return
+	}
+	if q.Document == "" {
+		httpError(w, http.StatusBadRequest, "document is required")
+		return
+	}
+	writeJSON(w, ElemHideResult{CSS: s.ElemHideCSS(domainutil.HostOf(q.Document))})
+}
+
+// ListsResult is the /v1/lists response.
+type ListsResult struct {
+	Snapshot uint64     `json:"snapshot"`
+	BuiltAt  time.Time  `json:"builtAt"`
+	Filters  int        `json:"filters"`
+	Lists    []ListInfo `json:"lists"`
+	Stats    Stats      `json:"stats"`
+}
+
+func (s *Service) handleLists(_ context.Context, w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	writeJSON(w, ListsResult{
+		Snapshot: snap.Version,
+		BuiltAt:  snap.BuiltAt,
+		Filters:  snap.Engine.NumFilters(),
+		Lists:    snap.Lists,
+		Stats:    s.Stats(),
+	})
+}
+
+// ReloadResult is the /v1/reload response.
+type ReloadResult struct {
+	Snapshot uint64     `json:"snapshot"`
+	Filters  int        `json:"filters"`
+	Lists    []ListInfo `json:"lists"`
+}
+
+func (s *Service) handleReload(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Reload(ctx)
+	if err != nil {
+		// The old snapshot keeps serving; tell the caller the reload
+		// itself failed.
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, ReloadResult{
+		Snapshot: snap.Version,
+		Filters:  snap.Engine.NumFilters(),
+		Lists:    snap.Lists,
+	})
+}
+
+// ---- plumbing --------------------------------------------------------------
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck
+}

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"fmt"
+
+	"acceptableads/internal/filter"
+)
+
+// Builder accumulates filter lists and produces a frozen *Engine. The
+// compiled indexes of a built engine are immutable, so any number of
+// goroutines may match against it while a new engine is being built for
+// the next list revision — the construction discipline behind the decision
+// service's snapshot swaps: build, freeze, publish via an atomic pointer,
+// let in-flight queries finish on the old snapshot.
+//
+// A Builder is single-threaded; Build hands the engine off and the
+// Builder must not be reused.
+type Builder struct {
+	e *Engine
+}
+
+// NewBuilder creates an empty engine builder.
+func NewBuilder() *Builder {
+	return &Builder{e: &Engine{
+		blocking:      newRequestIndex(),
+		exceptions:    newRequestIndex(),
+		dnt:           newRequestIndex(),
+		dntExceptions: newRequestIndex(),
+		elemHide:      newElemHideIndex(),
+		listCounts:    make(map[string]int),
+	}}
+}
+
+// Add compiles and indexes every active filter of l under the given list
+// name. Calling Add after Build returns an error.
+func (b *Builder) Add(name string, l *filter.List) error {
+	if b.e == nil {
+		return fmt.Errorf("engine: builder already built")
+	}
+	return b.e.AddList(name, l)
+}
+
+// Build freezes and returns the engine. The Builder is spent afterwards:
+// further Add calls fail, which is what keeps the published engine
+// immutable under concurrent readers.
+func (b *Builder) Build() *Engine {
+	e := b.e
+	b.e = nil
+	return e
+}

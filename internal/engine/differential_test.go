@@ -126,7 +126,7 @@ func TestDifferentialKeywordIndex(t *testing.T) {
 		url := genURL(rng)
 		req := &Request{URL: url, Type: filter.TypeImage, DocumentHost: "first-party.example"}
 		indexed := e.MatchRequest(req).Verdict
-		linear := e.MatchRequestLinear(req).Verdict
+		linear := e.MatchRequest(req, WithLinearScan()).Verdict
 		if indexed != linear {
 			t.Fatalf("index divergence on %q: indexed=%v linear=%v", url, indexed, linear)
 		}

@@ -74,15 +74,19 @@ func (m *ElementMatch) Hidden() bool { return m.AllowedBy == nil }
 //
 // Callers must consult PagePermissions first: when ElemHideDisabled or
 // DocumentAllowed is set, Adblock Plus skips element hiding entirely.
-func (e *Engine) HideElements(doc *htmldom.Node, pageURL, docHost string) []ElementMatch {
-	return (&Session{e: e, rec: e.recorder}).HideElements(doc, pageURL, docHost)
+//
+// WithLinearScan evaluates every hiding selector against the document
+// instead of consulting the id/class candidate index — the ablation
+// baseline quantifying what the index buys.
+func (e *Engine) HideElements(doc *htmldom.Node, pageURL, docHost string, opts ...MatchOption) []ElementMatch {
+	return (&Session{e: e, rec: e.recorder}).HideElements(doc, pageURL, docHost, opts...)
 }
 
-// HideElementsLinear is the ablation baseline: every hiding selector is
-// evaluated against the document, without the id/class candidate index.
+// HideElementsLinear is the ablation baseline without the candidate index.
+//
+// Deprecated: use HideElements(doc, pageURL, docHost, WithLinearScan()).
 func (e *Engine) HideElementsLinear(doc *htmldom.Node, pageURL, docHost string) []ElementMatch {
-	s := &Session{e: e, rec: e.recorder}
-	return s.applyElemHide(e.elemHide.all, doc, pageURL, docHost)
+	return e.HideElements(doc, pageURL, docHost, WithLinearScan())
 }
 
 // elemHideCandidates gathers the hiding filters whose indexed id/class is

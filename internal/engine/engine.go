@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"acceptableads/internal/domainutil"
 	"acceptableads/internal/filter"
 )
 
@@ -21,6 +20,45 @@ type Request struct {
 	// verified for the current page, or "". Sitekey-restricted filters
 	// only activate when this matches one of their keys.
 	Sitekey string
+
+	// Memoized derivations, computed once by prepare (eagerly in
+	// NewRequest, lazily on first match otherwise) and keyed on the
+	// URL/DocumentHost they were computed for.
+	lower    string
+	kws      []string
+	third    bool
+	memoURL  string
+	memoDoc  string
+	prepared bool
+}
+
+// matchOpts is the resolved option set of one MatchRequest/HideElements
+// call. The zero value is the instrumented default.
+type matchOpts struct {
+	linear       bool
+	shortCircuit bool
+}
+
+// MatchOption tunes one MatchRequest or HideElements call. The default
+// (no options) is the instrumented evaluation the paper's survey uses:
+// both filter sides are always consulted and the effective filter is
+// recorded.
+type MatchOption func(*matchOpts)
+
+// WithLinearScan bypasses the keyword index (request matching) and the
+// id/class candidate index (element hiding), scanning every filter. It
+// exists for the differential tests and the ablation benchmarks that
+// quantify what the indexes buy; linear matching records no activations.
+func WithLinearScan() MatchOption {
+	return func(o *matchOpts) { o.linear = true }
+}
+
+// WithShortCircuit selects the production evaluation order: the exception
+// side is only consulted after a blocking filter matches, and nothing is
+// recorded — the behaviour of a stock (non-instrumented) Adblock Plus,
+// and the baseline for the instrumentation-overhead ablation.
+func WithShortCircuit() MatchOption {
+	return func(o *matchOpts) { o.shortCircuit = true }
 }
 
 // Verdict is the outcome of matching one request.
@@ -215,6 +253,7 @@ type Engine struct {
 	recorder      Recorder
 	numFilters    int
 	lists         []string
+	listCounts    map[string]int
 	// metrics is the optional telemetry hook; nil (the default) keeps the
 	// match path free of instrumentation. See SetMetrics.
 	metrics *engineMetrics
@@ -223,20 +262,15 @@ type Engine struct {
 // New builds an engine over the given named lists. Invalid entries and
 // comments are skipped (the history analyzer, not the engine, accounts for
 // them). Filters whose regular expressions fail to compile are reported.
+// It is the one-shot convenience over Builder.
 func New(lists ...NamedList) (*Engine, error) {
-	e := &Engine{
-		blocking:      newRequestIndex(),
-		exceptions:    newRequestIndex(),
-		dnt:           newRequestIndex(),
-		dntExceptions: newRequestIndex(),
-		elemHide:      newElemHideIndex(),
-	}
+	b := NewBuilder()
 	for _, nl := range lists {
-		if err := e.AddList(nl.Name, nl.List); err != nil {
+		if err := b.Add(nl.Name, nl.List); err != nil {
 			return nil, err
 		}
 	}
-	return e, nil
+	return b.Build(), nil
 }
 
 // NamedList pairs a filter list with the subscription name the survey
@@ -248,13 +282,22 @@ type NamedList struct {
 
 // AddList compiles and indexes every active filter of l under the given
 // list name.
+//
+// Deprecated: mutating a live engine is unsafe under concurrent readers.
+// Accumulate lists with a Builder and publish the frozen engine instead;
+// AddList remains for single-threaded construction paths.
 func (e *Engine) AddList(name string, l *filter.List) error {
 	e.lists = append(e.lists, name)
+	before := e.numFilters
 	for _, f := range l.Active() {
 		if err := e.addFilter(name, f); err != nil {
 			return fmt.Errorf("engine: list %s: filter %q: %w", name, f.Raw, err)
 		}
 	}
+	if e.listCounts == nil {
+		e.listCounts = make(map[string]int)
+	}
+	e.listCounts[name] += e.numFilters - before
 	return nil
 }
 
@@ -291,66 +334,41 @@ func (e *Engine) NumFilters() int { return e.numFilters }
 // Lists returns the names of the loaded lists in load order.
 func (e *Engine) Lists() []string { return e.lists }
 
+// ListFilters returns how many compiled filters the named list
+// contributed, or 0 for an unknown list.
+func (e *Engine) ListFilters(name string) int { return e.listCounts[name] }
+
 // SetRecorder installs the activation hook; nil disables recording.
 func (e *Engine) SetRecorder(r Recorder) { e.recorder = r }
 
-// MatchRequest decides the fate of a request in instrumented mode: both
-// the blocking and the exception side are always evaluated so that
-// "needless" exception activations are observed, exactly as the paper's
-// modified Adblock Plus did. Only the *effective* filter is recorded as an
-// activation: an exception that fires records itself (whether or not a
-// blocking filter also matched), while a blocking filter records only when
-// it actually cancels the request — the counting behind Figures 6 and 8,
-// where the whitelist's conversion trackers outrank every EasyList filter
-// even though each allowed request also matched a blocker.
-func (e *Engine) MatchRequest(req *Request) Decision {
-	return (&Session{e: e, rec: e.recorder}).MatchRequest(req)
+// MatchRequest decides the fate of a request. With no options it runs in
+// instrumented mode: both the blocking and the exception side are always
+// evaluated so that "needless" exception activations are observed, exactly
+// as the paper's modified Adblock Plus did. Only the *effective* filter is
+// recorded as an activation: an exception that fires records itself
+// (whether or not a blocking filter also matched), while a blocking filter
+// records only when it actually cancels the request — the counting behind
+// Figures 6 and 8, where the whitelist's conversion trackers outrank every
+// EasyList filter even though each allowed request also matched a blocker.
+//
+// WithShortCircuit and WithLinearScan select the production short-circuit
+// and the index-free ablation evaluation respectively; see the options.
+func (e *Engine) MatchRequest(req *Request, opts ...MatchOption) Decision {
+	return (&Session{e: e, rec: e.recorder}).MatchRequest(req, opts...)
 }
 
-// MatchRequestFast is the production-style short-circuit: the exception
-// side is only consulted after a blocking filter matches. It records
-// nothing and exists as the baseline for the instrumentation-overhead
-// ablation.
+// MatchRequestFast is the production-style short-circuit.
+//
+// Deprecated: use MatchRequest(req, WithShortCircuit()).
 func (e *Engine) MatchRequestFast(req *Request) Decision {
-	lower := lowerASCII(req.URL)
-	third := domainutil.IsThirdParty(domainutil.HostOf(req.URL), req.DocumentHost)
-	kws := urlKeywords(make([]string, 0, 16), lower)
-
-	var d Decision
-	c := e.blocking.find(req, lower, third, kws)
-	if c == nil {
-		return d
-	}
-	d.BlockedBy = &Match{Filter: c.f, List: c.list}
-	if x := e.exceptions.find(req, lower, third, kws); x != nil {
-		d.AllowedBy = &Match{Filter: x.f, List: x.list}
-		d.Verdict = Allowed
-		return d
-	}
-	d.Verdict = Blocked
-	return d
+	return e.MatchRequest(req, WithShortCircuit())
 }
 
-// MatchRequestLinear matches without the keyword index — the ablation
-// baseline quantifying what the index buys.
+// MatchRequestLinear matches without the keyword index.
+//
+// Deprecated: use MatchRequest(req, WithLinearScan()).
 func (e *Engine) MatchRequestLinear(req *Request) Decision {
-	lower := lowerASCII(req.URL)
-	third := domainutil.IsThirdParty(domainutil.HostOf(req.URL), req.DocumentHost)
-
-	var d Decision
-	if c := e.blocking.findLinear(req, lower, third); c != nil {
-		d.BlockedBy = &Match{Filter: c.f, List: c.list}
-	}
-	if c := e.exceptions.findLinear(req, lower, third); c != nil {
-		d.AllowedBy = &Match{Filter: c.f, List: c.list}
-	}
-	switch {
-	case d.AllowedBy != nil:
-		d.Verdict = Allowed
-	case d.BlockedBy != nil:
-		d.Verdict = Blocked
-	}
-	return d
+	return e.MatchRequest(req, WithLinearScan())
 }
 
 // PageFlags reports whole-page allowances granted by $document/$elemhide

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"sync/atomic"
+
+	"acceptableads/internal/domainutil"
+	"acceptableads/internal/filter"
+)
+
+// NewRequest builds a validated, pre-derived Request: the ASCII-lowered
+// URL, the keyword probes and the third-party bit are computed once here
+// instead of on every MatchRequest call. docURL is the URL (or bare host)
+// of the page issuing the request; it drives $domain restrictions and the
+// third-party test.
+//
+// Validation happens at the edge: an empty or unparseable URL, or one
+// without a host, returns an error instead of silently never matching deep
+// inside the engine. Scheme-relative URLs ("//host/path") are accepted —
+// filter lists target them explicitly.
+//
+// A Request returned by NewRequest is fully prepared and therefore safe
+// for any number of concurrent MatchRequest readers, which is what the
+// decision service relies on. (Requests built as struct literals still
+// work everywhere but prepare lazily on first match, which is not
+// synchronized.)
+func NewRequest(rawURL, docURL string, typ filter.ContentType) (*Request, error) {
+	if rawURL == "" {
+		return nil, fmt.Errorf("engine: empty request URL")
+	}
+	parse := rawURL
+	if strings.HasPrefix(parse, "//") {
+		// net/url parses scheme-relative references fine, but only via
+		// Parse (RequestURI rejects them); normalize for the host check.
+		parse = "http:" + parse
+	}
+	u, err := url.Parse(parse)
+	if err != nil {
+		return nil, fmt.Errorf("engine: malformed request URL %q: %w", rawURL, err)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("engine: request URL %q has no host", rawURL)
+	}
+	if typ == 0 {
+		typ = filter.TypeOther
+	}
+	r := &Request{
+		URL:          rawURL,
+		Type:         typ,
+		DocumentHost: domainutil.HostOf(docURL),
+	}
+	r.prepare()
+	return r, nil
+}
+
+// prepares counts how many times the expensive per-request derivations
+// (lowerASCII, keyword extraction, the registrable-domain fold behind the
+// third-party test) actually ran — the memoization guarantee is asserted
+// against it in tests.
+var prepares atomic.Uint64
+
+// prepare memoizes the per-request derivations. It is keyed on the URL
+// and document host it computed them for, so legacy callers that mutate a
+// Request between matches stay correct; callers that never mutate pay the
+// derivation exactly once.
+func (r *Request) prepare() {
+	if r.prepared && r.memoURL == r.URL && r.memoDoc == r.DocumentHost {
+		return
+	}
+	prepares.Add(1)
+	r.lower = lowerASCII(r.URL)
+	r.kws = urlKeywords(r.kws[:0], r.lower)
+	r.third = domainutil.IsThirdParty(domainutil.HostOf(r.URL), r.DocumentHost)
+	r.memoURL, r.memoDoc = r.URL, r.DocumentHost
+	r.prepared = true
+}
+
+// LowerURL returns the memoized ASCII-lowercased request URL, deriving it
+// on first use. The decision cache keys on it.
+func (r *Request) LowerURL() string {
+	r.prepare()
+	return r.lower
+}
+
+// ThirdParty reports the memoized third-party relation between the request
+// and its document, deriving it on first use.
+func (r *Request) ThirdParty() bool {
+	r.prepare()
+	return r.third
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"testing"
+
+	"acceptableads/internal/filter"
+)
+
+func TestNewRequestValidation(t *testing.T) {
+	cases := []struct {
+		url, doc string
+		ok       bool
+	}{
+		{"http://ads.example.com/banner.js", "http://news.example.com/", true},
+		{"https://track.io/r/collect?x=1", "news.example.com", true},
+		{"//cdn.example.com/app.js", "http://news.example.com/", true},
+		{"", "http://news.example.com/", false},
+		{"http://", "http://news.example.com/", false},
+		{"/relative/path.js", "http://news.example.com/", false},
+		{"http://bad host/x", "http://news.example.com/", false},
+	}
+	for _, c := range cases {
+		req, err := NewRequest(c.url, c.doc, filter.TypeScript)
+		if c.ok && err != nil {
+			t.Errorf("NewRequest(%q): unexpected error %v", c.url, err)
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("NewRequest(%q): want error, got %+v", c.url, req)
+			}
+			continue
+		}
+		if req.URL != c.url {
+			t.Errorf("NewRequest(%q): URL mangled to %q", c.url, req.URL)
+		}
+		if req.DocumentHost != "news.example.com" {
+			t.Errorf("NewRequest(%q): DocumentHost = %q", c.url, req.DocumentHost)
+		}
+	}
+}
+
+func TestNewRequestDefaultsType(t *testing.T) {
+	req, err := NewRequest("http://x.example/a.bin", "x.example", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Type != filter.TypeOther {
+		t.Errorf("zero type = %v, want TypeOther", req.Type)
+	}
+}
+
+// TestPrepareMemoized asserts the core guarantee of the constructor: the
+// expensive derivations (lowercasing, keyword extraction, third-party
+// fold) run exactly once per request, no matter how many matches — and in
+// how many modes — consume it.
+func TestPrepareMemoized(t *testing.T) {
+	e := mustEngine(t,
+		listOf("easylist", "||ads.example.com^\n/banner/*$image"),
+		listOf("exceptionrules", "@@||ads.example.com/ok/$script"),
+	)
+	req, err := NewRequest("http://ads.example.com/banner.js", "http://news.example.com/", filter.TypeScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := prepares.Load()
+	for i := 0; i < 10; i++ {
+		if d := e.MatchRequest(req); d.Verdict != Blocked {
+			t.Fatalf("verdict = %v, want blocked", d.Verdict)
+		}
+		e.MatchRequest(req, WithShortCircuit())
+		e.MatchRequest(req, WithLinearScan())
+	}
+	if got := prepares.Load() - before; got != 0 {
+		t.Errorf("prepare ran %d times on a constructor-built request, want 0 (done in NewRequest)", got)
+	}
+}
+
+// TestPrepareRecomputesOnMutation: legacy struct-literal requests that are
+// mutated between matches must see fresh derivations, not stale memos.
+func TestPrepareRecomputesOnMutation(t *testing.T) {
+	e := mustEngine(t, listOf("easylist", "||ads.example.com^"))
+	req := &Request{URL: "http://ads.example.com/a.js", Type: filter.TypeScript, DocumentHost: "news.example.com"}
+	before := prepares.Load()
+	if d := e.MatchRequest(req); d.Verdict != Blocked {
+		t.Fatalf("verdict = %v, want blocked", d.Verdict)
+	}
+	if d := e.MatchRequest(req); d.Verdict != Blocked {
+		t.Fatalf("repeat verdict = %v, want blocked", d.Verdict)
+	}
+	if got := prepares.Load() - before; got != 1 {
+		t.Errorf("prepare ran %d times for an unchanged request, want 1", got)
+	}
+	req.URL = "http://fine.example.org/a.js"
+	if d := e.MatchRequest(req); d.Verdict != NoMatch {
+		t.Fatalf("post-mutation verdict = %v, want no-match", d.Verdict)
+	}
+	if got := prepares.Load() - before; got != 2 {
+		t.Errorf("prepare ran %d times after a mutation, want 2", got)
+	}
+}

@@ -38,20 +38,59 @@ func (s *Session) record(a Activation) {
 	}
 }
 
-// MatchRequest is the instrumented decision, recording the effective
-// filter to the session's recorder. See Engine.MatchRequest for the
-// semantics.
-func (s *Session) MatchRequest(req *Request) Decision {
+// MatchRequest is the consolidated decision entry point. The default is
+// the instrumented evaluation, recording the effective filter to the
+// session's recorder; WithShortCircuit and WithLinearScan select the
+// production and the ablation evaluation orders. See Engine.MatchRequest
+// for the semantics.
+func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
+	var mo matchOpts
+	for _, o := range opts {
+		o(&mo)
+	}
+	req.prepare()
+	lower, third, kws := req.lower, req.third, req.kws
+
+	var d Decision
+	if mo.shortCircuit {
+		// Production order: the exception side is only consulted after a
+		// blocking filter matches. Records nothing.
+		c := s.e.blocking.find(req, lower, third, kws)
+		if c == nil {
+			return d
+		}
+		d.BlockedBy = &Match{Filter: c.f, List: c.list}
+		if x := s.e.exceptions.find(req, lower, third, kws); x != nil {
+			d.AllowedBy = &Match{Filter: x.f, List: x.list}
+			d.Verdict = Allowed
+			return d
+		}
+		d.Verdict = Blocked
+		return d
+	}
+	if mo.linear {
+		// Index-free ablation: scan every filter on both sides. Records
+		// nothing.
+		if c := s.e.blocking.findLinear(req, lower, third); c != nil {
+			d.BlockedBy = &Match{Filter: c.f, List: c.list}
+		}
+		if c := s.e.exceptions.findLinear(req, lower, third); c != nil {
+			d.AllowedBy = &Match{Filter: c.f, List: c.list}
+		}
+		switch {
+		case d.AllowedBy != nil:
+			d.Verdict = Allowed
+		case d.BlockedBy != nil:
+			d.Verdict = Blocked
+		}
+		return d
+	}
+
 	m := s.e.metrics
 	var start time.Time
 	if m != nil {
 		start = time.Now()
 	}
-	lower := lowerASCII(req.URL)
-	third := domainutil.IsThirdParty(domainutil.HostOf(req.URL), req.DocumentHost)
-	kws := urlKeywords(make([]string, 0, 16), lower)
-
-	var d Decision
 	if c := s.e.blocking.find(req, lower, third, kws); c != nil {
 		d.BlockedBy = &Match{Filter: c.f, List: c.list}
 	}
@@ -113,9 +152,17 @@ func (s *Session) PagePermissions(pageURL, sitekeyB64 string) PageFlags {
 }
 
 // HideElements applies element hiding, recording to the session. See
-// Engine.HideElements.
-func (s *Session) HideElements(doc *htmldom.Node, pageURL, docHost string) []ElementMatch {
-	candidates := s.e.elemHideCandidates(doc)
+// Engine.HideElements. WithLinearScan evaluates every hiding selector
+// against the document instead of the id/class candidate index.
+func (s *Session) HideElements(doc *htmldom.Node, pageURL, docHost string, opts ...MatchOption) []ElementMatch {
+	var mo matchOpts
+	for _, o := range opts {
+		o(&mo)
+	}
+	candidates := s.e.elemHide.all
+	if !mo.linear {
+		candidates = s.e.elemHideCandidates(doc)
+	}
 	return s.applyElemHide(candidates, doc, pageURL, docHost)
 }
 

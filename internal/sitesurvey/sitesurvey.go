@@ -258,14 +258,16 @@ func RunContext(ctx context.Context, cfg Config) (*Survey, error) {
 	}
 	s := &Survey{Config: cfg, corpus: corpus, srv: srv}
 
-	eng, err := engine.New(
-		engine.NamedList{Name: "easylist", List: cfg.EasyList},
-		engine.NamedList{Name: "exceptionrules", List: cfg.Whitelist},
-	)
-	if err != nil {
+	bld := engine.NewBuilder()
+	if err := bld.Add("easylist", cfg.EasyList); err != nil {
 		srv.Close()
 		return nil, err
 	}
+	if err := bld.Add("exceptionrules", cfg.Whitelist); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	eng := bld.Build()
 	eng.SetMetrics(cfg.Obs)
 	explicit := explicitSet(cfg.Whitelist)
 
@@ -765,10 +767,11 @@ func (s *Survey) TopSites(n int) ([]Fig6Row, error) {
 		return head[i].Rank < head[j].Rank
 	})
 
-	elOnly, err := engine.New(engine.NamedList{Name: "easylist", List: s.Config.EasyList})
-	if err != nil {
+	bld := engine.NewBuilder()
+	if err := bld.Add("easylist", s.Config.EasyList); err != nil {
 		return nil, err
 	}
+	elOnly := bld.Build()
 	elOnly.SetMetrics(s.Config.Obs)
 	b, err := browser.New(s.srv.Client(), elOnly, "")
 	if err != nil {
