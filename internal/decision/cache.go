@@ -15,11 +15,15 @@ import (
 const shardCount = 16
 
 // Cache is a sharded LRU over match decisions. Keys canonicalize one
-// request as (lowered URL, content type, lowered document host,
-// third-party bit) — exactly the inputs request matching depends on, so
-// two requests with equal keys always produce identical decisions against
-// the same snapshot. Sitekey-restricted requests are never cached (the
-// sitekey is deliberately not part of the key).
+// request as (raw URL, content type, lowered document host, third-party
+// bit) — exactly the inputs request matching depends on, so two requests
+// with equal keys always produce identical decisions against the same
+// snapshot. The URL keeps its original case: $match-case and regex
+// filters match against it case-sensitively, so two URLs differing only
+// in case can decide differently and must not share an entry. The
+// document host is safe to lower — $domain restrictions compare
+// hostnames, which are case-insensitive. Sitekey-restricted requests are
+// never cached (the sitekey is deliberately not part of the key).
 //
 // The total capacity is rounded up to a power of two and split evenly
 // across the shards; each shard runs an independent LRU under its own
@@ -44,9 +48,19 @@ type cacheEntry struct {
 	prev, next *cacheEntry
 }
 
-// NewCache creates a cache holding about capacity decisions (rounded up
-// to the next power of two, minimum one entry per shard).
+// maxCapacity caps the cache at 64M entries. Clamping before the
+// power-of-two rounding also keeps nextPow2 from overflowing into a
+// negative (and thus never-terminating) shift for absurd requests.
+const maxCapacity = 1 << 26
+
+// NewCache creates a cache holding about capacity decisions. The
+// capacity is rounded up to a power of two, clamped to maxCapacity, and
+// split evenly across the shards — the effective minimum is one entry
+// per shard (shardCount total), so tiny capacities are rounded up too.
 func NewCache(capacity int) *Cache {
+	if capacity > maxCapacity {
+		capacity = maxCapacity
+	}
 	capacity = nextPow2(capacity)
 	c := &Cache{
 		perShard:  capacity / shardCount,
@@ -63,10 +77,11 @@ func NewCache(capacity int) *Cache {
 	return c
 }
 
-// nextPow2 rounds n up to the next power of two (minimum shardCount).
+// nextPow2 rounds n up to the next power of two, bounded to
+// [shardCount, maxCapacity].
 func nextPow2(n int) int {
 	p := shardCount
-	for p < n {
+	for p < n && p < maxCapacity {
 		p <<= 1
 	}
 	return p
@@ -212,16 +227,19 @@ func (sh *cacheShard) moveFront(e *cacheEntry) {
 }
 
 // cacheKey canonicalizes a prepared request into its cache key:
-// snapshot version, lowered URL, content type, lowered document host and
-// third-party bit, NUL-separated. Keying on the snapshot version makes
-// entries from an older snapshot unreachable the instant a new one is
-// published, even if a racing matcher inserts one after the swap's purge.
+// snapshot version, raw URL, content type, lowered document host and
+// third-party bit, NUL-separated. The URL goes in with its original case
+// because $match-case and regex filters are case-sensitive — keying on
+// the lowered URL would let case-differing URLs share (and cross-serve)
+// a decision. Keying on the snapshot version makes entries from an older
+// snapshot unreachable the instant a new one is published, even if a
+// racing matcher inserts one after the swap's purge.
 func cacheKey(version uint64, req *engine.Request) string {
 	var b strings.Builder
 	b.Grow(len(req.URL) + len(req.DocumentHost) + 32)
 	b.Write(strconv.AppendUint(nil, version, 10))
 	b.WriteByte(0)
-	b.WriteString(req.LowerURL())
+	b.WriteString(req.URL)
 	b.WriteByte(0)
 	b.Write(strconv.AppendUint(nil, uint64(req.Type), 10))
 	b.WriteByte(0)

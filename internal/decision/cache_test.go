@@ -89,11 +89,23 @@ func TestCacheLRUOrder(t *testing.T) {
 }
 
 func TestNextPow2(t *testing.T) {
-	cases := map[int]int{0: 16, 1: 16, 16: 16, 17: 32, 1000: 1024, 65536: 65536}
+	cases := map[int]int{
+		0: 16, 1: 16, 16: 16, 17: 32, 1000: 1024, 65536: 65536,
+		// Bounded above: absurd capacities clamp instead of overflowing
+		// the shift.
+		maxCapacity: maxCapacity, maxCapacity + 1: maxCapacity, 1 << 62: maxCapacity,
+	}
 	for in, want := range cases {
 		if got := nextPow2(in); got != want {
 			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
 		}
+	}
+}
+
+func TestNewCacheClampsCapacity(t *testing.T) {
+	c := NewCache(1 << 62)
+	if got, want := c.perShard*shardCount, maxCapacity; got != want {
+		t.Errorf("capacity = %d, want clamped to %d", got, want)
 	}
 }
 
@@ -118,10 +130,17 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 			t.Errorf("variant %d collides with base key", i)
 		}
 	}
-	// Case-insensitivity: the key canonicalizes to lowercase.
-	upper := mustRequest(t, "http://ADS.example.com/A.JS", "http://NEWS.example.com/")
+	// URL case is significant: $match-case and regex filters match the
+	// original-cased URL, so case variants must not share an entry.
+	upper := mustRequest(t, "http://ads.example.com/A.JS", "http://news.example.com/")
 	lower := mustRequest(t, "http://ads.example.com/a.js", "http://news.example.com/")
-	if cacheKey(1, upper) != cacheKey(1, lower) {
-		t.Error("case variants should share a key")
+	if cacheKey(1, upper) == cacheKey(1, lower) {
+		t.Error("URL case variants must get distinct keys ($match-case filters)")
+	}
+	// Document host case is not: $domain restrictions compare hostnames,
+	// which are case-insensitive.
+	upperDoc := mustRequest(t, "http://ads.example.com/a.js", "http://NEWS.example.com/")
+	if cacheKey(1, upperDoc) != cacheKey(1, lower) {
+		t.Error("document host case variants should share a key")
 	}
 }

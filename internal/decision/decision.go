@@ -211,15 +211,25 @@ func (s *Service) Match(req *engine.Request) (engine.Decision, bool) {
 	return d, false
 }
 
-// MatchBatch decides a batch of requests against one consistent snapshot.
-// The boolean slice marks which decisions were served from cache. All
-// decisions of one batch come from the same engine generation even if a
-// reload lands mid-batch.
-func (s *Service) MatchBatch(reqs []*engine.Request) ([]engine.Decision, []bool) {
+// MatchBatch decides a batch of requests against one consistent
+// snapshot, which it returns so callers report the exact engine
+// generation the decisions came from (a reload may land mid-batch; the
+// batch keeps matching on the snapshot it pinned). The boolean slice
+// marks which decisions were served from cache. ctx is checked
+// periodically so a large batch against pathological filters is cut off
+// by the caller's deadline instead of running to completion; on
+// cancellation the partial results are discarded and ctx's error
+// returned.
+func (s *Service) MatchBatch(ctx context.Context, reqs []*engine.Request) ([]engine.Decision, []bool, *Snapshot, error) {
 	snap := s.cur.Load()
 	out := make([]engine.Decision, len(reqs))
 	cached := make([]bool, len(reqs))
 	for i, req := range reqs {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, snap, err
+			}
+		}
 		s.matches.Inc()
 		if s.cache == nil || req.Sitekey != "" {
 			out[i] = snap.Engine.MatchRequest(req)
@@ -233,7 +243,7 @@ func (s *Service) MatchBatch(reqs []*engine.Request) ([]engine.Decision, []bool)
 		out[i] = snap.Engine.MatchRequest(req)
 		s.cache.Put(key, out[i])
 	}
-	return out, cached
+	return out, cached, snap, nil
 }
 
 // ElemHideCSS returns the element-hiding stylesheet the current snapshot

@@ -154,9 +154,15 @@ func TestMatchBatchPinsOneSnapshot(t *testing.T) {
 		mustRequest(t, "http://fine.example.net/app.js", "http://news.example.org/"),
 		mustRequest(t, "http://ads.example.com/x.js", "http://news.example.org/"),
 	}
-	decisions, cached := svc.MatchBatch(reqs)
+	decisions, cached, snap, err := svc.MatchBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(decisions) != 3 || len(cached) != 3 {
 		t.Fatalf("batch sizes: %d decisions, %d flags", len(decisions), len(cached))
+	}
+	if snap != svc.Snapshot() {
+		t.Fatal("MatchBatch did not return the snapshot it matched against")
 	}
 	if decisions[0].Verdict != engine.Blocked || decisions[1].Verdict != engine.NoMatch {
 		t.Fatalf("verdicts = %v, %v", decisions[0].Verdict, decisions[1].Verdict)
@@ -166,6 +172,59 @@ func TestMatchBatchPinsOneSnapshot(t *testing.T) {
 	}
 	if !reflect.DeepEqual(decisions[0], decisions[2]) {
 		t.Fatal("duplicate entries decided differently inside one batch")
+	}
+}
+
+func TestMatchBatchHonorsContext(t *testing.T) {
+	svc := newTestService(t, 1024)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := []*engine.Request{
+		mustRequest(t, "http://ads.example.com/x.js", "http://news.example.org/"),
+	}
+	if _, _, _, err := svc.MatchBatch(ctx, reqs); err == nil {
+		t.Fatal("MatchBatch ran to completion on a cancelled context")
+	}
+}
+
+// TestCaseSensitiveFiltersNotCrossCached is the regression test for the
+// cache key: $match-case and regex filters match the original-cased URL,
+// so two URLs differing only in case can decide differently — the cache
+// must keep them apart and every cached decision must equal a fresh one.
+func TestCaseSensitiveFiltersNotCrossCached(t *testing.T) {
+	svc, err := New(context.Background(), Config{
+		Source: Lists(engine.NamedList{
+			Name: "l", List: filter.ParseListString("l", "/BannerAd/$match-case"),
+		}),
+		CacheSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := svc.Snapshot()
+	// Prime the cache with the non-matching lowercase variant, then query
+	// the matching cased one (and vice versa): a lowered-URL key would
+	// serve the first verdict for both.
+	urls := []string{
+		"http://example.com/bannerad/1.gif",
+		"http://example.com/BannerAd/1.gif",
+	}
+	wants := []engine.Verdict{engine.NoMatch, engine.Blocked}
+	for round := 0; round < 2; round++ { // second round: both served from cache
+		for i, u := range urls {
+			req := mustRequest(t, u, "http://news.example.org/")
+			want := snap.Engine.MatchRequest(req)
+			if want.Verdict != wants[i] {
+				t.Fatalf("oracle verdict for %s = %v, want %v", u, want.Verdict, wants[i])
+			}
+			got, cached := svc.Match(req)
+			if cached != (round == 1) {
+				t.Errorf("round %d %s: cached = %v", round, u, cached)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d %s: cached decision %+v != fresh %+v", round, u, got, want)
+			}
+		}
 	}
 }
 
@@ -271,8 +330,18 @@ func genFilter(rng *xrand.RNG) string {
 	if rng.Intn(2) == 0 {
 		b.WriteString(paths[rng.Intn(len(paths))])
 	}
+	var opts []string
 	if rng.Intn(3) == 0 {
-		b.WriteString("$third-party")
+		opts = append(opts, "third-party")
+	}
+	if rng.Intn(4) == 0 {
+		// Case-sensitive filters: these decide differently for the
+		// mixed-case URL variants genMatchURL emits, so a cache that
+		// canonicalizes URL case would fail this differential.
+		opts = append(opts, "match-case")
+	}
+	if len(opts) > 0 {
+		b.WriteString("$" + strings.Join(opts, ","))
 	}
 	return b.String()
 }
@@ -282,7 +351,13 @@ func genMatchURL(rng *xrand.RNG) string {
 		"adzerk.net", "static.adzerk.net", "ads.example.com",
 		"xads.example.com", "track.io", "a.b.c.d", "evil.com",
 	}
-	paths := []string{"", "/", "/ads/", "/ads/banner.gif", "/r/collect", "/x", "/gampad/ads.js?q=1"}
+	// Mixed-case variants of the same paths: $match-case filters decide
+	// them differently from their lowercase twins, so the cache must keep
+	// the variants apart.
+	paths := []string{
+		"", "/", "/ads/", "/ads/banner.gif", "/r/collect", "/x", "/gampad/ads.js?q=1",
+		"/Ads/", "/ADS/banner.gif", "/R/collect", "/X", "/gampad/Ads.js?q=1",
+	}
 	return "http://" + hosts[rng.Intn(len(hosts))] + paths[rng.Intn(len(paths))]
 }
 

@@ -163,7 +163,7 @@ func toResult(d engine.Decision, cached bool) MatchResult {
 
 // ---- endpoints -------------------------------------------------------------
 
-func (s *Service) handleMatch(_ context.Context, w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleMatch(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	var q MatchQuery
 	if !decodeJSON(w, r, &q) {
 		return
@@ -171,6 +171,12 @@ func (s *Service) handleMatch(_ context.Context, w http.ResponseWriter, r *http.
 	req, err := q.toRequest()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// A request that sat in the queue past its deadline is not worth a
+	// match; single matches are otherwise cheap enough to run to the end.
+	if err := ctx.Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	d, cached := s.Match(req)
@@ -191,7 +197,7 @@ type BatchResult struct {
 	Cached   int           `json:"cached"`
 }
 
-func (s *Service) handleMatchBatch(_ context.Context, w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleMatchBatch(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	var q BatchQuery
 	if !decodeJSON(w, r, &q) {
 		return
@@ -213,8 +219,12 @@ func (s *Service) handleMatchBatch(_ context.Context, w http.ResponseWriter, r *
 		reqs = append(reqs, req)
 		idx = append(idx, i)
 	}
-	out.Snapshot = s.Snapshot().Version
-	decisions, cached := s.MatchBatch(reqs)
+	decisions, cached, snap, err := s.MatchBatch(ctx, reqs)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "batch cut off by deadline: "+err.Error())
+		return
+	}
+	out.Snapshot = snap.Version
 	for j, d := range decisions {
 		out.Results[idx[j]] = toResult(d, cached[j])
 		if cached[j] {
@@ -235,13 +245,17 @@ type ElemHideResult struct {
 	CSS string `json:"css"`
 }
 
-func (s *Service) handleElemHide(_ context.Context, w http.ResponseWriter, r *http.Request) {
+func (s *Service) handleElemHide(ctx context.Context, w http.ResponseWriter, r *http.Request) {
 	var q ElemHideQuery
 	if !decodeJSON(w, r, &q) {
 		return
 	}
 	if q.Document == "" {
 		httpError(w, http.StatusBadRequest, "document is required")
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	writeJSON(w, ElemHideResult{CSS: s.ElemHideCSS(domainutil.HostOf(q.Document))})
