@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench chaos serve-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json chaos serve-smoke ci
 
 all: build
 
@@ -20,6 +20,21 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
+# Cheap hot-path sanity: the headline engine benchmark must run (and its
+# allocs/op column stay visible) without paying for a full perf run.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkEngineMatchRequest' -benchtime 100x \
+		-benchmem -run '^$$' .
+
+# Persist the perf trajectory: run the engine + decision benchmarks with
+# real benchtime and record name → ns/op, allocs/op, matches/sec as JSON
+# so regressions are diffable across PRs.
+bench-json:
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkAblationUnifiedIndex|BenchmarkAblationKeywordIndex|BenchmarkAblationInstrumentation|BenchmarkDecisionCache' \
+		-benchtime 1s -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/aa-benchjson > BENCH_engine.json
+	@echo wrote BENCH_engine.json
+
 # A small survey under the race detector with 20% fault injection: the
 # crawl must complete with partial results and report per-class fault,
 # retry and breaker telemetry instead of aborting.
@@ -37,6 +52,6 @@ serve-smoke:
 		-whitelist cmd/aa-serve/testdata/exceptionrules.txt
 
 # The pre-merge gate: static checks, a clean build, the full suite under
-# the race detector, a smoke pass over every benchmark, and the chaos and
-# decision-service smoke runs.
-ci: vet build race bench chaos serve-smoke
+# the race detector, a smoke pass over every benchmark plus the hot-path
+# allocation smoke, and the chaos and decision-service smoke runs.
+ci: vet build race bench bench-smoke chaos serve-smoke

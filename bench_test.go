@@ -287,14 +287,39 @@ func benchRequests() []*engine.Request {
 	}
 }
 
+// prepareAll runs every request through prepare (via one warm-up match)
+// so benchmark iterations measure matching, not the one-time derivations.
+func prepareAll(eng *engine.Engine, reqs []*engine.Request) {
+	for _, r := range reqs {
+		eng.MatchRequest(r, engine.WithShortCircuit())
+	}
+}
+
 // BenchmarkEngineMatchRequest is the hot path: one decision against the
-// full EasyList+whitelist rule set, keyword-indexed.
+// full EasyList+whitelist rule set, keyword-indexed, instrumented mode.
 func BenchmarkEngineMatchRequest(b *testing.B) {
 	f := fixtures(b)
 	reqs := benchRequests()
+	prepareAll(f.eng, reqs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.eng.MatchRequest(reqs[i%len(reqs)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
+}
+
+// BenchmarkEngineMatchRequestShortCircuit is the production serving path:
+// short-circuit evaluation on prepared requests — the configuration the
+// zero-allocation guarantee covers (see TestMatchRequestZeroAlloc).
+func BenchmarkEngineMatchRequestShortCircuit(b *testing.B) {
+	f := fixtures(b)
+	reqs := benchRequests()
+	prepareAll(f.eng, reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.eng.MatchRequest(reqs[i%len(reqs)], engine.WithShortCircuit())
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
 }
@@ -304,6 +329,8 @@ func BenchmarkEngineMatchRequest(b *testing.B) {
 func BenchmarkAblationKeywordIndexOn(b *testing.B) {
 	f := fixtures(b)
 	reqs := benchRequests()
+	prepareAll(f.eng, reqs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.eng.MatchRequest(reqs[i%len(reqs)])
@@ -313,10 +340,32 @@ func BenchmarkAblationKeywordIndexOn(b *testing.B) {
 func BenchmarkAblationKeywordIndexOff(b *testing.B) {
 	f := fixtures(b)
 	reqs := benchRequests()
+	prepareAll(f.eng, reqs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.eng.MatchRequest(reqs[i%len(reqs)], engine.WithLinearScan())
 	}
+}
+
+// BenchmarkAblationUnifiedIndexOn/Off isolate the unified hash-keyed index
+// in production (short-circuit) mode: On probes the keyword buckets, Off
+// scans every filter in the same evaluation order. The delta is what the
+// single-probe-pass index buys the serving path.
+func BenchmarkAblationUnifiedIndexOn(b *testing.B) {
+	BenchmarkEngineMatchRequestShortCircuit(b)
+}
+
+func BenchmarkAblationUnifiedIndexOff(b *testing.B) {
+	f := fixtures(b)
+	reqs := benchRequests()
+	prepareAll(f.eng, reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.eng.MatchRequest(reqs[i%len(reqs)], engine.WithShortCircuit(), engine.WithLinearScan())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
 }
 
 // BenchmarkAblationInstrumentationOn/Off compare the survey's
@@ -328,9 +377,41 @@ func BenchmarkAblationInstrumentationOn(b *testing.B) {
 func BenchmarkAblationInstrumentationOff(b *testing.B) {
 	f := fixtures(b)
 	reqs := benchRequests()
+	prepareAll(f.eng, reqs)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.eng.MatchRequest(reqs[i%len(reqs)], engine.WithShortCircuit())
+	}
+}
+
+// BenchmarkEngineBuildSerial/Parallel measure compiling and indexing the
+// full EasyList+whitelist fixture into an engine — the reload cost behind
+// every aa-serve snapshot swap. Serial pins one compile worker; Parallel
+// uses GOMAXPROCS.
+func BenchmarkEngineBuildSerial(b *testing.B) {
+	benchEngineBuild(b, 1)
+}
+
+func BenchmarkEngineBuildParallel(b *testing.B) {
+	benchEngineBuild(b, 0)
+}
+
+func benchEngineBuild(b *testing.B, workers int) {
+	f := fixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := engine.NewBuilder().SetWorkers(workers)
+		if err := bld.Add("easylist", f.easy); err != nil {
+			b.Fatal(err)
+		}
+		if err := bld.Add("exceptionrules", f.wl); err != nil {
+			b.Fatal(err)
+		}
+		if eng := bld.Build(); eng.NumFilters() == 0 {
+			b.Fatal("empty engine")
+		}
 	}
 }
 
@@ -381,6 +462,7 @@ func BenchmarkAblationPatternCompiled(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		url := patternURLs[i%len(patternURLs)]
@@ -393,6 +475,7 @@ func BenchmarkAblationPatternRegexp(b *testing.B) {
 	for i, line := range patternCorpus {
 		res[i] = regexpTranslate(line)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		url := patternURLs[i%len(patternURLs)]
@@ -416,6 +499,7 @@ func benchDoc(b *testing.B) *htmldom.Node {
 func BenchmarkAblationElemhideIndexOn(b *testing.B) {
 	f := fixtures(b)
 	doc := benchDoc(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.eng.HideElements(doc, "http://shop1234.com/", "shop1234.com")
@@ -425,6 +509,7 @@ func BenchmarkAblationElemhideIndexOn(b *testing.B) {
 func BenchmarkAblationElemhideIndexOff(b *testing.B) {
 	f := fixtures(b)
 	doc := benchDoc(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.eng.HideElements(doc, "http://shop1234.com/", "shop1234.com", engine.WithLinearScan())
@@ -557,6 +642,7 @@ func BenchmarkAblationLiteralRegexOn(b *testing.B) {
 	}
 	req := &engine.Request{URL: "http://x.example/content/article-17/page.html",
 		Type: filter.TypeImage, DocumentHost: "x.com"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.MatchRequest(req, engine.WithLinearScan())
@@ -572,6 +658,7 @@ func BenchmarkAblationLiteralRegexOff(b *testing.B) {
 	}
 	req := &engine.Request{URL: "http://x.example/content/article-17/page.html",
 		Type: filter.TypeImage, DocumentHost: "x.com"}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.MatchRequest(req, engine.WithLinearScan())
@@ -620,6 +707,7 @@ func benchPreparedRequests(b *testing.B) []*engine.Request {
 func BenchmarkDecisionCacheOff(b *testing.B) {
 	svc := benchDecisionService(b, 0)
 	reqs := benchPreparedRequests(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		svc.Match(reqs[i%len(reqs)])
@@ -630,6 +718,7 @@ func BenchmarkDecisionCacheOff(b *testing.B) {
 func BenchmarkDecisionCacheOn(b *testing.B) {
 	svc := benchDecisionService(b, 1<<16)
 	reqs := benchPreparedRequests(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		svc.Match(reqs[i%len(reqs)])
@@ -643,6 +732,7 @@ func BenchmarkDecisionCacheOn(b *testing.B) {
 func BenchmarkDecisionCacheOffParallel(b *testing.B) {
 	svc := benchDecisionService(b, 0)
 	reqs := benchPreparedRequests(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -657,6 +747,7 @@ func BenchmarkDecisionCacheOffParallel(b *testing.B) {
 func BenchmarkDecisionCacheOnParallel(b *testing.B) {
 	svc := benchDecisionService(b, 1<<16)
 	reqs := benchPreparedRequests(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0

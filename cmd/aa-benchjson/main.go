@@ -1,0 +1,99 @@
+// Command aa-benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark report on stdout, so `make bench-json` can persist the
+// perf trajectory (BENCH_engine.json) across PRs in a diffable form.
+//
+//	go test -run xxx -bench EngineMatch -benchmem . | aa-benchjson > BENCH_engine.json
+//
+// Non-benchmark lines (goos/pkg/PASS/ok) are ignored. Benchmark names are
+// reported without the -GOMAXPROCS suffix; if the same name appears twice
+// the last result wins.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, normalized.
+type Result struct {
+	Name          string   `json:"name"`
+	Iterations    int64    `json:"iterations"`
+	NsPerOp       float64  `json:"ns_per_op"`
+	BytesPerOp    *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   *float64 `json:"allocs_per_op,omitempty"`
+	MatchesPerSec *float64 `json:"matches_per_sec,omitempty"`
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{
+		Name:       gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+		Iterations: iters,
+	}
+	// The remainder alternates "value unit".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		case "matches/sec":
+			m := v
+			r.MatchesPerSec = &m
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func main() {
+	byName := make(map[string]Result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			byName[r.Name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "aa-benchjson:", err)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Result, 0, len(names))
+	for _, n := range names {
+		out = append(out, byName[n])
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "aa-benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkEngineMatchRequest-4 \t 7521\t 153295 ns/op\t 6523 matches/sec\t 0 B/op\t 0 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkEngineMatchRequest" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", r.Name)
+	}
+	if r.Iterations != 7521 || r.NsPerOp != 153295 {
+		t.Errorf("iters/ns = %d/%v", r.Iterations, r.NsPerOp)
+	}
+	if r.MatchesPerSec == nil || *r.MatchesPerSec != 6523 {
+		t.Errorf("matches/sec = %v", r.MatchesPerSec)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Errorf("allocs/op = %v", r.AllocsPerOp)
+	}
+	for _, bad := range []string{
+		"goos: linux",
+		"pkg: acceptableads",
+		"PASS",
+		"ok  \tacceptableads\t6.8s",
+		"BenchmarkBroken \t notanumber\t 5 ns/op",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("line %q wrongly accepted", bad)
+		}
+	}
+}

@@ -47,7 +47,7 @@ func (p *proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	d := p.engine.MatchRequest(req)
 	if d.Verdict == engine.Blocked {
-		http.Error(w, "blocked by "+d.BlockedBy.Filter.Raw, http.StatusForbidden)
+		http.Error(w, "blocked by "+d.BlockedBy().Filter.Raw, http.StatusForbidden)
 		return
 	}
 	resp, err := p.upstream.Get(r.URL.String())

@@ -56,11 +56,11 @@ reddit.com#@##ad_main
 		}
 		d := eng.MatchRequest(req)
 		fmt.Printf("\non %-16s the Adzerk frame is %s", page, d.Verdict)
-		if d.AllowedBy != nil {
-			fmt.Printf(" (exception from %s)", d.AllowedBy.List)
+		if m := d.AllowedBy(); m != nil {
+			fmt.Printf(" (exception from %s)", m.List)
 		}
-		if d.Verdict == engine.Blocked && d.BlockedBy != nil {
-			fmt.Printf(" (blocked by %q)", d.BlockedBy.Filter.Raw)
+		if m := d.BlockedBy(); d.Verdict == engine.Blocked && m != nil {
+			fmt.Printf(" (blocked by %q)", m.Filter.Raw)
 		}
 	}
 	fmt.Println()

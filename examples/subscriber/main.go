@@ -61,10 +61,10 @@ func main() {
 			URL: url, Type: filter.TypeImage, DocumentHost: "toyota.com",
 		})
 		extra := ""
-		if d.AllowedBy != nil {
-			extra = " by " + d.AllowedBy.Filter.Raw
-		} else if d.BlockedBy != nil {
-			extra = " by " + d.BlockedBy.Filter.Raw
+		if m := d.AllowedBy(); m != nil {
+			extra = " by " + m.Filter.Raw
+		} else if m := d.BlockedBy(); m != nil {
+			extra = " by " + m.Filter.Raw
 		}
 		fmt.Printf("  %-55s %s%s\n", url, d.Verdict, extra)
 	}

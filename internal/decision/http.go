@@ -152,11 +152,11 @@ func toResult(d engine.Decision, cached bool) MatchResult {
 		DoNotTrack: d.DoNotTrack,
 		Cached:     cached,
 	}
-	if d.BlockedBy != nil {
-		res.BlockedBy = &MatchedBy{Filter: d.BlockedBy.Filter.Raw, List: d.BlockedBy.List}
+	if m := d.BlockedBy(); m != nil {
+		res.BlockedBy = &MatchedBy{Filter: m.Filter.Raw, List: m.List}
 	}
-	if d.AllowedBy != nil {
-		res.AllowedBy = &MatchedBy{Filter: d.AllowedBy.Filter.Raw, List: d.AllowedBy.List}
+	if m := d.AllowedBy(); m != nil {
+		res.AllowedBy = &MatchedBy{Filter: m.Filter.Raw, List: m.List}
 	}
 	return res
 }

@@ -13,22 +13,31 @@ import (
 // service's snapshot swaps: build, freeze, publish via an atomic pointer,
 // let in-flight queries finish on the old snapshot.
 //
-// A Builder is single-threaded; Build hands the engine off and the
-// Builder must not be reused.
+// Pattern and selector compilation inside each Add fans out across
+// GOMAXPROCS workers (see SetWorkers); insertion is sequential, so the
+// built engine is identical regardless of worker count. A Builder is
+// single-threaded; Build hands the engine off and the Builder must not be
+// reused.
 type Builder struct {
-	e *Engine
+	e       *Engine
+	workers int
 }
 
 // NewBuilder creates an empty engine builder.
 func NewBuilder() *Builder {
 	return &Builder{e: &Engine{
-		blocking:      newRequestIndex(),
-		exceptions:    newRequestIndex(),
-		dnt:           newRequestIndex(),
-		dntExceptions: newRequestIndex(),
-		elemHide:      newElemHideIndex(),
-		listCounts:    make(map[string]int),
+		index:      newUnifiedIndex(),
+		elemHide:   newElemHideIndex(),
+		listCounts: make(map[string]int),
 	}}
+}
+
+// SetWorkers caps the compile worker count for subsequent Add calls.
+// n <= 0 restores the default (GOMAXPROCS); n == 1 forces serial
+// compilation — the baseline BenchmarkEngineBuildSerial measures.
+func (b *Builder) SetWorkers(n int) *Builder {
+	b.workers = n
+	return b
 }
 
 // Add compiles and indexes every active filter of l under the given list
@@ -37,7 +46,7 @@ func (b *Builder) Add(name string, l *filter.List) error {
 	if b.e == nil {
 		return fmt.Errorf("engine: builder already built")
 	}
-	return b.e.AddList(name, l)
+	return b.e.addList(name, l, b.workers)
 }
 
 // Build freezes and returns the engine. The Builder is spent afterwards:

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"acceptableads/internal/css"
+	"acceptableads/internal/filter"
+)
+
+// compiledUnit is the output of compiling one filter: a request pattern or
+// an element hiding selector (whichever the filter kind calls for), or the
+// compilation error. Compilation is pure — it touches only the filter —
+// which is what lets it fan out across workers while index insertion stays
+// sequential and deterministic.
+type compiledUnit struct {
+	pat *pattern
+	sel *css.Selector
+	err error
+}
+
+// compileChunk is how many filters one worker claims at a time: large
+// enough that the atomic claim is noise, small enough to balance the tail.
+const compileChunk = 256
+
+// parallelThreshold is the filter count below which compileFilters stays
+// serial; goroutine fan-out only pays for itself on list-scale inputs.
+const parallelThreshold = 512
+
+// compileFilters compiles every filter into a positional result slice.
+// workers <= 0 means GOMAXPROCS. Results are positional, so the caller's
+// sequential insertion (and therefore the built engine, its filter order,
+// and which filter a match reports) is byte-for-byte identical regardless
+// of worker count.
+func compileFilters(filters []*filter.Filter, workers int) []compiledUnit {
+	units := make([]compiledUnit, len(filters))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(filters) < parallelThreshold {
+		compileRange(filters, units, 0, len(filters))
+		return units
+	}
+	if max := (len(filters) + compileChunk - 1) / compileChunk; workers > max {
+		workers = max
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(compileChunk)) - compileChunk
+				if lo >= len(filters) {
+					return
+				}
+				hi := lo + compileChunk
+				if hi > len(filters) {
+					hi = len(filters)
+				}
+				compileRange(filters, units, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return units
+}
+
+func compileRange(filters []*filter.Filter, units []compiledUnit, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		f := filters[i]
+		switch f.Kind {
+		case filter.KindRequestBlock, filter.KindRequestException:
+			units[i].pat, units[i].err = compilePattern(f)
+		case filter.KindElemHide, filter.KindElemHideException:
+			units[i].sel, units[i].err = css.Compile(f.Selector)
+		}
+	}
+}

@@ -99,7 +99,7 @@ func TestDifferentialPatternVsRegexp(t *testing.T) {
 		oracle := regexpOracle(f)
 		for j := 0; j < 20; j++ {
 			url := genURL(rng)
-			got := pat.match(url, strings.ToLower(url))
+			got := pat.match(url, strings.ToLower(url), nil)
 			want := oracle.MatchString(strings.ToLower(url))
 			if got != want {
 				t.Fatalf("divergence: filter %q url %q: compiled=%v oracle=%v",
@@ -129,6 +129,83 @@ func TestDifferentialKeywordIndex(t *testing.T) {
 		linear := e.MatchRequest(req, WithLinearScan()).Verdict
 		if indexed != linear {
 			t.Fatalf("index divergence on %q: indexed=%v linear=%v", url, indexed, linear)
+		}
+	}
+}
+
+// genExoticLine widens genPattern into full filter lines exercising every
+// corner the unified index must handle: '||' anchors, $match-case, regex
+// filters (literal and real), keyword-less patterns that land in the slow
+// bucket, type/domain/party options, exceptions, and $donottrack.
+func genExoticLine(rng *xrand.RNG) string {
+	switch rng.Intn(10) {
+	case 0: // regex filters: literal (substring-compiled) and real
+		res := []string{"/ad-frame/", "/banner/", "/ads[0-9]+/", "/^https?:..track/"}
+		return res[rng.Intn(len(res))]
+	case 1: // keyword-less: every run too short or wildcard-bounded
+		short := []string{"ad*", "*ad^", "^x^", "a.b*", "||io^"}
+		return short[rng.Intn(len(short))]
+	case 2:
+		return genPattern(rng) + "$match-case"
+	case 3:
+		opts := []string{"$script", "$image,script", "$third-party", "$~third-party",
+			"$domain=first-party.example", "$domain=~other.example"}
+		return genPattern(rng) + opts[rng.Intn(len(opts))]
+	case 4:
+		return genPattern(rng) + "$donottrack"
+	default:
+		return genPattern(rng)
+	}
+}
+
+// genExoticURL is genURL with occasional uppercase runs, so $match-case and
+// case-folding paths are exercised.
+func genExoticURL(rng *xrand.RNG) string {
+	url := genURL(rng)
+	if rng.Intn(3) == 0 {
+		url = strings.ToUpper(url[:len(url)/2]) + url[len(url)/2:]
+	}
+	return url
+}
+
+// TestDifferentialUnifiedIndex: the hash-keyed unified index must agree
+// with the index-free linear scan on every evaluation mode, over a corpus
+// that includes '||'-anchored, $match-case, regex, keyword-less and
+// exception filters. DNT signalling is checked against a direct scan of
+// the DNT roles, since the linear mode does not evaluate it.
+func TestDifferentialUnifiedIndex(t *testing.T) {
+	rng := xrand.New(20260806)
+	var lines []string
+	for i := 0; i < 400; i++ {
+		line := genExoticLine(rng)
+		if rng.Intn(4) == 0 {
+			line = "@@" + line
+		}
+		lines = append(lines, line)
+	}
+	e, err := New(NamedList{Name: "l", List: filter.ParseListString("l", strings.Join(lines, "\n"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3000; j++ {
+		url := genExoticURL(rng)
+		req := &Request{URL: url, Type: filter.TypeImage, DocumentHost: "first-party.example"}
+		inst := e.MatchRequest(req)
+		if lin := e.MatchRequest(req, WithLinearScan()).Verdict; inst.Verdict != lin {
+			t.Fatalf("instrumented divergence on %q: indexed=%v linear=%v", url, inst.Verdict, lin)
+		}
+		fast := e.MatchRequest(req, WithShortCircuit())
+		if lin := e.MatchRequest(req, WithShortCircuit(), WithLinearScan()).Verdict; fast.Verdict != lin {
+			t.Fatalf("short-circuit divergence on %q: indexed=%v linear=%v", url, fast.Verdict, lin)
+		}
+		// Production short-circuit semantics: a verdict iff a blocker matched.
+		if blocked := e.index.findLinear(req, roleBlocking) != nil; blocked != (fast.Verdict != NoMatch) {
+			t.Fatalf("short-circuit blocker mismatch on %q: blocked=%v verdict=%v", url, blocked, fast.Verdict)
+		}
+		wantDNT := e.index.findLinear(req, roleDNT) != nil &&
+			e.index.findLinear(req, roleDNTException) == nil
+		if inst.DoNotTrack != wantDNT {
+			t.Fatalf("DNT divergence on %q: got %v want %v", url, inst.DoNotTrack, wantDNT)
 		}
 	}
 }

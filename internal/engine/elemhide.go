@@ -33,15 +33,13 @@ func newElemHideIndex() *elemHideIndex {
 	}
 }
 
-func (idx *elemHideIndex) add(list string, f *filter.Filter) error {
-	sel, err := css.Compile(f.Selector)
-	if err != nil {
-		return err
-	}
+// addCompiled files a hiding filter whose selector was already compiled
+// (compilation is hoisted into compileFilters so it can parallelize).
+func (idx *elemHideIndex) addCompiled(list string, f *filter.Filter, sel *css.Selector) {
 	c := &compiledElem{f: f, list: list, sel: sel}
 	if f.Kind == filter.KindElemHideException {
 		idx.exceptions[f.Selector] = append(idx.exceptions[f.Selector], c)
-		return nil
+		return
 	}
 	idx.all = append(idx.all, c)
 	if key, ok := sel.Key(); ok {
@@ -49,7 +47,6 @@ func (idx *elemHideIndex) add(list string, f *filter.Filter) error {
 	} else {
 		idx.slow = append(idx.slow, c)
 	}
-	return nil
 }
 
 // ElementMatch is one element hiding decision: a node a hiding filter

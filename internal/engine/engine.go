@@ -25,41 +25,39 @@ type Request struct {
 	// NewRequest, lazily on first match otherwise) and keyed on the
 	// URL/DocumentHost they were computed for.
 	lower    string
-	kws      []string
+	kwh      []uint64 // deduplicated keyword-run hashes, the index probes
+	bounds   []int    // '||' candidate start positions in the URL
 	third    bool
 	memoURL  string
 	memoDoc  string
 	prepared bool
 }
 
-// matchOpts is the resolved option set of one MatchRequest/HideElements
-// call. The zero value is the instrumented default.
-type matchOpts struct {
-	linear       bool
-	shortCircuit bool
-}
-
 // MatchOption tunes one MatchRequest or HideElements call. The default
 // (no options) is the instrumented evaluation the paper's survey uses:
 // both filter sides are always consulted and the effective filter is
-// recorded.
-type MatchOption func(*matchOpts)
+// recorded. Options are plain bits so resolving them on the hot path is
+// a couple of ORs — no closure calls, nothing escapes to the heap.
+type MatchOption uint8
+
+const (
+	optShortCircuit MatchOption = 1 << iota
+	optLinear
+)
 
 // WithLinearScan bypasses the keyword index (request matching) and the
 // id/class candidate index (element hiding), scanning every filter. It
 // exists for the differential tests and the ablation benchmarks that
 // quantify what the indexes buy; linear matching records no activations.
-func WithLinearScan() MatchOption {
-	return func(o *matchOpts) { o.linear = true }
-}
+// It composes with WithShortCircuit: both together give production-order
+// evaluation without the index.
+func WithLinearScan() MatchOption { return optLinear }
 
 // WithShortCircuit selects the production evaluation order: the exception
 // side is only consulted after a blocking filter matches, and nothing is
 // recorded — the behaviour of a stock (non-instrumented) Adblock Plus,
 // and the baseline for the instrumentation-overhead ablation.
-func WithShortCircuit() MatchOption {
-	return func(o *matchOpts) { o.shortCircuit = true }
-}
+func WithShortCircuit() MatchOption { return optShortCircuit }
 
 // Verdict is the outcome of matching one request.
 type Verdict uint8
@@ -90,14 +88,39 @@ func (v Verdict) String() string {
 // Decision reports the matching filters behind a verdict. In instrumented
 // mode both sides are populated when both matched — the paper's "needless"
 // whitelist activations are exceptions that fire with no blocking filter.
+//
+// The matches are embedded by value so a decision costs zero heap
+// allocations; BlockedBy/AllowedBy expose them as nil-able pointers for
+// callers that want the old pointer-field ergonomics.
 type Decision struct {
-	Verdict   Verdict
-	BlockedBy *Match
-	AllowedBy *Match
+	Verdict Verdict
 	// DoNotTrack asks the browser to send a DNT header on this request:
 	// a $donottrack filter matched and no $donottrack exception did
 	// (Appendix A.4). DNT filters never block; they only signal.
 	DoNotTrack bool
+
+	blocked Match
+	allowed Match
+}
+
+// BlockedBy returns the blocking filter that matched, or nil when none
+// did. The Match is embedded in the Decision by value; the returned
+// pointer aliases the receiver.
+func (d *Decision) BlockedBy() *Match {
+	if d.blocked.Filter == nil {
+		return nil
+	}
+	return &d.blocked
+}
+
+// AllowedBy returns the exception filter that matched, or nil when none
+// did. The Match is embedded in the Decision by value; the returned
+// pointer aliases the receiver.
+func (d *Decision) AllowedBy() *Match {
+	if d.allowed.Filter == nil {
+		return nil
+	}
+	return &d.allowed
 }
 
 // Match pairs an activated filter with the list it came from.
@@ -151,19 +174,19 @@ type compiledRequest struct {
 }
 
 // matches applies every per-filter gate: pattern, content type, party
-// relation, domain restriction, and sitekey restriction. third is the
-// request's party relation, computed once per request — it is identical
-// for every candidate filter, and the registrable-domain fold behind it is
-// the most expensive per-filter check otherwise.
-func (c *compiledRequest) matches(req *Request, lowerURL string, third bool) bool {
+// relation, domain restriction, and sitekey restriction, reading the
+// request's memoized derivations (lowered URL, third-party bit, domain
+// boundaries) — identical for every candidate filter, so they are
+// computed once per request, not once per candidate.
+func (c *compiledRequest) matches(req *Request) bool {
 	if c.f.TypeMask&req.Type == 0 {
 		return false
 	}
 	if c.f.ThirdParty != filter.Unset {
-		if c.f.ThirdParty == filter.Yes && !third {
+		if c.f.ThirdParty == filter.Yes && !req.third {
 			return false
 		}
-		if c.f.ThirdParty == filter.No && third {
+		if c.f.ThirdParty == filter.No && req.third {
 			return false
 		}
 	}
@@ -182,78 +205,130 @@ func (c *compiledRequest) matches(req *Request, lowerURL string, third bool) boo
 			return false
 		}
 	}
-	return c.pat.match(req.URL, lowerURL)
+	return c.pat.match(req.URL, req.lower, req.bounds)
 }
 
-// requestIndex buckets compiled request filters by keyword.
-type requestIndex struct {
-	byKeyword map[string][]*compiledRequest
-	slow      []*compiledRequest // no keyword: probed on every request
-	all       []*compiledRequest // linear-scan view for the ablation
+// role tags a compiled request filter with the side it matches for. The
+// four roles of the old per-role indexes (blocking, exceptions, DNT,
+// DNT exceptions) share one unified index; entries carry their role so
+// a single probe pass resolves all of them.
+type role uint8
+
+const (
+	roleBlocking role = iota
+	roleException
+	roleDNT
+	roleDNTException
+	numRoles
+)
+
+// Role bit masks for unifiedIndex.probe's want set.
+const (
+	maskBlocking     = uint8(1) << roleBlocking
+	maskException    = uint8(1) << roleException
+	maskDNT          = uint8(1) << roleDNT
+	maskDNTException = uint8(1) << roleDNTException
+)
+
+// indexEntry is one filter filed in a keyword bucket, tagged by role.
+type indexEntry struct {
+	role role
+	c    *compiledRequest
 }
 
-func newRequestIndex() *requestIndex {
-	return &requestIndex{byKeyword: make(map[string][]*compiledRequest)}
+// unifiedIndex buckets every compiled request filter of all four roles
+// under the FNV-1a hash of its keyword. One probe pass over a request's
+// memoized keyword hashes resolves every role at once; hashing instead of
+// string keys means the URL's keyword runs never materialize as
+// substrings. A hash collision only files unrelated filters in the same
+// bucket — they still run the full per-filter gates, so collisions cost
+// a wasted candidate check, never a wrong decision.
+type unifiedIndex struct {
+	byHash map[uint64][]indexEntry
+	// slow holds keyword-less filters (including regex filters) per
+	// role; they are probed on every request.
+	slow [numRoles][]*compiledRequest
+	// all is the per-role linear-scan view for the ablation.
+	all [numRoles][]*compiledRequest
 }
 
-func (idx *requestIndex) add(c *compiledRequest) {
-	idx.all = append(idx.all, c)
-	if c.pat.re != nil {
-		idx.slow = append(idx.slow, c)
+func newUnifiedIndex() *unifiedIndex {
+	return &unifiedIndex{byHash: make(map[uint64][]indexEntry)}
+}
+
+func (idx *unifiedIndex) add(r role, c *compiledRequest) {
+	idx.all[r] = append(idx.all[r], c)
+	if !c.pat.hasKW {
+		idx.slow[r] = append(idx.slow[r], c)
 		return
 	}
-	kw := filterKeyword(anchoredText(c.pat, c.f.Pattern))
-	if kw == "" {
-		idx.slow = append(idx.slow, c)
-		return
-	}
-	idx.byKeyword[kw] = append(idx.byKeyword[kw], c)
+	idx.byHash[c.pat.kwHash] = append(idx.byHash[c.pat.kwHash], indexEntry{role: r, c: c})
 }
 
-// find returns the first filter matching the request, probing the keyword
-// buckets of the URL plus the slow bucket.
-func (idx *requestIndex) find(req *Request, lowerURL string, third bool, kws []string) *compiledRequest {
-	for _, kw := range kws {
-		for _, c := range idx.byKeyword[kw] {
-			if c.matches(req, lowerURL, third) {
-				return c
+// probe scans the keyword buckets of the request's memoized keyword
+// hashes, recording the first matching candidate of every role in want
+// into res. It returns the still-unresolved role mask and stops early
+// once every wanted role has a match. Within one role, candidates are
+// visited in exactly the order the old per-role indexes used (URL keyword
+// order, then insertion order), so the reported filter is unchanged.
+func (idx *unifiedIndex) probe(req *Request, want uint8, res *[numRoles]*compiledRequest) uint8 {
+	for _, h := range req.kwh {
+		bucket := idx.byHash[h]
+		for i := range bucket {
+			e := &bucket[i]
+			bit := uint8(1) << e.role
+			if want&bit == 0 {
+				continue
+			}
+			if e.c.matches(req) {
+				res[e.role] = e.c
+				want &^= bit
+				if want == 0 {
+					return 0
+				}
 			}
 		}
 	}
-	for _, c := range idx.slow {
-		if c.matches(req, lowerURL, third) {
+	return want
+}
+
+// scanSlow returns the first keyword-less filter of the role matching the
+// request.
+func (idx *unifiedIndex) scanSlow(req *Request, r role) *compiledRequest {
+	for _, c := range idx.slow[r] {
+		if c.matches(req) {
 			return c
 		}
 	}
 	return nil
 }
 
-// findLinear scans every filter without the keyword index — the baseline
-// for BenchmarkAblationKeywordIndex.
-func (idx *requestIndex) findLinear(req *Request, lowerURL string, third bool) *compiledRequest {
-	for _, c := range idx.all {
-		if c.matches(req, lowerURL, third) {
+// findLinear scans every filter of the role without the keyword index —
+// the baseline for the index ablations.
+func (idx *unifiedIndex) findLinear(req *Request, r role) *compiledRequest {
+	for _, c := range idx.all[r] {
+		if c.matches(req) {
 			return c
 		}
 	}
 	return nil
 }
+
+// hasDNT reports whether any $donottrack filters are loaded, so the
+// common no-DNT configuration pays one length check.
+func (idx *unifiedIndex) hasDNT() bool { return len(idx.all[roleDNT]) > 0 }
 
 // Engine is an instrumented Adblock Plus filter engine built from one or
 // more filter lists (typically EasyList plus the Acceptable Ads whitelist).
 // The zero value is unusable; construct with New.
 type Engine struct {
-	blocking   *requestIndex
-	exceptions *requestIndex
-	// dnt and dntExceptions hold $donottrack filters, which signal the
-	// Do-Not-Track header instead of blocking.
-	dnt           *requestIndex
-	dntExceptions *requestIndex
-	elemHide      *elemHideIndex
-	recorder      Recorder
-	numFilters    int
-	lists         []string
-	listCounts    map[string]int
+	index    *unifiedIndex
+	elemHide *elemHideIndex
+	recorder Recorder
+
+	numFilters int
+	lists      []string
+	listCounts map[string]int
 	// metrics is the optional telemetry hook; nil (the default) keeps the
 	// match path free of instrumentation. See SetMetrics.
 	metrics *engineMetrics
@@ -281,18 +356,27 @@ type NamedList struct {
 }
 
 // AddList compiles and indexes every active filter of l under the given
-// list name.
+// list name. Pattern and selector compilation fans out across GOMAXPROCS
+// workers; insertion stays sequential, so the built engine is byte-for-byte
+// deterministic regardless of worker count.
 //
 // Deprecated: mutating a live engine is unsafe under concurrent readers.
 // Accumulate lists with a Builder and publish the frozen engine instead;
 // AddList remains for single-threaded construction paths.
 func (e *Engine) AddList(name string, l *filter.List) error {
+	return e.addList(name, l, 0)
+}
+
+func (e *Engine) addList(name string, l *filter.List, workers int) error {
 	e.lists = append(e.lists, name)
 	before := e.numFilters
-	for _, f := range l.Active() {
-		if err := e.addFilter(name, f); err != nil {
+	filters := l.Active()
+	units := compileFilters(filters, workers)
+	for i, f := range filters {
+		if err := units[i].err; err != nil {
 			return fmt.Errorf("engine: list %s: filter %q: %w", name, f.Raw, err)
 		}
+		e.insertCompiled(name, f, units[i])
 	}
 	if e.listCounts == nil {
 		e.listCounts = make(map[string]int)
@@ -301,31 +385,25 @@ func (e *Engine) AddList(name string, l *filter.List) error {
 	return nil
 }
 
-func (e *Engine) addFilter(list string, f *filter.Filter) error {
+// insertCompiled files one pre-compiled filter into the indexes.
+func (e *Engine) insertCompiled(list string, f *filter.Filter, u compiledUnit) {
 	switch f.Kind {
 	case filter.KindRequestBlock, filter.KindRequestException:
-		pat, err := compilePattern(f)
-		if err != nil {
-			return err
-		}
-		c := &compiledRequest{f: f, list: list, pat: pat}
+		c := &compiledRequest{f: f, list: list, pat: u.pat}
 		switch {
 		case f.DoNotTrack && f.Kind == filter.KindRequestBlock:
-			e.dnt.add(c)
+			e.index.add(roleDNT, c)
 		case f.DoNotTrack:
-			e.dntExceptions.add(c)
+			e.index.add(roleDNTException, c)
 		case f.Kind == filter.KindRequestBlock:
-			e.blocking.add(c)
+			e.index.add(roleBlocking, c)
 		default:
-			e.exceptions.add(c)
+			e.index.add(roleException, c)
 		}
 	case filter.KindElemHide, filter.KindElemHideException:
-		if err := e.elemHide.add(list, f); err != nil {
-			return err
-		}
+		e.elemHide.addCompiled(list, f, u.sel)
 	}
 	e.numFilters++
-	return nil
 }
 
 // NumFilters returns the number of compiled filters.

@@ -57,11 +57,11 @@ func TestExceptionOverridesBlock(t *testing.T) {
 	if d.Verdict != Allowed {
 		t.Fatalf("verdict = %v, want allowed", d.Verdict)
 	}
-	if d.BlockedBy == nil || d.BlockedBy.List != "easylist" {
-		t.Errorf("BlockedBy = %+v", d.BlockedBy)
+	if m := d.BlockedBy(); m == nil || m.List != "easylist" {
+		t.Errorf("BlockedBy = %+v", m)
 	}
-	if d.AllowedBy == nil || d.AllowedBy.List != "exceptionrules" {
-		t.Errorf("AllowedBy = %+v", d.AllowedBy)
+	if m := d.AllowedBy(); m == nil || m.List != "exceptionrules" {
+		t.Errorf("AllowedBy = %+v", m)
 	}
 	// On another site the exception does not apply.
 	d = e.MatchRequest(&Request{
@@ -292,7 +292,7 @@ func TestRecorderSeesNeedlessActivation(t *testing.T) {
 	if d.Verdict != Allowed {
 		t.Fatalf("verdict = %v, want allowed", d.Verdict)
 	}
-	if d.BlockedBy != nil {
+	if d.BlockedBy() != nil {
 		t.Error("no blocking filter should have matched")
 	}
 	if len(acts) != 1 || acts[0].List != "exceptionrules" {

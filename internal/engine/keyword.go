@@ -50,7 +50,9 @@ func filterKeyword(text string) string {
 }
 
 // urlKeywords appends to dst every complete [a-z0-9%] run of length >= 3 in
-// the lowercased URL. These are the bucket probes for one request.
+// the lowercased URL. It is the reference extraction the hashed probe set
+// (appendURLKeywordHashes) is tested against; the match path itself never
+// materializes keyword substrings anymore.
 func urlKeywords(dst []string, lowerURL string) []string {
 	i := 0
 	for i < len(lowerURL) {
@@ -64,6 +66,60 @@ func urlKeywords(dst []string, lowerURL string) []string {
 		}
 		if i-start >= 3 {
 			dst = append(dst, lowerURL[start:i])
+		}
+	}
+	return dst
+}
+
+// FNV-1a 64-bit; the unified index keys its buckets on fnv64 of the
+// keyword so URL keyword runs can be hashed in place.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnv64 hashes a keyword string (used when filing filters at build time).
+func fnv64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// appendURLKeywordHashes appends to dst the fnv64 hash of every complete
+// [a-z0-9%] run of length >= 3 in the lowered URL, hashing the bytes in
+// place — no substring slice is ever built. Duplicate runs (e.g. a URL
+// containing "/ads/ads/") are deduplicated so each index bucket is probed
+// at most once per request; URLs carry few keywords, so a linear scan of
+// dst beats any set structure here.
+func appendURLKeywordHashes(dst []uint64, lowerURL string) []uint64 {
+	i := 0
+	for i < len(lowerURL) {
+		if !isKeywordChar(lowerURL[i]) {
+			i++
+			continue
+		}
+		start := i
+		h := uint64(fnvOffset64)
+		for i < len(lowerURL) && isKeywordChar(lowerURL[i]) {
+			h ^= uint64(lowerURL[i])
+			h *= fnvPrime64
+			i++
+		}
+		if i-start < 3 {
+			continue
+		}
+		dup := false
+		for _, have := range dst {
+			if have == h {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, h)
 		}
 	}
 	return dst

@@ -27,6 +27,12 @@ type pattern struct {
 	anchorDomain bool
 	matchCase    bool
 	re           *regexp.Regexp // non-nil for /.../ regex filters
+
+	// kwHash is the fnv64 of the filter's indexing keyword, valid when
+	// hasKW; keyword-less filters (and regex filters, whose source text
+	// is not literal) go to the always-probed slow bucket.
+	kwHash uint64
+	hasKW  bool
 }
 
 // compilePattern builds a matcher for a request filter. Regex filters
@@ -52,6 +58,7 @@ func compilePattern(f *filter.Filter) (*pattern, error) {
 				text = strings.ToLower(text)
 			}
 			p.segments = []string{text}
+			p.setKeyword(f)
 			return p, nil
 		}
 		expr := f.Pattern
@@ -78,7 +85,20 @@ func compilePattern(f *filter.Filter) (*pattern, error) {
 	// wildcards at the edges simply relax anchoring, which the segment
 	// matcher already provides. A pattern of only wildcards matches
 	// every URL.
+	p.setKeyword(f)
 	return p, nil
+}
+
+// setKeyword computes the indexing keyword hash at compile time, once per
+// filter, so the index never re-derives it.
+func (p *pattern) setKeyword(f *filter.Filter) {
+	if p.re != nil {
+		return
+	}
+	if kw := filterKeyword(anchoredText(p, f.Pattern)); kw != "" {
+		p.kwHash = fnv64(kw)
+		p.hasKW = true
+	}
 }
 
 // isLiteralRegex reports whether a regex body is a plain literal: no
@@ -110,8 +130,11 @@ func isSeparator(b byte) bool {
 }
 
 // match reports whether the pattern matches url. lower is the pre-lowered
-// copy of url shared across all filters for one request.
-func (p *pattern) match(url, lower string) bool {
+// copy of url shared across all filters for one request, and bounds the
+// request's memoized '||' candidate positions (nil to derive on the fly —
+// boundary positions are byte offsets, identical in url and lower, so one
+// slice serves both the case-sensitive and the case-folded subject).
+func (p *pattern) match(url, lower string, bounds []int) bool {
 	if p.re != nil {
 		return p.re.MatchString(url)
 	}
@@ -119,7 +142,7 @@ func (p *pattern) match(url, lower string) bool {
 	if p.matchCase {
 		subject = url
 	}
-	return matchSegments(subject, p.segments, p.anchorStart, p.anchorEnd, p.anchorDomain)
+	return matchSegments(subject, p.segments, p.anchorStart, p.anchorEnd, p.anchorDomain, bounds)
 }
 
 // matchSegAt attempts to match one segment at position pos, returning the
@@ -155,8 +178,37 @@ func matchSegAt(url string, pos int, seg string) (int, bool) {
 }
 
 // findSeg returns the first position >= from where seg matches, and the
-// bytes consumed there, or (-1, 0).
+// bytes consumed there, or (-1, 0). Segments without a '^' placeholder are
+// plain substrings, so strings.Index does the scan; segments with a
+// leading literal use it to skip between candidate positions instead of
+// re-attempting a full match at every byte.
 func findSeg(url string, from int, seg string) (int, int) {
+	if from > len(url) {
+		return -1, 0
+	}
+	caret := strings.IndexByte(seg, '^')
+	if caret < 0 {
+		i := strings.Index(url[from:], seg)
+		if i < 0 {
+			return -1, 0
+		}
+		return from + i, len(seg)
+	}
+	if caret > 0 {
+		pre := seg[:caret]
+		for pos := from; pos <= len(url)-len(pre); {
+			i := strings.Index(url[pos:], pre)
+			if i < 0 {
+				return -1, 0
+			}
+			pos += i
+			if n, ok := matchSegAt(url, pos, seg); ok {
+				return pos, n
+			}
+			pos++
+		}
+		return -1, 0
+	}
 	for pos := from; pos <= len(url); pos++ {
 		if n, ok := matchSegAt(url, pos, seg); ok {
 			return pos, n
@@ -165,9 +217,13 @@ func findSeg(url string, from int, seg string) (int, int) {
 	return -1, 0
 }
 
-// domainBoundaries yields the candidate start positions for a '||'-anchored
-// match: right after the scheme, or after any dot inside the hostname.
-func domainBoundaries(url string) []int {
+// appendDomainBoundaries appends to dst the candidate start positions for
+// a '||'-anchored match: right after the scheme, or after any dot inside
+// the hostname. The request memoizes the result once (Request.bounds) so
+// every '||'-anchored candidate of a decision reuses one slice; before
+// that, each candidate allocated its own — the single biggest per-decision
+// allocator.
+func appendDomainBoundaries(dst []int, url string) []int {
 	hostStart := 0
 	if i := strings.Index(url, "://"); i >= 0 {
 		hostStart = i + 3
@@ -184,16 +240,22 @@ func domainBoundaries(url string) []int {
 			break
 		}
 	}
-	bounds := []int{hostStart}
+	dst = append(dst, hostStart)
 	for i := hostStart; i < hostEnd; i++ {
 		if url[i] == '.' {
-			bounds = append(bounds, i+1)
+			dst = append(dst, i+1)
 		}
 	}
-	return bounds
+	return dst
 }
 
-func matchSegments(url string, segs []string, anchorStart, anchorEnd, anchorDomain bool) bool {
+// domainBoundaries is the allocating convenience over
+// appendDomainBoundaries, kept for tests and unmemoized callers.
+func domainBoundaries(url string) []int {
+	return appendDomainBoundaries(nil, url)
+}
+
+func matchSegments(url string, segs []string, anchorStart, anchorEnd, anchorDomain bool, bounds []int) bool {
 	if len(segs) == 0 {
 		return true
 	}
@@ -236,7 +298,10 @@ func matchSegments(url string, segs []string, anchorStart, anchorEnd, anchorDoma
 		}
 		return matchRest(n, rest)
 	case anchorDomain:
-		for _, b := range domainBoundaries(url) {
+		if bounds == nil {
+			bounds = appendDomainBoundaries(make([]int, 0, 8), url)
+		}
+		for _, b := range bounds {
 			n, ok := matchSegAt(url, b, first)
 			if !ok {
 				continue

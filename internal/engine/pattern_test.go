@@ -25,7 +25,7 @@ func compile(t *testing.T, line string) *pattern {
 }
 
 func matches(p *pattern, url string) bool {
-	return p.match(url, strings.ToLower(url))
+	return p.match(url, strings.ToLower(url), nil)
 }
 
 func TestPatternPlain(t *testing.T) {

@@ -71,7 +71,8 @@ func (r *Request) prepare() {
 	}
 	prepares.Add(1)
 	r.lower = lowerASCII(r.URL)
-	r.kws = urlKeywords(r.kws[:0], r.lower)
+	r.kwh = appendURLKeywordHashes(r.kwh[:0], r.lower)
+	r.bounds = appendDomainBoundaries(r.bounds[:0], r.lower)
 	r.third = domainutil.IsThirdParty(domainutil.HostOf(r.URL), r.DocumentHost)
 	r.memoURL, r.memoDoc = r.URL, r.DocumentHost
 	r.prepared = true

@@ -43,76 +43,131 @@ func (s *Session) record(a Activation) {
 // session's recorder; WithShortCircuit and WithLinearScan select the
 // production and the ablation evaluation orders. See Engine.MatchRequest
 // for the semantics.
+//
+// In short-circuit mode on a prepared Request this path performs zero heap
+// allocations: the keyword hashes, domain boundaries, lowered URL, and
+// third-party bit come from the request's memos, the unified index resolves
+// blocking and exception in one probe pass, and the Decision embeds its
+// matches by value. TestMatchRequestZeroAlloc pins the property.
 func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
-	var mo matchOpts
+	var mo MatchOption
 	for _, o := range opts {
-		o(&mo)
+		mo |= o
 	}
 	req.prepare()
-	lower, third, kws := req.lower, req.third, req.kws
+	idx := s.e.index
 
 	var d Decision
-	if mo.shortCircuit {
-		// Production order: the exception side is only consulted after a
-		// blocking filter matches. Records nothing.
-		c := s.e.blocking.find(req, lower, third, kws)
+	if mo&optLinear != 0 {
+		// Index-free ablation: scan every filter on both sides. Records
+		// nothing. Combined with WithShortCircuit it keeps production
+		// evaluation order, just without the index.
+		if mo&optShortCircuit != 0 {
+			c := idx.findLinear(req, roleBlocking)
+			if c == nil {
+				return d
+			}
+			d.blocked = Match{Filter: c.f, List: c.list}
+			if x := idx.findLinear(req, roleException); x != nil {
+				d.allowed = Match{Filter: x.f, List: x.list}
+				d.Verdict = Allowed
+				return d
+			}
+			d.Verdict = Blocked
+			return d
+		}
+		if c := idx.findLinear(req, roleBlocking); c != nil {
+			d.blocked = Match{Filter: c.f, List: c.list}
+		}
+		if c := idx.findLinear(req, roleException); c != nil {
+			d.allowed = Match{Filter: c.f, List: c.list}
+		}
+		switch {
+		case d.allowed.Filter != nil:
+			d.Verdict = Allowed
+		case d.blocked.Filter != nil:
+			d.Verdict = Blocked
+		}
+		return d
+	}
+	if mo&optShortCircuit != 0 {
+		// Production order: the exception side only decides anything
+		// after a blocking filter matches. One probe pass resolves both
+		// roles from the keyword buckets; the keyword-less exception
+		// bucket is only scanned once a blocker actually matched.
+		var res [numRoles]*compiledRequest
+		idx.probe(req, maskBlocking|maskException, &res)
+		c := res[roleBlocking]
+		if c == nil {
+			c = idx.scanSlow(req, roleBlocking)
+		}
 		if c == nil {
 			return d
 		}
-		d.BlockedBy = &Match{Filter: c.f, List: c.list}
-		if x := s.e.exceptions.find(req, lower, third, kws); x != nil {
-			d.AllowedBy = &Match{Filter: x.f, List: x.list}
+		d.blocked = Match{Filter: c.f, List: c.list}
+		x := res[roleException]
+		if x == nil {
+			x = idx.scanSlow(req, roleException)
+		}
+		if x != nil {
+			d.allowed = Match{Filter: x.f, List: x.list}
 			d.Verdict = Allowed
 			return d
 		}
 		d.Verdict = Blocked
 		return d
 	}
-	if mo.linear {
-		// Index-free ablation: scan every filter on both sides. Records
-		// nothing.
-		if c := s.e.blocking.findLinear(req, lower, third); c != nil {
-			d.BlockedBy = &Match{Filter: c.f, List: c.list}
-		}
-		if c := s.e.exceptions.findLinear(req, lower, third); c != nil {
-			d.AllowedBy = &Match{Filter: c.f, List: c.list}
-		}
-		switch {
-		case d.AllowedBy != nil:
-			d.Verdict = Allowed
-		case d.BlockedBy != nil:
-			d.Verdict = Blocked
-		}
-		return d
-	}
 
+	// Instrumented mode: both sides always evaluated, DNT signalling
+	// resolved, effective filter recorded, metrics observed.
 	m := s.e.metrics
 	var start time.Time
 	if m != nil {
 		start = time.Now()
 	}
-	if c := s.e.blocking.find(req, lower, third, kws); c != nil {
-		d.BlockedBy = &Match{Filter: c.f, List: c.list}
+	want := maskBlocking | maskException
+	if idx.hasDNT() {
+		want |= maskDNT | maskDNTException
 	}
-	if c := s.e.exceptions.find(req, lower, third, kws); c != nil {
-		d.AllowedBy = &Match{Filter: c.f, List: c.list}
+	var res [numRoles]*compiledRequest
+	idx.probe(req, want, &res)
+	if res[roleBlocking] == nil {
+		res[roleBlocking] = idx.scanSlow(req, roleBlocking)
+	}
+	if res[roleException] == nil {
+		res[roleException] = idx.scanSlow(req, roleException)
+	}
+	if c := res[roleBlocking]; c != nil {
+		d.blocked = Match{Filter: c.f, List: c.list}
+	}
+	if c := res[roleException]; c != nil {
+		d.allowed = Match{Filter: c.f, List: c.list}
 	}
 	switch {
-	case d.AllowedBy != nil:
+	case d.allowed.Filter != nil:
 		d.Verdict = Allowed
-		s.record(Activation{Filter: d.AllowedBy.Filter, List: d.AllowedBy.List,
+		s.record(Activation{Filter: d.allowed.Filter, List: d.allowed.List,
 			Kind: ActRequest, URL: req.URL, PageHost: req.DocumentHost})
-	case d.BlockedBy != nil:
+	case d.blocked.Filter != nil:
 		d.Verdict = Blocked
-		s.record(Activation{Filter: d.BlockedBy.Filter, List: d.BlockedBy.List,
+		s.record(Activation{Filter: d.blocked.Filter, List: d.blocked.List,
 			Kind: ActRequest, URL: req.URL, PageHost: req.DocumentHost})
 	}
 	// $donottrack signalling (Appendix A.4): a matching DNT filter with
 	// no matching DNT exception asks for the header; it never blocks.
-	if len(s.e.dnt.all) > 0 {
-		if s.e.dnt.find(req, lower, third, kws) != nil &&
-			s.e.dntExceptions.find(req, lower, third, kws) == nil {
-			d.DoNotTrack = true
+	if idx.hasDNT() {
+		dnt := res[roleDNT]
+		if dnt == nil {
+			dnt = idx.scanSlow(req, roleDNT)
+		}
+		if dnt != nil {
+			exc := res[roleDNTException]
+			if exc == nil {
+				exc = idx.scanSlow(req, roleDNTException)
+			}
+			if exc == nil {
+				d.DoNotTrack = true
+			}
 		}
 	}
 	if m != nil {
@@ -124,29 +179,43 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 }
 
 // PagePermissions evaluates page-level allowances, recording to the
-// session. See Engine.PagePermissions.
+// session. See Engine.PagePermissions. The probe goes through NewRequest,
+// so the lowered URL, keyword hashes and domain boundaries are derived
+// once per call and shared by both the $document and the $elemhide probe
+// (the Type flip does not invalidate the memos — they key on URL and
+// document host only).
 func (s *Session) PagePermissions(pageURL, sitekeyB64 string) PageFlags {
-	host := domainutil.HostOf(pageURL)
-	lower := lowerASCII(pageURL)
-	kws := urlKeywords(make([]string, 0, 16), lower)
+	req, err := NewRequest(pageURL, pageURL, filter.TypeDocument)
+	if err != nil {
+		// Unparseable page URL: fall back to a best-effort literal
+		// request, as the pre-validation engine did.
+		req = &Request{URL: pageURL, Type: filter.TypeDocument,
+			DocumentHost: domainutil.HostOf(pageURL)}
+		req.prepare()
+	}
+	req.Sitekey = sitekeyB64
+	idx := s.e.index
 
 	var flags PageFlags
 	probe := func(t filter.ContentType) *compiledRequest {
-		req := &Request{URL: pageURL, Type: t, DocumentHost: host, Sitekey: sitekeyB64}
-		// The page request is first-party to itself.
-		return s.e.exceptions.find(req, lower, false, kws)
+		req.Type = t
+		var res [numRoles]*compiledRequest
+		if idx.probe(req, maskException, &res) == 0 {
+			return res[roleException]
+		}
+		return idx.scanSlow(req, roleException)
 	}
 	if c := probe(filter.TypeDocument); c != nil {
 		flags.DocumentAllowed = true
 		flags.DocumentBy = &Match{Filter: c.f, List: c.list}
 		s.record(Activation{Filter: c.f, List: c.list, Kind: ActDocument,
-			URL: pageURL, PageHost: host})
+			URL: pageURL, PageHost: req.DocumentHost})
 	}
 	if c := probe(filter.TypeElemHide); c != nil {
 		flags.ElemHideDisabled = true
 		flags.ElemHideBy = &Match{Filter: c.f, List: c.list}
 		s.record(Activation{Filter: c.f, List: c.list, Kind: ActDocument,
-			URL: pageURL, PageHost: host})
+			URL: pageURL, PageHost: req.DocumentHost})
 	}
 	return flags
 }
@@ -155,12 +224,12 @@ func (s *Session) PagePermissions(pageURL, sitekeyB64 string) PageFlags {
 // Engine.HideElements. WithLinearScan evaluates every hiding selector
 // against the document instead of the id/class candidate index.
 func (s *Session) HideElements(doc *htmldom.Node, pageURL, docHost string, opts ...MatchOption) []ElementMatch {
-	var mo matchOpts
+	var mo MatchOption
 	for _, o := range opts {
-		o(&mo)
+		mo |= o
 	}
 	candidates := s.e.elemHide.all
-	if !mo.linear {
+	if mo&optLinear == 0 {
 		candidates = s.e.elemHideCandidates(doc)
 	}
 	return s.applyElemHide(candidates, doc, pageURL, docHost)

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"acceptableads/internal/filter"
+	"acceptableads/internal/xrand"
+)
+
+// TestMatchRequestZeroAlloc pins the tentpole property of the match core:
+// a short-circuit decision on a prepared request performs zero heap
+// allocations — the keyword hashes, domain boundaries, lowered URL and
+// third-party bit all come from the request memos, the unified index is
+// probed without materializing keyword substrings, and the Decision embeds
+// its matches by value.
+func TestMatchRequestZeroAlloc(t *testing.T) {
+	e := mustEngine(t,
+		listOf("easylist", strings.Join([]string{
+			"||adzerk.net^$third-party",
+			"||doubleclick.net^",
+			"/ad-frame/",
+			"||ads.example^$script",
+			"|http://exact.example/ad.jpg|",
+			"/banner/*/img^$image",
+		}, "\n")),
+		listOf("exceptionrules", strings.Join([]string{
+			"@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com",
+			"@@||gstatic.com^$third-party",
+		}, "\n")),
+	)
+	urls := []struct {
+		url, doc string
+		typ      filter.ContentType
+	}{
+		// blocked, '||'-anchored (exercises the bounds memo)
+		{"http://stats.g.doubleclick.net/r/collect", "http://toyota.com/", filter.TypeImage},
+		// allowed via exception
+		{"http://static.adzerk.net/reddit/ads.html", "http://www.reddit.com/", filter.TypeSubdocument},
+		// no match at all
+		{"http://plain.example/index.css", "http://plain.example/", filter.TypeStylesheet},
+		// slow-bucket (keyword-less literal-regex) match
+		{"http://x.example/ad-frame/1.gif", "http://x.com/", filter.TypeImage},
+	}
+	var reqs []*Request
+	for _, u := range urls {
+		req, err := NewRequest(u.url, u.doc, u.typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, req)
+	}
+	sess := e.NewSession(nil)
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, req := range reqs {
+			sess.MatchRequest(req, WithShortCircuit())
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("short-circuit MatchRequest allocated %.1f times per run over %d requests, want 0", allocs, len(reqs))
+	}
+}
+
+// TestBuilderParallelDeterminism: the engine built with parallel filter
+// compilation must be indistinguishable from the serially built one —
+// same filter counts, same verdicts, same reported filters.
+func TestBuilderParallelDeterminism(t *testing.T) {
+	rng := xrand.New(4242)
+	var lines []string
+	for i := 0; i < 3000; i++ {
+		line := genExoticLine(rng)
+		if rng.Intn(4) == 0 {
+			line = "@@" + line
+		}
+		lines = append(lines, line)
+	}
+	list := filter.ParseListString("l", strings.Join(lines, "\n"))
+
+	build := func(workers int) *Engine {
+		b := NewBuilder().SetWorkers(workers)
+		if err := b.Add("l", list); err != nil {
+			t.Fatal(err)
+		}
+		return b.Build()
+	}
+	serial := build(1)
+	parallel := build(8)
+
+	if s, p := serial.NumFilters(), parallel.NumFilters(); s != p {
+		t.Fatalf("NumFilters: serial %d != parallel %d", s, p)
+	}
+	if s, p := serial.ListFilters("l"), parallel.ListFilters("l"); s != p {
+		t.Fatalf("ListFilters: serial %d != parallel %d", s, p)
+	}
+	for j := 0; j < 2000; j++ {
+		url := genExoticURL(rng)
+		req := &Request{URL: url, Type: filter.TypeScript, DocumentHost: "first-party.example"}
+		ds := serial.MatchRequest(req)
+		dp := parallel.MatchRequest(req)
+		if ds.Verdict != dp.Verdict || ds.DoNotTrack != dp.DoNotTrack {
+			t.Fatalf("divergence on %q: serial %v/%v parallel %v/%v",
+				url, ds.Verdict, ds.DoNotTrack, dp.Verdict, dp.DoNotTrack)
+		}
+		sb, pb := ds.BlockedBy(), dp.BlockedBy()
+		if (sb == nil) != (pb == nil) || (sb != nil && sb.Filter.Raw != pb.Filter.Raw) {
+			t.Fatalf("blocked-by divergence on %q: serial %+v parallel %+v", url, sb, pb)
+		}
+	}
+}
+
+// TestBuilderParallelRejectsBadFilter: compile errors surface identically
+// (first bad filter in list order) regardless of worker count.
+func TestBuilderParallelRejectsBadFilter(t *testing.T) {
+	var lines []string
+	for i := 0; i < parallelThreshold; i++ {
+		lines = append(lines, genPattern(xrand.New(uint64(i))))
+	}
+	lines = append(lines, "/unclosed[/")
+	list := filter.ParseListString("l", strings.Join(lines, "\n"))
+	for _, workers := range []int{1, 8} {
+		b := NewBuilder().SetWorkers(workers)
+		if err := b.Add("l", list); err == nil {
+			t.Errorf("workers=%d: bad regex accepted", workers)
+		}
+	}
+}

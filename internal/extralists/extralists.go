@@ -124,12 +124,13 @@ func Overrides(whitelist, extra *filter.List) ([]Override, error) {
 			URL: n.URL(), Type: n.Type, DocumentHost: "somepublisher.example",
 		}
 		d := eng.MatchRequest(req)
-		if d.Verdict != engine.Allowed || d.BlockedBy == nil || d.BlockedBy.List != extra.Name {
+		blocked := d.BlockedBy()
+		if d.Verdict != engine.Allowed || blocked == nil || blocked.List != extra.Name {
 			continue
 		}
 		out = append(out, Override{
-			Exception:  d.AllowedBy.Filter.Raw,
-			Overridden: d.BlockedBy.Filter.Raw,
+			Exception:  d.AllowedBy().Filter.Raw,
+			Overridden: blocked.Filter.Raw,
 			List:       extra.Name,
 			URL:        n.URL(),
 		})

@@ -113,7 +113,7 @@ func TestSubscribeFetchAndEngine(t *testing.T) {
 		URL: "http://stats.g.doubleclick.net/r/collect", Type: filter.TypeImage,
 		DocumentHost: "toyota.com",
 	})
-	if d.Verdict != engine.Allowed || d.AllowedBy.List != "exceptionrules" {
+	if d.Verdict != engine.Allowed || d.AllowedBy().List != "exceptionrules" {
 		t.Errorf("decision = %+v", d)
 	}
 }
