@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json chaos serve-smoke ci
+.PHONY: all build vet test race bench bench-smoke bench-json chaos serve-smoke metrics-smoke lint-metrics ci
 
 all: build
 
@@ -51,7 +51,19 @@ serve-smoke:
 		-easylist cmd/aa-serve/testdata/easylist.txt \
 		-whitelist cmd/aa-serve/testdata/exceptionrules.txt
 
+# Prometheus exposition check: start the serve stack, scrape /metrics,
+# validate the text format with the parser in cmd/aa-serve's tests, and
+# assert the per-list attribution counters increase after a match.
+metrics-smoke:
+	$(GO) test -race -run 'TestMetricsSmoke|TestMetricsParserRejectsGarbage' \
+		-count=1 -v ./cmd/aa-serve
+
+# Metric-name hygiene: every metric registered in obs.Registry must be
+# lowercase dot.separated and unique across the tree.
+lint-metrics:
+	$(GO) run ./cmd/aa-lint -metrics -metrics-root .
+
 # The pre-merge gate: static checks, a clean build, the full suite under
 # the race detector, a smoke pass over every benchmark plus the hot-path
 # allocation smoke, and the chaos and decision-service smoke runs.
-ci: vet build race bench bench-smoke chaos serve-smoke
+ci: vet lint-metrics build race bench bench-smoke chaos serve-smoke metrics-smoke

@@ -3,9 +3,15 @@
 // reports the hygiene defects of the final snapshot (duplicate filters,
 // malformed truncated filters).
 //
+// It also carries a repo-hygiene mode, -metrics, which statically checks
+// every obs.Registry registration in the source tree for the metric
+// naming convention (lowercase dot.separated, unique names). CI runs it
+// via `make lint-metrics`.
+//
 // Usage:
 //
-//	aa-lint [-seed N] [-afilters] [-hygiene]
+//	aa-lint [-seed N] [-afilters] [-hygiene] [-transparency]
+//	aa-lint -metrics [-metrics-root DIR]
 package main
 
 import (
@@ -27,7 +33,21 @@ func main() {
 	afilters := flag.Bool("afilters", false, "print the A-filter report only")
 	hygiene := flag.Bool("hygiene", false, "print the hygiene report only")
 	transparencyFlag := flag.Bool("transparency", false, "print the §8 transparency scorecard only")
+	metricsFlag := flag.Bool("metrics", false, "lint obs.Registry metric names in the source tree and exit")
+	metricsRoot := flag.String("metrics-root", ".", "source tree root for -metrics")
 	flag.Parse()
+
+	if *metricsFlag {
+		violations, err := lintMetrics(*metricsRoot, os.Stdout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if violations > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	all := !*afilters && !*hygiene && !*transparencyFlag
 
 	study := core.NewStudy(*seed)

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Metrics-name lint: every metric registered in obs.Registry must follow
+// the package's naming convention — lowercase dot.separated paths — and
+// every full literal name must be registered from exactly one call site,
+// so two subsystems can never silently share (and double-count) an
+// instrument.
+//
+// The check is static: it scans non-test .go files for Counter, Gauge
+// and Histogram calls whose name argument starts with a string literal.
+// A literal followed by ')' is a complete name; a literal followed by '+'
+// is a prefix completed at runtime (the engine.activations. family) and
+// is validated for charset and a trailing dot, but exempt from
+// uniqueness.
+
+// metricCall matches one registration: the instrument kind, the string
+// literal, and whether the literal is complete (")") or a prefix ("+").
+var metricCall = regexp.MustCompile(`\.(Counter|Gauge|Histogram)\(\s*"([^"]*)"\s*([)+])`)
+
+// fullMetricName is the convention for complete names; metricPrefix is a
+// concatenation prefix, which must end at a segment boundary (trailing
+// dot) so the runtime suffix starts a fresh segment.
+var (
+	fullMetricName = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+	metricPrefix   = regexp.MustCompile(`^[a-z0-9_]+(\.[a-z0-9_]+)*\.$`)
+)
+
+// metricSite is one registration call site.
+type metricSite struct {
+	file string
+	line int
+	kind string
+	name string
+}
+
+// lintMetrics scans root for metric registrations and reports violations
+// to out. It returns the number of violations.
+func lintMetrics(root string, out io.Writer) (int, error) {
+	var sites []metricSite
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			rel = path
+		}
+		for _, loc := range metricCall.FindAllSubmatchIndex(data, -1) {
+			line := 1 + strings.Count(string(data[:loc[0]]), "\n")
+			sites = append(sites, metricSite{
+				file: rel,
+				line: line,
+				kind: string(data[loc[2]:loc[3]]),
+				name: string(data[loc[4]:loc[5]]) + string(data[loc[6]:loc[7]]),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	violations := 0
+	fail := func(s metricSite, msg string) {
+		violations++
+		fmt.Fprintf(out, "%s:%d: %s(%q): %s\n", s.file, s.line, s.kind, strings.TrimSuffix(strings.TrimSuffix(s.name, ")"), "+"), msg)
+	}
+	byName := map[string][]metricSite{}
+	for _, s := range sites {
+		lit := s.name[:len(s.name)-1]
+		switch s.name[len(s.name)-1] {
+		case ')':
+			if !fullMetricName.MatchString(lit) {
+				fail(s, "name is not lowercase dot.separated")
+				continue
+			}
+			byName[lit] = append(byName[lit], s)
+		case '+':
+			if !metricPrefix.MatchString(lit) {
+				fail(s, "concatenation prefix is not lowercase dot.separated ending in '.'")
+			}
+		}
+	}
+	dupNames := make([]string, 0)
+	for name, ss := range byName {
+		if len(ss) > 1 {
+			dupNames = append(dupNames, name)
+		}
+	}
+	sort.Strings(dupNames)
+	for _, name := range dupNames {
+		ss := byName[name]
+		locs := make([]string, len(ss))
+		for i, s := range ss {
+			locs[i] = fmt.Sprintf("%s:%d", s.file, s.line)
+		}
+		violations++
+		fmt.Fprintf(out, "%s: registered from %d call sites (%s); metric names must be unique\n",
+			name, len(ss), strings.Join(locs, ", "))
+	}
+	fmt.Fprintf(out, "metrics lint: %d registrations checked, %d violations\n",
+		len(sites), violations)
+	return violations, nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLintMetricsClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"a/a.go": `package a
+func f(reg *Registry) {
+	reg.Counter("engine.match.attempts").Inc()
+	reg.Gauge("decision.cache.entries").Add(1)
+	reg.Histogram("engine.match.latency").ObserveNs(1)
+	reg.Counter("decision.http." + name + ".requests").Inc()
+}
+`,
+		// Test files are exempt, even with bad names.
+		"a/a_test.go": `package a
+func g(reg *Registry) { reg.Counter("Bad Name").Inc() }
+`,
+		// testdata is skipped wholesale.
+		"a/testdata/x.go": `package x
+func h(reg *Registry) { reg.Counter("ALSO BAD").Inc() }
+`,
+	})
+	var out strings.Builder
+	n, err := lintMetrics(root, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("clean tree produced %d violations:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "4 registrations checked") {
+		t.Errorf("expected 4 registrations checked, got:\n%s", out.String())
+	}
+}
+
+func TestLintMetricsViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"bad.go": `package bad
+func f(reg *Registry) {
+	reg.Counter("Engine.Match").Inc()         // uppercase
+	reg.Gauge("engine..double").Add(1)        // empty segment
+	reg.Counter("engine.dup").Inc()           // duplicate 1/2
+	reg.Histogram("prefix" + name).Observe(d) // prefix without trailing dot
+}
+`,
+		"bad2.go": `package bad
+func g(reg *Registry) {
+	reg.Counter("engine.dup").Inc() // duplicate 2/2
+}
+`,
+	})
+	var out strings.Builder
+	n, err := lintMetrics(root, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("violations = %d, want 4:\n%s", n, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		`Counter("Engine.Match")`,
+		`Gauge("engine..double")`,
+		"ending in '.'",
+		"engine.dup: registered from 2 call sites",
+		"bad.go:", "bad2.go:",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestLintMetricsRepo runs the lint over this repository: the convention
+// must hold for every registered metric in the tree.
+func TestLintMetricsRepo(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(filepath.Join(root, "go.mod")); statErr != nil {
+		t.Skipf("repo root not found at %s", root)
+	}
+	var out strings.Builder
+	n, err := lintMetrics(root, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("repo has %d metric-name violations:\n%s", n, out.String())
+	}
+}

@@ -4,9 +4,15 @@
 //
 //	POST /v1/match        — one request in, one decision out
 //	POST /v1/match-batch  — up to 4096 requests against one snapshot
+//	POST /v1/explain      — one request in, decision + full match trail out
 //	POST /v1/elemhide     — element-hiding stylesheet for a document
 //	GET  /v1/lists        — snapshot and cache introspection
 //	POST /v1/reload       — rebuild the snapshot from the list source
+//	GET  /metrics         — Prometheus exposition + filter attribution
+//	GET  /debug/filters   — top-N per-filter hit attribution
+//
+// Every response carries an X-AA-Trace header (inbound ids are honored)
+// tying the request to its span logs and /debug/trace annotations.
 //
 // Lists come from files (-easylist, -whitelist; re-read on reload), from
 // subscription URLs (-easylist-url, -whitelist-url; conditional requests
@@ -242,6 +248,48 @@ func runSmoke(base string) error {
 		return fmt.Errorf("/v1/match: repeat not served from cache: %+v", m)
 	}
 
+	// /v1/explain agrees with /v1/match and names the winning blocking
+	// filter with its source list; the repeat above means the request is
+	// currently cache-served, which the trail reports against the pinned
+	// snapshot version.
+	var ex decision.ExplainResult
+	if err := call(client, http.MethodPost, base+"/v1/explain", blocked, &ex); err != nil {
+		return err
+	}
+	if ex.Verdict != "blocked" || ex.Trail == nil || ex.Trail.Block == nil {
+		return fmt.Errorf("/v1/explain: want blocked with a block trail, got %+v", ex)
+	}
+	if ex.Trail.Block.Filter == "" || ex.Trail.Block.List != "easylist" || ex.Trail.Block.Line == 0 {
+		return fmt.Errorf("/v1/explain: block trail lacks filter/list/line: %+v", ex.Trail.Block)
+	}
+	if !ex.CacheHit || ex.Snapshot != lists.Snapshot {
+		return fmt.Errorf("/v1/explain: want cacheHit on pinned snapshot v%d, got %+v", lists.Snapshot, ex)
+	}
+
+	// A whitelisted request names the winning exception filter.
+	wl := decision.MatchQuery{
+		URL: "http://ads.example.com/acceptable/ad.png", Document: "http://news.example.com/", Type: "image",
+	}
+	if err := call(client, http.MethodPost, base+"/v1/explain", wl, &ex); err != nil {
+		return err
+	}
+	if ex.Verdict != "allowed" || ex.Trail == nil || ex.Trail.Exception == nil {
+		return fmt.Errorf("/v1/explain: want allowed with an exception trail, got %+v", ex)
+	}
+	if ex.Trail.Exception.Filter == "" || ex.Trail.Exception.List != "exceptionrules" {
+		return fmt.Errorf("/v1/explain: exception trail lacks filter/list: %+v", ex.Trail.Exception)
+	}
+
+	// Every response carries a trace id; an inbound one is honored.
+	if err := checkTrace(client, base); err != nil {
+		return err
+	}
+
+	// /metrics serves the Prometheus exposition with attribution families.
+	if err := checkMetrics(client, base); err != nil {
+		return err
+	}
+
 	// A batch pins one snapshot; a malformed entry fails alone.
 	batch := decision.BatchQuery{Requests: []decision.MatchQuery{
 		blocked,
@@ -299,6 +347,61 @@ func runSmoke(base string) error {
 
 	// Exercise the real signal path: SIGTERM ourselves; main drains.
 	return syscall.Kill(os.Getpid(), syscall.SIGTERM)
+}
+
+// checkTrace asserts the X-AA-Trace response header: minted when absent,
+// echoed verbatim when the client sends one.
+func checkTrace(client *http.Client, base string) error {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/lists", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-AA-Trace") == "" {
+		return fmt.Errorf("/v1/lists: no X-AA-Trace response header")
+	}
+	req, err = http.NewRequest(http.MethodGet, base+"/v1/lists", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-AA-Trace", "smoketrace01")
+	resp, err = client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-AA-Trace"); got != "smoketrace01" {
+		return fmt.Errorf("/v1/lists: inbound trace id not honored: got %q", got)
+	}
+	return nil
+}
+
+// checkMetrics asserts /metrics serves the Prometheus text format with
+// the per-list filter-attribution families.
+func checkMetrics(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	body := buf.String()
+	for _, want := range []string{"# TYPE aa_filter_hits_total counter", "aa_snapshot_version", "decision_matches_total"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			return fmt.Errorf("/metrics: missing %q in %d-byte exposition", want, len(body))
+		}
+	}
+	return nil
 }
 
 // call POSTs (or GETs) JSON and decodes the response, failing on any

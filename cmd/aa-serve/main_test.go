@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"acceptableads/internal/decision"
+	"acceptableads/internal/obs"
+)
+
+// promFamily is one parsed metric family of a text-format exposition.
+type promFamily struct {
+	typ     string             // "counter", "gauge", "histogram"
+	samples map[string]float64 // full sample line key (name+labels) → value
+}
+
+// parsePrometheus is a small validating parser for the Prometheus text
+// exposition format (version 0.0.4): every non-comment line must be
+// `name{labels} value` with a parseable float, every sample must belong
+// to a # TYPE-declared family, and histogram families must carry
+// _bucket/_sum/_count samples with a closing le="+Inf" bucket.
+func parsePrometheus(text string) (map[string]*promFamily, error) {
+	families := map[string]*promFamily{}
+	base := func(name string) string {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name {
+				if f, ok := families[trimmed]; ok && f.typ == "histogram" {
+					return trimmed
+				}
+			}
+		}
+		return name
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "HELP" {
+				continue
+			}
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				return nil, fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			name, typ := fields[2], fields[3]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return nil, fmt.Errorf("line %d: unknown family type %q", ln+1, typ)
+			}
+			if _, dup := families[name]; dup {
+				return nil, fmt.Errorf("line %d: family %q declared twice", ln+1, name)
+			}
+			families[name] = &promFamily{typ: typ, samples: map[string]float64{}}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("line %d: no value on sample %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return nil, fmt.Errorf("line %d: unterminated label set %q", ln+1, key)
+			}
+			name = name[:i]
+		}
+		fam, ok := families[base(name)]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q outside any # TYPE family", ln+1, key)
+		}
+		fam.samples[key] = val
+	}
+	for name, fam := range families {
+		if len(fam.samples) == 0 {
+			return nil, fmt.Errorf("family %q has no samples", name)
+		}
+		if fam.typ == "histogram" {
+			if _, ok := fam.samples[name+`_bucket{le="+Inf"}`]; !ok {
+				return nil, fmt.Errorf("histogram %q has no le=\"+Inf\" bucket", name)
+			}
+			if _, ok := fam.samples[name+"_count"]; !ok {
+				return nil, fmt.Errorf("histogram %q has no _count", name)
+			}
+			if _, ok := fam.samples[name+"_sum"]; !ok {
+				return nil, fmt.Errorf("histogram %q has no _sum", name)
+			}
+		}
+	}
+	return families, nil
+}
+
+// TestMetricsSmoke drives a full serve stack — decision service, HTTP
+// handler, obs registry — scrapes /metrics, validates the exposition
+// parses, and asserts the attribution counters move after a match.
+// `make metrics-smoke` runs exactly this test.
+func TestMetricsSmoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc, err := decision.New(context.Background(), decision.Config{
+		Source: decision.Files(map[string]string{
+			"easylist":       "testdata/easylist.txt",
+			"exceptionrules": "testdata/exceptionrules.txt",
+		}),
+		CacheSize: 1024,
+		Obs:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(decision.Handler(svc, decision.HandlerConfig{Obs: reg}))
+	defer srv.Close()
+
+	scrape := func() (string, map[string]*promFamily) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+			t.Fatalf("/metrics content type = %q, want %q", ct, obs.PrometheusContentType)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fams, err := parsePrometheus(string(body))
+		if err != nil {
+			t.Fatalf("exposition does not parse: %v\n%s", err, body)
+		}
+		return string(body), fams
+	}
+
+	_, before := scrape()
+	for _, family := range []string{"aa_filter_hits_total", "aa_filters_loaded", "aa_filters_fired", "aa_snapshot_version"} {
+		if before[family] == nil {
+			t.Fatalf("family %q missing from exposition", family)
+		}
+	}
+	hitsBefore := before["aa_filter_hits_total"].samples[`aa_filter_hits_total{list="easylist"}`]
+
+	// One blocked match against the easylist testdata.
+	q, _ := json.Marshal(map[string]string{
+		"url": "http://ads.example.com/banner.gif", "document": "http://news.example.com/", "type": "image",
+	})
+	resp, err := http.Post(srv.URL+"/v1/match", "application/json", bytes.NewReader(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m decision.MatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Verdict != "blocked" {
+		t.Fatalf("match verdict = %q, want blocked", m.Verdict)
+	}
+
+	text, after := scrape()
+	hitsAfter := after["aa_filter_hits_total"].samples[`aa_filter_hits_total{list="easylist"}`]
+	if hitsAfter <= hitsBefore {
+		t.Errorf("aa_filter_hits_total{list=easylist} = %v -> %v, want an increase", hitsBefore, hitsAfter)
+	}
+	if fired := after["aa_filters_fired"].samples[`aa_filters_fired{list="easylist"}`]; fired < 1 {
+		t.Errorf("aa_filters_fired{list=easylist} = %v, want >= 1", fired)
+	}
+	if v := after["aa_snapshot_version"].samples["aa_snapshot_version"]; v != 1 {
+		t.Errorf("aa_snapshot_version = %v, want 1", v)
+	}
+	// The endpoint telemetry from HandlerConfig.Obs rides in the same
+	// exposition.
+	if _, ok := after["decision_http_match_requests_total"]; !ok {
+		t.Errorf("endpoint counter family missing; exposition:\n%s", text)
+	}
+	if _, ok := after["decision_http_match_latency_seconds"]; !ok {
+		t.Errorf("endpoint latency histogram missing; exposition:\n%s", text)
+	}
+}
+
+// TestMetricsParserRejectsGarbage guards the parser itself: the smoke
+// test is only as strong as its validator.
+func TestMetricsParserRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_type_declared 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x widget\nx 1\n",
+		"# TYPE x counter\nx{unclosed 1\n",
+		"# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"# TYPE h histogram\nh_count 1\nh_sum 0\n", // no +Inf bucket
+	} {
+		if _, err := parsePrometheus(bad); err == nil {
+			t.Errorf("parser accepted garbage %q", bad)
+		}
+	}
+	good := "# TYPE c_total counter\nc_total 3\n# TYPE g gauge\ng{list=\"l\"} 2\n" +
+		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n"
+	if _, err := parsePrometheus(good); err != nil {
+		t.Errorf("parser rejected valid exposition: %v", err)
+	}
+}

@@ -56,8 +56,9 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "print Figure 6 only")
 	fig7 := flag.Bool("fig7", false, "print Figure 7 only")
 	fig8 := flag.Bool("fig8", false, "print Figure 8 only")
+	attribution := flag.Bool("attribution", false, "print the per-filter hit-attribution report only")
 	flag.Parse()
-	all := !*summary && !*table4 && !*fig6 && !*fig7 && !*fig8
+	all := !*summary && !*table4 && !*fig6 && !*fig7 && !*fig8 && !*attribution
 
 	if *trace {
 		obs.SetTracing(true)
@@ -247,6 +248,10 @@ func main() {
 		report.Table(out, []string{"Category", "Sites", "WL trigger rate", "Mean WL matches"}, catCells)
 	}
 
+	if *attribution || all {
+		printAttribution(out, s)
+	}
+
 	if *fig6 || all {
 		rows, err := s.TopSites(50)
 		if err != nil {
@@ -276,4 +281,80 @@ func main() {
 		}
 		report.Table(out, []string{"Domain", "Rank", "WL+EL", "With whitelist", "EasyList only"}, cells)
 	}
+}
+
+// printAttribution renders the crawl's per-filter hit attribution: the
+// per-list rollup, the hit-concentration CDF ("what fraction of the fired
+// filters carries what fraction of the hits" — the filter-usefulness
+// distribution of "Who Filters the Filters"), and the top filters by hits.
+func printAttribution(out *os.File, s *sitesurvey.Survey) {
+	report.Section(out, "Filter hit attribution (whole crawl)")
+	attr := s.Engine.AttributionByList()
+	lists := make([]string, 0, len(attr))
+	for name := range attr {
+		lists = append(lists, name)
+	}
+	sort.Strings(lists)
+	var cells [][]string
+	for _, name := range lists {
+		la := attr[name]
+		rate := 0.0
+		if la.Filters > 0 {
+			rate = float64(la.Fired) / float64(la.Filters)
+		}
+		cells = append(cells, []string{
+			name, report.Count(la.Filters), report.Count(la.Fired),
+			report.Pct(rate), report.Count(int(la.Hits)),
+		})
+	}
+	report.Table(out, []string{"List", "Filters", "Fired", "Fired %", "Hits"}, cells)
+
+	// Hit-concentration CDF over fired filters, most-hit first.
+	stats := s.Engine.FilterStats()
+	var hits []int64
+	var totalHits int64
+	for _, st := range stats {
+		if st.Hits > 0 {
+			hits = append(hits, st.Hits)
+			totalHits += st.Hits
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i] > hits[j] })
+	if totalHits > 0 {
+		fmt.Fprintln(out, "\nHit concentration (fired filters, most-hit first):")
+		var cdf [][]string
+		var cum int64
+		targets := []float64{0.50, 0.80, 0.90, 0.95, 0.99, 1.0}
+		ti := 0
+		for i, h := range hits {
+			cum += h
+			frac := float64(cum) / float64(totalHits)
+			for ti < len(targets) && frac >= targets[ti] {
+				cdf = append(cdf, []string{
+					report.Pct(targets[ti]),
+					report.Count(i + 1),
+					report.Pct(float64(i+1) / float64(len(hits))),
+				})
+				ti++
+			}
+		}
+		report.Table(out, []string{"Share of hits", "Filters needed", "Share of fired"}, cdf)
+	}
+
+	fmt.Fprintln(out, "\nTop 20 filters by effective-filter hits:")
+	var top [][]string
+	for i, st := range s.Engine.TopFilters(20) {
+		if st.Hits == 0 {
+			break
+		}
+		name := st.Filter
+		if len(name) > 48 {
+			name = name[:45] + "..."
+		}
+		top = append(top, []string{
+			fmt.Sprint(i + 1), report.Count(int(st.Hits)),
+			st.List, fmt.Sprint(st.Line), name,
+		})
+	}
+	report.Table(out, []string{"#", "Hits", "List", "Line", "Filter"}, top)
 }

@@ -126,6 +126,20 @@ func (c *Cache) Get(key string) (engine.Decision, bool) {
 	return d, true
 }
 
+// Peek returns the cached decision for key without counting a hit or a
+// miss and without promoting the entry — pure introspection, used by
+// /v1/explain to report whether a request is currently served from cache
+// without perturbing the cache's own statistics or LRU order.
+func (c *Cache) Peek(key string) (engine.Decision, bool) {
+	sh := &c.shards[fnv1a(key)&(shardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[key]; ok {
+		return e.d, true
+	}
+	return engine.Decision{}, false
+}
+
 // Put stores a decision, evicting the shard's least recently used entry
 // when the shard is full.
 func (c *Cache) Put(key string, d engine.Decision) {

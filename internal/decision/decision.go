@@ -257,7 +257,25 @@ func (s *Service) ElemHideCSS(docHost string) string {
 // cache. Readers are never blocked: queries in flight keep matching on
 // the old snapshot. On failure the old snapshot stays published and the
 // error is returned — serving degrades to stale lists, never to none.
+//
+// The reload runs under a "decision.reload" span correlated to ctx's
+// trace id; a failed reload lands in the span's error histogram and
+// annotates the trace ring.
 func (s *Service) Reload(ctx context.Context) (*Snapshot, error) {
+	sp, ctx := obs.StartSpanCtx(ctx, s.cfg.Obs, s.logger, "decision.reload")
+	snap, err := s.reload(ctx)
+	if err != nil {
+		sp.Fail(err)
+		obs.DefaultRing.Annotate(ctx, "reload.failed", err.Error())
+	} else {
+		obs.DefaultRing.Annotate(ctx, "reload.published",
+			fmt.Sprintf("version=%d filters=%d", snap.Version, snap.Engine.NumFilters()))
+	}
+	sp.End()
+	return snap, err
+}
+
+func (s *Service) reload(ctx context.Context) (*Snapshot, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 

@@ -1,0 +1,173 @@
+package decision
+
+// Decision provenance over the serving layer: Service.Explain re-runs a
+// query with the engine's explain trail enabled and pairs the trail with
+// the serving context (snapshot version, cache state), /v1/explain
+// exposes it as JSON, /debug/filters serves the per-filter hit
+// attribution, and /metrics renders the obs registry plus the
+// attribution families in Prometheus text format.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/obs"
+)
+
+// Explanation is the full provenance of one explained decision: the
+// engine's match trail plus the serving-layer context around it.
+type Explanation struct {
+	// Trail is the engine-level provenance (buckets probed, candidates
+	// gated, winning filters with list and line).
+	Trail *engine.Trail
+	// Snapshot / BuiltAt pin the engine generation the explanation ran
+	// against.
+	Snapshot uint64
+	BuiltAt  time.Time
+	// CacheHit reports whether the decision cache currently holds an
+	// entry for this request against the pinned snapshot — i.e. whether
+	// a plain /v1/match would be served from cache right now. The
+	// explain itself never reads the cached decision: it always re-runs
+	// the engine so the trail is real, and it peeks (never promotes, hits
+	// or misses) so explaining leaves the cache statistics untouched.
+	CacheHit bool
+
+	Decision engine.Decision
+}
+
+// Explain runs req through the current snapshot with the match trail
+// enabled. It evaluates in the same default instrumented mode as Match,
+// so the verdict is always identical to what /v1/match returns for the
+// same request against the same snapshot.
+func (s *Service) Explain(req *engine.Request) Explanation {
+	snap := s.cur.Load()
+	tr := &engine.Trail{}
+	d := snap.Engine.MatchRequest(req, engine.WithExplain(tr))
+	ex := Explanation{
+		Trail:    tr,
+		Snapshot: snap.Version,
+		BuiltAt:  snap.BuiltAt,
+		Decision: d,
+	}
+	if s.cache != nil && req.Sitekey == "" {
+		_, ex.CacheHit = s.cache.Peek(cacheKey(snap.Version, req))
+	}
+	return ex
+}
+
+// ExplainResult is the /v1/explain response: the plain match result plus
+// the full trail and the serving context.
+type ExplainResult struct {
+	MatchResult
+	Trail    *engine.Trail `json:"trail"`
+	Snapshot uint64        `json:"snapshot"`
+	BuiltAt  time.Time     `json:"builtAt"`
+	CacheHit bool          `json:"cacheHit"`
+	Trace    string        `json:"trace,omitempty"`
+}
+
+func (s *Service) handleExplain(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	var q MatchQuery
+	if !decodeJSON(w, r, &q) {
+		return
+	}
+	req, err := q.toRequest()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	ex := s.Explain(req)
+	obs.DefaultRing.Annotate(ctx, "explain",
+		fmt.Sprintf("url=%s verdict=%s snapshot=%d", q.URL, ex.Decision.Verdict, ex.Snapshot))
+	res := ExplainResult{
+		MatchResult: toResult(ex.Decision, false),
+		Trail:       ex.Trail,
+		Snapshot:    ex.Snapshot,
+		BuiltAt:     ex.BuiltAt,
+		CacheHit:    ex.CacheHit,
+		Trace:       string(obs.TraceFrom(ctx)),
+	}
+	writeJSON(w, res)
+}
+
+// FilterStatsResult is the /debug/filters response: the top-N most-hit
+// filters of the current snapshot and the per-list attribution rollup.
+type FilterStatsResult struct {
+	Snapshot uint64                            `json:"snapshot"`
+	Filters  int                               `json:"filters"`
+	Top      []engine.FilterStat               `json:"top"`
+	Lists    map[string]engine.ListAttribution `json:"lists"`
+}
+
+// defaultTopFilters bounds /debug/filters output when no ?n= is given.
+const defaultTopFilters = 50
+
+func (s *Service) handleFilterStats(_ context.Context, w http.ResponseWriter, r *http.Request) {
+	n := defaultTopFilters
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			httpError(w, http.StatusBadRequest, "n must be a non-negative integer")
+			return
+		}
+		n = parsed
+	}
+	snap := s.cur.Load()
+	writeJSON(w, FilterStatsResult{
+		Snapshot: snap.Version,
+		Filters:  snap.Engine.NumFilters(),
+		Top:      snap.Engine.TopFilters(n),
+		Lists:    snap.Engine.AttributionByList(),
+	})
+}
+
+// metricsHandler serves the Prometheus exposition: every instrument of
+// reg, then the filter-attribution families derived from the current
+// snapshot's per-filter counters:
+//
+//	aa_filter_hits_total{list="..."}   — effective-filter hits per list
+//	aa_filters_loaded{list="..."}      — compiled filters per list
+//	aa_filters_fired{list="..."}       — filters with ≥1 hit per list
+//	aa_snapshot_version                — current engine generation
+func (s *Service) metricsHandler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		if reg != nil {
+			reg.WritePrometheus(w) //nolint:errcheck // best-effort scrape output
+		}
+		snap := s.cur.Load()
+		attr := snap.Engine.AttributionByList()
+		lists := make([]string, 0, len(attr))
+		for name := range attr {
+			lists = append(lists, name)
+		}
+		sort.Strings(lists)
+		fmt.Fprint(w, "# TYPE aa_filter_hits_total counter\n")
+		for _, name := range lists {
+			fmt.Fprintf(w, "aa_filter_hits_total{list=%q} %d\n", name, attr[name].Hits)
+		}
+		fmt.Fprint(w, "# TYPE aa_filters_loaded gauge\n")
+		for _, name := range lists {
+			fmt.Fprintf(w, "aa_filters_loaded{list=%q} %d\n", name, attr[name].Filters)
+		}
+		fmt.Fprint(w, "# TYPE aa_filters_fired gauge\n")
+		for _, name := range lists {
+			fmt.Fprintf(w, "aa_filters_fired{list=%q} %d\n", name, attr[name].Fired)
+		}
+		fmt.Fprintf(w, "# TYPE aa_snapshot_version gauge\naa_snapshot_version %d\n", snap.Version)
+	})
+}

@@ -35,9 +35,18 @@ type HandlerConfig struct {
 //
 //	POST /v1/match        — one request in, one decision out
 //	POST /v1/match-batch  — up to 4096 requests against one snapshot
+//	POST /v1/explain      — one request in, decision + full match trail out
 //	POST /v1/elemhide     — element-hiding stylesheet for a document host
 //	GET  /v1/lists        — snapshot introspection (lists, version, cache)
 //	POST /v1/reload       — rebuild the snapshot from the list source
+//	GET  /metrics         — Prometheus text exposition + attribution families
+//	GET  /debug/filters   — top-N per-filter hit attribution
+//
+// Every endpoint carries a trace id: an inbound X-AA-Trace header is
+// honored (so a caller can stitch our spans into its own trace), one is
+// minted otherwise, and the id is echoed back in the X-AA-Trace response
+// header and attached to the request's context for span correlation and
+// trace-ring annotations.
 func Handler(svc *Service, cfg HandlerConfig) http.Handler {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
@@ -45,14 +54,24 @@ func Handler(svc *Service, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/match", endpoint(cfg, "match", http.MethodPost, svc.handleMatch))
 	mux.Handle("/v1/match-batch", endpoint(cfg, "batch", http.MethodPost, svc.handleMatchBatch))
+	mux.Handle("/v1/explain", endpoint(cfg, "explain", http.MethodPost, svc.handleExplain))
 	mux.Handle("/v1/elemhide", endpoint(cfg, "elemhide", http.MethodPost, svc.handleElemHide))
 	mux.Handle("/v1/lists", endpoint(cfg, "lists", http.MethodGet, svc.handleLists))
 	mux.Handle("/v1/reload", endpoint(cfg, "reload", http.MethodPost, svc.handleReload))
+	mux.Handle("/metrics", svc.metricsHandler(cfg.Obs))
+	mux.Handle("/debug/filters", endpoint(cfg, "filters", http.MethodGet, svc.handleFilterStats))
 	return mux
 }
 
+// TraceHeader is the request/response header carrying the trace id.
+const TraceHeader = "X-AA-Trace"
+
+// maxTraceIDLen bounds an inbound trace id; longer values are replaced
+// with a minted one rather than echoed back verbatim.
+const maxTraceIDLen = 64
+
 // endpoint wraps one handler with method gating, the per-request
-// deadline, and per-endpoint telemetry.
+// deadline, trace propagation, and per-endpoint telemetry.
 func endpoint(cfg HandlerConfig, name, method string,
 	h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.Handler {
 	var requests *obs.Counter
@@ -71,9 +90,20 @@ func endpoint(cfg HandlerConfig, name, method string,
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), cfg.RequestTimeout)
 		defer cancel()
+		trace := obs.TraceID(r.Header.Get(TraceHeader))
+		if trace == "" || len(trace) > maxTraceIDLen {
+			trace = obs.NewTraceID()
+		}
+		ctx = obs.ContextWithTrace(ctx, trace)
+		// Root span for parent/child correlation: no registry (the
+		// endpoint's own latency histogram below already times it), but
+		// child spans — the reload span, notably — link back to its id.
+		sp, ctx := obs.StartSpanCtx(ctx, nil, nil, "decision.http."+name)
+		w.Header().Set(TraceHeader, string(trace))
 		start := time.Now()
 		sw := &statusCatcher{ResponseWriter: w, status: http.StatusOK}
 		h(ctx, sw, r.WithContext(ctx))
+		sp.End()
 		if requests != nil {
 			requests.Inc()
 			if sw.status >= 400 {
@@ -180,6 +210,8 @@ func (s *Service) handleMatch(ctx context.Context, w http.ResponseWriter, r *htt
 		return
 	}
 	d, cached := s.Match(req)
+	obs.DefaultRing.Annotate(ctx, "match",
+		fmt.Sprintf("url=%s verdict=%s cached=%t", q.URL, d.Verdict, cached))
 	writeJSON(w, toResult(d, cached))
 }
 
@@ -231,6 +263,8 @@ func (s *Service) handleMatchBatch(ctx context.Context, w http.ResponseWriter, r
 			out.Cached++
 		}
 	}
+	obs.DefaultRing.Annotate(ctx, "match-batch",
+		fmt.Sprintf("requests=%d cached=%d snapshot=%d", len(q.Requests), out.Cached, snap.Version))
 	writeJSON(w, out)
 }
 

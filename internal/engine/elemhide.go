@@ -12,6 +12,10 @@ type compiledElem struct {
 	f    *filter.Filter
 	list string
 	sel  *css.Selector
+	// id is the filter's dense attribution slot in Engine.hits; line is
+	// its 1-based position in the source list's text.
+	id   uint32
+	line int32
 }
 
 // elemHideIndex holds hiding filters indexed by the id/class their subject
@@ -35,8 +39,8 @@ func newElemHideIndex() *elemHideIndex {
 
 // addCompiled files a hiding filter whose selector was already compiled
 // (compilation is hoisted into compileFilters so it can parallelize).
-func (idx *elemHideIndex) addCompiled(list string, f *filter.Filter, sel *css.Selector) {
-	c := &compiledElem{f: f, list: list, sel: sel}
+func (idx *elemHideIndex) addCompiled(list string, f *filter.Filter, sel *css.Selector, id uint32, line int32) {
+	c := &compiledElem{f: f, list: list, sel: sel, id: id, line: line}
 	if f.Kind == filter.KindElemHideException {
 		idx.exceptions[f.Selector] = append(idx.exceptions[f.Selector], c)
 		return

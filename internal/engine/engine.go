@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"acceptableads/internal/filter"
 )
@@ -36,28 +38,35 @@ type Request struct {
 // MatchOption tunes one MatchRequest or HideElements call. The default
 // (no options) is the instrumented evaluation the paper's survey uses:
 // both filter sides are always consulted and the effective filter is
-// recorded. Options are plain bits so resolving them on the hot path is
-// a couple of ORs — no closure calls, nothing escapes to the heap.
-type MatchOption uint8
+// recorded. Options are small by-value structs so resolving them on the
+// hot path is a couple of ORs and a pointer copy — no closure calls,
+// nothing escapes to the heap.
+type MatchOption struct {
+	bits  uint8
+	trail *Trail
+}
 
 const (
-	optShortCircuit MatchOption = 1 << iota
+	optShortCircuit uint8 = 1 << iota
 	optLinear
+	optExplain
 )
 
 // WithLinearScan bypasses the keyword index (request matching) and the
 // id/class candidate index (element hiding), scanning every filter. It
 // exists for the differential tests and the ablation benchmarks that
-// quantify what the indexes buy; linear matching records no activations.
-// It composes with WithShortCircuit: both together give production-order
-// evaluation without the index.
-func WithLinearScan() MatchOption { return optLinear }
+// quantify what the indexes buy; linear matching records no activations
+// and no attribution. It composes with WithShortCircuit: both together
+// give production-order evaluation without the index.
+func WithLinearScan() MatchOption { return MatchOption{bits: optLinear} }
 
 // WithShortCircuit selects the production evaluation order: the exception
 // side is only consulted after a blocking filter matches, and nothing is
 // recorded — the behaviour of a stock (non-instrumented) Adblock Plus,
-// and the baseline for the instrumentation-overhead ablation.
-func WithShortCircuit() MatchOption { return optShortCircuit }
+// and the baseline for the instrumentation-overhead ablation. The
+// per-filter attribution slot of the effective filter is still bumped
+// (one atomic add; the path stays allocation-free).
+func WithShortCircuit() MatchOption { return MatchOption{bits: optShortCircuit} }
 
 // Verdict is the outcome of matching one request.
 type Verdict uint8
@@ -171,6 +180,10 @@ type compiledRequest struct {
 	f    *filter.Filter
 	list string
 	pat  *pattern
+	// id is the filter's dense attribution slot in Engine.hits; line is
+	// its 1-based position in the source list's text.
+	id   uint32
+	line int32
 }
 
 // matches applies every per-filter gate: pattern, content type, party
@@ -271,16 +284,25 @@ func (idx *unifiedIndex) add(r role, c *compiledRequest) {
 // once every wanted role has a match. Within one role, candidates are
 // visited in exactly the order the old per-role indexes used (URL keyword
 // order, then insertion order), so the reported filter is unchanged.
-func (idx *unifiedIndex) probe(req *Request, want uint8, res *[numRoles]*compiledRequest) uint8 {
+// tr, when non-nil, receives the probe's provenance (explained matches
+// only; the hot path passes nil and pays one predictable branch).
+func (idx *unifiedIndex) probe(req *Request, want uint8, res *[numRoles]*compiledRequest, tr *Trail) uint8 {
 	for _, h := range req.kwh {
 		bucket := idx.byHash[h]
+		if tr != nil && len(bucket) > 0 {
+			tr.BucketsProbed++
+		}
 		for i := range bucket {
 			e := &bucket[i]
 			bit := uint8(1) << e.role
 			if want&bit == 0 {
 				continue
 			}
-			if e.c.matches(req) {
+			ok := e.c.matches(req)
+			if tr != nil {
+				tr.candidate(e.c, e.role, ok, false)
+			}
+			if ok {
 				res[e.role] = e.c
 				want &^= bit
 				if want == 0 {
@@ -294,9 +316,14 @@ func (idx *unifiedIndex) probe(req *Request, want uint8, res *[numRoles]*compile
 
 // scanSlow returns the first keyword-less filter of the role matching the
 // request.
-func (idx *unifiedIndex) scanSlow(req *Request, r role) *compiledRequest {
+func (idx *unifiedIndex) scanSlow(req *Request, r role, tr *Trail) *compiledRequest {
 	for _, c := range idx.slow[r] {
-		if c.matches(req) {
+		ok := c.matches(req)
+		if tr != nil {
+			tr.SlowScanned++
+			tr.candidate(c, r, ok, true)
+		}
+		if ok {
 			return c
 		}
 	}
@@ -305,9 +332,13 @@ func (idx *unifiedIndex) scanSlow(req *Request, r role) *compiledRequest {
 
 // findLinear scans every filter of the role without the keyword index —
 // the baseline for the index ablations.
-func (idx *unifiedIndex) findLinear(req *Request, r role) *compiledRequest {
+func (idx *unifiedIndex) findLinear(req *Request, r role, tr *Trail) *compiledRequest {
 	for _, c := range idx.all[r] {
-		if c.matches(req) {
+		ok := c.matches(req)
+		if tr != nil {
+			tr.candidate(c, r, ok, false)
+		}
+		if ok {
 			return c
 		}
 	}
@@ -329,9 +360,33 @@ type Engine struct {
 	numFilters int
 	lists      []string
 	listCounts map[string]int
+	// refs maps a filter's dense id to its identity (filter, list, line)
+	// — the lookup side of the attribution slots.
+	refs []filterRef
+	// hits holds one atomic counter per compiled filter, indexed by the
+	// filter's id. It is (re)sized at the end of every addList, so after
+	// construction every filter has a slot and the match path bumps it
+	// with a single indexed atomic add — no map, no allocation.
+	hits []atomic.Int64
 	// metrics is the optional telemetry hook; nil (the default) keeps the
 	// match path free of instrumentation. See SetMetrics.
 	metrics *engineMetrics
+}
+
+// filterRef is the identity behind one attribution slot.
+type filterRef struct {
+	f    *filter.Filter
+	list string
+	line int32
+}
+
+// hit bumps a filter's attribution slot. The guard only matters for the
+// deprecated mutate-while-matching AddList path; built engines always
+// have a slot per filter.
+func (e *Engine) hit(id uint32) {
+	if int(id) < len(e.hits) {
+		e.hits[id].Add(1)
+	}
 }
 
 // New builds an engine over the given named lists. Invalid entries and
@@ -371,25 +426,39 @@ func (e *Engine) addList(name string, l *filter.List, workers int) error {
 	e.lists = append(e.lists, name)
 	before := e.numFilters
 	filters := l.Active()
+	// Source lines for attribution: position of each active filter within
+	// the list text, 1-based, in the same order Active() returns them.
+	lines := make([]int32, 0, len(filters))
+	for i, f := range l.Entries {
+		if f.IsActive() {
+			lines = append(lines, int32(i+1))
+		}
+	}
 	units := compileFilters(filters, workers)
 	for i, f := range filters {
 		if err := units[i].err; err != nil {
 			return fmt.Errorf("engine: list %s: filter %q: %w", name, f.Raw, err)
 		}
-		e.insertCompiled(name, f, units[i])
+		e.insertCompiled(name, f, units[i], lines[i])
 	}
 	if e.listCounts == nil {
 		e.listCounts = make(map[string]int)
 	}
 	e.listCounts[name] += e.numFilters - before
+	// Fresh attribution slots covering every filter loaded so far. Counts
+	// recorded mid-construction are discarded — matching before the engine
+	// is fully built is the deprecated AddList path only.
+	e.hits = make([]atomic.Int64, e.numFilters)
 	return nil
 }
 
-// insertCompiled files one pre-compiled filter into the indexes.
-func (e *Engine) insertCompiled(list string, f *filter.Filter, u compiledUnit) {
+// insertCompiled files one pre-compiled filter into the indexes under the
+// next dense attribution id.
+func (e *Engine) insertCompiled(list string, f *filter.Filter, u compiledUnit, line int32) {
+	id := uint32(len(e.refs))
 	switch f.Kind {
 	case filter.KindRequestBlock, filter.KindRequestException:
-		c := &compiledRequest{f: f, list: list, pat: u.pat}
+		c := &compiledRequest{f: f, list: list, pat: u.pat, id: id, line: line}
 		switch {
 		case f.DoNotTrack && f.Kind == filter.KindRequestBlock:
 			e.index.add(roleDNT, c)
@@ -401,8 +470,9 @@ func (e *Engine) insertCompiled(list string, f *filter.Filter, u compiledUnit) {
 			e.index.add(roleException, c)
 		}
 	case filter.KindElemHide, filter.KindElemHideException:
-		e.elemHide.addCompiled(list, f, u.sel)
+		e.elemHide.addCompiled(list, f, u.sel, id, line)
 	}
+	e.refs = append(e.refs, filterRef{f: f, list: list, line: line})
 	e.numFilters++
 }
 
@@ -418,6 +488,72 @@ func (e *Engine) ListFilters(name string) int { return e.listCounts[name] }
 
 // SetRecorder installs the activation hook; nil disables recording.
 func (e *Engine) SetRecorder(r Recorder) { e.recorder = r }
+
+// FilterStat is one compiled filter's hit attribution: its text, where it
+// came from, and how many times it has been the effective filter since the
+// engine was built.
+type FilterStat struct {
+	Filter string `json:"filter"`
+	List   string `json:"list"`
+	Line   int    `json:"line"`
+	Hits   int64  `json:"hits"`
+}
+
+// FilterStats snapshots every filter's attribution counter in load (id)
+// order. Safe under concurrent matching: each slot is read with one atomic
+// load, so the snapshot is per-filter consistent (not a global cut — hits
+// landing mid-snapshot may or may not be included).
+func (e *Engine) FilterStats() []FilterStat {
+	out := make([]FilterStat, len(e.refs))
+	for i, r := range e.refs {
+		out[i] = FilterStat{
+			Filter: r.f.Raw,
+			List:   r.list,
+			Line:   int(r.line),
+			Hits:   e.hits[i].Load(),
+		}
+	}
+	return out
+}
+
+// TopFilters returns the n most-hit filters, most hits first, ties broken
+// by load order. The paper's core attribution question — what fraction of
+// a list's rules does the real work — reads straight off this ranking.
+func (e *Engine) TopFilters(n int) []FilterStat {
+	stats := e.FilterStats()
+	sort.SliceStable(stats, func(i, j int) bool { return stats[i].Hits > stats[j].Hits })
+	if n >= 0 && n < len(stats) {
+		stats = stats[:n]
+	}
+	return stats
+}
+
+// ListAttribution aggregates hit attribution over one list.
+type ListAttribution struct {
+	// Filters is how many compiled filters the list contributed.
+	Filters int `json:"filters"`
+	// Fired is how many of those have at least one hit.
+	Fired int `json:"fired"`
+	// Hits is the list's total effective-filter hits.
+	Hits int64 `json:"hits"`
+}
+
+// AttributionByList rolls the per-filter counters up per source list.
+func (e *Engine) AttributionByList() map[string]ListAttribution {
+	out := make(map[string]ListAttribution, len(e.lists))
+	for _, name := range e.lists {
+		out[name] = ListAttribution{Filters: e.listCounts[name]}
+	}
+	for i, r := range e.refs {
+		la := out[r.list]
+		if h := e.hits[i].Load(); h > 0 {
+			la.Fired++
+			la.Hits += h
+		}
+		out[r.list] = la
+	}
+	return out
+}
 
 // MatchRequest decides the fate of a request. With no options it runs in
 // instrumented mode: both the blocking and the exception side are always

@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"acceptableads/internal/filter"
+)
+
+func explainEngine(t *testing.T) *Engine {
+	t.Helper()
+	return mustEngine(t,
+		listOf("easylist", strings.Join([]string{
+			"! easylist header",
+			"||ads.example.com^",
+			"||tracker.example.net^$script",
+			"/banner/*$image",
+		}, "\n")),
+		listOf("exceptionrules", strings.Join([]string{
+			"! exceptionrules header",
+			"@@||ads.example.com/acceptable/$image",
+		}, "\n")),
+	)
+}
+
+// TestExplainBlocked: an explained blocked match names the winning filter
+// with its source list and 1-based line, and records the gated candidate.
+func TestExplainBlocked(t *testing.T) {
+	e := explainEngine(t)
+	req, err := NewRequest("http://ads.example.com/banner.gif", "http://news.example.com/", filter.TypeImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trail
+	d := e.MatchRequest(req, WithExplain(&tr))
+	if d.Verdict != Blocked {
+		t.Fatalf("verdict = %v, want blocked", d.Verdict)
+	}
+	if tr.Mode != "instrumented" || tr.ShortCircuit {
+		t.Errorf("mode = %q shortCircuit=%v, want instrumented/false", tr.Mode, tr.ShortCircuit)
+	}
+	if tr.Verdict != "blocked" {
+		t.Errorf("trail verdict = %q, want %q", tr.Verdict, "blocked")
+	}
+	if tr.Block == nil {
+		t.Fatal("trail has no winning block filter")
+	}
+	if tr.Block.Filter != "||ads.example.com^" || tr.Block.List != "easylist" || tr.Block.Line != 2 {
+		t.Errorf("block = %+v, want ||ads.example.com^ easylist:2", *tr.Block)
+	}
+	if tr.Exception != nil {
+		t.Errorf("unexpected exception on trail: %+v", *tr.Exception)
+	}
+	if tr.KeywordHashes == 0 || tr.BucketsProbed == 0 {
+		t.Errorf("probe stats empty: hashes=%d buckets=%d", tr.KeywordHashes, tr.BucketsProbed)
+	}
+	found := false
+	for _, c := range tr.Candidates {
+		if c.Filter == "||ads.example.com^" && c.Role == "block" && c.Matched {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("winning filter missing from candidates: %+v", tr.Candidates)
+	}
+}
+
+// TestExplainException: an allowed request names both the blocking filter
+// it would have hit and the exception that overrode it.
+func TestExplainException(t *testing.T) {
+	e := explainEngine(t)
+	req, err := NewRequest("http://ads.example.com/acceptable/ad.png", "http://news.example.com/", filter.TypeImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trail
+	d := e.MatchRequest(req, WithExplain(&tr))
+	if d.Verdict != Allowed {
+		t.Fatalf("verdict = %v, want allowed", d.Verdict)
+	}
+	if tr.Exception == nil {
+		t.Fatal("trail has no winning exception filter")
+	}
+	if tr.Exception.List != "exceptionrules" || tr.Exception.Line != 2 {
+		t.Errorf("exception = %+v, want exceptionrules:2", *tr.Exception)
+	}
+	if tr.Block == nil {
+		t.Error("instrumented trail should also name the overridden block filter")
+	}
+}
+
+// TestExplainModes: the trail's mode string reflects the option set, and
+// verdicts agree across all four evaluation modes.
+func TestExplainModes(t *testing.T) {
+	e := explainEngine(t)
+	req, err := NewRequest("http://tracker.example.net/t.js", "http://news.example.com/", filter.TypeScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		mode string
+		opts []MatchOption
+	}{
+		{"instrumented", nil},
+		{"short-circuit", []MatchOption{WithShortCircuit()}},
+		{"instrumented+linear", []MatchOption{WithLinearScan()}},
+		{"short-circuit+linear", []MatchOption{WithShortCircuit(), WithLinearScan()}},
+	}
+	for _, c := range cases {
+		var tr Trail
+		d := e.MatchRequest(req, append(c.opts, WithExplain(&tr))...)
+		if tr.Mode != c.mode {
+			t.Errorf("mode = %q, want %q", tr.Mode, c.mode)
+		}
+		if d.Verdict != Blocked || tr.Verdict != "blocked" {
+			t.Errorf("mode %s: verdict = %v / trail %q, want blocked", c.mode, d.Verdict, tr.Verdict)
+		}
+		if tr.Block == nil {
+			t.Errorf("mode %s: no block filter on trail", c.mode)
+		}
+	}
+}
+
+// TestExplainTrailReuse: a Trail is caller-owned and reset on entry, so
+// reusing one across matches never leaks the previous outcome.
+func TestExplainTrailReuse(t *testing.T) {
+	e := explainEngine(t)
+	blocked, err := NewRequest("http://ads.example.com/x.gif", "http://news.example.com/", filter.TypeImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No keyword overlap with any filter, so nothing is gated at all.
+	clean, err := NewRequest("http://styles.test/app.css", "http://styles.test/", filter.TypeStylesheet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trail
+	e.MatchRequest(blocked, WithExplain(&tr))
+	if tr.Block == nil {
+		t.Fatal("first match recorded no block")
+	}
+	d := e.MatchRequest(clean, WithExplain(&tr))
+	if d.Verdict != NoMatch {
+		t.Fatalf("verdict = %v, want no-match", d.Verdict)
+	}
+	if tr.Block != nil || tr.Exception != nil || tr.Verdict != "no-match" {
+		t.Errorf("stale trail after reuse: block=%v exception=%v verdict=%q",
+			tr.Block, tr.Exception, tr.Verdict)
+	}
+	if len(tr.Candidates) != 0 && tr.Candidates[0].Filter == "||ads.example.com^" {
+		t.Errorf("stale candidates after reuse: %+v", tr.Candidates)
+	}
+}
+
+// TestExplainCandidateCap: the candidate list is bounded and the overflow
+// is counted, so a request hitting a huge bucket cannot balloon the trail.
+func TestExplainCandidateCap(t *testing.T) {
+	var lines []string
+	for i := 0; i < trailMaxCandidates+100; i++ {
+		// Same keyword, so every filter lands in one bucket and every one
+		// is gated for a /kw/ request.
+		lines = append(lines, "/kw/file"+string(rune('a'+i%26))+"$script,domain=d"+itoa(i)+".example")
+	}
+	e := mustEngine(t, listOf("big", strings.Join(lines, "\n")))
+	req, err := NewRequest("http://x.example/kw/filea", "http://x.example/", filter.TypeScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trail
+	e.MatchRequest(req, WithExplain(&tr))
+	if len(tr.Candidates) > trailMaxCandidates {
+		t.Errorf("candidates = %d, want <= %d", len(tr.Candidates), trailMaxCandidates)
+	}
+	if len(tr.Candidates) == trailMaxCandidates && tr.TruncatedCandidates == 0 {
+		t.Error("cap reached but no truncation counted")
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// TestFilterStats: attribution counters index the effective filter of
+// every match, and the aggregates roll up by list.
+func TestFilterStats(t *testing.T) {
+	e := explainEngine(t)
+	reqs := []struct {
+		url, doc string
+		typ      filter.ContentType
+	}{
+		{"http://ads.example.com/a.gif", "http://news.example.com/", filter.TypeImage},
+		{"http://ads.example.com/b.gif", "http://news.example.com/", filter.TypeImage},
+		{"http://ads.example.com/acceptable/ad.png", "http://news.example.com/", filter.TypeImage},
+	}
+	for _, r := range reqs {
+		req, err := NewRequest(r.url, r.doc, r.typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.MatchRequest(req, WithShortCircuit())
+	}
+	stats := e.FilterStats()
+	if len(stats) != e.NumFilters() {
+		t.Fatalf("FilterStats returned %d entries, want %d", len(stats), e.NumFilters())
+	}
+	byFilter := map[string]FilterStat{}
+	for _, s := range stats {
+		byFilter[s.Filter] = s
+	}
+	if got := byFilter["||ads.example.com^"]; got.Hits != 2 || got.List != "easylist" || got.Line != 2 {
+		t.Errorf("||ads.example.com^ stat = %+v, want 2 hits from easylist:2", got)
+	}
+	if got := byFilter["@@||ads.example.com/acceptable/$image"]; got.Hits != 1 {
+		t.Errorf("exception stat = %+v, want 1 hit", got)
+	}
+
+	top := e.TopFilters(1)
+	if len(top) != 1 || top[0].Filter != "||ads.example.com^" {
+		t.Errorf("TopFilters(1) = %+v, want the 2-hit blocker", top)
+	}
+
+	byList := e.AttributionByList()
+	el := byList["easylist"]
+	if el.Fired != 1 || el.Hits != 2 {
+		t.Errorf("easylist attribution = %+v, want fired=1 hits=2", el)
+	}
+	ex := byList["exceptionrules"]
+	if ex.Fired != 1 || ex.Hits != 1 {
+		t.Errorf("exceptionrules attribution = %+v, want fired=1 hits=1", ex)
+	}
+}

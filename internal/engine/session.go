@@ -50,37 +50,50 @@ func (s *Session) record(a Activation) {
 // blocking and exception in one probe pass, and the Decision embeds its
 // matches by value. TestMatchRequestZeroAlloc pins the property.
 func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
-	var mo MatchOption
+	var bits uint8
+	var tr *Trail
 	for _, o := range opts {
-		mo |= o
+		bits |= o.bits
+		if o.trail != nil {
+			tr = o.trail
+		}
+	}
+	if tr != nil {
+		tr.reset(trailMode(bits), bits&optShortCircuit != 0)
 	}
 	req.prepare()
+	if tr != nil {
+		tr.KeywordHashes = len(req.kwh)
+	}
 	idx := s.e.index
 
 	var d Decision
-	if mo&optLinear != 0 {
+	if bits&optLinear != 0 {
 		// Index-free ablation: scan every filter on both sides. Records
-		// nothing. Combined with WithShortCircuit it keeps production
-		// evaluation order, just without the index.
-		if mo&optShortCircuit != 0 {
-			c := idx.findLinear(req, roleBlocking)
+		// no activations and no attribution. Combined with
+		// WithShortCircuit it keeps production evaluation order, just
+		// without the index.
+		if bits&optShortCircuit != 0 {
+			c := idx.findLinear(req, roleBlocking, tr)
 			if c == nil {
-				return d
+				return finishTrail(tr, &d, nil, nil)
 			}
 			d.blocked = Match{Filter: c.f, List: c.list}
-			if x := idx.findLinear(req, roleException); x != nil {
+			if x := idx.findLinear(req, roleException, tr); x != nil {
 				d.allowed = Match{Filter: x.f, List: x.list}
 				d.Verdict = Allowed
-				return d
+				return finishTrail(tr, &d, c, x)
 			}
 			d.Verdict = Blocked
-			return d
+			return finishTrail(tr, &d, c, nil)
 		}
-		if c := idx.findLinear(req, roleBlocking); c != nil {
+		c := idx.findLinear(req, roleBlocking, tr)
+		x := idx.findLinear(req, roleException, tr)
+		if c != nil {
 			d.blocked = Match{Filter: c.f, List: c.list}
 		}
-		if c := idx.findLinear(req, roleException); c != nil {
-			d.allowed = Match{Filter: c.f, List: c.list}
+		if x != nil {
+			d.allowed = Match{Filter: x.f, List: x.list}
 		}
 		switch {
 		case d.allowed.Filter != nil:
@@ -88,38 +101,43 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		case d.blocked.Filter != nil:
 			d.Verdict = Blocked
 		}
-		return d
+		return finishTrail(tr, &d, c, x)
 	}
-	if mo&optShortCircuit != 0 {
+	if bits&optShortCircuit != 0 {
 		// Production order: the exception side only decides anything
 		// after a blocking filter matches. One probe pass resolves both
 		// roles from the keyword buckets; the keyword-less exception
-		// bucket is only scanned once a blocker actually matched.
+		// bucket is only scanned once a blocker actually matched. The
+		// effective filter's attribution slot is bumped — one indexed
+		// atomic add, no allocation.
 		var res [numRoles]*compiledRequest
-		idx.probe(req, maskBlocking|maskException, &res)
+		idx.probe(req, maskBlocking|maskException, &res, tr)
 		c := res[roleBlocking]
 		if c == nil {
-			c = idx.scanSlow(req, roleBlocking)
+			c = idx.scanSlow(req, roleBlocking, tr)
 		}
 		if c == nil {
-			return d
+			return finishTrail(tr, &d, nil, nil)
 		}
 		d.blocked = Match{Filter: c.f, List: c.list}
 		x := res[roleException]
 		if x == nil {
-			x = idx.scanSlow(req, roleException)
+			x = idx.scanSlow(req, roleException, tr)
 		}
 		if x != nil {
 			d.allowed = Match{Filter: x.f, List: x.list}
 			d.Verdict = Allowed
-			return d
+			s.e.hit(x.id)
+			return finishTrail(tr, &d, c, x)
 		}
 		d.Verdict = Blocked
-		return d
+		s.e.hit(c.id)
+		return finishTrail(tr, &d, c, nil)
 	}
 
 	// Instrumented mode: both sides always evaluated, DNT signalling
-	// resolved, effective filter recorded, metrics observed.
+	// resolved, effective filter recorded and attributed, metrics
+	// observed.
 	m := s.e.metrics
 	var start time.Time
 	if m != nil {
@@ -130,12 +148,12 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		want |= maskDNT | maskDNTException
 	}
 	var res [numRoles]*compiledRequest
-	idx.probe(req, want, &res)
+	idx.probe(req, want, &res, tr)
 	if res[roleBlocking] == nil {
-		res[roleBlocking] = idx.scanSlow(req, roleBlocking)
+		res[roleBlocking] = idx.scanSlow(req, roleBlocking, tr)
 	}
 	if res[roleException] == nil {
-		res[roleException] = idx.scanSlow(req, roleException)
+		res[roleException] = idx.scanSlow(req, roleException, tr)
 	}
 	if c := res[roleBlocking]; c != nil {
 		d.blocked = Match{Filter: c.f, List: c.list}
@@ -146,10 +164,12 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 	switch {
 	case d.allowed.Filter != nil:
 		d.Verdict = Allowed
+		s.e.hit(res[roleException].id)
 		s.record(Activation{Filter: d.allowed.Filter, List: d.allowed.List,
 			Kind: ActRequest, URL: req.URL, PageHost: req.DocumentHost})
 	case d.blocked.Filter != nil:
 		d.Verdict = Blocked
+		s.e.hit(res[roleBlocking].id)
 		s.record(Activation{Filter: d.blocked.Filter, List: d.blocked.List,
 			Kind: ActRequest, URL: req.URL, PageHost: req.DocumentHost})
 	}
@@ -158,15 +178,16 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 	if idx.hasDNT() {
 		dnt := res[roleDNT]
 		if dnt == nil {
-			dnt = idx.scanSlow(req, roleDNT)
+			dnt = idx.scanSlow(req, roleDNT, tr)
 		}
 		if dnt != nil {
 			exc := res[roleDNTException]
 			if exc == nil {
-				exc = idx.scanSlow(req, roleDNTException)
+				exc = idx.scanSlow(req, roleDNTException, tr)
 			}
 			if exc == nil {
 				d.DoNotTrack = true
+				s.e.hit(dnt.id)
 			}
 		}
 	}
@@ -175,7 +196,30 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		m.verdict(d.Verdict)
 		m.latency.Observe(time.Since(start))
 	}
-	return d
+	return finishTrail(tr, &d, res[roleBlocking], res[roleException])
+}
+
+// trailMode names the evaluation order an option set selects.
+func trailMode(bits uint8) string {
+	switch {
+	case bits&optLinear != 0 && bits&optShortCircuit != 0:
+		return "short-circuit+linear"
+	case bits&optLinear != 0:
+		return "instrumented+linear"
+	case bits&optShortCircuit != 0:
+		return "short-circuit"
+	default:
+		return "instrumented"
+	}
+}
+
+// finishTrail stamps the outcome onto a non-nil trail and passes the
+// decision through, keeping the match paths' early returns one-liners.
+func finishTrail(tr *Trail, d *Decision, block, exc *compiledRequest) Decision {
+	if tr != nil {
+		tr.finish(d, block, exc)
+	}
+	return *d
 }
 
 // PagePermissions evaluates page-level allowances, recording to the
@@ -200,20 +244,22 @@ func (s *Session) PagePermissions(pageURL, sitekeyB64 string) PageFlags {
 	probe := func(t filter.ContentType) *compiledRequest {
 		req.Type = t
 		var res [numRoles]*compiledRequest
-		if idx.probe(req, maskException, &res) == 0 {
+		if idx.probe(req, maskException, &res, nil) == 0 {
 			return res[roleException]
 		}
-		return idx.scanSlow(req, roleException)
+		return idx.scanSlow(req, roleException, nil)
 	}
 	if c := probe(filter.TypeDocument); c != nil {
 		flags.DocumentAllowed = true
 		flags.DocumentBy = &Match{Filter: c.f, List: c.list}
+		s.e.hit(c.id)
 		s.record(Activation{Filter: c.f, List: c.list, Kind: ActDocument,
 			URL: pageURL, PageHost: req.DocumentHost})
 	}
 	if c := probe(filter.TypeElemHide); c != nil {
 		flags.ElemHideDisabled = true
 		flags.ElemHideBy = &Match{Filter: c.f, List: c.list}
+		s.e.hit(c.id)
 		s.record(Activation{Filter: c.f, List: c.list, Kind: ActDocument,
 			URL: pageURL, PageHost: req.DocumentHost})
 	}
@@ -224,12 +270,12 @@ func (s *Session) PagePermissions(pageURL, sitekeyB64 string) PageFlags {
 // Engine.HideElements. WithLinearScan evaluates every hiding selector
 // against the document instead of the id/class candidate index.
 func (s *Session) HideElements(doc *htmldom.Node, pageURL, docHost string, opts ...MatchOption) []ElementMatch {
-	var mo MatchOption
+	var bits uint8
 	for _, o := range opts {
-		mo |= o
+		bits |= o.bits
 	}
 	candidates := s.e.elemHide.all
-	if mo&optLinear == 0 {
+	if bits&optLinear == 0 {
 		candidates = s.e.elemHideCandidates(doc)
 	}
 	return s.applyElemHide(candidates, doc, pageURL, docHost)
@@ -252,9 +298,11 @@ func (s *Session) applyElemHide(candidates []*compiledElem, doc *htmldom.Node, p
 				m.AllowedBy = &Match{Filter: exc.f, List: exc.list}
 			}
 			out = append(out, m)
+			s.e.hit(c.id)
 			s.record(Activation{Filter: c.f, List: c.list, Kind: ActElement,
 				URL: pageURL, PageHost: docHost})
 			if exc != nil {
+				s.e.hit(exc.id)
 				s.record(Activation{Filter: exc.f, List: exc.list, Kind: ActElement,
 					URL: pageURL, PageHost: docHost})
 			}

@@ -59,6 +59,27 @@ func TestMatchRequestZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("short-circuit MatchRequest allocated %.1f times per run over %d requests, want 0", allocs, len(reqs))
 	}
+
+	// Attribution counters are always on: the runs above must have
+	// recorded per-filter hits without costing a single allocation.
+	var hits int64
+	for _, st := range e.FilterStats() {
+		hits += st.Hits
+	}
+	if hits == 0 {
+		t.Error("attribution counters recorded no hits after matched requests")
+	}
+
+	// The same holds for the instrumented (full-scan) mode with explain
+	// off: the nil-trail branch must not allocate either.
+	allocs = testing.AllocsPerRun(200, func() {
+		for _, req := range reqs {
+			sess.MatchRequest(req)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented MatchRequest allocated %.1f times per run over %d requests, want 0", allocs, len(reqs))
+	}
 }
 
 // TestBuilderParallelDeterminism: the engine built with parallel filter

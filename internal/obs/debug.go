@@ -13,9 +13,12 @@ import (
 //
 //	/debug/vars     — expvar-style JSON snapshot of the registry
 //	/debug/progress — per-stage completion, rate and ETA
+//	/debug/trace    — the DefaultRing trace-annotation flight recorder
+//	/metrics        — Prometheus text-format exposition of the registry
 //	/debug/pprof/*  — the standard Go profiler endpoints
 //
-// reg and prog may each be nil; their endpoints then serve empty objects.
+// reg and prog may each be nil; their endpoints then serve empty objects
+// (a nil prog serves literally "{}" on /debug/progress).
 func DebugHandler(reg *Registry, prog *Progress) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -23,6 +26,8 @@ func DebugHandler(reg *Registry, prog *Progress) http.Handler {
 		fmt.Fprint(w, `<html><body><h1>debug</h1><ul>
 <li><a href="/debug/vars">/debug/vars</a></li>
 <li><a href="/debug/progress">/debug/progress</a></li>
+<li><a href="/debug/trace">/debug/trace</a></li>
+<li><a href="/metrics">/metrics</a></li>
 <li><a href="/debug/pprof/">/debug/pprof/</a></li>
 </ul></body></html>`)
 	})
@@ -34,12 +39,17 @@ func DebugHandler(reg *Registry, prog *Progress) http.Handler {
 		writeJSON(w, s)
 	})
 	mux.HandleFunc("/debug/progress", func(w http.ResponseWriter, r *http.Request) {
-		var s ProgressSnapshot
-		if prog != nil {
-			s = prog.Snapshot()
+		if prog == nil {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, "{}")
+			return
 		}
-		writeJSON(w, s)
+		writeJSON(w, prog.Snapshot())
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"events": DefaultRing.Events()})
+	})
+	mux.Handle("/metrics", PrometheusHandler(reg))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

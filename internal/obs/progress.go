@@ -94,7 +94,9 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	now := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := ProgressSnapshot{}
+	// Stages is never nil so the snapshot marshals as [] rather than null
+	// even before any stage exists.
+	out := ProgressSnapshot{Stages: []StageSnapshot{}}
 	var earliest int64
 	for _, name := range p.order {
 		ss := p.stages[name].snapshot(now)

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of a Registry,
+// served as /metrics beside the JSON /debug/vars. The mapping:
+//
+//   - counter "engine.match.attempts" → counter "engine_match_attempts_total"
+//   - gauge "decision.cache.entries"  → gauge "decision_cache_entries"
+//   - histogram "engine.match.latency" (nanoseconds by convention) →
+//     histogram "engine_match_latency_seconds" with cumulative le buckets,
+//     _sum and _count, plus "..._seconds_p50/_p90/_p99" quantile gauges
+//     (exported as separate gauge families — the text format has no
+//     native quantile slot on the histogram type).
+//
+// The histogram buckets are a fixed decade ladder from 100ns to 10s:
+// coarser than the internal HDR-style buckets, but a stable, scrape-
+// friendly shape that every Prometheus can graph.
+
+// promBoundsNs is the exposed bucket ladder, in the histograms' native
+// nanoseconds.
+var promBoundsNs = []int64{
+	100, 1_000, 10_000, 100_000,
+	1_000_000, 10_000_000, 100_000_000,
+	1_000_000_000, 10_000_000_000,
+}
+
+// Cumulative returns, for each upper bound, how many observations are ≤
+// that bound (conservatively, by each internal bucket's upper value), in
+// the histogram's native unit. The last element of the returned slice is
+// the total count (the +Inf bucket).
+func (h *Histogram) Cumulative(bounds []int64) []int64 {
+	out := make([]int64, len(bounds)+1)
+	for idx := 0; idx < histBuckets; idx++ {
+		var n int64
+		for s := range h.stripes {
+			n += h.stripes[s].counts[idx].Load()
+		}
+		if n == 0 {
+			continue
+		}
+		slot := len(bounds) // +Inf
+		hi := bucketHigh(idx)
+		for i, b := range bounds {
+			if hi <= b {
+				slot = i
+				break
+			}
+		}
+		out[slot] += n
+	}
+	// Make the per-bound counts cumulative; the final slot becomes total.
+	for i := 1; i < len(out); i++ {
+		out[i] += out[i-1]
+	}
+	return out
+}
+
+// promName converts the registry's dotted lowercase convention to a valid
+// Prometheus metric name: dots become underscores, and any rune outside
+// [a-zA-Z0-9_:] becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '.':
+			b.WriteByte('_')
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the exposition format accepts (no exponent
+// surprises for integral values).
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every instrument in the registry in Prometheus
+// text exposition format, families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	// Histograms need the live instrument for bucket counts; grab refs
+	// under the lock.
+	r.mu.RLock()
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	r.mu.RUnlock()
+
+	for _, name := range names(s.Counters) {
+		n := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range names(s.Gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range names(s.Histograms) {
+		h := hists[name]
+		snap := s.Histograms[name]
+		n := promName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		cum := h.Cumulative(promBoundsNs)
+		for i, b := range promBoundsNs {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, promFloat(float64(b)/1e9), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(float64(snap.Sum)/1e9), n, snap.Count); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			suffix string
+			v      int64
+		}{{"_p50", snap.P50}, {"_p90", snap.P90}, {"_p99", snap.P99}} {
+			qn := n + q.suffix
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", qn, qn, promFloat(float64(q.v)/1e9)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PrometheusContentType is the Content-Type of the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PrometheusHandler serves the registry as a /metrics endpoint. A nil
+// registry serves an empty exposition.
+func PrometheusHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		if reg != nil {
+			reg.WritePrometheus(w) //nolint:errcheck // best-effort scrape output
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"log/slog"
 	"time"
 )
@@ -9,32 +10,81 @@ import (
 // elapsed time into the registry's "<name>.duration" histogram and — when
 // tracing is enabled — emits a debug log line. Span is a value type so a
 // span on the hot path costs no allocation.
+//
+// A span that ends in failure should be marked with Fail before End: the
+// duration then lands in the separate "<name>.error.duration" histogram
+// and bumps the "<name>.errors" counter, so ok and error latencies never
+// pollute each other's quantiles. Note that `defer sp.End()` copies the
+// span before any later Fail call — when a span can fail, end it
+// explicitly (or defer a closure).
 type Span struct {
-	name  string
-	start time.Time
-	hist  *Histogram
-	log   *slog.Logger
+	name   string
+	start  time.Time
+	hist   *Histogram
+	log    *slog.Logger
+	reg    *Registry
+	err    error
+	trace  TraceID
+	id     uint64
+	parent uint64
 }
 
 // StartSpan opens a span. reg and log may each be nil, disabling the
 // corresponding output.
 func StartSpan(reg *Registry, log *slog.Logger, name string) Span {
-	sp := Span{name: name, start: time.Now(), log: log}
+	sp := Span{name: name, start: time.Now(), log: log, reg: reg}
 	if reg != nil {
 		sp.hist = reg.Histogram(name + ".duration")
 	}
 	return sp
 }
 
-// End closes the span, recording its duration. attrs are extra slog
-// key/value pairs attached to the trace line.
+// StartSpanCtx opens a span correlated to the context's trace: the span
+// takes the context's trace id and span parent, and the returned context
+// carries the new span's id so child spans link back to it. The trace id,
+// span id, and parent appear on the span's log line.
+func StartSpanCtx(ctx context.Context, reg *Registry, log *slog.Logger, name string) (Span, context.Context) {
+	sp := StartSpan(reg, log, name)
+	sp.trace = TraceFrom(ctx)
+	sp.parent = currentSpan(ctx)
+	sp.id = spanSeq.Add(1)
+	return sp, context.WithValue(ctx, spanKey{}, sp.id)
+}
+
+// Fail marks the span as ended-in-error. A nil err clears the mark. Call
+// before End.
+func (s *Span) Fail(err error) { s.err = err }
+
+// Failed reports whether the span was marked failed.
+func (s *Span) Failed() bool { return s.err != nil }
+
+// End closes the span, recording its duration into the ok or the error
+// histogram depending on Fail. attrs are extra slog key/value pairs
+// attached to the trace line.
 func (s Span) End(attrs ...any) time.Duration {
 	d := time.Since(s.start)
-	if s.hist != nil {
+	status := "ok"
+	if s.err != nil {
+		status = "error"
+		if s.reg != nil {
+			s.reg.Histogram(s.name + ".error.duration").Observe(d)
+			s.reg.Counter(s.name + ".errors").Inc()
+		}
+	} else if s.hist != nil {
 		s.hist.Observe(d)
 	}
 	if s.log != nil && TracingEnabled() {
-		s.log.Debug("span", append([]any{"span", s.name, "dur", d}, attrs...)...)
+		base := []any{"span", s.name, "dur", d, "status", status}
+		if s.err != nil {
+			base = append(base, "err", s.err)
+		}
+		if s.trace != "" {
+			base = append(base, "trace", s.trace, "span_id", s.id)
+			if s.parent != 0 {
+				base = append(base, "parent_id", s.parent)
+			}
+		}
+		s.log.Debug("span", append(base, attrs...)...)
 	}
 	return d
 }

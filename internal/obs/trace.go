@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing: a TraceID travels with a request's context through the
+// decision service (match, batch, explain, reload), ties its span log
+// lines together, annotates a bounded in-memory ring for /debug/trace,
+// and is echoed back to the client in the X-AA-Trace response header so a
+// caller can quote the id when reporting a surprising verdict.
+//
+// This is deliberately not a distributed tracer: ids are opaque 16-hex
+// strings, spans carry parent ids only for log correlation, and the ring
+// is a fixed-size overwrite buffer — the goal is "why did request X do
+// that" forensics, not cross-service timelines.
+
+// TraceID identifies one request through the serving path. The zero value
+// ("") means "untraced".
+type TraceID string
+
+// traceSeq salts NewTraceID's fallback path; spanSeq numbers spans.
+var (
+	traceSeq atomic.Uint64
+	spanSeq  atomic.Uint64
+)
+
+// NewTraceID mints a random 16-hex-character id. Randomness comes from
+// crypto/rand with a counter fallback, so minting never fails.
+func NewTraceID() TraceID {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := traceSeq.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// traceKey carries the TraceID in a context; spanKey carries the current
+// span's id for parent/child correlation.
+type (
+	traceKey struct{}
+	spanKey  struct{}
+)
+
+// ContextWithTrace attaches a trace id to ctx.
+func ContextWithTrace(ctx context.Context, id TraceID) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom returns the context's trace id, "" when untraced.
+func TraceFrom(ctx context.Context) TraceID {
+	id, _ := ctx.Value(traceKey{}).(TraceID)
+	return id
+}
+
+// EnsureTrace returns ctx carrying a trace id, minting one when absent.
+func EnsureTrace(ctx context.Context) (context.Context, TraceID) {
+	if id := TraceFrom(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewTraceID()
+	return ContextWithTrace(ctx, id), id
+}
+
+// currentSpan returns the context's innermost span id, 0 at the root.
+func currentSpan(ctx context.Context) uint64 {
+	id, _ := ctx.Value(spanKey{}).(uint64)
+	return id
+}
+
+// Event is one annotation on a trace: a named point-in-time note such as
+// "cache.hit" or "reload.done", optionally with free-form detail.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Trace  TraceID   `json:"trace,omitempty"`
+	Name   string    `json:"name"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Ring is a fixed-capacity overwrite buffer of recent Events — the
+// process's flight recorder, served by /debug/trace. Writers pay one
+// mutex-guarded slot store; there is no allocation after construction.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever added; next%len(buf) is the write slot
+}
+
+// NewRing creates a ring holding the last n events (n < 1 is coerced to 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// DefaultRing is the process-wide flight recorder the cmd/ binaries
+// annotate into.
+var DefaultRing = NewRing(512)
+
+// Add appends an event, overwriting the oldest once full. A zero Time is
+// stamped with now.
+func (r *Ring) Add(ev Event) {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Annotate records a named event under the context's trace id.
+func (r *Ring) Annotate(ctx context.Context, name, detail string) {
+	r.Add(Event{Trace: TraceFrom(ctx), Name: name, Detail: detail})
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	size := uint64(len(r.buf))
+	count := n
+	if count > size {
+		count = size
+	}
+	out := make([]Event, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.buf[i%size])
+	}
+	return out
+}
+
+// Len returns how many events are currently buffered.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(r.next)
+}

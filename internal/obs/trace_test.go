@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace id lengths = %d, %d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Errorf("two minted ids collided: %s", a)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if id := TraceFrom(ctx); id != "" {
+		t.Errorf("TraceFrom(empty ctx) = %q, want \"\"", id)
+	}
+	ctx2, id := EnsureTrace(ctx)
+	if id == "" || TraceFrom(ctx2) != id {
+		t.Fatalf("EnsureTrace minted %q but context carries %q", id, TraceFrom(ctx2))
+	}
+	ctx3, id2 := EnsureTrace(ctx2)
+	if id2 != id || ctx3 != ctx2 {
+		t.Errorf("EnsureTrace re-minted on a traced context: %q -> %q", id, id2)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := NewRing(4)
+	if r.Len() != 0 {
+		t.Fatalf("fresh ring Len = %d, want 0", r.Len())
+	}
+	for i := 0; i < 10; i++ {
+		r.Add(Event{Name: "e", Detail: string(rune('0' + i))})
+	}
+	evs := r.Events()
+	if len(evs) != 4 || r.Len() != 4 {
+		t.Fatalf("ring holds %d/%d events, want 4", len(evs), r.Len())
+	}
+	// Oldest-first: events 6,7,8,9 survive.
+	for i, ev := range evs {
+		if want := string(rune('0' + 6 + i)); ev.Detail != want {
+			t.Errorf("event[%d].Detail = %q, want %q", i, ev.Detail, want)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event[%d] has zero time; Add should stamp it", i)
+		}
+	}
+}
+
+func TestRingAnnotateCarriesTrace(t *testing.T) {
+	r := NewRing(8)
+	ctx := ContextWithTrace(context.Background(), "deadbeefcafef00d")
+	r.Annotate(ctx, "cache.hit", "url=x")
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Trace != "deadbeefcafef00d" || evs[0].Name != "cache.hit" {
+		t.Errorf("annotated event = %+v", evs)
+	}
+}
+
+func TestSpanFailSplitsHistograms(t *testing.T) {
+	reg := NewRegistry()
+
+	ok := StartSpan(reg, nil, "stage")
+	ok.End()
+
+	bad := StartSpan(reg, nil, "stage")
+	bad.Fail(errors.New("boom"))
+	if !bad.Failed() {
+		t.Fatal("Failed() = false after Fail")
+	}
+	bad.End()
+
+	s := reg.Snapshot()
+	if got := s.Histograms["stage.duration"].Count; got != 1 {
+		t.Errorf("ok histogram count = %d, want 1", got)
+	}
+	if got := s.Histograms["stage.error.duration"].Count; got != 1 {
+		t.Errorf("error histogram count = %d, want 1", got)
+	}
+	if got := s.Counters["stage.errors"]; got != 1 {
+		t.Errorf("error counter = %d, want 1", got)
+	}
+}
+
+func TestStartSpanCtxParentChild(t *testing.T) {
+	ctx := ContextWithTrace(context.Background(), "abcdabcdabcdabcd")
+	parent, ctx := StartSpanCtx(ctx, nil, nil, "parent")
+	child, _ := StartSpanCtx(ctx, nil, nil, "child")
+	if parent.trace != "abcdabcdabcdabcd" || child.trace != parent.trace {
+		t.Errorf("trace ids: parent %q child %q", parent.trace, child.trace)
+	}
+	if parent.parent != 0 {
+		t.Errorf("root span has parent %d, want 0", parent.parent)
+	}
+	if child.parent != parent.id {
+		t.Errorf("child.parent = %d, want parent id %d", child.parent, parent.id)
+	}
+	child.End()
+	parent.End()
+}
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram()
+	// 3 fast observations (≤1µs) and 2 slow (≈5ms).
+	for i := 0; i < 3; i++ {
+		h.ObserveNs(500)
+	}
+	h.ObserveNs(5_000_000)
+	h.ObserveNs(5_000_000)
+
+	cum := h.Cumulative(promBoundsNs)
+	if len(cum) != len(promBoundsNs)+1 {
+		t.Fatalf("Cumulative returned %d slots, want %d", len(cum), len(promBoundsNs)+1)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts not monotonic: %v", cum)
+		}
+	}
+	if total := cum[len(cum)-1]; total != 5 {
+		t.Errorf("+Inf bucket = %d, want 5", total)
+	}
+	// The 1µs bound must already hold the three fast observations.
+	var microIdx int
+	for i, b := range promBoundsNs {
+		if b == 1_000 {
+			microIdx = i
+		}
+	}
+	if cum[microIdx] != 3 {
+		t.Errorf("le=1µs bucket = %d, want 3 (cum=%v)", cum[microIdx], cum)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine.match.attempts").Add(7)
+	reg.Gauge("decision.cache.entries").Add(3)
+	h := reg.Histogram("engine.match.latency")
+	h.Observe(2 * time.Millisecond)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE engine_match_attempts_total counter\nengine_match_attempts_total 7\n",
+		"# TYPE decision_cache_entries gauge\ndecision_cache_entries 3\n",
+		"# TYPE engine_match_latency_seconds histogram\n",
+		"engine_match_latency_seconds_bucket{le=\"+Inf\"} 1\n",
+		"engine_match_latency_seconds_count 1\n",
+		"# TYPE engine_match_latency_seconds_p99 gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"engine.match.attempts": "engine_match_attempts",
+		"9lives":                "_9lives",
+		"a-b/c":                 "a_b_c",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDebugHandlerNilProgress is the regression test for the nil-Progress
+// crash: aa-serve passes no Progress, and /debug/progress must serve "{}"
+// instead of dereferencing nil.
+func TestDebugHandlerNilProgress(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler(NewRegistry(), nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if got := strings.TrimSpace(string(body)); got != "{}" {
+		t.Errorf("/debug/progress body = %q, want {}", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("content type = %q, want application/json", ct)
+	}
+
+	// /metrics rides on the same mux and must advertise the text format.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != PrometheusContentType {
+		t.Errorf("/metrics content type = %q, want %q", ct, PrometheusContentType)
+	}
+}

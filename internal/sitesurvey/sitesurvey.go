@@ -179,6 +179,11 @@ type Survey struct {
 	Results []SiteResult
 	// Stats summarizes the crawl's resilience outcomes.
 	Stats CrawlStats
+	// Engine is the instrumented engine the crawl matched against; its
+	// per-filter attribution counters (Engine.FilterStats) hold every
+	// effective-filter hit of the run — the data behind aa-survey's
+	// -attribution report.
+	Engine *engine.Engine
 
 	corpus *webgen.Corpus
 	srv    *webserver.Server
@@ -269,6 +274,7 @@ func RunContext(ctx context.Context, cfg Config) (*Survey, error) {
 	}
 	eng := bld.Build()
 	eng.SetMetrics(cfg.Obs)
+	s.Engine = eng
 	explicit := explicitSet(cfg.Whitelist)
 
 	// One progress stage per sample group; /debug/progress reads these
