@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json chaos serve-smoke metrics-smoke lint-metrics ci
+.PHONY: all build vet test race bench bench-smoke bench-json chaos serve-smoke overload-smoke metrics-smoke lint-metrics ci
 
 all: build
 
@@ -51,6 +51,17 @@ serve-smoke:
 		-easylist cmd/aa-serve/testdata/easylist.txt \
 		-whitelist cmd/aa-serve/testdata/exceptionrules.txt
 
+# Overload acceptance: aa-serve under a tiny admission limit (capacity 2,
+# queue 2) hammers itself past the concurrency limit under the race
+# detector. The run must show real 429s with Retry-After, no 5xx, at
+# least one admitted heavyweight batch, and /readyz flipping to 503
+# during the SIGTERM drain.
+overload-smoke:
+	$(GO) run -race ./cmd/aa-serve -smoke -overload -listen 127.0.0.1:0 \
+		-shed-capacity 2 -shed-queue 2 \
+		-easylist cmd/aa-serve/testdata/easylist.txt \
+		-whitelist cmd/aa-serve/testdata/exceptionrules.txt
+
 # Prometheus exposition check: start the serve stack, scrape /metrics,
 # validate the text format with the parser in cmd/aa-serve's tests, and
 # assert the per-list attribution counters increase after a match.
@@ -66,4 +77,4 @@ lint-metrics:
 # The pre-merge gate: static checks, a clean build, the full suite under
 # the race detector, a smoke pass over every benchmark plus the hot-path
 # allocation smoke, and the chaos and decision-service smoke runs.
-ci: vet lint-metrics build race bench bench-smoke chaos serve-smoke metrics-smoke
+ci: vet lint-metrics build race bench bench-smoke chaos serve-smoke overload-smoke metrics-smoke

@@ -8,6 +8,9 @@
 //	POST /v1/elemhide     — element-hiding stylesheet for a document
 //	GET  /v1/lists        — snapshot and cache introspection
 //	POST /v1/reload       — rebuild the snapshot from the list source
+//	POST /v1/rollback     — republish the previous retained snapshot
+//	GET  /healthz         — process liveness (never shed)
+//	GET  /readyz          — traffic readiness (503 while draining)
 //	GET  /metrics         — Prometheus exposition + filter attribution
 //	GET  /debug/filters   — top-N per-filter hit attribution
 //
@@ -18,19 +21,37 @@
 // subscription URLs (-easylist-url, -whitelist-url; conditional requests
 // with ETag/304), or — with no list flags at all — from the synthetic
 // study corpus (-seed). SIGHUP or POST /v1/reload swaps in a freshly
-// built snapshot without ever blocking readers; SIGTERM/SIGINT drain
-// in-flight requests before exiting.
+// built snapshot without ever blocking readers — but only after the
+// candidate passes the reload canary (structural invariants plus the
+// optional -canary-probes golden corpus); a rejected candidate leaves the
+// serving snapshot untouched. SIGTERM/SIGINT flip /readyz to 503, wait
+// -drain-grace, then drain in-flight requests before exiting.
+//
+// The API endpoints sit behind a weighted admission controller
+// (-shed-capacity, -shed-queue): requests past the concurrency limit
+// wait in a bounded queue and are shed with 429 + Retry-After, and under
+// sustained overload /v1/match degrades to cache-only service. With
+// -state-dir every published snapshot is persisted (write + atomic
+// rename) and a restart serves the last-good snapshot before its first
+// fetch.
 //
 // Usage:
 //
 //	aa-serve [-listen 127.0.0.1:8765] [-cache 65536] \
 //	         [-easylist FILE -whitelist FILE | -easylist-url URL -whitelist-url URL] \
 //	         [-metrics-addr :8080] [-log-level info] \
-//	         [-request-timeout 5s] [-drain-timeout 10s] [-max-retries 2]
+//	         [-request-timeout 5s] [-drain-timeout 10s] [-drain-grace 0s] \
+//	         [-max-retries 2] [-state-dir DIR] [-snapshots 4] \
+//	         [-shed-capacity 256] [-shed-queue 512] \
+//	         [-canary-probes FILE] [-no-canary]
 //
 // With -smoke the server starts, exercises every endpoint against
-// itself, delivers itself a real SIGTERM and asserts a clean drain —
-// the CI end-to-end check behind `make serve-smoke`.
+// itself (probes, match, explain, batch, reload, rollback), delivers
+// itself a real SIGTERM and asserts /readyz flips before a clean drain —
+// the CI end-to-end check behind `make serve-smoke`. Adding -overload
+// hammers /v1/match past the admission limit and asserts shed requests
+// get 429 + Retry-After while admitted ones are served and /healthz
+// stays up — `make overload-smoke`.
 package main
 
 import (
@@ -54,105 +75,215 @@ import (
 	"acceptableads/internal/subscription"
 )
 
+// config carries the parsed flags into run.
+type config struct {
+	listen         string
+	metricsAddr    string
+	logLevel       string
+	easylist       string
+	whitelist      string
+	easylistURL    string
+	whitelistURL   string
+	seed           uint64
+	cacheSize      int
+	requestTimeout time.Duration
+	drainTimeout   time.Duration
+	drainGrace     time.Duration
+	maxRetries     int
+	stateDir       string
+	snapshots      int
+	shedCapacity   int64
+	shedQueue      int64
+	canaryProbes   string
+	noCanary       bool
+	smoke          bool
+	overload       bool
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aa-serve: ")
-	listen := flag.String("listen", "127.0.0.1:8765", "serve the decision API on this address")
-	metricsAddr := flag.String("metrics-addr", "", "serve /debug/vars and /debug/pprof/ on this address (empty = off)")
-	logLevel := flag.String("log-level", "info", "log spec: LEVEL or component=LEVEL,... (debug, info, warn, error)")
-	easylist := flag.String("easylist", "", "EasyList file, re-read on every reload")
-	whitelist := flag.String("whitelist", "", "exceptionrules file, re-read on every reload")
-	easylistURL := flag.String("easylist-url", "", "EasyList subscription URL (conditional fetches)")
-	whitelistURL := flag.String("whitelist-url", "", "exceptionrules subscription URL (conditional fetches)")
-	seed := flag.Uint64("seed", core.DefaultSeed, "study seed for the synthetic lists used when no list flags are given")
-	cacheSize := flag.Int("cache", 1<<16, "decision cache capacity in entries (0 = off)")
-	requestTimeout := flag.Duration("request-timeout", decision.DefaultRequestTimeout, "per-request deadline")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
-	maxRetries := flag.Int("max-retries", 2, "reload fetch retries after the first attempt")
-	smoke := flag.Bool("smoke", false, "start, exercise every endpoint, SIGTERM self, assert clean drain")
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8765", "serve the decision API on this address")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "serve /debug/vars and /debug/pprof/ on this address (empty = off)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log spec: LEVEL or component=LEVEL,... (debug, info, warn, error)")
+	flag.StringVar(&cfg.easylist, "easylist", "", "EasyList file, re-read on every reload")
+	flag.StringVar(&cfg.whitelist, "whitelist", "", "exceptionrules file, re-read on every reload")
+	flag.StringVar(&cfg.easylistURL, "easylist-url", "", "EasyList subscription URL (conditional fetches)")
+	flag.StringVar(&cfg.whitelistURL, "whitelist-url", "", "exceptionrules subscription URL (conditional fetches)")
+	flag.Uint64Var(&cfg.seed, "seed", core.DefaultSeed, "study seed for the synthetic lists used when no list flags are given")
+	flag.IntVar(&cfg.cacheSize, "cache", 1<<16, "decision cache capacity in entries (0 = off)")
+	flag.DurationVar(&cfg.requestTimeout, "request-timeout", decision.DefaultRequestTimeout, "per-request deadline")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "how long shutdown waits for in-flight requests")
+	flag.DurationVar(&cfg.drainGrace, "drain-grace", 0, "how long readiness stays false before the listener drains (lets load balancers stop routing)")
+	flag.IntVar(&cfg.maxRetries, "max-retries", 2, "reload fetch retries after the first attempt")
+	flag.StringVar(&cfg.stateDir, "state-dir", "", "persist published snapshots here and warm-start from the last one (empty = off)")
+	flag.IntVar(&cfg.snapshots, "snapshots", decision.DefaultKeepSnapshots, "how many published snapshots the rollback ring retains")
+	flag.Int64Var(&cfg.shedCapacity, "shed-capacity", decision.DefaultShedCapacity, "admission weight allowed in flight at once (0 = shedding off)")
+	flag.Int64Var(&cfg.shedQueue, "shed-queue", decision.DefaultShedQueue, "bounded admission wait queue (negative = shed immediately when full)")
+	flag.StringVar(&cfg.canaryProbes, "canary-probes", "", "JSON file with golden probes replayed against every candidate snapshot")
+	flag.BoolVar(&cfg.noCanary, "no-canary", false, "disable canary validation of reloads (chaos drills only)")
+	flag.BoolVar(&cfg.smoke, "smoke", false, "start, exercise every endpoint, SIGTERM self, assert clean drain")
+	flag.BoolVar(&cfg.overload, "overload", false, "with -smoke: hammer /v1/match past the concurrency limit and assert 429s, no 5xx")
 	flag.Parse()
-
-	if err := obs.SetLogSpec(*logLevel); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// run is the whole server lifecycle; returning (instead of log.Fatal
+// scattered through goroutines) means deferred cleanup — the telemetry
+// listener, notably — always runs, and a listener failure takes the same
+// drain path as a signal.
+func run(cfg config) error {
+	if err := obs.SetLogSpec(cfg.logLevel); err != nil {
+		return err
+	}
 	reg := obs.NewRegistry()
-	if *metricsAddr != "" {
-		addr, stop, err := obs.ServeDebug(*metricsAddr, reg, nil)
+	if cfg.metricsAddr != "" {
+		addr, stop, err := obs.ServeDebug(cfg.metricsAddr, reg, nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer stop()
 		fmt.Fprintf(os.Stderr, "aa-serve: telemetry at http://%s/debug/vars\n", addr)
 	}
 
-	src, desc := pickSource(*easylist, *whitelist, *easylistURL, *whitelistURL, *seed)
+	src, desc := pickSource(cfg.easylist, cfg.whitelist, cfg.easylistURL, cfg.whitelistURL, cfg.seed)
 	log.Printf("list source: %s", desc)
 
+	canary := decision.CanaryConfig{Disable: cfg.noCanary}
+	if cfg.canaryProbes != "" {
+		probes, err := loadProbes(cfg.canaryProbes)
+		if err != nil {
+			return err
+		}
+		canary.Probes = probes
+		log.Printf("canary: %d golden probes loaded from %s", len(probes), cfg.canaryProbes)
+	}
+
 	svc, err := decision.New(context.Background(), decision.Config{
-		Source:      src,
-		CacheSize:   *cacheSize,
-		MaxAttempts: *maxRetries + 1,
-		Seed:        *seed,
-		Obs:         reg,
-		Logger:      obs.Logger("decision"),
+		Source:        src,
+		CacheSize:     cfg.cacheSize,
+		MaxAttempts:   cfg.maxRetries + 1,
+		Seed:          cfg.seed,
+		Obs:           reg,
+		Logger:        obs.Logger("decision"),
+		Canary:        canary,
+		KeepSnapshots: cfg.snapshots,
+		StateDir:      cfg.stateDir,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	snap := svc.Snapshot()
-	log.Printf("snapshot v%d ready: %d filters from %d lists",
-		snap.Version, snap.Engine.NumFilters(), len(snap.Lists))
+	log.Printf("snapshot v%d ready: %d filters from %d lists (warmStart=%t)",
+		snap.Version, snap.Engine.NumFilters(), len(snap.Lists), snap.WarmStart)
 
-	ln, err := net.Listen("tcp", *listen)
+	var shed *decision.Shedder
+	if cfg.shedCapacity > 0 {
+		shed = decision.NewShedder(decision.ShedConfig{
+			Capacity: cfg.shedCapacity,
+			MaxQueue: cfg.shedQueue,
+			Obs:      reg,
+		})
+		log.Printf("load shedding: capacity %d, queue %d", cfg.shedCapacity, cfg.shedQueue)
+	}
+
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	srv := &http.Server{
-		Handler:           decision.Handler(svc, decision.HandlerConfig{RequestTimeout: *requestTimeout, Obs: reg}),
+		Handler: decision.Handler(svc, decision.HandlerConfig{
+			RequestTimeout: cfg.requestTimeout,
+			Obs:            reg,
+			Shed:           shed,
+		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// Serve errors feed the shutdown select below instead of aborting the
+	// process from inside the goroutine: a failing listener takes the same
+	// drain-and-cleanup path as a SIGTERM.
+	serveErr := make(chan error, 1)
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
+			serveErr <- err
 		}
 	}()
 	log.Printf("decision API at http://%s/v1/match", ln.Addr())
 
+	drainGrace := cfg.drainGrace
 	smokeErr := make(chan error, 1)
-	if *smoke {
-		go func() { smokeErr <- runSmoke("http://" + ln.Addr().String()) }()
+	if cfg.smoke {
+		if drainGrace == 0 {
+			// The smoke asserts /readyz flips to 503 before the listener
+			// closes; give it a window to observe that.
+			drainGrace = 750 * time.Millisecond
+		}
+		go func() { smokeErr <- runSmoke("http://"+ln.Addr().String(), cfg.overload) }()
 	}
 
-	// Signal loop: SIGHUP reloads without blocking readers; SIGTERM and
-	// SIGINT drain in-flight requests, then exit.
+	// Event loop: SIGHUP reloads without blocking readers; SIGTERM,
+	// SIGINT and a listener failure drain in-flight requests, then exit.
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
-	for sig := range sigs {
-		if sig == syscall.SIGHUP {
-			ctx, cancel := context.WithTimeout(context.Background(), *requestTimeout)
-			next, err := svc.Reload(ctx)
-			cancel()
-			if err != nil {
-				log.Printf("SIGHUP reload failed; keeping current snapshot: %v", err)
+	var exitErr error
+	var smokeDone bool
+	var smokeRes error
+loop:
+	for {
+		select {
+		case sig := <-sigs:
+			if sig == syscall.SIGHUP {
+				ctx, cancel := context.WithTimeout(context.Background(), cfg.requestTimeout)
+				next, err := svc.Reload(ctx)
+				cancel()
+				if err != nil {
+					log.Printf("SIGHUP reload failed; keeping current snapshot: %v", err)
+					continue
+				}
+				log.Printf("SIGHUP reload: snapshot v%d, %d filters", next.Version, next.Engine.NumFilters())
 				continue
 			}
-			log.Printf("SIGHUP reload: snapshot v%d, %d filters", next.Version, next.Engine.NumFilters())
-			continue
+			log.Printf("%s: draining (grace %s, up to %s)...", sig, drainGrace, cfg.drainTimeout)
+			break loop
+		case err := <-serveErr:
+			log.Printf("serve failed: %v; draining...", err)
+			exitErr = err
+			break loop
+		case err := <-smokeErr:
+			// A failed smoke never reaches its self-SIGTERM; drain and
+			// report instead of serving forever. A successful smoke's
+			// SIGTERM is already in flight — keep looping for it.
+			smokeDone, smokeRes = true, err
+			if err != nil {
+				log.Printf("smoke failed: %v; draining...", err)
+				break loop
+			}
 		}
-		log.Printf("%s: draining (up to %s)...", sig, *drainTimeout)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-		err := srv.Shutdown(ctx)
-		cancel()
-		if err != nil {
-			log.Fatalf("drain incomplete: %v", err)
-		}
-		log.Printf("drained cleanly")
-		break
 	}
 
-	if *smoke {
-		if err := <-smokeErr; err != nil {
-			log.Fatalf("smoke: %v", err)
+	// Readiness goes false first so load balancers stop routing, then the
+	// grace window lets straggler requests land, then the listener drains.
+	svc.SetDraining(true)
+	if drainGrace > 0 {
+		time.Sleep(drainGrace)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	err = srv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	log.Printf("drained cleanly")
+
+	if cfg.smoke {
+		if !smokeDone {
+			smokeRes = <-smokeErr
+		}
+		if smokeRes != nil {
+			return fmt.Errorf("smoke: %w", smokeRes)
 		}
 		st := svc.Stats()
 		var hits int64
@@ -161,6 +292,20 @@ func main() {
 		}
 		log.Printf("smoke: all checks passed (matches=%d, cache hits=%d)", st.Matches, hits)
 	}
+	return exitErr
+}
+
+// loadProbes reads a golden probe corpus from a JSON file.
+func loadProbes(path string) ([]decision.Probe, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probes []decision.Probe
+	if err := json.Unmarshal(body, &probes); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return probes, nil
 }
 
 // pickSource chooses the list source: subscription URLs win, then files,
@@ -216,10 +361,21 @@ func (f sourceFunc) Load(ctx context.Context) ([]engine.NamedList, error) { retu
 // ---- smoke test -------------------------------------------------------------
 
 // runSmoke exercises every endpoint against the live server, then
-// delivers a real SIGTERM to this process so the signal loop's drain path
-// runs end to end. main asserts the drain and reports the outcome.
-func runSmoke(base string) error {
+// delivers a real SIGTERM to this process so the event loop's drain path
+// runs end to end — and asserts /readyz flips to 503 during the drain
+// grace before the listener closes. With overload, /v1/match is hammered
+// past the admission limit first, asserting 429s appear and nothing 5xxs.
+// run asserts the drain and reports the outcome.
+func runSmoke(base string, overload bool) error {
 	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Probes answer before anything else is exercised.
+	if err := checkProbe(client, base+"/healthz", http.StatusOK); err != nil {
+		return err
+	}
+	if err := checkProbe(client, base+"/readyz", http.StatusOK); err != nil {
+		return err
+	}
 
 	// The snapshot should be serving and non-empty.
 	var lists decision.ListsResult
@@ -335,8 +491,34 @@ func runSmoke(base string) error {
 		return fmt.Errorf("/v1/match: cache survived the reload: %+v", m)
 	}
 
+	// Rollback republishes the pre-reload snapshot as a new generation.
+	var rb decision.RollbackResult
+	if err := call(client, http.MethodPost, base+"/v1/rollback", nil, &rb); err != nil {
+		return err
+	}
+	if rb.Snapshot != rl.Snapshot+1 || rb.RollbackOf != lists.Snapshot {
+		return fmt.Errorf("/v1/rollback: want v%d rolling back to v%d, got %+v",
+			rl.Snapshot+1, lists.Snapshot, rb)
+	}
+	var after decision.ListsResult
+	if err := call(client, http.MethodGet, base+"/v1/lists", nil, &after); err != nil {
+		return err
+	}
+	if after.RollbackOf != lists.Snapshot {
+		return fmt.Errorf("/v1/lists: snapshot does not carry rollback provenance: %+v", after)
+	}
+	// Walking past the oldest retained snapshot is a 409, not a crash.
+	resp, err := client.Post(base+"/v1/rollback", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("POST /v1/rollback past ring: want 409, got %d", resp.StatusCode)
+	}
+
 	// Method gating.
-	resp, err := client.Get(base + "/v1/match")
+	resp, err = client.Get(base + "/v1/match")
 	if err != nil {
 		return err
 	}
@@ -345,8 +527,179 @@ func runSmoke(base string) error {
 		return fmt.Errorf("GET /v1/match: want 405, got %d", resp.StatusCode)
 	}
 
-	// Exercise the real signal path: SIGTERM ourselves; main drains.
-	return syscall.Kill(os.Getpid(), syscall.SIGTERM)
+	if overload {
+		if err := runOverload(base); err != nil {
+			return err
+		}
+	}
+
+	// Exercise the real signal path: SIGTERM ourselves; run drains. The
+	// drain grace must flip /readyz to 503 while /v1 traffic still lands.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err != nil {
+			return fmt.Errorf("/readyz during drain: %w", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("/readyz did not flip to 503 during drain (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// runOverload saturates the admission controller and asserts the shed
+// path: heavyweight /v1/match-batch requests pin the concurrency limit
+// (a batch's admission weight covers the whole smoke-sized capacity)
+// while waves of cache-missing /v1/match requests arrive on top. At
+// least one match must be shed with 429 + Retry-After, nothing may 5xx,
+// every admitted batch must complete within its deadline, and /healthz
+// must keep answering while the API is saturated.
+func runOverload(base string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Saturate: the first batch occupies the full capacity, the rest fill
+	// the bounded wait queue, so match waves below find the server busy.
+	const nBatches = 3
+	const batchSize = 4096
+	type batchOutcome struct {
+		status  int
+		err     error
+		elapsed time.Duration
+	}
+	batchRes := make(chan batchOutcome, nBatches)
+	for b := 0; b < nBatches; b++ {
+		q := decision.BatchQuery{Requests: make([]decision.MatchQuery, 0, batchSize)}
+		for i := 0; i < batchSize; i++ {
+			q.Requests = append(q.Requests, decision.MatchQuery{
+				URL:      fmt.Sprintf("http://ads.example.com/overload/b%d/r%d.js", b, i),
+				Document: "http://news.example.com/",
+				Type:     "script",
+			})
+		}
+		go func() {
+			body, err := json.Marshal(q)
+			if err != nil {
+				batchRes <- batchOutcome{err: err}
+				return
+			}
+			start := time.Now()
+			resp, err := client.Post(base+"/v1/match-batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				batchRes <- batchOutcome{err: err}
+				return
+			}
+			resp.Body.Close()
+			batchRes <- batchOutcome{status: resp.StatusCode, elapsed: time.Since(start)}
+		}()
+	}
+
+	const waveSize = 64
+	const maxWaves = 10
+	var saw200, saw429 int
+	for wave := 0; wave < maxWaves && saw429 == 0; wave++ {
+		type outcome struct {
+			status     int
+			retryAfter string
+			err        error
+		}
+		results := make(chan outcome, waveSize)
+		for i := 0; i < waveSize; i++ {
+			// Distinct URLs so every request misses the decision cache and
+			// holds its admission slot through a real engine match.
+			q := decision.MatchQuery{
+				URL:      fmt.Sprintf("http://ads.example.com/overload/w%d/r%d.js", wave, i),
+				Document: "http://news.example.com/",
+				Type:     "script",
+			}
+			go func() {
+				body, err := json.Marshal(q)
+				if err != nil {
+					results <- outcome{err: err}
+					return
+				}
+				resp, err := client.Post(base+"/v1/match", "application/json", bytes.NewReader(body))
+				if err != nil {
+					results <- outcome{err: err}
+					return
+				}
+				resp.Body.Close()
+				results <- outcome{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+			}()
+		}
+		for i := 0; i < waveSize; i++ {
+			out := <-results
+			if out.err != nil {
+				return fmt.Errorf("overload wave %d: %w", wave, out.err)
+			}
+			switch {
+			case out.status == http.StatusOK:
+				saw200++
+			case out.status == http.StatusTooManyRequests:
+				saw429++
+				if out.retryAfter == "" {
+					return fmt.Errorf("overload: 429 without Retry-After")
+				}
+			default:
+				return fmt.Errorf("overload: unexpected status %d (only 200 and 429 are acceptable)", out.status)
+			}
+		}
+		// Liveness must survive saturation.
+		if err := checkProbe(client, base+"/healthz", http.StatusOK); err != nil {
+			return fmt.Errorf("overload: %w", err)
+		}
+	}
+	if saw429 == 0 {
+		return fmt.Errorf("overload: no request shed across %d waves of %d", maxWaves, waveSize)
+	}
+	// Admitted heavyweight requests must complete, promptly — the shed
+	// path protects their latency instead of queueing an unbounded
+	// backlog. A batch may itself lose the queue race to a match wave and
+	// be shed; that is shedding working, as long as one batch got through.
+	var worst time.Duration
+	var batchOK, batchShed int
+	for b := 0; b < nBatches; b++ {
+		out := <-batchRes
+		switch {
+		case out.err != nil:
+			return fmt.Errorf("overload: batch request failed: %w", out.err)
+		case out.status == http.StatusOK:
+			batchOK++
+			if out.elapsed > worst {
+				worst = out.elapsed
+			}
+		case out.status == http.StatusTooManyRequests:
+			batchShed++
+		default:
+			return fmt.Errorf("overload: batch got status %d (only 200 and 429 are acceptable)", out.status)
+		}
+	}
+	if batchOK == 0 {
+		return fmt.Errorf("overload: every batch shed; admitted requests should still be served")
+	}
+	log.Printf("smoke: overload phase: %d matches served, %d matches shed, %d/%d batches admitted (worst %s), %d batches shed",
+		saw200, saw429, batchOK, nBatches, worst.Round(time.Millisecond), batchShed)
+	return nil
+}
+
+// checkProbe asserts one probe endpoint's status code.
+func checkProbe(client *http.Client, url string, want int) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("%s: want %d, got %d", url, want, resp.StatusCode)
+	}
+	return nil
 }
 
 // checkTrace asserts the X-AA-Trace response header: minted when absent,

@@ -1,0 +1,143 @@
+package decision
+
+import (
+	"fmt"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+)
+
+// Canary-validated reloads. Filter lists go bad in the wild — the IMC'15
+// measurement found malformed, duplicated and truncated filters landing
+// in live exceptionrules revisions — so a candidate snapshot must prove
+// itself before it may replace the one that is serving. The canary runs
+// structural invariants (the engine is non-empty, the parse-error rate is
+// under a threshold, the filter count did not jump or collapse) and then
+// replays a golden probe corpus against the candidate engine, comparing
+// verdicts against expectations (or against the currently-serving
+// snapshot when a probe pins no explicit verdict). A candidate that fails
+// is quarantined: the old snapshot keeps serving, the reload returns an
+// error, and aa_reload_rejected_total is bumped.
+
+// Canary defaults; see CanaryConfig.
+const (
+	// DefaultMaxParseErrorRate rejects a snapshot whose lists are more
+	// than half parse errors — the truncated-payload signature.
+	DefaultMaxParseErrorRate = 0.5
+	// DefaultMaxFilterDelta rejects a snapshot whose filter count moved
+	// more than 50% relative to the serving snapshot.
+	DefaultMaxFilterDelta = 0.5
+)
+
+// Probe is one golden request replayed against every candidate snapshot.
+// Want is the expected verdict string ("blocked", "allowed", "no-match");
+// empty Want means "same verdict as the currently-serving snapshot",
+// which turns the probe into a no-regression differential (skipped for
+// the very first snapshot, which has nothing to differ from).
+type Probe struct {
+	URL      string `json:"url"`
+	Document string `json:"document"`
+	Type     string `json:"type"`
+	Want     string `json:"want,omitempty"`
+}
+
+// CanaryConfig parameterizes reload validation.
+type CanaryConfig struct {
+	// Disable turns canary validation off entirely (every built snapshot
+	// publishes). Chaos drills only; leave it false in production.
+	Disable bool
+	// MinFilters is the minimum compiled filter count a candidate must
+	// reach; 0 means 1 (reject empty engines).
+	MinFilters int
+	// MaxParseErrorRate is the maximum fraction of invalid entries across
+	// the candidate's lists, in [0,1]; 0 means DefaultMaxParseErrorRate,
+	// >= 1 accepts any rate.
+	MaxParseErrorRate float64
+	// MaxFilterDelta bounds the relative filter-count change versus the
+	// serving snapshot (|new-old|/old); 0 means DefaultMaxFilterDelta,
+	// negative disables the delta check.
+	MaxFilterDelta float64
+	// Probes is the golden corpus replayed against every candidate.
+	Probes []Probe
+}
+
+// validate runs the canary checks for a candidate engine built from
+// lists, against the currently-serving snapshot old (nil before the first
+// publish). A nil error admits the candidate.
+func (c CanaryConfig) validate(eng *engine.Engine, lists []engine.NamedList, old *Snapshot) error {
+	if c.Disable {
+		return nil
+	}
+	minFilters := c.MinFilters
+	if minFilters <= 0 {
+		minFilters = 1
+	}
+	if n := eng.NumFilters(); n < minFilters {
+		return fmt.Errorf("canary: %d compiled filters, need at least %d", n, minFilters)
+	}
+
+	maxRate := c.MaxParseErrorRate
+	if maxRate == 0 {
+		maxRate = DefaultMaxParseErrorRate
+	}
+	if maxRate < 1 {
+		active, invalid := 0, 0
+		for _, nl := range lists {
+			active += len(nl.List.Active())
+			invalid += len(nl.List.Invalid())
+		}
+		if total := active + invalid; total > 0 {
+			if rate := float64(invalid) / float64(total); rate > maxRate {
+				return fmt.Errorf("canary: parse-error rate %.2f over threshold %.2f (%d invalid of %d entries)",
+					rate, maxRate, invalid, total)
+			}
+		}
+	}
+
+	maxDelta := c.MaxFilterDelta
+	if maxDelta == 0 {
+		maxDelta = DefaultMaxFilterDelta
+	}
+	if maxDelta >= 0 && old != nil && old.Engine.NumFilters() > 0 {
+		oldN, newN := float64(old.Engine.NumFilters()), float64(eng.NumFilters())
+		if delta := abs(newN-oldN) / oldN; delta > maxDelta {
+			return fmt.Errorf("canary: filter count moved %.0f%% (%d -> %d), bound is %.0f%%",
+				delta*100, int(oldN), int(newN), maxDelta*100)
+		}
+	}
+
+	for i, p := range c.Probes {
+		typ := filter.TypeOther
+		if p.Type != "" {
+			t, ok := filter.ParseContentType(p.Type)
+			if !ok {
+				return fmt.Errorf("canary: probe %d: unknown content type %q", i, p.Type)
+			}
+			typ = t
+		}
+		req, err := engine.NewRequest(p.URL, p.Document, typ)
+		if err != nil {
+			return fmt.Errorf("canary: probe %d: %w", i, err)
+		}
+		got := eng.MatchRequest(req, engine.WithShortCircuit()).Verdict.String()
+		want := p.Want
+		if want == "" {
+			if old == nil {
+				continue // differential probe with nothing to differ from
+			}
+			want = old.Engine.MatchRequest(req, engine.WithShortCircuit()).Verdict.String()
+		}
+		if got != want {
+			return fmt.Errorf("canary: probe %d (%s %s): verdict %q, want %q",
+				i, p.Type, p.URL, got, want)
+		}
+	}
+	return nil
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

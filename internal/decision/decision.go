@@ -15,7 +15,9 @@ package decision
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"log/slog"
 	"os"
 	"sync"
@@ -43,6 +45,14 @@ type Snapshot struct {
 	Version uint64
 	Lists   []ListInfo
 	BuiltAt time.Time
+	// RollbackOf is the version of the earlier snapshot this one
+	// republishes (0 for a fresh build). Versions stay monotonic across
+	// rollbacks — a rollback is a new version serving old content — so a
+	// stale cache entry can never alias a rolled-back generation.
+	RollbackOf uint64
+	// WarmStart marks a snapshot rebuilt from persisted state at startup,
+	// before the first Source fetch.
+	WarmStart bool
 }
 
 // Source produces the named filter lists a snapshot is built from. Load
@@ -137,7 +147,24 @@ type Config struct {
 	Obs *obs.Registry
 	// Logger receives structured reload/serve logs; nil means silent.
 	Logger *slog.Logger
+	// Canary validates every candidate snapshot before it may publish;
+	// the zero value applies the default invariants (non-empty engine,
+	// parse-error rate and filter-delta bounds) with no probe corpus.
+	Canary CanaryConfig
+	// KeepSnapshots bounds the in-memory ring of previously published
+	// fresh snapshots available to Rollback; 0 means
+	// DefaultKeepSnapshots, and values below 2 are raised to 2 (a ring
+	// of one has nothing to roll back to).
+	KeepSnapshots int
+	// StateDir, when non-empty, enables warm-start persistence: every
+	// successful publish writes the raw lists there, and New serves the
+	// persisted last-good snapshot before its first Source fetch.
+	StateDir string
 }
+
+// DefaultKeepSnapshots is the rollback ring size when Config.KeepSnapshots
+// is zero.
+const DefaultKeepSnapshots = 4
 
 // Service answers match queries against the current snapshot.
 type Service struct {
@@ -145,17 +172,46 @@ type Service struct {
 	cur   atomic.Pointer[Snapshot]
 	cache *Cache
 
-	reloadMu sync.Mutex // single-flight: one rebuild at a time
+	// flightMu guards the single-flight reload state: the first caller
+	// becomes the leader and runs the rebuild, concurrent callers attach
+	// to the in-flight rebuild and receive the leader's result.
+	flightMu sync.Mutex
+	flight   *reloadFlight
 
-	matches    *obs.Counter
-	reloads    *obs.Counter
-	reloadErrs *obs.Counter
-	version    *obs.Gauge
-	logger     *slog.Logger
+	// publishMu serializes snapshot publication (fresh builds, warm
+	// starts, rollbacks) and guards history. Readers never take it.
+	publishMu sync.Mutex
+	history   []*Snapshot // ring of fresh published snapshots, oldest first
+
+	// draining flips readiness off ahead of shutdown so load balancers
+	// stop routing before the listener drains.
+	draining atomic.Bool
+
+	matches     *obs.Counter
+	reloads     *obs.Counter
+	reloadErrs  *obs.Counter
+	rejected    *obs.Counter
+	coalesced   *obs.Counter
+	rollbacks   *obs.Counter
+	quarantines *obs.Counter
+	persists    *obs.Counter
+	warmStarts  *obs.Counter
+	version     *obs.Gauge
+	logger      *slog.Logger
 }
 
-// New builds the first snapshot from cfg.Source and returns a serving
-// Service.
+// reloadFlight is one in-flight rebuild shared by coalesced callers.
+type reloadFlight struct {
+	done chan struct{}
+	snap *Snapshot
+	err  error
+}
+
+// New builds the first snapshot and returns a serving Service. With a
+// StateDir holding a persisted last-good snapshot, that snapshot is
+// rebuilt and served immediately — no network fetch on the startup path;
+// the caller refreshes via Reload on its own schedule. Otherwise the
+// first snapshot is loaded from cfg.Source.
 func New(ctx context.Context, cfg Config) (*Service, error) {
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("decision: Config.Source is required")
@@ -167,21 +223,70 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	s.matches = &obs.Counter{}
 	s.reloads = &obs.Counter{}
 	s.reloadErrs = &obs.Counter{}
+	s.rejected = &obs.Counter{}
+	s.coalesced = &obs.Counter{}
+	s.rollbacks = &obs.Counter{}
+	s.quarantines = &obs.Counter{}
+	s.persists = &obs.Counter{}
+	s.warmStarts = &obs.Counter{}
 	s.version = &obs.Gauge{}
 	if cfg.Obs != nil {
 		s.matches = cfg.Obs.Counter("decision.matches")
 		s.reloads = cfg.Obs.Counter("decision.reloads")
 		s.reloadErrs = cfg.Obs.Counter("decision.reload.failures")
+		s.rejected = cfg.Obs.Counter("decision.reload.rejected")
+		s.coalesced = cfg.Obs.Counter("decision.reload.coalesced")
+		s.rollbacks = cfg.Obs.Counter("decision.rollbacks")
+		s.quarantines = cfg.Obs.Counter("decision.filter.quarantines")
+		s.persists = cfg.Obs.Counter("decision.state.persists")
+		s.warmStarts = cfg.Obs.Counter("decision.state.warmstarts")
 		s.version = cfg.Obs.Gauge("decision.snapshot.version")
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = NewCache(cfg.CacheSize)
 		s.cache.SetObs(cfg.Obs)
 	}
+	if cfg.StateDir != "" {
+		if ok, err := s.warmStart(); ok {
+			return s, nil
+		} else if err != nil {
+			s.logger.Warn("warm start unavailable; loading from source", "err", err)
+		}
+	}
 	if _, err := s.Reload(ctx); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// warmStart tries to publish a snapshot rebuilt from the persisted state
+// dir. It returns (true, nil) on success; (false, nil) when there is no
+// persisted state; (false, err) when state exists but is unusable.
+func (s *Service) warmStart() (bool, error) {
+	m, lists, err := loadPersisted(s.cfg.StateDir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	eng, infos, err := buildEngine(lists)
+	if err != nil {
+		return false, err
+	}
+	// Structural canary only: there is no serving snapshot to differ
+	// from, and differential probes skip themselves with old == nil.
+	if err := s.cfg.Canary.validate(eng, lists, nil); err != nil {
+		return false, fmt.Errorf("persisted snapshot rejected: %w", err)
+	}
+	snap := s.publish(eng, infos, m.BuiltAt, func(next *Snapshot) {
+		next.WarmStart = true
+	})
+	s.warmStarts.Inc()
+	s.logger.Info("warm start: serving persisted snapshot",
+		"persistedVersion", m.Version, "version", snap.Version,
+		"filters", eng.NumFilters(), "builtAt", m.BuiltAt)
+	return true, nil
 }
 
 // Snapshot returns the current engine snapshot. The result is immutable;
@@ -200,15 +305,102 @@ func (s *Service) Match(req *engine.Request) (engine.Decision, bool) {
 	snap := s.cur.Load()
 	s.matches.Inc()
 	if s.cache == nil || req.Sitekey != "" {
-		return snap.Engine.MatchRequest(req), false
+		return s.safeMatch(snap, req), false
 	}
 	key := cacheKey(snap.Version, req)
 	if d, ok := s.cache.Get(key); ok {
 		return d, true
 	}
-	d := snap.Engine.MatchRequest(req)
+	d := s.safeMatch(snap, req)
 	s.cache.Put(key, d)
 	return d, false
+}
+
+// MatchCached answers a request from the decision cache only — the
+// degraded-mode path under sustained overload: a hit is served without
+// touching the engine, a miss reports !ok and is shed by the caller.
+func (s *Service) MatchCached(req *engine.Request) (engine.Decision, bool) {
+	if s.cache == nil || req.Sitekey != "" {
+		return engine.Decision{}, false
+	}
+	snap := s.cur.Load()
+	if snap == nil {
+		return engine.Decision{}, false
+	}
+	d, ok := s.cache.Get(cacheKey(snap.Version, req))
+	if ok {
+		s.matches.Inc()
+	}
+	return d, ok
+}
+
+// maxQuarantineRetries bounds how many quarantine-and-retry rounds one
+// request may trigger; each round disables at least one filter, so this
+// only binds when panics keep coming from filters the prober cannot
+// reproduce.
+const maxQuarantineRetries = 3
+
+// safeMatch evaluates req on snap's engine with poison-pill containment:
+// a panic during evaluation quarantines the panicking filter(s) — an
+// atomic per-filter disable shared by every evaluation path — purges the
+// decision cache (entries may predate the quarantine) and retries. When
+// no culprit can be identified the request fails open to NoMatch: under
+// the acceptable-ads threat model, serving one request unfiltered beats
+// crash-looping the decision service for everyone.
+func (s *Service) safeMatch(snap *Snapshot, req *engine.Request) engine.Decision {
+	return s.safeMatchTrail(snap, req, nil)
+}
+
+// safeMatchTrail is safeMatch with an optional explain trail; the trail
+// is reset before every evaluation round so a retry after a quarantine
+// never reports provenance from the panicked attempt.
+func (s *Service) safeMatchTrail(snap *Snapshot, req *engine.Request, tr *engine.Trail) engine.Decision {
+	for round := 0; ; round++ {
+		if tr != nil {
+			*tr = engine.Trail{}
+		}
+		d, panicked := matchNoPanic(snap.Engine, req, tr)
+		if !panicked {
+			return d
+		}
+		if round >= maxQuarantineRetries {
+			s.logger.Error("match still panicking after quarantine rounds; failing open",
+				"url", req.URL, "rounds", round)
+			return engine.Decision{}
+		}
+		quarantined := snap.Engine.QuarantinePanicking(req)
+		if len(quarantined) == 0 {
+			s.logger.Error("match panicked but no filter reproduces it; failing open",
+				"url", req.URL)
+			return engine.Decision{}
+		}
+		s.quarantines.Add(int64(len(quarantined)))
+		for _, q := range quarantined {
+			s.logger.Error("filter quarantined after panic",
+				"filter", q.Filter, "list", q.List, "line", q.Line, "url", req.URL)
+			obs.DefaultRing.Annotate(context.Background(), "filter.quarantined",
+				fmt.Sprintf("list=%s line=%d filter=%s", q.List, q.Line, q.Filter))
+		}
+		if s.cache != nil {
+			// Cached decisions may have been produced by the quarantined
+			// filter; drop them all rather than serve its ghosts.
+			s.cache.Purge()
+		}
+	}
+}
+
+// matchNoPanic runs one engine evaluation under recover, with the
+// explain trail when tr is non-nil.
+func matchNoPanic(e *engine.Engine, req *engine.Request, tr *engine.Trail) (d engine.Decision, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	if tr != nil {
+		return e.MatchRequest(req, engine.WithExplain(tr)), false
+	}
+	return e.MatchRequest(req), false
 }
 
 // MatchBatch decides a batch of requests against one consistent
@@ -232,7 +424,7 @@ func (s *Service) MatchBatch(ctx context.Context, reqs []*engine.Request) ([]eng
 		}
 		s.matches.Inc()
 		if s.cache == nil || req.Sitekey != "" {
-			out[i] = snap.Engine.MatchRequest(req)
+			out[i] = s.safeMatch(snap, req)
 			continue
 		}
 		key := cacheKey(snap.Version, req)
@@ -240,7 +432,7 @@ func (s *Service) MatchBatch(ctx context.Context, reqs []*engine.Request) ([]eng
 			out[i], cached[i] = d, true
 			continue
 		}
-		out[i] = snap.Engine.MatchRequest(req)
+		out[i] = s.safeMatch(snap, req)
 		s.cache.Put(key, out[i])
 	}
 	return out, cached, snap, nil
@@ -253,15 +445,38 @@ func (s *Service) ElemHideCSS(docHost string) string {
 }
 
 // Reload fetches the lists from the Source (with retries), builds a fresh
-// engine, publishes it as the next snapshot and invalidates the decision
-// cache. Readers are never blocked: queries in flight keep matching on
-// the old snapshot. On failure the old snapshot stays published and the
-// error is returned — serving degrades to stale lists, never to none.
+// engine, validates it through the canary, publishes it as the next
+// snapshot and invalidates the decision cache. Readers are never blocked:
+// queries in flight keep matching on the old snapshot. On failure — fetch
+// error, build error, or canary rejection — the old snapshot stays
+// published and the error is returned; serving degrades to stale lists,
+// never to none.
+//
+// Concurrent Reload calls coalesce: the first caller runs the rebuild,
+// later callers attach to it and receive the leader's snapshot (or
+// error) instead of queueing N identical rebuilds back to back. A caller
+// whose ctx expires while attached returns ctx's error; the rebuild
+// itself keeps running on the leader's behalf.
 //
 // The reload runs under a "decision.reload" span correlated to ctx's
 // trace id; a failed reload lands in the span's error histogram and
 // annotates the trace ring.
 func (s *Service) Reload(ctx context.Context) (*Snapshot, error) {
+	s.flightMu.Lock()
+	if f := s.flight; f != nil {
+		s.flightMu.Unlock()
+		s.coalesced.Inc()
+		select {
+		case <-f.done:
+			return f.snap, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &reloadFlight{done: make(chan struct{})}
+	s.flight = f
+	s.flightMu.Unlock()
+
 	sp, ctx := obs.StartSpanCtx(ctx, s.cfg.Obs, s.logger, "decision.reload")
 	snap, err := s.reload(ctx)
 	if err != nil {
@@ -272,13 +487,16 @@ func (s *Service) Reload(ctx context.Context) (*Snapshot, error) {
 			fmt.Sprintf("version=%d filters=%d", snap.Version, snap.Engine.NumFilters()))
 	}
 	sp.End()
+
+	f.snap, f.err = snap, err
+	s.flightMu.Lock()
+	s.flight = nil
+	s.flightMu.Unlock()
+	close(f.done)
 	return snap, err
 }
 
 func (s *Service) reload(ctx context.Context) (*Snapshot, error) {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-
 	var lists []engine.NamedList
 	policy := retry.Policy{MaxAttempts: s.cfg.MaxAttempts, Seed: s.cfg.Seed}
 	attempts, err := policy.Do(ctx, "decision.reload", func(ctx context.Context) error {
@@ -297,25 +515,65 @@ func (s *Service) reload(ctx context.Context) (*Snapshot, error) {
 		return nil, fmt.Errorf("decision: reload: source returned no lists")
 	}
 
+	eng, infos, err := buildEngine(lists)
+	if err != nil {
+		s.reloadErrs.Inc()
+		return nil, fmt.Errorf("decision: reload: %w", err)
+	}
+
+	// The canary gate: a candidate that fails any invariant or probe is
+	// quarantined — never published — and the serving snapshot stands.
+	if err := s.cfg.Canary.validate(eng, lists, s.cur.Load()); err != nil {
+		s.rejected.Inc()
+		s.reloadErrs.Inc()
+		s.logger.Warn("reload rejected by canary; keeping current snapshot", "err", err)
+		return nil, fmt.Errorf("decision: reload rejected: %w", err)
+	}
+
+	next := s.publish(eng, infos, time.Now(), nil)
+
+	if s.cfg.StateDir != "" {
+		if err := persistSnapshot(s.cfg.StateDir, next, lists); err != nil {
+			// Persistence is best-effort: the snapshot is already serving,
+			// a failed write only costs the next warm start.
+			s.logger.Warn("snapshot persist failed", "version", next.Version, "err", err)
+		} else {
+			s.persists.Inc()
+		}
+	}
+	return next, nil
+}
+
+// buildEngine compiles lists into a frozen engine plus its ListInfos.
+func buildEngine(lists []engine.NamedList) (*engine.Engine, []ListInfo, error) {
 	b := engine.NewBuilder()
-	infos := make([]ListInfo, 0, len(lists))
 	for _, nl := range lists {
 		if err := b.Add(nl.Name, nl.List); err != nil {
-			s.reloadErrs.Inc()
-			return nil, fmt.Errorf("decision: reload: %w", err)
+			return nil, nil, err
 		}
 	}
 	eng := b.Build()
+	infos := make([]ListInfo, 0, len(lists))
 	for _, nl := range lists {
 		infos = append(infos, ListInfo{Name: nl.Name, Filters: eng.ListFilters(nl.Name)})
 	}
+	return eng, infos, nil
+}
 
-	old := s.cur.Load()
-	next := &Snapshot{Engine: eng, Lists: infos, BuiltAt: time.Now()}
-	if old != nil {
+// publish stores a snapshot built from eng/infos as the next generation:
+// version assignment, cache purge, gauge update and rollback-ring
+// bookkeeping all happen under publishMu. decorate, when non-nil, may
+// mark the snapshot (warm start, rollback provenance) before it is
+// published; fresh builds (nil RollbackOf) enter the rollback ring.
+func (s *Service) publish(eng *engine.Engine, infos []ListInfo, builtAt time.Time, decorate func(*Snapshot)) *Snapshot {
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
+	next := &Snapshot{Engine: eng, Lists: infos, BuiltAt: builtAt, Version: 1}
+	if old := s.cur.Load(); old != nil {
 		next.Version = old.Version + 1
-	} else {
-		next.Version = 1
+	}
+	if decorate != nil {
+		decorate(next)
 	}
 	s.cur.Store(next)
 	if s.cache != nil {
@@ -323,20 +581,104 @@ func (s *Service) reload(ctx context.Context) (*Snapshot, error) {
 	}
 	s.reloads.Inc()
 	s.version.Set(int64(next.Version))
+	if next.RollbackOf == 0 {
+		s.history = append(s.history, next)
+		keep := s.cfg.KeepSnapshots
+		if keep == 0 {
+			keep = DefaultKeepSnapshots
+		}
+		if keep < 2 {
+			keep = 2
+		}
+		if len(s.history) > keep {
+			s.history = append(s.history[:0], s.history[len(s.history)-keep:]...)
+		}
+	}
 	s.logger.Info("snapshot published",
-		"version", next.Version, "filters", eng.NumFilters(), "lists", len(infos))
+		"version", next.Version, "filters", eng.NumFilters(), "lists", len(infos),
+		"rollbackOf", next.RollbackOf, "warmStart", next.WarmStart)
+	return next
+}
+
+// Rollback republishes the snapshot that preceded the one currently
+// serving, as a new (monotonically versioned) generation, and purges the
+// decision cache. Repeated rollbacks walk further back through the ring
+// of retained snapshots; it fails when no older snapshot is retained.
+// The escape hatch for a bad list revision that passed the canary.
+func (s *Service) Rollback(ctx context.Context) (*Snapshot, error) {
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
+	cur := s.cur.Load()
+	if cur == nil {
+		return nil, fmt.Errorf("decision: rollback: no snapshot published")
+	}
+	// Resolve the content generation currently serving: a rollback serves
+	// some earlier fresh build, so walking back starts from that build.
+	origin := cur.Version
+	if cur.RollbackOf != 0 {
+		origin = cur.RollbackOf
+	}
+	idx := -1
+	for i, snap := range s.history {
+		if snap.Version == origin {
+			idx = i
+			break
+		}
+	}
+	if idx <= 0 {
+		return nil, fmt.Errorf("decision: rollback: no older snapshot retained (serving content of version %d)", origin)
+	}
+	target := s.history[idx-1]
+	next := &Snapshot{
+		Engine:     target.Engine,
+		Lists:      target.Lists,
+		BuiltAt:    target.BuiltAt,
+		Version:    cur.Version + 1,
+		RollbackOf: target.Version,
+	}
+	s.cur.Store(next)
+	if s.cache != nil {
+		s.cache.Purge()
+	}
+	// Pop the abandoned generation off the ring: rolling forward past a
+	// known-bad snapshot again would require a fresh reload, not another
+	// rollback.
+	s.history = s.history[:idx]
+	s.rollbacks.Inc()
+	s.version.Set(int64(next.Version))
+	obs.DefaultRing.Annotate(ctx, "rollback.published",
+		fmt.Sprintf("version=%d rollbackOf=%d", next.Version, next.RollbackOf))
+	s.logger.Info("rollback published",
+		"version", next.Version, "rollbackOf", next.RollbackOf,
+		"abandoned", origin, "filters", next.Engine.NumFilters())
 	return next, nil
+}
+
+// SetDraining flips the service's drain flag: a draining service reports
+// not ready (load balancers stop routing) while continuing to answer
+// in-flight and straggler queries during the grace window.
+func (s *Service) SetDraining(v bool) { s.draining.Store(v) }
+
+// Ready reports whether the service should receive traffic: a snapshot
+// is published and the service is not draining.
+func (s *Service) Ready() bool {
+	return !s.draining.Load() && s.cur.Load() != nil
 }
 
 // Stats reports the service's lifetime counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Matches:        s.matches.Value(),
-		Reloads:        s.reloads.Value(),
-		ReloadFailures: s.reloadErrs.Value(),
+		Matches:          s.matches.Value(),
+		Reloads:          s.reloads.Value(),
+		ReloadFailures:   s.reloadErrs.Value(),
+		ReloadsRejected:  s.rejected.Value(),
+		ReloadsCoalesced: s.coalesced.Value(),
+		Rollbacks:        s.rollbacks.Value(),
+		Ready:            s.Ready(),
 	}
 	if snap := s.cur.Load(); snap != nil {
 		st.SnapshotVersion = snap.Version
+		st.QuarantinedFilters = snap.Engine.QuarantinedCount()
 	}
 	if s.cache != nil {
 		c := s.cache.Stats()
@@ -347,9 +689,19 @@ func (s *Service) Stats() Stats {
 
 // Stats is a point-in-time view of the service.
 type Stats struct {
-	Matches         int64       `json:"matches"`
-	Reloads         int64       `json:"reloads"`
-	ReloadFailures  int64       `json:"reloadFailures"`
-	SnapshotVersion uint64      `json:"snapshotVersion"`
-	Cache           *CacheStats `json:"cache,omitempty"`
+	Matches         int64  `json:"matches"`
+	Reloads         int64  `json:"reloads"`
+	ReloadFailures  int64  `json:"reloadFailures"`
+	SnapshotVersion uint64 `json:"snapshotVersion"`
+	// ReloadsRejected counts candidate snapshots the canary refused to
+	// publish; ReloadsCoalesced counts Reload callers served by another
+	// caller's in-flight rebuild.
+	ReloadsRejected  int64 `json:"reloadsRejected"`
+	ReloadsCoalesced int64 `json:"reloadsCoalesced"`
+	Rollbacks        int64 `json:"rollbacks"`
+	// QuarantinedFilters counts filters disabled by poison-pill
+	// containment on the currently-serving engine.
+	QuarantinedFilters int64       `json:"quarantinedFilters"`
+	Ready              bool        `json:"ready"`
+	Cache              *CacheStats `json:"cache,omitempty"`
 }

@@ -47,7 +47,7 @@ type Explanation struct {
 func (s *Service) Explain(req *engine.Request) Explanation {
 	snap := s.cur.Load()
 	tr := &engine.Trail{}
-	d := snap.Engine.MatchRequest(req, engine.WithExplain(tr))
+	d := s.safeMatchTrail(snap, req, tr)
 	ex := Explanation{
 		Trail:    tr,
 		Snapshot: snap.Version,
@@ -138,7 +138,16 @@ func (s *Service) handleFilterStats(_ context.Context, w http.ResponseWriter, r 
 //	aa_filters_loaded{list="..."}      — compiled filters per list
 //	aa_filters_fired{list="..."}       — filters with ≥1 hit per list
 //	aa_snapshot_version                — current engine generation
-func (s *Service) metricsHandler(reg *obs.Registry) http.Handler {
+//	aa_reload_rejected_total           — canary-rejected reloads
+//	aa_rollbacks_total                 — published rollbacks
+//	aa_filters_quarantined             — poison-pill quarantined filters
+//	aa_ready                           — readiness (1 serving, 0 draining)
+//
+// and, when an admission controller is wired:
+//
+//	aa_requests_shed_total             — requests rejected by shedding
+//	aa_degraded_mode                   — 1 while serving cache-only
+func (s *Service) metricsHandler(reg *obs.Registry, shed *Shedder) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", http.MethodGet)
@@ -169,5 +178,24 @@ func (s *Service) metricsHandler(reg *obs.Registry) http.Handler {
 			fmt.Fprintf(w, "aa_filters_fired{list=%q} %d\n", name, attr[name].Fired)
 		}
 		fmt.Fprintf(w, "# TYPE aa_snapshot_version gauge\naa_snapshot_version %d\n", snap.Version)
+		fmt.Fprintf(w, "# TYPE aa_reload_rejected_total counter\naa_reload_rejected_total %d\n",
+			s.rejected.Value())
+		fmt.Fprintf(w, "# TYPE aa_rollbacks_total counter\naa_rollbacks_total %d\n",
+			s.rollbacks.Value())
+		fmt.Fprintf(w, "# TYPE aa_filters_quarantined gauge\naa_filters_quarantined %d\n",
+			snap.Engine.QuarantinedCount())
+		fmt.Fprintf(w, "# TYPE aa_ready gauge\naa_ready %d\n", boolGauge(s.Ready()))
+		if shed != nil {
+			st := shed.Stats()
+			fmt.Fprintf(w, "# TYPE aa_requests_shed_total counter\naa_requests_shed_total %d\n", st.Shed)
+			fmt.Fprintf(w, "# TYPE aa_degraded_mode gauge\naa_degraded_mode %d\n", boolGauge(st.Degraded))
+		}
 	})
+}
+
+func boolGauge(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }

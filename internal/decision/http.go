@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"acceptableads/internal/domainutil"
@@ -29,6 +31,9 @@ type HandlerConfig struct {
 	// Obs receives per-endpoint request counters and latency histograms
 	// ("decision.http.match.latency", ...); nil disables them.
 	Obs *obs.Registry
+	// Shed is the admission controller in front of the API endpoints;
+	// nil admits everything. Health probes and /metrics are never shed.
+	Shed *Shedder
 }
 
 // Handler serves the decision API over svc:
@@ -39,6 +44,9 @@ type HandlerConfig struct {
 //	POST /v1/elemhide     — element-hiding stylesheet for a document host
 //	GET  /v1/lists        — snapshot introspection (lists, version, cache)
 //	POST /v1/reload       — rebuild the snapshot from the list source
+//	POST /v1/rollback     — republish the previous retained snapshot
+//	GET  /healthz         — process liveness (always 200 while serving)
+//	GET  /readyz          — traffic readiness (503 when draining/unpublished)
 //	GET  /metrics         — Prometheus text exposition + attribution families
 //	GET  /debug/filters   — top-N per-filter hit attribution
 //
@@ -47,19 +55,52 @@ type HandlerConfig struct {
 // minted otherwise, and the id is echoed back in the X-AA-Trace response
 // header and attached to the request's context for span correlation and
 // trace-ring annotations.
+//
+// With a Shedder configured, the API endpoints run behind weighted
+// admission: a request that does not fit the concurrency limit waits in
+// the bounded queue and is shed with 429 + Retry-After when the queue is
+// full or its deadline expires. Under sustained overload the shedder
+// degrades /v1/match to cache-only service (hits answered, misses shed).
+// A panicking handler is contained per request: 500, counter, trace-ring
+// annotation — the process keeps serving.
 func Handler(svc *Service, cfg HandlerConfig) http.Handler {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
+	// Weights approximate relative cost so one admitted batch consumes
+	// the capacity of several single matches, and reloads — full list
+	// fetch + engine build — cannot stampede.
 	mux := http.NewServeMux()
-	mux.Handle("/v1/match", endpoint(cfg, "match", http.MethodPost, svc.handleMatch))
-	mux.Handle("/v1/match-batch", endpoint(cfg, "batch", http.MethodPost, svc.handleMatchBatch))
-	mux.Handle("/v1/explain", endpoint(cfg, "explain", http.MethodPost, svc.handleExplain))
-	mux.Handle("/v1/elemhide", endpoint(cfg, "elemhide", http.MethodPost, svc.handleElemHide))
-	mux.Handle("/v1/lists", endpoint(cfg, "lists", http.MethodGet, svc.handleLists))
-	mux.Handle("/v1/reload", endpoint(cfg, "reload", http.MethodPost, svc.handleReload))
-	mux.Handle("/metrics", svc.metricsHandler(cfg.Obs))
-	mux.Handle("/debug/filters", endpoint(cfg, "filters", http.MethodGet, svc.handleFilterStats))
+	mux.Handle("/v1/match", endpoint(cfg, endpointSpec{
+		name: "match", method: http.MethodPost, weight: 1, onShed: svc.matchCacheOnly,
+	}, svc.handleMatch))
+	mux.Handle("/v1/match-batch", endpoint(cfg, endpointSpec{
+		name: "batch", method: http.MethodPost, weight: 8,
+	}, svc.handleMatchBatch))
+	mux.Handle("/v1/explain", endpoint(cfg, endpointSpec{
+		name: "explain", method: http.MethodPost, weight: 2,
+	}, svc.handleExplain))
+	mux.Handle("/v1/elemhide", endpoint(cfg, endpointSpec{
+		name: "elemhide", method: http.MethodPost, weight: 1,
+	}, svc.handleElemHide))
+	mux.Handle("/v1/lists", endpoint(cfg, endpointSpec{
+		name: "lists", method: http.MethodGet, weight: 1,
+	}, svc.handleLists))
+	mux.Handle("/v1/reload", endpoint(cfg, endpointSpec{
+		name: "reload", method: http.MethodPost, weight: 16,
+	}, svc.handleReload))
+	mux.Handle("/v1/rollback", endpoint(cfg, endpointSpec{
+		name: "rollback", method: http.MethodPost, weight: 4,
+	}, svc.handleRollback))
+	mux.Handle("/metrics", svc.metricsHandler(cfg.Obs, cfg.Shed))
+	mux.Handle("/debug/filters", endpoint(cfg, endpointSpec{
+		name: "filters", method: http.MethodGet, weight: 1,
+	}, svc.handleFilterStats))
+	// Probes bypass admission and the request deadline entirely: an
+	// overloaded or mid-reload server must still answer its orchestrator,
+	// or shedding turns into a restart loop.
+	mux.HandleFunc("/healthz", svc.handleHealthz)
+	mux.HandleFunc("/readyz", svc.handleReadyz)
 	return mux
 }
 
@@ -70,22 +111,39 @@ const TraceHeader = "X-AA-Trace"
 // with a minted one rather than echoed back verbatim.
 const maxTraceIDLen = 64
 
+// endpointSpec describes one API endpoint to the endpoint wrapper.
+type endpointSpec struct {
+	name   string
+	method string
+	// weight is the endpoint's admission cost against the Shedder's
+	// capacity (clamped to the capacity, so heavy endpoints stay
+	// servable under small limits).
+	weight int64
+	// onShed, when non-nil, is the degraded-mode fallback tried before a
+	// shed is turned into a 429; it reports whether it answered the
+	// request. Only consulted while the Shedder is in degraded mode.
+	onShed func(ctx context.Context, w http.ResponseWriter, r *http.Request) bool
+}
+
 // endpoint wraps one handler with method gating, the per-request
-// deadline, trace propagation, and per-endpoint telemetry.
-func endpoint(cfg HandlerConfig, name, method string,
+// deadline, trace propagation, weighted admission, panic containment and
+// per-endpoint telemetry.
+func endpoint(cfg HandlerConfig, spec endpointSpec,
 	h func(ctx context.Context, w http.ResponseWriter, r *http.Request)) http.Handler {
 	var requests *obs.Counter
 	var errors *obs.Counter
+	var panics *obs.Counter
 	var latency *obs.Histogram
 	if cfg.Obs != nil {
-		requests = cfg.Obs.Counter("decision.http." + name + ".requests")
-		errors = cfg.Obs.Counter("decision.http." + name + ".errors")
-		latency = cfg.Obs.Histogram("decision.http." + name + ".latency")
+		requests = cfg.Obs.Counter("decision.http." + spec.name + ".requests")
+		errors = cfg.Obs.Counter("decision.http." + spec.name + ".errors")
+		panics = cfg.Obs.Counter("decision.http." + spec.name + ".panics")
+		latency = cfg.Obs.Histogram("decision.http." + spec.name + ".latency")
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != method {
-			w.Header().Set("Allow", method)
-			httpError(w, http.StatusMethodNotAllowed, "use "+method)
+		if r.Method != spec.method {
+			w.Header().Set("Allow", spec.method)
+			httpError(w, http.StatusMethodNotAllowed, "use "+spec.method)
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), cfg.RequestTimeout)
@@ -98,11 +156,25 @@ func endpoint(cfg HandlerConfig, name, method string,
 		// Root span for parent/child correlation: no registry (the
 		// endpoint's own latency histogram below already times it), but
 		// child spans — the reload span, notably — link back to its id.
-		sp, ctx := obs.StartSpanCtx(ctx, nil, nil, "decision.http."+name)
+		sp, ctx := obs.StartSpanCtx(ctx, nil, nil, "decision.http."+spec.name)
 		w.Header().Set(TraceHeader, string(trace))
 		start := time.Now()
 		sw := &statusCatcher{ResponseWriter: w, status: http.StatusOK}
-		h(ctx, sw, r.WithContext(ctx))
+		if err := cfg.Shed.Acquire(ctx, spec.weight); err != nil {
+			// Degraded mode first: under sustained overload a cache hit is
+			// still worth serving — it costs no engine time.
+			answered := false
+			if spec.onShed != nil && cfg.Shed.Degraded() {
+				answered = spec.onShed(ctx, sw, r.WithContext(ctx))
+			}
+			if !answered {
+				sw.Header().Set("Retry-After", "1")
+				httpError(sw, http.StatusTooManyRequests, "overloaded: "+err.Error())
+			}
+		} else {
+			serveContained(h, ctx, sw, r.WithContext(ctx), spec.name, panics)
+			cfg.Shed.Release(spec.weight)
+		}
 		sp.End()
 		if requests != nil {
 			requests.Inc()
@@ -114,14 +186,47 @@ func endpoint(cfg HandlerConfig, name, method string,
 	})
 }
 
+// serveContained runs one handler under recover: a panic is contained to
+// this request — 500 (when nothing was written yet), a panic counter and
+// a trace-ring annotation — instead of killing the process.
+func serveContained(h func(ctx context.Context, w http.ResponseWriter, r *http.Request),
+	ctx context.Context, sw *statusCatcher, r *http.Request, name string, panics *obs.Counter) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if panics != nil {
+			panics.Inc()
+		}
+		obs.DefaultRing.Annotate(ctx, "http.panic",
+			fmt.Sprintf("endpoint=%s panic=%v", name, rec))
+		slog.Error("request handler panicked",
+			"endpoint", name, "panic", rec, "stack", string(debug.Stack()))
+		if !sw.wrote {
+			httpError(sw, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	h(ctx, sw, r)
+}
+
 type statusCatcher struct {
 	http.ResponseWriter
 	status int
+	// wrote tracks whether anything reached the wire, so the panic
+	// recovery knows if a 500 can still be sent.
+	wrote bool
 }
 
 func (w *statusCatcher) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusCatcher) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
 }
 
 // ---- wire types ------------------------------------------------------------
@@ -297,21 +402,25 @@ func (s *Service) handleElemHide(ctx context.Context, w http.ResponseWriter, r *
 
 // ListsResult is the /v1/lists response.
 type ListsResult struct {
-	Snapshot uint64     `json:"snapshot"`
-	BuiltAt  time.Time  `json:"builtAt"`
-	Filters  int        `json:"filters"`
-	Lists    []ListInfo `json:"lists"`
-	Stats    Stats      `json:"stats"`
+	Snapshot   uint64     `json:"snapshot"`
+	BuiltAt    time.Time  `json:"builtAt"`
+	Filters    int        `json:"filters"`
+	WarmStart  bool       `json:"warmStart,omitempty"`
+	RollbackOf uint64     `json:"rollbackOf,omitempty"`
+	Lists      []ListInfo `json:"lists"`
+	Stats      Stats      `json:"stats"`
 }
 
 func (s *Service) handleLists(_ context.Context, w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
 	writeJSON(w, ListsResult{
-		Snapshot: snap.Version,
-		BuiltAt:  snap.BuiltAt,
-		Filters:  snap.Engine.NumFilters(),
-		Lists:    snap.Lists,
-		Stats:    s.Stats(),
+		Snapshot:   snap.Version,
+		BuiltAt:    snap.BuiltAt,
+		Filters:    snap.Engine.NumFilters(),
+		WarmStart:  snap.WarmStart,
+		RollbackOf: snap.RollbackOf,
+		Lists:      snap.Lists,
+		Stats:      s.Stats(),
 	})
 }
 
@@ -326,7 +435,7 @@ func (s *Service) handleReload(ctx context.Context, w http.ResponseWriter, r *ht
 	snap, err := s.Reload(ctx)
 	if err != nil {
 		// The old snapshot keeps serving; tell the caller the reload
-		// itself failed.
+		// itself failed (canary rejections included).
 		httpError(w, http.StatusBadGateway, err.Error())
 		return
 	}
@@ -335,6 +444,87 @@ func (s *Service) handleReload(ctx context.Context, w http.ResponseWriter, r *ht
 		Filters:  snap.Engine.NumFilters(),
 		Lists:    snap.Lists,
 	})
+}
+
+// RollbackResult is the /v1/rollback response.
+type RollbackResult struct {
+	Snapshot   uint64     `json:"snapshot"`
+	RollbackOf uint64     `json:"rollbackOf"`
+	Filters    int        `json:"filters"`
+	Lists      []ListInfo `json:"lists"`
+}
+
+func (s *Service) handleRollback(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Rollback(ctx)
+	if err != nil {
+		// No retained predecessor: a conflict with the service's state,
+		// not a server fault.
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, RollbackResult{
+		Snapshot:   snap.Version,
+		RollbackOf: snap.RollbackOf,
+		Filters:    snap.Engine.NumFilters(),
+		Lists:      snap.Lists,
+	})
+}
+
+// matchCacheOnly is /v1/match's degraded-mode fallback: answer from the
+// decision cache without touching the engine, report false (shed) on a
+// miss. Parse errors also report false — the 429 is as good an answer
+// and keeps the fallback allocation-light.
+func (s *Service) matchCacheOnly(ctx context.Context, w http.ResponseWriter, r *http.Request) bool {
+	var q MatchQuery
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&q); err != nil {
+		return false
+	}
+	req, err := q.toRequest()
+	if err != nil {
+		return false
+	}
+	d, ok := s.MatchCached(req)
+	if !ok {
+		return false
+	}
+	w.Header().Set("X-AA-Degraded", "cache-only")
+	writeJSON(w, toResult(d, true))
+	return true
+}
+
+// handleHealthz is process liveness: the handler answering at all is the
+// signal. Probes skip admission control and the request deadline.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is traffic readiness: 200 while a snapshot is published
+// and the service is not draining, 503 otherwise — the load balancer's
+// cue to stop routing before shutdown drains the listener.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if !s.Ready() {
+		reason := "draining"
+		if s.cur.Load() == nil {
+			reason = "no snapshot published"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "unavailable", "reason": reason}) //nolint:errcheck
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 // ---- plumbing --------------------------------------------------------------

@@ -1,0 +1,163 @@
+package decision
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
+)
+
+// Warm-start persistence. Every successful publish writes the raw list
+// payloads plus a manifest to the state directory, each file via
+// write-to-temp-then-atomic-rename so a crash mid-write never leaves a
+// half state — the manifest is written last, so its presence implies the
+// list files it references are complete. A restarting service rebuilds
+// its engine from the persisted lists and serves that last-good snapshot
+// immediately, before its first (possibly slow or failing) network
+// fetch. The on-disk layout is one manifest.json plus one
+// v<version>-<name>.txt per list; files from superseded versions are
+// garbage-collected after each persist.
+
+// manifestFile is the warm-start metadata file name inside StateDir.
+const manifestFile = "manifest.json"
+
+// persistManifest is the metadata side of a persisted snapshot.
+type persistManifest struct {
+	Version uint64        `json:"version"`
+	BuiltAt time.Time     `json:"builtAt"`
+	SavedAt time.Time     `json:"savedAt"`
+	Lists   []persistList `json:"lists"`
+}
+
+// persistList names one persisted list payload.
+type persistList struct {
+	Name    string `json:"name"`
+	File    string `json:"file"`
+	Filters int    `json:"filters"`
+}
+
+// persistSnapshot writes the snapshot's raw lists and manifest to dir.
+// Everything is written next to its final name and atomically renamed
+// into place; the manifest goes last.
+func persistSnapshot(dir string, snap *Snapshot, lists []engine.NamedList) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("decision: state dir: %w", err)
+	}
+	m := persistManifest{
+		Version: snap.Version,
+		BuiltAt: snap.BuiltAt,
+		SavedAt: time.Now(),
+	}
+	for _, nl := range lists {
+		name := fmt.Sprintf("v%d-%s.txt", snap.Version, sanitizeName(nl.Name))
+		if err := atomicWrite(filepath.Join(dir, name), []byte(nl.List.String())); err != nil {
+			return fmt.Errorf("decision: persist list %s: %w", nl.Name, err)
+		}
+		m.Lists = append(m.Lists, persistList{
+			Name:    nl.Name,
+			File:    name,
+			Filters: len(nl.List.Active()),
+		})
+	}
+	body, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("decision: persist manifest: %w", err)
+	}
+	if err := atomicWrite(filepath.Join(dir, manifestFile), body); err != nil {
+		return fmt.Errorf("decision: persist manifest: %w", err)
+	}
+	gcStateDir(dir, &m)
+	return nil
+}
+
+// loadPersisted reads the manifest and list payloads persisted in dir.
+// A missing manifest returns an error satisfying errors.Is(err,
+// fs.ErrNotExist), which warm start treats as "no prior state".
+func loadPersisted(dir string) (*persistManifest, []engine.NamedList, error) {
+	body, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	var m persistManifest
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, nil, fmt.Errorf("decision: corrupt state manifest: %w", err)
+	}
+	if len(m.Lists) == 0 {
+		return nil, nil, fmt.Errorf("decision: state manifest lists no payloads")
+	}
+	var lists []engine.NamedList
+	for _, pl := range m.Lists {
+		// The manifest names plain files inside dir; anything that could
+		// escape it (or an absolute path) marks the manifest corrupt.
+		if pl.File == "" || pl.File != filepath.Base(pl.File) {
+			return nil, nil, fmt.Errorf("decision: state manifest references invalid file %q", pl.File)
+		}
+		payload, err := os.ReadFile(filepath.Join(dir, pl.File))
+		if err != nil {
+			return nil, nil, fmt.Errorf("decision: state list %s: %w", pl.Name, err)
+		}
+		lists = append(lists, engine.NamedList{
+			Name: pl.Name, List: filter.ParseListString(pl.Name, string(payload)),
+		})
+	}
+	return &m, lists, nil
+}
+
+// atomicWrite writes data to path via a temp file in the same directory
+// and an atomic rename, so readers only ever observe complete files.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// gcStateDir removes persisted list files not referenced by the current
+// manifest (older versions, leftover temp files). Best effort.
+func gcStateDir(dir string, m *persistManifest) {
+	keep := make(map[string]bool, len(m.Lists))
+	for _, pl := range m.Lists {
+		keep[pl.File] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == manifestFile || keep[name] {
+			continue
+		}
+		if strings.HasPrefix(name, "v") && (strings.HasSuffix(name, ".txt") || strings.HasSuffix(name, ".tmp")) {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// sanitizeName maps a list name to a file-name-safe token.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "list"
+	}
+	return b.String()
+}

@@ -1,0 +1,182 @@
+package decision
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acceptableads/internal/engine"
+)
+
+// deadSource fails every Load — the network is down.
+type deadSource struct{ loads int }
+
+func (s *deadSource) Load(context.Context) ([]engine.NamedList, error) {
+	s.loads++
+	return nil, fmt.Errorf("list server unreachable (load %d)", s.loads)
+}
+
+// TestWarmStartServesPersistedSnapshot is the restart drill: a service
+// publishes (persisting its lists), the process "dies", and a new
+// service pointed at the same state dir comes up serving the last-good
+// snapshot without its Source ever answering.
+func TestWarmStartServesPersistedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	svc1, err := New(context.Background(), Config{
+		Source: Lists(testLists()...), StateDir: dir, CacheSize: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err != nil {
+		t.Fatalf("publish did not persist a manifest: %v", err)
+	}
+	wantBlocked, _ := svc1.Match(mustRequest(t,
+		"http://ads.example.com/x.js", "http://news.example.org/"))
+	if wantBlocked.Verdict != engine.Blocked {
+		t.Fatalf("baseline verdict = %v", wantBlocked.Verdict)
+	}
+
+	// Restart with the network down: warm start or bust.
+	dead := &deadSource{}
+	svc2, err := New(context.Background(), Config{
+		Source: dead, StateDir: dir, MaxAttempts: 1, CacheSize: 64,
+	})
+	if err != nil {
+		t.Fatalf("warm start failed despite persisted state: %v", err)
+	}
+	if dead.loads != 0 {
+		t.Errorf("warm start hit the Source %d times", dead.loads)
+	}
+	snap := svc2.Snapshot()
+	if !snap.WarmStart {
+		t.Error("restored snapshot not marked WarmStart")
+	}
+	if !svc2.Ready() {
+		t.Error("warm-started service not ready")
+	}
+	d, _ := svc2.Match(mustRequest(t,
+		"http://ads.example.com/x.js", "http://news.example.org/"))
+	if d.Verdict != engine.Blocked {
+		t.Fatalf("warm-started verdict = %v, want blocked", d.Verdict)
+	}
+
+	// A later reload against the dead source fails but the warm snapshot
+	// keeps serving — same degradation contract as any failed reload.
+	if _, err := svc2.Reload(context.Background()); err == nil {
+		t.Fatal("reload against a dead source succeeded")
+	}
+	if svc2.Snapshot() != snap {
+		t.Fatal("failed reload displaced the warm-start snapshot")
+	}
+}
+
+func TestWarmStartCorruptManifestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(context.Background(), Config{
+		Source: Lists(testLists()...), StateDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("corrupt state prevented startup: %v", err)
+	}
+	if svc.Snapshot().WarmStart {
+		t.Error("snapshot marked WarmStart despite corrupt manifest")
+	}
+}
+
+func TestWarmStartRejectsEscapingManifest(t *testing.T) {
+	dir := t.TempDir()
+	manifest := `{"version":1,"lists":[{"name":"evil","file":"../outside.txt","filters":1}]}`
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadPersisted(dir); err == nil ||
+		!strings.Contains(err.Error(), "invalid file") {
+		t.Fatalf("loadPersisted(escaping manifest) = %v, want invalid-file error", err)
+	}
+}
+
+// TestWarmStartCanaryGuardsPersistedState: persisted state is validated
+// like any other candidate — a state dir holding an effectively empty
+// list must not warm-start an empty engine.
+func TestWarmStartCanaryGuardsPersistedState(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "v1-easylist.txt"), []byte("! comments only\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	manifest := `{"version":1,"lists":[{"name":"easylist","file":"v1-easylist.txt","filters":0}]}`
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(context.Background(), Config{
+		Source: Lists(testLists()...), StateDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("rejected state dir prevented startup: %v", err)
+	}
+	if svc.Snapshot().WarmStart {
+		t.Error("empty persisted engine warm-started past the canary")
+	}
+	if svc.Snapshot().Engine.NumFilters() == 0 {
+		t.Fatal("serving an empty engine")
+	}
+}
+
+// TestPersistGCKeepsOnlyCurrentVersion reloads several times and checks
+// the state dir holds exactly the newest version's payloads plus the
+// manifest — superseded files are garbage-collected.
+func TestPersistGCKeepsOnlyCurrentVersion(t *testing.T) {
+	dir := t.TempDir()
+	svc, err := New(context.Background(), Config{
+		Source: Lists(testLists()...), StateDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Reload(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := svc.Snapshot().Version
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := fmt.Sprintf("v%d-", cur)
+	var payloads int
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestFile {
+			continue
+		}
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".txt") {
+			t.Errorf("stale or unexpected state file %q survived GC", name)
+			continue
+		}
+		payloads++
+	}
+	if payloads != len(testLists()) {
+		t.Errorf("state dir holds %d payloads for v%d, want %d", payloads, cur, len(testLists()))
+	}
+
+	// And the persisted state round-trips: a warm start from it serves
+	// the same verdicts.
+	svc2, err := New(context.Background(), Config{
+		Source: &deadSource{}, StateDir: dir, MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := svc2.Match(mustRequest(t,
+		"http://ads.example.com/x.js", "http://news.example.org/"))
+	if d.Verdict != engine.Blocked {
+		t.Fatalf("round-tripped verdict = %v, want blocked", d.Verdict)
+	}
+}

@@ -1,0 +1,285 @@
+package decision
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"acceptableads/internal/obs"
+)
+
+// Adaptive load shedding. A Shedder is a weighted concurrency limiter in
+// front of the HTTP endpoints: each endpoint declares a weight (a batch
+// costs more than a single match), admission is a lock-free CAS on one
+// atomic in-flight gauge — zero allocations on the uncontended path — and
+// callers that do not fit wait in a bounded, deadline-aware queue. When
+// neither capacity nor queue space is available the request is shed
+// (HTTP 429 + Retry-After) instead of growing an unbounded backlog.
+//
+// Sustained shedding flips the Shedder into degraded mode: the serving
+// layer then answers /v1/match from the decision cache only (hits are
+// cheap and allocation-free) and sheds misses, trading freshness of the
+// long tail for keeping the hot set served under overload.
+
+// Shed errors distinguish "no room at arrival" from "gave up waiting".
+var (
+	// ErrShed reports that the request was rejected because both the
+	// concurrency limit and the wait queue were full.
+	ErrShed = errors.New("decision: overloaded, request shed")
+	// ErrShedDeadline reports that the request waited in the admission
+	// queue until its deadline expired.
+	ErrShedDeadline = errors.New("decision: overloaded, deadline expired in admission queue")
+)
+
+// Shedder defaults, chosen for a mid-size serving box; see ShedConfig.
+const (
+	DefaultShedCapacity  = 256
+	DefaultShedQueue     = 512
+	DefaultDegradeAfter  = 64
+	DefaultDegradeWindow = time.Second
+)
+
+// ShedConfig parameterizes a Shedder.
+type ShedConfig struct {
+	// Capacity is the total admission weight allowed in flight at once;
+	// 0 means DefaultShedCapacity.
+	Capacity int64
+	// MaxQueue bounds how many requests may wait for admission; 0 means
+	// DefaultShedQueue, negative disables queueing (immediate shed).
+	MaxQueue int64
+	// DegradeAfter is how many sheds within one DegradeWindow flip the
+	// Shedder into degraded (cache-only) mode; 0 means
+	// DefaultDegradeAfter, negative disables degraded mode.
+	DegradeAfter int64
+	// DegradeWindow is the sliding decision window for degraded mode;
+	// 0 means DefaultDegradeWindow.
+	DegradeWindow time.Duration
+	// Obs receives admission telemetry; nil disables it.
+	Obs *obs.Registry
+}
+
+// Shedder is the admission controller. A nil *Shedder is valid and admits
+// everything (shedding disabled).
+type Shedder struct {
+	capacity     int64
+	maxQueue     int64
+	degradeAfter int64
+	windowNanos  int64
+
+	inflight atomic.Int64
+	queued   atomic.Int64
+	// notify is a capacity-1 wake token: Release deposits it when waiters
+	// exist, each waiter re-tries admission when it drains the token and
+	// re-deposits for the next waiter if it got in.
+	notify chan struct{}
+
+	// Degraded-mode bookkeeping: sheds are counted per window; crossing
+	// degradeAfter within one window sets degraded, a window with fewer
+	// sheds clears it. Rotation is lazy — driven by Acquire/Degraded
+	// calls — so there is no background goroutine.
+	windowStart atomic.Int64
+	windowSheds atomic.Int64
+	degraded    atomic.Bool
+
+	admitted  *obs.Counter
+	shedFull  *obs.Counter
+	shedWait  *obs.Counter
+	degradedN *obs.Counter
+}
+
+// NewShedder builds an admission controller from cfg.
+func NewShedder(cfg ShedConfig) *Shedder {
+	s := &Shedder{
+		capacity:     cfg.Capacity,
+		maxQueue:     cfg.MaxQueue,
+		degradeAfter: cfg.DegradeAfter,
+		windowNanos:  int64(cfg.DegradeWindow),
+		notify:       make(chan struct{}, 1),
+	}
+	if s.capacity <= 0 {
+		s.capacity = DefaultShedCapacity
+	}
+	if s.maxQueue == 0 {
+		s.maxQueue = DefaultShedQueue
+	}
+	if s.maxQueue < 0 {
+		s.maxQueue = 0
+	}
+	if s.degradeAfter == 0 {
+		s.degradeAfter = DefaultDegradeAfter
+	}
+	if s.windowNanos <= 0 {
+		s.windowNanos = int64(DefaultDegradeWindow)
+	}
+	s.admitted = &obs.Counter{}
+	s.shedFull = &obs.Counter{}
+	s.shedWait = &obs.Counter{}
+	s.degradedN = &obs.Counter{}
+	if cfg.Obs != nil {
+		s.admitted = cfg.Obs.Counter("decision.shed.admitted")
+		s.shedFull = cfg.Obs.Counter("decision.shed.dropped")
+		s.shedWait = cfg.Obs.Counter("decision.shed.deadline")
+		s.degradedN = cfg.Obs.Counter("decision.shed.degraded")
+	}
+	s.windowStart.Store(time.Now().UnixNano())
+	return s
+}
+
+// Acquire admits the caller at the given weight, waiting in the bounded
+// queue if the limiter is full. It returns nil on admission (the caller
+// must Release the same weight), ErrShed when shed at arrival, and
+// ErrShedDeadline when ctx expired while queued. Weights above the total
+// capacity are clamped so heavyweight endpoints remain servable.
+//
+// The uncontended path is one CAS loop on an atomic — no locks, no
+// allocations — which is what keeps the admission controller off the
+// zero-alloc match path's profile.
+func (s *Shedder) Acquire(ctx context.Context, weight int64) error {
+	if s == nil {
+		return nil
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > s.capacity {
+		weight = s.capacity
+	}
+	if s.tryAdmit(weight) {
+		return nil
+	}
+	// Full at arrival: queue if there is room, otherwise shed now.
+	if s.queued.Add(1) > s.maxQueue {
+		s.queued.Add(-1)
+		s.noteShed()
+		s.shedFull.Inc()
+		return ErrShed
+	}
+	defer s.queued.Add(-1)
+	// Re-check after announcing ourselves in the queue: a Release landing
+	// between the failed fast path and the queued increment saw no waiter
+	// and deposited no wake token.
+	if s.tryAdmit(weight) {
+		return nil
+	}
+	for {
+		select {
+		case <-s.notify:
+			if s.tryAdmit(weight) {
+				// Pass the wake token on: capacity may fit another waiter.
+				s.wake()
+				return nil
+			}
+		case <-ctx.Done():
+			s.noteShed()
+			s.shedWait.Inc()
+			return ErrShedDeadline
+		}
+	}
+}
+
+// Release returns the caller's admission weight. It must be called
+// exactly once per successful Acquire, with the same weight.
+func (s *Shedder) Release(weight int64) {
+	if s == nil {
+		return
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > s.capacity {
+		weight = s.capacity
+	}
+	s.inflight.Add(-weight)
+	s.wake()
+}
+
+// tryAdmit is the lock-free fast path: CAS inflight up by weight if it
+// fits.
+func (s *Shedder) tryAdmit(weight int64) bool {
+	for {
+		cur := s.inflight.Load()
+		if cur+weight > s.capacity {
+			return false
+		}
+		if s.inflight.CompareAndSwap(cur, cur+weight) {
+			s.admitted.Inc()
+			s.rotate(time.Now().UnixNano())
+			return true
+		}
+	}
+}
+
+// wake deposits the wake token if any waiter is queued.
+func (s *Shedder) wake() {
+	if s.queued.Load() > 0 {
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// noteShed counts one shed into the current window and flips degraded
+// mode when the window's shed count crosses the threshold.
+func (s *Shedder) noteShed() {
+	if s.degradeAfter < 0 {
+		return
+	}
+	s.rotate(time.Now().UnixNano())
+	if s.windowSheds.Add(1) >= s.degradeAfter && !s.degraded.Swap(true) {
+		s.degradedN.Inc()
+	}
+}
+
+// rotate advances the degrade window if it has elapsed: a completed
+// window with fewer sheds than the threshold clears degraded mode.
+func (s *Shedder) rotate(now int64) {
+	if s.degradeAfter < 0 {
+		return
+	}
+	start := s.windowStart.Load()
+	if now-start < s.windowNanos {
+		return
+	}
+	if !s.windowStart.CompareAndSwap(start, now) {
+		return // another goroutine rotated
+	}
+	if n := s.windowSheds.Swap(0); n < s.degradeAfter {
+		s.degraded.Store(false)
+	}
+}
+
+// Degraded reports whether the Shedder is in degraded (cache-only) mode.
+func (s *Shedder) Degraded() bool {
+	if s == nil {
+		return false
+	}
+	s.rotate(time.Now().UnixNano())
+	return s.degraded.Load()
+}
+
+// ShedStats is a point-in-time view of the admission controller.
+type ShedStats struct {
+	Capacity int64 `json:"capacity"`
+	InFlight int64 `json:"inFlight"`
+	Queued   int64 `json:"queued"`
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	Degraded bool  `json:"degraded"`
+}
+
+// Stats snapshots the admission counters. Safe on a nil Shedder.
+func (s *Shedder) Stats() ShedStats {
+	if s == nil {
+		return ShedStats{}
+	}
+	return ShedStats{
+		Capacity: s.capacity,
+		InFlight: s.inflight.Load(),
+		Queued:   s.queued.Load(),
+		Admitted: s.admitted.Value(),
+		Shed:     s.shedFull.Value() + s.shedWait.Value(),
+		Degraded: s.Degraded(),
+	}
+}

@@ -1,0 +1,297 @@
+package decision
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShedderFastPathZeroAlloc(t *testing.T) {
+	s := NewShedder(ShedConfig{Capacity: 4})
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := s.Acquire(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+		s.Release(1)
+	})
+	if allocs != 0 {
+		t.Errorf("uncontended Acquire/Release = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestShedderShedsAtCapacity(t *testing.T) {
+	s := NewShedder(ShedConfig{Capacity: 2, MaxQueue: -1})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := s.Acquire(ctx, 1); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := s.Acquire(ctx, 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire past capacity = %v, want ErrShed", err)
+	}
+	s.Release(1)
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	st := s.Stats()
+	if st.Admitted != 3 || st.Shed != 1 {
+		t.Errorf("stats = %+v, want 3 admitted / 1 shed", st)
+	}
+}
+
+func TestShedderClampsOverweight(t *testing.T) {
+	s := NewShedder(ShedConfig{Capacity: 2, MaxQueue: -1})
+	// A weight above the whole capacity must still be servable.
+	if err := s.Acquire(context.Background(), 100); err != nil {
+		t.Fatalf("overweight acquire on an idle shedder: %v", err)
+	}
+	if got := s.Stats().InFlight; got != 2 {
+		t.Errorf("in-flight after clamped acquire = %d, want 2 (the capacity)", got)
+	}
+	s.Release(100)
+	if got := s.Stats().InFlight; got != 0 {
+		t.Errorf("in-flight after clamped release = %d, want 0", got)
+	}
+}
+
+func TestShedderQueueAdmitsOnRelease(t *testing.T) {
+	s := NewShedder(ShedConfig{Capacity: 1, MaxQueue: 4})
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan error, 1)
+	go func() { admitted <- s.Acquire(ctx, 1) }()
+	select {
+	case err := <-admitted:
+		t.Fatalf("waiter returned %v before capacity freed", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	s.Release(1)
+	select {
+	case err := <-admitted:
+		if err != nil {
+			t.Fatalf("queued waiter = %v, want admission", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter never admitted after release")
+	}
+	s.Release(1)
+}
+
+func TestShedderDeadlineInQueue(t *testing.T) {
+	s := NewShedder(ShedConfig{Capacity: 1, MaxQueue: 4})
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Acquire(ctx, 1); !errors.Is(err, ErrShedDeadline) {
+		t.Fatalf("expired waiter = %v, want ErrShedDeadline", err)
+	}
+	s.Release(1)
+}
+
+func TestShedderQueueBound(t *testing.T) {
+	s := NewShedder(ShedConfig{Capacity: 1, MaxQueue: 1})
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Acquire(waiterCtx, 1) //nolint:errcheck // cancelled at test end
+	}()
+	// Let the waiter take the single queue slot, then overflow it.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Acquire(context.Background(), 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire with a full queue = %v, want ErrShed", err)
+	}
+	cancelWaiter()
+	wg.Wait()
+	s.Release(1)
+}
+
+func TestShedderDegradedModeEntersAndClears(t *testing.T) {
+	const window = 50 * time.Millisecond
+	s := NewShedder(ShedConfig{
+		Capacity: 1, MaxQueue: -1, DegradeAfter: 3, DegradeWindow: window,
+	})
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Acquire(ctx, 1); !errors.Is(err, ErrShed) {
+			t.Fatalf("shed %d = %v", i, err)
+		}
+	}
+	if !s.Degraded() {
+		t.Fatal("3 sheds in one window did not enter degraded mode")
+	}
+	// The window holding the shed burst must complete, then one calm
+	// window clears the flag.
+	time.Sleep(window + 20*time.Millisecond)
+	s.Degraded() // rotates the burst window out
+	time.Sleep(window + 20*time.Millisecond)
+	if s.Degraded() {
+		t.Fatal("a calm window did not clear degraded mode")
+	}
+	s.Release(1)
+}
+
+func TestNilShedderAdmitsEverything(t *testing.T) {
+	var s *Shedder
+	if err := s.Acquire(context.Background(), 99); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(99)
+	if st := s.Stats(); st != (ShedStats{}) {
+		t.Errorf("nil shedder stats = %+v", st)
+	}
+	if s.Degraded() {
+		t.Error("nil shedder degraded")
+	}
+}
+
+// ---- HTTP integration ------------------------------------------------------
+
+func postMatch(t *testing.T, client *http.Client, url, body string) *http.Response {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/match", "application/json",
+		bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHTTPOverloadSheds429 pins the admission limiter and checks the API
+// contract under overload: 429 + Retry-After on the API endpoints, while
+// health probes and /metrics keep answering.
+func TestHTTPOverloadSheds429(t *testing.T) {
+	svc := newTestService(t, 1024)
+	shed := NewShedder(ShedConfig{Capacity: 1, MaxQueue: -1})
+	srv := httptest.NewServer(Handler(svc, HandlerConfig{Shed: shed}))
+	defer srv.Close()
+
+	const q = `{"url":"http://ads.example.com/x.js","document":"http://news.example.org/","type":"script"}`
+	resp := postMatch(t, srv.Client(), srv.URL, q)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unloaded match = %d", resp.StatusCode)
+	}
+
+	// Pin the limiter: every admission-controlled endpoint must shed.
+	if err := shed.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	resp = postMatch(t, srv.Client(), srv.URL, q)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded match = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response carries no Retry-After")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte("overloaded")) {
+		t.Errorf("shed body %q does not say overloaded", body)
+	}
+
+	// Probes and metrics bypass admission entirely.
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		r, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s under overload = %d, want 200", path, r.StatusCode)
+		}
+	}
+
+	shed.Release(1)
+	resp = postMatch(t, srv.Client(), srv.URL, q)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("match after release = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHTTPDegradedCacheOnly drives the shedder into degraded mode and
+// checks /v1/match's fallback: cached decisions are still served (marked
+// by the X-AA-Degraded header), uncached ones are shed.
+func TestHTTPDegradedCacheOnly(t *testing.T) {
+	svc := newTestService(t, 1024)
+	shed := NewShedder(ShedConfig{
+		Capacity: 1, MaxQueue: -1, DegradeAfter: 1, DegradeWindow: time.Hour,
+	})
+	srv := httptest.NewServer(Handler(svc, HandlerConfig{Shed: shed}))
+	defer srv.Close()
+
+	const hot = `{"url":"http://ads.example.com/x.js","document":"http://news.example.org/","type":"script"}`
+	const cold = `{"url":"http://other.example.net/y.js","document":"http://news.example.org/","type":"script"}`
+
+	// Prime the cache with the hot request while unloaded.
+	resp := postMatch(t, srv.Client(), srv.URL, hot)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+
+	// Pin the limiter; the first shed flips degraded (threshold 1, hour
+	// window keeps it there).
+	if err := shed.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	defer shed.Release(1)
+
+	resp = postMatch(t, srv.Client(), srv.URL, cold)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("cold request under overload = %d, want 429", resp.StatusCode)
+	}
+	if !shed.Degraded() {
+		t.Fatal("shedder not degraded after the shed")
+	}
+
+	resp = postMatch(t, srv.Client(), srv.URL, hot)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached request in degraded mode = %d, want 200 from cache", resp.StatusCode)
+	}
+	if resp.Header.Get("X-AA-Degraded") != "cache-only" {
+		t.Error("degraded cache hit not marked X-AA-Degraded: cache-only")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte(`"cached":true`)) {
+		t.Errorf("degraded response %q not marked cached", body)
+	}
+
+	// Still no engine time for misses.
+	resp = postMatch(t, srv.Client(), srv.URL, cold)
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("cold request in degraded mode = %d, want 429", resp.StatusCode)
+	}
+}

@@ -184,6 +184,12 @@ type compiledRequest struct {
 	// its 1-based position in the source list's text.
 	id   uint32
 	line int32
+	// state is the filter's poison-pill containment state (filterOK /
+	// filterQuarantined / filterPoison); see quarantine.go. The same
+	// *compiledRequest is shared between the hash buckets, the slow list
+	// and the linear-scan view, so one atomic store disables the filter
+	// on every path at once.
+	state atomic.Uint32
 }
 
 // matches applies every per-filter gate: pattern, content type, party
@@ -192,6 +198,16 @@ type compiledRequest struct {
 // boundaries) — identical for every candidate filter, so they are
 // computed once per request, not once per candidate.
 func (c *compiledRequest) matches(req *Request) bool {
+	// Containment gate: a quarantined filter is dead on every path (index,
+	// slow bucket, linear scan) with one relaxed atomic load; a poisoned
+	// one panics here — the chaos hook behind the serving layer's
+	// panic-containment tests.
+	if st := c.state.Load(); st != filterOK {
+		if st == filterQuarantined {
+			return false
+		}
+		panic("engine: poison filter " + c.f.Raw)
+	}
 	if c.f.TypeMask&req.Type == 0 {
 		return false
 	}
@@ -371,6 +387,9 @@ type Engine struct {
 	// metrics is the optional telemetry hook; nil (the default) keeps the
 	// match path free of instrumentation. See SetMetrics.
 	metrics *engineMetrics
+	// quarCount tracks how many request filters have been quarantined on
+	// this engine since it was built; see quarantine.go.
+	quarCount atomic.Int64
 }
 
 // filterRef is the identity behind one attribution slot.

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+
+	"acceptableads/internal/filter"
+)
+
+func quarantineEngine(t *testing.T) *Engine {
+	t.Helper()
+	return mustEngine(t,
+		listOf("easylist", "||adzerk.net^$third-party\n/banner/\n||tracker.example^"),
+		listOf("exceptionrules", "@@||adzerk.net/reddit/$subdocument,domain=reddit.com"),
+	)
+}
+
+func quarantineRequest(t *testing.T) *Request {
+	t.Helper()
+	req, err := NewRequest("http://static.adzerk.net/banner/ads.html", "http://www.reddit.com/", filter.TypeImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestPoisonFilterPanicsOnMatch(t *testing.T) {
+	e := quarantineEngine(t)
+	if n := e.PoisonFilter("/banner/"); n != 1 {
+		t.Fatalf("PoisonFilter armed %d filters, want 1", n)
+	}
+	if n := e.PoisonFilter("no-such-filter"); n != 0 {
+		t.Fatalf("PoisonFilter on unknown raw armed %d filters, want 0", n)
+	}
+	// A URL whose only candidate is the poisoned filter, so the probe is
+	// guaranteed to evaluate it (the adzerk request resolves the blocking
+	// role at the "adzerk" bucket and never reaches "banner").
+	req, err := NewRequest("http://cdn.example.com/banner/ads.png", "http://news.example.com/", filter.TypeImage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatchRequest over a poisoned filter did not panic")
+		}
+	}()
+	e.MatchRequest(req, WithShortCircuit())
+}
+
+func TestQuarantinePanickingDisablesFilter(t *testing.T) {
+	e := quarantineEngine(t)
+	e.PoisonFilter("/banner/")
+	req := quarantineRequest(t)
+
+	got := e.QuarantinePanicking(req)
+	if len(got) != 1 {
+		t.Fatalf("QuarantinePanicking = %+v, want exactly the poisoned filter", got)
+	}
+	if got[0].Filter != "/banner/" || got[0].List != "easylist" || got[0].Line != 2 {
+		t.Errorf("quarantined identity = %+v", got[0])
+	}
+	if n := e.QuarantinedCount(); n != 1 {
+		t.Errorf("QuarantinedCount = %d, want 1", n)
+	}
+	q := e.Quarantined()
+	if len(q) != 1 || q[0].Filter != "/banner/" {
+		t.Errorf("Quarantined() = %+v", q)
+	}
+
+	// The quarantined filter is dead on every evaluation path; the rest of
+	// the engine keeps working (the third-party adzerk blocker still fires).
+	for _, opt := range [][]MatchOption{
+		{WithShortCircuit()},
+		{WithLinearScan()},
+		nil,
+	} {
+		d := e.MatchRequest(req, opt...)
+		if d.Verdict != Blocked {
+			t.Fatalf("opts %v: verdict = %v, want blocked by surviving filter", opt, d.Verdict)
+		}
+		if m := d.BlockedBy(); m == nil || m.Filter.Raw != "||adzerk.net^$third-party" {
+			t.Fatalf("opts %v: BlockedBy = %+v, want the adzerk filter", opt, m)
+		}
+	}
+
+	// Idempotent: probing again finds nothing new.
+	if again := e.QuarantinePanicking(req); len(again) != 0 {
+		t.Errorf("second QuarantinePanicking = %+v, want none", again)
+	}
+	if n := e.QuarantinedCount(); n != 1 {
+		t.Errorf("QuarantinedCount after re-probe = %d, want still 1", n)
+	}
+}
+
+func TestQuarantinePanickingNoCulprit(t *testing.T) {
+	e := quarantineEngine(t)
+	if got := e.QuarantinePanicking(quarantineRequest(t)); len(got) != 0 {
+		t.Fatalf("QuarantinePanicking on healthy engine = %+v, want none", got)
+	}
+	if n := e.QuarantinedCount(); n != 0 {
+		t.Errorf("QuarantinedCount = %d, want 0", n)
+	}
+}

@@ -1,0 +1,115 @@
+package retry
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for deterministic cooldown
+// control under concurrent Allow callers.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerHalfOpenSingleProbeUnderRace hammers an open circuit whose
+// cooldown has elapsed with 32 concurrent Allow callers: exactly one may
+// win the half-open probe, everyone else stays rejected until that
+// probe's outcome is recorded. Run under -race this also proves the
+// state transitions themselves are data-race free. Rounds alternate a
+// failed probe (circuit stays open, cooldown re-armed) with a successful
+// one (circuit closes), covering both half-open exits.
+func TestBreakerHalfOpenSingleProbeUnderRace(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1_000_000, 0)}
+	var transitions atomic.Int64
+	b := NewBreaker(BreakerConfig{
+		Threshold: 1,
+		Cooldown:  time.Second,
+		Now:       clock.Now,
+		OnStateChange: func(host string, open bool) {
+			transitions.Add(1)
+		},
+	})
+	const host = "lists.example.com"
+	failure := errors.New("fetch failed")
+
+	b.Record(host, failure) // threshold 1: opens immediately
+	if !b.HostOpen(host) {
+		t.Fatal("circuit did not open")
+	}
+
+	race := func() int64 {
+		var allowed atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 32; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if b.Allow(host) {
+					allowed.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		return allowed.Load()
+	}
+
+	for round := 0; round < 10; round++ {
+		// Before the cooldown elapses nothing gets through.
+		if n := race(); n != 0 {
+			t.Fatalf("round %d: %d callers admitted before cooldown", round, n)
+		}
+		clock.Advance(2 * time.Second)
+		// Cooldown elapsed: exactly one half-open probe wins.
+		if n := race(); n != 1 {
+			t.Fatalf("round %d: %d probes admitted after cooldown, want exactly 1", round, n)
+		}
+		// The probe is outstanding — no further admissions, even with more
+		// time on the clock.
+		clock.Advance(time.Hour)
+		if n := race(); n != 0 {
+			t.Fatalf("round %d: %d callers admitted while a probe is outstanding", round, n)
+		}
+
+		if round%2 == 0 {
+			// Failed probe: circuit stays open with a re-armed cooldown.
+			b.Record(host, failure)
+			if !b.HostOpen(host) {
+				t.Fatalf("round %d: failed probe closed the circuit", round)
+			}
+		} else {
+			// Successful probe: circuit closes and traffic flows freely.
+			b.Record(host, nil)
+			if b.HostOpen(host) {
+				t.Fatalf("round %d: successful probe left the circuit open", round)
+			}
+			if n := race(); n != 32 {
+				t.Fatalf("round %d: closed circuit admitted %d of 32", round, n)
+			}
+			b.Record(host, failure) // re-open for the next round
+			if !b.HostOpen(host) {
+				t.Fatalf("round %d: could not re-open", round)
+			}
+		}
+	}
+
+	// 1 initial open + 5 closes + 5 re-opens = 11 observed transitions.
+	if got := transitions.Load(); got != 11 {
+		t.Errorf("state transitions = %d, want 11", got)
+	}
+}
