@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json chaos serve-smoke overload-smoke metrics-smoke lint-metrics ci
+.PHONY: all build vet test race bench bench-smoke bench-json chaos serve-smoke overload-smoke metrics-smoke diff-smoke lint-metrics ci
 
 all: build
 
@@ -30,7 +30,7 @@ bench-smoke:
 # real benchtime and record name → ns/op, allocs/op, matches/sec as JSON
 # so regressions are diffable across PRs.
 bench-json:
-	$(GO) test -bench 'BenchmarkEngine|BenchmarkAblationUnifiedIndex|BenchmarkAblationKeywordIndex|BenchmarkAblationInstrumentation|BenchmarkDecisionCache' \
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkProfile|BenchmarkAblationUnifiedIndex|BenchmarkAblationKeywordIndex|BenchmarkAblationInstrumentation|BenchmarkDecisionCache' \
 		-benchtime 1s -benchmem -run '^$$' . \
 		| $(GO) run ./cmd/aa-benchjson > BENCH_engine.json
 	@echo wrote BENCH_engine.json
@@ -69,6 +69,14 @@ metrics-smoke:
 	$(GO) test -race -run 'TestMetricsSmoke|TestMetricsParserRejectsGarbage' \
 		-count=1 -v ./cmd/aa-serve
 
+# Differential-serving acceptance: one request evaluated under two
+# profiles (easylist-only vs full) must flip verdicts, and /v1/diff must
+# attribute the flip to the responsible exception filter by list and
+# line. Runs under the race detector against the smoke testdata.
+diff-smoke:
+	$(GO) test -race -run 'TestProfileDiffSmoke|TestUnknownProfileIs400|TestParseProfiles' \
+		-count=1 -v ./cmd/aa-serve
+
 # Metric-name hygiene: every metric registered in obs.Registry must be
 # lowercase dot.separated and unique across the tree.
 lint-metrics:
@@ -77,4 +85,4 @@ lint-metrics:
 # The pre-merge gate: static checks, a clean build, the full suite under
 # the race detector, a smoke pass over every benchmark plus the hot-path
 # allocation smoke, and the chaos and decision-service smoke runs.
-ci: vet lint-metrics build race bench bench-smoke chaos serve-smoke overload-smoke metrics-smoke
+ci: vet lint-metrics build race bench bench-smoke chaos serve-smoke overload-smoke metrics-smoke diff-smoke

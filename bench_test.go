@@ -324,6 +324,49 @@ func BenchmarkEngineMatchRequestShortCircuit(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
 }
 
+// BenchmarkProfileViewOn/Off quantify the cost of profile gating: On
+// matches through a View spanning every list (the mask AND runs per
+// candidate), Off is the flat engine on the same prepared requests. The
+// candidate sets are identical, so the delta is purely the per-candidate
+// membership gate — the acceptance bound is <5%.
+func BenchmarkProfileViewOn(b *testing.B) {
+	f := fixtures(b)
+	view, err := f.eng.View(engine.DefaultProfile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchRequests()
+	prepareAll(f.eng, reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view.MatchRequest(reqs[i%len(reqs)], engine.WithShortCircuit())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
+}
+
+func BenchmarkProfileViewOff(b *testing.B) {
+	BenchmarkEngineMatchRequestShortCircuit(b)
+}
+
+// BenchmarkProfileDiff is the differential evaluation: one request, two
+// profiles, one pass over the shared index.
+func BenchmarkProfileDiff(b *testing.B) {
+	f := fixtures(b)
+	view, err := f.eng.View(engine.DefaultProfile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := benchRequests()
+	prepareAll(f.eng, reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.eng.Diff(reqs[i%len(reqs)], view, view)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "diffs/sec")
+}
+
 // BenchmarkAblationKeywordIndexOn/Off quantify what the keyword index buys
 // over scanning all ~31k filters per request.
 func BenchmarkAblationKeywordIndexOn(b *testing.B) {

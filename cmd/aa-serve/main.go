@@ -5,6 +5,7 @@
 //	POST /v1/match        — one request in, one decision out
 //	POST /v1/match-batch  — up to 4096 requests against one snapshot
 //	POST /v1/explain      — one request in, decision + full match trail out
+//	POST /v1/diff         — one request under two profiles in one pass
 //	POST /v1/elemhide     — element-hiding stylesheet for a document
 //	GET  /v1/lists        — snapshot and cache introspection
 //	POST /v1/reload       — rebuild the snapshot from the list source
@@ -16,6 +17,14 @@
 //
 // Every response carries an X-AA-Trace header (inbound ids are honored)
 // tying the request to its span logs and /debug/trace annotations.
+//
+// -profiles declares named list profiles — subsets of the loaded lists
+// served from the one compiled engine, e.g. "easylist=easylist;all=*"
+// ("*" = every list). The full profile always exists. Decision endpoints
+// select a profile via ?profile= or the body's profile field, and
+// /v1/diff answers "would this request decide differently under two
+// profiles" — the ad-vs-acceptable-ad differential — in a single engine
+// pass, naming the responsible exception filter with its list and line.
 //
 // Lists come from files (-easylist, -whitelist; re-read on reload), from
 // subscription URLs (-easylist-url, -whitelist-url; conditional requests
@@ -43,7 +52,8 @@
 //	         [-request-timeout 5s] [-drain-timeout 10s] [-drain-grace 0s] \
 //	         [-max-retries 2] [-state-dir DIR] [-snapshots 4] \
 //	         [-shed-capacity 256] [-shed-queue 512] \
-//	         [-canary-probes FILE] [-no-canary]
+//	         [-canary-probes FILE] [-no-canary] \
+//	         [-profiles "easylist=easylist"]
 //
 // With -smoke the server starts, exercises every endpoint against
 // itself (probes, match, explain, batch, reload, rollback), delivers
@@ -65,11 +75,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"acceptableads/internal/core"
 	"acceptableads/internal/decision"
+	"acceptableads/internal/decision/api"
 	"acceptableads/internal/engine"
 	"acceptableads/internal/obs"
 	"acceptableads/internal/subscription"
@@ -96,6 +109,7 @@ type config struct {
 	shedQueue      int64
 	canaryProbes   string
 	noCanary       bool
+	profiles       string
 	smoke          bool
 	overload       bool
 }
@@ -123,6 +137,8 @@ func main() {
 	flag.Int64Var(&cfg.shedQueue, "shed-queue", decision.DefaultShedQueue, "bounded admission wait queue (negative = shed immediately when full)")
 	flag.StringVar(&cfg.canaryProbes, "canary-probes", "", "JSON file with golden probes replayed against every candidate snapshot")
 	flag.BoolVar(&cfg.noCanary, "no-canary", false, "disable canary validation of reloads (chaos drills only)")
+	flag.StringVar(&cfg.profiles, "profiles", "easylist=easylist",
+		`list profiles as "name=list,list;name=*" ("*" = every list; empty = only the implicit full profile)`)
 	flag.BoolVar(&cfg.smoke, "smoke", false, "start, exercise every endpoint, SIGTERM self, assert clean drain")
 	flag.BoolVar(&cfg.overload, "overload", false, "with -smoke: hammer /v1/match past the concurrency limit and assert 429s, no 5xx")
 	flag.Parse()
@@ -162,8 +178,17 @@ func run(cfg config) error {
 		log.Printf("canary: %d golden probes loaded from %s", len(probes), cfg.canaryProbes)
 	}
 
+	profiles, err := parseProfiles(cfg.profiles)
+	if err != nil {
+		return err
+	}
+	if len(profiles) > 0 {
+		log.Printf("profiles: %v (plus the implicit full profile)", profileNames(profiles))
+	}
+
 	svc, err := decision.New(context.Background(), decision.Config{
 		Source:        src,
+		Profiles:      profiles,
 		CacheSize:     cfg.cacheSize,
 		MaxAttempts:   cfg.maxRetries + 1,
 		Seed:          cfg.seed,
@@ -295,6 +320,51 @@ loop:
 	return exitErr
 }
 
+// parseProfiles parses the -profiles spec: semicolon-separated
+// name=comma,separated,lists entries; "*" means every loaded list. An
+// empty spec declares nothing (the implicit full profile still exists).
+func parseProfiles(spec string) (map[string][]string, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string][]string{}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, lists, ok := strings.Cut(entry, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-profiles: entry %q is not name=list,list", entry)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("-profiles: profile %q declared twice", name)
+		}
+		var members []string
+		for _, l := range strings.Split(lists, ",") {
+			if l = strings.TrimSpace(l); l != "" {
+				members = append(members, l)
+			}
+		}
+		if len(members) == 0 {
+			return nil, fmt.Errorf("-profiles: profile %q names no lists", name)
+		}
+		out[name] = members
+	}
+	return out, nil
+}
+
+func profileNames(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // loadProbes reads a golden probe corpus from a JSON file.
 func loadProbes(path string) ([]decision.Probe, error) {
 	body, err := os.ReadFile(path)
@@ -360,14 +430,16 @@ func (f sourceFunc) Load(ctx context.Context) ([]engine.NamedList, error) { retu
 
 // ---- smoke test -------------------------------------------------------------
 
-// runSmoke exercises every endpoint against the live server, then
-// delivers a real SIGTERM to this process so the event loop's drain path
-// runs end to end — and asserts /readyz flips to 503 during the drain
-// grace before the listener closes. With overload, /v1/match is hammered
-// past the admission limit first, asserting 429s appear and nothing 5xxs.
-// run asserts the drain and reports the outcome.
+// runSmoke exercises every endpoint against the live server through the
+// typed api.Client, then delivers a real SIGTERM to this process so the
+// event loop's drain path runs end to end — and asserts /readyz flips to
+// 503 during the drain grace before the listener closes. With overload,
+// /v1/match is hammered past the admission limit first, asserting 429s
+// appear and nothing 5xxs. run asserts the drain and reports the outcome.
 func runSmoke(base string, overload bool) error {
 	client := &http.Client{Timeout: 10 * time.Second}
+	c := api.NewClient(base, client)
+	ctx := context.Background()
 
 	// Probes answer before anything else is exercised.
 	if err := checkProbe(client, base+"/healthz", http.StatusOK); err != nil {
@@ -377,27 +449,31 @@ func runSmoke(base string, overload bool) error {
 		return err
 	}
 
-	// The snapshot should be serving and non-empty.
-	var lists decision.ListsResult
-	if err := call(client, http.MethodGet, base+"/v1/lists", nil, &lists); err != nil {
+	// The snapshot should be serving and non-empty, with the declared
+	// easylist profile next to the implicit full one.
+	lists, err := c.Lists(ctx)
+	if err != nil {
 		return err
 	}
 	if lists.Snapshot < 1 || lists.Filters == 0 {
 		return fmt.Errorf("/v1/lists: empty snapshot: %+v", lists)
 	}
+	if len(lists.Profiles) != 2 || lists.Profiles[0] != "easylist" || lists.Profiles[1] != "full" {
+		return fmt.Errorf("/v1/lists: profiles = %v, want [easylist full]", lists.Profiles)
+	}
 
 	// A blocked URL decides "blocked"; the repeat is a cache hit.
-	blocked := decision.MatchQuery{
+	blocked := api.MatchRequest{
 		URL: "http://ads.example.com/banner.js", Document: "http://news.example.com/", Type: "script",
 	}
-	var m decision.MatchResult
-	if err := call(client, http.MethodPost, base+"/v1/match", blocked, &m); err != nil {
+	m, err := c.Match(ctx, blocked)
+	if err != nil {
 		return err
 	}
 	if m.Verdict != "blocked" || m.BlockedBy == nil {
 		return fmt.Errorf("/v1/match: want blocked, got %+v", m)
 	}
-	if err := call(client, http.MethodPost, base+"/v1/match", blocked, &m); err != nil {
+	if m, err = c.Match(ctx, blocked); err != nil {
 		return err
 	}
 	if !m.Cached {
@@ -408,8 +484,8 @@ func runSmoke(base string, overload bool) error {
 	// filter with its source list; the repeat above means the request is
 	// currently cache-served, which the trail reports against the pinned
 	// snapshot version.
-	var ex decision.ExplainResult
-	if err := call(client, http.MethodPost, base+"/v1/explain", blocked, &ex); err != nil {
+	ex, err := c.Explain(ctx, blocked)
+	if err != nil {
 		return err
 	}
 	if ex.Verdict != "blocked" || ex.Trail == nil || ex.Trail.Block == nil {
@@ -421,12 +497,15 @@ func runSmoke(base string, overload bool) error {
 	if !ex.CacheHit || ex.Snapshot != lists.Snapshot {
 		return fmt.Errorf("/v1/explain: want cacheHit on pinned snapshot v%d, got %+v", lists.Snapshot, ex)
 	}
+	if ex.Profile != "full" {
+		return fmt.Errorf("/v1/explain: resolved profile = %q, want full", ex.Profile)
+	}
 
 	// A whitelisted request names the winning exception filter.
-	wl := decision.MatchQuery{
+	wl := api.MatchRequest{
 		URL: "http://ads.example.com/acceptable/ad.png", Document: "http://news.example.com/", Type: "image",
 	}
-	if err := call(client, http.MethodPost, base+"/v1/explain", wl, &ex); err != nil {
+	if ex, err = c.Explain(ctx, wl); err != nil {
 		return err
 	}
 	if ex.Verdict != "allowed" || ex.Trail == nil || ex.Trail.Exception == nil {
@@ -436,24 +515,31 @@ func runSmoke(base string, overload bool) error {
 		return fmt.Errorf("/v1/explain: exception trail lacks filter/list: %+v", ex.Trail.Exception)
 	}
 
+	// The profile surface: under the easylist-only profile the exception
+	// list is out of scope, so the same whitelisted request blocks.
+	if err := smokeProfiles(ctx, c, client, base, wl); err != nil {
+		return err
+	}
+
 	// Every response carries a trace id; an inbound one is honored.
 	if err := checkTrace(client, base); err != nil {
 		return err
 	}
 
-	// /metrics serves the Prometheus exposition with attribution families.
+	// /metrics serves the Prometheus exposition with attribution families
+	// (the profile traffic above makes the per-profile counters appear).
 	if err := checkMetrics(client, base); err != nil {
 		return err
 	}
 
-	// A batch pins one snapshot; a malformed entry fails alone.
-	batch := decision.BatchQuery{Requests: []decision.MatchQuery{
+	// A batch pins one snapshot and one profile; a malformed entry fails
+	// alone.
+	b, err := c.MatchBatch(ctx, api.BatchRequest{Requests: []api.MatchRequest{
 		blocked,
 		{URL: "http://cdn.example.com/app.js", Document: "http://news.example.com/", Type: "script"},
 		{URL: "", Document: "http://news.example.com/"},
-	}}
-	var b decision.BatchResult
-	if err := call(client, http.MethodPost, base+"/v1/match-batch", batch, &b); err != nil {
+	}})
+	if err != nil {
 		return err
 	}
 	if len(b.Results) != 3 {
@@ -465,11 +551,13 @@ func runSmoke(base string, overload bool) error {
 	if b.Results[2].Error == "" {
 		return fmt.Errorf("/v1/match-batch: malformed entry did not error: %+v", b.Results[2])
 	}
+	if b.Profile != "full" {
+		return fmt.Errorf("/v1/match-batch: resolved profile = %q, want full", b.Profile)
+	}
 
 	// The element-hiding stylesheet includes the smoke list's selector.
-	var eh decision.ElemHideResult
-	q := decision.ElemHideQuery{Document: "http://blog.example.com/"}
-	if err := call(client, http.MethodPost, base+"/v1/elemhide", q, &eh); err != nil {
+	eh, err := c.ElemHide(ctx, api.ElemHideRequest{Document: "http://blog.example.com/"})
+	if err != nil {
 		return err
 	}
 	if eh.CSS == "" {
@@ -477,14 +565,14 @@ func runSmoke(base string, overload bool) error {
 	}
 
 	// Reload bumps the snapshot version and purges the cache.
-	var rl decision.ReloadResult
-	if err := call(client, http.MethodPost, base+"/v1/reload", nil, &rl); err != nil {
+	rl, err := c.Reload(ctx)
+	if err != nil {
 		return err
 	}
 	if rl.Snapshot != lists.Snapshot+1 {
 		return fmt.Errorf("/v1/reload: want snapshot v%d, got v%d", lists.Snapshot+1, rl.Snapshot)
 	}
-	if err := call(client, http.MethodPost, base+"/v1/match", blocked, &m); err != nil {
+	if m, err = c.Match(ctx, blocked); err != nil {
 		return err
 	}
 	if m.Cached {
@@ -492,33 +580,33 @@ func runSmoke(base string, overload bool) error {
 	}
 
 	// Rollback republishes the pre-reload snapshot as a new generation.
-	var rb decision.RollbackResult
-	if err := call(client, http.MethodPost, base+"/v1/rollback", nil, &rb); err != nil {
+	rb, err := c.Rollback(ctx)
+	if err != nil {
 		return err
 	}
 	if rb.Snapshot != rl.Snapshot+1 || rb.RollbackOf != lists.Snapshot {
 		return fmt.Errorf("/v1/rollback: want v%d rolling back to v%d, got %+v",
 			rl.Snapshot+1, lists.Snapshot, rb)
 	}
-	var after decision.ListsResult
-	if err := call(client, http.MethodGet, base+"/v1/lists", nil, &after); err != nil {
+	after, err := c.Lists(ctx)
+	if err != nil {
 		return err
 	}
 	if after.RollbackOf != lists.Snapshot {
 		return fmt.Errorf("/v1/lists: snapshot does not carry rollback provenance: %+v", after)
 	}
-	// Walking past the oldest retained snapshot is a 409, not a crash.
-	resp, err := client.Post(base+"/v1/rollback", "application/json", nil)
-	if err != nil {
-		return err
+	// Profiles ride through reload and rollback: the set is a property of
+	// the configuration, re-registered on every rebuilt engine.
+	if len(after.Profiles) != 2 {
+		return fmt.Errorf("/v1/lists: profiles lost across reload+rollback: %v", after.Profiles)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		return fmt.Errorf("POST /v1/rollback past ring: want 409, got %d", resp.StatusCode)
+	// Walking past the oldest retained snapshot is a 409, not a crash.
+	if _, err := c.Rollback(ctx); !api.IsStatus(err, http.StatusConflict) {
+		return fmt.Errorf("POST /v1/rollback past ring: want 409, got %v", err)
 	}
 
 	// Method gating.
-	resp, err = client.Get(base + "/v1/match")
+	resp, err := client.Get(base + "/v1/match")
 	if err != nil {
 		return err
 	}
@@ -576,9 +664,9 @@ func runOverload(base string) error {
 	}
 	batchRes := make(chan batchOutcome, nBatches)
 	for b := 0; b < nBatches; b++ {
-		q := decision.BatchQuery{Requests: make([]decision.MatchQuery, 0, batchSize)}
+		q := api.BatchRequest{Requests: make([]api.MatchRequest, 0, batchSize)}
 		for i := 0; i < batchSize; i++ {
-			q.Requests = append(q.Requests, decision.MatchQuery{
+			q.Requests = append(q.Requests, api.MatchRequest{
 				URL:      fmt.Sprintf("http://ads.example.com/overload/b%d/r%d.js", b, i),
 				Document: "http://news.example.com/",
 				Type:     "script",
@@ -614,7 +702,7 @@ func runOverload(base string) error {
 		for i := 0; i < waveSize; i++ {
 			// Distinct URLs so every request misses the decision cache and
 			// holds its admission slot through a real engine match.
-			q := decision.MatchQuery{
+			q := api.MatchRequest{
 				URL:      fmt.Sprintf("http://ads.example.com/overload/w%d/r%d.js", wave, i),
 				Document: "http://news.example.com/",
 				Type:     "script",
@@ -749,7 +837,10 @@ func checkMetrics(client *http.Client, base string) error {
 		return err
 	}
 	body := buf.String()
-	for _, want := range []string{"# TYPE aa_filter_hits_total counter", "aa_snapshot_version", "decision_matches_total"} {
+	for _, want := range []string{
+		"# TYPE aa_filter_hits_total counter", "aa_snapshot_version", "decision_matches_total",
+		"# TYPE aa_profile_requests_total counter", `aa_profile_requests_total{profile="full"}`,
+	} {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			return fmt.Errorf("/metrics: missing %q in %d-byte exposition", want, len(body))
 		}
@@ -757,35 +848,70 @@ func checkMetrics(client *http.Client, base string) error {
 	return nil
 }
 
-// call POSTs (or GETs) JSON and decodes the response, failing on any
-// non-2xx status.
-func call(client *http.Client, method, url string, in, out any) error {
-	var body *bytes.Reader
-	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(data)
-	} else {
-		body = bytes.NewReader(nil)
-	}
-	req, err := http.NewRequest(method, url, body)
+// smokeProfiles exercises the profile surface: a named profile flips the
+// whitelisted request's verdict, the ?profile= query parameter wins over
+// the body field, an unknown profile is a 400 naming the valid set, and
+// /v1/diff reports the flip with the responsible exception filter.
+func smokeProfiles(ctx context.Context, c *api.Client, client *http.Client, base string, wl api.MatchRequest) error {
+	// Under the easylist-only profile the exception list is out of scope:
+	// the request that full allows is blocked.
+	easy := wl
+	easy.Profile = "easylist"
+	m, err := c.Match(ctx, easy)
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
+	if m.Verdict != "blocked" {
+		return fmt.Errorf("/v1/match profile=easylist: want blocked, got %+v", m)
+	}
+
+	// The ?profile= query parameter beats the body field: the body still
+	// says easylist, the URL says full, full wins — allowed again.
+	body, err := json.Marshal(easy)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
-		return fmt.Errorf("%s %s: %d %s", method, url, resp.StatusCode, e.Error)
+	resp, err := client.Post(base+"/v1/match?profile=full", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	var qp api.MatchResponse
+	err = json.NewDecoder(resp.Body).Decode(&qp)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || qp.Verdict != "allowed" {
+		return fmt.Errorf("?profile=full over body easylist: status %d verdict %q, want 200 allowed",
+			resp.StatusCode, qp.Verdict)
+	}
+
+	// Unknown profiles are a 400 naming the valid set.
+	bad := wl
+	bad.Profile = "nope"
+	if _, err := c.Match(ctx, bad); !api.IsStatus(err, http.StatusBadRequest) ||
+		!strings.Contains(err.Error(), "easylist") {
+		return fmt.Errorf("unknown profile: want 400 naming the valid set, got %v", err)
+	}
+
+	// /v1/diff answers "would the Acceptable Ads exception list have
+	// unblocked this request" in one call and names the filter responsible
+	// for the flip with its source list and line.
+	d, err := c.Diff(ctx, api.DiffRequest{
+		URL: wl.URL, Document: wl.Document, Type: wl.Type,
+		ProfileA: "easylist", ProfileB: "full",
+	})
+	if err != nil {
+		return err
+	}
+	if !d.Flipped || d.A.Verdict != "blocked" || d.B.Verdict != "allowed" {
+		return fmt.Errorf("/v1/diff: want a blocked->allowed flip, got %+v", d)
+	}
+	if d.Responsible == nil || d.Responsible.List != "exceptionrules" ||
+		d.Responsible.Filter == "" || d.Responsible.Line == 0 {
+		return fmt.Errorf("/v1/diff: responsible filter not attributed: %+v", d.Responsible)
+	}
+	log.Printf("smoke: /v1/diff: %s -> %s, responsible %s:%d %s",
+		d.A.Verdict, d.B.Verdict, d.Responsible.List, d.Responsible.Line, d.Responsible.Filter)
+	return nil
 }

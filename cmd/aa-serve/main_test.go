@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"acceptableads/internal/decision"
+	"acceptableads/internal/decision/api"
 	"acceptableads/internal/obs"
 )
 
@@ -164,7 +165,7 @@ func TestMetricsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var m decision.MatchResult
+	var m api.MatchResponse
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatal(err)
 	}
@@ -213,5 +214,118 @@ func TestMetricsParserRejectsGarbage(t *testing.T) {
 		"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 0.5\nh_count 1\n"
 	if _, err := parsePrometheus(good); err != nil {
 		t.Errorf("parser rejected valid exposition: %v", err)
+	}
+}
+
+// newProfileTestServer builds the same stack aa-serve runs — decision
+// service over the smoke testdata with the default -profiles spec — and
+// returns a typed client against it.
+func newProfileTestServer(t *testing.T) *api.Client {
+	t.Helper()
+	profiles, err := parseProfiles("easylist=easylist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := decision.New(context.Background(), decision.Config{
+		Source: decision.Files(map[string]string{
+			"easylist":       "testdata/easylist.txt",
+			"exceptionrules": "testdata/exceptionrules.txt",
+		}),
+		CacheSize: 1024,
+		Profiles:  profiles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(decision.Handler(svc, decision.HandlerConfig{}))
+	t.Cleanup(srv.Close)
+	return api.NewClient(srv.URL, srv.Client())
+}
+
+// TestProfileDiffSmoke is the `make diff-smoke` target: one request
+// evaluated under two profiles must flip from blocked (easylist only) to
+// allowed (full, with the exception list in scope), and /v1/diff must
+// name the responsible exception filter with its source list and line.
+func TestProfileDiffSmoke(t *testing.T) {
+	c := newProfileTestServer(t)
+	ctx := context.Background()
+
+	q := api.MatchRequest{
+		URL: "http://ads.example.com/acceptable/ad.png", Document: "http://news.example.com/",
+		Type: "image", Profile: "easylist",
+	}
+	m, err := c.Match(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Verdict != "blocked" {
+		t.Fatalf("easylist verdict = %q, want blocked", m.Verdict)
+	}
+	q.Profile = "full"
+	if m, err = c.Match(ctx, q); err != nil || m.Verdict != "allowed" {
+		t.Fatalf("full verdict = %v/%v, want allowed", m, err)
+	}
+
+	d, err := c.Diff(ctx, api.DiffRequest{
+		URL: q.URL, Document: q.Document, Type: q.Type,
+		ProfileA: "easylist", ProfileB: "full",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Flipped || d.A.Verdict != "blocked" || d.B.Verdict != "allowed" {
+		t.Fatalf("diff = %+v, want a blocked->allowed flip", d)
+	}
+	if d.Responsible == nil || d.Responsible.List != "exceptionrules" ||
+		d.Responsible.Filter == "" || d.Responsible.Line == 0 {
+		t.Fatalf("responsible = %+v, want the exceptionrules filter with list and line", d.Responsible)
+	}
+}
+
+// TestUnknownProfileIs400 asserts the failure mode a misconfigured
+// client sees: a 400 whose message names the valid profile set.
+func TestUnknownProfileIs400(t *testing.T) {
+	c := newProfileTestServer(t)
+	_, err := c.Match(context.Background(), api.MatchRequest{
+		URL: "http://ads.example.com/banner.gif", Document: "http://news.example.com/",
+		Type: "image", Profile: "nonesuch",
+	})
+	if !api.IsStatus(err, http.StatusBadRequest) {
+		t.Fatalf("err = %v, want a 400", err)
+	}
+	for _, name := range []string{"easylist", "full"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not name valid profile %q", err, name)
+		}
+	}
+}
+
+// TestParseProfiles covers the -profiles flag grammar.
+func TestParseProfiles(t *testing.T) {
+	got, err := parseProfiles("easylist=easylist;all=*;pair=easylist,exceptionrules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"easylist": {"easylist"},
+		"all":      {"*"},
+		"pair":     {"easylist", "exceptionrules"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parseProfiles = %v, want %v", got, want)
+	}
+	for name, lists := range want {
+		if fmt.Sprint(got[name]) != fmt.Sprint(lists) {
+			t.Errorf("profile %s = %v, want %v", name, got[name], lists)
+		}
+	}
+
+	if got, err := parseProfiles(""); err != nil || got != nil {
+		t.Errorf("parseProfiles(\"\") = %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"noequals", "=easylist", "name=", "dup=a;dup=b"} {
+		if _, err := parseProfiles(bad); err == nil {
+			t.Errorf("parseProfiles(%q) accepted a malformed spec", bad)
+		}
 	}
 }

@@ -57,8 +57,9 @@ func main() {
 	fig7 := flag.Bool("fig7", false, "print Figure 7 only")
 	fig8 := flag.Bool("fig8", false, "print Figure 8 only")
 	attribution := flag.Bool("attribution", false, "print the per-filter hit-attribution report only")
+	profiles := flag.Bool("profiles", false, "print the per-profile differential table only")
 	flag.Parse()
-	all := !*summary && !*table4 && !*fig6 && !*fig7 && !*fig8 && !*attribution
+	all := !*summary && !*table4 && !*fig6 && !*fig7 && !*fig8 && !*attribution && !*profiles
 
 	if *trace {
 		obs.SetTracing(true)
@@ -246,6 +247,25 @@ func main() {
 			})
 		}
 		report.Table(out, []string{"Category", "Sites", "WL trigger rate", "Mean WL matches"}, catCells)
+	}
+
+	if *profiles || all {
+		report.Section(out, "Fraction of traffic unblocked by Acceptable Ads (per group)")
+		fmt.Fprintln(out, "Each crawled request evaluated under two profiles of one engine:")
+		fmt.Fprintln(out, "EasyList-only vs full (exception list in scope). A request counts")
+		fmt.Fprintln(out, "as unblocked when the verdicts flip blocked → allowed.")
+		fmt.Fprintln(out)
+		var cells [][]string
+		for _, row := range s.ProfileDiff() {
+			cells = append(cells, []string{
+				row.Group, report.Count(row.Sites),
+				report.Count(row.SitesWithUnblock), report.Pct(row.SiteFraction),
+				report.Count(row.Requests), report.Count(row.Unblocked),
+				report.Pct(row.RequestFraction),
+			})
+		}
+		report.Table(out, []string{"Group", "Sites", "Sites w/ unblock", "Site frac",
+			"Requests", "Unblocked", "Request frac"}, cells)
 	}
 
 	if *attribution || all {

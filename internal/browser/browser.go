@@ -81,6 +81,13 @@ type Browser struct {
 	// Breaker, when non-nil, gates sub-resource fetches per host:
 	// repeatedly failing resource hosts are skipped, not hammered.
 	Breaker *retry.Breaker
+	// DiffViews, when both are non-nil, additionally evaluates every
+	// sub-resource request differentially under the two profile views
+	// (engine.Diff, one index pass) and counts verdict flips on the
+	// Visit. Both views must be over the same engine the browser matches
+	// with. The page's blocking behavior is unchanged — the diff is
+	// measurement only.
+	DiffViews [2]*engine.View
 
 	// metrics is the optional telemetry hook; nil (the default) records
 	// nothing. See SetObs.
@@ -163,6 +170,11 @@ type Visit struct {
 	BlockedRequests int
 	// FetchedRequests counts allowed requests actually downloaded.
 	FetchedRequests int
+	// DiffFlipped counts sub-resource requests whose verdict differed
+	// between the browser's two DiffViews (0 when DiffViews is unset) —
+	// e.g. blocked under EasyList alone, allowed with the Acceptable Ads
+	// exceptions in scope.
+	DiffFlipped int
 	// DOM is the parsed landing page.
 	DOM *htmldom.Node
 	// Hidden lists element-hiding decisions.
@@ -376,6 +388,11 @@ func (b *Browser) VisitContext(ctx context.Context, url string) (*Visit, error) 
 				v.BlockedRequests++
 			}
 			dnt = d.DoNotTrack
+			if va, vb := b.DiffViews[0], b.DiffViews[1]; va != nil && vb != nil {
+				if b.engine.Diff(req, va, vb).Flipped {
+					v.DiffFlipped++
+				}
+			}
 		}
 		if allowed && b.FetchResources && budget > 0 && ctx.Err() == nil {
 			if b.fetchResource(ctx, res.URL, dnt, &budget) {

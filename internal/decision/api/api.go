@@ -1,0 +1,187 @@
+// Package api is the versioned wire contract of the decision service:
+// the typed request/response structs every /v1/* endpoint marshals, and
+// a thin Go client over them. The decision package's HTTP handlers
+// encode and decode only these types, so the JSON surface is defined in
+// exactly one place and a Go consumer gets the same types the server
+// uses — no ad-hoc per-handler maps on either side.
+//
+// The package depends only on the engine (for the explain trail and
+// diff result shapes); it never imports the decision package, so
+// clients embedding it pull in none of the serving machinery.
+package api
+
+import (
+	"time"
+
+	"acceptableads/internal/engine"
+)
+
+// FilterRef names the filter behind one side of a decision.
+type FilterRef struct {
+	Filter string `json:"filter"`
+	List   string `json:"list"`
+}
+
+// MatchRequest is the /v1/match (and /v1/explain) request body. Profile
+// selects the list profile to evaluate under; empty means the server's
+// default ("full", every list). The profile may equivalently be given as
+// a ?profile= query parameter, which takes precedence over the body
+// field.
+type MatchRequest struct {
+	// URL is the request URL; required.
+	URL string `json:"url"`
+	// Document is the URL (or bare host) of the page issuing the
+	// request; it drives $domain restrictions and the third-party test.
+	Document string `json:"document"`
+	// Type is the content type as a filter option name ("script",
+	// "image", ...); empty means "other".
+	Type string `json:"type,omitempty"`
+	// Sitekey is the verified base64 sitekey of the page, if any.
+	// Sitekey queries bypass the decision cache.
+	Sitekey string `json:"sitekey,omitempty"`
+	// Profile is the list profile to evaluate under.
+	Profile string `json:"profile,omitempty"`
+}
+
+// MatchResponse is one decision of the match API.
+type MatchResponse struct {
+	Verdict    string     `json:"verdict"`
+	BlockedBy  *FilterRef `json:"blockedBy,omitempty"`
+	AllowedBy  *FilterRef `json:"allowedBy,omitempty"`
+	DoNotTrack bool       `json:"doNotTrack,omitempty"`
+	Cached     bool       `json:"cached"`
+	Error      string     `json:"error,omitempty"`
+}
+
+// BatchRequest is the /v1/match-batch request body. The whole batch is
+// decided against one snapshot under one profile (the batch-level
+// Profile field or the ?profile= query parameter); per-entry Profile
+// fields are rejected so a batch can never silently mix profiles.
+type BatchRequest struct {
+	Requests []MatchRequest `json:"requests"`
+	Profile  string         `json:"profile,omitempty"`
+}
+
+// BatchResponse is the /v1/match-batch response: one result per request,
+// in order, all decided against the same snapshot and profile. A
+// malformed entry yields a per-entry error without failing the batch.
+type BatchResponse struct {
+	Results  []MatchResponse `json:"results"`
+	Snapshot uint64          `json:"snapshot"`
+	Profile  string          `json:"profile"`
+	Cached   int             `json:"cached"`
+}
+
+// ElemHideRequest is the /v1/elemhide request body.
+type ElemHideRequest struct {
+	// Document is the page URL or bare host the stylesheet is for.
+	Document string `json:"document"`
+	// Profile is the list profile to build the stylesheet under.
+	Profile string `json:"profile,omitempty"`
+}
+
+// ElemHideResponse carries the injectable stylesheet for the document.
+type ElemHideResponse struct {
+	CSS string `json:"css"`
+}
+
+// ExplainResponse is the /v1/explain response: the plain match result
+// plus the full engine trail and the serving context.
+type ExplainResponse struct {
+	MatchResponse
+	Trail    *engine.Trail `json:"trail"`
+	Snapshot uint64        `json:"snapshot"`
+	BuiltAt  time.Time     `json:"builtAt"`
+	CacheHit bool          `json:"cacheHit"`
+	Profile  string        `json:"profile"`
+	Trace    string        `json:"trace,omitempty"`
+}
+
+// DiffRequest is the /v1/diff request body: one request evaluated under
+// two profiles in a single engine pass. Both profiles are required —
+// a differential question names its two configurations explicitly.
+type DiffRequest struct {
+	URL      string `json:"url"`
+	Document string `json:"document"`
+	Type     string `json:"type,omitempty"`
+	Sitekey  string `json:"sitekey,omitempty"`
+	ProfileA string `json:"profileA"`
+	ProfileB string `json:"profileB"`
+}
+
+// DiffResponse is the /v1/diff response: both verdicts, whether they
+// flip, and the responsible filter (source list + line) when they do —
+// the paper's "unblocked by Acceptable Ads" measurement per request.
+type DiffResponse struct {
+	engine.DiffResult
+	Snapshot uint64 `json:"snapshot"`
+	Trace    string `json:"trace,omitempty"`
+}
+
+// ListInfo describes one list of a snapshot.
+type ListInfo struct {
+	Name    string `json:"name"`
+	Filters int    `json:"filters"`
+}
+
+// CacheStats is the decision cache's point-in-time counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+}
+
+// Stats is the service's lifetime counters, as served by /v1/lists.
+type Stats struct {
+	Matches         int64  `json:"matches"`
+	Reloads         int64  `json:"reloads"`
+	ReloadFailures  int64  `json:"reloadFailures"`
+	SnapshotVersion uint64 `json:"snapshotVersion"`
+	// ReloadsRejected counts candidate snapshots the canary refused to
+	// publish; ReloadsCoalesced counts Reload callers served by another
+	// caller's in-flight rebuild.
+	ReloadsRejected  int64 `json:"reloadsRejected"`
+	ReloadsCoalesced int64 `json:"reloadsCoalesced"`
+	Rollbacks        int64 `json:"rollbacks"`
+	// QuarantinedFilters counts filters disabled by poison-pill
+	// containment on the currently-serving engine.
+	QuarantinedFilters int64 `json:"quarantinedFilters"`
+	Ready              bool  `json:"ready"`
+	// ProfileRequests counts served requests per profile.
+	ProfileRequests map[string]int64 `json:"profileRequests,omitempty"`
+	Cache           *CacheStats      `json:"cache,omitempty"`
+}
+
+// ListsResponse is the /v1/lists response.
+type ListsResponse struct {
+	Snapshot   uint64     `json:"snapshot"`
+	BuiltAt    time.Time  `json:"builtAt"`
+	Filters    int        `json:"filters"`
+	WarmStart  bool       `json:"warmStart,omitempty"`
+	RollbackOf uint64     `json:"rollbackOf,omitempty"`
+	Lists      []ListInfo `json:"lists"`
+	// Profiles are the snapshot's profile names, sorted.
+	Profiles []string `json:"profiles"`
+	Stats    Stats    `json:"stats"`
+}
+
+// ReloadResponse is the /v1/reload response.
+type ReloadResponse struct {
+	Snapshot uint64     `json:"snapshot"`
+	Filters  int        `json:"filters"`
+	Lists    []ListInfo `json:"lists"`
+}
+
+// RollbackResponse is the /v1/rollback response.
+type RollbackResponse struct {
+	Snapshot   uint64     `json:"snapshot"`
+	RollbackOf uint64     `json:"rollbackOf"`
+	Filters    int        `json:"filters"`
+	Lists      []ListInfo `json:"lists"`
+}
+
+// ErrorResponse is the body of every non-2xx API answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

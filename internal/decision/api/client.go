@@ -1,0 +1,176 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client is a thin typed client over the decision service's HTTP API.
+// The zero value is not usable; construct with NewClient. All methods
+// are safe for concurrent use (http.Client is).
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Trace, when non-empty, is sent as the X-AA-Trace header so the
+	// server stitches its spans into the caller's trace.
+	Trace string
+}
+
+// NewClient returns a client for the decision service at base.
+func NewClient(base string, hc *http.Client) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: hc}
+}
+
+// Error is a non-2xx API answer: the status code and the server's
+// error message.
+type Error struct {
+	Status  int
+	Message string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("decision api: %d: %s", e.Status, e.Message)
+}
+
+// IsStatus reports whether err is an API *Error with the given status.
+func IsStatus(err error, status int) bool {
+	e, ok := err.(*Error)
+	return ok && e.Status == status
+}
+
+// Match decides one request. The profile travels in the request body.
+func (c *Client) Match(ctx context.Context, req MatchRequest) (*MatchResponse, error) {
+	var out MatchResponse
+	if err := c.post(ctx, "/v1/match", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MatchBatch decides up to the server's batch limit of requests against
+// one snapshot and profile.
+func (c *Client) MatchBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := c.post(ctx, "/v1/match-batch", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Explain decides one request and returns the full match trail.
+func (c *Client) Explain(ctx context.Context, req MatchRequest) (*ExplainResponse, error) {
+	var out ExplainResponse
+	if err := c.post(ctx, "/v1/explain", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Diff evaluates one request under two profiles in a single pass.
+func (c *Client) Diff(ctx context.Context, req DiffRequest) (*DiffResponse, error) {
+	var out DiffResponse
+	if err := c.post(ctx, "/v1/diff", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ElemHide fetches the element-hiding stylesheet for a document host.
+func (c *Client) ElemHide(ctx context.Context, req ElemHideRequest) (*ElemHideResponse, error) {
+	var out ElemHideResponse
+	if err := c.post(ctx, "/v1/elemhide", nil, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Lists fetches snapshot introspection: lists, profiles, stats.
+func (c *Client) Lists(ctx context.Context) (*ListsResponse, error) {
+	var out ListsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/lists", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reload asks the server to rebuild its snapshot from the list source.
+func (c *Client) Reload(ctx context.Context) (*ReloadResponse, error) {
+	var out ReloadResponse
+	if err := c.post(ctx, "/v1/reload", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Rollback asks the server to republish the previous retained snapshot.
+func (c *Client) Rollback(ctx context.Context) (*RollbackResponse, error) {
+	var out RollbackResponse
+	if err := c.post(ctx, "/v1/rollback", nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, query url.Values, in, out any) error {
+	return c.do(ctx, http.MethodPost, path, query, in, out)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, in, out any) error {
+	u := c.Base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("decision api: encode %s: %w", path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return fmt.Errorf("decision api: %s: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Trace != "" {
+		req.Header.Set("X-AA-Trace", c.Trace)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return fmt.Errorf("decision api: read %s: %w", path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e ErrorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return &Error{Status: resp.StatusCode, Message: e.Error}
+		}
+		return &Error{Status: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("decision api: decode %s: %w", path, err)
+	}
+	return nil
+}

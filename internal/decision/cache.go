@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"acceptableads/internal/decision/api"
 	"acceptableads/internal/engine"
 	"acceptableads/internal/obs"
 )
@@ -196,13 +197,9 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
-// CacheStats is a point-in-time view of the decision cache.
-type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	Size      int   `json:"size"`
-}
+// CacheStats is a point-in-time view of the decision cache — the wire
+// type served by /v1/lists.
+type CacheStats = api.CacheStats
 
 // ---- intrusive LRU list ----------------------------------------------------
 
@@ -241,17 +238,21 @@ func (sh *cacheShard) moveFront(e *cacheEntry) {
 }
 
 // cacheKey canonicalizes a prepared request into its cache key:
-// snapshot version, raw URL, content type, lowered document host and
-// third-party bit, NUL-separated. The URL goes in with its original case
-// because $match-case and regex filters are case-sensitive — keying on
-// the lowered URL would let case-differing URLs share (and cross-serve)
-// a decision. Keying on the snapshot version makes entries from an older
-// snapshot unreachable the instant a new one is published, even if a
-// racing matcher inserts one after the swap's purge.
-func cacheKey(version uint64, req *engine.Request) string {
+// snapshot version, profile id, raw URL, content type, lowered document
+// host and third-party bit, NUL-separated. The URL goes in with its
+// original case because $match-case and regex filters are case-sensitive
+// — keying on the lowered URL would let case-differing URLs share (and
+// cross-serve) a decision. Keying on the snapshot version makes entries
+// from an older snapshot unreachable the instant a new one is published,
+// even if a racing matcher inserts one after the swap's purge; keying on
+// the profile id keeps decisions under different list profiles apart the
+// same way.
+func cacheKey(version uint64, profile int, req *engine.Request) string {
 	var b strings.Builder
 	b.Grow(len(req.URL) + len(req.DocumentHost) + 32)
 	b.Write(strconv.AppendUint(nil, version, 10))
+	b.WriteByte(0)
+	b.Write(strconv.AppendInt(nil, int64(profile), 10))
 	b.WriteByte(0)
 	b.WriteString(req.URL)
 	b.WriteByte(0)

@@ -121,12 +121,15 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	}
 	variants = append(variants, otherType)
 
-	k := cacheKey(1, base)
-	if k == cacheKey(2, base) {
+	k := cacheKey(1, 0, base)
+	if k == cacheKey(2, 0, base) {
 		t.Error("snapshot version not part of the key")
 	}
+	if k == cacheKey(1, 1, base) {
+		t.Error("profile id not part of the key")
+	}
 	for i, v := range variants {
-		if cacheKey(1, v) == k {
+		if cacheKey(1, 0, v) == k {
 			t.Errorf("variant %d collides with base key", i)
 		}
 	}
@@ -134,13 +137,17 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	// original-cased URL, so case variants must not share an entry.
 	upper := mustRequest(t, "http://ads.example.com/A.JS", "http://news.example.com/")
 	lower := mustRequest(t, "http://ads.example.com/a.js", "http://news.example.com/")
-	if cacheKey(1, upper) == cacheKey(1, lower) {
+	if cacheKey(1, 0, upper) == cacheKey(1, 0, lower) {
 		t.Error("URL case variants must get distinct keys ($match-case filters)")
 	}
 	// Document host case is not: $domain restrictions compare hostnames,
 	// which are case-insensitive.
 	upperDoc := mustRequest(t, "http://ads.example.com/a.js", "http://NEWS.example.com/")
-	if cacheKey(1, upperDoc) != cacheKey(1, lower) {
+	if cacheKey(1, 0, upperDoc) != cacheKey(1, 0, lower) {
 		t.Error("document host case variants should share a key")
+	}
+	// A version/profile pair can never alias another: 12|0 vs 1|20.
+	if cacheKey(12, 0, base) == cacheKey(1, 20, base) {
+		t.Error("version/profile boundary ambiguity in the key")
 	}
 }

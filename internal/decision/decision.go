@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"acceptableads/internal/decision/api"
 	"acceptableads/internal/engine"
 	"acceptableads/internal/filter"
 	"acceptableads/internal/obs"
@@ -31,11 +32,9 @@ import (
 	"acceptableads/internal/subscription"
 )
 
-// ListInfo describes one list of a snapshot.
-type ListInfo struct {
-	Name    string `json:"name"`
-	Filters int    `json:"filters"`
-}
+// ListInfo describes one list of a snapshot. It is the wire type —
+// snapshots hold exactly what /v1/lists serves.
+type ListInfo = api.ListInfo
 
 // Snapshot is one immutable engine generation. Everything reachable from
 // it is read-only after publication; matching against it from any number
@@ -53,6 +52,24 @@ type Snapshot struct {
 	// WarmStart marks a snapshot rebuilt from persisted state at startup,
 	// before the first Source fetch.
 	WarmStart bool
+	// Profiles are the engine's profile names, sorted. Every snapshot has
+	// at least the implicit full profile (every list).
+	Profiles []string
+	// profileID maps a profile name to its index in Profiles — the dense
+	// id cache keys carry so entries from different profiles never alias.
+	profileID map[string]int
+}
+
+// view resolves a profile name (empty means the default full profile) on
+// this snapshot, returning the engine view and the profile's dense id
+// for cache keying. An unknown profile is the caller's error; the
+// message names the valid set.
+func (snap *Snapshot) view(profile string) (*engine.View, int, error) {
+	v, err := snap.Engine.View(profile)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, snap.profileID[v.Name()], nil
 }
 
 // Source produces the named filter lists a snapshot is built from. Load
@@ -95,12 +112,25 @@ func sortedKeys(m map[string]string) []string {
 	for k := range m {
 		out = append(out, k)
 	}
+	sortStrings(out)
+	return out
+}
+
+func sortedProfileNames(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(out []string) {
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j] < out[j-1]; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	return out
 }
 
 // Subscriptions is a Source fetching every list of sub (conditional
@@ -134,6 +164,13 @@ func (s *subSource) Load(ctx context.Context) ([]engine.NamedList, error) {
 type Config struct {
 	// Source provides the filter lists; required.
 	Source Source
+	// Profiles declares named list profiles served from the one compiled
+	// engine: each maps a profile name to the subset of list names it
+	// serves, and the entry "*" expands to every loaded list. The full
+	// profile (every list) always exists, declared or not. A profile
+	// naming an unknown list fails the build — and therefore the reload —
+	// so a list renamed at the source can never silently empty a profile.
+	Profiles map[string][]string
 	// CacheSize is the decision cache capacity in entries (rounded up to
 	// a power of two); 0 disables caching.
 	CacheSize int
@@ -186,6 +223,11 @@ type Service struct {
 	// draining flips readiness off ahead of shutdown so load balancers
 	// stop routing before the listener drains.
 	draining atomic.Bool
+
+	// profileReqs counts served requests per profile name; counters are
+	// created lazily on first use (the profile set is only known after a
+	// build) and live for the service's lifetime.
+	profileReqs sync.Map // string -> *obs.Counter
 
 	matches     *obs.Counter
 	reloads     *obs.Counter
@@ -270,7 +312,7 @@ func (s *Service) warmStart() (bool, error) {
 		}
 		return false, err
 	}
-	eng, infos, err := buildEngine(lists)
+	eng, infos, err := buildEngine(lists, s.cfg.Profiles)
 	if err != nil {
 		return false, err
 	}
@@ -297,29 +339,44 @@ func (s *Service) Snapshot() *Snapshot { return s.cur.Load() }
 // Cache returns the decision cache, nil when caching is disabled.
 func (s *Service) Cache() *Cache { return s.cache }
 
-// Match decides one request against the current snapshot, consulting the
-// decision cache first. The boolean reports whether the decision was
-// served from cache. Sitekey-carrying requests bypass the cache (the
-// sitekey is not part of the cache key).
+// Match decides one request against the current snapshot under the
+// default full profile, consulting the decision cache first. The boolean
+// reports whether the decision was served from cache. Sitekey-carrying
+// requests bypass the cache (the sitekey is not part of the cache key).
 func (s *Service) Match(req *engine.Request) (engine.Decision, bool) {
+	d, cached, _ := s.MatchProfile(req, "")
+	return d, cached
+}
+
+// MatchProfile is Match under a named list profile (empty means the
+// default full profile). Decisions are cached per profile — the cache
+// key carries the profile's id, so the same URL under two profiles never
+// shares an entry. An unknown profile is an error naming the valid set.
+func (s *Service) MatchProfile(req *engine.Request, profile string) (engine.Decision, bool, error) {
 	snap := s.cur.Load()
+	view, pid, err := snap.view(profile)
+	if err != nil {
+		return engine.Decision{}, false, err
+	}
 	s.matches.Inc()
+	s.profileHit(view.Name())
 	if s.cache == nil || req.Sitekey != "" {
-		return s.safeMatch(snap, req), false
+		return s.safeMatch(snap, view, req), false, nil
 	}
-	key := cacheKey(snap.Version, req)
+	key := cacheKey(snap.Version, pid, req)
 	if d, ok := s.cache.Get(key); ok {
-		return d, true
+		return d, true, nil
 	}
-	d := s.safeMatch(snap, req)
+	d := s.safeMatch(snap, view, req)
 	s.cache.Put(key, d)
-	return d, false
+	return d, false, nil
 }
 
 // MatchCached answers a request from the decision cache only — the
 // degraded-mode path under sustained overload: a hit is served without
 // touching the engine, a miss reports !ok and is shed by the caller.
-func (s *Service) MatchCached(req *engine.Request) (engine.Decision, bool) {
+// An unknown profile is a miss: degraded mode sheds rather than explains.
+func (s *Service) MatchCached(req *engine.Request, profile string) (engine.Decision, bool) {
 	if s.cache == nil || req.Sitekey != "" {
 		return engine.Decision{}, false
 	}
@@ -327,11 +384,28 @@ func (s *Service) MatchCached(req *engine.Request) (engine.Decision, bool) {
 	if snap == nil {
 		return engine.Decision{}, false
 	}
-	d, ok := s.cache.Get(cacheKey(snap.Version, req))
+	view, pid, err := snap.view(profile)
+	if err != nil {
+		return engine.Decision{}, false
+	}
+	d, ok := s.cache.Get(cacheKey(snap.Version, pid, req))
 	if ok {
 		s.matches.Inc()
+		s.profileHit(view.Name())
 	}
 	return d, ok
+}
+
+// profileHit bumps the per-profile request counter, creating it on first
+// use. The counter map only ever grows by known profile names, so its
+// cardinality is bounded by the configured profile set.
+func (s *Service) profileHit(name string) {
+	if c, ok := s.profileReqs.Load(name); ok {
+		c.(*obs.Counter).Inc()
+		return
+	}
+	c, _ := s.profileReqs.LoadOrStore(name, &obs.Counter{})
+	c.(*obs.Counter).Inc()
 }
 
 // maxQuarantineRetries bounds how many quarantine-and-retry rounds one
@@ -347,19 +421,22 @@ const maxQuarantineRetries = 3
 // no culprit can be identified the request fails open to NoMatch: under
 // the acceptable-ads threat model, serving one request unfiltered beats
 // crash-looping the decision service for everyone.
-func (s *Service) safeMatch(snap *Snapshot, req *engine.Request) engine.Decision {
-	return s.safeMatchTrail(snap, req, nil)
+func (s *Service) safeMatch(snap *Snapshot, view *engine.View, req *engine.Request) engine.Decision {
+	return s.safeMatchTrail(snap, view, req, nil)
 }
 
 // safeMatchTrail is safeMatch with an optional explain trail; the trail
 // is reset before every evaluation round so a retry after a quarantine
-// never reports provenance from the panicked attempt.
-func (s *Service) safeMatchTrail(snap *Snapshot, req *engine.Request, tr *engine.Trail) engine.Decision {
+// never reports provenance from the panicked attempt. Quarantine is a
+// property of the shared filter universe: the prober runs on the full
+// engine, and a disabled filter disappears from every profile view at
+// once.
+func (s *Service) safeMatchTrail(snap *Snapshot, view *engine.View, req *engine.Request, tr *engine.Trail) engine.Decision {
 	for round := 0; ; round++ {
 		if tr != nil {
 			*tr = engine.Trail{}
 		}
-		d, panicked := matchNoPanic(snap.Engine, req, tr)
+		d, panicked := matchNoPanic(view, req, tr)
 		if !panicked {
 			return d
 		}
@@ -391,16 +468,16 @@ func (s *Service) safeMatchTrail(snap *Snapshot, req *engine.Request, tr *engine
 
 // matchNoPanic runs one engine evaluation under recover, with the
 // explain trail when tr is non-nil.
-func matchNoPanic(e *engine.Engine, req *engine.Request, tr *engine.Trail) (d engine.Decision, panicked bool) {
+func matchNoPanic(v *engine.View, req *engine.Request, tr *engine.Trail) (d engine.Decision, panicked bool) {
 	defer func() {
 		if recover() != nil {
 			panicked = true
 		}
 	}()
 	if tr != nil {
-		return e.MatchRequest(req, engine.WithExplain(tr)), false
+		return v.MatchRequest(req, engine.WithExplain(tr)), false
 	}
-	return e.MatchRequest(req), false
+	return v.MatchRequest(req), false
 }
 
 // MatchBatch decides a batch of requests against one consistent
@@ -413,35 +490,124 @@ func matchNoPanic(e *engine.Engine, req *engine.Request, tr *engine.Trail) (d en
 // cancellation the partial results are discarded and ctx's error
 // returned.
 func (s *Service) MatchBatch(ctx context.Context, reqs []*engine.Request) ([]engine.Decision, []bool, *Snapshot, error) {
+	out, cached, snap, _, err := s.MatchBatchProfile(ctx, reqs, "")
+	return out, cached, snap, err
+}
+
+// MatchBatchProfile is MatchBatch under one named profile for the whole
+// batch (empty means the default full profile); the resolved profile
+// name is returned so callers report exactly what they were served.
+func (s *Service) MatchBatchProfile(ctx context.Context, reqs []*engine.Request, profile string) ([]engine.Decision, []bool, *Snapshot, string, error) {
 	snap := s.cur.Load()
+	view, pid, err := snap.view(profile)
+	if err != nil {
+		return nil, nil, snap, "", err
+	}
 	out := make([]engine.Decision, len(reqs))
 	cached := make([]bool, len(reqs))
 	for i, req := range reqs {
 		if i&63 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, nil, snap, err
+				return nil, nil, snap, view.Name(), err
 			}
 		}
 		s.matches.Inc()
+		s.profileHit(view.Name())
 		if s.cache == nil || req.Sitekey != "" {
-			out[i] = s.safeMatch(snap, req)
+			out[i] = s.safeMatch(snap, view, req)
 			continue
 		}
-		key := cacheKey(snap.Version, req)
+		key := cacheKey(snap.Version, pid, req)
 		if d, ok := s.cache.Get(key); ok {
 			out[i], cached[i] = d, true
 			continue
 		}
-		out[i] = s.safeMatch(snap, req)
+		out[i] = s.safeMatch(snap, view, req)
 		s.cache.Put(key, out[i])
 	}
-	return out, cached, snap, nil
+	return out, cached, snap, view.Name(), nil
 }
 
 // ElemHideCSS returns the element-hiding stylesheet the current snapshot
-// injects for a page on docHost.
+// injects for a page on docHost, under the default full profile.
 func (s *Service) ElemHideCSS(docHost string) string {
-	return s.cur.Load().Engine.ElemHideCSS(docHost)
+	css, _ := s.ElemHideCSSProfile(docHost, "")
+	return css
+}
+
+// ElemHideCSSProfile is ElemHideCSS under a named profile: only hide
+// rules (and hide exceptions) from the profile's lists reach the
+// stylesheet.
+func (s *Service) ElemHideCSSProfile(docHost, profile string) (string, error) {
+	snap := s.cur.Load()
+	view, _, err := snap.view(profile)
+	if err != nil {
+		return "", err
+	}
+	s.profileHit(view.Name())
+	return view.ElemHideCSS(docHost), nil
+}
+
+// Diff evaluates one request under two named profiles of the current
+// snapshot in a single engine pass and reports both verdicts, whether
+// they flip, and the responsible filter when they do — "was this request
+// unblocked by the Acceptable Ads exception list, and by which line" as
+// one API call. Diffs bypass the decision cache (they are a measurement
+// tool, not a hot serving path) but carry the same poison-pill
+// containment as matches.
+func (s *Service) Diff(req *engine.Request, profileA, profileB string) (engine.DiffResult, *Snapshot, error) {
+	snap := s.cur.Load()
+	va, _, err := snap.view(profileA)
+	if err != nil {
+		return engine.DiffResult{}, snap, err
+	}
+	vb, _, err := snap.view(profileB)
+	if err != nil {
+		return engine.DiffResult{}, snap, err
+	}
+	s.matches.Inc()
+	s.profileHit(va.Name())
+	s.profileHit(vb.Name())
+	for round := 0; ; round++ {
+		res, panicked := diffNoPanic(snap.Engine, req, va, vb)
+		if !panicked {
+			return res, snap, nil
+		}
+		if round >= maxQuarantineRetries {
+			s.logger.Error("diff still panicking after quarantine rounds; failing open",
+				"url", req.URL, "rounds", round)
+			return engine.DiffResult{
+				A: engine.DiffSide{Profile: va.Name(), Verdict: engine.NoMatch.String()},
+				B: engine.DiffSide{Profile: vb.Name(), Verdict: engine.NoMatch.String()},
+			}, snap, nil
+		}
+		quarantined := snap.Engine.QuarantinePanicking(req)
+		if len(quarantined) == 0 {
+			s.logger.Error("diff panicked but no filter reproduces it; failing open", "url", req.URL)
+			return engine.DiffResult{
+				A: engine.DiffSide{Profile: va.Name(), Verdict: engine.NoMatch.String()},
+				B: engine.DiffSide{Profile: vb.Name(), Verdict: engine.NoMatch.String()},
+			}, snap, nil
+		}
+		s.quarantines.Add(int64(len(quarantined)))
+		for _, q := range quarantined {
+			s.logger.Error("filter quarantined after panic",
+				"filter", q.Filter, "list", q.List, "line", q.Line, "url", req.URL)
+		}
+		if s.cache != nil {
+			s.cache.Purge()
+		}
+	}
+}
+
+// diffNoPanic runs one differential evaluation under recover.
+func diffNoPanic(e *engine.Engine, req *engine.Request, a, b *engine.View) (res engine.DiffResult, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return e.Diff(req, a, b), false
 }
 
 // Reload fetches the lists from the Source (with retries), builds a fresh
@@ -515,7 +681,7 @@ func (s *Service) reload(ctx context.Context) (*Snapshot, error) {
 		return nil, fmt.Errorf("decision: reload: source returned no lists")
 	}
 
-	eng, infos, err := buildEngine(lists)
+	eng, infos, err := buildEngine(lists, s.cfg.Profiles)
 	if err != nil {
 		s.reloadErrs.Inc()
 		return nil, fmt.Errorf("decision: reload: %w", err)
@@ -544,12 +710,31 @@ func (s *Service) reload(ctx context.Context) (*Snapshot, error) {
 	return next, nil
 }
 
-// buildEngine compiles lists into a frozen engine plus its ListInfos.
-func buildEngine(lists []engine.NamedList) (*engine.Engine, []ListInfo, error) {
+// buildEngine compiles lists into a frozen engine plus its ListInfos,
+// registering every declared profile ("*" expands to all loaded lists)
+// before the freeze.
+func buildEngine(lists []engine.NamedList, profiles map[string][]string) (*engine.Engine, []ListInfo, error) {
 	b := engine.NewBuilder()
 	for _, nl := range lists {
 		if err := b.Add(nl.Name, nl.List); err != nil {
 			return nil, nil, err
+		}
+	}
+	for _, name := range sortedProfileNames(profiles) {
+		members := profiles[name]
+		expanded := make([]string, 0, len(members))
+		for _, m := range members {
+			if m == "*" {
+				expanded = expanded[:0]
+				for _, nl := range lists {
+					expanded = append(expanded, nl.Name)
+				}
+				break
+			}
+			expanded = append(expanded, m)
+		}
+		if err := b.Profile(name, expanded...); err != nil {
+			return nil, nil, fmt.Errorf("profile %s: %w", name, err)
 		}
 	}
 	eng := b.Build()
@@ -569,6 +754,8 @@ func (s *Service) publish(eng *engine.Engine, infos []ListInfo, builtAt time.Tim
 	s.publishMu.Lock()
 	defer s.publishMu.Unlock()
 	next := &Snapshot{Engine: eng, Lists: infos, BuiltAt: builtAt, Version: 1}
+	next.Profiles = eng.Profiles()
+	next.profileID = profileIDs(next.Profiles)
 	if old := s.cur.Load(); old != nil {
 		next.Version = old.Version + 1
 	}
@@ -635,6 +822,8 @@ func (s *Service) Rollback(ctx context.Context) (*Snapshot, error) {
 		BuiltAt:    target.BuiltAt,
 		Version:    cur.Version + 1,
 		RollbackOf: target.Version,
+		Profiles:   target.Profiles,
+		profileID:  target.profileID,
 	}
 	s.cur.Store(next)
 	if s.cache != nil {
@@ -680,6 +869,9 @@ func (s *Service) Stats() Stats {
 		st.SnapshotVersion = snap.Version
 		st.QuarantinedFilters = snap.Engine.QuarantinedCount()
 	}
+	if pr := s.profileRequests(); len(pr) > 0 {
+		st.ProfileRequests = pr
+	}
 	if s.cache != nil {
 		c := s.cache.Stats()
 		st.Cache = &c
@@ -687,21 +879,26 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// Stats is a point-in-time view of the service.
-type Stats struct {
-	Matches         int64  `json:"matches"`
-	Reloads         int64  `json:"reloads"`
-	ReloadFailures  int64  `json:"reloadFailures"`
-	SnapshotVersion uint64 `json:"snapshotVersion"`
-	// ReloadsRejected counts candidate snapshots the canary refused to
-	// publish; ReloadsCoalesced counts Reload callers served by another
-	// caller's in-flight rebuild.
-	ReloadsRejected  int64 `json:"reloadsRejected"`
-	ReloadsCoalesced int64 `json:"reloadsCoalesced"`
-	Rollbacks        int64 `json:"rollbacks"`
-	// QuarantinedFilters counts filters disabled by poison-pill
-	// containment on the currently-serving engine.
-	QuarantinedFilters int64       `json:"quarantinedFilters"`
-	Ready              bool        `json:"ready"`
-	Cache              *CacheStats `json:"cache,omitempty"`
+// profileRequests snapshots the per-profile request counters.
+func (s *Service) profileRequests() map[string]int64 {
+	out := map[string]int64{}
+	s.profileReqs.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*obs.Counter).Value()
+		return true
+	})
+	return out
 }
+
+// profileIDs assigns each profile name its index in the sorted name
+// slice — the dense id carried by cache keys.
+func profileIDs(names []string) map[string]int {
+	out := make(map[string]int, len(names))
+	for i, n := range names {
+		out[n] = i
+	}
+	return out
+}
+
+// Stats is a point-in-time view of the service — the wire type served by
+// /v1/lists.
+type Stats = api.Stats

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"time"
 
+	"acceptableads/internal/decision/api"
 	"acceptableads/internal/engine"
 	"acceptableads/internal/obs"
 )
@@ -36,47 +37,54 @@ type Explanation struct {
 	// the engine so the trail is real, and it peeks (never promotes, hits
 	// or misses) so explaining leaves the cache statistics untouched.
 	CacheHit bool
+	// Profile is the resolved profile name the explanation ran under.
+	Profile string
 
 	Decision engine.Decision
 }
 
 // Explain runs req through the current snapshot with the match trail
-// enabled. It evaluates in the same default instrumented mode as Match,
-// so the verdict is always identical to what /v1/match returns for the
-// same request against the same snapshot.
+// enabled, under the default full profile. It evaluates in the same
+// default instrumented mode as Match, so the verdict is always identical
+// to what /v1/match returns for the same request against the same
+// snapshot.
 func (s *Service) Explain(req *engine.Request) Explanation {
+	ex, _ := s.ExplainProfile(req, "")
+	return ex
+}
+
+// ExplainProfile is Explain under a named list profile (empty means the
+// default full profile): the trail gates exactly the candidates the
+// profile's view would, so "why did easylist block this when full did
+// not" is answerable filter by filter.
+func (s *Service) ExplainProfile(req *engine.Request, profile string) (Explanation, error) {
 	snap := s.cur.Load()
+	view, pid, err := snap.view(profile)
+	if err != nil {
+		return Explanation{}, err
+	}
+	s.profileHit(view.Name())
 	tr := &engine.Trail{}
-	d := s.safeMatchTrail(snap, req, tr)
+	d := s.safeMatchTrail(snap, view, req, tr)
 	ex := Explanation{
 		Trail:    tr,
 		Snapshot: snap.Version,
 		BuiltAt:  snap.BuiltAt,
+		Profile:  view.Name(),
 		Decision: d,
 	}
 	if s.cache != nil && req.Sitekey == "" {
-		_, ex.CacheHit = s.cache.Peek(cacheKey(snap.Version, req))
+		_, ex.CacheHit = s.cache.Peek(cacheKey(snap.Version, pid, req))
 	}
-	return ex
-}
-
-// ExplainResult is the /v1/explain response: the plain match result plus
-// the full trail and the serving context.
-type ExplainResult struct {
-	MatchResult
-	Trail    *engine.Trail `json:"trail"`
-	Snapshot uint64        `json:"snapshot"`
-	BuiltAt  time.Time     `json:"builtAt"`
-	CacheHit bool          `json:"cacheHit"`
-	Trace    string        `json:"trace,omitempty"`
+	return ex, nil
 }
 
 func (s *Service) handleExplain(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	var q MatchQuery
+	var q api.MatchRequest
 	if !decodeJSON(w, r, &q) {
 		return
 	}
-	req, err := q.toRequest()
+	req, err := toEngineRequest(q.URL, q.Document, q.Type, q.Sitekey)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -85,16 +93,21 @@ func (s *Service) handleExplain(ctx context.Context, w http.ResponseWriter, r *h
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	ex := s.Explain(req)
+	ex, err := s.ExplainProfile(req, resolveProfile(r, q.Profile))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	obs.DefaultRing.Annotate(ctx, "explain",
-		fmt.Sprintf("url=%s verdict=%s snapshot=%d", q.URL, ex.Decision.Verdict, ex.Snapshot))
-	res := ExplainResult{
-		MatchResult: toResult(ex.Decision, false),
-		Trail:       ex.Trail,
-		Snapshot:    ex.Snapshot,
-		BuiltAt:     ex.BuiltAt,
-		CacheHit:    ex.CacheHit,
-		Trace:       string(obs.TraceFrom(ctx)),
+		fmt.Sprintf("url=%s verdict=%s snapshot=%d profile=%s", q.URL, ex.Decision.Verdict, ex.Snapshot, ex.Profile))
+	res := api.ExplainResponse{
+		MatchResponse: toMatchResponse(ex.Decision, false),
+		Trail:         ex.Trail,
+		Snapshot:      ex.Snapshot,
+		BuiltAt:       ex.BuiltAt,
+		CacheHit:      ex.CacheHit,
+		Profile:       ex.Profile,
+		Trace:         string(obs.TraceFrom(ctx)),
 	}
 	writeJSON(w, res)
 }
@@ -142,6 +155,7 @@ func (s *Service) handleFilterStats(_ context.Context, w http.ResponseWriter, r 
 //	aa_rollbacks_total                 — published rollbacks
 //	aa_filters_quarantined             — poison-pill quarantined filters
 //	aa_ready                           — readiness (1 serving, 0 draining)
+//	aa_profile_requests_total{profile="..."} — served requests per profile
 //
 // and, when an admission controller is wired:
 //
@@ -185,6 +199,17 @@ func (s *Service) metricsHandler(reg *obs.Registry, shed *Shedder) http.Handler 
 		fmt.Fprintf(w, "# TYPE aa_filters_quarantined gauge\naa_filters_quarantined %d\n",
 			snap.Engine.QuarantinedCount())
 		fmt.Fprintf(w, "# TYPE aa_ready gauge\naa_ready %d\n", boolGauge(s.Ready()))
+		if pr := s.profileRequests(); len(pr) > 0 {
+			names := make([]string, 0, len(pr))
+			for name := range pr {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Fprint(w, "# TYPE aa_profile_requests_total counter\n")
+			for _, name := range names {
+				fmt.Fprintf(w, "aa_profile_requests_total{profile=%q} %d\n", name, pr[name])
+			}
+		}
 		if shed != nil {
 			st := shed.Stats()
 			fmt.Fprintf(w, "# TYPE aa_requests_shed_total counter\naa_requests_shed_total %d\n", st.Shed)

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"acceptableads/internal/decision/api"
 	"acceptableads/internal/engine"
 	"acceptableads/internal/filter"
 	"acceptableads/internal/xrand"
@@ -111,7 +112,7 @@ func TestExplainMatchDifferential(t *testing.T) {
 	srv := httptest.NewServer(Handler(svc, HandlerConfig{}))
 	defer srv.Close()
 
-	post := func(path string, q MatchQuery, out any) {
+	post := func(path string, q api.MatchRequest, out any) {
 		t.Helper()
 		body, _ := json.Marshal(q)
 		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
@@ -130,11 +131,11 @@ func TestExplainMatchDifferential(t *testing.T) {
 	docs := []string{"http://adzerk.net/", "http://first.example/", "http://track.io/"}
 	agreed, cacheHits := 0, 0
 	for i := 0; i < 1500; i++ {
-		q := MatchQuery{URL: genMatchURL(rng), Document: docs[rng.Intn(len(docs))], Type: "image"}
+		q := api.MatchRequest{URL: genMatchURL(rng), Document: docs[rng.Intn(len(docs))], Type: "image"}
 
-		var m MatchResult
+		var m api.MatchResponse
 		post("/v1/match", q, &m)
-		var e ExplainResult
+		var e api.ExplainResponse
 		post("/v1/explain", q, &e)
 
 		if e.Verdict != m.Verdict {
@@ -169,7 +170,7 @@ func TestExplainHTTPTrace(t *testing.T) {
 	srv := httptest.NewServer(Handler(svc, HandlerConfig{}))
 	defer srv.Close()
 
-	body, _ := json.Marshal(MatchQuery{URL: "http://ads.example.com/x.js", Document: "http://news.example.org/", Type: "script"})
+	body, _ := json.Marshal(api.MatchRequest{URL: "http://ads.example.com/x.js", Document: "http://news.example.org/", Type: "script"})
 	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/explain", bytes.NewReader(body))
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(TraceHeader, "trace-for-test-01")
@@ -181,7 +182,7 @@ func TestExplainHTTPTrace(t *testing.T) {
 	if got := resp.Header.Get(TraceHeader); got != "trace-for-test-01" {
 		t.Errorf("response %s = %q, want the inbound id echoed", TraceHeader, got)
 	}
-	var e ExplainResult
+	var e api.ExplainResponse
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"acceptableads/internal/decision/api"
 	"acceptableads/internal/domainutil"
 	"acceptableads/internal/engine"
 	"acceptableads/internal/filter"
@@ -41,6 +42,7 @@ type HandlerConfig struct {
 //	POST /v1/match        — one request in, one decision out
 //	POST /v1/match-batch  — up to 4096 requests against one snapshot
 //	POST /v1/explain      — one request in, decision + full match trail out
+//	POST /v1/diff         — one request under two profiles, single pass
 //	POST /v1/elemhide     — element-hiding stylesheet for a document host
 //	GET  /v1/lists        — snapshot introspection (lists, version, cache)
 //	POST /v1/reload       — rebuild the snapshot from the list source
@@ -49,6 +51,13 @@ type HandlerConfig struct {
 //	GET  /readyz          — traffic readiness (503 when draining/unpublished)
 //	GET  /metrics         — Prometheus text exposition + attribution families
 //	GET  /debug/filters   — top-N per-filter hit attribution
+//
+// The decision endpoints (match, match-batch, explain, elemhide) accept
+// a list profile — the ?profile= query parameter, or the body's profile
+// field, the former winning — selecting which subset of loaded lists
+// decides the request; empty means the full profile. An unknown profile
+// is a 400 whose message names the valid set. All wire types live in the
+// api subpackage, shared with api.Client.
 //
 // Every endpoint carries a trace id: an inbound X-AA-Trace header is
 // honored (so a caller can stitch our spans into its own trace), one is
@@ -80,6 +89,9 @@ func Handler(svc *Service, cfg HandlerConfig) http.Handler {
 	mux.Handle("/v1/explain", endpoint(cfg, endpointSpec{
 		name: "explain", method: http.MethodPost, weight: 2,
 	}, svc.handleExplain))
+	mux.Handle("/v1/diff", endpoint(cfg, endpointSpec{
+		name: "diff", method: http.MethodPost, weight: 2,
+	}, svc.handleDiff))
 	mux.Handle("/v1/elemhide", endpoint(cfg, endpointSpec{
 		name: "elemhide", method: http.MethodPost, weight: 1,
 	}, svc.handleElemHide))
@@ -229,81 +241,70 @@ func (w *statusCatcher) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
-// ---- wire types ------------------------------------------------------------
+// ---- wire conversion -------------------------------------------------------
+//
+// The wire types themselves live in the api package — the versioned
+// contract both the handlers here and api.Client marshal. This section
+// only converts between engine values and those types.
 
-// MatchQuery is one request of the match API.
-type MatchQuery struct {
-	// URL is the request URL; required.
-	URL string `json:"url"`
-	// Document is the URL (or bare host) of the page issuing the
-	// request; it drives $domain restrictions and the third-party test.
-	Document string `json:"document"`
-	// Type is the content type as a filter option name ("script",
-	// "image", ...); empty means "other".
-	Type string `json:"type,omitempty"`
-	// Sitekey is the verified base64 sitekey of the page, if any.
-	// Sitekey queries bypass the decision cache.
-	Sitekey string `json:"sitekey,omitempty"`
+// resolveProfile picks the profile for a request: the ?profile= query
+// parameter wins, the body field is the fallback, empty means the
+// server's default full profile.
+func resolveProfile(r *http.Request, body string) string {
+	if q := r.URL.Query().Get("profile"); q != "" {
+		return q
+	}
+	return body
 }
 
-// MatchResult is one decision of the match API.
-type MatchResult struct {
-	Verdict    string     `json:"verdict"`
-	BlockedBy  *MatchedBy `json:"blockedBy,omitempty"`
-	AllowedBy  *MatchedBy `json:"allowedBy,omitempty"`
-	DoNotTrack bool       `json:"doNotTrack,omitempty"`
-	Cached     bool       `json:"cached"`
-	Error      string     `json:"error,omitempty"`
-}
-
-// MatchedBy names the filter behind one side of a decision.
-type MatchedBy struct {
-	Filter string `json:"filter"`
-	List   string `json:"list"`
-}
-
-// toRequest validates and converts one query; malformed input fails here,
-// at the edge, instead of deep inside matching.
-func (q *MatchQuery) toRequest() (*engine.Request, error) {
+// toEngineRequest validates and converts one query; malformed input
+// fails here, at the edge, instead of deep inside matching.
+func toEngineRequest(url, document, typeName, sitekey string) (*engine.Request, error) {
 	typ := filter.TypeOther
-	if q.Type != "" {
-		t, ok := filter.ParseContentType(q.Type)
+	if typeName != "" {
+		t, ok := filter.ParseContentType(typeName)
 		if !ok {
-			return nil, fmt.Errorf("unknown content type %q", q.Type)
+			return nil, fmt.Errorf("unknown content type %q", typeName)
 		}
 		typ = t
 	}
-	req, err := engine.NewRequest(q.URL, q.Document, typ)
+	req, err := engine.NewRequest(url, document, typ)
 	if err != nil {
 		return nil, err
 	}
-	req.Sitekey = q.Sitekey
+	req.Sitekey = sitekey
 	return req, nil
 }
 
-func toResult(d engine.Decision, cached bool) MatchResult {
-	res := MatchResult{
+func toMatchResponse(d engine.Decision, cached bool) api.MatchResponse {
+	res := api.MatchResponse{
 		Verdict:    d.Verdict.String(),
 		DoNotTrack: d.DoNotTrack,
 		Cached:     cached,
 	}
 	if m := d.BlockedBy(); m != nil {
-		res.BlockedBy = &MatchedBy{Filter: m.Filter.Raw, List: m.List}
+		res.BlockedBy = &api.FilterRef{Filter: m.Filter.Raw, List: m.List}
 	}
 	if m := d.AllowedBy(); m != nil {
-		res.AllowedBy = &MatchedBy{Filter: m.Filter.Raw, List: m.List}
+		res.AllowedBy = &api.FilterRef{Filter: m.Filter.Raw, List: m.List}
 	}
 	return res
+}
+
+// profileError maps a profile-resolution failure to 400: the valid set
+// is in the message, the client picked a name outside it.
+func profileError(w http.ResponseWriter, err error) {
+	httpError(w, http.StatusBadRequest, err.Error())
 }
 
 // ---- endpoints -------------------------------------------------------------
 
 func (s *Service) handleMatch(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	var q MatchQuery
+	var q api.MatchRequest
 	if !decodeJSON(w, r, &q) {
 		return
 	}
-	req, err := q.toRequest()
+	req, err := toEngineRequest(q.URL, q.Document, q.Type, q.Sitekey)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -314,28 +315,18 @@ func (s *Service) handleMatch(ctx context.Context, w http.ResponseWriter, r *htt
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	d, cached := s.Match(req)
+	d, cached, err := s.MatchProfile(req, resolveProfile(r, q.Profile))
+	if err != nil {
+		profileError(w, err)
+		return
+	}
 	obs.DefaultRing.Annotate(ctx, "match",
 		fmt.Sprintf("url=%s verdict=%s cached=%t", q.URL, d.Verdict, cached))
-	writeJSON(w, toResult(d, cached))
-}
-
-// BatchQuery is the /v1/match-batch request body.
-type BatchQuery struct {
-	Requests []MatchQuery `json:"requests"`
-}
-
-// BatchResult is the /v1/match-batch response: one result per request, in
-// order, all decided against the same snapshot. A malformed entry yields
-// a per-entry error without failing the batch.
-type BatchResult struct {
-	Results  []MatchResult `json:"results"`
-	Snapshot uint64        `json:"snapshot"`
-	Cached   int           `json:"cached"`
+	writeJSON(w, toMatchResponse(d, cached))
 }
 
 func (s *Service) handleMatchBatch(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	var q BatchQuery
+	var q api.BatchRequest
 	if !decodeJSON(w, r, &q) {
 		return
 	}
@@ -344,48 +335,49 @@ func (s *Service) handleMatchBatch(ctx context.Context, w http.ResponseWriter, r
 			fmt.Sprintf("batch of %d exceeds the %d-request limit", len(q.Requests), maxBatch))
 		return
 	}
-	out := BatchResult{Results: make([]MatchResult, len(q.Requests))}
+	out := api.BatchResponse{Results: make([]api.MatchResponse, len(q.Requests))}
 	reqs := make([]*engine.Request, 0, len(q.Requests))
 	idx := make([]int, 0, len(q.Requests))
 	for i := range q.Requests {
-		req, err := q.Requests[i].toRequest()
+		if q.Requests[i].Profile != "" {
+			// One batch, one profile: a per-entry profile would silently
+			// fragment the batch across engine views.
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("request %d sets a per-entry profile; use the batch-level profile field", i))
+			return
+		}
+		req, err := toEngineRequest(q.Requests[i].URL, q.Requests[i].Document, q.Requests[i].Type, q.Requests[i].Sitekey)
 		if err != nil {
-			out.Results[i] = MatchResult{Error: err.Error()}
+			out.Results[i] = api.MatchResponse{Error: err.Error()}
 			continue
 		}
 		reqs = append(reqs, req)
 		idx = append(idx, i)
 	}
-	decisions, cached, snap, err := s.MatchBatch(ctx, reqs)
+	decisions, cached, snap, profile, err := s.MatchBatchProfile(ctx, reqs, resolveProfile(r, q.Profile))
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "batch cut off by deadline: "+err.Error())
+		if ctx.Err() != nil {
+			httpError(w, http.StatusServiceUnavailable, "batch cut off by deadline: "+err.Error())
+		} else {
+			profileError(w, err)
+		}
 		return
 	}
 	out.Snapshot = snap.Version
+	out.Profile = profile
 	for j, d := range decisions {
-		out.Results[idx[j]] = toResult(d, cached[j])
+		out.Results[idx[j]] = toMatchResponse(d, cached[j])
 		if cached[j] {
 			out.Cached++
 		}
 	}
 	obs.DefaultRing.Annotate(ctx, "match-batch",
-		fmt.Sprintf("requests=%d cached=%d snapshot=%d", len(q.Requests), out.Cached, snap.Version))
+		fmt.Sprintf("requests=%d cached=%d snapshot=%d profile=%s", len(q.Requests), out.Cached, snap.Version, profile))
 	writeJSON(w, out)
 }
 
-// ElemHideQuery is the /v1/elemhide request body.
-type ElemHideQuery struct {
-	// Document is the page URL or bare host the stylesheet is for.
-	Document string `json:"document"`
-}
-
-// ElemHideResult carries the injectable stylesheet for the document.
-type ElemHideResult struct {
-	CSS string `json:"css"`
-}
-
 func (s *Service) handleElemHide(ctx context.Context, w http.ResponseWriter, r *http.Request) {
-	var q ElemHideQuery
+	var q api.ElemHideRequest
 	if !decodeJSON(w, r, &q) {
 		return
 	}
@@ -397,38 +389,59 @@ func (s *Service) handleElemHide(ctx context.Context, w http.ResponseWriter, r *
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	writeJSON(w, ElemHideResult{CSS: s.ElemHideCSS(domainutil.HostOf(q.Document))})
+	css, err := s.ElemHideCSSProfile(domainutil.HostOf(q.Document), resolveProfile(r, q.Profile))
+	if err != nil {
+		profileError(w, err)
+		return
+	}
+	writeJSON(w, api.ElemHideResponse{CSS: css})
 }
 
-// ListsResult is the /v1/lists response.
-type ListsResult struct {
-	Snapshot   uint64     `json:"snapshot"`
-	BuiltAt    time.Time  `json:"builtAt"`
-	Filters    int        `json:"filters"`
-	WarmStart  bool       `json:"warmStart,omitempty"`
-	RollbackOf uint64     `json:"rollbackOf,omitempty"`
-	Lists      []ListInfo `json:"lists"`
-	Stats      Stats      `json:"stats"`
+func (s *Service) handleDiff(ctx context.Context, w http.ResponseWriter, r *http.Request) {
+	var q api.DiffRequest
+	if !decodeJSON(w, r, &q) {
+		return
+	}
+	if q.ProfileA == "" || q.ProfileB == "" {
+		httpError(w, http.StatusBadRequest, "profileA and profileB are required")
+		return
+	}
+	req, err := toEngineRequest(q.URL, q.Document, q.Type, q.Sitekey)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	res, snap, err := s.Diff(req, q.ProfileA, q.ProfileB)
+	if err != nil {
+		profileError(w, err)
+		return
+	}
+	obs.DefaultRing.Annotate(ctx, "diff",
+		fmt.Sprintf("url=%s a=%s/%s b=%s/%s flipped=%t",
+			q.URL, res.A.Profile, res.A.Verdict, res.B.Profile, res.B.Verdict, res.Flipped))
+	writeJSON(w, api.DiffResponse{
+		DiffResult: res,
+		Snapshot:   snap.Version,
+		Trace:      string(obs.TraceFrom(ctx)),
+	})
 }
 
 func (s *Service) handleLists(_ context.Context, w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
-	writeJSON(w, ListsResult{
+	writeJSON(w, api.ListsResponse{
 		Snapshot:   snap.Version,
 		BuiltAt:    snap.BuiltAt,
 		Filters:    snap.Engine.NumFilters(),
 		WarmStart:  snap.WarmStart,
 		RollbackOf: snap.RollbackOf,
 		Lists:      snap.Lists,
+		Profiles:   snap.Profiles,
 		Stats:      s.Stats(),
 	})
-}
-
-// ReloadResult is the /v1/reload response.
-type ReloadResult struct {
-	Snapshot uint64     `json:"snapshot"`
-	Filters  int        `json:"filters"`
-	Lists    []ListInfo `json:"lists"`
 }
 
 func (s *Service) handleReload(ctx context.Context, w http.ResponseWriter, r *http.Request) {
@@ -439,19 +452,11 @@ func (s *Service) handleReload(ctx context.Context, w http.ResponseWriter, r *ht
 		httpError(w, http.StatusBadGateway, err.Error())
 		return
 	}
-	writeJSON(w, ReloadResult{
+	writeJSON(w, api.ReloadResponse{
 		Snapshot: snap.Version,
 		Filters:  snap.Engine.NumFilters(),
 		Lists:    snap.Lists,
 	})
-}
-
-// RollbackResult is the /v1/rollback response.
-type RollbackResult struct {
-	Snapshot   uint64     `json:"snapshot"`
-	RollbackOf uint64     `json:"rollbackOf"`
-	Filters    int        `json:"filters"`
-	Lists      []ListInfo `json:"lists"`
 }
 
 func (s *Service) handleRollback(ctx context.Context, w http.ResponseWriter, r *http.Request) {
@@ -462,7 +467,7 @@ func (s *Service) handleRollback(ctx context.Context, w http.ResponseWriter, r *
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
-	writeJSON(w, RollbackResult{
+	writeJSON(w, api.RollbackResponse{
 		Snapshot:   snap.Version,
 		RollbackOf: snap.RollbackOf,
 		Filters:    snap.Engine.NumFilters(),
@@ -472,25 +477,25 @@ func (s *Service) handleRollback(ctx context.Context, w http.ResponseWriter, r *
 
 // matchCacheOnly is /v1/match's degraded-mode fallback: answer from the
 // decision cache without touching the engine, report false (shed) on a
-// miss. Parse errors also report false — the 429 is as good an answer
-// and keeps the fallback allocation-light.
+// miss. Parse errors and unknown profiles also report false — the 429 is
+// as good an answer and keeps the fallback allocation-light.
 func (s *Service) matchCacheOnly(ctx context.Context, w http.ResponseWriter, r *http.Request) bool {
-	var q MatchQuery
+	var q api.MatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&q); err != nil {
 		return false
 	}
-	req, err := q.toRequest()
+	req, err := toEngineRequest(q.URL, q.Document, q.Type, q.Sitekey)
 	if err != nil {
 		return false
 	}
-	d, ok := s.MatchCached(req)
+	d, ok := s.MatchCached(req, resolveProfile(r, q.Profile))
 	if !ok {
 		return false
 	}
 	w.Header().Set("X-AA-Degraded", "cache-only")
-	writeJSON(w, toResult(d, true))
+	writeJSON(w, toMatchResponse(d, true))
 	return true
 }
 

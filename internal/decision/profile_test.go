@@ -1,0 +1,205 @@
+package decision
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"acceptableads/internal/decision/api"
+	"acceptableads/internal/engine"
+)
+
+// newProfileService builds a service with an easylist-only profile next
+// to the implicit full profile, over the standard test lists.
+func newProfileService(t testing.TB, cacheSize int) *Service {
+	t.Helper()
+	svc, err := New(context.Background(), Config{
+		Source:    Lists(testLists()...),
+		CacheSize: cacheSize,
+		Profiles: map[string][]string{
+			"easylist": {"easylist"},
+			"full":     {"*"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestMatchProfileFlipsAndCachesPerProfile: the same request decides
+// differently under the easylist-only profile (blocked — the exception
+// list is out of profile) and the full profile (allowed), including when
+// both answers come from the cache; the cache never cross-serves one
+// profile's decision to the other.
+func TestMatchProfileFlipsAndCachesPerProfile(t *testing.T) {
+	svc := newProfileService(t, 1024)
+	req := mustRequest(t, "http://ads.example.com/acceptable/x.js", "http://news.example.org/")
+
+	for round := 0; round < 2; round++ {
+		wantCached := round == 1
+		d, cached, err := svc.MatchProfile(req, "easylist")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Verdict != engine.Blocked || cached != wantCached {
+			t.Fatalf("round %d easylist: %v cached=%v, want blocked cached=%v", round, d.Verdict, cached, wantCached)
+		}
+		d, cached, err = svc.MatchProfile(req, "full")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Verdict != engine.Allowed || cached != wantCached {
+			t.Fatalf("round %d full: %v cached=%v, want allowed cached=%v", round, d.Verdict, cached, wantCached)
+		}
+	}
+
+	// The empty profile is the full profile, including its cache line.
+	d, cached, err := svc.MatchProfile(req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != engine.Allowed || !cached {
+		t.Fatalf("default profile: %v cached=%v, want allowed from full's cache entry", d.Verdict, cached)
+	}
+
+	if _, _, err := svc.MatchProfile(req, "nope"); err == nil || !strings.Contains(err.Error(), "easylist") {
+		t.Fatalf("unknown profile error = %v, want it to name the valid set", err)
+	}
+
+	st := svc.Stats()
+	if st.ProfileRequests["easylist"] == 0 || st.ProfileRequests["full"] == 0 {
+		t.Errorf("ProfileRequests = %v, want both profiles counted", st.ProfileRequests)
+	}
+
+	// Profiles survive a reload: the declared set is re-registered on the
+	// rebuilt engine.
+	if _, err := svc.Reload(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	d, _, err = svc.MatchProfile(req, "easylist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Verdict != engine.Blocked {
+		t.Fatalf("post-reload easylist verdict = %v, want blocked", d.Verdict)
+	}
+	if got := svc.Snapshot().Profiles; len(got) != 2 || got[0] != "easylist" || got[1] != "full" {
+		t.Fatalf("snapshot profiles = %v, want [easylist full]", got)
+	}
+}
+
+// TestServiceDiff: one call answers "would the Acceptable Ads exception
+// list have unblocked this request" and names the responsible filter
+// with its source list and line.
+func TestServiceDiff(t *testing.T) {
+	svc := newProfileService(t, 1024)
+
+	req := mustRequest(t, "http://ads.example.com/acceptable/x.js", "http://news.example.org/")
+	res, snap, err := svc.Diff(req, "easylist", "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != svc.Snapshot().Version {
+		t.Errorf("diff pinned snapshot %d, want %d", snap.Version, svc.Snapshot().Version)
+	}
+	if !res.Flipped || res.A.Verdict != "blocked" || res.B.Verdict != "allowed" {
+		t.Fatalf("diff = %+v, want a blocked->allowed flip", res)
+	}
+	if res.Responsible == nil || res.Responsible.List != "exceptionrules" ||
+		res.Responsible.Filter != "@@||ads.example.com/acceptable/$script" || res.Responsible.Line == 0 {
+		t.Fatalf("responsible = %+v, want the exceptionrules filter with its line", res.Responsible)
+	}
+
+	// No flip when both profiles agree.
+	same := mustRequest(t, "http://ads.example.com/other.js", "http://news.example.org/")
+	res, _, err = svc.Diff(same, "easylist", "full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flipped || res.Responsible != nil {
+		t.Fatalf("diff on agreeing request = %+v, want no flip", res)
+	}
+
+	if _, _, err := svc.Diff(req, "easylist", "nope"); err == nil {
+		t.Fatal("diff accepted an unknown profile")
+	}
+}
+
+// TestHTTPProfileSurface drives the profile features end to end through
+// the HTTP handlers via the typed api.Client: query-parameter precedence,
+// the 400 on unknown profiles naming the valid set, the batch-level
+// profile rule, /v1/diff, and the profile inventory on /v1/lists.
+func TestHTTPProfileSurface(t *testing.T) {
+	svc := newProfileService(t, 1024)
+	srv := httptest.NewServer(Handler(svc, HandlerConfig{}))
+	defer srv.Close()
+	c := api.NewClient(srv.URL, srv.Client())
+	ctx := context.Background()
+
+	q := api.MatchRequest{
+		URL: "http://ads.example.com/acceptable/x.js", Document: "http://news.example.org/",
+		Type: "script", Profile: "easylist",
+	}
+	m, err := c.Match(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Verdict != "blocked" {
+		t.Fatalf("easylist verdict = %q, want blocked", m.Verdict)
+	}
+	q.Profile = "full"
+	if m, err = c.Match(ctx, q); err != nil || m.Verdict != "allowed" {
+		t.Fatalf("full verdict = %v/%v, want allowed", m, err)
+	}
+
+	q.Profile = "nope"
+	_, err = c.Match(ctx, q)
+	if !api.IsStatus(err, 400) || !strings.Contains(err.Error(), "easylist") {
+		t.Fatalf("unknown profile: err = %v, want a 400 naming the valid set", err)
+	}
+
+	// A per-entry profile in a batch is rejected outright.
+	_, err = c.MatchBatch(ctx, api.BatchRequest{
+		Requests: []api.MatchRequest{{URL: "http://x.example/", Document: "http://x.example/", Profile: "full"}},
+	})
+	if !api.IsStatus(err, 400) {
+		t.Fatalf("per-entry batch profile: err = %v, want 400", err)
+	}
+	b, err := c.MatchBatch(ctx, api.BatchRequest{
+		Requests: []api.MatchRequest{{URL: "http://ads.example.com/acceptable/x.js", Document: "http://news.example.org/", Type: "script"}},
+		Profile:  "easylist",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Profile != "easylist" || len(b.Results) != 1 || b.Results[0].Verdict != "blocked" {
+		t.Fatalf("batch = %+v, want one blocked result under easylist", b)
+	}
+
+	d, err := c.Diff(ctx, api.DiffRequest{
+		URL: "http://ads.example.com/acceptable/x.js", Document: "http://news.example.org/",
+		Type: "script", ProfileA: "easylist", ProfileB: "full",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Flipped || d.Responsible == nil || d.Responsible.List != "exceptionrules" {
+		t.Fatalf("diff = %+v, want a flip attributed to exceptionrules", d)
+	}
+	if _, err := c.Diff(ctx, api.DiffRequest{URL: "http://x.example/", Document: "http://x.example/", ProfileA: "easylist"}); !api.IsStatus(err, 400) {
+		t.Fatalf("diff without profileB: err = %v, want 400", err)
+	}
+
+	ls, err := c.Lists(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Profiles) != 2 || ls.Profiles[0] != "easylist" || ls.Profiles[1] != "full" {
+		t.Fatalf("lists profiles = %v, want [easylist full]", ls.Profiles)
+	}
+	if ls.Stats.ProfileRequests["easylist"] == 0 {
+		t.Errorf("stats profile requests = %v, want easylist counted", ls.Stats.ProfileRequests)
+	}
+}

@@ -49,11 +49,31 @@ func (b *Builder) Add(name string, l *filter.List) error {
 	return b.e.addList(name, l, b.workers)
 }
 
+// Profile registers a named profile — a subset of the lists added so
+// far — on the engine under construction. The built engine serves every
+// profile from the one compiled filter universe via Engine.View; no
+// per-profile recompile happens. Lists must already have been Added, so
+// declare profiles after the Add calls. The "full" profile (every list)
+// is registered implicitly by Build unless defined here explicitly.
+func (b *Builder) Profile(name string, lists ...string) error {
+	if b.e == nil {
+		return fmt.Errorf("engine: builder already built")
+	}
+	return b.e.addProfile(name, lists...)
+}
+
 // Build freezes and returns the engine. The Builder is spent afterwards:
 // further Add calls fail, which is what keeps the published engine
-// immutable under concurrent readers.
+// immutable under concurrent readers. Build guarantees the
+// DefaultProfile ("full") exists, spanning every added list.
 func (b *Builder) Build() *Engine {
 	e := b.e
 	b.e = nil
+	if e.profiles == nil {
+		e.profiles = make(map[string]uint64, 1)
+	}
+	if _, ok := e.profiles[DefaultProfile]; !ok {
+		e.profiles[DefaultProfile] = e.allMask
+	}
 	return e
 }

@@ -199,11 +199,11 @@ func TestDifferentialUnifiedIndex(t *testing.T) {
 			t.Fatalf("short-circuit divergence on %q: indexed=%v linear=%v", url, fast.Verdict, lin)
 		}
 		// Production short-circuit semantics: a verdict iff a blocker matched.
-		if blocked := e.index.findLinear(req, roleBlocking, nil) != nil; blocked != (fast.Verdict != NoMatch) {
+		if blocked := e.index.findLinear(req, roleBlocking, e.allMask, nil) != nil; blocked != (fast.Verdict != NoMatch) {
 			t.Fatalf("short-circuit blocker mismatch on %q: blocked=%v verdict=%v", url, blocked, fast.Verdict)
 		}
-		wantDNT := e.index.findLinear(req, roleDNT, nil) != nil &&
-			e.index.findLinear(req, roleDNTException, nil) == nil
+		wantDNT := e.index.findLinear(req, roleDNT, e.allMask, nil) != nil &&
+			e.index.findLinear(req, roleDNTException, e.allMask, nil) == nil
 		if inst.DoNotTrack != wantDNT {
 			t.Fatalf("DNT divergence on %q: got %v want %v", url, inst.DoNotTrack, wantDNT)
 		}

@@ -16,6 +16,9 @@ type compiledElem struct {
 	// its 1-based position in the source list's text.
 	id   uint32
 	line int32
+	// listBit is the source list's membership bit; profile views gate
+	// hiding filters and exceptions on it exactly like request filters.
+	listBit uint64
 }
 
 // elemHideIndex holds hiding filters indexed by the id/class their subject
@@ -39,8 +42,8 @@ func newElemHideIndex() *elemHideIndex {
 
 // addCompiled files a hiding filter whose selector was already compiled
 // (compilation is hoisted into compileFilters so it can parallelize).
-func (idx *elemHideIndex) addCompiled(list string, f *filter.Filter, sel *css.Selector, id uint32, line int32) {
-	c := &compiledElem{f: f, list: list, sel: sel, id: id, line: line}
+func (idx *elemHideIndex) addCompiled(list string, f *filter.Filter, sel *css.Selector, id uint32, line int32, bit uint64) {
+	c := &compiledElem{f: f, list: list, sel: sel, id: id, line: line, listBit: bit}
 	if f.Kind == filter.KindElemHideException {
 		idx.exceptions[f.Selector] = append(idx.exceptions[f.Selector], c)
 		return
@@ -80,19 +83,13 @@ func (m *ElementMatch) Hidden() bool { return m.AllowedBy == nil }
 // instead of consulting the id/class candidate index — the ablation
 // baseline quantifying what the index buys.
 func (e *Engine) HideElements(doc *htmldom.Node, pageURL, docHost string, opts ...MatchOption) []ElementMatch {
-	return (&Session{e: e, rec: e.recorder}).HideElements(doc, pageURL, docHost, opts...)
-}
-
-// HideElementsLinear is the ablation baseline without the candidate index.
-//
-// Deprecated: use HideElements(doc, pageURL, docHost, WithLinearScan()).
-func (e *Engine) HideElementsLinear(doc *htmldom.Node, pageURL, docHost string) []ElementMatch {
-	return e.HideElements(doc, pageURL, docHost, WithLinearScan())
+	return (&Session{e: e, rec: e.recorder, mask: e.allMask}).HideElements(doc, pageURL, docHost, opts...)
 }
 
 // elemHideCandidates gathers the hiding filters whose indexed id/class is
-// present in the document, plus the slow bucket.
-func (e *Engine) elemHideCandidates(doc *htmldom.Node) []*compiledElem {
+// present in the document, plus the slow bucket, restricted to the
+// profile mask.
+func (e *Engine) elemHideCandidates(doc *htmldom.Node, mask uint64) []*compiledElem {
 	idx := e.elemHide
 	seen := make(map[*compiledElem]bool)
 	var out []*compiledElem
@@ -102,7 +99,7 @@ func (e *Engine) elemHideCandidates(doc *htmldom.Node) []*compiledElem {
 		}
 		if id := n.ID(); id != "" {
 			for _, c := range idx.byKey["#"+id] {
-				if !seen[c] {
+				if c.listBit&mask != 0 && !seen[c] {
 					seen[c] = true
 					out = append(out, c)
 				}
@@ -110,7 +107,7 @@ func (e *Engine) elemHideCandidates(doc *htmldom.Node) []*compiledElem {
 		}
 		for _, cl := range n.Classes() {
 			for _, c := range idx.byKey["."+cl] {
-				if !seen[c] {
+				if c.listBit&mask != 0 && !seen[c] {
 					seen[c] = true
 					out = append(out, c)
 				}
@@ -118,11 +115,37 @@ func (e *Engine) elemHideCandidates(doc *htmldom.Node) []*compiledElem {
 		}
 		return true
 	})
-	return append(out, idx.slow...)
+	for _, c := range idx.slow {
+		if c.listBit&mask != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
-func (e *Engine) findElemException(selector, docHost string) *compiledElem {
+// allHideCandidates is the linear-scan candidate set under a profile
+// mask; the full mask returns the shared slice without copying.
+func (e *Engine) allHideCandidates(mask uint64) []*compiledElem {
+	if mask == e.allMask {
+		return e.elemHide.all
+	}
+	var out []*compiledElem
+	for _, c := range e.elemHide.all {
+		if c.listBit&mask != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// findElemException returns the first in-profile hiding exception with
+// the identical selector applying on docHost. An exception from a list
+// outside the profile must not cancel hides, so the mask gates here too.
+func (e *Engine) findElemException(selector, docHost string, mask uint64) *compiledElem {
 	for _, x := range e.elemHide.exceptions[selector] {
+		if x.listBit&mask == 0 {
+			continue
+		}
 		if x.f.AppliesToDomain(docHost) {
 			return x
 		}

@@ -184,6 +184,11 @@ type compiledRequest struct {
 	// its 1-based position in the source list's text.
 	id   uint32
 	line int32
+	// listBit is the membership bit of the source list (bit i for the
+	// i-th list added). A profile view is a bitmask over these: a filter
+	// participates in a match exactly when listBit&mask != 0, which is
+	// the one-AND gate the profile views add to every candidate loop.
+	listBit uint64
 	// state is the filter's poison-pill containment state (filterOK /
 	// filterQuarantined / filterPoison); see quarantine.go. The same
 	// *compiledRequest is shared between the hash buckets, the slow list
@@ -300,9 +305,12 @@ func (idx *unifiedIndex) add(r role, c *compiledRequest) {
 // once every wanted role has a match. Within one role, candidates are
 // visited in exactly the order the old per-role indexes used (URL keyword
 // order, then insertion order), so the reported filter is unchanged.
-// tr, when non-nil, receives the probe's provenance (explained matches
-// only; the hot path passes nil and pays one predictable branch).
-func (idx *unifiedIndex) probe(req *Request, want uint8, res *[numRoles]*compiledRequest, tr *Trail) uint8 {
+// mask is the profile's list-membership bitmask; out-of-profile
+// candidates are skipped before their gates run (the flat engine passes
+// its all-lists mask, so the gate never skips there). tr, when non-nil,
+// receives the probe's provenance (explained matches only; the hot path
+// passes nil and pays one predictable branch).
+func (idx *unifiedIndex) probe(req *Request, want uint8, mask uint64, res *[numRoles]*compiledRequest, tr *Trail) uint8 {
 	for _, h := range req.kwh {
 		bucket := idx.byHash[h]
 		if tr != nil && len(bucket) > 0 {
@@ -312,6 +320,9 @@ func (idx *unifiedIndex) probe(req *Request, want uint8, res *[numRoles]*compile
 			e := &bucket[i]
 			bit := uint8(1) << e.role
 			if want&bit == 0 {
+				continue
+			}
+			if e.c.listBit&mask == 0 {
 				continue
 			}
 			ok := e.c.matches(req)
@@ -331,9 +342,12 @@ func (idx *unifiedIndex) probe(req *Request, want uint8, res *[numRoles]*compile
 }
 
 // scanSlow returns the first keyword-less filter of the role matching the
-// request.
-func (idx *unifiedIndex) scanSlow(req *Request, r role, tr *Trail) *compiledRequest {
+// request within the profile mask.
+func (idx *unifiedIndex) scanSlow(req *Request, r role, mask uint64, tr *Trail) *compiledRequest {
 	for _, c := range idx.slow[r] {
+		if c.listBit&mask == 0 {
+			continue
+		}
 		ok := c.matches(req)
 		if tr != nil {
 			tr.SlowScanned++
@@ -348,8 +362,11 @@ func (idx *unifiedIndex) scanSlow(req *Request, r role, tr *Trail) *compiledRequ
 
 // findLinear scans every filter of the role without the keyword index —
 // the baseline for the index ablations.
-func (idx *unifiedIndex) findLinear(req *Request, r role, tr *Trail) *compiledRequest {
+func (idx *unifiedIndex) findLinear(req *Request, r role, mask uint64, tr *Trail) *compiledRequest {
 	for _, c := range idx.all[r] {
+		if c.listBit&mask == 0 {
+			continue
+		}
 		ok := c.matches(req)
 		if tr != nil {
 			tr.candidate(c, r, ok, false)
@@ -376,6 +393,14 @@ type Engine struct {
 	numFilters int
 	lists      []string
 	listCounts map[string]int
+	// listBits maps each loaded list name to its membership bit; allMask
+	// is the OR of every assigned bit — the mask the flat (un-profiled)
+	// engine matches under. profiles maps a profile name to the mask of
+	// the lists it includes; "full" (all lists) is always present on a
+	// built engine.
+	listBits map[string]uint64
+	allMask  uint64
+	profiles map[string]uint64
 	// refs maps a filter's dense id to its identity (filter, list, line)
 	// — the lookup side of the attribution slots.
 	refs []filterRef
@@ -441,7 +466,23 @@ func (e *Engine) AddList(name string, l *filter.List) error {
 	return e.addList(name, l, 0)
 }
 
+// maxLists bounds how many lists one engine can hold: each list gets one
+// membership bit of a uint64 profile mask.
+const maxLists = 64
+
 func (e *Engine) addList(name string, l *filter.List, workers int) error {
+	if e.listBits == nil {
+		e.listBits = make(map[string]uint64)
+	}
+	if _, dup := e.listBits[name]; dup {
+		return fmt.Errorf("engine: list %q already loaded", name)
+	}
+	if len(e.lists) >= maxLists {
+		return fmt.Errorf("engine: more than %d lists (profile masks are 64-bit)", maxLists)
+	}
+	bit := uint64(1) << len(e.lists)
+	e.listBits[name] = bit
+	e.allMask |= bit
 	e.lists = append(e.lists, name)
 	before := e.numFilters
 	filters := l.Active()
@@ -475,9 +516,10 @@ func (e *Engine) addList(name string, l *filter.List, workers int) error {
 // next dense attribution id.
 func (e *Engine) insertCompiled(list string, f *filter.Filter, u compiledUnit, line int32) {
 	id := uint32(len(e.refs))
+	bit := e.listBits[list]
 	switch f.Kind {
 	case filter.KindRequestBlock, filter.KindRequestException:
-		c := &compiledRequest{f: f, list: list, pat: u.pat, id: id, line: line}
+		c := &compiledRequest{f: f, list: list, pat: u.pat, id: id, line: line, listBit: bit}
 		switch {
 		case f.DoNotTrack && f.Kind == filter.KindRequestBlock:
 			e.index.add(roleDNT, c)
@@ -489,7 +531,7 @@ func (e *Engine) insertCompiled(list string, f *filter.Filter, u compiledUnit, l
 			e.index.add(roleException, c)
 		}
 	case filter.KindElemHide, filter.KindElemHideException:
-		e.elemHide.addCompiled(list, f, u.sel, id, line)
+		e.elemHide.addCompiled(list, f, u.sel, id, line, bit)
 	}
 	e.refs = append(e.refs, filterRef{f: f, list: list, line: line})
 	e.numFilters++
@@ -587,21 +629,7 @@ func (e *Engine) AttributionByList() map[string]ListAttribution {
 // WithShortCircuit and WithLinearScan select the production short-circuit
 // and the index-free ablation evaluation respectively; see the options.
 func (e *Engine) MatchRequest(req *Request, opts ...MatchOption) Decision {
-	return (&Session{e: e, rec: e.recorder}).MatchRequest(req, opts...)
-}
-
-// MatchRequestFast is the production-style short-circuit.
-//
-// Deprecated: use MatchRequest(req, WithShortCircuit()).
-func (e *Engine) MatchRequestFast(req *Request) Decision {
-	return e.MatchRequest(req, WithShortCircuit())
-}
-
-// MatchRequestLinear matches without the keyword index.
-//
-// Deprecated: use MatchRequest(req, WithLinearScan()).
-func (e *Engine) MatchRequestLinear(req *Request) Decision {
-	return e.MatchRequest(req, WithLinearScan())
+	return (&Session{e: e, rec: e.recorder, mask: e.allMask}).MatchRequest(req, opts...)
 }
 
 // PageFlags reports whole-page allowances granted by $document/$elemhide
@@ -623,7 +651,7 @@ type PageFlags struct {
 // load. sitekey is the verified base64 public key presented by the server,
 // or "".
 func (e *Engine) PagePermissions(pageURL, sitekey string) PageFlags {
-	return (&Session{e: e, rec: e.recorder}).PagePermissions(pageURL, sitekey)
+	return (&Session{e: e, rec: e.recorder, mask: e.allMask}).PagePermissions(pageURL, sitekey)
 }
 
 // lowerASCII lowercases A-Z only, leaving the rest of the URL intact; it

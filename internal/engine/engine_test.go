@@ -302,10 +302,10 @@ func TestRecorderSeesNeedlessActivation(t *testing.T) {
 
 func TestFastPathSkipsNeedlessExceptions(t *testing.T) {
 	e := mustEngine(t, listOf("exceptionrules", "@@||gstatic.com^$third-party"))
-	d := e.MatchRequestFast(&Request{
+	d := e.MatchRequest(&Request{
 		URL: "http://fonts.gstatic.com/s/roboto.woff", Type: filter.TypeOther,
 		DocumentHost: "example.com",
-	})
+	}, WithShortCircuit())
 	if d.Verdict != NoMatch {
 		t.Fatalf("fast verdict = %v, want no-match (no blocking filter)", d.Verdict)
 	}
@@ -335,7 +335,7 @@ func TestLinearMatchesIndexed(t *testing.T) {
 	for _, u := range urls {
 		req := &Request{URL: u.url, Type: u.typ, DocumentHost: u.host}
 		a := e.MatchRequest(req)
-		b := e.MatchRequestLinear(req)
+		b := e.MatchRequest(req, WithLinearScan())
 		if a.Verdict != b.Verdict {
 			t.Errorf("%s: indexed %v != linear %v", u.url, a.Verdict, b.Verdict)
 		}

@@ -19,12 +19,17 @@ import (
 type Session struct {
 	e   *Engine
 	rec Recorder
+	// mask is the profile's list-membership bitmask: only filters whose
+	// list bit intersects it participate. A session on the flat engine
+	// carries the all-lists mask, so the gate never skips there.
+	mask uint64
 }
 
-// NewSession creates an independent matching session. rec may be nil for
-// an unrecorded session.
+// NewSession creates an independent matching session over the full
+// engine (every loaded list). rec may be nil for an unrecorded session;
+// View.NewSession creates a session restricted to a profile.
 func (e *Engine) NewSession(rec Recorder) *Session {
-	return &Session{e: e, rec: rec}
+	return &Session{e: e, rec: rec, mask: e.allMask}
 }
 
 func (s *Session) record(a Activation) {
@@ -74,12 +79,12 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		// WithShortCircuit it keeps production evaluation order, just
 		// without the index.
 		if bits&optShortCircuit != 0 {
-			c := idx.findLinear(req, roleBlocking, tr)
+			c := idx.findLinear(req, roleBlocking, s.mask, tr)
 			if c == nil {
 				return finishTrail(tr, &d, nil, nil)
 			}
 			d.blocked = Match{Filter: c.f, List: c.list}
-			if x := idx.findLinear(req, roleException, tr); x != nil {
+			if x := idx.findLinear(req, roleException, s.mask, tr); x != nil {
 				d.allowed = Match{Filter: x.f, List: x.list}
 				d.Verdict = Allowed
 				return finishTrail(tr, &d, c, x)
@@ -87,8 +92,8 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 			d.Verdict = Blocked
 			return finishTrail(tr, &d, c, nil)
 		}
-		c := idx.findLinear(req, roleBlocking, tr)
-		x := idx.findLinear(req, roleException, tr)
+		c := idx.findLinear(req, roleBlocking, s.mask, tr)
+		x := idx.findLinear(req, roleException, s.mask, tr)
 		if c != nil {
 			d.blocked = Match{Filter: c.f, List: c.list}
 		}
@@ -111,10 +116,10 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		// effective filter's attribution slot is bumped — one indexed
 		// atomic add, no allocation.
 		var res [numRoles]*compiledRequest
-		idx.probe(req, maskBlocking|maskException, &res, tr)
+		idx.probe(req, maskBlocking|maskException, s.mask, &res, tr)
 		c := res[roleBlocking]
 		if c == nil {
-			c = idx.scanSlow(req, roleBlocking, tr)
+			c = idx.scanSlow(req, roleBlocking, s.mask, tr)
 		}
 		if c == nil {
 			return finishTrail(tr, &d, nil, nil)
@@ -122,7 +127,7 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		d.blocked = Match{Filter: c.f, List: c.list}
 		x := res[roleException]
 		if x == nil {
-			x = idx.scanSlow(req, roleException, tr)
+			x = idx.scanSlow(req, roleException, s.mask, tr)
 		}
 		if x != nil {
 			d.allowed = Match{Filter: x.f, List: x.list}
@@ -148,12 +153,12 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		want |= maskDNT | maskDNTException
 	}
 	var res [numRoles]*compiledRequest
-	idx.probe(req, want, &res, tr)
+	idx.probe(req, want, s.mask, &res, tr)
 	if res[roleBlocking] == nil {
-		res[roleBlocking] = idx.scanSlow(req, roleBlocking, tr)
+		res[roleBlocking] = idx.scanSlow(req, roleBlocking, s.mask, tr)
 	}
 	if res[roleException] == nil {
-		res[roleException] = idx.scanSlow(req, roleException, tr)
+		res[roleException] = idx.scanSlow(req, roleException, s.mask, tr)
 	}
 	if c := res[roleBlocking]; c != nil {
 		d.blocked = Match{Filter: c.f, List: c.list}
@@ -178,12 +183,12 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 	if idx.hasDNT() {
 		dnt := res[roleDNT]
 		if dnt == nil {
-			dnt = idx.scanSlow(req, roleDNT, tr)
+			dnt = idx.scanSlow(req, roleDNT, s.mask, tr)
 		}
 		if dnt != nil {
 			exc := res[roleDNTException]
 			if exc == nil {
-				exc = idx.scanSlow(req, roleDNTException, tr)
+				exc = idx.scanSlow(req, roleDNTException, s.mask, tr)
 			}
 			if exc == nil {
 				d.DoNotTrack = true
@@ -244,10 +249,10 @@ func (s *Session) PagePermissions(pageURL, sitekeyB64 string) PageFlags {
 	probe := func(t filter.ContentType) *compiledRequest {
 		req.Type = t
 		var res [numRoles]*compiledRequest
-		if idx.probe(req, maskException, &res, nil) == 0 {
+		if idx.probe(req, maskException, s.mask, &res, nil) == 0 {
 			return res[roleException]
 		}
-		return idx.scanSlow(req, roleException, nil)
+		return idx.scanSlow(req, roleException, s.mask, nil)
 	}
 	if c := probe(filter.TypeDocument); c != nil {
 		flags.DocumentAllowed = true
@@ -274,9 +279,9 @@ func (s *Session) HideElements(doc *htmldom.Node, pageURL, docHost string, opts 
 	for _, o := range opts {
 		bits |= o.bits
 	}
-	candidates := s.e.elemHide.all
+	candidates := s.e.allHideCandidates(s.mask)
 	if bits&optLinear == 0 {
-		candidates = s.e.elemHideCandidates(doc)
+		candidates = s.e.elemHideCandidates(doc, s.mask)
 	}
 	return s.applyElemHide(candidates, doc, pageURL, docHost)
 }
@@ -291,7 +296,7 @@ func (s *Session) applyElemHide(candidates []*compiledElem, doc *htmldom.Node, p
 		if len(nodes) == 0 {
 			continue
 		}
-		exc := s.e.findElemException(c.f.Selector, docHost)
+		exc := s.e.findElemException(c.f.Selector, docHost, s.mask)
 		for _, n := range nodes {
 			m := ElementMatch{Node: n, HiddenBy: Match{Filter: c.f, List: c.list}}
 			if exc != nil {

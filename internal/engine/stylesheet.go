@@ -14,12 +14,21 @@ import (
 // become one big stylesheet, not per-node DOM surgery — and it is the
 // engine API a browser-integration consumer would use.
 func (e *Engine) ElemHideCSS(docHost string) string {
+	return e.elemHideCSS(docHost, e.allMask)
+}
+
+// elemHideCSS is ElemHideCSS restricted to a profile mask; View.ElemHideCSS
+// goes through here.
+func (e *Engine) elemHideCSS(docHost string, mask uint64) string {
 	var selectors []string
 	for _, c := range e.elemHide.all {
+		if c.listBit&mask == 0 {
+			continue
+		}
 		if !c.f.AppliesToDomain(docHost) {
 			continue
 		}
-		if e.findElemException(c.f.Selector, docHost) != nil {
+		if e.findElemException(c.f.Selector, docHost, mask) != nil {
 			continue
 		}
 		selectors = append(selectors, c.f.Selector)

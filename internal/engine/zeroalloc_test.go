@@ -80,6 +80,35 @@ func TestMatchRequestZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("instrumented MatchRequest allocated %.1f times per run over %d requests, want 0", allocs, len(reqs))
 	}
+
+	// Profile views must not cost the property either: the mask gate is
+	// one AND per candidate, and the view's session is equally
+	// stack-allocated. Checked on a strict-subset profile, where the gate
+	// actually skips candidates.
+	if err := e.addProfile("easylist", "easylist"); err != nil {
+		t.Fatal(err)
+	}
+	view, err := e.View("easylist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsess := view.NewSession(nil)
+	allocs = testing.AllocsPerRun(200, func() {
+		for _, req := range reqs {
+			vsess.MatchRequest(req, WithShortCircuit())
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("view short-circuit MatchRequest allocated %.1f times per run over %d requests, want 0", allocs, len(reqs))
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		for _, req := range reqs {
+			view.MatchRequest(req, WithShortCircuit())
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("View.MatchRequest allocated %.1f times per run over %d requests, want 0", allocs, len(reqs))
+	}
 }
 
 // TestBuilderParallelDeterminism: the engine built with parallel filter

@@ -120,6 +120,14 @@ type SiteResult struct {
 	// EasyList ones.
 	WL map[string]int
 	EL map[string]int
+	// Requests is the number of sub-resource requests the landing page
+	// issued.
+	Requests int
+	// UnblockedByAA counts sub-resource requests the EasyList-only
+	// profile blocks but the full profile (Acceptable Ads exceptions in
+	// scope) allows — measured with engine.Diff in one pass during the
+	// crawl, no re-crawl needed.
+	UnblockedByAA int
 
 	// Failed marks a visit that kept failing after every retry; its
 	// match maps are empty, not missing.
@@ -272,9 +280,29 @@ func RunContext(ctx context.Context, cfg Config) (*Survey, error) {
 		srv.Close()
 		return nil, err
 	}
+	// The EasyList-only profile rides in the same compiled engine: every
+	// crawled request is additionally evaluated differentially (easylist
+	// view vs full view) so "what did the Acceptable Ads exceptions
+	// unblock" is a per-request counter of the main crawl, not a second
+	// pass. Note the differential sides bump the engine's attribution
+	// counters like two separate matches would.
+	if err := bld.Profile("easylist", "easylist"); err != nil {
+		srv.Close()
+		return nil, err
+	}
 	eng := bld.Build()
 	eng.SetMetrics(cfg.Obs)
 	s.Engine = eng
+	easyView, err := eng.View("easylist")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	fullView, err := eng.View(engine.DefaultProfile)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
 	explicit := explicitSet(cfg.Whitelist)
 
 	// One progress stage per sample group; /debug/progress reads these
@@ -367,6 +395,7 @@ func RunContext(ctx context.Context, cfg Config) (*Survey, error) {
 			b.FetchResources = cfg.FetchResources
 			b.PageTimeout = cfg.PageTimeout
 			b.Breaker = breaker
+			b.DiffViews = [2]*engine.View{easyView, fullView}
 			b.SetObs(cfg.Obs)
 			logger.Debug("worker started", "worker", w)
 			for j := range jobCh {
@@ -420,6 +449,8 @@ func RunContext(ctx context.Context, cfg Config) (*Survey, error) {
 				if st := stages[j.group]; st != nil {
 					st.Add(1)
 				}
+				r.Requests = v.Requests
+				r.UnblockedByAA = v.DiffFlipped
 				for _, a := range v.Activations {
 					switch a.List {
 					case "exceptionrules":
@@ -569,6 +600,64 @@ func (s *Survey) Summarize() Summary {
 	}
 	sum.ShareAtLeast12WL = hist.FractionAtLeast(12)
 	return sum
+}
+
+// ---- Per-profile differential table ----------------------------------------
+
+// ProfileDiffRow is one sample group's differential outcome: how much of
+// the group's crawled traffic the Acceptable Ads exception list
+// unblocked, measured per request with engine.Diff during the crawl
+// (EasyList-only view vs full view over one compiled engine).
+type ProfileDiffRow struct {
+	Group string
+	// Sites is the number of successfully crawled sites in the group.
+	Sites int
+	// SitesWithUnblock counts sites where at least one request flipped
+	// from blocked (EasyList-only) to allowed (full).
+	SitesWithUnblock int
+	// Requests is the group's total sub-resource requests; Unblocked the
+	// flipped ones.
+	Requests  int
+	Unblocked int
+	// SiteFraction is SitesWithUnblock/Sites; RequestFraction is
+	// Unblocked/Requests (each 0 when the denominator is 0).
+	SiteFraction    float64
+	RequestFraction float64
+}
+
+// ProfileDiff aggregates the per-request differential counters into the
+// "fraction unblocked by Acceptable Ads" table, one row per sample group
+// plus a final all-groups row.
+func (s *Survey) ProfileDiff() []ProfileDiffRow {
+	rows := make([]ProfileDiffRow, len(GroupNames)+1)
+	for g, name := range GroupNames {
+		rows[g].Group = name
+	}
+	all := &rows[len(GroupNames)]
+	all.Group = "All groups"
+	for i := range s.Results {
+		r := &s.Results[i]
+		if r.Failed || r.Skipped {
+			continue
+		}
+		for _, row := range []*ProfileDiffRow{&rows[r.Group], all} {
+			row.Sites++
+			row.Requests += r.Requests
+			row.Unblocked += r.UnblockedByAA
+			if r.UnblockedByAA > 0 {
+				row.SitesWithUnblock++
+			}
+		}
+	}
+	for i := range rows {
+		if rows[i].Sites > 0 {
+			rows[i].SiteFraction = float64(rows[i].SitesWithUnblock) / float64(rows[i].Sites)
+		}
+		if rows[i].Requests > 0 {
+			rows[i].RequestFraction = float64(rows[i].Unblocked) / float64(rows[i].Requests)
+		}
+	}
+	return rows
 }
 
 // ---- Table 4 --------------------------------------------------------------
