@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json chaos serve-smoke overload-smoke metrics-smoke diff-smoke lint-metrics ci
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare chaos serve-smoke overload-smoke metrics-smoke diff-smoke lint-metrics ci
 
 all: build
 
@@ -30,10 +30,21 @@ bench-smoke:
 # real benchtime and record name → ns/op, allocs/op, matches/sec as JSON
 # so regressions are diffable across PRs.
 bench-json:
-	$(GO) test -bench 'BenchmarkEngine|BenchmarkProfile|BenchmarkAblationUnifiedIndex|BenchmarkAblationKeywordIndex|BenchmarkAblationInstrumentation|BenchmarkDecisionCache' \
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkProfile|BenchmarkAblationUnifiedIndex|BenchmarkAblationKeywordIndex|BenchmarkAblationInstrumentation|BenchmarkAblationFingerprint|BenchmarkAblationDomainTrie|BenchmarkDecisionCache' \
 		-benchtime 1s -benchmem -run '^$$' . \
 		| $(GO) run ./cmd/aa-benchjson > BENCH_engine.json
 	@echo wrote BENCH_engine.json
+
+# The perf gate: re-run the pinned hot-path benchmarks and diff them
+# against the committed baseline. Fails when a pinned benchmark regresses
+# more than 15% ns/op or a zero-allocation pin starts allocating.
+# Regenerate the baseline with `make bench-json` when a PR moves the
+# numbers on purpose.
+bench-compare:
+	$(GO) test -bench 'BenchmarkEngineMatchRequest|BenchmarkDecisionCacheOn' \
+		-benchtime 1s -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/aa-benchjson > /tmp/aa-bench-new.json
+	$(GO) run ./cmd/aa-benchjson -compare BENCH_engine.json /tmp/aa-bench-new.json
 
 # A small survey under the race detector with 20% fault injection: the
 # crawl must complete with partial results and report per-class fault,
@@ -84,5 +95,6 @@ lint-metrics:
 
 # The pre-merge gate: static checks, a clean build, the full suite under
 # the race detector, a smoke pass over every benchmark plus the hot-path
-# allocation smoke, and the chaos and decision-service smoke runs.
-ci: vet lint-metrics build race bench bench-smoke chaos serve-smoke overload-smoke metrics-smoke diff-smoke
+# allocation smoke, the perf gate against the committed baseline, and the
+# chaos and decision-service smoke runs.
+ci: vet lint-metrics build race bench bench-smoke bench-compare chaos serve-smoke overload-smoke metrics-smoke diff-smoke

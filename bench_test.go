@@ -428,6 +428,65 @@ func BenchmarkAblationInstrumentationOff(b *testing.B) {
 	}
 }
 
+// benchAblationEngine builds an engine over the shared fixture lists with
+// an ablation switch applied before the Add calls.
+func benchAblationEngine(b *testing.B, conf func(*engine.Builder)) *engine.Engine {
+	b.Helper()
+	f := fixtures(b)
+	bld := engine.NewBuilder()
+	if conf != nil {
+		conf(bld)
+	}
+	if err := bld.Add("easylist", f.easy); err != nil {
+		b.Fatal(err)
+	}
+	if err := bld.Add("exceptionrules", f.wl); err != nil {
+		b.Fatal(err)
+	}
+	return bld.Build()
+}
+
+// benchShortCircuit runs the production-order workload against eng.
+func benchShortCircuit(b *testing.B, eng *engine.Engine) {
+	reqs := benchRequests()
+	prepareAll(eng, reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.MatchRequest(reqs[i%len(reqs)], engine.WithShortCircuit())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "matches/sec")
+}
+
+// BenchmarkAblationFingerprintOn/Off isolate the packed pattern
+// fingerprints: Off builds the same engine with the fingerprint gate left
+// permanently open, so every candidate that passes the type/party/domain
+// gates runs its full pattern match. The delta is what the two bloom-bit
+// probes per candidate buy.
+func BenchmarkAblationFingerprintOn(b *testing.B) {
+	benchShortCircuit(b, benchAblationEngine(b, nil))
+}
+
+func BenchmarkAblationFingerprintOff(b *testing.B) {
+	benchShortCircuit(b, benchAblationEngine(b, func(bld *engine.Builder) {
+		bld.DisableFingerprints()
+	}))
+}
+
+// BenchmarkAblationDomainTrieOn/Off isolate the reversed-domain host
+// index: Off keeps '||host^' filters in the keyword buckets, so every
+// request whose URL contains a filter's host keyword walks that bucket
+// instead of one exact host-key lookup.
+func BenchmarkAblationDomainTrieOn(b *testing.B) {
+	benchShortCircuit(b, benchAblationEngine(b, nil))
+}
+
+func BenchmarkAblationDomainTrieOff(b *testing.B) {
+	benchShortCircuit(b, benchAblationEngine(b, func(bld *engine.Builder) {
+		bld.DisableHostIndex()
+	}))
+}
+
 // BenchmarkEngineBuildSerial/Parallel measure compiling and indexing the
 // full EasyList+whitelist fixture into an engine — the reload cost behind
 // every aa-serve snapshot swap. Serial pins one compile worker; Parallel

@@ -7,12 +7,20 @@
 // Non-benchmark lines (goos/pkg/PASS/ok) are ignored. Benchmark names are
 // reported without the -GOMAXPROCS suffix; if the same name appears twice
 // the last result wins.
+//
+// With -compare old.json new.json it instead prints a per-benchmark delta
+// table and acts as the CI perf gate: the exit status is non-zero when
+// any pinned benchmark regresses more than the ns/op tolerance, or when a
+// benchmark pinned to zero allocations starts allocating. Benchmarks
+// present in only one file are reported but never gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -28,6 +36,29 @@ type Result struct {
 	BytesPerOp    *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp   *float64 `json:"allocs_per_op,omitempty"`
 	MatchesPerSec *float64 `json:"matches_per_sec,omitempty"`
+}
+
+// regressTolerance is how much slower (ns/op, relative) a pinned
+// benchmark may get before the compare gate fails. Benchmarks are noisy
+// on shared machines; 15% is past noise for the pinned set.
+const regressTolerance = 0.15
+
+// pinnedNsOp are the benchmarks the compare gate holds to the ns/op
+// tolerance — the serving-path numbers a PR must not silently regress.
+var pinnedNsOp = []string{
+	"BenchmarkEngineMatchRequest",
+	"BenchmarkEngineMatchRequestShortCircuit",
+	"BenchmarkDecisionCacheOn",
+}
+
+// pinnedZeroAlloc are the benchmarks whose allocs/op must stay exactly
+// zero — the zero-allocation guarantees TestMatchRequestZeroAlloc and
+// TestCacheHitZeroAlloc pin, enforced here against the committed
+// baseline too.
+var pinnedZeroAlloc = []string{
+	"BenchmarkEngineMatchRequest",
+	"BenchmarkEngineMatchRequestShortCircuit",
+	"BenchmarkDecisionCacheOn",
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -68,18 +99,18 @@ func parseLine(line string) (Result, bool) {
 	return r, r.NsPerOp > 0
 }
 
-func main() {
+// convert reads bench text from r and writes the sorted JSON report to w.
+func convert(r io.Reader, w io.Writer) error {
 	byName := make(map[string]Result)
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			byName[r.Name] = r
+		if res, ok := parseLine(sc.Text()); ok {
+			byName[res.Name] = res
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "aa-benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	names := make([]string, 0, len(byName))
 	for n := range byName {
@@ -90,10 +121,127 @@ func main() {
 	for _, n := range names {
 		out = append(out, byName[n])
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	return enc.Encode(out)
+}
+
+// loadReport reads one aa-benchjson JSON report into a name-keyed map.
+func loadReport(path string) (map[string]Result, error) {
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(body, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(results))
+	for _, r := range results {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// allocs reads a result's allocs/op, treating absence as zero (benchmarks
+// without -benchmem report no allocation columns).
+func allocs(r Result) float64 {
+	if r.AllocsPerOp == nil {
+		return 0
+	}
+	return *r.AllocsPerOp
+}
+
+// compare prints the delta table for old vs new and returns the gate
+// failures, one line each.
+func compare(oldR, newR map[string]Result, w io.Writer) []string {
+	names := make([]string, 0, len(oldR)+len(newR))
+	seen := map[string]bool{}
+	for n := range oldR {
+		names, seen[n] = append(names, n), true
+	}
+	for n := range newR {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	pinned := map[string]bool{}
+	for _, n := range pinnedNsOp {
+		pinned[n] = true
+	}
+	zeroPinned := map[string]bool{}
+	for _, n := range pinnedZeroAlloc {
+		zeroPinned[n] = true
+	}
+
+	var failures []string
+	fmt.Fprintf(w, "%-45s %14s %14s %9s %11s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs o→n")
+	for _, n := range names {
+		o, haveOld := oldR[n]
+		nw, haveNew := newR[n]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-45s %14s %14.1f %9s %11s\n", n, "-", nw.NsPerOp, "new", fmt.Sprintf("-→%.0f", allocs(nw)))
+			continue
+		case !haveNew:
+			fmt.Fprintf(w, "%-45s %14.1f %14s %9s %11s\n", n, o.NsPerOp, "-", "gone", fmt.Sprintf("%.0f→-", allocs(o)))
+			continue
+		}
+		delta := (nw.NsPerOp - o.NsPerOp) / o.NsPerOp
+		mark := ""
+		if pinned[n] && delta > regressTolerance {
+			mark = "  REGRESSED"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.1f ns/op -> %.1f ns/op (%+.1f%%, tolerance %.0f%%)",
+				n, o.NsPerOp, nw.NsPerOp, delta*100, regressTolerance*100))
+		}
+		if zeroPinned[n] && allocs(o) == 0 && allocs(nw) > 0 {
+			mark = "  ALLOC PIN BROKEN"
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op %.0f -> %.0f (pinned to zero)", n, allocs(o), allocs(nw)))
+		}
+		fmt.Fprintf(w, "%-45s %14.1f %14.1f %+8.1f%% %11s%s\n",
+			n, o.NsPerOp, nw.NsPerOp, delta*100,
+			fmt.Sprintf("%.0f→%.0f", allocs(o), allocs(nw)), mark)
+	}
+	return failures
+}
+
+func main() {
+	compareMode := flag.Bool("compare", false,
+		"compare two aa-benchjson reports: -compare old.json new.json")
+	flag.Parse()
+
+	if !*compareMode {
+		if err := convert(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aa-benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: aa-benchjson -compare old.json new.json")
+		os.Exit(2)
+	}
+	oldR, err := loadReport(flag.Arg(0))
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "aa-benchjson:", err)
+		os.Exit(1)
+	}
+	newR, err := loadReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aa-benchjson:", err)
+		os.Exit(1)
+	}
+	failures := compare(oldR, newR, os.Stdout)
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "aa-benchjson: perf gate failed:")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,12 +1,11 @@
 package decision
 
 import (
-	"strconv"
-	"strings"
 	"sync"
 
 	"acceptableads/internal/decision/api"
 	"acceptableads/internal/engine"
+	"acceptableads/internal/filter"
 	"acceptableads/internal/obs"
 )
 
@@ -15,16 +14,25 @@ import (
 // contention negligible up to well past NumCPU matcher goroutines.
 const shardCount = 16
 
-// Cache is a sharded LRU over match decisions. Keys canonicalize one
-// request as (raw URL, content type, lowered document host, third-party
-// bit) — exactly the inputs request matching depends on, so two requests
-// with equal keys always produce identical decisions against the same
-// snapshot. The URL keeps its original case: $match-case and regex
-// filters match against it case-sensitively, so two URLs differing only
-// in case can decide differently and must not share an entry. The
-// document host is safe to lower — $domain restrictions compare
-// hostnames, which are case-insensitive. Sitekey-restricted requests are
-// never cached (the sitekey is deliberately not part of the key).
+// Cache is a sharded LRU over match decisions. A key canonicalizes one
+// request as (snapshot version, profile id, raw URL, content type,
+// case-folded document host, third-party bit) — exactly the inputs
+// request matching depends on, so two requests with equal keys always
+// produce identical decisions against the same snapshot. The URL keeps
+// its original case: $match-case and regex filters match against it
+// case-sensitively, so two URLs differing only in case can decide
+// differently and must not share an entry. The document host is
+// case-insensitive — $domain restrictions compare hostnames. Sitekey-
+// restricted requests are never cached (the sitekey is deliberately not
+// part of the key).
+//
+// Keys never materialize as strings: the lookup hashes the request's
+// fields incrementally into a 64-bit FNV-1a key and the entry stores the
+// fields themselves for verification, so a cache hit performs zero heap
+// allocations (BenchmarkDecisionCacheOn pins it). A 64-bit hash
+// collision is detected by the field comparison and treated as a miss
+// (on Put, latest wins) — wrong answers are impossible, a collision only
+// costs a re-match.
 //
 // The total capacity is rounded up to a power of two and split evenly
 // across the shards; each shard runs an independent LRU under its own
@@ -38,15 +46,66 @@ type Cache struct {
 
 type cacheShard struct {
 	mu      sync.Mutex
-	entries map[string]*cacheEntry
+	entries map[uint64]*cacheEntry
 	// Intrusive LRU list: front is most recently used.
 	front, back *cacheEntry
 }
 
+// cacheEntry stores the packed verdict plus the key fields it was
+// computed for, so a lookup verifies identity with integer and string
+// compares instead of assembling a key string.
 type cacheEntry struct {
-	key        string
+	h       uint64
+	version uint64
+	profile int
+	url     string
+	doc     string
+	typ     filter.ContentType
+	third   bool
+
 	d          engine.Decision
 	prev, next *cacheEntry
+}
+
+// stores overwrites the entry's key fields and verdict in place (LRU
+// node identity is preserved).
+func (e *cacheEntry) store(version uint64, profile int, req *engine.Request, d engine.Decision) {
+	e.version = version
+	e.profile = profile
+	e.url = req.URL
+	e.doc = req.DocumentHost
+	e.typ = req.Type
+	e.third = req.ThirdParty()
+	e.d = d
+}
+
+// matches verifies an entry against the request it hashed equal to —
+// the collision guard behind the hash-keyed map.
+func (e *cacheEntry) matches(version uint64, profile int, req *engine.Request) bool {
+	return e.version == version && e.profile == profile && e.typ == req.Type &&
+		e.third == req.ThirdParty() && e.url == req.URL &&
+		hostFoldEqual(e.doc, req.DocumentHost)
+}
+
+// hostFoldEqual compares two document hosts ASCII-case-insensitively —
+// the equality the old lowered-host string key expressed.
+func hostFoldEqual(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if ca >= 'A' && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if cb >= 'A' && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
 }
 
 // maxCapacity caps the cache at 64M entries. Clamping before the
@@ -73,7 +132,7 @@ func NewCache(capacity int) *Cache {
 		c.perShard = 1
 	}
 	for i := range c.shards {
-		c.shards[i].entries = make(map[string]*cacheEntry)
+		c.shards[i].entries = make(map[uint64]*cacheEntry)
 	}
 	return c
 }
@@ -100,21 +159,65 @@ func (c *Cache) SetObs(reg *obs.Registry) {
 	c.evictions = reg.Counter("decision.cache.evictions")
 }
 
-// fnv1a hashes the key for shard selection.
-func fnv1a(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
+// FNV-1a 64-bit parameters for the incremental key hash.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// keyHash folds a prepared request's cache-key fields into one 64-bit
+// FNV-1a hash — the map key and the shard selector — without assembling
+// any intermediate string. The document host is ASCII-lowered byte by
+// byte as it is hashed, matching hostFoldEqual; field boundaries are
+// marked with a 0xFF byte (which cannot appear in a host and keeps URL
+// and host bytes from sliding across fields).
+func keyHash(version uint64, profile int, req *engine.Request) uint64 {
+	h := uint64(fnvOffset64)
+	h = hashUint64(h, version)
+	h = hashUint64(h, uint64(profile))
+	url := req.URL
+	for i := 0; i < len(url); i++ {
+		h = (h ^ uint64(url[i])) * fnvPrime64
+	}
+	h = (h ^ 0xFF) * fnvPrime64
+	h = hashUint64(h, uint64(req.Type))
+	doc := req.DocumentHost
+	for i := 0; i < len(doc); i++ {
+		c := doc[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	h = (h ^ 0xFF) * fnvPrime64
+	if req.ThirdParty() {
+		h = (h ^ 3) * fnvPrime64
+	} else {
+		h = (h ^ 1) * fnvPrime64
 	}
 	return h
 }
 
-// Get returns the cached decision for key, marking it most recently used.
-func (c *Cache) Get(key string) (engine.Decision, bool) {
-	sh := &c.shards[fnv1a(key)&(shardCount-1)]
+// hashUint64 folds 8 bytes of v into an FNV-1a state.
+func hashUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xFF)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// Get returns the cached decision for (version, profile, req), marking
+// it most recently used. The request must be sitekey-free (callers gate
+// on that). The hit path allocates nothing.
+func (c *Cache) Get(version uint64, profile int, req *engine.Request) (engine.Decision, bool) {
+	h := keyHash(version, profile, req)
+	sh := &c.shards[h&(shardCount-1)]
 	sh.mu.Lock()
-	e, ok := sh.entries[key]
+	e, ok := sh.entries[h]
+	if ok && !e.matches(version, profile, req) {
+		ok = false // 64-bit collision: treat as a miss, never cross-serve
+	}
 	if !ok {
 		sh.mu.Unlock()
 		c.misses.Inc()
@@ -127,27 +230,31 @@ func (c *Cache) Get(key string) (engine.Decision, bool) {
 	return d, true
 }
 
-// Peek returns the cached decision for key without counting a hit or a
-// miss and without promoting the entry — pure introspection, used by
-// /v1/explain to report whether a request is currently served from cache
-// without perturbing the cache's own statistics or LRU order.
-func (c *Cache) Peek(key string) (engine.Decision, bool) {
-	sh := &c.shards[fnv1a(key)&(shardCount-1)]
+// Peek returns the cached decision without counting a hit or a miss and
+// without promoting the entry — pure introspection, used by /v1/explain
+// to report whether a request is currently served from cache without
+// perturbing the cache's own statistics or LRU order.
+func (c *Cache) Peek(version uint64, profile int, req *engine.Request) (engine.Decision, bool) {
+	h := keyHash(version, profile, req)
+	sh := &c.shards[h&(shardCount-1)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if e, ok := sh.entries[key]; ok {
+	if e, ok := sh.entries[h]; ok && e.matches(version, profile, req) {
 		return e.d, true
 	}
 	return engine.Decision{}, false
 }
 
 // Put stores a decision, evicting the shard's least recently used entry
-// when the shard is full.
-func (c *Cache) Put(key string, d engine.Decision) {
-	sh := &c.shards[fnv1a(key)&(shardCount-1)]
+// when the shard is full. An entry already present under the same hash
+// is overwritten in place — whether it is the same request (refresh) or
+// a 64-bit collision (latest wins).
+func (c *Cache) Put(version uint64, profile int, req *engine.Request, d engine.Decision) {
+	h := keyHash(version, profile, req)
+	sh := &c.shards[h&(shardCount-1)]
 	sh.mu.Lock()
-	if e, ok := sh.entries[key]; ok {
-		e.d = d
+	if e, ok := sh.entries[h]; ok {
+		e.store(version, profile, req, d)
 		sh.moveFront(e)
 		sh.mu.Unlock()
 		return
@@ -155,11 +262,12 @@ func (c *Cache) Put(key string, d engine.Decision) {
 	if len(sh.entries) >= c.perShard {
 		lru := sh.back
 		sh.unlink(lru)
-		delete(sh.entries, lru.key)
+		delete(sh.entries, lru.h)
 		c.evictions.Inc()
 	}
-	e := &cacheEntry{key: key, d: d}
-	sh.entries[key] = e
+	e := &cacheEntry{h: h}
+	e.store(version, profile, req, d)
+	sh.entries[h] = e
 	sh.pushFront(e)
 	sh.mu.Unlock()
 }
@@ -169,7 +277,7 @@ func (c *Cache) Purge() {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		sh.entries = make(map[string]*cacheEntry)
+		sh.entries = make(map[uint64]*cacheEntry)
 		sh.front, sh.back = nil, nil
 		sh.mu.Unlock()
 	}
@@ -235,35 +343,4 @@ func (sh *cacheShard) moveFront(e *cacheEntry) {
 	}
 	sh.unlink(e)
 	sh.pushFront(e)
-}
-
-// cacheKey canonicalizes a prepared request into its cache key:
-// snapshot version, profile id, raw URL, content type, lowered document
-// host and third-party bit, NUL-separated. The URL goes in with its
-// original case because $match-case and regex filters are case-sensitive
-// — keying on the lowered URL would let case-differing URLs share (and
-// cross-serve) a decision. Keying on the snapshot version makes entries
-// from an older snapshot unreachable the instant a new one is published,
-// even if a racing matcher inserts one after the swap's purge; keying on
-// the profile id keeps decisions under different list profiles apart the
-// same way.
-func cacheKey(version uint64, profile int, req *engine.Request) string {
-	var b strings.Builder
-	b.Grow(len(req.URL) + len(req.DocumentHost) + 32)
-	b.Write(strconv.AppendUint(nil, version, 10))
-	b.WriteByte(0)
-	b.Write(strconv.AppendInt(nil, int64(profile), 10))
-	b.WriteByte(0)
-	b.WriteString(req.URL)
-	b.WriteByte(0)
-	b.Write(strconv.AppendUint(nil, uint64(req.Type), 10))
-	b.WriteByte(0)
-	b.WriteString(strings.ToLower(req.DocumentHost))
-	b.WriteByte(0)
-	if req.ThirdParty() {
-		b.WriteByte('3')
-	} else {
-		b.WriteByte('1')
-	}
-	return b.String()
 }

@@ -363,12 +363,11 @@ func (s *Service) MatchProfile(req *engine.Request, profile string) (engine.Deci
 	if s.cache == nil || req.Sitekey != "" {
 		return s.safeMatch(snap, view, req), false, nil
 	}
-	key := cacheKey(snap.Version, pid, req)
-	if d, ok := s.cache.Get(key); ok {
+	if d, ok := s.cache.Get(snap.Version, pid, req); ok {
 		return d, true, nil
 	}
 	d := s.safeMatch(snap, view, req)
-	s.cache.Put(key, d)
+	s.cache.Put(snap.Version, pid, req, d)
 	return d, false, nil
 }
 
@@ -388,7 +387,7 @@ func (s *Service) MatchCached(req *engine.Request, profile string) (engine.Decis
 	if err != nil {
 		return engine.Decision{}, false
 	}
-	d, ok := s.cache.Get(cacheKey(snap.Version, pid, req))
+	d, ok := s.cache.Get(snap.Version, pid, req)
 	if ok {
 		s.matches.Inc()
 		s.profileHit(view.Name())
@@ -517,13 +516,12 @@ func (s *Service) MatchBatchProfile(ctx context.Context, reqs []*engine.Request,
 			out[i] = s.safeMatch(snap, view, req)
 			continue
 		}
-		key := cacheKey(snap.Version, pid, req)
-		if d, ok := s.cache.Get(key); ok {
+		if d, ok := s.cache.Get(snap.Version, pid, req); ok {
 			out[i], cached[i] = d, true
 			continue
 		}
 		out[i] = s.safeMatch(snap, view, req)
-		s.cache.Put(key, out[i])
+		s.cache.Put(snap.Version, pid, req, out[i])
 	}
 	return out, cached, snap, view.Name(), nil
 }

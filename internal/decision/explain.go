@@ -74,7 +74,7 @@ func (s *Service) ExplainProfile(req *engine.Request, profile string) (Explanati
 		Decision: d,
 	}
 	if s.cache != nil && req.Sitekey == "" {
-		_, ex.CacheHit = s.cache.Peek(cacheKey(snap.Version, pid, req))
+		_, ex.CacheHit = s.cache.Peek(snap.Version, pid, req)
 	}
 	return ex, nil
 }

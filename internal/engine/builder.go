@@ -40,6 +40,27 @@ func (b *Builder) SetWorkers(n int) *Builder {
 	return b
 }
 
+// DisableFingerprints builds the engine without the packed pattern
+// fingerprints, leaving that gate permanently open — the ablation switch
+// behind BenchmarkAblationFingerprintOff. Call before any Add.
+func (b *Builder) DisableFingerprints() *Builder {
+	if b.e != nil {
+		b.e.noFingerprint = true
+	}
+	return b
+}
+
+// DisableHostIndex builds the engine without the reversed-domain host
+// index: '||'-anchored host filters stay in the keyword buckets — the
+// ablation switch behind BenchmarkAblationDomainTrieOff. Call before any
+// Add.
+func (b *Builder) DisableHostIndex() *Builder {
+	if b.e != nil {
+		b.e.noHostIndex = true
+	}
+	return b
+}
+
 // Add compiles and indexes every active filter of l under the given list
 // name. Calling Add after Build returns an error.
 func (b *Builder) Add(name string, l *filter.List) error {
@@ -74,6 +95,12 @@ func (b *Builder) Build() *Engine {
 	}
 	if _, ok := e.profiles[DefaultProfile]; !ok {
 		e.profiles[DefaultProfile] = e.allMask
+	}
+	// One immutable View per profile, so resolving a profile at serve
+	// time is a map read — part of the zero-allocation cache-hit path.
+	e.views = make(map[string]*View, len(e.profiles))
+	for name, mask := range e.profiles {
+		e.views[name] = &View{e: e, mask: mask, name: name}
 	}
 	return e
 }

@@ -20,7 +20,7 @@ type compiledUnit struct {
 	err error
 }
 
-// compileChunk is how many filters one worker claims at a time: large
+// compileChunk is the smallest batch one worker claims at a time: large
 // enough that the atomic claim is noise, small enough to balance the tail.
 const compileChunk = 256
 
@@ -28,22 +28,50 @@ const compileChunk = 256
 // serial; goroutine fan-out only pays for itself on list-scale inputs.
 const parallelThreshold = 512
 
+// minPerWorker is the filter count one worker must have to itself before
+// another worker is worth spawning: below this the spawn/handoff overhead
+// outweighs the compile work, so the worker count degrades toward serial
+// on small inputs instead of fanning out anyway.
+const minPerWorker = 2048
+
+// compileWorkers resolves the effective worker count for n filters.
+// Requested counts above GOMAXPROCS are capped — extra goroutines on a
+// saturated scheduler only add handoff cost — and the count then degrades
+// by the per-worker minimum batch, so SetWorkers can never pessimize a
+// build below its serial baseline.
+func compileWorkers(requested, n int) int {
+	w := requested
+	if p := runtime.GOMAXPROCS(0); w <= 0 || w > p {
+		w = p
+	}
+	if max := n / minPerWorker; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // compileFilters compiles every filter into a positional result slice.
-// workers <= 0 means GOMAXPROCS. Results are positional, so the caller's
-// sequential insertion (and therefore the built engine, its filter order,
-// and which filter a match reports) is byte-for-byte identical regardless
-// of worker count.
+// workers <= 0 means GOMAXPROCS; the effective count is capped by
+// compileWorkers. Results are positional, so the caller's sequential
+// insertion (and therefore the built engine, its filter order, and which
+// filter a match reports) is byte-for-byte identical regardless of worker
+// count.
 func compileFilters(filters []*filter.Filter, workers int) []compiledUnit {
 	units := make([]compiledUnit, len(filters))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = compileWorkers(workers, len(filters))
 	if workers == 1 || len(filters) < parallelThreshold {
 		compileRange(filters, units, 0, len(filters))
 		return units
 	}
-	if max := (len(filters) + compileChunk - 1) / compileChunk; workers > max {
-		workers = max
+	// Guided batch sizing: aim for a few claims per worker (amortizing the
+	// atomic handoff on large lists) without dropping below the chunk that
+	// keeps the tail balanced.
+	chunk := len(filters) / (workers * 4)
+	if chunk < compileChunk {
+		chunk = compileChunk
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -52,11 +80,11 @@ func compileFilters(filters []*filter.Filter, workers int) []compiledUnit {
 		go func() {
 			defer wg.Done()
 			for {
-				lo := int(next.Add(compileChunk)) - compileChunk
+				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= len(filters) {
 					return
 				}
-				hi := lo + compileChunk
+				hi := lo + chunk
 				if hi > len(filters) {
 					hi = len(filters)
 				}

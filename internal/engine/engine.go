@@ -29,6 +29,9 @@ type Request struct {
 	lower    string
 	kwh      []uint64 // deduplicated keyword-run hashes, the index probes
 	bounds   []int    // '||' candidate start positions in the URL
+	hostKeys []string // '||' boundary → next-separator spans, the host-index probes
+	fp       [4]uint64 // 256-bit bloom over the lowered URL's 4-grams
+	gateReq  uint64    // party bit + $domain= bloom, the request side of gatePass
 	third    bool
 	memoURL  string
 	memoDoc  string
@@ -264,100 +267,234 @@ const (
 	maskDNTException = uint8(1) << roleDNTException
 )
 
-// indexEntry is one filter filed in a keyword bucket, tagged by role.
-type indexEntry struct {
-	role role
-	c    *compiledRequest
+// packedEntry is one filter filed in an index bucket together with its
+// packed pre-filter word (see gate.go) and the hot scalar fields the
+// candidate loops need, so rejecting a candidate touches one 32-byte
+// entry instead of chasing the compiledRequest pointer.
+type packedEntry struct {
+	word    uint64
+	listBit uint64
+	c       *compiledRequest
+	// id is the filter's insertion (list load) order. Bucket segments are
+	// sorted by it, which is what lets every probe structure early-exit
+	// once a lower-id match is in hand.
+	id uint32
 }
 
-// unifiedIndex buckets every compiled request filter of all four roles
-// under the FNV-1a hash of its keyword. One probe pass over a request's
-// memoized keyword hashes resolves every role at once; hashing instead of
-// string keys means the URL's keyword runs never materialize as
-// substrings. A hash collision only files unrelated filters in the same
-// bucket — they still run the full per-filter gates, so collisions cost
-// a wasted candidate check, never a wrong decision.
+// bucket is one keyword (or host) bucket, partitioned by role: entries
+// are sorted by (role, insertion id) and offs[r]:offs[r+1] bounds role
+// r's segment, so a probe touches only the roles it wants and each
+// segment yields candidates in id order.
+type bucket struct {
+	offs    [numRoles + 1]uint32
+	entries []packedEntry
+}
+
+// bucketAcc accumulates one bucket's entries per role during
+// construction; freeze flattens it into the probe layout.
+type bucketAcc struct {
+	perRole [numRoles][]packedEntry
+}
+
+// unifiedIndex is candidate-pruning index v2. Request filters of all four
+// roles are filed in one of three structures:
+//
+//   - byHost: '||'-anchored filters whose pattern host is necessarily a
+//     complete dot-suffix of the request host (see trieHostKey), keyed on
+//     that host — the reversed-domain index, probed once per request by
+//     walking the request host's suffix spans.
+//   - byHash: everything else with an indexing keyword, keyed on the
+//     FNV-1a hash of the keyword. Hashing instead of string keys means
+//     the URL's keyword runs never materialize as substrings; a collision
+//     only files unrelated filters in the same bucket.
+//   - slow: keyword-less filters (regex and too-short patterns), gated on
+//     every request — but by their packed words, so a non-matching slow
+//     candidate costs integer compares, not a pattern scan.
+//
+// Matching resolves the minimum-insertion-id candidate per role across
+// all three structures, which is exactly the filter a linear scan in list
+// order reports — the property the differential tests assert, identity
+// included.
 type unifiedIndex struct {
-	byHash map[uint64][]indexEntry
-	// slow holds keyword-less filters (including regex filters) per
-	// role; they are probed on every request.
-	slow [numRoles][]*compiledRequest
-	// all is the per-role linear-scan view for the ablation.
+	byHash map[uint64]*bucket
+	byHost map[string]*bucket
+	slow   [numRoles][]packedEntry
+	// all is the per-role linear-scan view for the ablation (and the
+	// quarantine sweeps — every compiled filter is reachable here).
 	all [numRoles][]*compiledRequest
+
+	// Construction-side accumulators; freeze() rebuilds the probe maps
+	// from them after every list so the deprecated mutate-and-match
+	// AddList path stays correct.
+	accHash map[uint64]*bucketAcc
+	accHost map[string]*bucketAcc
 }
 
 func newUnifiedIndex() *unifiedIndex {
-	return &unifiedIndex{byHash: make(map[uint64][]indexEntry)}
+	return &unifiedIndex{
+		byHash:  make(map[uint64]*bucket),
+		byHost:  make(map[string]*bucket),
+		accHash: make(map[uint64]*bucketAcc),
+		accHost: make(map[string]*bucketAcc),
+	}
 }
 
-func (idx *unifiedIndex) add(r role, c *compiledRequest) {
+// add files one compiled filter. hostKey selects the reversed-domain
+// index ("" means keyword bucket or slow path); word is the filter's
+// packed pre-filter word.
+func (idx *unifiedIndex) add(r role, c *compiledRequest, word uint64, hostKey string) {
 	idx.all[r] = append(idx.all[r], c)
-	if !c.pat.hasKW {
-		idx.slow[r] = append(idx.slow[r], c)
+	pe := packedEntry{word: word, listBit: c.listBit, c: c, id: c.id}
+	if hostKey != "" {
+		acc := idx.accHost[hostKey]
+		if acc == nil {
+			acc = &bucketAcc{}
+			idx.accHost[hostKey] = acc
+		}
+		acc.perRole[r] = append(acc.perRole[r], pe)
 		return
 	}
-	idx.byHash[c.pat.kwHash] = append(idx.byHash[c.pat.kwHash], indexEntry{role: r, c: c})
+	if !c.pat.hasKW {
+		idx.slow[r] = append(idx.slow[r], pe)
+		return
+	}
+	acc := idx.accHash[c.pat.kwHash]
+	if acc == nil {
+		acc = &bucketAcc{}
+		idx.accHash[c.pat.kwHash] = acc
+	}
+	acc.perRole[r] = append(acc.perRole[r], pe)
 }
 
-// probe scans the keyword buckets of the request's memoized keyword
-// hashes, recording the first matching candidate of every role in want
-// into res. It returns the still-unresolved role mask and stops early
-// once every wanted role has a match. Within one role, candidates are
-// visited in exactly the order the old per-role indexes used (URL keyword
-// order, then insertion order), so the reported filter is unchanged.
-// mask is the profile's list-membership bitmask; out-of-profile
-// candidates are skipped before their gates run (the flat engine passes
-// its all-lists mask, so the gate never skips there). tr, when non-nil,
-// receives the probe's provenance (explained matches only; the hot path
-// passes nil and pays one predictable branch).
-func (idx *unifiedIndex) probe(req *Request, want uint8, mask uint64, res *[numRoles]*compiledRequest, tr *Trail) uint8 {
-	for _, h := range req.kwh {
-		bucket := idx.byHash[h]
-		if tr != nil && len(bucket) > 0 {
-			tr.BucketsProbed++
+// freeze (re)builds the role-partitioned probe buckets from the
+// accumulators. Insertion happens in id order, so each role segment is
+// already sorted; freezing is a concatenation.
+func (idx *unifiedIndex) freeze() {
+	for h, acc := range idx.accHash {
+		idx.byHash[h] = acc.freeze()
+	}
+	for k, acc := range idx.accHost {
+		idx.byHost[k] = acc.freeze()
+	}
+}
+
+func (acc *bucketAcc) freeze() *bucket {
+	n := 0
+	for r := range acc.perRole {
+		n += len(acc.perRole[r])
+	}
+	b := &bucket{entries: make([]packedEntry, 0, n)}
+	for r := range acc.perRole {
+		b.offs[r] = uint32(len(b.entries))
+		b.entries = append(b.entries, acc.perRole[r]...)
+	}
+	b.offs[numRoles] = uint32(len(b.entries))
+	return b
+}
+
+// scanBucket scans one bucket's wanted role segments, improving res/best
+// toward the minimum-id match per role. Segments are id-sorted, so the
+// scan of a role stops at the first entry that cannot beat the best match
+// already in hand.
+func (idx *unifiedIndex) scanBucket(b *bucket, req *Request, want uint8, mask uint64, res *[numRoles]*compiledRequest, best *[numRoles]uint32, tr *Trail) {
+	for r := role(0); r < numRoles; r++ {
+		if want&(uint8(1)<<r) == 0 {
+			continue
 		}
-		for i := range bucket {
-			e := &bucket[i]
-			bit := uint8(1) << e.role
-			if want&bit == 0 {
+		seg := b.entries[b.offs[r]:b.offs[r+1]]
+		for i := range seg {
+			e := &seg[i]
+			if e.id >= best[r] {
+				break
+			}
+			if e.listBit&mask == 0 {
 				continue
 			}
-			if e.c.listBit&mask == 0 {
+			if !gatePass(e.word, req) {
+				if tr != nil {
+					tr.GateRejected++
+				}
 				continue
 			}
 			ok := e.c.matches(req)
 			if tr != nil {
-				tr.candidate(e.c, e.role, ok, false)
+				tr.candidate(e.c, r, ok, false)
 			}
 			if ok {
-				res[e.role] = e.c
-				want &^= bit
-				if want == 0 {
-					return 0
-				}
+				best[r] = e.id
+				res[r] = e.c
+				break
 			}
 		}
 	}
-	return want
 }
 
-// scanSlow returns the first keyword-less filter of the role matching the
-// request within the profile mask.
-func (idx *unifiedIndex) scanSlow(req *Request, r role, mask uint64, tr *Trail) *compiledRequest {
-	for _, c := range idx.slow[r] {
-		if c.listBit&mask == 0 {
+// resolve finds, for every role in want, the matching in-profile filter
+// with the lowest insertion id — identical to what a linear scan in list
+// order reports — by probing the keyword buckets of the request's
+// memoized keyword hashes, the host index along the request host's
+// suffix spans, and the slow bucket, all candidate rejection going
+// through the packed words first. tr, when non-nil, receives provenance
+// (explained matches only; the hot path passes nil and pays one
+// predictable branch per structure).
+func (idx *unifiedIndex) resolve(req *Request, want uint8, mask uint64, res *[numRoles]*compiledRequest, tr *Trail) {
+	var best [numRoles]uint32
+	for r := range best {
+		best[r] = ^uint32(0)
+	}
+	for _, h := range req.kwh {
+		b := idx.byHash[h]
+		if b == nil {
 			continue
 		}
-		ok := c.matches(req)
 		if tr != nil {
-			tr.SlowScanned++
-			tr.candidate(c, r, ok, true)
+			tr.BucketsProbed++
 		}
-		if ok {
-			return c
+		idx.scanBucket(b, req, want, mask, res, &best, tr)
+	}
+	if len(idx.byHost) > 0 {
+		for _, key := range req.hostKeys {
+			b := idx.byHost[key]
+			if b == nil {
+				continue
+			}
+			if tr != nil {
+				tr.HostBucketsProbed++
+			}
+			idx.scanBucket(b, req, want, mask, res, &best, tr)
 		}
 	}
-	return nil
+	for r := role(0); r < numRoles; r++ {
+		if want&(uint8(1)<<r) == 0 {
+			continue
+		}
+		seg := idx.slow[r]
+		for i := range seg {
+			e := &seg[i]
+			if e.id >= best[r] {
+				break
+			}
+			if e.listBit&mask == 0 {
+				continue
+			}
+			if !gatePass(e.word, req) {
+				if tr != nil {
+					tr.GateRejected++
+				}
+				continue
+			}
+			ok := e.c.matches(req)
+			if tr != nil {
+				tr.SlowScanned++
+				tr.candidate(e.c, r, ok, true)
+			}
+			if ok {
+				best[r] = e.id
+				res[r] = e.c
+				break
+			}
+		}
+	}
 }
 
 // findLinear scans every filter of the role without the keyword index —
@@ -401,6 +538,16 @@ type Engine struct {
 	listBits map[string]uint64
 	allMask  uint64
 	profiles map[string]uint64
+	// views caches one immutable *View per profile so resolving a profile
+	// on the serving hot path is a map read, not an allocation. Built by
+	// Builder.Build; View falls back to constructing on the fly for
+	// engines assembled through the deprecated AddList path.
+	views map[string]*View
+	// noFingerprint / noHostIndex disable the fingerprint gate and the
+	// reversed-domain host index at build time — the ablation switches
+	// behind BenchmarkAblationFingerprint* and BenchmarkAblationDomainTrie*.
+	noFingerprint bool
+	noHostIndex   bool
 	// refs maps a filter's dense id to its identity (filter, list, line)
 	// — the lookup side of the attribution slots.
 	refs []filterRef
@@ -505,6 +652,9 @@ func (e *Engine) addList(name string, l *filter.List, workers int) error {
 		e.listCounts = make(map[string]int)
 	}
 	e.listCounts[name] += e.numFilters - before
+	// Rebuild the probe buckets over everything filed so far, so the
+	// deprecated mutate-and-match AddList path sees the new list too.
+	e.index.freeze()
 	// Fresh attribution slots covering every filter loaded so far. Counts
 	// recorded mid-construction are discarded — matching before the engine
 	// is fully built is the deprecated AddList path only.
@@ -520,15 +670,20 @@ func (e *Engine) insertCompiled(list string, f *filter.Filter, u compiledUnit, l
 	switch f.Kind {
 	case filter.KindRequestBlock, filter.KindRequestException:
 		c := &compiledRequest{f: f, list: list, pat: u.pat, id: id, line: line, listBit: bit}
+		word := buildGateWord(f, u.pat, e.noFingerprint)
+		hostKey := u.pat.hostKey
+		if e.noHostIndex {
+			hostKey = ""
+		}
 		switch {
 		case f.DoNotTrack && f.Kind == filter.KindRequestBlock:
-			e.index.add(roleDNT, c)
+			e.index.add(roleDNT, c, word, hostKey)
 		case f.DoNotTrack:
-			e.index.add(roleDNTException, c)
+			e.index.add(roleDNTException, c, word, hostKey)
 		case f.Kind == filter.KindRequestBlock:
-			e.index.add(roleBlocking, c)
+			e.index.add(roleBlocking, c, word, hostKey)
 		default:
-			e.index.add(roleException, c)
+			e.index.add(roleException, c, word, hostKey)
 		}
 	case filter.KindElemHide, filter.KindElemHideException:
 		e.elemHide.addCompiled(list, f, u.sel, id, line, bit)

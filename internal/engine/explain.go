@@ -57,11 +57,20 @@ type Trail struct {
 	// KeywordHashes is how many memoized keyword-run hashes the request
 	// carried into the index probe.
 	KeywordHashes int `json:"keywordHashes"`
+	// HostKeys is how many host-suffix probe keys the request carried
+	// into the reversed-domain host index.
+	HostKeys int `json:"hostKeys"`
 	// BucketsProbed is how many of those hashes landed in a non-empty
 	// index bucket.
 	BucketsProbed int `json:"bucketsProbed"`
+	// HostBucketsProbed is how many host keys landed in a non-empty
+	// host-index bucket.
+	HostBucketsProbed int `json:"hostBucketsProbed"`
 	// SlowScanned counts keyword-less (slow-bucket) candidates gated.
 	SlowScanned int `json:"slowScanned"`
+	// GateRejected counts candidates killed by their packed pre-filter
+	// word before any per-filter gate ran — the index-v2 pruning at work.
+	GateRejected int `json:"gateRejected"`
 	// Candidates lists every filter whose gates ran, in evaluation order,
 	// capped at trailMaxCandidates.
 	Candidates []TrailCandidate `json:"candidates"`
@@ -85,8 +94,11 @@ func (t *Trail) reset(mode string, short bool) {
 	t.Mode = mode
 	t.ShortCircuit = short
 	t.KeywordHashes = 0
+	t.HostKeys = 0
 	t.BucketsProbed = 0
+	t.HostBucketsProbed = 0
 	t.SlowScanned = 0
+	t.GateRejected = 0
 	t.Candidates = t.Candidates[:0]
 	t.TruncatedCandidates = 0
 	t.Verdict = ""

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"acceptableads/internal/filter"
+	"acceptableads/internal/xrand"
+)
+
+// Differential corpus for the reversed-domain host index: a thousand
+// generated '||domain^$options' filters — exactly the shape the index
+// extracts from the keyword buckets — matched against URLs built to
+// stress every soundness hazard of host keying: subdomain walks, ports,
+// userinfo '@' (where '^' matches mid-host), trailing dots, and
+// prefix-hazard hosts that share a filter host as a string prefix
+// without being its subdomain. The indexed engine must agree with the
+// index-free linear scan on verdict AND filter identity, in every
+// evaluation mode and under profile views; Diff must agree with each
+// view's own MatchRequest.
+
+// genHostFilter draws one host-keyable (or near-keyable) filter line.
+func genHostFilter(rng *xrand.RNG) string {
+	bases := []string{
+		"adzerk.net", "doubleclick.net", "ads.example.com", "track.io",
+		"metrics.example.org", "cdn.adhost.co", "a.b.c.d", "promo.example",
+	}
+	subs := []string{"", "static.", "stats.g.", "www.", "x."}
+	var b strings.Builder
+	b.WriteString("||")
+	b.WriteString(subs[rng.Intn(len(subs))])
+	b.WriteString(bases[rng.Intn(len(bases))])
+	switch rng.Intn(6) {
+	case 0:
+		b.WriteString("^")
+	case 1:
+		b.WriteString("/")
+	case 2:
+		b.WriteString("^ads/")
+	case 3:
+		b.WriteString("/r/collect")
+	case 4:
+		b.WriteString("|") // bare host, end-anchored: still trie-keyable
+	case 5:
+		// No separator after the host: NOT trie-keyable (can prefix-match
+		// a longer host); must stay in the keyword buckets and still agree.
+	}
+	opts := []string{
+		"", "$script", "$image", "$script,image", "$third-party",
+		"$~third-party", "$domain=news.example.com",
+		"$domain=news.example.com|shop.example.com",
+		"$domain=~news.example.com", "$match-case",
+	}
+	b.WriteString(opts[rng.Intn(len(opts))])
+	return b.String()
+}
+
+// genHostURL draws a request URL stressing the host-key derivation.
+func genHostURL(rng *xrand.RNG) string {
+	hosts := []string{
+		"adzerk.net", "static.adzerk.net", "deep.static.adzerk.net",
+		"doubleclick.net", "stats.g.doubleclick.net", "ads.example.com",
+		"xads.example.com", "track.io", "nottrack.io", "metrics.example.org",
+		"cdn.adhost.co", "a.b.c.d", "promo.example", "unrelated.example",
+		// Prefix hazards: contain a filter host as a string prefix of a
+		// longer label ("ads.example.community" vs "ads.example.com").
+		"ads.example.community", "track.iowa.example", "adzerk.network",
+		// Trailing dot (FQDN form) and uppercase.
+		"adzerk.net.", "STATIC.ADZERK.NET",
+	}
+	var b strings.Builder
+	b.WriteString([]string{"http://", "https://"}[rng.Intn(2)])
+	if rng.Intn(8) == 0 {
+		// Userinfo: '^' can match the '@', so "||adzerk.net^" must still
+		// match "http://adzerk.net@evil.com/" — the host keys stop at any
+		// separator, not just the host end.
+		b.WriteString(hosts[rng.Intn(len(hosts))])
+		b.WriteString("@evil.example")
+	} else {
+		b.WriteString(hosts[rng.Intn(len(hosts))])
+	}
+	if rng.Intn(6) == 0 {
+		b.WriteString(fmt.Sprintf(":%d", []int{80, 443, 8080}[rng.Intn(3)]))
+	}
+	paths := []string{"", "/", "/ads/", "/ads/banner.gif", "/r/collect", "/x?q=1"}
+	b.WriteString(paths[rng.Intn(len(paths))])
+	return b.String()
+}
+
+// reqIdentity names the winning filters of a decision for divergence
+// messages and identity comparison.
+func reqIdentity(d *Decision) string {
+	var b, a string
+	if m := d.BlockedBy(); m != nil {
+		b = m.Filter.Raw
+	}
+	if m := d.AllowedBy(); m != nil {
+		a = m.Filter.Raw
+	}
+	return b + " / " + a
+}
+
+func TestDifferentialHostIndex(t *testing.T) {
+	rng := xrand.New(20260808)
+	var linesA, linesB []string
+	for i := 0; i < 1000; i++ {
+		line := genHostFilter(rng)
+		if rng.Intn(4) == 0 {
+			line = "@@" + line
+		}
+		if rng.Intn(2) == 0 {
+			linesA = append(linesA, line)
+		} else {
+			linesB = append(linesB, line)
+		}
+	}
+	b := NewBuilder()
+	if err := b.Add("la", filter.ParseListString("la", strings.Join(linesA, "\n"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add("lb", filter.ParseListString("lb", strings.Join(linesB, "\n"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Profile("a-only", "la"); err != nil {
+		t.Fatal(err)
+	}
+	e := b.Build()
+	if len(e.index.byHost) == 0 {
+		t.Fatal("corpus produced no host-indexed filters; the test is vacuous")
+	}
+
+	va, err := e.View("a-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vfull, err := e.View(DefaultProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	docs := []string{"news.example.com", "shop.example.com", "other.example", "adzerk.net"}
+	types := []filter.ContentType{filter.TypeScript, filter.TypeImage, filter.TypeStylesheet}
+	hostProbes := 0
+	var tr Trail
+	for j := 0; j < 4000; j++ {
+		url := genHostURL(rng)
+		req := &Request{URL: url, Type: types[rng.Intn(len(types))],
+			DocumentHost: docs[rng.Intn(len(docs))]}
+
+		// Flat engine: indexed ≡ linear, verdict and identity, both modes.
+		inst := e.MatchRequest(req)
+		lin := e.MatchRequest(req, WithLinearScan())
+		if inst.Verdict != lin.Verdict || reqIdentity(&inst) != reqIdentity(&lin) {
+			t.Fatalf("instrumented divergence on %q (doc %s, type %v):\n  indexed %v %s\n  linear  %v %s",
+				url, req.DocumentHost, req.Type, inst.Verdict, reqIdentity(&inst), lin.Verdict, reqIdentity(&lin))
+		}
+		fast := e.MatchRequest(req, WithShortCircuit())
+		if flin := e.MatchRequest(req, WithShortCircuit(), WithLinearScan()); fast.Verdict != flin.Verdict {
+			t.Fatalf("short-circuit divergence on %q: indexed=%v linear=%v", url, fast.Verdict, flin.Verdict)
+		}
+
+		// Profile view: same property under the restricted mask.
+		vinst := va.MatchRequest(req)
+		vlin := va.MatchRequest(req, WithLinearScan())
+		if vinst.Verdict != vlin.Verdict || reqIdentity(&vinst) != reqIdentity(&vlin) {
+			t.Fatalf("view divergence on %q: indexed %v %s, linear %v %s",
+				url, vinst.Verdict, reqIdentity(&vinst), vlin.Verdict, reqIdentity(&vlin))
+		}
+
+		// Diff: each side must equal its view's own MatchRequest.
+		diff := e.Diff(req, va, vfull)
+		if diff.A.Verdict != vinst.Verdict.String() {
+			t.Fatalf("diff side A diverges from view match on %q: diff=%s view=%v", url, diff.A.Verdict, vinst.Verdict)
+		}
+		if diff.B.Verdict != inst.Verdict.String() {
+			t.Fatalf("diff side B diverges from full match on %q: diff=%s full=%v", url, diff.B.Verdict, inst.Verdict)
+		}
+		if w := diff.B.Block; w != nil && inst.BlockedBy() != nil && w.Filter != inst.BlockedBy().Filter.Raw {
+			t.Fatalf("diff side B block identity diverges on %q: diff=%q match=%q", url, w.Filter, inst.BlockedBy().Filter.Raw)
+		}
+
+		if j < 200 {
+			e.MatchRequest(req, WithExplain(&tr))
+			hostProbes += tr.HostBucketsProbed
+		}
+	}
+	if hostProbes == 0 {
+		t.Error("no request probed a host-index bucket; the corpus is not exercising the trie path")
+	}
+}
+
+// TestHostIndexAblationAgrees: the DisableHostIndex and
+// DisableFingerprints builds must decide identically to the default
+// build — the ablations trade speed, never semantics.
+func TestHostIndexAblationAgrees(t *testing.T) {
+	rng := xrand.New(404)
+	var lines []string
+	for i := 0; i < 400; i++ {
+		line := genHostFilter(rng)
+		if rng.Intn(4) == 0 {
+			line = "@@" + line
+		}
+		lines = append(lines, line)
+	}
+	list := filter.ParseListString("l", strings.Join(lines, "\n"))
+	build := func(conf func(*Builder)) *Engine {
+		b := NewBuilder()
+		if conf != nil {
+			conf(b)
+		}
+		if err := b.Add("l", list); err != nil {
+			t.Fatal(err)
+		}
+		return b.Build()
+	}
+	full := build(nil)
+	noTrie := build(func(b *Builder) { b.DisableHostIndex() })
+	noFP := build(func(b *Builder) { b.DisableFingerprints() })
+	if len(full.index.byHost) == 0 {
+		t.Fatal("default build filed nothing in the host index")
+	}
+	if len(noTrie.index.byHost) != 0 {
+		t.Fatal("DisableHostIndex build still filed host-index entries")
+	}
+	for j := 0; j < 2000; j++ {
+		url := genHostURL(rng)
+		req := &Request{URL: url, Type: filter.TypeScript, DocumentHost: "news.example.com"}
+		want := full.MatchRequest(req)
+		for name, e := range map[string]*Engine{"noTrie": noTrie, "noFP": noFP} {
+			got := e.MatchRequest(req)
+			if got.Verdict != want.Verdict || reqIdentity(&got) != reqIdentity(&want) {
+				t.Fatalf("%s ablation diverges on %q: got %v %s want %v %s",
+					name, url, got.Verdict, reqIdentity(&got), want.Verdict, reqIdentity(&want))
+			}
+		}
+	}
+}

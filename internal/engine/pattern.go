@@ -33,6 +33,11 @@ type pattern struct {
 	// is not literal) go to the always-probed slow bucket.
 	kwHash uint64
 	hasKW  bool
+
+	// hostKey is the pattern host under which the filter is filed in the
+	// reversed-domain host index, or "" when it is not host-keyable (see
+	// trieHostKey). Host-keyed filters skip the keyword buckets entirely.
+	hostKey string
 }
 
 // compilePattern builds a matcher for a request filter. Regex filters
@@ -86,6 +91,7 @@ func compilePattern(f *filter.Filter) (*pattern, error) {
 	// matcher already provides. A pattern of only wildcards matches
 	// every URL.
 	p.setKeyword(f)
+	p.hostKey = trieHostKey(f)
 	return p, nil
 }
 

@@ -73,7 +73,19 @@ func (r *Request) prepare() {
 	r.lower = lowerASCII(r.URL)
 	r.kwh = appendURLKeywordHashes(r.kwh[:0], r.lower)
 	r.bounds = appendDomainBoundaries(r.bounds[:0], r.lower)
+	r.hostKeys = appendHostKeys(r.hostKeys[:0], r.lower, r.bounds)
+	r.fp = [4]uint64{}
+	urlFingerprint(&r.fp, r.lower)
 	r.third = domainutil.IsThirdParty(domainutil.HostOf(r.URL), r.DocumentHost)
+	// The request side of the packed pre-filter gates: the party bit and
+	// the document host's $domain= bloom. The content type is read live
+	// (PagePermissions flips it between probes without re-preparing).
+	r.gateReq = docDomainBloom(r.DocumentHost)
+	if r.third {
+		r.gateReq |= gateThirdParty
+	} else {
+		r.gateReq |= gateFirstParty
+	}
 	r.memoURL, r.memoDoc = r.URL, r.DocumentHost
 	r.prepared = true
 }

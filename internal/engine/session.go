@@ -69,6 +69,7 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 	req.prepare()
 	if tr != nil {
 		tr.KeywordHashes = len(req.kwh)
+		tr.HostKeys = len(req.hostKeys)
 	}
 	idx := s.e.index
 
@@ -110,26 +111,20 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 	}
 	if bits&optShortCircuit != 0 {
 		// Production order: the exception side only decides anything
-		// after a blocking filter matches. One probe pass resolves both
-		// roles from the keyword buckets; the keyword-less exception
-		// bucket is only scanned once a blocker actually matched. The
-		// effective filter's attribution slot is bumped — one indexed
-		// atomic add, no allocation.
+		// after a blocking filter matches. One resolve pass finds the
+		// minimum-id match of both roles across the keyword buckets, the
+		// host index and the slow bucket; the packed words kill almost
+		// every candidate before its gates run. The effective filter's
+		// attribution slot is bumped — one indexed atomic add, no
+		// allocation.
 		var res [numRoles]*compiledRequest
-		idx.probe(req, maskBlocking|maskException, s.mask, &res, tr)
+		idx.resolve(req, maskBlocking|maskException, s.mask, &res, tr)
 		c := res[roleBlocking]
-		if c == nil {
-			c = idx.scanSlow(req, roleBlocking, s.mask, tr)
-		}
 		if c == nil {
 			return finishTrail(tr, &d, nil, nil)
 		}
 		d.blocked = Match{Filter: c.f, List: c.list}
-		x := res[roleException]
-		if x == nil {
-			x = idx.scanSlow(req, roleException, s.mask, tr)
-		}
-		if x != nil {
+		if x := res[roleException]; x != nil {
 			d.allowed = Match{Filter: x.f, List: x.list}
 			d.Verdict = Allowed
 			s.e.hit(x.id)
@@ -153,13 +148,7 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		want |= maskDNT | maskDNTException
 	}
 	var res [numRoles]*compiledRequest
-	idx.probe(req, want, s.mask, &res, tr)
-	if res[roleBlocking] == nil {
-		res[roleBlocking] = idx.scanSlow(req, roleBlocking, s.mask, tr)
-	}
-	if res[roleException] == nil {
-		res[roleException] = idx.scanSlow(req, roleException, s.mask, tr)
-	}
+	idx.resolve(req, want, s.mask, &res, tr)
 	if c := res[roleBlocking]; c != nil {
 		d.blocked = Match{Filter: c.f, List: c.list}
 	}
@@ -180,21 +169,9 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 	}
 	// $donottrack signalling (Appendix A.4): a matching DNT filter with
 	// no matching DNT exception asks for the header; it never blocks.
-	if idx.hasDNT() {
-		dnt := res[roleDNT]
-		if dnt == nil {
-			dnt = idx.scanSlow(req, roleDNT, s.mask, tr)
-		}
-		if dnt != nil {
-			exc := res[roleDNTException]
-			if exc == nil {
-				exc = idx.scanSlow(req, roleDNTException, s.mask, tr)
-			}
-			if exc == nil {
-				d.DoNotTrack = true
-				s.e.hit(dnt.id)
-			}
-		}
+	if dnt := res[roleDNT]; dnt != nil && res[roleDNTException] == nil {
+		d.DoNotTrack = true
+		s.e.hit(dnt.id)
 	}
 	if m != nil {
 		m.attempts.Inc()
@@ -249,10 +226,8 @@ func (s *Session) PagePermissions(pageURL, sitekeyB64 string) PageFlags {
 	probe := func(t filter.ContentType) *compiledRequest {
 		req.Type = t
 		var res [numRoles]*compiledRequest
-		if idx.probe(req, maskException, s.mask, &res, nil) == 0 {
-			return res[roleException]
-		}
-		return idx.scanSlow(req, roleException, s.mask, nil)
+		idx.resolve(req, maskException, s.mask, &res, nil)
+		return res[roleException]
 	}
 	if c := probe(filter.TypeDocument); c != nil {
 		flags.DocumentAllowed = true

@@ -90,10 +90,15 @@ type View struct {
 }
 
 // View returns the named profile's view. The error names the valid
-// profile set, so serving layers can surface it verbatim.
+// profile set, so serving layers can surface it verbatim. On a built
+// engine the view comes out of a per-profile cache — resolving a profile
+// on the serving hot path is a map read, zero allocations.
 func (e *Engine) View(name string) (*View, error) {
 	if name == "" {
 		name = DefaultProfile
+	}
+	if v, ok := e.views[name]; ok {
+		return v, nil
 	}
 	mask, ok := e.profiles[name]
 	if !ok {
@@ -170,84 +175,88 @@ type DiffResult struct {
 // signalling side channel, not a verdict, and is skipped.
 var diffRoles = [2]role{roleBlocking, roleException}
 
+// diffState is the two-sided minimum-id resolution a Diff runs: one
+// best-id slot per (side, role), improved as the shared index structures
+// are scanned. Each side converges on exactly the filter its own
+// MatchRequest (minimum insertion id) would report.
+type diffState struct {
+	masks [2]uint64
+	res   [2][numRoles]*compiledRequest
+	best  [2][numRoles]uint32
+}
+
+// scanDiff walks one id-sorted packed segment, improving both sides'
+// best-id slots for role r. Gates run at most once per candidate even
+// when both profiles include its list; the scan stops once no side can
+// improve.
+func (ds *diffState) scanDiff(seg []packedEntry, r role, req *Request) {
+	for i := range seg {
+		e := &seg[i]
+		if e.id >= ds.best[0][r] && e.id >= ds.best[1][r] {
+			break
+		}
+		w0 := e.listBit&ds.masks[0] != 0 && e.id < ds.best[0][r]
+		w1 := e.listBit&ds.masks[1] != 0 && e.id < ds.best[1][r]
+		if !w0 && !w1 {
+			continue
+		}
+		if !gatePass(e.word, req) {
+			continue
+		}
+		if !e.c.matches(req) {
+			continue
+		}
+		if w0 {
+			ds.best[0][r] = e.id
+			ds.res[0][r] = e.c
+		}
+		if w1 {
+			ds.best[1][r] = e.id
+			ds.res[1][r] = e.c
+		}
+	}
+}
+
 // Diff evaluates req under two profile views in one pass over the shared
 // index: each candidate's gates run at most once even when both profiles
 // include its list. Both sides use instrumented-mode semantics (blocking
-// and exception always resolved), so each side's verdict is identical to
-// what MatchRequest reports for that view. The effective filter of each
-// side gets its attribution bump, exactly as two separate matches would.
+// and exception always resolved) with minimum-insertion-id resolution,
+// so each side's verdict and winning filters are identical to what
+// MatchRequest reports for that view. The effective filter of each side
+// gets its attribution bump, exactly as two separate matches would.
 func (e *Engine) Diff(req *Request, a, b *View) DiffResult {
 	req.prepare()
 	idx := e.index
-	masks := [2]uint64{a.mask, b.mask}
-	union := masks[0] | masks[1]
-	var res [2][numRoles]*compiledRequest
-	pending := 4 // 2 sides × {blocking, exception} first-match slots
-
-	// Keyword buckets: global candidate order is the same order each
-	// side's own probe would visit, so taking the first in-profile match
-	// per (side, role) reproduces the per-view result exactly.
-	for _, h := range req.kwh {
-		bucket := idx.byHash[h]
-		for i := range bucket {
-			en := &bucket[i]
-			r := en.role
-			if r != roleBlocking && r != roleException {
-				continue
-			}
-			bit := en.c.listBit
-			if bit&union == 0 {
-				continue
-			}
-			w0 := bit&masks[0] != 0 && res[0][r] == nil
-			w1 := bit&masks[1] != 0 && res[1][r] == nil
-			if !w0 && !w1 {
-				continue
-			}
-			if en.c.matches(req) {
-				if w0 {
-					res[0][r] = en.c
-					pending--
-				}
-				if w1 {
-					res[1][r] = en.c
-					pending--
-				}
-				if pending == 0 {
-					break
-				}
-			}
-		}
-		if pending == 0 {
-			break
+	ds := diffState{masks: [2]uint64{a.mask, b.mask}}
+	for s := range ds.best {
+		for r := range ds.best[s] {
+			ds.best[s][r] = ^uint32(0)
 		}
 	}
-	// Slow buckets fill the slots the keyword probe left open, same as a
-	// per-view match would.
-	if pending > 0 {
+	scanBucketDiff := func(bk *bucket) {
 		for _, r := range diffRoles {
-			for _, c := range idx.slow[r] {
-				bit := c.listBit
-				w0 := bit&masks[0] != 0 && res[0][r] == nil
-				w1 := bit&masks[1] != 0 && res[1][r] == nil
-				if !w0 && !w1 {
-					continue
-				}
-				if c.matches(req) {
-					if w0 {
-						res[0][r] = c
-					}
-					if w1 {
-						res[1][r] = c
-					}
-				}
+			ds.scanDiff(bk.entries[bk.offs[r]:bk.offs[r+1]], r, req)
+		}
+	}
+	for _, h := range req.kwh {
+		if bk := idx.byHash[h]; bk != nil {
+			scanBucketDiff(bk)
+		}
+	}
+	if len(idx.byHost) > 0 {
+		for _, key := range req.hostKeys {
+			if bk := idx.byHost[key]; bk != nil {
+				scanBucketDiff(bk)
 			}
 		}
+	}
+	for _, r := range diffRoles {
+		ds.scanDiff(idx.slow[r], r, req)
 	}
 
 	out := DiffResult{
-		A: diffSide(e, a.name, &res[0]),
-		B: diffSide(e, b.name, &res[1]),
+		A: diffSide(e, a.name, &ds.res[0]),
+		B: diffSide(e, b.name, &ds.res[1]),
 	}
 	out.Flipped = out.A.Verdict != out.B.Verdict
 	if out.Flipped {

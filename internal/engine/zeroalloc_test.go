@@ -33,14 +33,17 @@ func TestMatchRequestZeroAlloc(t *testing.T) {
 		url, doc string
 		typ      filter.ContentType
 	}{
-		// blocked, '||'-anchored (exercises the bounds memo)
+		// blocked via the reversed-domain host index ('||doubleclick.net^'
+		// is trie-keyed; exercises the hostKeys memo and the trie probe)
 		{"http://stats.g.doubleclick.net/r/collect", "http://toyota.com/", filter.TypeImage},
-		// allowed via exception
+		// allowed via a host-indexed exception
 		{"http://static.adzerk.net/reddit/ads.html", "http://www.reddit.com/", filter.TypeSubdocument},
 		// no match at all
 		{"http://plain.example/index.css", "http://plain.example/", filter.TypeStylesheet},
 		// slow-bucket (keyword-less literal-regex) match
 		{"http://x.example/ad-frame/1.gif", "http://x.com/", filter.TypeImage},
+		// host-index probe with many suffix keys and a userinfo '@'
+		{"http://deep.sub.doubleclick.net@evil.example/x", "http://toyota.com/", filter.TypeImage},
 	}
 	var reqs []*Request
 	for _, u := range urls {
@@ -49,6 +52,16 @@ func TestMatchRequestZeroAlloc(t *testing.T) {
 			t.Fatal(err)
 		}
 		reqs = append(reqs, req)
+	}
+	// The property below must cover the host-index path, not vacuously
+	// pass because everything stayed in the keyword buckets.
+	if len(e.index.byHost) == 0 {
+		t.Fatal("fixture engine filed nothing in the host index")
+	}
+	var tr Trail
+	e.MatchRequest(reqs[0], WithExplain(&tr))
+	if tr.HostBucketsProbed == 0 {
+		t.Fatalf("doubleclick request did not probe the host index: %+v", tr)
 	}
 	sess := e.NewSession(nil)
 	allocs := testing.AllocsPerRun(200, func() {
