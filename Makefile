@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json bench-compare chaos serve-smoke overload-smoke metrics-smoke diff-smoke lint-metrics ci
+.PHONY: all build vet test race bench bench-smoke bench-json bench-compare chaos serve-smoke overload-smoke metrics-smoke diff-smoke fuzz-smoke lint-metrics ci
 
 all: build
 
@@ -30,7 +30,7 @@ bench-smoke:
 # real benchtime and record name → ns/op, allocs/op, matches/sec as JSON
 # so regressions are diffable across PRs.
 bench-json:
-	$(GO) test -bench 'BenchmarkEngine|BenchmarkProfile|BenchmarkAblationUnifiedIndex|BenchmarkAblationKeywordIndex|BenchmarkAblationInstrumentation|BenchmarkAblationFingerprint|BenchmarkAblationDomainTrie|BenchmarkDecisionCache' \
+	$(GO) test -bench 'BenchmarkEngine|BenchmarkProfile|BenchmarkAblationUnifiedIndex|BenchmarkAblationKeywordIndex|BenchmarkAblationInstrumentation|BenchmarkAblationFingerprint|BenchmarkAblationDomainTrie|BenchmarkDecisionCache|BenchmarkSnapshot' \
 		-benchtime 1s -benchmem -run '^$$' . \
 		| $(GO) run ./cmd/aa-benchjson > BENCH_engine.json
 	@echo wrote BENCH_engine.json
@@ -88,6 +88,14 @@ diff-smoke:
 	$(GO) test -race -run 'TestProfileDiffSmoke|TestUnknownProfileIs400|TestParseProfiles' \
 		-count=1 -v ./cmd/aa-serve
 
+# A short snapshot-decoder fuzz run: truncated, bit-flipped and
+# version-skewed snapshot bytes must produce errors, never a panic or a
+# half-built engine. The committed corpus seeds cover each section; ten
+# seconds of mutation on top catches format-change regressions cheaply.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s \
+		./internal/engine/snapbin
+
 # Metric-name hygiene: every metric registered in obs.Registry must be
 # lowercase dot.separated and unique across the tree.
 lint-metrics:
@@ -95,6 +103,6 @@ lint-metrics:
 
 # The pre-merge gate: static checks, a clean build, the full suite under
 # the race detector, a smoke pass over every benchmark plus the hot-path
-# allocation smoke, the perf gate against the committed baseline, and the
-# chaos and decision-service smoke runs.
-ci: vet lint-metrics build race bench bench-smoke bench-compare chaos serve-smoke overload-smoke metrics-smoke diff-smoke
+# allocation smoke, the perf gate against the committed baseline, a short
+# snapshot-decoder fuzz run, and the chaos and decision-service smoke runs.
+ci: vet lint-metrics build race bench bench-smoke bench-compare fuzz-smoke chaos serve-smoke overload-smoke metrics-smoke diff-smoke

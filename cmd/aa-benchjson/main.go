@@ -11,8 +11,9 @@
 // With -compare old.json new.json it instead prints a per-benchmark delta
 // table and acts as the CI perf gate: the exit status is non-zero when
 // any pinned benchmark regresses more than the ns/op tolerance, or when a
-// benchmark pinned to zero allocations starts allocating. Benchmarks
-// present in only one file are reported but never gate.
+// benchmark pinned to zero allocations starts allocating or reporting
+// nonzero bytes/op. Benchmarks present in only one file are reported but
+// never gate.
 package main
 
 import (
@@ -51,10 +52,12 @@ var pinnedNsOp = []string{
 	"BenchmarkDecisionCacheOn",
 }
 
-// pinnedZeroAlloc are the benchmarks whose allocs/op must stay exactly
-// zero — the zero-allocation guarantees TestMatchRequestZeroAlloc and
-// TestCacheHitZeroAlloc pin, enforced here against the committed
-// baseline too.
+// pinnedZeroAlloc are the benchmarks whose allocs/op AND bytes/op must
+// stay exactly zero — the zero-allocation guarantees
+// TestMatchRequestZeroAlloc and TestCacheHitZeroAlloc pin, enforced here
+// against the committed baseline too. Bytes are gated separately from
+// allocs because a benchmark can keep 0 allocs/op while amortized slab
+// growth pushes B/op above zero.
 var pinnedZeroAlloc = []string{
 	"BenchmarkEngineMatchRequest",
 	"BenchmarkEngineMatchRequestShortCircuit",
@@ -152,6 +155,14 @@ func allocs(r Result) float64 {
 	return *r.AllocsPerOp
 }
 
+// bytes reads a result's B/op, treating absence as zero.
+func bytes(r Result) float64 {
+	if r.BytesPerOp == nil {
+		return 0
+	}
+	return *r.BytesPerOp
+}
+
 // compare prints the delta table for old vs new and returns the gate
 // failures, one line each.
 func compare(oldR, newR map[string]Result, w io.Writer) []string {
@@ -201,6 +212,11 @@ func compare(oldR, newR map[string]Result, w io.Writer) []string {
 			mark = "  ALLOC PIN BROKEN"
 			failures = append(failures, fmt.Sprintf(
 				"%s: allocs/op %.0f -> %.0f (pinned to zero)", n, allocs(o), allocs(nw)))
+		}
+		if zeroPinned[n] && bytes(o) == 0 && bytes(nw) > 0 {
+			mark = "  BYTE PIN BROKEN"
+			failures = append(failures, fmt.Sprintf(
+				"%s: bytes/op %.0f -> %.0f (pinned to zero)", n, bytes(o), bytes(nw)))
 		}
 		fmt.Fprintf(w, "%-45s %14.1f %14.1f %+8.1f%% %11s%s\n",
 			n, o.NsPerOp, nw.NsPerOp, delta*100,

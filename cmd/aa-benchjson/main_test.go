@@ -1,6 +1,54 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+func result(name string, ns, b, a float64) Result {
+	return Result{Name: name, Iterations: 1, NsPerOp: ns, BytesPerOp: &b, AllocsPerOp: &a}
+}
+
+func TestCompareZeroPins(t *testing.T) {
+	pinned := pinnedZeroAlloc[0]
+	oldR := map[string]Result{pinned: result(pinned, 1000, 0, 0)}
+
+	cases := []struct {
+		name string
+		newR Result
+		want string // substring required in some failure, "" = must pass
+	}{
+		{"clean", result(pinned, 1010, 0, 0), ""},
+		{"alloc pin", result(pinned, 1010, 0, 2), "allocs/op"},
+		{"byte pin", result(pinned, 1010, 64, 0), "bytes/op"},
+	}
+	for _, tc := range cases {
+		failures := compare(oldR, map[string]Result{pinned: tc.newR}, &strings.Builder{})
+		if tc.want == "" {
+			if len(failures) != 0 {
+				t.Errorf("%s: unexpected failures %v", tc.name, failures)
+			}
+			continue
+		}
+		found := false
+		for _, f := range failures {
+			if strings.Contains(f, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no failure mentioning %q in %v", tc.name, tc.want, failures)
+		}
+	}
+	// Unpinned benchmarks never gate, even when bytes appear.
+	failures := compare(
+		map[string]Result{"BenchmarkOther": result("BenchmarkOther", 10, 0, 0)},
+		map[string]Result{"BenchmarkOther": result("BenchmarkOther", 10, 512, 3)},
+		&strings.Builder{})
+	if len(failures) != 0 {
+		t.Errorf("unpinned benchmark gated: %v", failures)
+	}
+}
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkEngineMatchRequest-4 \t 7521\t 153295 ns/op\t 6523 matches/sec\t 0 B/op\t 0 allocs/op")

@@ -202,8 +202,14 @@ func run(cfg config) error {
 		return err
 	}
 	snap := svc.Snapshot()
-	log.Printf("snapshot v%d ready: %d filters from %d lists (warmStart=%t)",
-		snap.Version, snap.Engine.NumFilters(), len(snap.Lists), snap.WarmStart)
+	startPath := "compiled"
+	if snap.BinaryStart {
+		startPath = "binary snapshot"
+	} else if snap.WarmStart {
+		startPath = "recompiled lists"
+	}
+	log.Printf("snapshot v%d ready: %d filters from %d lists (warmStart=%t, via %s)",
+		snap.Version, snap.Engine.NumFilters(), len(snap.Lists), snap.WarmStart, startPath)
 
 	var shed *decision.Shedder
 	if cfg.shedCapacity > 0 {

@@ -1,0 +1,178 @@
+package css
+
+import (
+	"errors"
+	"fmt"
+
+	"acceptableads/internal/strtab"
+)
+
+// Arena is the flat, relocatable form of a batch of compiled selectors:
+// every scalar step field lives in a dense column, and variable-length
+// data (classes, attribute tests) lives in shared flat arrays windowed
+// by offset columns. Encoding a compiled selector is a straight copy-out
+// of its parts; Build reconstructs the whole batch with a handful of
+// slab allocations instead of re-parsing selector text — the shape the
+// engine's binary snapshot codec serializes.
+//
+// Offset columns carry one extra entry: selector i owns groups
+// [SelOff[i], SelOff[i+1]), group g owns steps [GrpOff[g], GrpOff[g+1]),
+// and step s owns Classes[ClsOff[s]:ClsOff[s+1]] and the attribute
+// columns [AttrOff[s], AttrOff[s+1]).
+// String-valued columns whose entries are copied out into the rebuilt
+// structures (Raw, Tag, ID, AttrName, AttrVal) are strtab columns, so a
+// decoded arena carries them as zero-copy views instead of materialized
+// []string headers; Classes stays []string because Build windows it in
+// place into each compound.
+type Arena struct {
+	Raw    strtab.Col // one per selector: the original text
+	SelOff []uint32   // per selector → group range (len = nSel+1)
+	GrpOff []uint32   // per group → step range (len = nGroups+1)
+
+	// Per-step columns. Comb is the combinator relating a step to the
+	// previous one (' ' descendant, '>' child; unused on the subject).
+	Comb []uint8
+	Tag  strtab.Col
+	ID   strtab.Col
+
+	ClsOff  []uint32 // per step → Classes window (len = nSteps+1)
+	Classes []string
+
+	AttrOff  []uint32 // per step → attribute window (len = nSteps+1)
+	AttrName strtab.Col
+	AttrOp   []uint8
+	AttrVal  strtab.Col
+}
+
+// Append flattens one compiled selector onto the arena. Selectors are
+// decoded by Build in append order.
+func (a *Arena) Append(s *Selector) {
+	if len(a.SelOff) == 0 {
+		a.SelOff = append(a.SelOff, 0)
+		a.GrpOff = append(a.GrpOff, 0)
+		a.ClsOff = append(a.ClsOff, 0)
+		a.AttrOff = append(a.AttrOff, 0)
+	}
+	a.Raw.Append(s.raw)
+	for gi := range s.groups {
+		for si := range s.groups[gi].seq {
+			st := &s.groups[gi].seq[si]
+			a.Comb = append(a.Comb, st.combinator)
+			a.Tag.Append(st.compound.tag)
+			a.ID.Append(st.compound.id)
+			a.Classes = append(a.Classes, st.compound.classes...)
+			a.ClsOff = append(a.ClsOff, uint32(len(a.Classes)))
+			for _, at := range st.compound.attrs {
+				a.AttrName.Append(at.name)
+				a.AttrOp = append(a.AttrOp, at.op)
+				a.AttrVal.Append(at.val)
+			}
+			a.AttrOff = append(a.AttrOff, uint32(a.AttrName.Len()))
+		}
+		a.GrpOff = append(a.GrpOff, uint32(len(a.Comb)))
+	}
+	a.SelOff = append(a.SelOff, uint32(len(a.GrpOff)-1))
+}
+
+// monotonic checks an offset column: len n+1, first 0, non-decreasing,
+// final value flat.
+func monotonic(name string, off []uint32, n, flat int) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("css: arena: %s offsets have %d entries, want %d", name, len(off), n+1)
+	}
+	if off[0] != 0 || int(off[n]) != flat {
+		return fmt.Errorf("css: arena: %s offsets span [%d..%d], want [0..%d]", name, off[0], off[n], flat)
+	}
+	for i := 0; i < n; i++ {
+		if off[i] > off[i+1] {
+			return fmt.Errorf("css: arena: %s offsets decrease at %d", name, i)
+		}
+	}
+	return nil
+}
+
+// Build reconstructs every selector in the arena. The input is fully
+// validated first — offset monotonicity, column lengths, the ≥1-group /
+// ≥1-step structural invariants Match and Key rely on — so a corrupt
+// arena yields an error, never a selector that panics later. The
+// returned slice and all selector internals come from shared slabs; a
+// handful of allocations covers the whole batch.
+func (a *Arena) Build() ([]Selector, error) {
+	for _, c := range []struct {
+		name string
+		col  *strtab.Col
+	}{{"raw", &a.Raw}, {"tag", &a.Tag}, {"id", &a.ID}, {"attrname", &a.AttrName}, {"attrval", &a.AttrVal}} {
+		if err := c.col.Validate(); err != nil {
+			return nil, fmt.Errorf("css: arena: %s column: %w", c.name, err)
+		}
+	}
+	nSel := a.Raw.Len()
+	if nSel == 0 {
+		if len(a.SelOff) > 1 || len(a.GrpOff) > 1 || len(a.Comb) > 0 {
+			return nil, errors.New("css: arena: dangling groups with no selectors")
+		}
+		return nil, nil
+	}
+	nGrp := len(a.GrpOff) - 1
+	nStep := len(a.Comb)
+	if err := monotonic("selector", a.SelOff, nSel, nGrp); err != nil {
+		return nil, err
+	}
+	if err := monotonic("group", a.GrpOff, nGrp, nStep); err != nil {
+		return nil, err
+	}
+	if a.Tag.Len() != nStep || a.ID.Len() != nStep {
+		return nil, fmt.Errorf("css: arena: %d tags / %d ids for %d steps", a.Tag.Len(), a.ID.Len(), nStep)
+	}
+	if err := monotonic("class", a.ClsOff, nStep, len(a.Classes)); err != nil {
+		return nil, err
+	}
+	if err := monotonic("attribute", a.AttrOff, nStep, a.AttrName.Len()); err != nil {
+		return nil, err
+	}
+	if a.AttrVal.Len() != a.AttrName.Len() || len(a.AttrOp) != a.AttrName.Len() {
+		return nil, fmt.Errorf("css: arena: attribute columns disagree: %d names, %d ops, %d values",
+			a.AttrName.Len(), len(a.AttrOp), a.AttrVal.Len())
+	}
+	for i, op := range a.AttrOp {
+		switch op {
+		case 0, '=', '^', '$', '*', '~':
+		default:
+			return nil, fmt.Errorf("css: arena: attribute %d has unknown operator %q", i, op)
+		}
+	}
+	for i := 0; i < nSel; i++ {
+		if a.SelOff[i] == a.SelOff[i+1] {
+			return nil, fmt.Errorf("css: arena: selector %d has no groups", i)
+		}
+	}
+	for g := 0; g < nGrp; g++ {
+		if a.GrpOff[g] == a.GrpOff[g+1] {
+			return nil, fmt.Errorf("css: arena: group %d has no steps", g)
+		}
+	}
+
+	sels := make([]Selector, nSel)
+	groups := make([]complexSelector, nGrp)
+	steps := make([]step, nStep)
+	attrs := make([]attrTest, a.AttrName.Len())
+	for i := range attrs {
+		attrs[i] = attrTest{name: a.AttrName.At(i), op: a.AttrOp[i], val: a.AttrVal.At(i)}
+	}
+	for s := 0; s < nStep; s++ {
+		st := &steps[s]
+		st.combinator = a.Comb[s]
+		st.compound.tag = a.Tag.At(s)
+		st.compound.id = a.ID.At(s)
+		st.compound.classes = a.Classes[a.ClsOff[s]:a.ClsOff[s+1]:a.ClsOff[s+1]]
+		st.compound.attrs = attrs[a.AttrOff[s]:a.AttrOff[s+1]:a.AttrOff[s+1]]
+	}
+	for g := 0; g < nGrp; g++ {
+		groups[g].seq = steps[a.GrpOff[g]:a.GrpOff[g+1]:a.GrpOff[g+1]]
+	}
+	for i := 0; i < nSel; i++ {
+		sels[i].raw = a.Raw.At(i)
+		sels[i].groups = groups[a.SelOff[i]:a.SelOff[i+1]:a.SelOff[i+1]]
+	}
+	return sels, nil
+}

@@ -73,22 +73,40 @@ func Compile(s string) (*Selector, error) {
 // String returns the original selector text.
 func (s *Selector) String() string { return s.raw }
 
-// Key returns an index key for the selector if every match candidate must
-// carry a specific id or class: ("#id", true), (".class", true), or
-// ("", false) when the selector needs a full scan. Only the subject
-// compound (rightmost) is consulted.
-func (s *Selector) Key() (string, bool) {
+// IndexKey names the id or class every match candidate for an indexable
+// selector must carry: Kind is '#' (id) or '.' (class), Name the bare
+// identifier. The two-field form is comparable, so it keys candidate
+// maps directly — probing costs no "#"+id string concatenation, which
+// matters both at snapshot-decode time (one insert per hiding filter)
+// and on the per-document candidate walk.
+type IndexKey struct {
+	Kind byte
+	Name string
+}
+
+// IndexKey returns the selector's index key, or ok=false when the
+// selector needs a full scan. Only the subject compound is consulted.
+func (s *Selector) IndexKey() (IndexKey, bool) {
 	if len(s.groups) != 1 {
-		return "", false
+		return IndexKey{}, false
 	}
 	c := s.groups[0].seq[0].compound
 	if c.id != "" {
-		return "#" + c.id, true
+		return IndexKey{Kind: '#', Name: c.id}, true
 	}
 	if len(c.classes) > 0 {
-		return "." + c.classes[0], true
+		return IndexKey{Kind: '.', Name: c.classes[0]}, true
 	}
-	return "", false
+	return IndexKey{}, false
+}
+
+// Key is IndexKey rendered as the familiar "#id" / ".class" string form.
+func (s *Selector) Key() (string, bool) {
+	k, ok := s.IndexKey()
+	if !ok {
+		return "", false
+	}
+	return string(k.Kind) + k.Name, true
 }
 
 // Match reports whether node matches the selector.

@@ -20,12 +20,14 @@ import (
 	"io/fs"
 	"log/slog"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"acceptableads/internal/decision/api"
 	"acceptableads/internal/engine"
+	"acceptableads/internal/engine/snapbin"
 	"acceptableads/internal/filter"
 	"acceptableads/internal/obs"
 	"acceptableads/internal/retry"
@@ -50,8 +52,11 @@ type Snapshot struct {
 	// stale cache entry can never alias a rolled-back generation.
 	RollbackOf uint64
 	// WarmStart marks a snapshot rebuilt from persisted state at startup,
-	// before the first Source fetch.
-	WarmStart bool
+	// before the first Source fetch. BinaryStart additionally marks that
+	// the engine was decoded from the persisted binary snapshot rather
+	// than recompiled from the raw list text.
+	WarmStart   bool
+	BinaryStart bool
 	// Profiles are the engine's profile names, sorted. Every snapshot has
 	// at least the implicit full profile (every list).
 	Profiles []string
@@ -238,6 +243,7 @@ type Service struct {
 	quarantines *obs.Counter
 	persists    *obs.Counter
 	warmStarts  *obs.Counter
+	binStarts   *obs.Counter
 	version     *obs.Gauge
 	logger      *slog.Logger
 }
@@ -271,6 +277,7 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	s.quarantines = &obs.Counter{}
 	s.persists = &obs.Counter{}
 	s.warmStarts = &obs.Counter{}
+	s.binStarts = &obs.Counter{}
 	s.version = &obs.Gauge{}
 	if cfg.Obs != nil {
 		s.matches = cfg.Obs.Counter("decision.matches")
@@ -282,6 +289,7 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 		s.quarantines = cfg.Obs.Counter("decision.filter.quarantines")
 		s.persists = cfg.Obs.Counter("decision.state.persists")
 		s.warmStarts = cfg.Obs.Counter("decision.state.warmstarts")
+		s.binStarts = cfg.Obs.Counter("decision.state.warmstarts.binary")
 		s.version = cfg.Obs.Gauge("decision.snapshot.version")
 	}
 	if cfg.CacheSize > 0 {
@@ -301,15 +309,26 @@ func New(ctx context.Context, cfg Config) (*Service, error) {
 	return s, nil
 }
 
-// warmStart tries to publish a snapshot rebuilt from the persisted state
-// dir. It returns (true, nil) on success; (false, nil) when there is no
-// persisted state; (false, err) when state exists but is unusable.
+// warmStart tries to publish a snapshot from the persisted state dir. It
+// prefers the binary engine snapshot — decoded in milliseconds, no list
+// parsing or compilation — and falls back to recompiling the persisted
+// raw lists when the snapshot is absent, format-skewed, corrupt, or was
+// compiled under a different profile configuration. It returns (true,
+// nil) on success; (false, nil) when there is no persisted state;
+// (false, err) when state exists but is unusable.
 func (s *Service) warmStart() (bool, error) {
-	m, lists, err := loadPersisted(s.cfg.StateDir)
+	m, err := loadManifest(s.cfg.StateDir)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			return false, nil
 		}
+		return false, err
+	}
+	if s.warmStartBinary(m) {
+		return true, nil
+	}
+	lists, err := loadPersistedLists(s.cfg.StateDir, m)
+	if err != nil {
 		return false, err
 	}
 	eng, infos, err := buildEngine(lists, s.cfg.Profiles)
@@ -325,10 +344,84 @@ func (s *Service) warmStart() (bool, error) {
 		next.WarmStart = true
 	})
 	s.warmStarts.Inc()
-	s.logger.Info("warm start: serving persisted snapshot",
+	s.logger.Info("warm start: recompiled persisted lists",
 		"persistedVersion", m.Version, "version", snap.Version,
 		"filters", eng.NumFilters(), "builtAt", m.BuiltAt)
 	return true, nil
+}
+
+// warmStartBinary attempts the fast warm-start path: decode the binary
+// engine snapshot the manifest references and publish it. Any
+// disqualification — no snapshot, codec version skew, a profile
+// configuration that differs from the one the snapshot was compiled
+// with, decode or checksum failure, canary rejection — is logged and
+// returns false so the caller recompiles from the raw lists instead.
+func (s *Service) warmStartBinary(m *persistManifest) bool {
+	if m.Snapshot == "" {
+		return false
+	}
+	if m.SnapshotFormat != snapbin.FormatVersion {
+		s.logger.Warn("binary snapshot format skew; recompiling from raw lists",
+			"persisted", m.SnapshotFormat, "decoder", snapbin.FormatVersion)
+		return false
+	}
+	if !profilesEqual(m.Profiles, s.cfg.Profiles) {
+		s.logger.Warn("binary snapshot compiled under different profiles; recompiling from raw lists")
+		return false
+	}
+	buf, err := os.ReadFile(filepath.Join(s.cfg.StateDir, m.Snapshot))
+	if err != nil {
+		s.logger.Warn("binary snapshot unreadable; recompiling from raw lists", "err", err)
+		return false
+	}
+	eng, err := snapbin.Decode(buf)
+	if err != nil {
+		s.logger.Warn("binary snapshot rejected by decoder; recompiling from raw lists", "err", err)
+		return false
+	}
+	// The canary replays its structural checks and probe corpus against
+	// the decoded engine before it is published; with no raw lists and no
+	// serving snapshot the parse-rate and differential checks self-skip.
+	if err := s.cfg.Canary.validate(eng, nil, nil); err != nil {
+		s.logger.Warn("binary snapshot rejected by canary; recompiling from raw lists", "err", err)
+		return false
+	}
+	infos := make([]ListInfo, 0, len(m.Lists))
+	for _, pl := range m.Lists {
+		infos = append(infos, ListInfo{Name: pl.Name, Filters: eng.ListFilters(pl.Name)})
+	}
+	snap := s.publish(eng, infos, m.BuiltAt, func(next *Snapshot) {
+		next.WarmStart = true
+		next.BinaryStart = true
+	})
+	s.warmStarts.Inc()
+	s.binStarts.Inc()
+	s.logger.Info("warm start: decoded binary snapshot",
+		"persistedVersion", m.Version, "version", snap.Version,
+		"filters", eng.NumFilters(), "builtAt", m.BuiltAt,
+		"bytes", len(buf))
+	return true
+}
+
+// profilesEqual reports whether two profile configurations declare the
+// same profiles with the same members in the same order. nil and empty
+// maps are equal: both mean "only the implicit full profile".
+func profilesEqual(a, b map[string][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, am := range a {
+		bm, ok := b[name]
+		if !ok || len(am) != len(bm) {
+			return false
+		}
+		for i := range am {
+			if am[i] != bm[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Snapshot returns the current engine snapshot. The result is immutable;
@@ -697,7 +790,7 @@ func (s *Service) reload(ctx context.Context) (*Snapshot, error) {
 	next := s.publish(eng, infos, time.Now(), nil)
 
 	if s.cfg.StateDir != "" {
-		if err := persistSnapshot(s.cfg.StateDir, next, lists); err != nil {
+		if err := persistSnapshot(s.cfg.StateDir, next, lists, s.cfg.Profiles); err != nil {
 			// Persistence is best-effort: the snapshot is already serving,
 			// a failed write only costs the next warm start.
 			s.logger.Warn("snapshot persist failed", "version", next.Version, "err", err)
@@ -781,7 +874,8 @@ func (s *Service) publish(eng *engine.Engine, infos []ListInfo, builtAt time.Tim
 	}
 	s.logger.Info("snapshot published",
 		"version", next.Version, "filters", eng.NumFilters(), "lists", len(infos),
-		"rollbackOf", next.RollbackOf, "warmStart", next.WarmStart)
+		"rollbackOf", next.RollbackOf, "warmStart", next.WarmStart,
+		"binary", next.BinaryStart)
 	return next
 }
 

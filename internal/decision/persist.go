@@ -9,19 +9,22 @@ import (
 	"time"
 
 	"acceptableads/internal/engine"
+	"acceptableads/internal/engine/snapbin"
 	"acceptableads/internal/filter"
 )
 
 // Warm-start persistence. Every successful publish writes the raw list
-// payloads plus a manifest to the state directory, each file via
-// write-to-temp-then-atomic-rename so a crash mid-write never leaves a
-// half state — the manifest is written last, so its presence implies the
-// list files it references are complete. A restarting service rebuilds
-// its engine from the persisted lists and serves that last-good snapshot
-// immediately, before its first (possibly slow or failing) network
-// fetch. The on-disk layout is one manifest.json plus one
-// v<version>-<name>.txt per list; files from superseded versions are
-// garbage-collected after each persist.
+// payloads, a binary snapshot of the compiled engine, and a manifest to
+// the state directory, each file via write-to-temp-then-atomic-rename so
+// a crash mid-write never leaves a half state — the manifest is written
+// last, so its presence implies the files it references are complete. A
+// restarting service decodes the binary snapshot and serves that
+// last-good engine immediately, before its first (possibly slow or
+// failing) network fetch; the raw lists stay on disk as the fallback
+// when the snapshot format has moved on or the payload fails its
+// checksum. The on-disk layout is one manifest.json plus one
+// v<version>-<name>.txt per list and one v<version>-engine.snap; files
+// from superseded versions are garbage-collected after each persist.
 
 // manifestFile is the warm-start metadata file name inside StateDir.
 const manifestFile = "manifest.json"
@@ -32,6 +35,16 @@ type persistManifest struct {
 	BuiltAt time.Time     `json:"builtAt"`
 	SavedAt time.Time     `json:"savedAt"`
 	Lists   []persistList `json:"lists"`
+	// Snapshot names the binary engine snapshot file, empty when only raw
+	// lists were persisted. SnapshotFormat records the codec version the
+	// file was written with; a decoder with a different FormatVersion
+	// ignores the file and rebuilds from the raw lists instead.
+	Snapshot       string `json:"snapshot,omitempty"`
+	SnapshotFormat uint32 `json:"snapshotFormat,omitempty"`
+	// Profiles is the profile configuration the snapshot was compiled
+	// with. Profile membership is baked into the binary snapshot, so a
+	// changed configuration invalidates it (the raw lists still apply).
+	Profiles map[string][]string `json:"profiles,omitempty"`
 }
 
 // persistList names one persisted list payload.
@@ -41,17 +54,18 @@ type persistList struct {
 	Filters int    `json:"filters"`
 }
 
-// persistSnapshot writes the snapshot's raw lists and manifest to dir.
-// Everything is written next to its final name and atomically renamed
-// into place; the manifest goes last.
-func persistSnapshot(dir string, snap *Snapshot, lists []engine.NamedList) error {
+// persistSnapshot writes the snapshot's raw lists, the binary engine
+// snapshot, and the manifest to dir. Everything is written next to its
+// final name and atomically renamed into place; the manifest goes last.
+func persistSnapshot(dir string, snap *Snapshot, lists []engine.NamedList, profiles map[string][]string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("decision: state dir: %w", err)
 	}
 	m := persistManifest{
-		Version: snap.Version,
-		BuiltAt: snap.BuiltAt,
-		SavedAt: time.Now(),
+		Version:  snap.Version,
+		BuiltAt:  snap.BuiltAt,
+		SavedAt:  time.Now(),
+		Profiles: profiles,
 	}
 	for _, nl := range lists {
 		name := fmt.Sprintf("v%d-%s.txt", snap.Version, sanitizeName(nl.Name))
@@ -64,6 +78,16 @@ func persistSnapshot(dir string, snap *Snapshot, lists []engine.NamedList) error
 			Filters: len(nl.List.Active()),
 		})
 	}
+	blob, err := snapbin.Encode(snap.Engine)
+	if err != nil {
+		return fmt.Errorf("decision: encode snapshot: %w", err)
+	}
+	snapName := fmt.Sprintf("v%d-engine.snap", snap.Version)
+	if err := atomicWrite(filepath.Join(dir, snapName), blob); err != nil {
+		return fmt.Errorf("decision: persist snapshot: %w", err)
+	}
+	m.Snapshot = snapName
+	m.SnapshotFormat = snapbin.FormatVersion
 	body, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("decision: persist manifest: %w", err)
@@ -75,37 +99,49 @@ func persistSnapshot(dir string, snap *Snapshot, lists []engine.NamedList) error
 	return nil
 }
 
-// loadPersisted reads the manifest and list payloads persisted in dir.
-// A missing manifest returns an error satisfying errors.Is(err,
+// loadManifest reads and sanity-checks the manifest persisted in dir. A
+// missing manifest returns an error satisfying errors.Is(err,
 // fs.ErrNotExist), which warm start treats as "no prior state".
-func loadPersisted(dir string) (*persistManifest, []engine.NamedList, error) {
+func loadManifest(dir string) (*persistManifest, error) {
 	body, err := os.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var m persistManifest
 	if err := json.Unmarshal(body, &m); err != nil {
-		return nil, nil, fmt.Errorf("decision: corrupt state manifest: %w", err)
+		return nil, fmt.Errorf("decision: corrupt state manifest: %w", err)
 	}
 	if len(m.Lists) == 0 {
-		return nil, nil, fmt.Errorf("decision: state manifest lists no payloads")
+		return nil, fmt.Errorf("decision: state manifest lists no payloads")
 	}
+	// The manifest names plain files inside dir; anything that could
+	// escape it (or an absolute path) marks the manifest corrupt.
+	for _, pl := range m.Lists {
+		if pl.File == "" || pl.File != filepath.Base(pl.File) {
+			return nil, fmt.Errorf("decision: state manifest references invalid file %q", pl.File)
+		}
+	}
+	if m.Snapshot != "" && m.Snapshot != filepath.Base(m.Snapshot) {
+		return nil, fmt.Errorf("decision: state manifest references invalid file %q", m.Snapshot)
+	}
+	return &m, nil
+}
+
+// loadPersistedLists reads and parses the raw list payloads the manifest
+// references — the slow warm-start path, and the fallback when the
+// binary snapshot cannot be used.
+func loadPersistedLists(dir string, m *persistManifest) ([]engine.NamedList, error) {
 	var lists []engine.NamedList
 	for _, pl := range m.Lists {
-		// The manifest names plain files inside dir; anything that could
-		// escape it (or an absolute path) marks the manifest corrupt.
-		if pl.File == "" || pl.File != filepath.Base(pl.File) {
-			return nil, nil, fmt.Errorf("decision: state manifest references invalid file %q", pl.File)
-		}
 		payload, err := os.ReadFile(filepath.Join(dir, pl.File))
 		if err != nil {
-			return nil, nil, fmt.Errorf("decision: state list %s: %w", pl.Name, err)
+			return nil, fmt.Errorf("decision: state list %s: %w", pl.Name, err)
 		}
 		lists = append(lists, engine.NamedList{
 			Name: pl.Name, List: filter.ParseListString(pl.Name, string(payload)),
 		})
 	}
-	return &m, lists, nil
+	return lists, nil
 }
 
 // atomicWrite writes data to path via a temp file in the same directory
@@ -122,12 +158,15 @@ func atomicWrite(path string, data []byte) error {
 	return nil
 }
 
-// gcStateDir removes persisted list files not referenced by the current
+// gcStateDir removes persisted files not referenced by the current
 // manifest (older versions, leftover temp files). Best effort.
 func gcStateDir(dir string, m *persistManifest) {
-	keep := make(map[string]bool, len(m.Lists))
+	keep := make(map[string]bool, len(m.Lists)+1)
 	for _, pl := range m.Lists {
 		keep[pl.File] = true
+	}
+	if m.Snapshot != "" {
+		keep[m.Snapshot] = true
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -138,7 +177,8 @@ func gcStateDir(dir string, m *persistManifest) {
 		if e.IsDir() || name == manifestFile || keep[name] {
 			continue
 		}
-		if strings.HasPrefix(name, "v") && (strings.HasSuffix(name, ".txt") || strings.HasSuffix(name, ".tmp")) {
+		if strings.HasPrefix(name, "v") &&
+			(strings.HasSuffix(name, ".txt") || strings.HasSuffix(name, ".snap") || strings.HasSuffix(name, ".tmp")) {
 			os.Remove(filepath.Join(dir, name))
 		}
 	}

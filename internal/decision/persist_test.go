@@ -55,6 +55,9 @@ func TestWarmStartServesPersistedSnapshot(t *testing.T) {
 	if !snap.WarmStart {
 		t.Error("restored snapshot not marked WarmStart")
 	}
+	if !snap.BinaryStart {
+		t.Error("warm start did not take the binary snapshot path")
+	}
 	if !svc2.Ready() {
 		t.Error("warm-started service not ready")
 	}
@@ -96,10 +99,166 @@ func TestWarmStartRejectsEscapingManifest(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte(manifest), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := loadPersisted(dir); err == nil ||
+	if _, err := loadManifest(dir); err == nil ||
 		!strings.Contains(err.Error(), "invalid file") {
-		t.Fatalf("loadPersisted(escaping manifest) = %v, want invalid-file error", err)
+		t.Fatalf("loadManifest(escaping manifest) = %v, want invalid-file error", err)
 	}
+
+	snapManifest := `{"version":1,"lists":[{"name":"l","file":"v1-l.txt","filters":1}],"snapshot":"../outside.snap"}`
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte(snapManifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadManifest(dir); err == nil ||
+		!strings.Contains(err.Error(), "invalid file") {
+		t.Fatalf("loadManifest(escaping snapshot) = %v, want invalid-file error", err)
+	}
+}
+
+// TestWarmStartBinaryFallsBackToLists: a damaged binary snapshot must
+// not take the service down or past the checksum — warm start falls back
+// to recompiling the persisted raw list text.
+func TestWarmStartBinaryFallsBackToLists(t *testing.T) {
+	corruptions := map[string]func(path string, t *testing.T){
+		"bit-flip": func(path string, t *testing.T) {
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf[len(buf)/2] ^= 0x20
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"truncated": func(path string, t *testing.T) {
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf[:len(buf)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"missing": func(path string, t *testing.T) {
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			if _, err := New(context.Background(), Config{
+				Source: Lists(testLists()...), StateDir: dir,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			m, err := loadManifest(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Snapshot == "" {
+				t.Fatal("persist wrote no binary snapshot")
+			}
+			corrupt(filepath.Join(dir, m.Snapshot), t)
+
+			svc, err := New(context.Background(), Config{
+				Source: &deadSource{}, StateDir: dir, MaxAttempts: 1,
+			})
+			if err != nil {
+				t.Fatalf("corrupt binary snapshot prevented warm start: %v", err)
+			}
+			snap := svc.Snapshot()
+			if !snap.WarmStart || snap.BinaryStart {
+				t.Errorf("warmStart=%t binaryStart=%t, want raw-list fallback (true, false)",
+					snap.WarmStart, snap.BinaryStart)
+			}
+			d, _ := svc.Match(mustRequest(t,
+				"http://ads.example.com/x.js", "http://news.example.org/"))
+			if d.Verdict != engine.Blocked {
+				t.Fatalf("fallback verdict = %v, want blocked", d.Verdict)
+			}
+		})
+	}
+}
+
+// TestWarmStartBinaryRejectsSkew: a format-version bump or a changed
+// profile configuration invalidates the binary snapshot (its profile
+// membership is baked in) but not the raw lists.
+func TestWarmStartBinaryRejectsSkew(t *testing.T) {
+	setup := func(t *testing.T, profiles map[string][]string) string {
+		dir := t.TempDir()
+		if _, err := New(context.Background(), Config{
+			Source: Lists(testLists()...), StateDir: dir, Profiles: profiles,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("format-version", func(t *testing.T) {
+		dir := setup(t, nil)
+		body, err := os.ReadFile(filepath.Join(dir, manifestFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		skewed := strings.Replace(string(body), `"snapshotFormat": `, `"snapshotFormat": 99`, 1)
+		if skewed == string(body) {
+			t.Fatal("manifest carries no snapshotFormat field")
+		}
+		if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte(skewed), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		svc, err := New(context.Background(), Config{
+			Source: &deadSource{}, StateDir: dir, MaxAttempts: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := svc.Snapshot()
+		if !snap.WarmStart || snap.BinaryStart {
+			t.Errorf("warmStart=%t binaryStart=%t, want raw-list fallback after format skew",
+				snap.WarmStart, snap.BinaryStart)
+		}
+	})
+
+	t.Run("profile-config", func(t *testing.T) {
+		dir := setup(t, map[string][]string{"easy-only": {"easylist"}})
+		svc, err := New(context.Background(), Config{
+			Source: &deadSource{}, StateDir: dir, MaxAttempts: 1,
+			Profiles: map[string][]string{"strict": {"*"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := svc.Snapshot()
+		if !snap.WarmStart || snap.BinaryStart {
+			t.Errorf("warmStart=%t binaryStart=%t, want raw-list fallback after profile change",
+				snap.WarmStart, snap.BinaryStart)
+		}
+		if _, _, err := svc.MatchProfile(mustRequest(t,
+			"http://ads.example.com/x.js", "http://news.example.org/"), "strict"); err != nil {
+			t.Errorf("fallback engine lacks the new profile: %v", err)
+		}
+	})
+
+	t.Run("profile-config-match", func(t *testing.T) {
+		profiles := map[string][]string{"easy-only": {"easylist"}}
+		dir := setup(t, profiles)
+		svc, err := New(context.Background(), Config{
+			Source: &deadSource{}, StateDir: dir, MaxAttempts: 1, Profiles: profiles,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := svc.Snapshot()
+		if !snap.BinaryStart {
+			t.Error("identical profile config should keep the binary path")
+		}
+		if _, _, err := svc.MatchProfile(mustRequest(t,
+			"http://ads.example.com/x.js", "http://news.example.org/"), "easy-only"); err != nil {
+			t.Errorf("decoded engine lacks the persisted profile: %v", err)
+		}
+	})
 }
 
 // TestWarmStartCanaryGuardsPersistedState: persisted state is validated
@@ -150,20 +309,30 @@ func TestPersistGCKeepsOnlyCurrentVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	prefix := fmt.Sprintf("v%d-", cur)
-	var payloads int
+	var payloads, snaps int
 	for _, e := range entries {
 		name := e.Name()
 		if name == manifestFile {
 			continue
 		}
-		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".txt") {
+		if !strings.HasPrefix(name, prefix) {
 			t.Errorf("stale or unexpected state file %q survived GC", name)
 			continue
 		}
-		payloads++
+		switch {
+		case strings.HasSuffix(name, ".txt"):
+			payloads++
+		case strings.HasSuffix(name, ".snap"):
+			snaps++
+		default:
+			t.Errorf("stale or unexpected state file %q survived GC", name)
+		}
 	}
 	if payloads != len(testLists()) {
 		t.Errorf("state dir holds %d payloads for v%d, want %d", payloads, cur, len(testLists()))
+	}
+	if snaps != 1 {
+		t.Errorf("state dir holds %d binary snapshots for v%d, want 1", snaps, cur)
 	}
 
 	// And the persisted state round-trips: a warm start from it serves

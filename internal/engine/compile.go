@@ -61,9 +61,22 @@ func compileWorkers(requested, n int) int {
 // count.
 func compileFilters(filters []*filter.Filter, workers int) []compiledUnit {
 	units := make([]compiledUnit, len(filters))
+	// Pattern arena: every request filter's compiled pattern lives in one
+	// contiguous slab, filled in place by the workers (slot[i] is filter
+	// i's slab cell). The slab never grows, so the *pattern handed out in
+	// each unit stays valid for the engine's lifetime.
+	nReq := 0
+	slot := make([]int32, len(filters))
+	for i, f := range filters {
+		slot[i] = int32(nReq)
+		if f.Kind == filter.KindRequestBlock || f.Kind == filter.KindRequestException {
+			nReq++
+		}
+	}
+	pats := make([]pattern, nReq)
 	workers = compileWorkers(workers, len(filters))
 	if workers == 1 || len(filters) < parallelThreshold {
-		compileRange(filters, units, 0, len(filters))
+		compileRange(filters, units, pats, slot, 0, len(filters))
 		return units
 	}
 	// Guided batch sizing: aim for a few claims per worker (amortizing the
@@ -88,7 +101,7 @@ func compileFilters(filters []*filter.Filter, workers int) []compiledUnit {
 				if hi > len(filters) {
 					hi = len(filters)
 				}
-				compileRange(filters, units, lo, hi)
+				compileRange(filters, units, pats, slot, lo, hi)
 			}
 		}()
 	}
@@ -96,12 +109,15 @@ func compileFilters(filters []*filter.Filter, workers int) []compiledUnit {
 	return units
 }
 
-func compileRange(filters []*filter.Filter, units []compiledUnit, lo, hi int) {
+func compileRange(filters []*filter.Filter, units []compiledUnit, pats []pattern, slot []int32, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		f := filters[i]
 		switch f.Kind {
 		case filter.KindRequestBlock, filter.KindRequestException:
-			units[i].pat, units[i].err = compilePattern(f)
+			p := &pats[slot[i]]
+			if units[i].err = compilePatternInto(f, p); units[i].err == nil {
+				units[i].pat = p
+			}
 		case filter.KindElemHide, filter.KindElemHideException:
 			units[i].sel, units[i].err = css.Compile(f.Selector)
 		}

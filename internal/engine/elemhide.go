@@ -9,9 +9,8 @@ import (
 // compiledElem is one element hiding filter (or exception) with its
 // compiled selector.
 type compiledElem struct {
-	f    *filter.Filter
-	list string
-	sel  *css.Selector
+	f   *filter.Filter
+	sel *css.Selector
 	// id is the filter's dense attribution slot in Engine.hits; line is
 	// its 1-based position in the source list's text.
 	id   uint32
@@ -27,7 +26,7 @@ type compiledElem struct {
 // hiding rule when an exception with the identical selector applies on the
 // page's domain).
 type elemHideIndex struct {
-	byKey      map[string][]*compiledElem // "#id" or ".class" → filters
+	byKey      map[css.IndexKey][]*compiledElem // required id/class → filters
 	slow       []*compiledElem
 	all        []*compiledElem            // linear view for the ablation
 	exceptions map[string][]*compiledElem // selector text → exceptions
@@ -35,24 +34,69 @@ type elemHideIndex struct {
 
 func newElemHideIndex() *elemHideIndex {
 	return &elemHideIndex{
-		byKey:      make(map[string][]*compiledElem),
+		byKey:      make(map[css.IndexKey][]*compiledElem),
 		exceptions: make(map[string][]*compiledElem),
 	}
 }
 
 // addCompiled files a hiding filter whose selector was already compiled
-// (compilation is hoisted into compileFilters so it can parallelize).
-func (idx *elemHideIndex) addCompiled(list string, f *filter.Filter, sel *css.Selector, id uint32, line int32, bit uint64) {
-	c := &compiledElem{f: f, list: list, sel: sel, id: id, line: line, listBit: bit}
-	if f.Kind == filter.KindElemHideException {
-		idx.exceptions[f.Selector] = append(idx.exceptions[f.Selector], c)
+// (compilation is hoisted into compileFilters so it can parallelize) and
+// whose compiledElem cell already lives in a list arena.
+func (idx *elemHideIndex) addCompiled(c *compiledElem) {
+	if c.f.Kind == filter.KindElemHideException {
+		idx.exceptions[c.f.Selector] = append(idx.exceptions[c.f.Selector], c)
 		return
 	}
 	idx.all = append(idx.all, c)
-	if key, ok := sel.Key(); ok {
+	if key, ok := c.sel.IndexKey(); ok {
 		idx.byKey[key] = append(idx.byKey[key], c)
 	} else {
 		idx.slow = append(idx.slow, c)
+	}
+}
+
+// install bulk-loads a decoded slab of compiled cells, the decode-path
+// replacement for per-filter addCompiled calls: both maps are built at
+// final size and the per-key fan-out slices are carved from one shared
+// slab, so a snapshot load costs a handful of allocations instead of one
+// map-growth-and-append per filter. Keys that repeat (rare) fall back to
+// an ordinary append; the orphaned slab cell is the accepted waste.
+func (idx *elemHideIndex) install(elems []compiledElem) {
+	nExc := 0
+	for i := range elems {
+		if elems[i].f.Kind == filter.KindElemHideException {
+			nExc++
+		}
+	}
+	nHide := len(elems) - nExc
+	idx.byKey = make(map[css.IndexKey][]*compiledElem, nHide)
+	idx.exceptions = make(map[string][]*compiledElem, nExc)
+	idx.all = make([]*compiledElem, 0, nHide)
+	slab := make([]*compiledElem, 0, len(elems))
+	single := func(c *compiledElem) []*compiledElem {
+		slab = append(slab, c)
+		return slab[len(slab)-1 : len(slab) : len(slab)]
+	}
+	for i := range elems {
+		c := &elems[i]
+		if c.f.Kind == filter.KindElemHideException {
+			if prev, ok := idx.exceptions[c.f.Selector]; ok {
+				idx.exceptions[c.f.Selector] = append(prev, c)
+			} else {
+				idx.exceptions[c.f.Selector] = single(c)
+			}
+			continue
+		}
+		idx.all = append(idx.all, c)
+		if key, ok := c.sel.IndexKey(); ok {
+			if prev, ok := idx.byKey[key]; ok {
+				idx.byKey[key] = append(prev, c)
+			} else {
+				idx.byKey[key] = single(c)
+			}
+		} else {
+			idx.slow = append(idx.slow, c)
+		}
 	}
 }
 
@@ -98,7 +142,7 @@ func (e *Engine) elemHideCandidates(doc *htmldom.Node, mask uint64) []*compiledE
 			return true
 		}
 		if id := n.ID(); id != "" {
-			for _, c := range idx.byKey["#"+id] {
+			for _, c := range idx.byKey[css.IndexKey{Kind: '#', Name: id}] {
 				if c.listBit&mask != 0 && !seen[c] {
 					seen[c] = true
 					out = append(out, c)
@@ -106,7 +150,7 @@ func (e *Engine) elemHideCandidates(doc *htmldom.Node, mask uint64) []*compiledE
 			}
 		}
 		for _, cl := range n.Classes() {
-			for _, c := range idx.byKey["."+cl] {
+			for _, c := range idx.byKey[css.IndexKey{Kind: '.', Name: cl}] {
 				if c.listBit&mask != 0 && !seen[c] {
 					seen[c] = true
 					out = append(out, c)

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"acceptableads/internal/filter"
@@ -180,9 +182,12 @@ func (f RecorderFunc) Record(a Activation) { f(a) }
 
 // compiledRequest is one request filter ready for matching.
 type compiledRequest struct {
-	f    *filter.Filter
-	list string
-	pat  *pattern
+	f *filter.Filter
+	// pat is inlined by value: the pattern's gates run on every candidate
+	// the packed word lets through, so keeping them on the filter's own
+	// cache lines beats a pointer chase, and a decoded engine carves one
+	// request slab instead of a parallel pattern slab.
+	pat pattern
 	// id is the filter's dense attribution slot in Engine.hits; line is
 	// its 1-based position in the source list's text.
 	id   uint32
@@ -290,10 +295,26 @@ type bucket struct {
 	entries []packedEntry
 }
 
-// bucketAcc accumulates one bucket's entries per role during
-// construction; freeze flattens it into the probe layout.
-type bucketAcc struct {
-	perRole [numRoles][]packedEntry
+// hostIndexMinBucket is the population threshold below which a host key
+// is not worth a reversed-domain bucket. A real corpus has thousands of
+// one-filter host keys (`||foo-net123.com^` bulk rules): filing each in
+// byHost makes every request pay map probes per host-suffix span just to
+// find singleton buckets, which measured *slower* than letting those
+// filters ride their keyword buckets. Dense keys (a CDN host shared by
+// hundreds of whitelist rules) are where the host index wins, so only
+// keys with at least this many filters stay in byHost; the rest spill to
+// their keyword bucket (or the slow path when keyword-less).
+const hostIndexMinBucket = 4
+
+// addRec is one entry of the index's ordered construction log. freeze()
+// re-derives every probe structure from this log: routing a filter to
+// the host index depends on the *global* population of its host key,
+// which is only known once the whole corpus is filed.
+type addRec struct {
+	c       *compiledRequest
+	word    uint64
+	hostKey string
+	r       role
 }
 
 // unifiedIndex is candidate-pruning index v2. Request filters of all four
@@ -323,73 +344,156 @@ type unifiedIndex struct {
 	// quarantine sweeps — every compiled filter is reachable here).
 	all [numRoles][]*compiledRequest
 
-	// Construction-side accumulators; freeze() rebuilds the probe maps
-	// from them after every list so the deprecated mutate-and-match
-	// AddList path stays correct.
-	accHash map[uint64]*bucketAcc
-	accHost map[string]*bucketAcc
+	// Arena backing for the probe maps: every bucket header lives in the
+	// flat buckets slab and every bucket's role segments are windows of
+	// the shared entries slab, so walking candidates streams one dense
+	// array instead of hopping between per-bucket heap allocations.
+	entries []packedEntry
+	buckets []bucket
+
+	// adds is the ordered construction log; freeze() re-derives the probe
+	// structures from it (see addRec).
+	adds []addRec
 }
 
 func newUnifiedIndex() *unifiedIndex {
 	return &unifiedIndex{
-		byHash:  make(map[uint64]*bucket),
-		byHost:  make(map[string]*bucket),
-		accHash: make(map[uint64]*bucketAcc),
-		accHost: make(map[string]*bucketAcc),
+		byHash: make(map[uint64]*bucket),
+		byHost: make(map[string]*bucket),
 	}
 }
 
-// add files one compiled filter. hostKey selects the reversed-domain
-// index ("" means keyword bucket or slow path); word is the filter's
-// packed pre-filter word.
+// add files one compiled filter into the construction log. hostKey
+// nominates the filter for the reversed-domain index ("" means keyword
+// bucket or slow path — freeze may still demote a sparse host key);
+// word is the filter's packed pre-filter word.
 func (idx *unifiedIndex) add(r role, c *compiledRequest, word uint64, hostKey string) {
 	idx.all[r] = append(idx.all[r], c)
-	pe := packedEntry{word: word, listBit: c.listBit, c: c, id: c.id}
-	if hostKey != "" {
-		acc := idx.accHost[hostKey]
-		if acc == nil {
-			acc = &bucketAcc{}
-			idx.accHost[hostKey] = acc
+	idx.adds = append(idx.adds, addRec{c: c, word: word, hostKey: hostKey, r: r})
+}
+
+// grow pre-sizes the construction log and per-role lists for extra
+// insertions with the given role populations, so a bulk load (snapshot
+// decode, large list) files every filter without a single realloc.
+func (idx *unifiedIndex) grow(extra int, perRole *[numRoles]int) {
+	if cap(idx.adds)-len(idx.adds) < extra {
+		adds := make([]addRec, len(idx.adds), len(idx.adds)+extra)
+		copy(adds, idx.adds)
+		idx.adds = adds
+	}
+	for r := role(0); r < numRoles; r++ {
+		if cap(idx.all[r])-len(idx.all[r]) < perRole[r] {
+			all := make([]*compiledRequest, len(idx.all[r]), len(idx.all[r])+perRole[r])
+			copy(all, idx.all[r])
+			idx.all[r] = all
 		}
-		acc.perRole[r] = append(acc.perRole[r], pe)
-		return
 	}
-	if !c.pat.hasKW {
-		idx.slow[r] = append(idx.slow[r], pe)
-		return
-	}
-	acc := idx.accHash[c.pat.kwHash]
-	if acc == nil {
-		acc = &bucketAcc{}
-		idx.accHash[c.pat.kwHash] = acc
-	}
-	acc.perRole[r] = append(acc.perRole[r], pe)
 }
 
-// freeze (re)builds the role-partitioned probe buckets from the
-// accumulators. Insertion happens in id order, so each role segment is
-// already sorted; freezing is a concatenation.
+// freeze (re)builds the role-partitioned probe structures from the
+// construction log. Host keys below hostIndexMinBucket spill to keyword
+// buckets; everything is then flattened into the two shared slabs.
+//
+// The build is a counting sort: pass one resolves every insertion to its
+// bucket slot and counts per-(bucket, role) populations, pass two places
+// each packed entry straight into its final slab cell — no per-bucket
+// accumulator slices, no copies, and the slabs are allocated at exactly
+// their final size. Insertion happens in id order and the cursors only
+// move forward, so each role segment comes out id-sorted as resolve
+// requires.
 func (idx *unifiedIndex) freeze() {
-	for h, acc := range idx.accHash {
-		idx.byHash[h] = acc.freeze()
+	nAdds := len(idx.adds)
+	hostPop := make(map[string]int, nAdds/4+1)
+	for i := range idx.adds {
+		if k := idx.adds[i].hostKey; k != "" {
+			hostPop[k]++
+		}
 	}
-	for k, acc := range idx.accHost {
-		idx.byHost[k] = acc.freeze()
+	// Pass one: slot resolution and population counts. slotOf remembers
+	// each insertion's bucket so pass two never repeats a map lookup.
+	hashSlot := make(map[uint64]int32, nAdds/2+1)
+	hostSlot := make(map[string]int32, len(hostPop))
+	slotOf := make([]int32, nAdds)
+	counts := make([][numRoles]uint32, 0, nAdds/2+1)
+	var slowCount [numRoles]int
+	for i := range idx.adds {
+		a := &idx.adds[i]
+		var slot int32
+		switch {
+		case a.hostKey != "" && hostPop[a.hostKey] >= hostIndexMinBucket:
+			s, ok := hostSlot[a.hostKey]
+			if !ok {
+				s = int32(len(counts))
+				hostSlot[a.hostKey] = s
+				counts = append(counts, [numRoles]uint32{})
+			}
+			slot = s
+		case a.c.pat.hasKW:
+			s, ok := hashSlot[a.c.pat.kwHash]
+			if !ok {
+				s = int32(len(counts))
+				hashSlot[a.c.pat.kwHash] = s
+				counts = append(counts, [numRoles]uint32{})
+			}
+			slot = s
+		default:
+			slowCount[a.r]++
+			slotOf[i] = -1
+			continue
+		}
+		counts[slot][a.r]++
+		slotOf[i] = slot
 	}
-}
-
-func (acc *bucketAcc) freeze() *bucket {
-	n := 0
-	for r := range acc.perRole {
-		n += len(acc.perRole[r])
+	// Lay the buckets out over the shared slabs: each bucket's role
+	// offsets come from its population prefix sums, and counts[s] is
+	// reused in place as the absolute placement cursors for pass two.
+	bucketed := 0
+	for s := range counts {
+		for r := role(0); r < numRoles; r++ {
+			bucketed += int(counts[s][r])
+		}
 	}
-	b := &bucket{entries: make([]packedEntry, 0, n)}
-	for r := range acc.perRole {
-		b.offs[r] = uint32(len(b.entries))
-		b.entries = append(b.entries, acc.perRole[r]...)
+	idx.entries = make([]packedEntry, bucketed)
+	idx.buckets = make([]bucket, len(counts))
+	idx.byHash = make(map[uint64]*bucket, len(hashSlot))
+	idx.byHost = make(map[string]*bucket, len(hostSlot))
+	base := uint32(0)
+	for s := range idx.buckets {
+		b := &idx.buckets[s]
+		start := base
+		for r := role(0); r < numRoles; r++ {
+			b.offs[r] = base - start
+			cnt := counts[s][r]
+			counts[s][r] = base
+			base += cnt
+		}
+		b.offs[numRoles] = base - start
+		b.entries = idx.entries[start:base:base]
 	}
-	b.offs[numRoles] = uint32(len(b.entries))
-	return b
+	for h, s := range hashSlot {
+		idx.byHash[h] = &idx.buckets[s]
+	}
+	for k, s := range hostSlot {
+		idx.byHost[k] = &idx.buckets[s]
+	}
+	var slow [numRoles][]packedEntry
+	for r := role(0); r < numRoles; r++ {
+		if slowCount[r] > 0 {
+			slow[r] = make([]packedEntry, 0, slowCount[r])
+		}
+	}
+	// Pass two: direct placement.
+	for i := range idx.adds {
+		a := &idx.adds[i]
+		pe := packedEntry{word: a.word, listBit: a.c.listBit, c: a.c, id: a.c.id}
+		if s := slotOf[i]; s >= 0 {
+			idx.entries[counts[s][a.r]] = pe
+			counts[s][a.r]++
+		} else {
+			slow[a.r] = append(slow[a.r], pe)
+		}
+	}
+	idx.slow = slow
 }
 
 // scanBucket scans one bucket's wanted role segments, improving res/best
@@ -549,8 +653,18 @@ type Engine struct {
 	noFingerprint bool
 	noHostIndex   bool
 	// refs maps a filter's dense id to its identity (filter, list, line)
-	// — the lookup side of the attribution slots.
-	refs []filterRef
+	// — the lookup side of the attribution slots. A built engine fills it
+	// during insertCompiled; a snapshot-decoded engine leaves it nil and
+	// materializes on first use from the lazyRef columns (the stats and
+	// re-encode paths that read refs are cold, and every input stays
+	// alive as a zero-copy view, so decode skips one slab entirely).
+	refs     []filterRef
+	refsOnce sync.Once
+	// lazyRefFilters/lazyRefLine/lazyRefListIdx are the id-indexed columns
+	// filterRefs materializes from on a decoded engine.
+	lazyRefFilters []filter.Filter
+	lazyRefLine    []int32
+	lazyRefListIdx []uint8
 	// hits holds one atomic counter per compiled filter, indexed by the
 	// filter's id. It is (re)sized at the end of every addList, so after
 	// construction every filter has a slot and the match path bumps it
@@ -564,12 +678,43 @@ type Engine struct {
 	quarCount atomic.Int64
 }
 
-// filterRef is the identity behind one attribution slot.
+// filterRef is the identity behind one attribution slot. The source list
+// travels as its load-order index — 1 byte against a 16-byte string
+// header; 36k-filter corpora make that difference a visible slice of the
+// snapshot-decode budget.
 type filterRef struct {
-	f    *filter.Filter
-	list string
-	line int32
+	f       *filter.Filter
+	line    int32
+	listIdx uint8
 }
+
+// filterRefs returns the id-indexed filter identities, materializing
+// them on first use for a snapshot-decoded engine (whose decode path
+// keeps only the zero-copy line/list columns). Built engines return the
+// slice insertCompiled filled. Safe for concurrent readers.
+func (e *Engine) filterRefs() []filterRef {
+	e.refsOnce.Do(func() {
+		if e.refs != nil || e.lazyRefFilters == nil {
+			return
+		}
+		refs := make([]filterRef, len(e.lazyRefFilters))
+		for i := range refs {
+			refs[i] = filterRef{f: &e.lazyRefFilters[i], line: e.lazyRefLine[i], listIdx: e.lazyRefListIdx[i]}
+		}
+		e.refs = refs
+	})
+	return e.refs
+}
+
+// listNameOf resolves a membership bit back to its list's name. Every
+// compiled form carries its listBit for profile gating, so provenance
+// does not need to store the name alongside it.
+func listNameOf(lists []string, listBit uint64) string {
+	return lists[bits.TrailingZeros64(listBit)]
+}
+
+// listOf resolves a compiled filter's membership bit to its list name.
+func (e *Engine) listOf(listBit uint64) string { return listNameOf(e.lists, listBit) }
 
 // hit bumps a filter's attribution slot. The guard only matters for the
 // deprecated mutate-while-matching AddList path; built engines always
@@ -642,11 +787,16 @@ func (e *Engine) addList(name string, l *filter.List, workers int) error {
 		}
 	}
 	units := compileFilters(filters, workers)
+	// Arena allocation: count each compiled kind up front so every
+	// compiledRequest / compiledElem of the list lands in one contiguous
+	// slab. Cells are handed out by index (never append), so the pointers
+	// filed in the indexes stay stable for the engine's lifetime.
+	arena := newListArena(filters)
 	for i, f := range filters {
 		if err := units[i].err; err != nil {
 			return fmt.Errorf("engine: list %s: filter %q: %w", name, f.Raw, err)
 		}
-		e.insertCompiled(name, f, units[i], lines[i])
+		e.insertCompiled(name, f, units[i], lines[i], arena)
 	}
 	if e.listCounts == nil {
 		e.listCounts = make(map[string]int)
@@ -662,34 +812,69 @@ func (e *Engine) addList(name string, l *filter.List, workers int) error {
 	return nil
 }
 
+// listArena holds one list's compiled-filter slabs. Cells are claimed by
+// index into fixed-size backing arrays, so &req[i] / &elem[i] are stable
+// addresses the indexes can file.
+type listArena struct {
+	req        []compiledRequest
+	elem       []compiledElem
+	nReq, nElem int
+}
+
+func newListArena(filters []*filter.Filter) *listArena {
+	nReq, nElem := 0, 0
+	for _, f := range filters {
+		switch f.Kind {
+		case filter.KindRequestBlock, filter.KindRequestException:
+			nReq++
+		case filter.KindElemHide, filter.KindElemHideException:
+			nElem++
+		}
+	}
+	return &listArena{req: make([]compiledRequest, nReq), elem: make([]compiledElem, nElem)}
+}
+
 // insertCompiled files one pre-compiled filter into the indexes under the
-// next dense attribution id.
-func (e *Engine) insertCompiled(list string, f *filter.Filter, u compiledUnit, line int32) {
+// next dense attribution id, placing its compiled form in the arena.
+func (e *Engine) insertCompiled(list string, f *filter.Filter, u compiledUnit, line int32, arena *listArena) {
 	id := uint32(len(e.refs))
 	bit := e.listBits[list]
+	li := uint8(bits.TrailingZeros64(bit))
 	switch f.Kind {
 	case filter.KindRequestBlock, filter.KindRequestException:
-		c := &compiledRequest{f: f, list: list, pat: u.pat, id: id, line: line, listBit: bit}
+		c := &arena.req[arena.nReq]
+		arena.nReq++
+		c.f, c.pat, c.id, c.line, c.listBit = f, *u.pat, id, line, bit
 		word := buildGateWord(f, u.pat, e.noFingerprint)
 		hostKey := u.pat.hostKey
 		if e.noHostIndex {
 			hostKey = ""
 		}
-		switch {
-		case f.DoNotTrack && f.Kind == filter.KindRequestBlock:
-			e.index.add(roleDNT, c, word, hostKey)
-		case f.DoNotTrack:
-			e.index.add(roleDNTException, c, word, hostKey)
-		case f.Kind == filter.KindRequestBlock:
-			e.index.add(roleBlocking, c, word, hostKey)
-		default:
-			e.index.add(roleException, c, word, hostKey)
-		}
+		e.index.add(requestRole(f), c, word, hostKey)
 	case filter.KindElemHide, filter.KindElemHideException:
-		e.elemHide.addCompiled(list, f, u.sel, id, line, bit)
+		c := &arena.elem[arena.nElem]
+		arena.nElem++
+		c.f, c.sel, c.id, c.line, c.listBit = f, u.sel, id, line, bit
+		e.elemHide.addCompiled(c)
 	}
-	e.refs = append(e.refs, filterRef{f: f, list: list, line: line})
+	e.refs = append(e.refs, filterRef{f: f, line: line, listIdx: li})
 	e.numFilters++
+}
+
+// requestRole derives a request filter's index role from its kind and
+// $donottrack flag — the inverse of what insertCompiled stores, which is
+// why the snapshot codec never serializes roles.
+func requestRole(f *filter.Filter) role {
+	switch {
+	case f.DoNotTrack && f.Kind == filter.KindRequestBlock:
+		return roleDNT
+	case f.DoNotTrack:
+		return roleDNTException
+	case f.Kind == filter.KindRequestBlock:
+		return roleBlocking
+	default:
+		return roleException
+	}
 }
 
 // NumFilters returns the number of compiled filters.
@@ -720,11 +905,12 @@ type FilterStat struct {
 // load, so the snapshot is per-filter consistent (not a global cut — hits
 // landing mid-snapshot may or may not be included).
 func (e *Engine) FilterStats() []FilterStat {
-	out := make([]FilterStat, len(e.refs))
-	for i, r := range e.refs {
+	refs := e.filterRefs()
+	out := make([]FilterStat, len(refs))
+	for i, r := range refs {
 		out[i] = FilterStat{
 			Filter: r.f.Raw,
-			List:   r.list,
+			List:   e.lists[r.listIdx],
 			Line:   int(r.line),
 			Hits:   e.hits[i].Load(),
 		}
@@ -760,13 +946,14 @@ func (e *Engine) AttributionByList() map[string]ListAttribution {
 	for _, name := range e.lists {
 		out[name] = ListAttribution{Filters: e.listCounts[name]}
 	}
-	for i, r := range e.refs {
-		la := out[r.list]
+	for i, r := range e.filterRefs() {
+		name := e.lists[r.listIdx]
+		la := out[name]
 		if h := e.hits[i].Load(); h > 0 {
 			la.Fired++
 			la.Hits += h
 		}
-		out[r.list] = la
+		out[name] = la
 	}
 	return out
 }

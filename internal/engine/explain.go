@@ -86,6 +86,11 @@ type Trail struct {
 	Exception *TrailMatch `json:"exception,omitempty"`
 	// DoNotTrack mirrors the decision's DNT signal.
 	DoNotTrack bool `json:"doNotTrack,omitempty"`
+
+	// lists is the engine's list-name table, installed by the session on
+	// reset; compiled filters carry only their list bit, and the trail
+	// resolves it to a name at record time.
+	lists []string
 }
 
 // reset clears the trail for reuse, keeping the candidate slice's
@@ -122,7 +127,7 @@ func (t *Trail) candidate(c *compiledRequest, r role, matched, slow bool) {
 		return
 	}
 	t.Candidates = append(t.Candidates, TrailCandidate{
-		TrailMatch: TrailMatch{Filter: c.f.Raw, List: c.list, Line: int(c.line)},
+		TrailMatch: TrailMatch{Filter: c.f.Raw, List: listNameOf(t.lists, c.listBit), Line: int(c.line)},
 		Role:       roleNames[r],
 		Matched:    matched,
 		Slow:       slow,
@@ -134,10 +139,10 @@ func (t *Trail) finish(d *Decision, block, exc *compiledRequest) {
 	t.Verdict = d.Verdict.String()
 	t.DoNotTrack = d.DoNotTrack
 	if block != nil {
-		t.Block = &TrailMatch{Filter: block.f.Raw, List: block.list, Line: int(block.line)}
+		t.Block = &TrailMatch{Filter: block.f.Raw, List: listNameOf(t.lists, block.listBit), Line: int(block.line)}
 	}
 	if exc != nil {
-		t.Exception = &TrailMatch{Filter: exc.f.Raw, List: exc.list, Line: int(exc.line)}
+		t.Exception = &TrailMatch{Filter: exc.f.Raw, List: listNameOf(t.lists, exc.listBit), Line: int(exc.line)}
 	}
 }
 

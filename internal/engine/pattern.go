@@ -20,31 +20,46 @@ import (
 // wildcards. The '^' separator placeholder stays embedded in segments and is
 // interpreted during matching ("anything but a letter, a digit, or one of
 // _ - . %", or the end of the URL).
+// The five booleans trail the pointer-sized fields so the struct packs
+// into 64 bytes — it is inlined by value into every compiledRequest, so
+// its padding is multiplied by the corpus size.
 type pattern struct {
-	segments     []string
-	anchorStart  bool
-	anchorEnd    bool
-	anchorDomain bool
-	matchCase    bool
-	re           *regexp.Regexp // non-nil for /.../ regex filters
+	segments []string
+	re       *regexp.Regexp // non-nil for /.../ regex filters
 
 	// kwHash is the fnv64 of the filter's indexing keyword, valid when
 	// hasKW; keyword-less filters (and regex filters, whose source text
 	// is not literal) go to the always-probed slow bucket.
 	kwHash uint64
-	hasKW  bool
 
 	// hostKey is the pattern host under which the filter is filed in the
 	// reversed-domain host index, or "" when it is not host-keyable (see
 	// trieHostKey). Host-keyed filters skip the keyword buckets entirely.
 	hostKey string
+
+	anchorStart  bool
+	anchorEnd    bool
+	anchorDomain bool
+	matchCase    bool
+	hasKW        bool
 }
 
 // compilePattern builds a matcher for a request filter. Regex filters
 // compile through the regexp package; everything else uses the segment
 // matcher. An error is returned only for invalid regular expressions.
 func compilePattern(f *filter.Filter) (*pattern, error) {
-	p := &pattern{
+	p := new(pattern)
+	if err := compilePatternInto(f, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// compilePatternInto compiles f into a caller-provided pattern slot —
+// the arena form: compileFilters points each worker at a slab cell so
+// every pattern of a list lands in one contiguous allocation.
+func compilePatternInto(f *filter.Filter, p *pattern) error {
+	*p = pattern{
 		anchorStart:  f.AnchorStart,
 		anchorEnd:    f.AnchorEnd,
 		anchorDomain: f.AnchorDomain,
@@ -64,7 +79,7 @@ func compilePattern(f *filter.Filter) (*pattern, error) {
 			}
 			p.segments = []string{text}
 			p.setKeyword(f)
-			return p, nil
+			return nil
 		}
 		expr := f.Pattern
 		if !f.MatchCase {
@@ -72,10 +87,10 @@ func compilePattern(f *filter.Filter) (*pattern, error) {
 		}
 		re, err := regexp.Compile(expr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.re = re
-		return p, nil
+		return nil
 	}
 	text := f.Pattern
 	if !f.MatchCase {
@@ -92,7 +107,7 @@ func compilePattern(f *filter.Filter) (*pattern, error) {
 	// every URL.
 	p.setKeyword(f)
 	p.hostKey = trieHostKey(f)
-	return p, nil
+	return nil
 }
 
 // setKeyword computes the indexing keyword hash at compile time, once per

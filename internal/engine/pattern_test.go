@@ -15,7 +15,7 @@ func compile(t *testing.T, line string) *pattern {
 	t.Helper()
 	f := filter.Parse(line)
 	if !f.IsActive() {
-		t.Fatalf("filter %q did not parse: %s", line, f.Err)
+		t.Fatalf("filter %q did not parse: %s", line, f.Text)
 	}
 	p, err := compilePattern(f)
 	if err != nil {

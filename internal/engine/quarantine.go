@@ -67,7 +67,7 @@ func (e *Engine) QuarantinePanicking(req *Request) []FilterStat {
 				e.quarCount.Add(1)
 				out = append(out, FilterStat{
 					Filter: c.f.Raw,
-					List:   c.list,
+					List:   e.listOf(c.listBit),
 					Line:   int(c.line),
 					Hits:   e.hits[c.id].Load(),
 				})
@@ -97,7 +97,7 @@ func (e *Engine) Quarantined() []FilterStat {
 			if c.state.Load() == filterQuarantined {
 				out = append(out, FilterStat{
 					Filter: c.f.Raw,
-					List:   c.list,
+					List:   e.listOf(c.listBit),
 					Line:   int(c.line),
 					Hits:   e.hits[c.id].Load(),
 				})

@@ -65,6 +65,7 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 	}
 	if tr != nil {
 		tr.reset(trailMode(bits), bits&optShortCircuit != 0)
+		tr.lists = s.e.lists
 	}
 	req.prepare()
 	if tr != nil {
@@ -84,9 +85,9 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 			if c == nil {
 				return finishTrail(tr, &d, nil, nil)
 			}
-			d.blocked = Match{Filter: c.f, List: c.list}
+			d.blocked = Match{Filter: c.f, List: s.e.listOf(c.listBit)}
 			if x := idx.findLinear(req, roleException, s.mask, tr); x != nil {
-				d.allowed = Match{Filter: x.f, List: x.list}
+				d.allowed = Match{Filter: x.f, List: s.e.listOf(x.listBit)}
 				d.Verdict = Allowed
 				return finishTrail(tr, &d, c, x)
 			}
@@ -96,10 +97,10 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		c := idx.findLinear(req, roleBlocking, s.mask, tr)
 		x := idx.findLinear(req, roleException, s.mask, tr)
 		if c != nil {
-			d.blocked = Match{Filter: c.f, List: c.list}
+			d.blocked = Match{Filter: c.f, List: s.e.listOf(c.listBit)}
 		}
 		if x != nil {
-			d.allowed = Match{Filter: x.f, List: x.list}
+			d.allowed = Match{Filter: x.f, List: s.e.listOf(x.listBit)}
 		}
 		switch {
 		case d.allowed.Filter != nil:
@@ -123,9 +124,9 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 		if c == nil {
 			return finishTrail(tr, &d, nil, nil)
 		}
-		d.blocked = Match{Filter: c.f, List: c.list}
+		d.blocked = Match{Filter: c.f, List: s.e.listOf(c.listBit)}
 		if x := res[roleException]; x != nil {
-			d.allowed = Match{Filter: x.f, List: x.list}
+			d.allowed = Match{Filter: x.f, List: s.e.listOf(x.listBit)}
 			d.Verdict = Allowed
 			s.e.hit(x.id)
 			return finishTrail(tr, &d, c, x)
@@ -150,10 +151,10 @@ func (s *Session) MatchRequest(req *Request, opts ...MatchOption) Decision {
 	var res [numRoles]*compiledRequest
 	idx.resolve(req, want, s.mask, &res, tr)
 	if c := res[roleBlocking]; c != nil {
-		d.blocked = Match{Filter: c.f, List: c.list}
+		d.blocked = Match{Filter: c.f, List: s.e.listOf(c.listBit)}
 	}
 	if c := res[roleException]; c != nil {
-		d.allowed = Match{Filter: c.f, List: c.list}
+		d.allowed = Match{Filter: c.f, List: s.e.listOf(c.listBit)}
 	}
 	switch {
 	case d.allowed.Filter != nil:
@@ -231,16 +232,16 @@ func (s *Session) PagePermissions(pageURL, sitekeyB64 string) PageFlags {
 	}
 	if c := probe(filter.TypeDocument); c != nil {
 		flags.DocumentAllowed = true
-		flags.DocumentBy = &Match{Filter: c.f, List: c.list}
+		flags.DocumentBy = &Match{Filter: c.f, List: s.e.listOf(c.listBit)}
 		s.e.hit(c.id)
-		s.record(Activation{Filter: c.f, List: c.list, Kind: ActDocument,
+		s.record(Activation{Filter: c.f, List: s.e.listOf(c.listBit), Kind: ActDocument,
 			URL: pageURL, PageHost: req.DocumentHost})
 	}
 	if c := probe(filter.TypeElemHide); c != nil {
 		flags.ElemHideDisabled = true
-		flags.ElemHideBy = &Match{Filter: c.f, List: c.list}
+		flags.ElemHideBy = &Match{Filter: c.f, List: s.e.listOf(c.listBit)}
 		s.e.hit(c.id)
-		s.record(Activation{Filter: c.f, List: c.list, Kind: ActDocument,
+		s.record(Activation{Filter: c.f, List: s.e.listOf(c.listBit), Kind: ActDocument,
 			URL: pageURL, PageHost: req.DocumentHost})
 	}
 	return flags
@@ -273,17 +274,17 @@ func (s *Session) applyElemHide(candidates []*compiledElem, doc *htmldom.Node, p
 		}
 		exc := s.e.findElemException(c.f.Selector, docHost, s.mask)
 		for _, n := range nodes {
-			m := ElementMatch{Node: n, HiddenBy: Match{Filter: c.f, List: c.list}}
+			m := ElementMatch{Node: n, HiddenBy: Match{Filter: c.f, List: s.e.listOf(c.listBit)}}
 			if exc != nil {
-				m.AllowedBy = &Match{Filter: exc.f, List: exc.list}
+				m.AllowedBy = &Match{Filter: exc.f, List: s.e.listOf(exc.listBit)}
 			}
 			out = append(out, m)
 			s.e.hit(c.id)
-			s.record(Activation{Filter: c.f, List: c.list, Kind: ActElement,
+			s.record(Activation{Filter: c.f, List: s.e.listOf(c.listBit), Kind: ActElement,
 				URL: pageURL, PageHost: docHost})
 			if exc != nil {
 				s.e.hit(exc.id)
-				s.record(Activation{Filter: exc.f, List: exc.list, Kind: ActElement,
+				s.record(Activation{Filter: exc.f, List: s.e.listOf(exc.listBit), Kind: ActElement,
 					URL: pageURL, PageHost: docHost})
 			}
 		}

@@ -1,0 +1,87 @@
+package snapbin_test
+
+import (
+	"strings"
+	"testing"
+
+	"acceptableads/internal/engine"
+	"acceptableads/internal/engine/snapbin"
+	"acceptableads/internal/filter"
+)
+
+// FuzzSnapshotDecode: arbitrary bytes fed to the decoder must either
+// decode into a fully working engine or return an error — never panic,
+// never yield a half-built engine. The seed corpus is a valid snapshot
+// plus the damage classes the warm-start path must survive: truncations,
+// bit flips, and version skew.
+func FuzzSnapshotDecode(f *testing.F) {
+	b := engine.NewBuilder()
+	lists := map[string]string{
+		"easylist": strings.Join([]string{
+			"||adzerk.net^$third-party",
+			"||doubleclick.net^",
+			"/ad-frame/",
+			"/ads[0-9]+/",
+			"||track.io^$domain=shop.example|~mail.shop.example",
+			"||cdn.served.net^$match-case",
+			"||beacon.example^$donottrack",
+			"##.ad-slot",
+			"shop.example###promo",
+		}, "\n"),
+		"exceptionrules": strings.Join([]string{
+			"@@||adzerk.net/reddit/$subdocument,document,domain=reddit.com",
+			"@@$sitekey=MFwwDQYJKwEAAQ,document",
+			"#@#.ad-slot",
+		}, "\n"),
+	}
+	for _, name := range []string{"easylist", "exceptionrules"} {
+		if err := b.Add(name, filter.ParseListString(name, lists[name])); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := b.Profile("easy-only", "easylist"); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := snapbin.Encode(b.Build())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	for _, cut := range []int{0, 7, 12, 20, len(valid) / 2, len(valid) - 1} {
+		f.Add(append([]byte(nil), valid[:cut]...))
+	}
+	for _, pos := range []int{3, 8, 16, 24, len(valid) / 2, len(valid) - 2} {
+		flipped := append([]byte(nil), valid...)
+		flipped[pos] ^= 0x40
+		f.Add(flipped)
+	}
+	skew := append([]byte(nil), valid...)
+	skew[8] = 0xfe // format version lives outside the checksum
+	f.Add(skew)
+	f.Add([]byte("AASNAPBN"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := snapbin.Decode(data)
+		if err != nil {
+			if e != nil {
+				t.Fatalf("decode returned engine AND error %v", err)
+			}
+			return
+		}
+		// No error: the engine must be fully built — matching, views and
+		// stats must all work without panicking.
+		req := &engine.Request{URL: "http://stats.doubleclick.net/x", Type: filter.TypeImage, DocumentHost: "shop.example"}
+		e.MatchRequest(req)
+		e.MatchRequest(req, engine.WithShortCircuit())
+		if v, err := e.View(engine.DefaultProfile); err != nil {
+			t.Fatalf("decoded engine lacks the default profile: %v", err)
+		} else {
+			v.MatchRequest(req)
+		}
+		_ = e.NumFilters()
+		_ = e.FilterStats()
+		for _, host := range []string{"shop.example", "other.example"} {
+			_ = e.ElemHideCSS(host)
+		}
+	})
+}

@@ -270,10 +270,10 @@ func (e *Engine) Diff(req *Request, a, b *View) DiffResult {
 func diffSide(e *Engine, profile string, res *[numRoles]*compiledRequest) DiffSide {
 	s := DiffSide{Profile: profile, Verdict: NoMatch.String()}
 	if c := res[roleBlocking]; c != nil {
-		s.Block = &TrailMatch{Filter: c.f.Raw, List: c.list, Line: int(c.line)}
+		s.Block = &TrailMatch{Filter: c.f.Raw, List: e.listOf(c.listBit), Line: int(c.line)}
 	}
 	if x := res[roleException]; x != nil {
-		s.Exception = &TrailMatch{Filter: x.f.Raw, List: x.list, Line: int(x.line)}
+		s.Exception = &TrailMatch{Filter: x.f.Raw, List: e.listOf(x.listBit), Line: int(x.line)}
 		s.Verdict = Allowed.String()
 		e.hit(res[roleException].id)
 		return s

@@ -16,9 +16,16 @@ import (
 // its matches by value.
 func TestMatchRequestZeroAlloc(t *testing.T) {
 	e := mustEngine(t,
+		// doubleclick.net appears hostIndexMinBucket times so the fixture
+		// exercises the reversed-domain index (sparse host keys spill to
+		// the keyword buckets); '||doubleclick.net^' stays first so the
+		// winning identity is the minimum-insertion-id filter.
 		listOf("easylist", strings.Join([]string{
 			"||adzerk.net^$third-party",
 			"||doubleclick.net^",
+			"||doubleclick.net/pixel/",
+			"||doubleclick.net^$script",
+			"||doubleclick.net^$third-party,image",
 			"/ad-frame/",
 			"||ads.example^$script",
 			"|http://exact.example/ad.jpg|",
@@ -36,7 +43,8 @@ func TestMatchRequestZeroAlloc(t *testing.T) {
 		// blocked via the reversed-domain host index ('||doubleclick.net^'
 		// is trie-keyed; exercises the hostKeys memo and the trie probe)
 		{"http://stats.g.doubleclick.net/r/collect", "http://toyota.com/", filter.TypeImage},
-		// allowed via a host-indexed exception
+		// allowed via an exception (its sparse host key rides a keyword
+		// bucket)
 		{"http://static.adzerk.net/reddit/ads.html", "http://www.reddit.com/", filter.TypeSubdocument},
 		// no match at all
 		{"http://plain.example/index.css", "http://plain.example/", filter.TypeStylesheet},

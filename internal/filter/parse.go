@@ -36,7 +36,7 @@ func Parse(line string) *Filter {
 
 	if len(line) > MaxLength {
 		f.Kind = KindInvalid
-		f.Err = "filter exceeds maximum length"
+		f.Text = "filter exceeds maximum length"
 		return f
 	}
 
@@ -82,7 +82,7 @@ func parseElemHide(f *Filter, line, sep string, pos int) *Filter {
 	f.Selector = line[pos+len(sep):]
 	if f.Selector == "" {
 		f.Kind = KindInvalid
-		f.Err = "element filter with empty selector"
+		f.Text = "element filter with empty selector"
 		return f
 	}
 	prefix := line[:pos]
@@ -100,7 +100,7 @@ func parseElemHide(f *Filter, line, sep string, pos int) *Filter {
 			spec.Domain = domainutil.Normalize(d)
 			if spec.Domain == "" {
 				f.Kind = KindInvalid
-				f.Err = "element filter with empty domain entry"
+				f.Text = "element filter with empty domain entry"
 				return f
 			}
 			f.Domains = append(f.Domains, spec)
@@ -155,7 +155,7 @@ func parseRequest(f *Filter, line string) *Filter {
 	// "@@$sitekey=...,document" is the sitekey form with empty pattern.
 	if f.Pattern == "" && !f.IsRegex && len(f.Sitekeys) == 0 && len(f.Domains) == 0 {
 		f.Kind = KindInvalid
-		f.Err = "empty filter"
+		f.Text = "empty filter"
 	}
 	return f
 }
@@ -215,7 +215,7 @@ func applyOptions(f *Filter, options string) bool {
 		opt = strings.TrimSpace(opt)
 		if opt == "" {
 			f.Kind = KindInvalid
-			f.Err = "empty option"
+			f.Text = "empty option"
 			return false
 		}
 		negated := strings.HasPrefix(opt, "~")
@@ -253,21 +253,21 @@ func applyOptions(f *Filter, options string) bool {
 		case "match-case":
 			if negated {
 				f.Kind = KindInvalid
-				f.Err = "match-case cannot be negated"
+				f.Text = "match-case cannot be negated"
 				return false
 			}
 			f.MatchCase = true
 		case "donottrack":
 			if negated {
 				f.Kind = KindInvalid
-				f.Err = "donottrack cannot be negated"
+				f.Text = "donottrack cannot be negated"
 				return false
 			}
 			f.DoNotTrack = true
 		case "domain":
 			if value == "" {
 				f.Kind = KindInvalid
-				f.Err = "domain option without value"
+				f.Text = "domain option without value"
 				return false
 			}
 			for _, d := range strings.Split(value, "|") {
@@ -286,12 +286,12 @@ func applyOptions(f *Filter, options string) bool {
 		case "sitekey":
 			if negated {
 				f.Kind = KindInvalid
-				f.Err = "sitekey cannot be negated"
+				f.Text = "sitekey cannot be negated"
 				return false
 			}
 			if value == "" {
 				f.Kind = KindInvalid
-				f.Err = "sitekey option without value"
+				f.Text = "sitekey option without value"
 				return false
 			}
 			for _, k := range strings.Split(value, "|") {
@@ -301,7 +301,7 @@ func applyOptions(f *Filter, options string) bool {
 			}
 		default:
 			f.Kind = KindInvalid
-			f.Err = "unknown option: " + opt
+			f.Text = "unknown option: " + opt
 			return false
 		}
 	}

@@ -89,7 +89,7 @@ func TestParseUnrestrictedElemHide(t *testing.T) {
 func TestParseSitekeyFilter(t *testing.T) {
 	f := Parse("@@$sitekey=MFwwDQYJKwEAAQ,document")
 	if f.Kind != KindRequestException {
-		t.Fatalf("kind = %v, want exception (err=%s)", f.Kind, f.Err)
+		t.Fatalf("kind = %v, want exception (err=%s)", f.Kind, f.Text)
 	}
 	if !f.IsSitekey() {
 		t.Fatal("expected sitekey filter")
@@ -140,7 +140,7 @@ func TestParseGolemFilters(t *testing.T) {
 	// §7's golem.de episode filters.
 	f := Parse("@@||google.com/ads/search/module/ads/*/search.js$domain=suche.golem.de|www.google.com")
 	if f.Kind != KindRequestException {
-		t.Fatalf("kind = %v (err=%s)", f.Kind, f.Err)
+		t.Fatalf("kind = %v (err=%s)", f.Kind, f.Text)
 	}
 	if len(f.Domains) != 2 {
 		t.Fatalf("domains = %+v", f.Domains)
@@ -163,7 +163,7 @@ func TestParseComcastAFilters(t *testing.T) {
 	} {
 		f := Parse(line)
 		if f.Kind != KindRequestException {
-			t.Errorf("%s: kind = %v err=%s", line, f.Kind, f.Err)
+			t.Errorf("%s: kind = %v err=%s", line, f.Kind, f.Text)
 		}
 		if ClassifyScope(f) != ScopeRestricted {
 			t.Errorf("%s: scope = %v", line, ClassifyScope(f))
@@ -286,7 +286,7 @@ func TestDollarInsidePattern(t *testing.T) {
 	// A "$" whose remainder does not have option-list shape is pattern text.
 	f := Parse("||example.com/page$?x=1")
 	if f.Kind != KindRequestBlock {
-		t.Fatalf("kind = %v (err=%s)", f.Kind, f.Err)
+		t.Fatalf("kind = %v (err=%s)", f.Kind, f.Text)
 	}
 	if f.Pattern != "example.com/page$?x=1" {
 		t.Errorf("pattern = %q", f.Pattern)

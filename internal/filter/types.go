@@ -153,14 +153,34 @@ type DomainSpec struct {
 // For element filters, Selector holds the CSS selector and Domains the
 // domain prefix. For comments, Text holds the comment body without the
 // leading "!".
+// Field order groups the pointer-sized members first and packs every
+// single-byte flag into one trailing island: a parsed corpus lives in
+// one slab (~30k cells for EasyList), so each byte of padding here is
+// multiplied by the filter count.
 type Filter struct {
 	// Raw is the original line exactly as it appeared in the list.
 	Raw string
-	// Kind is the grammatical class.
-	Kind Kind
-
 	// Pattern is the request matching expression (modifiers stripped).
 	Pattern string
+	// Domains lists $domain= entries (request filters) or the domain
+	// prefix (element filters).
+	Domains []DomainSpec
+	// Sitekeys lists $sitekey= public keys (base64 DER).
+	Sitekeys []string
+	// Selector is the element filter's CSS selector.
+	Selector string
+	// Text is the body of a comment line or, on a KindInvalid filter, the
+	// reason parsing failed. The two kinds are disjoint, so one field
+	// serves both — a 16-byte header saved across every slab-allocated
+	// corpus.
+	Text string
+
+	// TypeMask is the effective content-type mask after option defaults
+	// and negations are applied.
+	TypeMask ContentType
+
+	// Kind is the grammatical class.
+	Kind Kind
 	// IsRegex marks /.../-delimited raw regular expression patterns.
 	IsRegex bool
 	// AnchorDomain marks a "||" prefix: the pattern must match at the
@@ -172,10 +192,6 @@ type Filter struct {
 	// AnchorEnd marks a trailing "|": the pattern must match at the very
 	// end of the URL.
 	AnchorEnd bool
-
-	// TypeMask is the effective content-type mask after option defaults
-	// and negations are applied.
-	TypeMask ContentType
 	// ThirdParty constrains the request's party relation to the page.
 	ThirdParty TriState
 	// Collapse requests that blocked elements be collapsed; negatable.
@@ -184,19 +200,6 @@ type Filter struct {
 	MatchCase bool
 	// DoNotTrack asks for a DNT header on matching requests.
 	DoNotTrack bool
-	// Domains lists $domain= entries (request filters) or the domain
-	// prefix (element filters).
-	Domains []DomainSpec
-	// Sitekeys lists $sitekey= public keys (base64 DER).
-	Sitekeys []string
-
-	// Selector is the element filter's CSS selector.
-	Selector string
-
-	// Text is the body of a comment line.
-	Text string
-	// Err describes why a line is KindInvalid.
-	Err string
 }
 
 // IsException reports whether the filter allows rather than blocks content.

@@ -1,0 +1,88 @@
+// Package strtab provides a flat string column: one concatenated byte
+// blob plus a table of end offsets. A column of n strings costs two
+// allocations to build and — when both slices arrive as views into a
+// decoded buffer — zero allocations to read, which is why the engine's
+// arena columns and the snapbin codec trade []string for it: a []string
+// materializes a 16-byte header per entry that becomes garbage the
+// moment the entries are copied into their final structs.
+package strtab
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Col is a string column. Entry i spans Blob[Off[i]:Off[i+1]]; a
+// non-empty column carries len+1 offsets with Off[0] == 0. The zero Col
+// is an empty column ready for Append.
+//
+// Off and Blob are exported so codecs can serialize them in bulk and
+// install decoded views in place. A Col built from untrusted bytes must
+// pass Validate before At is called.
+type Col struct {
+	Off  []uint32
+	Blob []byte
+}
+
+// Len reports the number of entries.
+func (c *Col) Len() int {
+	if len(c.Off) == 0 {
+		return 0
+	}
+	return len(c.Off) - 1
+}
+
+// Append adds s as the next entry.
+func (c *Col) Append(s string) {
+	if len(c.Off) == 0 {
+		c.Off = append(c.Off, 0)
+	}
+	c.Blob = append(c.Blob, s...)
+	c.Off = append(c.Off, uint32(len(c.Blob)))
+}
+
+// Grow pre-sizes the column for n more entries totalling about blobLen
+// bytes.
+func (c *Col) Grow(n, blobLen int) {
+	if len(c.Off) == 0 {
+		c.Off = make([]uint32, 1, n+1)
+	}
+	if cap(c.Blob)-len(c.Blob) < blobLen {
+		grown := make([]byte, len(c.Blob), len(c.Blob)+blobLen)
+		copy(grown, c.Blob)
+		c.Blob = grown
+	}
+}
+
+// At returns entry i without copying: the string aliases Blob, so the
+// blob must not be modified while the string is live. The offsets are
+// not re-checked here — Validate bounds them once for the whole column.
+func (c *Col) At(i int) string {
+	lo, hi := c.Off[i], c.Off[i+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&c.Blob[lo], hi-lo)
+}
+
+// Validate checks the offset table — present, starting at zero,
+// non-decreasing, ending exactly at the blob's length — so that At can
+// never slice out of range. Codecs run it once per decoded column.
+func (c *Col) Validate() error {
+	if len(c.Off) == 0 {
+		if len(c.Blob) != 0 {
+			return fmt.Errorf("strtab: %d blob bytes with no offset table", len(c.Blob))
+		}
+		return nil
+	}
+	last := len(c.Off) - 1
+	if c.Off[0] != 0 || int(c.Off[last]) != len(c.Blob) {
+		return fmt.Errorf("strtab: offsets span [%d..%d], want [0..%d]", c.Off[0], c.Off[last], len(c.Blob))
+	}
+	for i := 0; i < last; i++ {
+		if c.Off[i] > c.Off[i+1] {
+			return fmt.Errorf("strtab: offsets decrease at entry %d", i)
+		}
+	}
+	return nil
+}
